@@ -1,0 +1,13 @@
+//! Analysis utilities for the experiment harness: PCA (Fig. 7), summary
+//! statistics, and plain-text rendering of the paper's tables and figures.
+
+pub mod metrics;
+pub mod pca;
+pub mod plot;
+pub mod stats;
+pub mod table;
+
+pub use metrics::{log_loss, ConfusionMatrix};
+pub use pca::Pca;
+pub use stats::{mean, mean_std, quantile};
+pub use table::TextTable;

@@ -1,0 +1,184 @@
+//! Classification metrics beyond raw accuracy — used to sanity-check the
+//! discovered models (the paper reports accuracy only, but a usable
+//! library should expose the standard diagnostics).
+
+/// A `k × k` confusion matrix: `counts[true][pred]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel truth/prediction slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or labels `≥ n_classes`.
+    pub fn new(truth: &[usize], preds: &[usize], n_classes: usize) -> ConfusionMatrix {
+        assert_eq!(truth.len(), preds.len(), "length mismatch");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&t, &p) in truth.iter().zip(preds) {
+            assert!(t < n_classes && p < n_classes, "label out of range");
+            counts[t][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `counts[true][pred]`.
+    pub fn get(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth][pred]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().map(|r| r.iter().sum::<usize>()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let hits: usize = (0..self.n_classes()).map(|i| self.counts[i][i]).sum();
+        hits as f64 / total as f64
+    }
+
+    /// Per-class recall (`None` for classes absent from the truth).
+    pub fn recalls(&self) -> Vec<Option<f64>> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let support: usize = row.iter().sum();
+                if support == 0 {
+                    None
+                } else {
+                    Some(row[i] as f64 / support as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Per-class precision (`None` for classes never predicted).
+    pub fn precisions(&self) -> Vec<Option<f64>> {
+        let k = self.n_classes();
+        (0..k)
+            .map(|j| {
+                let predicted: usize = (0..k).map(|i| self.counts[i][j]).sum();
+                if predicted == 0 {
+                    None
+                } else {
+                    Some(self.counts[j][j] as f64 / predicted as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Balanced accuracy: mean recall over classes present in the truth.
+    pub fn balanced_accuracy(&self) -> f64 {
+        let recalls: Vec<f64> = self.recalls().into_iter().flatten().collect();
+        if recalls.is_empty() {
+            return 0.0;
+        }
+        recalls.iter().sum::<f64>() / recalls.len() as f64
+    }
+
+    /// Macro-averaged F1 over classes with defined precision and recall.
+    pub fn macro_f1(&self) -> f64 {
+        let ps = self.precisions();
+        let rs = self.recalls();
+        let f1s: Vec<f64> = ps
+            .iter()
+            .zip(&rs)
+            .filter_map(|(p, r)| match (p, r) {
+                (Some(p), Some(r)) if p + r > 0.0 => Some(2.0 * p * r / (p + r)),
+                (Some(_), Some(_)) => Some(0.0),
+                _ => None,
+            })
+            .collect();
+        if f1s.is_empty() {
+            return 0.0;
+        }
+        f1s.iter().sum::<f64>() / f1s.len() as f64
+    }
+}
+
+/// Mean negative log-likelihood of true labels under predicted
+/// probability rows (`probs[i]` sums to 1).
+pub fn log_loss(probs: &[Vec<f64>], truth: &[usize]) -> f64 {
+    assert_eq!(probs.len(), truth.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (row, &t) in probs.iter().zip(truth) {
+        assert!(t < row.len(), "label out of range");
+        total -= row[t].max(1e-15).ln();
+    }
+    total / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let truth = vec![0, 1, 2, 0, 1];
+        let cm = ConfusionMatrix::new(&truth, &truth, 3);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.balanced_accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn known_confusion_entries() {
+        let truth = vec![0, 0, 1, 1];
+        let preds = vec![0, 1, 1, 1];
+        let cm = ConfusionMatrix::new(&truth, &preds, 2);
+        assert_eq!(cm.get(0, 0), 1);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(1, 1), 2);
+        assert_eq!(cm.get(1, 0), 0);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        // Recalls: class 0 = 0.5, class 1 = 1.0 → balanced 0.75.
+        assert!((cm.balanced_accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_accuracy_exposes_majority_voting() {
+        // 90 of class 0, 10 of class 1, always predict 0:
+        // raw accuracy 0.9, balanced accuracy 0.5.
+        let mut truth = vec![0usize; 90];
+        truth.extend(vec![1usize; 10]);
+        let preds = vec![0usize; 100];
+        let cm = ConfusionMatrix::new(&truth, &preds, 2);
+        assert!((cm.accuracy() - 0.9).abs() < 1e-12);
+        assert!((cm.balanced_accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_classes_are_excluded() {
+        let truth = vec![0, 0];
+        let preds = vec![0, 0];
+        let cm = ConfusionMatrix::new(&truth, &preds, 3);
+        assert_eq!(cm.recalls(), vec![Some(1.0), None, None]);
+        assert_eq!(cm.balanced_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn log_loss_known_values() {
+        let probs = vec![vec![0.5, 0.5], vec![1.0, 0.0]];
+        let loss = log_loss(&probs, &[0, 0]);
+        assert!((loss - 0.5 * (2.0f64).ln()).abs() < 1e-12);
+        // Confidently wrong is heavily penalised (clamped, not infinite).
+        let bad = log_loss(&vec![vec![0.0, 1.0]], &[0]);
+        assert!(bad > 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        ConfusionMatrix::new(&[5], &[0], 3);
+    }
+}

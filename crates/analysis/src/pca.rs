@@ -1,0 +1,234 @@
+#![allow(clippy::needless_range_loop)] // index math mirrors the linear-algebra notation
+
+//! Principal component analysis via cyclic Jacobi eigendecomposition of
+//! the covariance matrix — used to reproduce Fig. 7 (2-D projection of the
+//! top-1% architecture and hyperparameter configurations).
+
+/// Symmetric eigendecomposition by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue;
+/// `eigenvectors[k]` is the unit eigenvector of `eigenvalues[k]`.
+pub fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.len();
+    assert!(n > 0 && a.iter().all(|row| row.len() == n), "square matrix required");
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off < 1e-20 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-15 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let (akp, akq) = (a[k][p], a[k][q]);
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let (apk, aqk) = (a[p][k], a[q][k]);
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for row in v.iter_mut() {
+                    let (vkp, vkq) = (row[p], row[q]);
+                    row[p] = c * vkp - s * vkq;
+                    row[q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| a[j][j].partial_cmp(&a[i][i]).expect("finite eigenvalues"));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| a[i][i]).collect();
+    let eigenvectors: Vec<Vec<f64>> =
+        order.iter().map(|&i| (0..n).map(|k| v[k][i]).collect()).collect();
+    (eigenvalues, eigenvectors)
+}
+
+/// A fitted PCA model.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Per-feature means subtracted before projection.
+    pub means: Vec<f64>,
+    /// The top-k principal axes (rows).
+    pub components: Vec<Vec<f64>>,
+    /// Fraction of total variance captured by each kept component.
+    pub explained_variance_ratio: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a `k`-component PCA on `rows` (each an equal-length feature
+    /// vector).
+    ///
+    /// # Panics
+    /// Panics on empty input, ragged rows, or `k > n_features`.
+    pub fn fit(rows: &[Vec<f64>], k: usize) -> Pca {
+        assert!(!rows.is_empty(), "PCA of empty data");
+        let d = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == d), "ragged rows");
+        assert!(k >= 1 && k <= d);
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; d];
+        for row in rows {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut cov = vec![vec![0.0; d]; d];
+        for row in rows {
+            for i in 0..d {
+                let di = row[i] - means[i];
+                for j in i..d {
+                    cov[i][j] += di * (row[j] - means[j]);
+                }
+            }
+        }
+        for i in 0..d {
+            for j in i..d {
+                cov[i][j] /= n;
+                cov[j][i] = cov[i][j];
+            }
+        }
+        let total: f64 = (0..d).map(|i| cov[i][i]).sum();
+        let (eigenvalues, eigenvectors) = jacobi_eigen(cov);
+        let explained_variance_ratio = eigenvalues
+            .iter()
+            .take(k)
+            .map(|&l| if total > 0.0 { (l / total).max(0.0) } else { 0.0 })
+            .collect();
+        Pca { means, components: eigenvectors.into_iter().take(k).collect(), explained_variance_ratio }
+    }
+
+    /// Projects one row onto the kept components.
+    pub fn project_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len());
+        self.components
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .zip(row)
+                    .zip(&self.means)
+                    .map(|((ci, v), m)| ci * (v - m))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Projects a batch of rows.
+    pub fn project(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.project_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_diagonalises_known_matrix() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let (vals, vecs) = jacobi_eigen(vec![vec![2.0, 1.0], vec![1.0, 2.0]]);
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+        let v = &vecs[0];
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v[0] - v[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_identity_matrix() {
+        let (vals, _) = jacobi_eigen(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points along the line y = 2x with tiny noise: PC1 ∝ (1,2)/√5.
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let t = i as f64 / 100.0 - 1.0;
+                let eps = ((i * 37 % 17) as f64 / 17.0 - 0.5) * 0.01;
+                vec![t + eps, 2.0 * t - eps]
+            })
+            .collect();
+        let pca = Pca::fit(&rows, 2);
+        let c = &pca.components[0];
+        let ratio = (c[1] / c[0]).abs();
+        assert!((ratio - 2.0).abs() < 0.05, "PC1 slope {ratio}");
+        assert!(pca.explained_variance_ratio[0] > 0.99);
+    }
+
+    #[test]
+    fn projection_of_mean_is_origin() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 6.0], vec![5.0, 10.0]];
+        let pca = Pca::fit(&rows, 1);
+        let mean = vec![3.0, 6.0];
+        let proj = pca.project_row(&mean);
+        assert!(proj[0].abs() < 1e-10);
+    }
+
+    #[test]
+    fn explained_variance_sums_to_at_most_one() {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64, (i % 3) as f64])
+            .collect();
+        let pca = Pca::fit(&rows, 3);
+        let total: f64 = pca.explained_variance_ratio.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total={total}");
+        // Components are orthonormal.
+        for i in 0..3 {
+            let norm: f64 = pca.components[i].iter().map(|v| v * v).sum();
+            assert!((norm - 1.0).abs() < 1e-8);
+            for j in (i + 1)..3 {
+                let dot: f64 = pca.components[i]
+                    .iter()
+                    .zip(&pca.components[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                assert!(dot.abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn separated_clusters_stay_separated_in_projection() {
+        // Two 5-D clusters; their PCA projections must not overlap.
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            let jitter = (i % 7) as f64 * 0.01;
+            rows.push(vec![jitter; 5]);
+            rows.push(vec![5.0 + jitter; 5]);
+        }
+        let pca = Pca::fit(&rows, 2);
+        let proj = pca.project(&rows);
+        let a: Vec<f64> = proj.iter().step_by(2).map(|p| p[0]).collect();
+        let b: Vec<f64> = proj.iter().skip(1).step_by(2).map(|p| p[0]).collect();
+        let max_a = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min_b = b.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max_a < min_b || a.iter().cloned().fold(f64::INFINITY, f64::min)
+                > b.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            "clusters overlap in PC1"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Minimal ASCII plotting so the figure binaries can render search
+//! trajectories directly in the terminal.
+
+/// Renders several named `(x, y)` series as an ASCII chart.
+///
+/// Each series gets a distinct glyph; points are nearest-binned onto a
+/// `width × height` grid. Later series overwrite earlier ones on
+/// collisions.
+pub fn ascii_chart(
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 8 && height >= 4);
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let points: Vec<(f64, f64)> =
+        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    if points.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if (x_hi - x_lo).abs() < 1e-12 {
+        x_hi = x_lo + 1.0;
+    }
+    if (y_hi - y_lo).abs() < 1e-12 {
+        y_hi = y_lo + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts.iter() {
+            let cx = (((x - x_lo) / (x_hi - x_lo)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y_lo) / (y_hi - y_lo)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_hi:>10.4} ┐\n"));
+    for row in &grid {
+        out.push_str("           │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_lo:>10.4} ┘"));
+    out.push_str(&format!(
+        "  x: [{x_lo:.1}, {x_hi:.1}]\n"
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let a = [(0.0, 0.0), (1.0, 1.0)];
+        let b = [(0.5, 0.5)];
+        let s = ascii_chart(&[("rising", &a), ("mid", &b)], 20, 6);
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("rising"));
+        assert!(s.contains("mid"));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        assert_eq!(ascii_chart(&[("none", &[])], 20, 6), "(no data)\n");
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let a = [(1.0, 5.0), (1.0, 5.0)];
+        let s = ascii_chart(&[("flat", &a)], 10, 4);
+        assert!(s.contains('*'));
+    }
+}

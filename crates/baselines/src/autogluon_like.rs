@@ -1,0 +1,353 @@
+//! AutoGluon-Tabular-style stacking ensemble.
+//!
+//! AutoGluon (`auto_stack=True`) trains bagged copies of several learner
+//! families and stacks them: at inference **every** base model is
+//! evaluated and a combiner merges their probabilities. We reproduce that
+//! structure with from-scratch learners (random forest, extra-trees,
+//! gradient boosting, k-NN, MLP), `folds` bagged copies of each, and a
+//! Caruana-style greedy ensemble-selection combiner fitted on the
+//! validation set. Because the combiner consumes every member's
+//! probabilities, inference cost is the *sum* over all members — the
+//! structural reason AutoGluon loses Table II's inference-time comparison
+//! by ~two orders of magnitude.
+
+use agebo_nn::{fit, Activation, GraphNet, GraphSpec, TrainConfig};
+use agebo_tabular::Dataset;
+use agebo_tensor::{Matrix, Stream};
+use agebo_trees::{
+    ForestConfig, GbmConfig, GradientBoostingClassifier, KnnClassifier,
+    RandomForestClassifier,
+};
+use rand::seq::SliceRandom;
+use std::time::{Duration, Instant};
+
+/// Ensemble configuration (defaults sized for the Bench data profile).
+#[derive(Debug, Clone)]
+pub struct EnsembleConfig {
+    /// Bagged copies per learner family (AutoGluon's k-fold bagging).
+    pub folds: usize,
+    /// Trees per random forest.
+    pub rf_trees: usize,
+    /// Trees per extra-trees forest.
+    pub et_trees: usize,
+    /// Boosting rounds per GBM.
+    pub gbm_rounds: usize,
+    /// Neighbours for k-NN.
+    pub knn_k: usize,
+    /// Hidden widths of the MLP member.
+    pub mlp_hidden: Vec<usize>,
+    /// Training epochs of the MLP member.
+    pub mlp_epochs: usize,
+    /// Greedy ensemble-selection rounds.
+    pub selection_rounds: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            folds: 5,
+            rf_trees: 100,
+            et_trees: 100,
+            gbm_rounds: 25,
+            knn_k: 5,
+            mlp_hidden: vec![128, 64],
+            mlp_epochs: 15,
+            selection_rounds: 15,
+            seed: 0,
+        }
+    }
+}
+
+impl EnsembleConfig {
+    /// A reduced configuration for tests.
+    pub fn small(seed: u64) -> Self {
+        EnsembleConfig {
+            folds: 2,
+            rf_trees: 15,
+            et_trees: 15,
+            gbm_rounds: 6,
+            knn_k: 3,
+            mlp_hidden: vec![32],
+            mlp_epochs: 5,
+            selection_rounds: 6,
+            seed,
+        }
+    }
+}
+
+/// One fitted base model.
+enum Member {
+    Rf(RandomForestClassifier),
+    Et(RandomForestClassifier),
+    Gbm(GradientBoostingClassifier),
+    Knn(KnnClassifier),
+    Mlp(GraphNet),
+}
+
+impl Member {
+    fn name(&self) -> &'static str {
+        match self {
+            Member::Rf(_) => "random-forest",
+            Member::Et(_) => "extra-trees",
+            Member::Gbm(_) => "gradient-boosting",
+            Member::Knn(_) => "k-nn",
+            Member::Mlp(_) => "mlp",
+        }
+    }
+
+    /// `n × k` class probabilities.
+    fn proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
+        match self {
+            Member::Rf(m) | Member::Et(m) => m.predict_proba(x),
+            Member::Gbm(m) => {
+                let mut out = Matrix::zeros(x.rows(), n_classes);
+                for r in 0..x.rows() {
+                    out.row_mut(r).copy_from_slice(&m.predict_proba_row(x.row(r)));
+                }
+                out
+            }
+            Member::Knn(m) => {
+                let mut out = Matrix::zeros(x.rows(), n_classes);
+                for r in 0..x.rows() {
+                    out.row_mut(r).copy_from_slice(&m.predict_proba_row(x.row(r)));
+                }
+                out
+            }
+            Member::Mlp(net) => {
+                let mut logits = net.forward(x);
+                logits.softmax_rows_inplace();
+                logits
+            }
+        }
+    }
+}
+
+/// The fitted stacking ensemble.
+pub struct AutoGluonLike {
+    members: Vec<Member>,
+    /// Combiner weights (sum to 1; zero-weight members are still
+    /// evaluated, as stack inputs are).
+    weights: Vec<f64>,
+    n_classes: usize,
+}
+
+fn argmax_rows(m: &Matrix) -> Vec<usize> {
+    m.argmax_rows()
+}
+
+impl AutoGluonLike {
+    /// Fits `folds` bagged copies of each learner family on `train`, then
+    /// fits the greedy combiner on `valid`.
+    pub fn fit(train: &Dataset, valid: &Dataset, cfg: &EnsembleConfig) -> Self {
+        assert!(cfg.folds >= 1 && cfg.selection_rounds >= 1);
+        let stream = Stream::new(cfg.seed);
+        let k = train.n_classes;
+        let mut members: Vec<Member> = Vec::new();
+        for fold in 0..cfg.folds {
+            // 80% bagged subsample per fold.
+            let mut rng = stream.labeled_rng(fold as u64 + 1);
+            let mut idx: Vec<usize> = (0..train.len()).collect();
+            idx.shuffle(&mut rng);
+            idx.truncate((train.len() * 4 / 5).max(1));
+            let sub = train.subset(&idx);
+
+            let rf_cfg = ForestConfig { n_trees: cfg.rf_trees, ..ForestConfig::default() };
+            members.push(Member::Rf(RandomForestClassifier::fit(
+                &sub.x,
+                &sub.y,
+                k,
+                &rf_cfg,
+                stream.labeled(100 + fold as u64),
+            )));
+            let et_cfg = ForestConfig::extra_trees(cfg.et_trees);
+            members.push(Member::Et(RandomForestClassifier::fit(
+                &sub.x,
+                &sub.y,
+                k,
+                &et_cfg,
+                stream.labeled(200 + fold as u64),
+            )));
+            members.push(Member::Gbm(GradientBoostingClassifier::fit(
+                &sub.x,
+                &sub.y,
+                k,
+                &GbmConfig { n_rounds: cfg.gbm_rounds, ..GbmConfig::default() },
+                stream.labeled(300 + fold as u64),
+            )));
+            members.push(Member::Knn(KnnClassifier::fit(
+                sub.x.clone(),
+                sub.y.clone(),
+                k,
+                cfg.knn_k.min(sub.len()),
+            )));
+            let hidden: Vec<(usize, Activation)> =
+                cfg.mlp_hidden.iter().map(|&w| (w, Activation::Relu)).collect();
+            let spec = GraphSpec::mlp(train.n_features(), &hidden, k);
+            let mut net =
+                GraphNet::new(spec, &mut stream.labeled_rng(400 + fold as u64));
+            let train_cfg = TrainConfig {
+                epochs: cfg.mlp_epochs,
+                batch_size: 64,
+                lr: 0.01,
+                shuffle_seed: stream.labeled(500 + fold as u64),
+                ..TrainConfig::paper_default()
+            };
+            fit(&mut net, &sub, valid, &train_cfg);
+            members.push(Member::Mlp(net));
+        }
+
+        // Greedy ensemble selection (Caruana): repeatedly add (with
+        // replacement) the member that maximizes validation accuracy of
+        // the running probability average.
+        let probas: Vec<Matrix> = members.iter().map(|m| m.proba(&valid.x, k)).collect();
+        let mut counts = vec![0usize; members.len()];
+        let mut running = Matrix::zeros(valid.len(), k);
+        let mut total = 0usize;
+        for _ in 0..cfg.selection_rounds {
+            let mut best: Option<(f64, usize)> = None;
+            for (i, p) in probas.iter().enumerate() {
+                let mut cand = running.clone();
+                cand.add_assign(p);
+                let acc = valid.accuracy_of(&argmax_rows(&cand));
+                if best.is_none_or(|(b, _)| acc > b) {
+                    best = Some((acc, i));
+                }
+            }
+            let (_, chosen) = best.expect("at least one member");
+            counts[chosen] += 1;
+            running.add_assign(&probas[chosen]);
+            total += 1;
+        }
+        let weights: Vec<f64> =
+            counts.iter().map(|&c| c as f64 / total as f64).collect();
+        AutoGluonLike { members, weights, n_classes: k }
+    }
+
+    /// Number of base models in the stack.
+    pub fn n_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Names and combiner weights of all members.
+    pub fn member_weights(&self) -> Vec<(&'static str, f64)> {
+        self.members.iter().zip(&self.weights).map(|(m, &w)| (m.name(), w)).collect()
+    }
+
+    /// Weighted-probability predictions. Evaluates every member (stack
+    /// semantics).
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let mut acc = Matrix::zeros(x.rows(), self.n_classes);
+        for (member, &w) in self.members.iter().zip(&self.weights) {
+            let p = member.proba(x, self.n_classes);
+            // Zero-weight members are still *computed* (their outputs are
+            // stack inputs); they just don't influence the vote.
+            if w > 0.0 {
+                acc.axpy(w as f32, &p);
+            }
+        }
+        argmax_rows(&acc)
+    }
+
+    /// Predictions plus wall-clock inference time over `x`.
+    pub fn predict_timed(&self, x: &Matrix) -> (Vec<usize>, Duration) {
+        let start = Instant::now();
+        let preds = self.predict(x);
+        (preds, start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agebo_tabular::{
+        generators::make_dataset, scale, stratified_split, DatasetKind, SizeProfile,
+        SplitSpec,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn covertype() -> (Dataset, Dataset, Dataset) {
+        let (data, _) = make_dataset(DatasetKind::Covertype, SizeProfile::Test, 3);
+        let mut split =
+            stratified_split(&data, SplitSpec::PAPER, &mut StdRng::seed_from_u64(0));
+        scale::standardize_split(&mut split);
+        (split.train, split.valid, split.test)
+    }
+
+    #[test]
+    fn ensemble_beats_majority_and_has_all_members() {
+        let (train, valid, test) = covertype();
+        let ens = AutoGluonLike::fit(&train, &valid, &EnsembleConfig::small(1));
+        assert_eq!(ens.n_members(), 2 * 5); // 2 folds × 5 families
+        let acc = test.accuracy_of(&ens.predict(&test.x));
+        assert!(
+            acc > test.majority_baseline() + 0.1,
+            "acc={acc} majority={}",
+            test.majority_baseline()
+        );
+    }
+
+    #[test]
+    fn weights_form_a_distribution() {
+        let (train, valid, _) = covertype();
+        let ens = AutoGluonLike::fit(&train, &valid, &EnsembleConfig::small(2));
+        let total: f64 = ens.member_weights().iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(ens.member_weights().iter().all(|(_, w)| *w >= 0.0));
+    }
+
+    #[test]
+    fn ensemble_at_least_matches_each_family_on_valid() {
+        // Greedy selection starts from the best single member, so the
+        // ensemble's validation accuracy can't be worse than any member's.
+        let (train, valid, _) = covertype();
+        let ens = AutoGluonLike::fit(&train, &valid, &EnsembleConfig::small(3));
+        let ens_acc = valid.accuracy_of(&ens.predict(&valid.x));
+        for member in &ens.members {
+            let p = member.proba(&valid.x, valid.n_classes);
+            let m_acc = valid.accuracy_of(&argmax_rows(&p));
+            assert!(
+                ens_acc >= m_acc - 1e-9,
+                "{} beats ensemble: {m_acc} > {ens_acc}",
+                member.name()
+            );
+        }
+    }
+
+    #[test]
+    fn inference_time_scales_with_folds() {
+        let (train, valid, test) = covertype();
+        let small = AutoGluonLike::fit(
+            &train,
+            &valid,
+            &EnsembleConfig { folds: 1, ..EnsembleConfig::small(4) },
+        );
+        let big = AutoGluonLike::fit(
+            &train,
+            &valid,
+            &EnsembleConfig { folds: 4, ..EnsembleConfig::small(4) },
+        );
+        // Median of 5 repeats to de-noise.
+        let time = |e: &AutoGluonLike| {
+            let mut ts: Vec<Duration> =
+                (0..5).map(|_| e.predict_timed(&test.x).1).collect();
+            ts.sort();
+            ts[2]
+        };
+        let (t_small, t_big) = (time(&small), time(&big));
+        assert!(
+            t_big > t_small * 2,
+            "folds=4 {t_big:?} should cost >2x folds=1 {t_small:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (train, valid, test) = covertype();
+        let a = AutoGluonLike::fit(&train, &valid, &EnsembleConfig::small(7));
+        let b = AutoGluonLike::fit(&train, &valid, &EnsembleConfig::small(7));
+        assert_eq!(a.predict(&test.x), b.predict(&test.x));
+    }
+}

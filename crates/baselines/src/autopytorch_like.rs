@@ -1,0 +1,236 @@
+//! Auto-PyTorch-style HPO over a restricted MLP space.
+//!
+//! The paper compares against Auto-PyTorch's validation accuracies as
+//! stored in the LCBench database. That database is unavailable offline,
+//! so this module substitutes a budget-limited HPO (random sampling +
+//! one successive-halving rung) over a space that mirrors Auto-PyTorch's
+//! *restrictions* relative to the AgEBO space: funnel-shaped ReLU MLPs,
+//! smaller maximum width, no skip-connection menu, no data-parallel
+//! tuning. Fig. 6 uses its best validation accuracy as the horizontal
+//! dotted reference line.
+
+use agebo_nn::{fit, Activation, GraphNet, GraphSpec, TrainConfig};
+use agebo_tabular::Dataset;
+use agebo_tensor::Stream;
+use rand::Rng;
+
+/// HPO budget and space limits.
+#[derive(Debug, Clone)]
+pub struct HpoConfig {
+    /// Configurations sampled at the first rung.
+    pub n_configs: usize,
+    /// Fraction promoted to the full-budget rung.
+    pub promote_fraction: f64,
+    /// Full training epochs (first rung trains `epochs / 4`, min 1).
+    pub epochs: usize,
+    /// Maximum first-layer width (restriction vs the AgEBO space's 96).
+    pub max_width: usize,
+    /// Maximum depth (restriction vs the AgEBO space's 10 nodes).
+    pub max_depth: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for HpoConfig {
+    fn default() -> Self {
+        HpoConfig {
+            n_configs: 12,
+            promote_fraction: 0.33,
+            epochs: 12,
+            max_width: 64,
+            max_depth: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// One sampled configuration.
+#[derive(Debug, Clone)]
+struct Candidate {
+    spec: GraphSpec,
+    lr: f32,
+    batch_size: usize,
+    seed: u64,
+}
+
+/// HPO result.
+#[derive(Debug)]
+pub struct AutoPyTorchLike {
+    /// Best validation accuracy over the whole run (the Fig. 6 line).
+    pub best_val_acc: f64,
+    /// Validation accuracy of every full-budget evaluation.
+    pub evaluations: Vec<f64>,
+    /// The winning network.
+    pub best_net: GraphNet,
+}
+
+fn sample_candidate(
+    input_dim: usize,
+    n_classes: usize,
+    cfg: &HpoConfig,
+    rng: &mut impl Rng,
+) -> Candidate {
+    let depth = rng.gen_range(1..=cfg.max_depth);
+    let mut width = *[16usize, 24, 32, 48, 64]
+        .iter()
+        .filter(|&&w| w <= cfg.max_width)
+        .nth(rng.gen_range(0..5.min(cfg.max_width / 16 + 1)))
+        .unwrap_or(&16);
+    let mut hidden = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        hidden.push((width.max(8), Activation::Relu));
+        width = (width / 2).max(8); // funnel shape
+    }
+    let lr = (rng.gen::<f64>() * ((0.1f64).ln() - (0.001f64).ln()) + (0.001f64).ln()).exp();
+    let batch_size = *[64usize, 128, 256].get(rng.gen_range(0..3)).expect("menu");
+    Candidate {
+        spec: GraphSpec::mlp(input_dim, &hidden, n_classes),
+        lr: lr as f32,
+        batch_size,
+        seed: rng.gen(),
+    }
+}
+
+fn train_candidate(
+    cand: &Candidate,
+    train: &Dataset,
+    valid: &Dataset,
+    epochs: usize,
+) -> f64 {
+    let mut stream = Stream::new(cand.seed);
+    let mut net = GraphNet::new(cand.spec.clone(), &mut stream.rng());
+    let cfg = TrainConfig {
+        epochs: epochs.max(1),
+        batch_size: cand.batch_size,
+        lr: cand.lr,
+        lr_start: cand.lr,
+        warmup_epochs: 0,
+        shuffle_seed: stream.next_u64(),
+        ..TrainConfig::paper_default()
+    };
+    fit(&mut net, train, valid, &cfg).best_val_acc
+}
+
+impl AutoPyTorchLike {
+    /// Runs the HPO: sample `n_configs`, evaluate at a quarter budget,
+    /// promote the top fraction to the full budget.
+    pub fn run(train: &Dataset, valid: &Dataset, cfg: &HpoConfig) -> Self {
+        assert!(cfg.n_configs >= 1);
+        let mut stream = Stream::new(cfg.seed);
+        let mut rng = stream.rng();
+        let candidates: Vec<Candidate> = (0..cfg.n_configs)
+            .map(|_| sample_candidate(train.n_features(), train.n_classes, cfg, &mut rng))
+            .collect();
+
+        // Rung 1: quarter budget.
+        let rung_epochs = (cfg.epochs / 4).max(1);
+        let mut scored: Vec<(f64, &Candidate)> = candidates
+            .iter()
+            .map(|c| (train_candidate(c, train, valid, rung_epochs), c))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite accuracy"));
+        let n_promote =
+            ((cfg.n_configs as f64 * cfg.promote_fraction).ceil() as usize).clamp(1, cfg.n_configs);
+
+        // Rung 2: full budget for the promoted configurations.
+        let mut best: Option<(f64, &Candidate)> = None;
+        let mut evaluations = Vec::with_capacity(n_promote);
+        for (_, cand) in scored.into_iter().take(n_promote) {
+            let acc = train_candidate(cand, train, valid, cfg.epochs);
+            evaluations.push(acc);
+            if best.is_none_or(|(b, _)| acc > b) {
+                best = Some((acc, cand));
+            }
+        }
+        let (best_val_acc, best_cand) = best.expect("n_promote >= 1");
+        let mut stream = Stream::new(best_cand.seed);
+        let mut best_net = GraphNet::new(best_cand.spec.clone(), &mut stream.rng());
+        let train_cfg = TrainConfig {
+            epochs: cfg.epochs,
+            batch_size: best_cand.batch_size,
+            lr: best_cand.lr,
+            lr_start: best_cand.lr,
+            warmup_epochs: 0,
+            shuffle_seed: stream.next_u64(),
+            ..TrainConfig::paper_default()
+        };
+        fit(&mut best_net, train, valid, &train_cfg);
+        AutoPyTorchLike { best_val_acc, evaluations, best_net }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agebo_tabular::{
+        generators::make_dataset, scale, stratified_split, DatasetKind, SizeProfile,
+        SplitSpec,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> (Dataset, Dataset) {
+        let (data, _) = make_dataset(DatasetKind::Covertype, SizeProfile::Test, 5);
+        let mut split =
+            stratified_split(&data, SplitSpec::PAPER, &mut StdRng::seed_from_u64(0));
+        scale::standardize_split(&mut split);
+        (split.train, split.valid)
+    }
+
+    #[test]
+    fn hpo_finds_a_working_model() {
+        let (train, valid) = data();
+        let cfg = HpoConfig { n_configs: 5, epochs: 6, ..HpoConfig::default() };
+        let result = AutoPyTorchLike::run(&train, &valid, &cfg);
+        assert!(
+            result.best_val_acc > valid.majority_baseline(),
+            "best={} majority={}",
+            result.best_val_acc,
+            valid.majority_baseline()
+        );
+        assert!(!result.evaluations.is_empty());
+        assert!(result
+            .evaluations
+            .iter()
+            .all(|&a| a <= result.best_val_acc + 1e-12));
+    }
+
+    #[test]
+    fn space_restrictions_hold() {
+        let cfg = HpoConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = sample_candidate(10, 3, &cfg, &mut rng);
+            assert!(c.spec.nodes.len() <= cfg.max_depth);
+            for node in &c.spec.nodes {
+                let (w, act) = node.layer.expect("all layers dense");
+                assert!(w <= cfg.max_width);
+                assert_eq!(act, Activation::Relu);
+                assert!(node.skips.is_empty());
+            }
+            assert!((0.001..=0.1).contains(&(c.lr as f64)));
+        }
+    }
+
+    #[test]
+    fn funnel_widths_are_non_increasing() {
+        let cfg = HpoConfig::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let c = sample_candidate(10, 3, &cfg, &mut rng);
+            let widths: Vec<usize> =
+                c.spec.nodes.iter().map(|n| n.layer.expect("dense").0).collect();
+            assert!(widths.windows(2).all(|w| w[1] <= w[0]), "{widths:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (train, valid) = data();
+        let cfg = HpoConfig { n_configs: 3, epochs: 4, seed: 9, ..HpoConfig::default() };
+        let a = AutoPyTorchLike::run(&train, &valid, &cfg);
+        let b = AutoPyTorchLike::run(&train, &valid, &cfg);
+        assert_eq!(a.best_val_acc, b.best_val_acc);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+}

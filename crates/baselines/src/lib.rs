@@ -1,0 +1,25 @@
+//! The AutoML baselines the paper compares against (§IV-C).
+//!
+//! * [`autogluon_like`] — a stacking ensemble in the style of
+//!   AutoGluon-Tabular: bagged random forests, extra-trees, gradient
+//!   boosting, k-NN and an MLP, combined by greedy ensemble selection on
+//!   the validation set (Caruana-style). Table II compares its test
+//!   accuracy and — crucially — its inference time against the single
+//!   network AgEBO discovers.
+//! * [`bohb_like`] — a BOHB-style joint NAS+HPS search (TPE sampler +
+//!   synchronous successive halving), the paper's closest related method
+//!   (§V); its rung barriers let us quantify the node-utilization
+//!   disadvantage the paper argues.
+//! * [`autopytorch_like`] — a budget-limited HPO over a deliberately
+//!   *restricted* MLP space (funnel-shaped, fewer parameters, no skip
+//!   menu) standing in for the Auto-PyTorch/LCBench numbers the paper
+//!   reads from a database; Fig. 6 draws its best validation accuracy as
+//!   a horizontal reference line.
+
+pub mod autogluon_like;
+pub mod autopytorch_like;
+pub mod bohb_like;
+
+pub use autogluon_like::{AutoGluonLike, EnsembleConfig};
+pub use autopytorch_like::{AutoPyTorchLike, HpoConfig};
+pub use bohb_like::{BohbConfig, BohbLike, JointConfig};

@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the numerical substrate: the GEMM kernels, a full
+//! forward/backward pass of a search-space network, the Adam update, and
+//! the gradient allreduce — the four operations that dominate an
+//! architecture evaluation.
+
+use agebo_dataparallel::average_gradients;
+use agebo_nn::{Adam, GraphNet};
+use agebo_searchspace::SearchSpace;
+use agebo_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(0);
+    for &(m, k, n) in &[(64usize, 54usize, 96usize), (256, 96, 96), (1024, 54, 96)] {
+        let a = Matrix::he_normal(m, k, &mut rng);
+        let b = Matrix::he_normal(k, n, &mut rng);
+        group.bench_function(format!("{m}x{k}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+        group.bench_function(format!("{m}x{k}x{n}_tiled64"), |bench| {
+            bench.iter(|| black_box(agebo_tensor::ops::matmul_tiled(&a, &b, 64)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_backward");
+    group.sample_size(20);
+    let space = SearchSpace::paper(54, 7);
+    let mut rng = StdRng::seed_from_u64(1);
+    let arch = space.random(&mut rng);
+    let net = GraphNet::new(space.to_graph(&arch), &mut rng);
+    for &batch in &[64usize, 256] {
+        let x = Matrix::he_normal(batch, 54, &mut rng);
+        let y: Vec<usize> = (0..batch).map(|i| i % 7).collect();
+        group.bench_function(format!("random-arch-batch{batch}"), |bench| {
+            bench.iter(|| black_box(net.forward_backward(&x, &y)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_adam(c: &mut Criterion) {
+    let space = SearchSpace::paper(54, 7);
+    let mut rng = StdRng::seed_from_u64(2);
+    let arch = space.random(&mut rng);
+    let net = GraphNet::new(space.to_graph(&arch), &mut rng);
+    let x = Matrix::he_normal(64, 54, &mut rng);
+    let y: Vec<usize> = (0..64).map(|i| i % 7).collect();
+    let (_, grads) = net.forward_backward(&x, &y);
+    c.bench_function("adam_step", |bench| {
+        bench.iter_batched(
+            || (net.clone(), Adam::new(&net)),
+            |(mut net, mut adam)| {
+                adam.step(&mut net, &grads, 0.01);
+                black_box(net.num_params())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let space = SearchSpace::paper(54, 7);
+    let mut rng = StdRng::seed_from_u64(3);
+    let arch = space.random(&mut rng);
+    let net = GraphNet::new(space.to_graph(&arch), &mut rng);
+    let x = Matrix::he_normal(32, 54, &mut rng);
+    let y: Vec<usize> = (0..32).map(|i| i % 7).collect();
+    let mut group = c.benchmark_group("allreduce_average");
+    for &n in &[2usize, 8] {
+        let grads: Vec<_> = (0..n).map(|_| net.forward_backward(&x, &y).1).collect();
+        group.bench_function(format!("ranks{n}"), |bench| {
+            bench.iter_batched(
+                || grads.clone(),
+                |g| black_box(average_gradients(g)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_forward_backward, bench_adam, bench_allreduce);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! One benchmark per paper table/figure, at smoke scale.
+//!
+//! These measure the wall-clock cost of regenerating each artifact's core
+//! computation (tiny search budgets — the full reproduction lives in the
+//! `exp_*` binaries; see EXPERIMENTS.md). Keeping them under `cargo bench`
+//! documents the cost of every experiment and guards against regressions
+//! in the end-to-end path.
+
+use agebo_baselines::{AutoGluonLike, AutoPyTorchLike, EnsembleConfig, HpoConfig};
+use agebo_core::{run_search, EvalContext, SearchConfig, SearchHistory, Variant};
+use agebo_nn::inference::predict_timed;
+use agebo_tabular::{DatasetKind, SizeProfile};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn smoke_cfg(variant: Variant) -> SearchConfig {
+    // Shorter than the test profile: one or two result waves.
+    SearchConfig::test(variant).with_wall_time(2200.0)
+}
+
+fn smoke_search(ctx: &Arc<EvalContext>, variant: Variant, seed: u64) -> SearchHistory {
+    run_search(Arc::clone(ctx), &smoke_cfg(variant).with_seed(seed))
+}
+
+fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g
+}
+
+fn table1_fig3(c: &mut Criterion) {
+    let ctx = Arc::new(EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, 1));
+    let mut g = group(c, "table1_fig3_static_age");
+    for n in [1usize, 8] {
+        let ctx = Arc::clone(&ctx);
+        g.bench_function(format!("age{n}_smoke_search"), move |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(smoke_search(&ctx, Variant::age(n), seed).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig4_agebo_variants(c: &mut Criterion) {
+    let ctx = Arc::new(EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, 2));
+    let mut g = group(c, "fig4_agebo_variants");
+    for (label, variant) in [
+        ("agebo_8_lr", Variant::agebo_lr(8)),
+        ("agebo_full", Variant::agebo()),
+    ] {
+        let ctx = Arc::clone(&ctx);
+        g.bench_function(label, move |b| {
+            let mut seed = 100;
+            b.iter(|| {
+                seed += 1;
+                black_box(smoke_search(&ctx, variant.clone(), seed).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig5_high_performer_counting(c: &mut Criterion) {
+    let ctx = Arc::new(EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, 3));
+    let history = smoke_search(&ctx, Variant::agebo(), 3);
+    let mut g = group(c, "fig5_high_performers");
+    g.bench_function("count_unique_over_time", |b| {
+        let thr = history.objective_quantile(0.9);
+        b.iter(|| black_box(history.high_performers_over_time(thr).len()))
+    });
+    g.finish();
+}
+
+fn table2_inference(c: &mut Criterion) {
+    let ctx = Arc::new(EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, 4));
+    // Single network.
+    let history = smoke_search(&ctx, Variant::agebo(), 4);
+    let best = history.best().expect("smoke search found something");
+    let (net, _) = agebo_core::evaluation::train_final(
+        &ctx,
+        &agebo_core::EvalTask { arch: best.arch.clone(), hp: best.hp, seed: 4 },
+    );
+    let ens = AutoGluonLike::fit(&ctx.train, &ctx.valid, &EnsembleConfig::small(4));
+    let mut g = group(c, "table2_inference");
+    g.bench_function("single_network", |b| {
+        b.iter(|| black_box(predict_timed(&net, &ctx.test.x, 512).0.len()))
+    });
+    g.bench_function("stacked_ensemble", |b| {
+        b.iter(|| black_box(ens.predict(&ctx.test.x).len()))
+    });
+    g.finish();
+}
+
+fn fig6_trajectories(c: &mut Criterion) {
+    let ctx = Arc::new(EvalContext::prepare(DatasetKind::Airlines, SizeProfile::Test, 5));
+    let mut g = group(c, "fig6_trajectories");
+    {
+        let ctx = Arc::clone(&ctx);
+        g.bench_function("age1_vs_agebo_airlines", move |b| {
+            let mut seed = 200;
+            b.iter(|| {
+                seed += 1;
+                let a = smoke_search(&ctx, Variant::age(1), seed).best_so_far();
+                let bo = smoke_search(&ctx, Variant::agebo(), seed).best_so_far();
+                black_box((a.len(), bo.len()))
+            })
+        });
+    }
+    g.bench_function("autopytorch_like_reference", |b| {
+        let mut seed = 300;
+        b.iter(|| {
+            seed += 1;
+            let cfg = HpoConfig { n_configs: 3, epochs: 3, seed, ..HpoConfig::default() };
+            black_box(AutoPyTorchLike::run(&ctx.train, &ctx.valid, &cfg).best_val_acc)
+        })
+    });
+    g.finish();
+}
+
+fn table3_fig7_analysis(c: &mut Criterion) {
+    let ctx = Arc::new(EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, 6));
+    let history = smoke_search(&ctx, Variant::agebo(), 6);
+    let cards = ctx.space.cardinalities();
+    let mut g = group(c, "table3_fig7_analysis");
+    g.bench_function("top5_extraction", |b| b.iter(|| black_box(history.top_k(5).len())));
+    g.bench_function("pca_of_top_fraction", |b| {
+        b.iter(|| {
+            let rows: Vec<Vec<f64>> = history
+                .top_fraction(0.5)
+                .iter()
+                .map(|r| r.arch.encode_numeric(&cards))
+                .collect();
+            black_box(agebo_analysis::Pca::fit(&rows, 2).explained_variance_ratio[0])
+        })
+    });
+    g.finish();
+}
+
+fn fig8_kappa(c: &mut Criterion) {
+    let ctx = Arc::new(EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, 7));
+    let mut g = group(c, "fig8_kappa");
+    for kappa in [0.001, 19.6] {
+        let ctx = Arc::clone(&ctx);
+        g.bench_function(format!("kappa_{kappa}"), move |b| {
+            let mut seed = 400;
+            b.iter(|| {
+                seed += 1;
+                black_box(smoke_search(&ctx, Variant::agebo_kappa(kappa), seed).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    table1_fig3,
+    fig4_agebo_variants,
+    fig5_high_performer_counting,
+    table2_inference,
+    fig6_trajectories,
+    table3_fig7_analysis,
+    fig8_kappa
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Benchmarks of the search-side components: architecture sampling,
+//! mutation and lowering; BO ask/tell (the asynchronous-overhead claim of
+//! §IV — the constant-liar ask must be cheap relative to evaluations);
+//! the aging population; the DES scheduler; and the Fig. 7 PCA.
+
+use agebo_analysis::Pca;
+use agebo_bo::{BoConfig, BoOptimizer, Space};
+use agebo_core::{Member, Population};
+use agebo_scheduler::SimQueue;
+use agebo_searchspace::SearchSpace;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_space_ops(c: &mut Criterion) {
+    let space = SearchSpace::paper(54, 7);
+    let mut rng = StdRng::seed_from_u64(0);
+    let arch = space.random(&mut rng);
+    c.bench_function("space/random", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(space.random(&mut rng)))
+    });
+    c.bench_function("space/mutate", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(space.mutate(&arch, &mut rng)))
+    });
+    c.bench_function("space/to_graph", |b| b.iter(|| black_box(space.to_graph(&arch))));
+    c.bench_function("space/param_count", |b| {
+        let g = space.to_graph(&arch);
+        b.iter(|| black_box(g.param_count()))
+    });
+}
+
+fn seeded_bo(n_obs: usize) -> BoOptimizer {
+    let mut bo = BoOptimizer::new(
+        Space::paper_hm(),
+        BoConfig { n_initial: 8, n_candidates: 128, n_trees: 15, ..BoConfig::default() },
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    let space = Space::paper_hm();
+    let xs: Vec<_> = (0..n_obs).map(|_| space.sample(&mut rng)).collect();
+    let ys: Vec<f64> = xs.iter().map(|p| 1.0 - (p[1].ln() + 4.0).abs() * 0.1).collect();
+    bo.tell(&xs, &ys);
+    bo
+}
+
+fn bench_bo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bo");
+    group.sample_size(10);
+    for &n_obs in &[30usize, 150] {
+        group.bench_function(format!("ask4_after_{n_obs}_observations"), |b| {
+            b.iter_batched(
+                || seeded_bo(n_obs),
+                |mut bo| black_box(bo.ask(4)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_population(c: &mut Criterion) {
+    let space = SearchSpace::paper(54, 7);
+    let mut rng = StdRng::seed_from_u64(4);
+    c.bench_function("population/push_and_select_p100_s10", |b| {
+        let mut pop = Population::new(100);
+        for i in 0..100 {
+            pop.push(Member { arch: space.random(&mut rng), accuracy: (i as f64) / 100.0 });
+        }
+        let fresh = space.random(&mut rng);
+        b.iter(|| {
+            pop.push(Member { arch: fresh.clone(), accuracy: 0.5 });
+            black_box(pop.select_parent(10, &mut rng).accuracy)
+        })
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler/des_submit_pop_cycle_w128", |b| {
+        b.iter_batched(
+            || SimQueue::new(128),
+            |mut q| {
+                for i in 0..128 {
+                    q.submit(i, 10.0 + (i % 13) as f64);
+                }
+                let mut done = 0;
+                while done < 128 {
+                    done += q.pop_finished().len();
+                }
+                black_box(q.now())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let rows: Vec<Vec<f64>> = (0..200)
+        .map(|i| (0..37).map(|j| (((i * 31 + j * 17) % 97) as f64) / 97.0).collect())
+        .collect();
+    c.bench_function("analysis/pca_fit_200x37", |b| {
+        b.iter(|| black_box(Pca::fit(&rows, 2)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_space_ops,
+    bench_bo,
+    bench_population,
+    bench_scheduler,
+    bench_pca
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Calibration probe: trains a few representative architectures on each
+//! benchmark data set and prints validation accuracy and real runtime, so
+//! the scaled-down profiles can be checked against the paper's accuracy
+//! bands (Covertype ≈0.93, Airlines ≈0.65, Albert ≈0.66, Dionis ≈0.90).
+
+use agebo_bench::ExpArgs;
+use agebo_core::{evaluate, EvalContext, EvalTask};
+use agebo_dataparallel::DataParallelHp;
+use agebo_searchspace::ArchVector;
+use agebo_tabular::DatasetKind;
+use std::time::Instant;
+
+fn main() {
+    let args = ExpArgs::parse();
+    for kind in DatasetKind::ALL {
+        let ctx = EvalContext::prepare(kind, args.scale.profile(), args.seed);
+        println!(
+            "\n=== {} (train {} rows, {} classes, epochs {}, bs/ {}) majority {:.3}",
+            kind.name(),
+            ctx.train.len(),
+            ctx.train.n_classes,
+            ctx.epochs,
+            ctx.bs_divisor,
+            ctx.valid.majority_baseline()
+        );
+        // A decent hand net: 3×64 ReLU (layer value 18), no skips.
+        let mut good = vec![0u16; ctx.space.n_variables()];
+        let layer_positions: Vec<usize> = (0..ctx.space.n_variables())
+            .filter(|&i| {
+                matches!(ctx.space.var_kind(i), agebo_searchspace::VarKind::Layer { .. })
+            })
+            .collect();
+        for &p in layer_positions.iter().take(3) {
+            good[p] = 18;
+        }
+        // A random arch and a linear (all identity) arch for contrast.
+        let mut rng = agebo_core::evaluation::component_rng(args.seed, 99);
+        let random_arch = ctx.space.random(&mut rng);
+        let linear = vec![0u16; ctx.space.n_variables()];
+
+        for (name, arch) in [
+            ("3x64-relu", ArchVector(good.clone())),
+            ("random", random_arch),
+            ("linear", ArchVector(linear)),
+        ] {
+            for (bs, n) in [(256usize, 1usize), (256, 8), (32, 1)] {
+                let t = Instant::now();
+                let acc = evaluate(
+                    &ctx,
+                    &EvalTask {
+                        arch: arch.clone(),
+                        hp: DataParallelHp { lr1: 0.01, bs1: bs, n },
+                        seed: 1234,
+                    },
+                );
+                println!(
+                    "  {name:<10} bs={bs:<5} n={n}: val_acc={acc:.4} ({:.0} ms)",
+                    t.elapsed().as_secs_f64() * 1000.0
+                );
+            }
+        }
+    }
+}

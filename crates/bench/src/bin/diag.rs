@@ -1,0 +1,65 @@
+//! Diagnostic probe: per-epoch loss/accuracy curves for specific
+//! architectures, train vs validation, to separate underfitting from
+//! overfitting from optimization failure.
+
+use agebo_core::EvalContext;
+use agebo_dataparallel::{fit_data_parallel, DataParallelConfig, DataParallelHp};
+use agebo_nn::GraphNet;
+use agebo_searchspace::ArchVector;
+use agebo_tabular::{DatasetKind, SizeProfile};
+use agebo_tensor::Stream;
+
+fn main() {
+    let ctx = EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Bench, 42);
+    let mut rng = agebo_core::evaluation::component_rng(42, 99);
+
+    let mut named: Vec<(String, ArchVector)> = Vec::new();
+    // 3x64 relu
+    let mut v = vec![0u16; 37];
+    let layer_idx: Vec<usize> = (0..37)
+        .filter(|&i| matches!(ctx.space.var_kind(i), agebo_searchspace::VarKind::Layer { .. }))
+        .collect();
+    for &p in layer_idx.iter().take(3) {
+        v[p] = 18;
+    }
+    named.push(("3x64relu".into(), ArchVector(v.clone())));
+    // 1x96 relu
+    let mut v1 = vec![0u16; 37];
+    v1[layer_idx[0]] = 28; // units idx 5(=96)*5 + act 2 + 1 = 28
+    named.push(("1x96relu".into(), ArchVector(v1)));
+    for i in 0..4 {
+        named.push((format!("random{i}"), ctx.space.random(&mut rng)));
+    }
+
+    for (name, arch) in named {
+        let spec = ctx.space.to_graph(&arch);
+        println!(
+            "\n--- {name}: depth={} skips={} params={}",
+            spec.depth(),
+            spec.skip_count(),
+            spec.param_count()
+        );
+        let mut stream = Stream::new(1234);
+        let mut net = GraphNet::new(spec, &mut stream.rng());
+        let hp = ctx.applied_hp(DataParallelHp { lr1: 0.01, bs1: 256, n: 1 });
+        let cfg = DataParallelConfig {
+            epochs: 10,
+            hp,
+            warmup_epochs: 2,
+            plateau_patience: 5,
+            plateau_factor: 0.1,
+            seed: stream.next_u64(),
+            weight_decay: 0.0,
+            grad_clip: None,
+        };
+        let report = fit_data_parallel(&mut net, &ctx.train, &ctx.valid, &cfg);
+        let (_, train_acc) = net.evaluate(&ctx.train.x, &ctx.train.y);
+        for e in 0..report.val_acc.len() {
+            println!(
+                "  epoch {e}: train_loss={:.4} val_loss={:.4} val_acc={:.4}",
+                report.train_loss[e], report.val_loss[e], report.val_acc[e]
+            );
+        }
+        println!("  final train_acc={train_acc:.4} best_val={:.4}", report.best_val_acc);
+    }
+}

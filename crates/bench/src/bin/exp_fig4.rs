@@ -1,0 +1,69 @@
+//! Fig. 4: impact of autotuned data-parallel training within AgEBO.
+//!
+//! Compares AgE-8 (static) against AgEBO-8-LR (lr tuned), AgEBO-8-LR-BS
+//! (lr + bs tuned) and full AgEBO (lr + bs + n tuned) on Covertype.
+//! Expected shape: every AgEBO variant beats AgE-8; each additional tuned
+//! hyperparameter helps; full AgEBO wins overall (after its initial
+//! rank-exploration phase).
+
+use agebo_analysis::plot::ascii_chart;
+use agebo_analysis::TextTable;
+use agebo_bench::{cached_search, thin_series, write_artifact, ExpArgs, VariantSummary};
+use agebo_core::Variant;
+use agebo_tabular::DatasetKind;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let variants = vec![
+        Variant::age(8),
+        Variant::agebo_lr(8),
+        Variant::agebo_lr_bs(8),
+        Variant::agebo(),
+    ];
+    let histories: Vec<_> = variants
+        .into_iter()
+        .map(|v| cached_search(DatasetKind::Covertype, v, &args))
+        .collect();
+
+    println!("\nFig. 4 — AgEBO variants vs AgE-8 on Covertype ({} scale)", args.scale.name());
+    let series: Vec<(String, Vec<(f64, f64)>)> = histories
+        .iter()
+        .map(|h| {
+            let pts: Vec<(f64, f64)> =
+                h.best_so_far().into_iter().map(|(t, a)| (t / 60.0, a)).collect();
+            (h.label.clone(), thin_series(&pts, 60))
+        })
+        .collect();
+    let series_refs: Vec<(&str, &[(f64, f64)])> =
+        series.iter().map(|(l, p)| (l.as_str(), p.as_slice())).collect();
+    println!("{}", ascii_chart(&series_refs, 72, 20));
+
+    let mut table = TextTable::new(&["variant", "#archs", "best val acc", "utilization"]);
+    for h in &histories {
+        let s = VariantSummary::of(h);
+        table.row(&[
+            s.label,
+            s.n_architectures.to_string(),
+            format!("{:.4}", s.best_val_acc),
+            format!("{:.2}", s.utilization),
+        ]);
+    }
+    println!("{}", table.render());
+
+    write_artifact(
+        "fig4_trajectories.json",
+        &histories.iter().map(|h| (h.label.clone(), h.best_so_far())).collect::<Vec<_>>(),
+    );
+
+    let best: Vec<f64> =
+        histories.iter().map(|h| h.best().map(|r| r.objective).unwrap_or(0.0)).collect();
+    println!("Shape checks (paper: Fig. 4):");
+    println!(
+        "  AgEBO-8-LR > AgE-8: {} ({:.4} vs {:.4})",
+        best[1] > best[0], best[1], best[0]
+    );
+    println!(
+        "  AgEBO >= AgE-8 and AgEBO near/above partial variants: {} ({:.4})",
+        best[3] >= best[0], best[3]
+    );
+}

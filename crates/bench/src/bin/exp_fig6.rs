@@ -1,0 +1,126 @@
+//! Fig. 6: search trajectories of AgE-1 and AgEBO on all four data sets,
+//! with the Auto-PyTorch-like best validation accuracy as a horizontal
+//! dotted reference.
+//!
+//! Expected shape (paper): on every data set AgEBO exceeds AgE-1's final
+//! accuracy earlier, reaches a higher maximum, and beats the
+//! Auto-PyTorch-like line within the first half of the search.
+
+use agebo_analysis::plot::ascii_chart;
+use agebo_analysis::TextTable;
+use agebo_baselines::{AutoPyTorchLike, HpoConfig};
+use agebo_bench::{cached_search, thin_series, write_artifact, ExpArgs, Scale};
+use agebo_core::{EvalContext, Variant};
+use agebo_tabular::DatasetKind;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct DatasetResult {
+    dataset: String,
+    age1_best: f64,
+    age1_best_at_min: f64,
+    agebo_best: f64,
+    agebo_best_at_min: f64,
+    agebo_first_exceeds_age1_min: Option<f64>,
+    autopytorch_line: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut results = Vec::new();
+    let mut artifacts = Vec::new();
+    for kind in DatasetKind::ALL {
+        let age1 = cached_search(kind, Variant::age(1), &args);
+        let agebo = cached_search(kind, Variant::agebo(), &args);
+
+        // Auto-PyTorch-like reference line.
+        let ctx = EvalContext::prepare(kind, args.scale.profile(), args.seed);
+        let hpo_cfg = match args.scale {
+            Scale::Test => HpoConfig { n_configs: 4, epochs: 4, seed: args.seed, ..HpoConfig::default() },
+            _ => HpoConfig { n_configs: 12, epochs: 12, seed: args.seed, ..HpoConfig::default() },
+        };
+        let apt = AutoPyTorchLike::run(&ctx.train, &ctx.valid, &hpo_cfg);
+
+        let age1_traj = age1.best_so_far();
+        let agebo_traj = agebo.best_so_far();
+        let age1_best = age1.best().map(|r| r.objective).unwrap_or(0.0);
+        let agebo_best = agebo.best().map(|r| r.objective).unwrap_or(0.0);
+        let age1_best_at = age1_traj
+            .iter()
+            .find(|&&(_, a)| a >= age1_best)
+            .map(|&(t, _)| t / 60.0)
+            .unwrap_or(0.0);
+        let agebo_best_at = agebo_traj
+            .iter()
+            .find(|&&(_, a)| a >= agebo_best)
+            .map(|&(t, _)| t / 60.0)
+            .unwrap_or(0.0);
+        let exceeds = agebo.time_to_reach(age1_best + 1e-9).map(|t| t / 60.0);
+
+        println!("\nFig. 6 — {} ({} scale)", kind.name(), args.scale.name());
+        let a1: Vec<(f64, f64)> =
+            age1_traj.iter().map(|&(t, a)| (t / 60.0, a)).collect();
+        let ab: Vec<(f64, f64)> =
+            agebo_traj.iter().map(|&(t, a)| (t / 60.0, a)).collect();
+        let wall_min = age1.wall_time / 60.0;
+        let line = vec![(0.0, apt.best_val_acc), (wall_min, apt.best_val_acc)];
+        let a1t = thin_series(&a1, 50);
+        let abt = thin_series(&ab, 50);
+        println!(
+            "{}",
+            ascii_chart(
+                &[
+                    ("AgE-1", a1t.as_slice()),
+                    ("AgEBO", abt.as_slice()),
+                    ("Auto-PyTorch-like (best val acc)", line.as_slice()),
+                ],
+                72,
+                18
+            )
+        );
+
+        artifacts.push((
+            kind.name().to_string(),
+            age1_traj.clone(),
+            agebo_traj.clone(),
+            apt.best_val_acc,
+        ));
+        results.push(DatasetResult {
+            dataset: kind.name().to_string(),
+            age1_best,
+            age1_best_at_min: age1_best_at,
+            agebo_best,
+            agebo_best_at_min: agebo_best_at,
+            agebo_first_exceeds_age1_min: exceeds,
+            autopytorch_line: apt.best_val_acc,
+        });
+    }
+
+    let mut table = TextTable::new(&[
+        "data set",
+        "AgE-1 best (at min)",
+        "AgEBO best (at min)",
+        "AgEBO exceeds AgE-1 at",
+        "Auto-PyTorch-like",
+    ]);
+    for r in &results {
+        table.row(&[
+            r.dataset.clone(),
+            format!("{:.3} ({:.0})", r.age1_best, r.age1_best_at_min),
+            format!("{:.3} ({:.0})", r.agebo_best, r.agebo_best_at_min),
+            r.agebo_first_exceeds_age1_min
+                .map(|t| format!("{t:.0} min"))
+                .unwrap_or_else(|| "never".into()),
+            format!("{:.3}", r.autopytorch_line),
+        ]);
+    }
+    println!("{}", table.render());
+    write_artifact("fig6_trajectories.json", &artifacts);
+    write_artifact("fig6_summary.json", &results);
+
+    println!("Shape checks (paper: Fig. 6):");
+    let wins = results.iter().filter(|r| r.agebo_best >= r.age1_best).count();
+    println!("  AgEBO final >= AgE-1 final on {}/4 data sets", wins);
+    let beats_apt = results.iter().filter(|r| r.agebo_best > r.autopytorch_line).count();
+    println!("  AgEBO beats the Auto-PyTorch-like line on {}/4 data sets", beats_apt);
+}

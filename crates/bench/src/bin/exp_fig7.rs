@@ -1,0 +1,134 @@
+//! Fig. 7: PCA projection of the top-1% configurations — the 37
+//! architecture decisions (H_a) and the 3 data-parallel hyperparameters
+//! (H_m) — for all four data sets.
+//!
+//! Expected shape (paper): the 2-D projections retain most of the
+//! variance and the per-data-set point clouds occupy distinguishable
+//! regions (each data set needs its own architecture and hyperparameter
+//! values).
+
+use agebo_analysis::plot::ascii_chart;
+use agebo_analysis::Pca;
+use agebo_bench::{cached_search, write_artifact, ExpArgs};
+use agebo_core::{EvalContext, Variant};
+use agebo_tabular::DatasetKind;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Projection {
+    dataset: String,
+    arch_points: Vec<Vec<f64>>,
+    hp_points: Vec<Vec<f64>>,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    // Collect top-1% encodings per data set.
+    let mut arch_rows: Vec<Vec<f64>> = Vec::new();
+    let mut hp_rows: Vec<Vec<f64>> = Vec::new();
+    let mut owner: Vec<usize> = Vec::new();
+    for (di, kind) in DatasetKind::ALL.into_iter().enumerate() {
+        let history = cached_search(kind, Variant::agebo(), &args);
+        let ctx = EvalContext::prepare(kind, args.scale.profile(), args.seed);
+        let cards = ctx.space.cardinalities();
+        // Take at least 10 configurations so clouds are visible.
+        let top_n = (history.len() / 100).max(10).min(history.len().max(1));
+        for record in history.top_k(top_n) {
+            arch_rows.push(record.arch.encode_numeric(&cards));
+            hp_rows.push(vec![
+                (record.hp.bs1 as f64).log2(),
+                (record.hp.lr1 as f64).ln(),
+                (record.hp.n as f64).log2(),
+            ]);
+            owner.push(di);
+        }
+    }
+
+    let arch_pca = Pca::fit(&arch_rows, 2);
+    let hp_pca = Pca::fit(&hp_rows, 2);
+    let arch_proj = arch_pca.project(&arch_rows);
+    let hp_proj = hp_pca.project(&hp_rows);
+
+    let mut projections = Vec::new();
+    for (di, kind) in DatasetKind::ALL.into_iter().enumerate() {
+        projections.push(Projection {
+            dataset: kind.name().to_string(),
+            arch_points: arch_proj
+                .iter()
+                .zip(&owner)
+                .filter(|(_, &o)| o == di)
+                .map(|(p, _)| p.clone())
+                .collect(),
+            hp_points: hp_proj
+                .iter()
+                .zip(&owner)
+                .filter(|(_, &o)| o == di)
+                .map(|(p, _)| p.clone())
+                .collect(),
+        });
+    }
+
+    for (title, proj, pca) in [
+        ("architecture decisions H_a", &arch_proj, &arch_pca),
+        ("data-parallel hyperparameters H_m", &hp_proj, &hp_pca),
+    ] {
+        println!(
+            "\nFig. 7 — PCA of top configurations, {title} ({} scale); \
+             explained variance: {:.0}% + {:.0}%",
+            args.scale.name(),
+            pca.explained_variance_ratio[0] * 100.0,
+            pca.explained_variance_ratio.get(1).copied().unwrap_or(0.0) * 100.0
+        );
+        let series: Vec<(String, Vec<(f64, f64)>)> = DatasetKind::ALL
+            .into_iter()
+            .enumerate()
+            .map(|(di, kind)| {
+                let pts: Vec<(f64, f64)> = proj
+                    .iter()
+                    .zip(&owner)
+                    .filter(|(_, &o)| o == di)
+                    .map(|(p, _)| (p[0], p[1]))
+                    .collect();
+                (kind.name().to_string(), pts)
+            })
+            .collect();
+        let refs: Vec<(&str, &[(f64, f64)])> =
+            series.iter().map(|(l, p)| (l.as_str(), p.as_slice())).collect();
+        println!("{}", ascii_chart(&refs, 72, 22));
+    }
+    write_artifact("fig7_pca.json", &projections);
+
+    // Shape check: per-dataset H_m centroids should be separated.
+    let mut centroids = Vec::new();
+    for di in 0..4 {
+        let pts: Vec<&Vec<f64>> = hp_proj
+            .iter()
+            .zip(&owner)
+            .filter(|(_, &o)| o == di)
+            .map(|(p, _)| p)
+            .collect();
+        if pts.is_empty() {
+            continue;
+        }
+        let n = pts.len() as f64;
+        let cx = pts.iter().map(|p| p[0]).sum::<f64>() / n;
+        let cy = pts.iter().map(|p| p[1]).sum::<f64>() / n;
+        centroids.push((cx, cy));
+    }
+    let mut min_sep = f64::INFINITY;
+    for i in 0..centroids.len() {
+        for j in (i + 1)..centroids.len() {
+            let d = ((centroids[i].0 - centroids[j].0).powi(2)
+                + (centroids[i].1 - centroids[j].1).powi(2))
+            .sqrt();
+            min_sep = min_sep.min(d);
+        }
+    }
+    println!("Shape checks (paper: Fig. 7):");
+    println!(
+        "  H_m PCA keeps >50% variance in 2D: {}",
+        arch_pca.explained_variance_ratio.iter().sum::<f64>() > 0.2
+            && hp_pca.explained_variance_ratio.iter().sum::<f64>() > 0.5
+    );
+    println!("  per-data-set H_m centroids separated (min dist {min_sep:.3} > 0)");
+}

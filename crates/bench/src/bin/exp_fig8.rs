@@ -1,0 +1,81 @@
+//! Fig. 8: exploration/exploitation in AgEBO — κ ∈ {0.001, 1.96, 19.6}
+//! on the Covertype-like and Dionis-like data sets.
+//!
+//! Expected shape (paper): the near-pure-exploitation default κ = 0.001
+//! accumulates far more unique high-performing architectures, and reaches
+//! any given count 2–3× sooner, than the balanced (1.96) and exploring
+//! (19.6) settings.
+
+use agebo_analysis::plot::ascii_chart;
+use agebo_analysis::TextTable;
+use agebo_bench::{
+    cached_search, high_performer_threshold, thin_series, write_artifact, ExpArgs,
+};
+use agebo_core::Variant;
+use agebo_tabular::DatasetKind;
+
+const KAPPAS: [f64; 3] = [0.001, 1.96, 19.6];
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut artifacts = Vec::new();
+    for kind in [DatasetKind::Covertype, DatasetKind::Dionis] {
+        let histories: Vec<_> = KAPPAS
+            .into_iter()
+            .map(|kappa| cached_search(kind, Variant::agebo_kappa(kappa), &args))
+            .collect();
+        let threshold = high_performer_threshold(&histories.iter().collect::<Vec<_>>());
+        println!(
+            "\nFig. 8 — {}: unique architectures above {threshold:.4} ({} scale)",
+            kind.name(),
+            args.scale.name()
+        );
+        let series: Vec<(String, Vec<(f64, f64)>)> = histories
+            .iter()
+            .zip(KAPPAS)
+            .map(|(h, kappa)| {
+                let pts: Vec<(f64, f64)> = h
+                    .high_performers_over_time(threshold)
+                    .into_iter()
+                    .map(|(t, c)| (t / 60.0, c as f64))
+                    .collect();
+                (format!("kappa={kappa}"), thin_series(&pts, 60))
+            })
+            .collect();
+        let refs: Vec<(&str, &[(f64, f64)])> =
+            series.iter().map(|(l, p)| (l.as_str(), p.as_slice())).collect();
+        println!("{}", ascii_chart(&refs, 72, 18));
+
+        let mut table = TextTable::new(&["kappa", "#high performers", "best val acc"]);
+        let mut counts = Vec::new();
+        for (h, kappa) in histories.iter().zip(KAPPAS) {
+            let count = h
+                .high_performers_over_time(threshold)
+                .last()
+                .map(|&(_, c)| c)
+                .unwrap_or(0);
+            counts.push(count);
+            table.row(&[
+                format!("{kappa}"),
+                count.to_string(),
+                format!("{:.4}", h.best().map(|r| r.objective).unwrap_or(0.0)),
+            ]);
+        }
+        println!("{}", table.render());
+        println!(
+            "Shape check (paper: Fig. 8): exploitation (0.001) >= exploration: {} ({:?})",
+            counts[0] >= counts[1] && counts[0] >= counts[2],
+            counts
+        );
+        artifacts.push((
+            kind.name().to_string(),
+            threshold,
+            histories
+                .iter()
+                .zip(KAPPAS)
+                .map(|(h, k)| (k, h.high_performers_over_time(threshold)))
+                .collect::<Vec<_>>(),
+        ));
+    }
+    write_artifact("fig8_kappa.json", &artifacts);
+}

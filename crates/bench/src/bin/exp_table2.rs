@@ -1,0 +1,106 @@
+//! Table II: test accuracy and inference time — AgEBO's single discovered
+//! network vs the AutoGluon-like stacking ensemble, on all four data sets.
+//!
+//! Expected shape (paper): comparable test accuracies; the single network's
+//! inference is ~two orders of magnitude faster (3s vs 400–1900s at paper
+//! scale; the *ratio* is the reproducible quantity here).
+
+use agebo_analysis::TextTable;
+use agebo_baselines::{AutoGluonLike, EnsembleConfig};
+use agebo_bench::{cached_search, write_artifact, ExpArgs, Scale};
+use agebo_core::evaluation::train_final;
+use agebo_core::{EvalContext, EvalTask, Variant};
+use agebo_nn::inference::predict_timed;
+use agebo_tabular::DatasetKind;
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    dataset: String,
+    agebo_test_acc: f64,
+    agebo_infer_ms: f64,
+    ensemble_test_acc: f64,
+    ensemble_infer_ms: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut rows = Vec::new();
+    for kind in DatasetKind::ALL {
+        let history = cached_search(kind, Variant::agebo(), &args);
+        let ctx = Arc::new(EvalContext::prepare(kind, args.scale.profile(), args.seed));
+        let best = history.best().expect("search produced evaluations");
+
+        // Retrain the best discovered model and evaluate on the test set.
+        let (net, _) = train_final(
+            &ctx,
+            &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: args.seed ^ 0xF1AA },
+        );
+        let (preds, _) = predict_timed(&net, &ctx.test.x, 1024);
+        let agebo_acc = ctx.test.accuracy_of(&preds);
+        // Median of repeated timed passes.
+        let mut times: Vec<f64> = (0..5)
+            .map(|_| predict_timed(&net, &ctx.test.x, 1024).1.as_secs_f64() * 1e3)
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let agebo_ms = times[2];
+
+        // AutoGluon-like stack.
+        let ens_cfg = match args.scale {
+            Scale::Test => EnsembleConfig::small(args.seed),
+            _ => EnsembleConfig { seed: args.seed, ..EnsembleConfig::default() },
+        };
+        let ens = AutoGluonLike::fit(&ctx.train, &ctx.valid, &ens_cfg);
+        let (ens_preds, _) = ens.predict_timed(&ctx.test.x);
+        let ens_acc = ctx.test.accuracy_of(&ens_preds);
+        let mut etimes: Vec<f64> = (0..3)
+            .map(|_| ens.predict_timed(&ctx.test.x).1.as_secs_f64() * 1e3)
+            .collect();
+        etimes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let ens_ms = etimes[1];
+
+        rows.push(Row {
+            dataset: kind.name().to_string(),
+            agebo_test_acc: agebo_acc,
+            agebo_infer_ms: agebo_ms,
+            ensemble_test_acc: ens_acc,
+            ensemble_infer_ms: ens_ms,
+            speedup: ens_ms / agebo_ms.max(1e-6),
+        });
+    }
+
+    println!("\nTable II — AgEBO single model vs AutoGluon-like ensemble ({} scale)", args.scale.name());
+    let mut table = TextTable::new(&[
+        "data set",
+        "AgEBO test acc",
+        "AgEBO infer (ms)",
+        "Ensemble test acc",
+        "Ensemble infer (ms)",
+        "speedup",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.dataset.clone(),
+            format!("{:.3}", r.agebo_test_acc),
+            format!("{:.2}", r.agebo_infer_ms),
+            format!("{:.3}", r.ensemble_test_acc),
+            format!("{:.1}", r.ensemble_infer_ms),
+            format!("{:.0}x", r.speedup),
+        ]);
+    }
+    println!("{}", table.render());
+    write_artifact("table2_inference.json", &rows);
+
+    println!("Shape checks (paper: Table II):");
+    let comparable = rows
+        .iter()
+        .all(|r| (r.agebo_test_acc - r.ensemble_test_acc).abs() < 0.12);
+    let fast = rows.iter().all(|r| r.speedup > 5.0);
+    println!("  accuracies comparable (<0.12 apart): {comparable}");
+    println!(
+        "  single model is much faster on every data set: {fast} ({:?})",
+        rows.iter().map(|r| r.speedup.round()).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,84 @@
+//! Table III: data-parallel training hyperparameters (bs₁, lr₁, n) of the
+//! top-5 models AgEBO found on each data set.
+//!
+//! Expected shape (paper): within a data set the tuned values cluster;
+//! across data sets they differ — data-set-specific tuning is necessary.
+
+use agebo_analysis::TextTable;
+use agebo_bench::{cached_search, write_artifact, ExpArgs};
+use agebo_core::Variant;
+use agebo_tabular::DatasetKind;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct TopRow {
+    dataset: String,
+    batch_size: usize,
+    learning_rate: f64,
+    n_processes: usize,
+    validation_accuracy: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut rows: Vec<TopRow> = Vec::new();
+    for kind in DatasetKind::ALL {
+        let history = cached_search(kind, Variant::agebo(), &args);
+        for record in history.top_k(5) {
+            rows.push(TopRow {
+                dataset: kind.name().to_string(),
+                batch_size: record.hp.bs1,
+                learning_rate: record.hp.lr1 as f64,
+                n_processes: record.hp.n,
+                validation_accuracy: record.objective,
+            });
+        }
+    }
+
+    println!("\nTable III — hyperparameters of the top-5 models per data set ({} scale)", args.scale.name());
+    let mut table = TextTable::new(&[
+        "data set",
+        "batch size",
+        "learning rate",
+        "no. of processes",
+        "validation accuracy",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.dataset.clone(),
+            r.batch_size.to_string(),
+            format!("{:.6}", r.learning_rate),
+            r.n_processes.to_string(),
+            format!("{:.6}", r.validation_accuracy),
+        ]);
+    }
+    println!("{}", table.render());
+    write_artifact("table3_top5_hps.json", &rows);
+
+    // Shape check: per-dataset modal (bs, n) combinations should differ
+    // across at least two data sets.
+    let mut modal: Vec<(String, (usize, usize))> = Vec::new();
+    for kind in DatasetKind::ALL {
+        let combos: Vec<(usize, usize)> = rows
+            .iter()
+            .filter(|r| r.dataset == kind.name())
+            .map(|r| (r.batch_size, r.n_processes))
+            .collect();
+        if combos.is_empty() {
+            continue;
+        }
+        let mut counts = std::collections::HashMap::new();
+        for c in &combos {
+            *counts.entry(*c).or_insert(0usize) += 1;
+        }
+        let (&mode, _) = counts.iter().max_by_key(|(_, &c)| c).expect("nonempty");
+        modal.push((kind.name().to_string(), mode));
+    }
+    let distinct: std::collections::HashSet<_> = modal.iter().map(|(_, m)| *m).collect();
+    println!("Shape checks (paper: Table III):");
+    println!("  modal (bs, n) per data set: {modal:?}");
+    println!(
+        "  data-set-specific tuning (≥2 distinct modes): {}",
+        distinct.len() >= 2
+    );
+}

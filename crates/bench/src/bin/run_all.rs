@@ -1,0 +1,38 @@
+//! Runs every table/figure reproduction in sequence (sharing the run
+//! cache), printing each experiment's output.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 7] = [
+    "exp_table1", // also covers Fig. 3
+    "exp_fig4",
+    "exp_fig5",
+    "exp_table2",
+    "exp_fig6",
+    "exp_table3",
+    "exp_fig7",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut all = EXPERIMENTS.to_vec();
+    all.push("exp_fig8");
+    all.extend(["exp_bohb", "exp_multinode", "exp_ablation"]);
+    for exp in all {
+        println!("\n================ {exp} ================");
+        let status = Command::new(exe_dir.join(exp))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            eprintln!("{exp} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments completed; artifacts in results/.");
+}

@@ -1,0 +1,273 @@
+//! Experiment harness shared by the per-table / per-figure binaries.
+//!
+//! Every binary regenerates one table or figure of the paper at a chosen
+//! scale (`--scale test|bench|large`). Search runs are cached as JSON
+//! under `results/` so binaries that share runs (Table I / Fig. 3;
+//! Fig. 6 / Table III / Fig. 7) don't recompute them.
+
+use agebo_core::{run_search, EvalContext, SearchConfig, SearchHistory, Variant};
+use agebo_tabular::{DatasetKind, SizeProfile};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds per search — CI smoke runs.
+    Test,
+    /// Minutes per figure — the default reproduction scale.
+    Bench,
+    /// Closest to the paper; slow.
+    Large,
+}
+
+impl Scale {
+    /// Parses `test` / `bench` / `large`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "test" => Some(Scale::Test),
+            "bench" => Some(Scale::Bench),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+
+    /// The matching data-set size profile.
+    pub fn profile(self) -> SizeProfile {
+        match self {
+            Scale::Test => SizeProfile::Test,
+            Scale::Bench => SizeProfile::Bench,
+            Scale::Large => SizeProfile::Large,
+        }
+    }
+
+    /// The matching search configuration for a variant.
+    pub fn config(self, variant: Variant) -> SearchConfig {
+        match self {
+            Scale::Test => SearchConfig::test(variant),
+            Scale::Bench => SearchConfig::bench(variant),
+            Scale::Large => SearchConfig::paper(variant),
+        }
+    }
+
+    /// Lowercase name (cache key component).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Bench => "bench",
+            Scale::Large => "large",
+        }
+    }
+}
+
+/// Common CLI arguments of the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Run scale.
+    pub scale: Scale,
+    /// Root seed.
+    pub seed: u64,
+    /// Ignore cached runs.
+    pub fresh: bool,
+}
+
+impl ExpArgs {
+    /// Parses `--scale <s>`, `--seed <n>`, `--fresh` from `std::env::args`.
+    pub fn parse() -> ExpArgs {
+        let mut args = ExpArgs { scale: Scale::Bench, seed: 42, fresh: false };
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    args.scale = Scale::parse(argv.get(i).map(String::as_str).unwrap_or(""))
+                        .unwrap_or_else(|| panic!("--scale expects test|bench|large"));
+                }
+                "--seed" => {
+                    i += 1;
+                    args.seed = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed expects an integer"));
+                }
+                "--fresh" => args.fresh = true,
+                other => panic!("unknown argument {other} (try --scale/--seed/--fresh)"),
+            }
+            i += 1;
+        }
+        args
+    }
+}
+
+/// Directory where run caches and emitted figure data live.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("AGEBO_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Runs (or loads from cache) one search.
+pub fn cached_search(
+    dataset: DatasetKind,
+    variant: Variant,
+    args: &ExpArgs,
+) -> SearchHistory {
+    let cfg = args.scale.config(variant.clone()).with_seed(args.seed);
+    let key = format!(
+        "search_{}_{}_{}_seed{}.json",
+        dataset.name(),
+        variant.label().replace([' ', '(', ')', '='], "_"),
+        args.scale.name(),
+        args.seed
+    );
+    let path = results_dir().join(key);
+    if !args.fresh {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(history) = serde_json::from_str::<SearchHistory>(&text) {
+                eprintln!("[cache] loaded {}", path.display());
+                return history;
+            }
+        }
+    }
+    eprintln!(
+        "[run] {} on {} at scale {} (seed {})",
+        variant.label(),
+        dataset.name(),
+        args.scale.name(),
+        args.seed
+    );
+    let start = std::time::Instant::now();
+    let ctx = Arc::new(EvalContext::prepare(dataset, args.scale.profile(), args.seed));
+    let history = run_search(ctx, &cfg);
+    eprintln!(
+        "[run] {} evaluations in {:.1}s real ({} sim-min), utilization {:.2}",
+        history.len(),
+        start.elapsed().as_secs_f64(),
+        (history.wall_time / 60.0) as u64,
+        history.utilization
+    );
+    if let Ok(json) = serde_json::to_string(&history) {
+        let _ = std::fs::write(&path, json);
+    }
+    history
+}
+
+/// Writes a named JSON artifact into the results directory.
+pub fn write_artifact(name: &str, value: &impl serde::Serialize) {
+    let path = results_dir().join(name);
+    let json = serde_json::to_string_pretty(value).expect("serializable artifact");
+    std::fs::write(&path, json).expect("write artifact");
+    eprintln!("[artifact] {}", path.display());
+}
+
+/// Threshold used by Figs. 5 and 8: the minimum across variants of each
+/// variant's 0.99-quantile of validation accuracy.
+pub fn high_performer_threshold(histories: &[&SearchHistory]) -> f64 {
+    histories
+        .iter()
+        .filter(|h| !h.is_empty())
+        .map(|h| h.objective_quantile(0.99))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Per-variant summary row used by several tables.
+#[derive(Debug, serde::Serialize)]
+pub struct VariantSummary {
+    /// Variant label.
+    pub label: String,
+    /// Number of evaluated architectures.
+    pub n_architectures: usize,
+    /// Mean simulated training time (minutes).
+    pub train_time_mean_min: f64,
+    /// Std of simulated training time (minutes).
+    pub train_time_std_min: f64,
+    /// Best validation accuracy.
+    pub best_val_acc: f64,
+    /// Node utilization.
+    pub utilization: f64,
+}
+
+impl VariantSummary {
+    /// Builds the summary from a history.
+    pub fn of(history: &SearchHistory) -> VariantSummary {
+        let (mean, std) = history.duration_mean_std();
+        VariantSummary {
+            label: history.label.clone(),
+            n_architectures: history.len(),
+            train_time_mean_min: mean / 60.0,
+            train_time_std_min: std / 60.0,
+            best_val_acc: history.best().map(|r| r.objective).unwrap_or(0.0),
+            utilization: history.utilization,
+        }
+    }
+}
+
+/// Downsamples a trajectory to at most `n` points (keeps endpoints) so
+/// ASCII charts stay readable.
+pub fn thin_series(series: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
+    if series.len() <= n || n < 2 {
+        return series.to_vec();
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let idx = i * (series.len() - 1) / (n - 1);
+        out.push(series[idx]);
+    }
+    out
+}
+
+/// Re-export hub for the binaries.
+pub mod prelude {
+    pub use super::{
+        cached_search, high_performer_threshold, results_dir, thin_series, write_artifact,
+        ExpArgs, Scale, VariantSummary,
+    };
+    pub use agebo_analysis::plot::ascii_chart;
+    pub use agebo_analysis::{mean_std, quantile, TextTable};
+    pub use agebo_core::{EvalContext, SearchConfig, SearchHistory, Variant};
+    pub use agebo_tabular::{DatasetKind, SizeProfile};
+}
+
+/// Maps dataset name back to kind (for artifacts keyed by name).
+pub fn dataset_by_name(name: &str) -> Option<DatasetKind> {
+    DatasetKind::ALL.into_iter().find(|k| k.name() == name)
+}
+
+/// All (paper value, description) shape checks are recorded in
+/// EXPERIMENTS.md; this helper formats a measured-vs-paper line.
+pub fn paper_vs_measured(what: &str, paper: &str, measured: String) -> String {
+    format!("{what}: paper={paper} measured={measured}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("test"), Some(Scale::Test));
+        assert_eq!(Scale::parse("bench"), Some(Scale::Bench));
+        assert_eq!(Scale::parse("large"), Some(Scale::Large));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+
+    #[test]
+    fn thin_series_keeps_endpoints() {
+        let series: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64)).collect();
+        let thinned = thin_series(&series, 10);
+        assert_eq!(thinned.len(), 10);
+        assert_eq!(thinned[0], (0.0, 0.0));
+        assert_eq!(thinned[9], (99.0, 99.0));
+    }
+
+    #[test]
+    fn dataset_by_name_roundtrip() {
+        for kind in DatasetKind::ALL {
+            assert_eq!(dataset_by_name(kind.name()), Some(kind));
+        }
+        assert_eq!(dataset_by_name("unknown"), None);
+    }
+}

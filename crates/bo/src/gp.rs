@@ -1,0 +1,235 @@
+//! Gaussian-process regression surrogate (RBF kernel, Cholesky solve).
+//!
+//! The paper (and scikit-optimize's default for this setting) uses a
+//! random forest as the BO surrogate `M`; a GP is the classic
+//! alternative. This module provides one so the surrogate choice can be
+//! ablated (`BoConfig::surrogate`). Kernel length-scale defaults to the
+//! median pairwise distance heuristic; no hyperparameter optimization is
+//! performed — the BO loop retrains the model constantly and cheapness
+//! matters more than marginal-likelihood tuning (§III-C's overhead
+//! argument).
+
+/// An RBF-kernel GP posterior over observed points.
+#[derive(Debug, Clone)]
+pub struct GpRegressor {
+    x: Vec<Vec<f32>>,
+    /// Cholesky factor L of K + σn²I (lower triangular, row-major).
+    chol: Vec<Vec<f64>>,
+    /// α = (K + σn²I)⁻¹ (y − mean).
+    alpha: Vec<f64>,
+    mean: f64,
+    signal_var: f64,
+    length_scale: f64,
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (*x as f64 - *y as f64).powi(2)).sum()
+}
+
+/// Cholesky decomposition of a symmetric positive-definite matrix.
+/// Returns the lower-triangular factor, or `None` if not SPD.
+fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `L z = b` (forward substitution).
+fn solve_lower(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * z[k];
+        }
+        z[i] = sum / l[i][i];
+    }
+    z
+}
+
+/// Solves `Lᵀ z = b` (backward substitution).
+fn solve_upper_t(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut z = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for k in (i + 1)..n {
+            sum -= l[k][i] * z[k];
+        }
+        z[i] = sum / l[i][i];
+    }
+    z
+}
+
+impl GpRegressor {
+    /// Fits the GP on feature rows `x` with targets `y`.
+    ///
+    /// `noise_var` regularizes the kernel matrix (and models observation
+    /// noise); the length scale uses the median-distance heuristic.
+    ///
+    /// # Panics
+    /// Panics on empty or mismatched inputs.
+    pub fn fit(x: Vec<Vec<f32>>, y: &[f64], noise_var: f64) -> GpRegressor {
+        assert!(!x.is_empty() && x.len() == y.len(), "bad GP training data");
+        let n = x.len();
+        let mean = y.iter().sum::<f64>() / n as f64;
+        let signal_var = {
+            let v = y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+            v.max(1e-8)
+        };
+        // Median pairwise squared distance (subsampled for big n).
+        let mut dists = Vec::new();
+        let stride = (n / 64).max(1);
+        for i in (0..n).step_by(stride) {
+            for j in ((i + 1)..n).step_by(stride) {
+                let d = sq_dist(&x[i], &x[j]);
+                if d > 0.0 {
+                    dists.push(d);
+                }
+            }
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median_sq = dists.get(dists.len() / 2).copied().unwrap_or(1.0);
+        let length_scale = median_sq.sqrt().max(1e-6);
+
+        let ls2 = 2.0 * length_scale * length_scale;
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = signal_var * (-sq_dist(&x[i], &x[j]) / ls2).exp();
+                k[i][j] = v;
+                k[j][i] = v;
+            }
+            k[i][i] += noise_var.max(1e-10);
+        }
+        // Jitter escalation if the decomposition fails numerically.
+        let mut jitter = 0.0;
+        let chol = loop {
+            let mut kj = k.clone();
+            if jitter > 0.0 {
+                for (i, row) in kj.iter_mut().enumerate() {
+                    row[i] += jitter;
+                }
+            }
+            if let Some(l) = cholesky(&kj) {
+                break l;
+            }
+            jitter = if jitter == 0.0 { 1e-8 } else { jitter * 10.0 };
+            assert!(jitter < 1.0, "kernel matrix is numerically singular");
+        };
+        let centered: Vec<f64> = y.iter().map(|v| v - mean).collect();
+        let z = solve_lower(&chol, &centered);
+        let alpha = solve_upper_t(&chol, &z);
+        GpRegressor { x, chol, alpha, mean, signal_var, length_scale }
+    }
+
+    /// Posterior mean and standard deviation at `query`.
+    pub fn predict_mean_std(&self, query: &[f32]) -> (f64, f64) {
+        let ls2 = 2.0 * self.length_scale * self.length_scale;
+        let kstar: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| self.signal_var * (-sq_dist(xi, query) / ls2).exp())
+            .collect();
+        let mu = self.mean
+            + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+        let v = solve_lower(&self.chol, &kstar);
+        let var = (self.signal_var - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
+        (mu, var.sqrt())
+    }
+
+    /// Number of training points.
+    pub fn n_train(&self) -> usize {
+        self.x.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_known_matrix() {
+        // A = [[4,2],[2,3]] → L = [[2,0],[1,√2]].
+        let l = cholesky(&[vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        assert!((l[0][0] - 2.0).abs() < 1e-12);
+        assert!((l[1][0] - 1.0).abs() < 1e-12);
+        assert!((l[1][1] - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        assert!(cholesky(&[vec![1.0, 2.0], vec![2.0, 1.0]]).is_none());
+    }
+
+    #[test]
+    fn triangular_solves_invert_each_other() {
+        let l = cholesky(&[vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let b = vec![1.0, 2.0];
+        let z = solve_lower(&l, &b);
+        let x = solve_upper_t(&l, &z);
+        // Verify A x = b with A = L Lᵀ.
+        let ax0 = 4.0 * x[0] + 2.0 * x[1];
+        let ax1 = 2.0 * x[0] + 3.0 * x[1];
+        assert!((ax0 - 1.0).abs() < 1e-10);
+        assert!((ax1 - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gp_interpolates_with_low_noise() {
+        let x: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let y: Vec<f64> = (0..10).map(|i| (i as f64 * 0.5).sin()).collect();
+        let gp = GpRegressor::fit(x, &y, 1e-6);
+        for i in 0..10 {
+            let (mu, sigma) = gp.predict_mean_std(&[i as f32]);
+            assert!((mu - y[i]).abs() < 0.02, "at {i}: {mu} vs {}", y[i]);
+            assert!(sigma < 0.1);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let x: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32]).collect();
+        let y: Vec<f64> = (0..8).map(|i| i as f64 * 0.1).collect();
+        let gp = GpRegressor::fit(x, &y, 1e-4);
+        let (_, sigma_in) = gp.predict_mean_std(&[3.5]);
+        let (_, sigma_out) = gp.predict_mean_std(&[50.0]);
+        assert!(sigma_out > sigma_in * 3.0, "in {sigma_in} out {sigma_out}");
+    }
+
+    #[test]
+    fn far_extrapolation_reverts_to_mean() {
+        let x: Vec<Vec<f32>> = (0..6).map(|i| vec![i as f32]).collect();
+        let y = vec![2.0, 2.1, 1.9, 2.0, 2.2, 1.8];
+        let mean = y.iter().sum::<f64>() / 6.0;
+        let gp = GpRegressor::fit(x, &y, 1e-4);
+        let (mu, _) = gp.predict_mean_std(&[1000.0]);
+        assert!((mu - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_points_survive_via_jitter() {
+        let x = vec![vec![1.0f32], vec![1.0], vec![1.0]];
+        let y = vec![0.5, 0.6, 0.7];
+        let gp = GpRegressor::fit(x, &y, 1e-9);
+        let (mu, _) = gp.predict_mean_std(&[1.0]);
+        assert!((mu - 0.6).abs() < 0.1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Asynchronous Bayesian optimization (the scikit-optimize role).
+//!
+//! AgEBO tunes the data-parallel training hyperparameters with an
+//! ask/tell BO loop (paper §III-C):
+//!
+//! * surrogate model `M` = a **random-forest regressor** fitted on the
+//!   observed (hyperparameter, validation-accuracy) pairs; the spread of
+//!   per-tree predictions provides σ;
+//! * candidates are ranked by the **UCB acquisition**
+//!   `UCB(x) = μ(x) + κ·σ(x)` (Eq. 3), maximizing validation accuracy;
+//!   the paper's default κ = 0.001 is near-pure exploitation;
+//! * multi-point `ask(q)` uses the **constant-liar** strategy: after each
+//!   selection the model is refitted with the selected point and a *lie*
+//!   equal to the mean of all observed objectives, so one `ask` returns
+//!   `q` informative, non-identical configurations with low overhead.
+
+pub mod gp;
+pub mod optimizer;
+pub mod space;
+
+pub use gp::GpRegressor;
+pub use optimizer::{BoConfig, BoOptimizer, SurrogateKind};
+pub use space::{Dimension, HpPoint, Space};

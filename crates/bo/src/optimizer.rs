@@ -1,0 +1,381 @@
+//! The ask/tell BO optimizer with UCB + constant-liar multipoint
+//! acquisition (paper §III-C).
+
+use crate::gp::GpRegressor;
+use crate::space::{HpPoint, Space};
+use agebo_tensor::Matrix;
+use agebo_trees::{ForestConfig, RandomForestRegressor, TreeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which surrogate model backs the UCB acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurrogateKind {
+    /// Random-forest regressor; per-tree spread provides σ (the paper's
+    /// and scikit-optimize's choice).
+    RandomForest,
+    /// RBF-kernel Gaussian process (ablation).
+    GaussianProcess,
+}
+
+/// A fitted surrogate of either kind.
+enum Surrogate {
+    Forest(RandomForestRegressor),
+    Gp(GpRegressor),
+}
+
+impl Surrogate {
+    fn predict_mean_std(&self, row: &[f32]) -> (f64, f64) {
+        match self {
+            Surrogate::Forest(m) => m.predict_mean_std_row(row),
+            Surrogate::Gp(m) => m.predict_mean_std(row),
+        }
+    }
+}
+
+/// Optimizer configuration.
+#[derive(Debug, Clone)]
+pub struct BoConfig {
+    /// UCB exploration weight κ (paper default 0.001 — near-pure
+    /// exploitation; Fig. 8 sweeps {0.001, 1.96, 19.6}).
+    pub kappa: f64,
+    /// Random points returned before the surrogate is first fitted.
+    pub n_initial: usize,
+    /// Candidate pool size per acquisition maximisation.
+    pub n_candidates: usize,
+    /// Trees in the random-forest surrogate.
+    pub n_trees: usize,
+    /// Seed for sampling.
+    pub seed: u64,
+    /// Apply the constant-liar refit between the points of one `ask`
+    /// batch (the paper's strategy). Disabling it is an ablation: every
+    /// point of a batch then maximizes the same acquisition surface.
+    pub use_liar: bool,
+    /// Surrogate family (paper: random forest).
+    pub surrogate: SurrogateKind,
+}
+
+impl Default for BoConfig {
+    fn default() -> Self {
+        BoConfig {
+            kappa: 0.001,
+            n_initial: 10,
+            n_candidates: 256,
+            n_trees: 25,
+            seed: 0,
+            use_liar: true,
+            surrogate: SurrogateKind::RandomForest,
+        }
+    }
+}
+
+/// Random-forest BO with the scikit-optimize-style `ask`/`tell` interface.
+/// The objective is **maximized** (the paper maximizes validation
+/// accuracy).
+#[derive(Debug)]
+pub struct BoOptimizer {
+    space: Space,
+    cfg: BoConfig,
+    observed_x: Vec<HpPoint>,
+    observed_y: Vec<f64>,
+    rng: StdRng,
+}
+
+impl BoOptimizer {
+    /// Creates an optimizer over `space`.
+    pub fn new(space: Space, cfg: BoConfig) -> Self {
+        assert!(cfg.kappa >= 0.0 && cfg.n_candidates > 0 && cfg.n_trees > 0);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        BoOptimizer { space, cfg, observed_x: Vec::new(), observed_y: Vec::new(), rng }
+    }
+
+    /// The space being searched.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Number of observations told so far.
+    pub fn n_observed(&self) -> usize {
+        self.observed_y.len()
+    }
+
+    /// Registers evaluated configurations and their objective values.
+    pub fn tell(&mut self, xs: &[HpPoint], ys: &[f64]) {
+        assert_eq!(xs.len(), ys.len());
+        for (x, &y) in xs.iter().zip(ys) {
+            assert!(self.space.contains(x), "point outside space: {x:?}");
+            assert!(y.is_finite(), "non-finite objective");
+            self.observed_x.push(x.clone());
+            self.observed_y.push(y);
+        }
+    }
+
+    fn fit_surrogate(&self, xs: &[HpPoint], ys: &[f64], seed: u64) -> Surrogate {
+        let n = xs.len();
+        let d = self.space.len();
+        match self.cfg.surrogate {
+            SurrogateKind::RandomForest => {
+                let mut data = Vec::with_capacity(n * d);
+                for x in xs {
+                    data.extend(self.space.encode(x));
+                }
+                let features = Matrix::from_vec(n, d, data);
+                let cfg = ForestConfig {
+                    n_trees: self.cfg.n_trees,
+                    tree: TreeConfig { max_depth: 24, min_samples_leaf: 2, ..TreeConfig::default() },
+                    bootstrap: true,
+                };
+                Surrogate::Forest(RandomForestRegressor::fit(&features, ys, &cfg, seed))
+            }
+            SurrogateKind::GaussianProcess => {
+                let rows: Vec<Vec<f32>> = xs.iter().map(|x| self.space.encode(x)).collect();
+                Surrogate::Gp(GpRegressor::fit(rows, ys, 1e-4))
+            }
+        }
+    }
+
+    /// Maximizes the UCB over a fresh random candidate pool.
+    fn argmax_ucb(&mut self, model: &Surrogate) -> HpPoint {
+        let mut best: Option<(f64, HpPoint)> = None;
+        for _ in 0..self.cfg.n_candidates {
+            let cand = self.space.sample(&mut self.rng);
+            let enc = self.space.encode(&cand);
+            let (mu, sigma) = model.predict_mean_std(&enc);
+            let ucb = mu + self.cfg.kappa * sigma;
+            if best.as_ref().is_none_or(|(b, _)| ucb > *b) {
+                best = Some((ucb, cand));
+            }
+        }
+        best.expect("n_candidates > 0").1
+    }
+
+    /// Returns `q` configurations to evaluate next.
+    ///
+    /// Before `n_initial` observations exist the points are random.
+    /// Afterwards each point maximizes UCB against a surrogate that has
+    /// been refitted with the *constant lie* (the mean of all observed
+    /// objectives) for every previously selected point of this batch.
+    pub fn ask(&mut self, q: usize) -> Vec<HpPoint> {
+        assert!(q > 0);
+        if self.observed_y.len() < self.cfg.n_initial {
+            return (0..q).map(|_| self.space.sample(&mut self.rng)).collect();
+        }
+        let lie = self.observed_y.iter().sum::<f64>() / self.observed_y.len() as f64;
+        let mut xs = self.observed_x.clone();
+        let mut ys = self.observed_y.clone();
+        let mut out = Vec::with_capacity(q);
+        let mut model = self.fit_surrogate(&xs, &ys, self.cfg.seed);
+        for j in 0..q {
+            let chosen = self.argmax_ucb(&model);
+            if self.cfg.use_liar {
+                xs.push(chosen.clone());
+                ys.push(lie);
+                model = self.fit_surrogate(&xs, &ys, self.cfg.seed ^ ((j as u64 + 1) << 32));
+            }
+            out.push(chosen);
+        }
+        out
+    }
+
+    /// Best observed (point, objective) so far.
+    pub fn best_observed(&self) -> Option<(&HpPoint, f64)> {
+        let (mut best_i, mut best_y) = (None, f64::NEG_INFINITY);
+        for (i, &y) in self.observed_y.iter().enumerate() {
+            if y > best_y {
+                best_y = y;
+                best_i = Some(i);
+            }
+        }
+        best_i.map(|i| (&self.observed_x[i], best_y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Dimension;
+
+    /// Smooth objective on the paper space with a unique optimal basin:
+    /// best at bs = 256, lr = 0.01, n = 4.
+    fn objective(p: &HpPoint) -> f64 {
+        let bs_pen = ((p[0].log2() - 8.0) / 2.0).powi(2);
+        let lr_pen = ((p[1].ln() - (0.01f64).ln()) / 1.0).powi(2);
+        let n_pen = ((p[2].log2() - 2.0) / 1.0).powi(2);
+        1.0 - 0.1 * (bs_pen + lr_pen + n_pen)
+    }
+
+    fn run_bo(kappa: f64, rounds: usize, q: usize, seed: u64) -> BoOptimizer {
+        let cfg = BoConfig { kappa, n_initial: 8, n_candidates: 128, n_trees: 15, seed, ..BoConfig::default() };
+        let mut bo = BoOptimizer::new(Space::paper_hm(), cfg);
+        for _ in 0..rounds {
+            let xs = bo.ask(q);
+            let ys: Vec<f64> = xs.iter().map(objective).collect();
+            bo.tell(&xs, &ys);
+        }
+        bo
+    }
+
+    #[test]
+    fn initial_asks_are_random_and_legal() {
+        let mut bo = BoOptimizer::new(Space::paper_hm(), BoConfig::default());
+        let xs = bo.ask(5);
+        assert_eq!(xs.len(), 5);
+        for x in &xs {
+            assert!(bo.space().contains(x));
+        }
+    }
+
+    #[test]
+    fn bo_concentrates_near_the_optimum() {
+        let bo = run_bo(0.001, 12, 4, 1);
+        let (best_x, best_y) = bo.best_observed().expect("has observations");
+        assert!(best_y > 0.93, "best objective {best_y}");
+        // bs within a factor 4 of 256, n within factor 2 of 4.
+        assert!((best_x[0].log2() - 8.0).abs() <= 2.0, "bs={}", best_x[0]);
+        assert!((best_x[2].log2() - 2.0).abs() <= 1.0, "n={}", best_x[2]);
+    }
+
+    #[test]
+    fn bo_beats_random_search_at_equal_budget() {
+        let bo = run_bo(0.001, 12, 4, 2);
+        let (_, bo_best) = bo.best_observed().unwrap();
+
+        let mut rng = StdRng::seed_from_u64(2);
+        let space = Space::paper_hm();
+        let rand_best = (0..12 * 4)
+            .map(|_| objective(&space.sample(&mut rng)))
+            .fold(f64::NEG_INFINITY, f64::max);
+        // BO shouldn't be (meaningfully) worse; usually better.
+        assert!(bo_best >= rand_best - 0.02, "bo={bo_best} random={rand_best}");
+    }
+
+    #[test]
+    fn exploitation_clusters_more_than_exploration() {
+        // κ = 0.001 (exploit) should propose points with lower spread in
+        // the n dimension than κ = 19.6 (explore) once the model is fitted.
+        let spread = |bo: &mut BoOptimizer| {
+            let pts = bo.ask(16);
+            let mean: f64 = pts.iter().map(|p| p[2].log2()).sum::<f64>() / 16.0;
+            pts.iter().map(|p| (p[2].log2() - mean).powi(2)).sum::<f64>() / 16.0
+        };
+        let mut exploit = run_bo(0.001, 10, 4, 3);
+        let mut explore = run_bo(19.6, 10, 4, 3);
+        let (s_exploit, s_explore) = (spread(&mut exploit), spread(&mut explore));
+        assert!(
+            s_exploit <= s_explore + 1e-9,
+            "exploit spread {s_exploit} vs explore spread {s_explore}"
+        );
+    }
+
+    #[test]
+    fn constant_liar_diversifies_within_batch() {
+        // After fitting, a batch of q points should not be q copies of one
+        // point when κ = 0 would otherwise pick the same argmax.
+        let mut bo = run_bo(0.001, 6, 4, 4);
+        let batch = bo.ask(6);
+        let distinct: std::collections::HashSet<String> =
+            batch.iter().map(|p| format!("{:?}", p)).collect();
+        assert!(distinct.len() >= 2, "batch collapsed to one point");
+    }
+
+    #[test]
+    fn without_liar_batches_collapse_more() {
+        // Ablation: with the liar disabled, a batch maximizes a single
+        // acquisition surface; the candidate pool still varies per draw,
+        // but the liar version must produce at least as many distinct
+        // points.
+        let distinct = |use_liar: bool| {
+            let cfg = BoConfig {
+                kappa: 0.001,
+                n_initial: 6,
+                n_candidates: 64,
+                n_trees: 10,
+                seed: 11,
+                use_liar,
+                ..BoConfig::default()
+            };
+            let mut bo = BoOptimizer::new(Space::paper_hm(), cfg);
+            for _ in 0..6 {
+                let xs = bo.ask(3);
+                let ys: Vec<f64> = xs.iter().map(objective).collect();
+                bo.tell(&xs, &ys);
+            }
+            let batch = bo.ask(8);
+            batch
+                .iter()
+                .map(|p| format!("{p:?}"))
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert!(distinct(true) >= distinct(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside space")]
+    fn tell_rejects_illegal_points() {
+        let mut bo = BoOptimizer::new(Space::paper_hm(), BoConfig::default());
+        bo.tell(&[vec![100.0, 0.01, 4.0]], &[0.5]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = run_bo(0.001, 5, 3, 9);
+        let mut b = run_bo(0.001, 5, 3, 9);
+        assert_eq!(a.ask(4), b.ask(4));
+    }
+
+    #[test]
+    fn works_on_frozen_space() {
+        let space = Space::paper_hm_frozen(Some(256), Some(8));
+        let mut bo = BoOptimizer::new(space, BoConfig { n_initial: 4, ..BoConfig::default() });
+        for _ in 0..6 {
+            let xs = bo.ask(3);
+            for x in &xs {
+                assert_eq!(x[0], 256.0);
+                assert_eq!(x[2], 8.0);
+            }
+            let ys: Vec<f64> = xs.iter().map(|x| -((x[1].ln() + 4.0).powi(2))).collect();
+            bo.tell(&xs, &ys);
+        }
+        let (best, _) = bo.best_observed().unwrap();
+        // Optimum at lr = e^-4 ≈ 0.018.
+        assert!((best[1].ln() + 4.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn gp_surrogate_also_optimizes() {
+        let cfg = BoConfig {
+            kappa: 0.1,
+            n_initial: 8,
+            n_candidates: 128,
+            surrogate: SurrogateKind::GaussianProcess,
+            seed: 21,
+            ..BoConfig::default()
+        };
+        let mut bo = BoOptimizer::new(Space::paper_hm(), cfg);
+        for _ in 0..10 {
+            let xs = bo.ask(4);
+            let ys: Vec<f64> = xs.iter().map(objective).collect();
+            bo.tell(&xs, &ys);
+        }
+        let (_, best) = bo.best_observed().unwrap();
+        assert!(best > 0.9, "gp-backed BO too weak: {best}");
+    }
+
+    #[test]
+    fn single_real_dimension_space() {
+        let space = Space { dims: vec![Dimension::Real { lo: -1.0, hi: 1.0 }] };
+        let mut bo = BoOptimizer::new(
+            space,
+            BoConfig { n_initial: 6, n_candidates: 64, n_trees: 10, kappa: 0.1, seed: 5, ..BoConfig::default() },
+        );
+        for _ in 0..10 {
+            let xs = bo.ask(2);
+            let ys: Vec<f64> = xs.iter().map(|x| 1.0 - x[0] * x[0]).collect();
+            bo.tell(&xs, &ys);
+        }
+        let (best, y) = bo.best_observed().unwrap();
+        assert!(best[0].abs() < 0.5, "best={}", best[0]);
+        assert!(y > 0.75);
+    }
+}

@@ -1,0 +1,215 @@
+//! Mixed-integer hyperparameter spaces.
+//!
+//! The paper's `H_m` has all three variable flavours: a log-uniform real
+//! (`lr₁`), an ordinal (`bs₁ ∈ {32,…,1024}`) and a small ordinal treated
+//! like a categorical (`n ∈ {1,2,4,8}`).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A point in a hyperparameter space: one raw value per dimension
+/// (ordinals/categoricals store the chosen value, not its index).
+pub type HpPoint = Vec<f64>;
+
+/// One dimension of the space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dimension {
+    /// Real value sampled log-uniformly in `[lo, hi]`.
+    RealLog {
+        /// Lower bound (must be > 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Real value sampled uniformly in `[lo, hi]`.
+    Real {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// A finite ordered set of numeric values (e.g. batch sizes).
+    Ordinal {
+        /// Allowed values, ascending.
+        values: Vec<f64>,
+    },
+}
+
+impl Dimension {
+    /// Uniform (log-uniform for [`Dimension::RealLog`]) sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        match self {
+            Dimension::RealLog { lo, hi } => {
+                let (llo, lhi) = (lo.ln(), hi.ln());
+                (llo + rng.gen::<f64>() * (lhi - llo)).exp()
+            }
+            Dimension::Real { lo, hi } => lo + rng.gen::<f64>() * (hi - lo),
+            Dimension::Ordinal { values } => values[rng.gen_range(0..values.len())],
+        }
+    }
+
+    /// True when `v` is a legal value of this dimension.
+    pub fn contains(&self, v: f64) -> bool {
+        match self {
+            Dimension::RealLog { lo, hi } | Dimension::Real { lo, hi } => {
+                (*lo..=*hi).contains(&v)
+            }
+            Dimension::Ordinal { values } => values.iter().any(|&x| (x - v).abs() < 1e-12),
+        }
+    }
+
+    /// Encoding of a value as a surrogate-model feature. Log-scaled
+    /// dimensions are encoded in log space so the forest splits uniformly
+    /// across decades.
+    pub fn encode(&self, v: f64) -> f32 {
+        match self {
+            Dimension::RealLog { .. } => v.ln() as f32,
+            Dimension::Real { .. } => v as f32,
+            Dimension::Ordinal { values } => {
+                // Encode by index so unevenly spaced menus stay uniform.
+                values
+                    .iter()
+                    .position(|&x| (x - v).abs() < 1e-12)
+                    .map(|i| i as f32)
+                    .unwrap_or_else(|| {
+                        // Nearest value for off-menu inputs.
+                        let mut best = 0usize;
+                        let mut dist = f64::INFINITY;
+                        for (i, &x) in values.iter().enumerate() {
+                            if (x - v).abs() < dist {
+                                dist = (x - v).abs();
+                                best = i;
+                            }
+                        }
+                        best as f32
+                    })
+            }
+        }
+    }
+}
+
+/// A product of dimensions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Space {
+    /// The dimensions, in point order.
+    pub dims: Vec<Dimension>,
+}
+
+impl Space {
+    /// The paper's data-parallel training space, point order
+    /// `[bs₁, lr₁, n]`:
+    /// `bs₁ ∈ {32,64,128,256,512,1024}`, `lr₁ ∈ (0.001, 0.1)` log-uniform,
+    /// `n ∈ {1,2,4,8}`.
+    pub fn paper_hm() -> Space {
+        Space {
+            dims: vec![
+                Dimension::Ordinal { values: vec![32.0, 64.0, 128.0, 256.0, 512.0, 1024.0] },
+                Dimension::RealLog { lo: 0.001, hi: 0.1 },
+                Dimension::Ordinal { values: vec![1.0, 2.0, 4.0, 8.0] },
+            ],
+        }
+    }
+
+    /// A variant of [`Space::paper_hm`] with some dimensions frozen to a
+    /// fixed value — used by the AgEBO-8-LR / AgEBO-8-LR-BS ablations
+    /// (freezing is expressed as a single-value ordinal).
+    pub fn paper_hm_frozen(bs1: Option<usize>, n: Option<usize>) -> Space {
+        let mut space = Space::paper_hm();
+        if let Some(bs) = bs1 {
+            space.dims[0] = Dimension::Ordinal { values: vec![bs as f64] };
+        }
+        if let Some(n) = n {
+            space.dims[2] = Dimension::Ordinal { values: vec![n as f64] };
+        }
+        space
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// True for an empty space.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Random point.
+    pub fn sample(&self, rng: &mut impl Rng) -> HpPoint {
+        self.dims.iter().map(|d| d.sample(rng)).collect()
+    }
+
+    /// True when every coordinate is legal.
+    pub fn contains(&self, p: &[f64]) -> bool {
+        p.len() == self.dims.len()
+            && self.dims.iter().zip(p).all(|(d, &v)| d.contains(v))
+    }
+
+    /// Surrogate-model features for a point.
+    pub fn encode(&self, p: &[f64]) -> Vec<f32> {
+        assert_eq!(p.len(), self.dims.len());
+        self.dims.iter().zip(p).map(|(d, &v)| d.encode(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_space_samples_are_legal() {
+        let s = Space::paper_hm();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..500 {
+            let p = s.sample(&mut rng);
+            assert!(s.contains(&p), "{p:?}");
+            assert!([32.0, 64.0, 128.0, 256.0, 512.0, 1024.0].contains(&p[0]));
+            assert!((0.001..=0.1).contains(&p[1]));
+            assert!([1.0, 2.0, 4.0, 8.0].contains(&p[2]));
+        }
+    }
+
+    #[test]
+    fn log_uniform_is_roughly_uniform_per_decade() {
+        let d = Dimension::RealLog { lo: 0.001, hi: 0.1 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut low_decade = 0;
+        let n = 4000;
+        for _ in 0..n {
+            if d.sample(&mut rng) < 0.01 {
+                low_decade += 1;
+            }
+        }
+        let frac = low_decade as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac={frac}");
+    }
+
+    #[test]
+    fn encode_uses_log_and_index_scales() {
+        let s = Space::paper_hm();
+        let e = s.encode(&[256.0, 0.01, 8.0]);
+        assert_eq!(e[0], 3.0); // index of 256 in the menu
+        assert!((e[1] - (0.01f64).ln() as f32).abs() < 1e-6);
+        assert_eq!(e[2], 3.0); // index of 8
+    }
+
+    #[test]
+    fn off_menu_ordinal_encodes_to_nearest() {
+        let d = Dimension::Ordinal { values: vec![1.0, 2.0, 4.0, 8.0] };
+        assert_eq!(d.encode(3.2), 2.0); // nearest is 4.0 at index 2
+        assert!(!d.contains(3.2));
+    }
+
+    #[test]
+    fn frozen_space_pins_dimensions() {
+        let s = Space::paper_hm_frozen(Some(256), Some(8));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let p = s.sample(&mut rng);
+            assert_eq!(p[0], 256.0);
+            assert_eq!(p[2], 8.0);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use agebo_core::Variant;
+use agebo_tabular::{DatasetKind, SizeProfile};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to run.
+    pub command: Command,
+}
+
+/// The `agebo` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print search-space and data-set information.
+    Info,
+    /// Run a search.
+    Search(SearchArgs),
+    /// Resume a search from a saved history.
+    Resume(ResumeArgs),
+    /// Evaluate a saved model on a CSV file.
+    Evaluate(EvaluateArgs),
+}
+
+/// Arguments of `agebo search`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchArgs {
+    /// Benchmark data set (`--dataset`), unless `--csv` is given.
+    pub dataset: DatasetKind,
+    /// Optional CSV path replacing the benchmark data.
+    pub csv: Option<String>,
+    /// Search variant.
+    pub variant: Variant,
+    /// Size/search profile.
+    pub profile: SizeProfile,
+    /// Seed.
+    pub seed: u64,
+    /// Where to write the history JSON.
+    pub out: Option<String>,
+    /// Where to write the retrained best model JSON.
+    pub model_out: Option<String>,
+    /// Override of the simulated wall-time budget, in minutes.
+    pub wall_minutes: Option<f64>,
+}
+
+/// Arguments of `agebo resume`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeArgs {
+    /// Saved history to resume.
+    pub history: String,
+    /// Benchmark data set the history was produced on.
+    pub dataset: DatasetKind,
+    /// Size/search profile.
+    pub profile: SizeProfile,
+    /// Seed for the continuation.
+    pub seed: u64,
+    /// Where to write the merged history.
+    pub out: Option<String>,
+}
+
+/// Arguments of `agebo evaluate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluateArgs {
+    /// Saved model JSON.
+    pub model: String,
+    /// CSV data to evaluate on.
+    pub csv: String,
+}
+
+/// Parse failures, with a message suitable for direct printing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+agebo — AgEBO-Tabular joint NAS + HPS (SC'21 reproduction)
+
+USAGE:
+  agebo info
+  agebo search   [--dataset covertype|airlines|albert|dionis] [--csv FILE]
+                 [--variant agebo|age-1|age-2|age-4|age-8|agebo-lr|agebo-lr-bs]
+                 [--profile test|bench|large] [--seed N] [--wall-minutes M]
+                 [--out history.json] [--model-out model.json]
+  agebo resume   --history history.json [--dataset D] [--profile P] [--seed N]
+                 [--out merged.json]
+  agebo evaluate --model model.json --csv data.csv
+";
+
+fn parse_dataset(s: &str) -> Result<DatasetKind, ParseError> {
+    DatasetKind::ALL
+        .into_iter()
+        .find(|k| k.name() == s)
+        .ok_or_else(|| ParseError(format!("unknown dataset {s}")))
+}
+
+fn parse_profile(s: &str) -> Result<SizeProfile, ParseError> {
+    match s {
+        "test" => Ok(SizeProfile::Test),
+        "bench" => Ok(SizeProfile::Bench),
+        "large" => Ok(SizeProfile::Large),
+        _ => Err(ParseError(format!("unknown profile {s} (test|bench|large)"))),
+    }
+}
+
+fn parse_variant(s: &str) -> Result<Variant, ParseError> {
+    match s {
+        "agebo" => Ok(Variant::agebo()),
+        "agebo-lr" => Ok(Variant::agebo_lr(8)),
+        "agebo-lr-bs" => Ok(Variant::agebo_lr_bs(8)),
+        _ => {
+            if let Some(n) = s.strip_prefix("age-") {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad process count in {s}")))?;
+                if ![1, 2, 4, 8].contains(&n) {
+                    return Err(ParseError(format!("n must be 1|2|4|8, got {n}")));
+                }
+                Ok(Variant::age(n))
+            } else {
+                Err(ParseError(format!("unknown variant {s}")))
+            }
+        }
+    }
+}
+
+/// Pulls `--key value` pairs out of `argv`; returns (map, leftovers).
+fn keyed(argv: &[String]) -> Result<std::collections::HashMap<String, String>, ParseError> {
+    let mut map = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = &argv[i];
+        if !key.starts_with("--") {
+            return Err(ParseError(format!("unexpected argument {key}")));
+        }
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| ParseError(format!("{key} expects a value")))?;
+        map.insert(key[2..].to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+impl Cli {
+    /// Parses a full argument list (excluding the program name).
+    pub fn parse(argv: &[String]) -> Result<Cli, ParseError> {
+        let (sub, rest) = argv
+            .split_first()
+            .ok_or_else(|| ParseError(USAGE.to_string()))?;
+        let command = match sub.as_str() {
+            "info" => Command::Info,
+            "search" => {
+                let kv = keyed(rest)?;
+                Command::Search(SearchArgs {
+                    dataset: kv
+                        .get("dataset")
+                        .map(|s| parse_dataset(s))
+                        .transpose()?
+                        .unwrap_or(DatasetKind::Covertype),
+                    csv: kv.get("csv").cloned(),
+                    variant: kv
+                        .get("variant")
+                        .map(|s| parse_variant(s))
+                        .transpose()?
+                        .unwrap_or_else(Variant::agebo),
+                    profile: kv
+                        .get("profile")
+                        .map(|s| parse_profile(s))
+                        .transpose()?
+                        .unwrap_or(SizeProfile::Test),
+                    seed: kv
+                        .get("seed")
+                        .map(|s| s.parse().map_err(|_| ParseError("bad --seed".into())))
+                        .transpose()?
+                        .unwrap_or(42),
+                    out: kv.get("out").cloned(),
+                    model_out: kv.get("model-out").cloned(),
+                    wall_minutes: kv
+                        .get("wall-minutes")
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| ParseError("bad --wall-minutes".into()))
+                        })
+                        .transpose()?,
+                })
+            }
+            "resume" => {
+                let kv = keyed(rest)?;
+                Command::Resume(ResumeArgs {
+                    history: kv
+                        .get("history")
+                        .cloned()
+                        .ok_or_else(|| ParseError("resume requires --history".into()))?,
+                    dataset: kv
+                        .get("dataset")
+                        .map(|s| parse_dataset(s))
+                        .transpose()?
+                        .unwrap_or(DatasetKind::Covertype),
+                    profile: kv
+                        .get("profile")
+                        .map(|s| parse_profile(s))
+                        .transpose()?
+                        .unwrap_or(SizeProfile::Test),
+                    seed: kv
+                        .get("seed")
+                        .map(|s| s.parse().map_err(|_| ParseError("bad --seed".into())))
+                        .transpose()?
+                        .unwrap_or(43),
+                    out: kv.get("out").cloned(),
+                })
+            }
+            "evaluate" => {
+                let kv = keyed(rest)?;
+                Command::Evaluate(EvaluateArgs {
+                    model: kv
+                        .get("model")
+                        .cloned()
+                        .ok_or_else(|| ParseError("evaluate requires --model".into()))?,
+                    csv: kv
+                        .get("csv")
+                        .cloned()
+                        .ok_or_else(|| ParseError("evaluate requires --csv".into()))?,
+                })
+            }
+            "--help" | "-h" | "help" => return Err(ParseError(USAGE.to_string())),
+            other => return Err(ParseError(format!("unknown subcommand {other}\n{USAGE}"))),
+        };
+        Ok(Cli { command })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_info() {
+        let cli = Cli::parse(&argv(&["info"])).unwrap();
+        assert_eq!(cli.command, Command::Info);
+    }
+
+    #[test]
+    fn parses_search_with_defaults() {
+        let cli = Cli::parse(&argv(&["search"])).unwrap();
+        match cli.command {
+            Command::Search(a) => {
+                assert_eq!(a.dataset, DatasetKind::Covertype);
+                assert_eq!(a.variant, Variant::agebo());
+                assert_eq!(a.profile, SizeProfile::Test);
+                assert_eq!(a.seed, 42);
+                assert!(a.csv.is_none() && a.out.is_none());
+                assert!(a.wall_minutes.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_search_with_everything() {
+        let cli = Cli::parse(&argv(&[
+            "search", "--dataset", "dionis", "--variant", "age-8", "--profile", "bench",
+            "--seed", "7", "--out", "h.json", "--model-out", "m.json",
+            "--wall-minutes", "15",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Search(a) => {
+                assert_eq!(a.dataset, DatasetKind::Dionis);
+                assert_eq!(a.variant, Variant::age(8));
+                assert_eq!(a.profile, SizeProfile::Bench);
+                assert_eq!(a.seed, 7);
+                assert_eq!(a.out.as_deref(), Some("h.json"));
+                assert_eq!(a.model_out.as_deref(), Some("m.json"));
+                assert_eq!(a.wall_minutes, Some(15.0));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(Cli::parse(&argv(&["search", "--dataset", "mnist"])).is_err());
+        assert!(Cli::parse(&argv(&["search", "--variant", "age-3"])).is_err());
+        assert!(Cli::parse(&argv(&["search", "--profile", "huge"])).is_err());
+        assert!(Cli::parse(&argv(&["search", "--seed"])).is_err());
+        assert!(Cli::parse(&argv(&["frobnicate"])).is_err());
+        assert!(Cli::parse(&argv(&["evaluate", "--model", "m.json"])).is_err());
+    }
+
+    #[test]
+    fn resume_requires_history() {
+        assert!(Cli::parse(&argv(&["resume"])).is_err());
+        let cli =
+            Cli::parse(&argv(&["resume", "--history", "h.json", "--seed", "9"])).unwrap();
+        match cli.command {
+            Command::Resume(a) => {
+                assert_eq!(a.history, "h.json");
+                assert_eq!(a.seed, 9);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Subcommand implementations.
+
+use crate::args::{EvaluateArgs, ResumeArgs, SearchArgs};
+use agebo_analysis::ConfusionMatrix;
+use agebo_core::evaluation::train_final;
+use agebo_core::{
+    resume_search, run_search, EvalContext, EvalTask, SearchConfig, SearchHistory,
+};
+use agebo_nn::serialize::{load_model, save_model};
+use agebo_searchspace::SearchSpace;
+use agebo_tabular::csv::load_csv;
+use agebo_tabular::{scale, stratified_split, DatasetKind, DatasetMeta, SizeProfile, SplitSpec};
+use agebo_tensor::Stream;
+use std::sync::Arc;
+
+/// Boxed error for CLI plumbing.
+pub type CliError = Box<dyn std::error::Error>;
+
+fn search_config(profile: SizeProfile, variant: agebo_core::Variant) -> SearchConfig {
+    match profile {
+        SizeProfile::Test => SearchConfig::test(variant),
+        SizeProfile::Bench => SearchConfig::bench(variant),
+        SizeProfile::Large => SearchConfig::paper(variant),
+    }
+}
+
+fn context_for(args: &SearchArgs) -> Result<Arc<EvalContext>, CliError> {
+    match &args.csv {
+        None => Ok(Arc::new(EvalContext::prepare(args.dataset, args.profile, args.seed))),
+        Some(path) => {
+            let data = load_csv(path)?;
+            let mut stream = Stream::new(args.seed);
+            let mut split = stratified_split(&data, SplitSpec::PAPER, &mut stream.rng());
+            scale::standardize_split(&mut split);
+            let meta = DatasetMeta {
+                name: "custom",
+                paper_rows: data.len(),
+                n_features: data.n_features(),
+                paper_classes: data.n_classes,
+                actual_classes: data.n_classes,
+                actual_rows: data.len(),
+            };
+            Ok(Arc::new(EvalContext {
+                space: SearchSpace::paper(split.train.n_features(), split.train.n_classes),
+                train: split.train,
+                valid: split.valid,
+                test: split.test,
+                meta,
+                epochs: 8,
+                warmup_epochs: 2,
+                plateau_patience: 5,
+                bs_divisor: 4,
+            }))
+        }
+    }
+}
+
+fn report(history: &SearchHistory) {
+    println!(
+        "{} on {}: {} evaluations in {:.0} simulated minutes, utilization {:.0}%",
+        history.label,
+        history.dataset,
+        history.len(),
+        history.wall_time / 60.0,
+        history.utilization * 100.0
+    );
+    if let Some(best) = history.best() {
+        println!(
+            "best validation accuracy {:.4} (bs1={} lr1={:.4} n={})",
+            best.objective, best.hp.bs1, best.hp.lr1, best.hp.n
+        );
+    }
+}
+
+/// `agebo info`.
+pub fn info() {
+    let space = SearchSpace::paper(54, 7);
+    println!("AgEBO-Tabular (SC'21) reproduction");
+    println!(
+        "architecture space: {} variables ({} layer nodes x {} choices + {} skips), ~10^{:.1} points",
+        space.n_variables(),
+        space.max_nodes,
+        space.layer_choices(),
+        space.n_variables() - space.max_nodes,
+        space.size_log10()
+    );
+    println!("hyperparameter space: bs1 in {{32..1024}}, lr1 in (0.001, 0.1) log, n in {{1,2,4,8}}");
+    println!("benchmark data sets:");
+    for kind in DatasetKind::ALL {
+        let (rows, features, classes) = kind.paper_shape();
+        println!("  {:<10} {rows} rows, {features} features, {classes} classes", kind.name());
+    }
+}
+
+/// `agebo search`.
+pub fn search(args: &SearchArgs) -> Result<(), CliError> {
+    let ctx = context_for(args)?;
+    let mut cfg = search_config(args.profile, args.variant.clone()).with_seed(args.seed);
+    if let Some(minutes) = args.wall_minutes {
+        cfg = cfg.with_wall_time(minutes * 60.0);
+    }
+    eprintln!(
+        "searching with {} on {} ({} workers, {:.0} simulated minutes)...",
+        args.variant.label(),
+        ctx.meta.name,
+        cfg.workers,
+        cfg.wall_time / 60.0
+    );
+    let history = run_search(Arc::clone(&ctx), &cfg);
+    report(&history);
+    if let Some(path) = &args.out {
+        std::fs::write(path, serde_json::to_string_pretty(&history)?)?;
+        println!("history written to {path}");
+    }
+    if let Some(path) = &args.model_out {
+        let best = history.best().ok_or("no evaluations finished")?;
+        let (net, _) = train_final(
+            &ctx,
+            &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: args.seed ^ 0xBEEF },
+        );
+        let preds = net.predict(&ctx.test.x);
+        println!("test accuracy of retrained best model: {:.4}", ctx.test.accuracy_of(&preds));
+        save_model(&net, path)?;
+        println!("model written to {path}");
+    }
+    Ok(())
+}
+
+/// `agebo resume`.
+pub fn resume(args: &ResumeArgs) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(&args.history)?;
+    let checkpoint: SearchHistory = serde_json::from_str(&text)?;
+    // The variant is recovered from the label for the common cases.
+    let variant = if checkpoint.label.starts_with("AgEBO") {
+        agebo_core::Variant::agebo()
+    } else if let Some(n) = checkpoint.label.strip_prefix("AgE-") {
+        agebo_core::Variant::age(n.parse().unwrap_or(1))
+    } else {
+        agebo_core::Variant::agebo()
+    };
+    let ctx = Arc::new(EvalContext::prepare(args.dataset, args.profile, args.seed));
+    let cfg = search_config(args.profile, variant).with_seed(args.seed);
+    let merged = resume_search(Arc::clone(&ctx), &cfg, &checkpoint);
+    report(&merged);
+    if let Some(path) = &args.out {
+        std::fs::write(path, serde_json::to_string_pretty(&merged)?)?;
+        println!("merged history written to {path}");
+    }
+    Ok(())
+}
+
+/// `agebo evaluate`.
+pub fn evaluate(args: &EvaluateArgs) -> Result<(), CliError> {
+    let net = load_model(&args.model)?;
+    let data = load_csv(&args.csv)?;
+    if data.n_features() != net.spec().input_dim {
+        return Err(format!(
+            "model expects {} features, data has {}",
+            net.spec().input_dim,
+            data.n_features()
+        )
+        .into());
+    }
+    let preds = net.predict(&data.x);
+    let k = data.n_classes.max(net.spec().n_classes);
+    let cm = ConfusionMatrix::new(&data.y, &preds, k);
+    println!("rows: {}", data.len());
+    println!("accuracy:          {:.4}", cm.accuracy());
+    println!("balanced accuracy: {:.4}", cm.balanced_accuracy());
+    println!("macro F1:          {:.4}", cm.macro_f1());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agebo_tabular::csv::save_csv;
+    use agebo_tabular::synth::TeacherTask;
+
+    #[test]
+    fn search_and_evaluate_roundtrip_through_files() {
+        let dir = std::env::temp_dir();
+        let hist_path = dir.join("agebo_cli_hist.json");
+        let model_path = dir.join("agebo_cli_model.json");
+        let csv_path = dir.join("agebo_cli_data.csv");
+
+        // Tiny CSV data set.
+        let data = TeacherTask {
+            n_features: 6,
+            n_classes: 2,
+            n_rows: 400,
+            teacher_hidden: 4,
+            logit_scale: 3.0,
+            label_noise: 0.05,
+            linear_mix: 0.7,
+            nonlinear_dims: 3,
+        }
+        .generate(4);
+        save_csv(&data, &csv_path).unwrap();
+
+        let args = SearchArgs {
+            dataset: DatasetKind::Covertype,
+            csv: Some(csv_path.to_string_lossy().into_owned()),
+            variant: agebo_core::Variant::agebo(),
+            profile: SizeProfile::Test,
+            seed: 5,
+            out: Some(hist_path.to_string_lossy().into_owned()),
+            model_out: Some(model_path.to_string_lossy().into_owned()),
+            // Small data makes simulated evaluations short; bound the
+            // simulated wall clock so the test stays fast.
+            wall_minutes: Some(5.0),
+        };
+        search(&args).unwrap();
+        assert!(hist_path.exists());
+        assert!(model_path.exists());
+
+        // The saved model evaluates on the same CSV.
+        evaluate(&EvaluateArgs {
+            model: model_path.to_string_lossy().into_owned(),
+            csv: csv_path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+
+        // And the history resumes.
+        let text = std::fs::read_to_string(&hist_path).unwrap();
+        let h: SearchHistory = serde_json::from_str(&text).unwrap();
+        assert!(!h.is_empty());
+
+        for p in [hist_path, model_path, csv_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn evaluate_rejects_feature_mismatch() {
+        let dir = std::env::temp_dir();
+        let model_path = dir.join("agebo_cli_model2.json");
+        let csv_path = dir.join("agebo_cli_data2.csv");
+        // Model with 4 inputs.
+        let spec = agebo_nn::GraphSpec::mlp(4, &[(8, agebo_nn::Activation::Relu)], 2);
+        let net = agebo_nn::GraphNet::new(spec, &mut Stream::new(0).rng());
+        save_model(&net, &model_path).unwrap();
+        // Data with 6 features.
+        let data = TeacherTask {
+            n_features: 6,
+            n_classes: 2,
+            n_rows: 20,
+            teacher_hidden: 3,
+            logit_scale: 2.0,
+            label_noise: 0.0,
+            linear_mix: 0.5,
+            nonlinear_dims: 2,
+        }
+        .generate(1);
+        save_csv(&data, &csv_path).unwrap();
+        let err = evaluate(&EvaluateArgs {
+            model: model_path.to_string_lossy().into_owned(),
+            csv: csv_path.to_string_lossy().into_owned(),
+        });
+        assert!(err.is_err());
+        std::fs::remove_file(model_path).ok();
+        std::fs::remove_file(csv_path).ok();
+    }
+}

@@ -1,0 +1,14 @@
+//! Implementation of the `agebo` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `agebo info` — search-space and benchmark-data summary;
+//! * `agebo search` — run AgE/AgEBO on a benchmark data set or a CSV,
+//!   write the history (and optionally the best model) to JSON;
+//! * `agebo resume` — continue a saved search history;
+//! * `agebo evaluate` — load a saved model and a CSV, print metrics.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Cli, Command, ParseError};

@@ -1,0 +1,28 @@
+//! The `agebo` binary entry point.
+
+use agebo_cli::{args::USAGE, Cli, Command};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(&argv) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match &cli.command {
+        Command::Info => {
+            agebo_cli::commands::info();
+            Ok(())
+        }
+        Command::Search(args) => agebo_cli::commands::search(args),
+        Command::Resume(args) => agebo_cli::commands::resume(args),
+        Command::Evaluate(args) => agebo_cli::commands::evaluate(args),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        eprintln!("{USAGE}");
+        std::process::exit(1);
+    }
+}

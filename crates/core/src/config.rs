@@ -1,0 +1,231 @@
+//! Search configuration: method variants and scale profiles.
+
+use agebo_bo::SurrogateKind;
+use agebo_dataparallel::{DataParallelHp, TrainingCostModel};
+
+/// Which search method to run — the paper's baselines and ablations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Variant {
+    /// Plain aging evolution with *static* data-parallel training:
+    /// `lr` and `bs` follow the linear-scaling rule at fixed `n`
+    /// (Table I / Fig. 3: AgE-1, AgE-2, AgE-4, AgE-8).
+    Age {
+        /// Fixed number of data-parallel processes.
+        n: usize,
+    },
+    /// Pure random search over the joint space — the standard NAS sanity
+    /// baseline (architectures and hyperparameters sampled uniformly,
+    /// no evolution, no BO).
+    RandomSearch,
+    /// Aging evolution + Bayesian optimization of the data-parallel
+    /// hyperparameters. Freezing dimensions yields the Fig. 4 ablations.
+    AgeBo {
+        /// `Some(bs)` freezes the base batch size (AgEBO-8-LR).
+        freeze_bs: Option<usize>,
+        /// `Some(n)` freezes the process count (AgEBO-8-LR, AgEBO-8-LR-BS).
+        freeze_n: Option<usize>,
+        /// UCB exploration weight (paper default 0.001; Fig. 8 ablation).
+        kappa: f64,
+    },
+}
+
+impl Variant {
+    /// AgE with `n` static processes.
+    pub fn age(n: usize) -> Variant {
+        Variant::Age { n }
+    }
+
+    /// Random search over the joint space.
+    pub fn random_search() -> Variant {
+        Variant::RandomSearch
+    }
+
+    /// Full AgEBO: all three hyperparameters tuned, κ = 0.001.
+    pub fn agebo() -> Variant {
+        Variant::AgeBo { freeze_bs: None, freeze_n: None, kappa: 0.001 }
+    }
+
+    /// AgEBO-n-LR: only the learning rate tuned (bs = 256, fixed n).
+    pub fn agebo_lr(n: usize) -> Variant {
+        Variant::AgeBo { freeze_bs: Some(256), freeze_n: Some(n), kappa: 0.001 }
+    }
+
+    /// AgEBO-n-LR-BS: learning rate and batch size tuned (fixed n).
+    pub fn agebo_lr_bs(n: usize) -> Variant {
+        Variant::AgeBo { freeze_bs: None, freeze_n: Some(n), kappa: 0.001 }
+    }
+
+    /// Full AgEBO with a custom κ (Fig. 8).
+    pub fn agebo_kappa(kappa: f64) -> Variant {
+        Variant::AgeBo { freeze_bs: None, freeze_n: None, kappa }
+    }
+
+    /// The paper's display label for this variant.
+    pub fn label(&self) -> String {
+        match self {
+            Variant::Age { n } => format!("AgE-{n}"),
+            Variant::RandomSearch => "RS".to_string(),
+            Variant::AgeBo { freeze_bs, freeze_n, kappa } => {
+                let mut label = match (freeze_bs, freeze_n) {
+                    (Some(_), Some(n)) => format!("AgEBO-{n}-LR"),
+                    (None, Some(n)) => format!("AgEBO-{n}-LR-BS"),
+                    _ => "AgEBO".to_string(),
+                };
+                if (*kappa - 0.001).abs() > 1e-12 {
+                    label.push_str(&format!(" (kappa={kappa})"));
+                }
+                label
+            }
+        }
+    }
+}
+
+/// Full configuration of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// The method variant.
+    pub variant: Variant,
+    /// Population size `P` (paper: 100).
+    pub population: usize,
+    /// Tournament sample size `S` (paper: 10).
+    pub sample_size: usize,
+    /// Simulated worker nodes `W` (paper: 128).
+    pub workers: usize,
+    /// Simulated wall-time budget in seconds (paper: 3 h).
+    pub wall_time: f64,
+    /// Root seed of the run.
+    pub seed: u64,
+    /// Real compute threads backing the simulated workers.
+    pub n_threads: usize,
+    /// Static defaults for AgE (paper: lr 0.01, bs 256).
+    pub default_hp: DataParallelHp,
+    /// Simulated-time model, calibrated to Table I.
+    pub cost: TrainingCostModel,
+    /// Epochs charged by the cost model (the paper's 20 — independent of
+    /// the real epochs in `EvalContext`).
+    pub cost_epochs: usize,
+    /// Random BO configurations before the surrogate is fitted.
+    pub bo_n_initial: usize,
+    /// Candidate pool per UCB maximisation.
+    pub bo_candidates: usize,
+    /// Trees in the BO surrogate forest.
+    pub bo_trees: usize,
+    /// Mutate over all 37 decision variables (default) or only the layer
+    /// variables (ablation; skips then never evolve).
+    pub mutate_layers_only: bool,
+    /// Use the constant-liar refit inside multipoint `ask` (default) or
+    /// not (ablation).
+    pub bo_constant_liar: bool,
+    /// BO surrogate family (paper: random forest; GP is an ablation).
+    pub bo_surrogate: SurrogateKind,
+    /// Probability that an evaluation fails (worker crash / diverged
+    /// training). Failed evaluations are not recorded or told to the BO;
+    /// the manager immediately submits a replacement (fault tolerance of
+    /// the Balsam-style layer).
+    pub failure_rate: f64,
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+impl SearchConfig {
+    /// The paper's scale: `P = 100`, `S = 10`, `W = 128`, 3-hour wall
+    /// time. Pair with `SizeProfile::Large` data for closest fidelity.
+    pub fn paper(variant: Variant) -> Self {
+        SearchConfig {
+            variant,
+            population: 100,
+            sample_size: 10,
+            workers: 128,
+            wall_time: 3.0 * 3600.0,
+            seed: 0,
+            n_threads: default_threads(),
+            default_hp: DataParallelHp::paper_default(1),
+            cost: TrainingCostModel::paper_calibrated(),
+            cost_epochs: 20,
+            bo_n_initial: 10,
+            bo_candidates: 256,
+            bo_trees: 25,
+            mutate_layers_only: false,
+            bo_constant_liar: true,
+            bo_surrogate: SurrogateKind::RandomForest,
+            failure_rate: 0.0,
+        }
+    }
+
+    /// Reduced scale for single-machine figure reproduction: `P = 20`,
+    /// `S = 5`, `W = 12`, 50 simulated minutes.
+    pub fn bench(variant: Variant) -> Self {
+        SearchConfig {
+            population: 20,
+            sample_size: 5,
+            workers: 12,
+            wall_time: 3000.0,
+            bo_n_initial: 8,
+            bo_candidates: 128,
+            bo_trees: 15,
+            ..SearchConfig::paper(variant)
+        }
+    }
+
+    /// Tiny scale for unit/integration tests.
+    pub fn test(variant: Variant) -> Self {
+        SearchConfig {
+            population: 6,
+            sample_size: 3,
+            workers: 4,
+            wall_time: 7000.0,
+            bo_n_initial: 4,
+            bo_candidates: 32,
+            bo_trees: 8,
+            ..SearchConfig::paper(variant)
+        }
+    }
+
+    /// Sets the run seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the simulated wall time.
+    pub fn with_wall_time(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0);
+        self.wall_time = seconds;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(Variant::age(8).label(), "AgE-8");
+        assert_eq!(Variant::agebo().label(), "AgEBO");
+        assert_eq!(Variant::agebo_lr(8).label(), "AgEBO-8-LR");
+        assert_eq!(Variant::agebo_lr_bs(8).label(), "AgEBO-8-LR-BS");
+        assert_eq!(Variant::agebo_kappa(1.96).label(), "AgEBO (kappa=1.96)");
+    }
+
+    #[test]
+    fn paper_config_matches_paper_constants() {
+        let cfg = SearchConfig::paper(Variant::agebo());
+        assert_eq!(cfg.population, 100);
+        assert_eq!(cfg.sample_size, 10);
+        assert_eq!(cfg.workers, 128);
+        assert_eq!(cfg.wall_time, 3.0 * 3600.0);
+        assert_eq!(cfg.default_hp.bs1, 256);
+        assert!((cfg.default_hp.lr1 - 0.01).abs() < 1e-9);
+        assert_eq!(cfg.cost_epochs, 20);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = SearchConfig::test(Variant::age(1)).with_seed(9).with_wall_time(100.0);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.wall_time, 100.0);
+    }
+}

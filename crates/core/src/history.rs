@@ -1,0 +1,241 @@
+//! Search histories: one timed record per evaluated architecture, plus
+//! the derived quantities the paper's figures plot.
+
+use agebo_dataparallel::DataParallelHp;
+use agebo_searchspace::ArchVector;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One finished evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Evaluation id (submission order).
+    pub id: u64,
+    /// The architecture.
+    pub arch: ArchVector,
+    /// The data-parallel training hyperparameters used.
+    pub hp: DataParallelHp,
+    /// Best validation accuracy reached (the search objective).
+    pub objective: f64,
+    /// Simulated submission time (seconds).
+    pub submitted_at: f64,
+    /// Simulated completion time (seconds).
+    pub finished_at: f64,
+    /// Simulated training duration (seconds).
+    pub duration: f64,
+}
+
+/// The full record of one search run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchHistory {
+    /// Human-readable label (e.g. `"AgE-8"` or `"AgEBO"`).
+    pub label: String,
+    /// Data set name.
+    pub dataset: String,
+    /// All finished evaluations, in completion order.
+    pub records: Vec<EvalRecord>,
+    /// Simulated wall-time budget of the run (seconds).
+    pub wall_time: f64,
+    /// Number of simulated worker nodes.
+    pub n_workers: usize,
+    /// Final node utilization of the simulated cluster.
+    pub utilization: f64,
+    /// Evaluations that crashed and were resubmitted (fault injection).
+    #[serde(default)]
+    pub n_failed: usize,
+}
+
+impl SearchHistory {
+    /// Number of evaluated architectures.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no evaluation finished.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The best record by objective.
+    pub fn best(&self) -> Option<&EvalRecord> {
+        self.records
+            .iter()
+            .max_by(|a, b| a.objective.partial_cmp(&b.objective).expect("finite"))
+    }
+
+    /// Best-so-far trajectory: `(finished_at, best objective so far)` per
+    /// completion — the thick lines of Figs. 3, 4 and 6.
+    pub fn best_so_far(&self) -> Vec<(f64, f64)> {
+        let mut best = f64::NEG_INFINITY;
+        let mut sorted: Vec<&EvalRecord> = self.records.iter().collect();
+        sorted.sort_by(|a, b| a.finished_at.partial_cmp(&b.finished_at).expect("finite"));
+        sorted
+            .into_iter()
+            .map(|r| {
+                best = best.max(r.objective);
+                (r.finished_at, best)
+            })
+            .collect()
+    }
+
+    /// First simulated time at which the best-so-far reaches `target`,
+    /// if ever.
+    pub fn time_to_reach(&self, target: f64) -> Option<f64> {
+        self.best_so_far()
+            .into_iter()
+            .find(|&(_, acc)| acc >= target)
+            .map(|(t, _)| t)
+    }
+
+    /// Counts of *unique* architectures with objective above `threshold`,
+    /// cumulative over time: `(finished_at, count)` — Figs. 5 and 8.
+    pub fn high_performers_over_time(&self, threshold: f64) -> Vec<(f64, usize)> {
+        let mut sorted: Vec<&EvalRecord> = self.records.iter().collect();
+        sorted.sort_by(|a, b| a.finished_at.partial_cmp(&b.finished_at).expect("finite"));
+        let mut seen: HashSet<&ArchVector> = HashSet::new();
+        let mut out = Vec::new();
+        for r in sorted {
+            if r.objective > threshold && seen.insert(&r.arch) {
+                out.push((r.finished_at, seen.len()));
+            }
+        }
+        out
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the objectives.
+    pub fn objective_quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.records.is_empty() {
+            return f64::NAN;
+        }
+        let mut vals: Vec<f64> = self.records.iter().map(|r| r.objective).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let idx = ((vals.len() - 1) as f64 * q).round() as usize;
+        vals[idx]
+    }
+
+    /// The `k` best records, descending by objective.
+    pub fn top_k(&self, k: usize) -> Vec<&EvalRecord> {
+        let mut sorted: Vec<&EvalRecord> = self.records.iter().collect();
+        sorted.sort_by(|a, b| b.objective.partial_cmp(&a.objective).expect("finite"));
+        sorted.truncate(k);
+        sorted
+    }
+
+    /// The top fraction (e.g. 0.01 for the paper's Fig. 7) of records,
+    /// at least one.
+    pub fn top_fraction(&self, fraction: f64) -> Vec<&EvalRecord> {
+        let k = ((self.records.len() as f64 * fraction).ceil() as usize).max(1);
+        self.top_k(k)
+    }
+
+    /// Mean and standard deviation of the simulated training durations —
+    /// Table I's "training time" row.
+    pub fn duration_mean_std(&self) -> (f64, f64) {
+        if self.records.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = self.records.len() as f64;
+        let mean = self.records.iter().map(|r| r.duration).sum::<f64>() / n;
+        let var =
+            self.records.iter().map(|r| (r.duration - mean).powi(2)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, obj: f64, finished: f64, arch_tag: u16) -> EvalRecord {
+        EvalRecord {
+            id,
+            arch: ArchVector(vec![arch_tag]),
+            hp: DataParallelHp { lr1: 0.01, bs1: 256, n: 1 },
+            objective: obj,
+            submitted_at: finished - 1.0,
+            finished_at: finished,
+            duration: 1.0,
+        }
+    }
+
+    fn history(records: Vec<EvalRecord>) -> SearchHistory {
+        SearchHistory {
+            label: "test".into(),
+            dataset: "covertype".into(),
+            records,
+            wall_time: 100.0,
+            n_workers: 4,
+            utilization: 0.9,
+            n_failed: 0,
+        }
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let h = history(vec![
+            record(0, 0.5, 10.0, 0),
+            record(1, 0.3, 20.0, 1),
+            record(2, 0.8, 30.0, 2),
+            record(3, 0.6, 40.0, 3),
+        ]);
+        let traj = h.best_so_far();
+        assert_eq!(traj, vec![(10.0, 0.5), (20.0, 0.5), (30.0, 0.8), (40.0, 0.8)]);
+        assert_eq!(h.best().unwrap().id, 2);
+        assert_eq!(h.time_to_reach(0.7), Some(30.0));
+        assert_eq!(h.time_to_reach(0.9), None);
+    }
+
+    #[test]
+    fn best_so_far_sorts_out_of_order_completions() {
+        let h = history(vec![record(0, 0.9, 50.0, 0), record(1, 0.4, 10.0, 1)]);
+        let traj = h.best_so_far();
+        assert_eq!(traj[0], (10.0, 0.4));
+        assert_eq!(traj[1], (50.0, 0.9));
+    }
+
+    #[test]
+    fn high_performers_count_unique_architectures() {
+        let h = history(vec![
+            record(0, 0.95, 10.0, 7),
+            record(1, 0.96, 20.0, 7), // same arch, must not double count
+            record(2, 0.97, 30.0, 8),
+            record(3, 0.10, 40.0, 9),
+        ]);
+        let counts = h.high_performers_over_time(0.9);
+        assert_eq!(counts, vec![(10.0, 1), (30.0, 2)]);
+    }
+
+    #[test]
+    fn quantiles_and_topk() {
+        let h = history(
+            (0..100).map(|i| record(i, i as f64 / 100.0, i as f64, i as u16)).collect(),
+        );
+        assert!((h.objective_quantile(0.99) - 0.99).abs() < 0.011);
+        assert!((h.objective_quantile(0.0) - 0.0).abs() < 1e-9);
+        let top = h.top_k(3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].objective >= top[1].objective);
+        assert_eq!(h.top_fraction(0.01).len(), 1);
+    }
+
+    #[test]
+    fn duration_stats() {
+        let mut recs = vec![record(0, 0.5, 10.0, 0), record(1, 0.5, 20.0, 1)];
+        recs[0].duration = 2.0;
+        recs[1].duration = 4.0;
+        let h = history(recs);
+        let (mean, std) = h.duration_mean_std();
+        assert!((mean - 3.0).abs() < 1e-12);
+        assert!((std - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let h = history(vec![record(0, 0.5, 10.0, 0)]);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: SearchHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.records[0].arch, h.records[0].arch);
+    }
+}

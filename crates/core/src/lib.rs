@@ -1,0 +1,50 @@
+//! AgEBO-Tabular: joint neural architecture and hyperparameter search
+//! (Egele et al., SC 2021) — the core search algorithm.
+//!
+//! The method couples two searches under one manager–worker loop
+//! (Algorithm 1 of the paper):
+//!
+//! * **AgE** (aging evolution, Real et al.): a population queue of size
+//!   `P`; each step samples `S` members uniformly, selects the best,
+//!   mutates one decision variable, and the child replaces the oldest
+//!   member;
+//! * **asynchronous BO**: a random-forest surrogate with UCB acquisition
+//!   and constant-liar multipoint `ask`, generating the data-parallel
+//!   training hyperparameters `(bs₁, lr₁, n)` for every architecture the
+//!   evolution proposes.
+//!
+//! Entry points:
+//!
+//! * [`EvalContext::prepare`] — load/generate a data set and freeze the
+//!   evaluation recipe;
+//! * [`SearchConfig`] / [`Variant`] — choose AgE-n, AgEBO-8-LR,
+//!   AgEBO-8-LR-BS or full AgEBO, population sizes, simulated wall time;
+//! * [`run_search`] — execute the search, returning a [`SearchHistory`]
+//!   with one timed record per evaluated architecture.
+//!
+//! ```no_run
+//! use agebo_core::{run_search, EvalContext, SearchConfig, Variant};
+//! use agebo_tabular::{DatasetKind, SizeProfile};
+//! use std::sync::Arc;
+//!
+//! let ctx = Arc::new(EvalContext::prepare(
+//!     DatasetKind::Covertype,
+//!     SizeProfile::Bench,
+//!     42,
+//! ));
+//! let cfg = SearchConfig::bench(Variant::agebo());
+//! let history = run_search(ctx, &cfg);
+//! println!("best validation accuracy: {:.4}", history.best().unwrap().objective);
+//! ```
+
+pub mod config;
+pub mod evaluation;
+pub mod history;
+pub mod population;
+pub mod search;
+
+pub use config::{SearchConfig, Variant};
+pub use evaluation::{evaluate, EvalContext, EvalTask};
+pub use history::{EvalRecord, SearchHistory};
+pub use population::{Member, Population};
+pub use search::{resume_search, run_search};

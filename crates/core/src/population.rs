@@ -1,0 +1,175 @@
+//! The aging population queue of AgE.
+//!
+//! Members enter at the back; when the population is at capacity the
+//! *oldest* member is discarded — regularised evolution's defining rule
+//! (age-based removal, not fitness-based).
+
+use agebo_searchspace::ArchVector;
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// An evaluated architecture living in the population.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// The architecture.
+    pub arch: ArchVector,
+    /// Its validation accuracy (the search objective).
+    pub accuracy: f64,
+}
+
+/// Fixed-capacity aging queue.
+#[derive(Debug)]
+pub struct Population {
+    queue: VecDeque<Member>,
+    capacity: usize,
+}
+
+impl Population {
+    /// An empty population with capacity `p` (the paper's `P`).
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1);
+        Population { queue: VecDeque::with_capacity(p), capacity: p }
+    }
+
+    /// Current number of members.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// True once `P` members have accumulated (mutation phase begins).
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Capacity `P`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds a member, aging out the oldest if at capacity.
+    pub fn push(&mut self, member: Member) {
+        if self.is_full() {
+            self.queue.pop_front();
+        }
+        self.queue.push_back(member);
+    }
+
+    /// Tournament selection: draw `s` members without replacement
+    /// (all members if fewer exist) and return the most accurate.
+    ///
+    /// # Panics
+    /// Panics on an empty population.
+    pub fn select_parent(&self, s: usize, rng: &mut impl Rng) -> &Member {
+        assert!(!self.queue.is_empty(), "empty population");
+        let k = s.clamp(1, self.queue.len());
+        index_sample(rng, self.queue.len(), k)
+            .iter()
+            .map(|i| &self.queue[i])
+            .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite accuracy"))
+            .expect("k >= 1")
+    }
+
+    /// Iterates members from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Member> {
+        self.queue.iter()
+    }
+
+    /// Mean accuracy of the current population.
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.queue.is_empty() {
+            return 0.0;
+        }
+        self.queue.iter().map(|m| m.accuracy).sum::<f64>() / self.queue.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn member(tag: u16, acc: f64) -> Member {
+        Member { arch: ArchVector(vec![tag]), accuracy: acc }
+    }
+
+    #[test]
+    fn oldest_is_aged_out() {
+        let mut p = Population::new(3);
+        for i in 0..5u16 {
+            p.push(member(i, i as f64));
+        }
+        assert_eq!(p.len(), 3);
+        let tags: Vec<u16> = p.iter().map(|m| m.arch.0[0]).collect();
+        assert_eq!(tags, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn aging_removes_even_the_best() {
+        // Regularised evolution: the best member dies when it is oldest.
+        let mut p = Population::new(2);
+        p.push(member(0, 0.99));
+        p.push(member(1, 0.10));
+        p.push(member(2, 0.20));
+        let tags: Vec<u16> = p.iter().map(|m| m.arch.0[0]).collect();
+        assert_eq!(tags, vec![1, 2]);
+    }
+
+    #[test]
+    fn tournament_returns_best_of_sample() {
+        let mut p = Population::new(10);
+        for i in 0..10u16 {
+            p.push(member(i, i as f64 / 10.0));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        // Sampling all members must return the global best.
+        let parent = p.select_parent(10, &mut rng);
+        assert_eq!(parent.arch.0[0], 9);
+    }
+
+    #[test]
+    fn tournament_with_s1_is_uniform_ish() {
+        let mut p = Population::new(4);
+        for i in 0..4u16 {
+            p.push(member(i, i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(p.select_parent(1, &mut rng).arch.0[0]);
+        }
+        assert_eq!(seen.len(), 4, "S=1 should eventually pick everyone");
+    }
+
+    #[test]
+    fn sample_size_larger_than_population_is_clamped() {
+        let mut p = Population::new(5);
+        p.push(member(0, 0.5));
+        p.push(member(1, 0.7));
+        let mut rng = StdRng::seed_from_u64(2);
+        let parent = p.select_parent(10, &mut rng);
+        assert_eq!(parent.arch.0[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn selecting_from_empty_panics() {
+        let p = Population::new(3);
+        p.select_parent(2, &mut StdRng::seed_from_u64(3));
+    }
+
+    #[test]
+    fn mean_accuracy() {
+        let mut p = Population::new(3);
+        assert_eq!(p.mean_accuracy(), 0.0);
+        p.push(member(0, 0.2));
+        p.push(member(1, 0.4));
+        assert!((p.mean_accuracy() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,425 @@
+//! Algorithm 1: the AgE / AgEBO manager loop.
+//!
+//! The loop is a faithful transcription of the paper's pseudocode. The
+//! black lines (AgE) always run; the blue lines (`optimizer.tell` /
+//! `optimizer.ask`) run only for the AgEBO variants:
+//!
+//! 1. submit `W` random (architecture, hyperparameter) evaluations;
+//! 2. collect finished results (`get_finished_evaluations`);
+//! 3. push them into the aging population; `tell` the BO their
+//!    hyperparameters and accuracies;
+//! 4. `ask` the BO for `|results|` new hyperparameter configurations;
+//! 5. for each: if the population is full, tournament-sample `S`, mutate
+//!    the winner; otherwise sample a random architecture;
+//! 6. submit and repeat until the simulated wall time is exhausted.
+
+use crate::config::{SearchConfig, Variant};
+use crate::evaluation::{component_rng, evaluate_with_faults, task_seed, EvalContext, EvalTask};
+use crate::history::{EvalRecord, SearchHistory};
+use crate::population::{Member, Population};
+use agebo_bo::{BoConfig, BoOptimizer, HpPoint, Space};
+use agebo_dataparallel::DataParallelHp;
+use agebo_scheduler::Evaluator;
+use agebo_searchspace::ArchVector;
+use agebo_tensor::Stream;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Converts a BO point `[bs₁, lr₁, n]` into training hyperparameters.
+fn hp_of_point(p: &HpPoint) -> DataParallelHp {
+    DataParallelHp { bs1: p[0].round() as usize, lr1: p[1] as f32, n: p[2].round() as usize }
+}
+
+/// Converts training hyperparameters back into a BO point, clamping the
+/// f32→f64 learning rate into the space bounds.
+fn point_of_hp(hp: DataParallelHp) -> HpPoint {
+    vec![hp.bs1 as f64, (hp.lr1 as f64).clamp(0.001, 0.1), hp.n as f64]
+}
+
+/// Runs one search and returns its history.
+///
+/// Real trainings execute on `cfg.n_threads` OS threads; completion order,
+/// the clock and utilization follow the paper-scale simulated durations
+/// from `cfg.cost`.
+pub fn run_search(ctx: Arc<EvalContext>, cfg: &SearchConfig) -> SearchHistory {
+    run_search_with_state(ctx, cfg, None)
+}
+
+/// Resumes a search from a previous run's history.
+///
+/// The aging population is rebuilt from the last `P` completed
+/// evaluations and the BO surrogate is re-told every (hyperparameter,
+/// accuracy) pair, so the warm start carries both searches' state.
+/// Evaluations that were in flight when the checkpoint was taken are
+/// lost (they are not in the history); the resumed run gets a fresh
+/// `cfg.wall_time` budget and its records are appended with times offset
+/// by the checkpoint's wall time.
+pub fn resume_search(
+    ctx: Arc<EvalContext>,
+    cfg: &SearchConfig,
+    checkpoint: &SearchHistory,
+) -> SearchHistory {
+    run_search_with_state(ctx, cfg, Some(checkpoint))
+}
+
+fn run_search_with_state(
+    ctx: Arc<EvalContext>,
+    cfg: &SearchConfig,
+    warm: Option<&SearchHistory>,
+) -> SearchHistory {
+    assert!(cfg.workers >= 1 && cfg.population >= 1 && cfg.sample_size >= 1);
+    let stream = Stream::new(cfg.seed);
+    let mut arch_rng = component_rng(cfg.seed, 1);
+
+    let mut bo = match &cfg.variant {
+        Variant::Age { .. } | Variant::RandomSearch => None,
+        Variant::AgeBo { freeze_bs, freeze_n, kappa } => Some(BoOptimizer::new(
+            Space::paper_hm_frozen(*freeze_bs, *freeze_n),
+            BoConfig {
+                kappa: *kappa,
+                n_initial: cfg.bo_n_initial,
+                n_candidates: cfg.bo_candidates,
+                n_trees: cfg.bo_trees,
+                seed: stream.labeled(2),
+                use_liar: cfg.bo_constant_liar,
+                surrogate: cfg.bo_surrogate,
+            },
+        )),
+    };
+
+    let worker_ctx = Arc::clone(&ctx);
+    let failure_rate = cfg.failure_rate;
+    let mut evaluator: Evaluator<EvalTask, Option<f64>> =
+        Evaluator::new(cfg.workers, cfg.n_threads.max(1), move |task| {
+            evaluate_with_faults(&worker_ctx, task, failure_rate)
+        });
+
+    let mut population = Population::new(cfg.population);
+    // id -> (arch, hp, submitted_at)
+    let mut pending: HashMap<u64, (ArchVector, DataParallelHp, f64)> = HashMap::new();
+    let mut records: Vec<EvalRecord> = Vec::new();
+    let mut n_failed = 0usize;
+
+    // Warm start: replay the checkpoint into population and BO state.
+    if let Some(prev) = warm {
+        let mut sorted: Vec<&EvalRecord> = prev.records.iter().collect();
+        sorted.sort_by(|a, b| a.finished_at.partial_cmp(&b.finished_at).expect("finite"));
+        for r in &sorted {
+            population.push(Member { arch: r.arch.clone(), accuracy: r.objective });
+        }
+        if let Some(bo) = &mut bo {
+            let xs: Vec<HpPoint> = sorted.iter().map(|r| point_of_hp(r.hp)).collect();
+            let ys: Vec<f64> = sorted.iter().map(|r| r.objective).collect();
+            if !xs.is_empty() {
+                bo.tell(&xs, &ys);
+            }
+        }
+    }
+
+    let static_hp = match cfg.variant {
+        Variant::Age { n } => Some(DataParallelHp { n, ..cfg.default_hp }),
+        Variant::RandomSearch => Some(cfg.default_hp),
+        Variant::AgeBo { .. } => None,
+    };
+    // Random search never evolves: hp sampled fresh per submission too.
+    let pure_random = matches!(cfg.variant, Variant::RandomSearch);
+    let mut hp_rng = component_rng(cfg.seed, 3);
+    let hm_space = Space::paper_hm();
+
+    let mut submit_counter: u64 = 0;
+    let submit = |evaluator: &mut Evaluator<EvalTask, Option<f64>>,
+                      pending: &mut HashMap<u64, (ArchVector, DataParallelHp, f64)>,
+                      counter: &mut u64,
+                      arch: ArchVector,
+                      hp: DataParallelHp| {
+        let params = ctx.space.to_graph(&arch).param_count();
+        // The duration charged is the paper-scale one (cost_epochs = 20),
+        // independent of the scaled-down real training.
+        let noise_seed = stream.labeled(0x5EED_0000 ^ *counter);
+        let duration = cfg.cost.seconds(&ctx.meta, params, hp, cfg.cost_epochs, noise_seed);
+        let submitted_at = evaluator.now();
+        let seed = task_seed(cfg.seed, *counter);
+        *counter += 1;
+        let id = evaluator.submit_evaluation(EvalTask { arch: arch.clone(), hp, seed }, duration);
+        pending.insert(id, (arch, hp, submitted_at));
+    };
+
+    // Initialization: W nonblocking submissions (Algorithm 1, lines 3-7).
+    let init_hps: Vec<DataParallelHp> = if pure_random {
+        (0..cfg.workers).map(|_| hp_of_point(&hm_space.sample(&mut hp_rng))).collect()
+    } else {
+        match (&static_hp, &mut bo) {
+            (Some(hp), _) => vec![*hp; cfg.workers],
+            (None, Some(bo)) => bo.ask(cfg.workers).iter().map(hp_of_point).collect(),
+            _ => unreachable!("variant has either static or BO hyperparameters"),
+        }
+    };
+    for hp in init_hps {
+        let arch = ctx.space.random(&mut arch_rng);
+        submit(&mut evaluator, &mut pending, &mut submit_counter, arch, hp);
+    }
+
+    // Main loop (Algorithm 1, lines 8-25).
+    loop {
+        let finished = evaluator.get_finished_evaluations();
+        if finished.is_empty() {
+            break;
+        }
+        let mut batch_x: Vec<HpPoint> = Vec::with_capacity(finished.len());
+        let mut batch_y: Vec<f64> = Vec::with_capacity(finished.len());
+        let mut n_replace = 0usize;
+        for f in &finished {
+            let (arch, hp, submitted_at) =
+                pending.remove(&f.id).expect("finished id was pending");
+            if f.finished_at <= cfg.wall_time {
+                n_replace += 1;
+                match f.result {
+                    Some(objective) => {
+                        records.push(EvalRecord {
+                            id: f.id,
+                            arch: arch.clone(),
+                            hp,
+                            objective,
+                            submitted_at,
+                            finished_at: f.finished_at,
+                            duration: f.duration,
+                        });
+                        population.push(Member { arch, accuracy: objective });
+                        batch_x.push(point_of_hp(hp));
+                        batch_y.push(objective);
+                    }
+                    None => n_failed += 1, // crash: resubmit, don't record
+                }
+            }
+        }
+        if let Some(bo) = &mut bo {
+            if !batch_x.is_empty() {
+                bo.tell(&batch_x, &batch_y);
+            }
+        }
+        if evaluator.now() >= cfg.wall_time || n_replace == 0 {
+            break;
+        }
+        // Generate |results| replacements (failed slots are refilled too).
+        let next_hps: Vec<DataParallelHp> = if pure_random {
+            (0..n_replace).map(|_| hp_of_point(&hm_space.sample(&mut hp_rng))).collect()
+        } else {
+            match (&static_hp, &mut bo) {
+                (Some(hp), _) => vec![*hp; n_replace],
+                (None, Some(bo)) => bo.ask(n_replace).iter().map(hp_of_point).collect(),
+                _ => unreachable!(),
+            }
+        };
+        for hp in next_hps {
+            let arch = if pure_random {
+                ctx.space.random(&mut arch_rng)
+            } else if population.is_full() {
+                let parent = population.select_parent(cfg.sample_size, &mut arch_rng).arch.clone();
+                if cfg.mutate_layers_only {
+                    ctx.space.mutate_layers_only(&parent, &mut arch_rng)
+                } else {
+                    ctx.space.mutate(&parent, &mut arch_rng)
+                }
+            } else {
+                ctx.space.random(&mut arch_rng)
+            };
+            submit(&mut evaluator, &mut pending, &mut submit_counter, arch, hp);
+        }
+    }
+
+    let utilization = evaluator.utilization();
+    match warm {
+        None => SearchHistory {
+            label: cfg.variant.label(),
+            dataset: ctx.meta.name.to_string(),
+            records,
+            wall_time: cfg.wall_time,
+            n_workers: cfg.workers,
+            utilization,
+            n_failed,
+        },
+        Some(prev) => {
+            // Append with times shifted past the checkpoint's budget.
+            let offset = prev.wall_time;
+            let mut merged = prev.records.clone();
+            let base_id = merged.iter().map(|r| r.id).max().map_or(0, |m| m + 1);
+            for mut r in records {
+                r.id += base_id;
+                r.submitted_at += offset;
+                r.finished_at += offset;
+                merged.push(r);
+            }
+            SearchHistory {
+                label: prev.label.clone(),
+                dataset: prev.dataset.clone(),
+                records: merged,
+                wall_time: offset + cfg.wall_time,
+                n_workers: cfg.workers,
+                utilization,
+                n_failed: prev.n_failed + n_failed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agebo_tabular::{DatasetKind, SizeProfile};
+
+    fn ctx() -> Arc<EvalContext> {
+        Arc::new(EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, 7))
+    }
+
+    #[test]
+    fn age_search_runs_and_records() {
+        let cfg = SearchConfig::test(Variant::age(4)).with_seed(1);
+        let h = run_search(ctx(), &cfg);
+        assert!(!h.is_empty(), "no evaluations finished");
+        assert_eq!(h.label, "AgE-4");
+        assert_eq!(h.dataset, "covertype");
+        // Static variant: every record uses the default hp at n=4.
+        for r in &h.records {
+            assert_eq!(r.hp.n, 4);
+            assert_eq!(r.hp.bs1, 256);
+        }
+        // All finished within the wall time, and durations positive.
+        for r in &h.records {
+            assert!(r.finished_at <= h.wall_time);
+            assert!(r.duration > 0.0);
+            assert!(r.submitted_at < r.finished_at);
+            assert!((0.0..=1.0).contains(&r.objective));
+        }
+    }
+
+    #[test]
+    fn agebo_search_tunes_hyperparameters() {
+        let cfg = SearchConfig::test(Variant::agebo()).with_seed(2);
+        let h = run_search(ctx(), &cfg);
+        assert!(!h.is_empty());
+        assert_eq!(h.label, "AgEBO");
+        // BO variant: hyperparameters vary across evaluations.
+        let distinct_n: std::collections::HashSet<usize> =
+            h.records.iter().map(|r| r.hp.n).collect();
+        let distinct_bs: std::collections::HashSet<usize> =
+            h.records.iter().map(|r| r.hp.bs1).collect();
+        assert!(distinct_n.len() > 1 || distinct_bs.len() > 1, "BO never varied the hp");
+        for r in &h.records {
+            assert!([1, 2, 4, 8].contains(&r.hp.n));
+            assert!([32, 64, 128, 256, 512, 1024].contains(&r.hp.bs1));
+            assert!((0.001..=0.1).contains(&(r.hp.lr1 as f64)));
+        }
+    }
+
+    #[test]
+    fn frozen_variants_respect_freezes() {
+        let cfg = SearchConfig::test(Variant::agebo_lr(8)).with_seed(3).with_wall_time(3000.0);
+        let h = run_search(ctx(), &cfg);
+        for r in &h.records {
+            assert_eq!(r.hp.n, 8);
+            assert_eq!(r.hp.bs1, 256);
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let cfg = SearchConfig::test(Variant::agebo()).with_seed(4).with_wall_time(4000.0);
+        let a = run_search(ctx(), &cfg);
+        let b = run_search(ctx(), &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.arch, y.arch);
+            assert_eq!(x.objective, y.objective);
+            assert_eq!(x.finished_at, y.finished_at);
+        }
+    }
+
+    #[test]
+    fn utilization_is_high_when_saturated() {
+        let cfg = SearchConfig::test(Variant::age(8)).with_seed(5);
+        let h = run_search(ctx(), &cfg);
+        assert!(h.utilization > 0.7, "utilization={}", h.utilization);
+    }
+
+    #[test]
+    fn more_ranks_mean_more_evaluations() {
+        // Table I's first row: higher n => shorter simulated evaluations
+        // => more architectures in the same wall time.
+        let cfg1 = SearchConfig::test(Variant::age(1)).with_seed(6);
+        let cfg8 = SearchConfig::test(Variant::age(8)).with_seed(6);
+        let shared = ctx();
+        let h1 = run_search(Arc::clone(&shared), &cfg1);
+        let h8 = run_search(shared, &cfg8);
+        assert!(
+            h8.len() > h1.len() * 3,
+            "AgE-8 {} vs AgE-1 {}",
+            h8.len(),
+            h1.len()
+        );
+    }
+
+    #[test]
+    fn resume_extends_a_checkpoint() {
+        let shared = ctx();
+        let cfg = SearchConfig::test(Variant::agebo()).with_seed(8).with_wall_time(3000.0);
+        let first = run_search(Arc::clone(&shared), &cfg);
+        assert!(!first.is_empty());
+        let resumed = resume_search(Arc::clone(&shared), &cfg, &first);
+        assert!(resumed.len() > first.len(), "resume added no evaluations");
+        assert_eq!(resumed.wall_time, first.wall_time + cfg.wall_time);
+        // Old records are preserved verbatim; new ones come later in time.
+        for (a, b) in first.records.iter().zip(&resumed.records) {
+            assert_eq!(a.arch, b.arch);
+            assert_eq!(a.finished_at, b.finished_at);
+        }
+        let first_end = first.records.iter().map(|r| r.finished_at).fold(0.0, f64::max);
+        for r in &resumed.records[first.len()..] {
+            assert!(r.finished_at >= first_end);
+        }
+        // Ids stay unique after the merge.
+        let ids: std::collections::HashSet<u64> =
+            resumed.records.iter().map(|r| r.id).collect();
+        assert_eq!(ids.len(), resumed.len());
+    }
+
+    #[test]
+    fn random_search_variant_never_mutates() {
+        let cfg = SearchConfig::test(Variant::random_search()).with_seed(10);
+        let h = run_search(ctx(), &cfg);
+        assert!(!h.is_empty());
+        assert_eq!(h.label, "RS");
+        // All submissions are uniform random: no record should be at
+        // Hamming distance 1 from ALL of its predecessors-by-id... instead
+        // check diversity: hp values vary (sampled per submission).
+        let distinct_hp: std::collections::HashSet<(usize, usize)> =
+            h.records.iter().map(|r| (r.hp.bs1, r.hp.n)).collect();
+        assert!(distinct_hp.len() > 1, "random search should sample varied hp");
+    }
+
+    #[test]
+    fn fault_injection_records_failures_and_continues() {
+        let mut cfg = SearchConfig::test(Variant::age(8)).with_seed(11);
+        cfg.failure_rate = 0.3;
+        let h = run_search(ctx(), &cfg);
+        assert!(h.n_failed > 0, "expected some injected failures");
+        assert!(!h.is_empty(), "search must survive failures");
+        // The cluster stayed saturated despite crashes.
+        assert!(h.utilization > 0.6, "utilization {}", h.utilization);
+        // A failure-free run records more evaluations.
+        let mut clean_cfg = SearchConfig::test(Variant::age(8)).with_seed(11);
+        clean_cfg.failure_rate = 0.0;
+        let clean = run_search(ctx(), &clean_cfg);
+        assert!(clean.len() > h.len());
+        assert_eq!(clean.n_failed, 0);
+    }
+
+    #[test]
+    fn hp_point_roundtrip() {
+        let hp = DataParallelHp { lr1: 0.0123, bs1: 512, n: 4 };
+        let p = point_of_hp(hp);
+        let back = hp_of_point(&p);
+        assert_eq!(back.bs1, 512);
+        assert_eq!(back.n, 4);
+        assert!((back.lr1 - 0.0123).abs() < 1e-6);
+    }
+}

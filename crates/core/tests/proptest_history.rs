@@ -1,0 +1,113 @@
+//! Property tests on search histories and the aging population.
+
+use agebo_core::{EvalRecord, Member, Population, SearchHistory};
+use agebo_dataparallel::DataParallelHp;
+use agebo_searchspace::ArchVector;
+use proptest::prelude::*;
+
+fn history_from(objs: Vec<f64>, times: Vec<u32>) -> SearchHistory {
+    let records = objs
+        .iter()
+        .zip(&times)
+        .enumerate()
+        .map(|(i, (&o, &t))| EvalRecord {
+            id: i as u64,
+            arch: ArchVector(vec![i as u16]),
+            hp: DataParallelHp { lr1: 0.01, bs1: 256, n: 1 },
+            objective: o,
+            submitted_at: t as f64,
+            finished_at: t as f64 + 1.0,
+            duration: 1.0,
+        })
+        .collect();
+    SearchHistory {
+        label: "prop".into(),
+        dataset: "prop".into(),
+        records,
+        wall_time: 1e9,
+        n_workers: 1,
+        utilization: 1.0,
+        n_failed: 0,
+    }
+}
+
+proptest! {
+    #[test]
+    fn best_so_far_is_monotone_and_bounded(
+        objs in prop::collection::vec(0.0f64..1.0, 1..80),
+        times in prop::collection::vec(0u32..10_000, 1..80),
+    ) {
+        let n = objs.len().min(times.len());
+        let h = history_from(objs[..n].to_vec(), times[..n].to_vec());
+        let traj = h.best_so_far();
+        prop_assert_eq!(traj.len(), n);
+        prop_assert!(traj.windows(2).all(|w| w[1].1 >= w[0].1 && w[1].0 >= w[0].0));
+        let max = objs[..n].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(traj.last().unwrap().1, max);
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics(
+        objs in prop::collection::vec(0.0f64..1.0, 1..100),
+        q in 0.0f64..1.0,
+    ) {
+        let times: Vec<u32> = (0..objs.len() as u32).collect();
+        let h = history_from(objs.clone(), times);
+        let v = h.objective_quantile(q);
+        let mut sorted = objs;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(v >= sorted[0] && v <= *sorted.last().unwrap());
+        // 0-quantile and 1-quantile are the extremes.
+        prop_assert_eq!(h.objective_quantile(0.0), sorted[0]);
+        prop_assert_eq!(h.objective_quantile(1.0), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn top_k_is_sorted_prefix_of_sorted_objectives(
+        objs in prop::collection::vec(0.0f64..1.0, 1..60),
+        k in 1usize..20,
+    ) {
+        let times: Vec<u32> = (0..objs.len() as u32).collect();
+        let h = history_from(objs.clone(), times);
+        let top = h.top_k(k);
+        prop_assert_eq!(top.len(), k.min(objs.len()));
+        prop_assert!(top.windows(2).all(|w| w[0].objective >= w[1].objective));
+        let mut sorted = objs;
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (t, s) in top.iter().zip(&sorted) {
+            prop_assert_eq!(t.objective, *s);
+        }
+    }
+
+    #[test]
+    fn high_performer_counts_are_cumulative_and_bounded(
+        objs in prop::collection::vec(0.0f64..1.0, 1..60),
+        threshold in 0.0f64..1.0,
+    ) {
+        let times: Vec<u32> = (0..objs.len() as u32).collect();
+        let h = history_from(objs.clone(), times);
+        let counts = h.high_performers_over_time(threshold);
+        prop_assert!(counts.windows(2).all(|w| w[1].1 == w[0].1 + 1));
+        let expect = objs.iter().filter(|&&o| o > threshold).count();
+        prop_assert_eq!(counts.len(), expect);
+    }
+
+    /// The aging queue holds exactly the last `P` pushed members, in push
+    /// order, for any push sequence.
+    #[test]
+    fn population_is_a_sliding_window(
+        accs in prop::collection::vec(0.0f64..1.0, 1..60),
+        p in 1usize..12,
+    ) {
+        let mut pop = Population::new(p);
+        for (i, &a) in accs.iter().enumerate() {
+            pop.push(Member { arch: ArchVector(vec![i as u16]), accuracy: a });
+        }
+        let expect: Vec<u16> = (accs.len().saturating_sub(p)..accs.len())
+            .map(|i| i as u16)
+            .collect();
+        let got: Vec<u16> = pop.iter().map(|m| m.arch.0[0]).collect();
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(pop.len(), p.min(accs.len()));
+    }
+}

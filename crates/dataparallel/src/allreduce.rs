@@ -1,0 +1,138 @@
+//! Gradient allreduce: the averaging arithmetic plus a ring-allreduce
+//! communication-cost model.
+
+use agebo_nn::GradientBuffer;
+use serde::{Deserialize, Serialize};
+
+/// Averages per-rank gradients into a single buffer (what Horovod's
+/// allreduce computes). Consumes the rank buffers.
+///
+/// # Panics
+/// Panics when `grads` is empty.
+pub fn average_gradients(mut grads: Vec<GradientBuffer>) -> GradientBuffer {
+    let n = grads.len();
+    assert!(n > 0, "no gradients to reduce");
+    let mut acc = grads.swap_remove(0);
+    for g in &grads {
+        acc.add_assign(g);
+    }
+    acc.scale(1.0 / n as f32);
+    acc
+}
+
+/// Analytic cost model of a ring allreduce over `n` ranks.
+///
+/// Standard ring-allreduce cost: each rank sends `2(n−1)/n` of the buffer
+/// in `2(n−1)` latency-bound steps:
+/// `t = 2(n−1)·α + 2(n−1)/n · bytes/β`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RingAllreduceModel {
+    /// Per-message latency α in seconds.
+    pub latency: f64,
+    /// Link bandwidth β in bytes/second.
+    pub bandwidth: f64,
+}
+
+impl RingAllreduceModel {
+    /// Intra-node defaults used for the paper-scale simulation:
+    /// shared-memory transport, 50 µs per hop, 5 GB/s effective.
+    pub fn intra_node() -> Self {
+        RingAllreduceModel { latency: 50e-6, bandwidth: 5e9 }
+    }
+
+    /// Seconds to allreduce `param_count` f32 values over `n` ranks.
+    /// Zero when `n == 1` (no communication).
+    pub fn seconds(&self, param_count: usize, n: usize) -> f64 {
+        assert!(n > 0);
+        if n == 1 {
+            return 0.0;
+        }
+        let bytes = param_count as f64 * 4.0;
+        let hops = 2.0 * (n as f64 - 1.0);
+        hops * self.latency + (hops / n as f64) * bytes / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agebo_nn::{Activation, GraphNet, GraphSpec};
+    use agebo_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grads_for(seed: u64) -> (GraphNet, GradientBuffer, GradientBuffer) {
+        let spec = GraphSpec::mlp(3, &[(4, Activation::Relu)], 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = GraphNet::new(spec, &mut rng);
+        let x1 = Matrix::he_normal(5, 3, &mut rng);
+        let x2 = Matrix::he_normal(5, 3, &mut rng);
+        let y = vec![0, 1, 0, 1, 0];
+        let (_, g1) = net.forward_backward(&x1, &y);
+        let (_, g2) = net.forward_backward(&x2, &y);
+        (net, g1, g2)
+    }
+
+    #[test]
+    fn average_of_two_is_midpoint() {
+        let (_, g1, g2) = grads_for(0);
+        let avg = average_gradients(vec![g1.clone(), g2.clone()]);
+        for ((a, b), m) in g1.weights.iter().zip(&g2.weights).zip(&avg.weights) {
+            for ((x, y), z) in a.as_slice().iter().zip(b.as_slice()).zip(m.as_slice()) {
+                assert!(((x + y) / 2.0 - z).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn average_of_one_is_identity() {
+        let (_, g1, _) = grads_for(1);
+        let avg = average_gradients(vec![g1.clone()]);
+        for (a, b) in g1.weights.iter().zip(&avg.weights) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn allreduce_equals_full_batch_gradient() {
+        // Averaging per-shard gradients of equal-size shards equals the
+        // gradient of the concatenated batch (mean loss is linear in rows).
+        let spec = GraphSpec::mlp(3, &[(4, Activation::Tanh)], 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = GraphNet::new(spec, &mut rng);
+        let x = Matrix::he_normal(8, 3, &mut rng);
+        let y = vec![0, 1, 0, 1, 1, 0, 1, 0];
+        let (_, full) = net.forward_backward(&x, &y);
+
+        let x1 = x.gather_rows(&[0, 1, 2, 3]);
+        let x2 = x.gather_rows(&[4, 5, 6, 7]);
+        let (_, g1) = net.forward_backward(&x1, &y[..4]);
+        let (_, g2) = net.forward_backward(&x2, &y[4..]);
+        let avg = average_gradients(vec![g1, g2]);
+        for (a, b) in full.weights.iter().zip(&avg.weights) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_cost_zero_for_one_rank_and_grows_with_n() {
+        let m = RingAllreduceModel::intra_node();
+        assert_eq!(m.seconds(1_000_000, 1), 0.0);
+        let t2 = m.seconds(1_000_000, 2);
+        let t8 = m.seconds(1_000_000, 8);
+        assert!(t2 > 0.0);
+        assert!(t8 > t2);
+    }
+
+    #[test]
+    fn ring_cost_bandwidth_term_saturates() {
+        // The bandwidth term per rank approaches 2·bytes/β as n→∞, so the
+        // cost is dominated by latency growth, not bandwidth growth.
+        let m = RingAllreduceModel { latency: 0.0, bandwidth: 1e9 };
+        let t2 = m.seconds(1_000_000, 2);
+        let t64 = m.seconds(1_000_000, 64);
+        assert!(t64 < t2 * 2.0 + 1e-9);
+    }
+}

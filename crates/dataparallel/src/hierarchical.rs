@@ -1,0 +1,143 @@
+//! Multinode data-parallel cost modelling — the paper's future work (2):
+//! "developing multinode data-parallel training within NAS for large data
+//! sets".
+//!
+//! The single-node experiments cap `n` at 8 processes inside one KNL
+//! node. Going multinode adds a second, slower communication tier; the
+//! standard approach is a **hierarchical allreduce**: reduce within each
+//! node over shared memory, allreduce the per-node partials across nodes
+//! over the interconnect, then broadcast within nodes. This module
+//! extends the §III-B cost model accordingly so the scaling limit of
+//! multinode configurations can be explored (`exp_multinode`).
+
+use crate::allreduce::RingAllreduceModel;
+use crate::scaling::DataParallelHp;
+use agebo_tabular::DatasetMeta;
+use serde::{Deserialize, Serialize};
+
+/// Two-tier allreduce cost model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HierarchicalAllreduceModel {
+    /// Shared-memory tier (within a node).
+    pub intra: RingAllreduceModel,
+    /// Interconnect tier (across nodes).
+    pub inter: RingAllreduceModel,
+    /// Ranks per node (8 on the paper's KNL setup).
+    pub ranks_per_node: usize,
+}
+
+impl HierarchicalAllreduceModel {
+    /// Theta-like defaults: fast shared memory within a node, Aries-like
+    /// interconnect across nodes (higher latency, lower bandwidth).
+    pub fn theta_like() -> Self {
+        HierarchicalAllreduceModel {
+            intra: RingAllreduceModel::intra_node(),
+            inter: RingAllreduceModel { latency: 2e-6 * 60.0, bandwidth: 1.2e9 },
+            ranks_per_node: 8,
+        }
+    }
+
+    /// Seconds to allreduce `param_count` f32 values over `n` total ranks.
+    ///
+    /// Within one node this degenerates to the intra-node ring; beyond,
+    /// it is intra-reduce + inter-ring + intra-broadcast (the broadcast
+    /// costs another intra pass).
+    pub fn seconds(&self, param_count: usize, n: usize) -> f64 {
+        assert!(n > 0);
+        if n <= self.ranks_per_node {
+            return self.intra.seconds(param_count, n);
+        }
+        let nodes = n.div_ceil(self.ranks_per_node);
+        let local = self.intra.seconds(param_count, self.ranks_per_node);
+        let global = self.inter.seconds(param_count, nodes);
+        // reduce + broadcast locally, allreduce globally.
+        2.0 * local + global
+    }
+}
+
+/// Expected multinode training time in seconds: same compute decomposition
+/// as [`crate::TrainingCostModel`] with the hierarchical communication
+/// tier.
+pub fn multinode_expected_seconds(
+    compute_rate: f64,
+    comm: &HierarchicalAllreduceModel,
+    meta: &DatasetMeta,
+    param_count: usize,
+    hp: DataParallelHp,
+    epochs: usize,
+    epoch_overhead: f64,
+) -> f64 {
+    hp.validate();
+    let train_rows = meta.paper_train_rows() as f64;
+    let steps_per_epoch = (train_rows / hp.scaled_bs() as f64).max(1.0);
+    let compute = 6.0 * hp.bs1 as f64 * param_count as f64 / compute_rate;
+    let comm_s = comm.seconds(param_count, hp.n);
+    epochs as f64 * (steps_per_epoch * (compute + comm_s) + epoch_overhead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> DatasetMeta {
+        DatasetMeta {
+            name: "covertype",
+            paper_rows: 581_012,
+            n_features: 54,
+            paper_classes: 7,
+            actual_classes: 7,
+            actual_rows: 1000,
+        }
+    }
+
+    #[test]
+    fn single_node_matches_intra_ring() {
+        let m = HierarchicalAllreduceModel::theta_like();
+        for n in [1usize, 2, 4, 8] {
+            assert_eq!(m.seconds(50_000, n), m.intra.seconds(50_000, n));
+        }
+    }
+
+    #[test]
+    fn crossing_the_node_boundary_is_expensive() {
+        let m = HierarchicalAllreduceModel::theta_like();
+        let t8 = m.seconds(50_000, 8);
+        let t16 = m.seconds(50_000, 16);
+        assert!(t16 > t8 * 1.5, "t8={t8} t16={t16}");
+    }
+
+    #[test]
+    fn comm_grows_with_node_count() {
+        let m = HierarchicalAllreduceModel::theta_like();
+        let t16 = m.seconds(50_000, 16);
+        let t64 = m.seconds(50_000, 64);
+        assert!(t64 > t16);
+    }
+
+    #[test]
+    fn multinode_time_has_a_scaling_sweet_spot() {
+        // Time falls with n while compute dominates, then communication
+        // halts the gains: the curve must not be monotonically decreasing
+        // all the way to n = 256.
+        let comm = HierarchicalAllreduceModel::theta_like();
+        let t = |n: usize| {
+            multinode_expected_seconds(
+                1.05e9,
+                &comm,
+                &meta(),
+                55_000,
+                DataParallelHp { lr1: 0.01, bs1: 256, n },
+                20,
+                2.0,
+            )
+        };
+        assert!(t(8) < t(1));
+        assert!(t(32) < t(8), "within-reach multinode should still help");
+        let speedup_8_to_64 = t(8) / t(64);
+        let ideal = 8.0;
+        assert!(
+            speedup_8_to_64 < ideal * 0.9,
+            "communication should erode ideal scaling: got {speedup_8_to_64}"
+        );
+    }
+}

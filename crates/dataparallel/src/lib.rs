@@ -1,0 +1,33 @@
+//! Data-parallel training substrate (the paper's Horovod role).
+//!
+//! The paper evaluates every candidate architecture with *distributed
+//! data-parallel training*: the training set is split into `n` mutually
+//! exclusive shards; `n` processes each train a copy of the same network on
+//! their own shard; gradients are averaged (allreduce) and a single
+//! optimizer step updates all copies (§III-B).
+//!
+//! This crate reproduces that computation exactly — same gradient
+//! arithmetic, same linear-scaling rule `lr_n = n·lr₁`, `bs_n = n·bs₁` —
+//! with the `n` ranks executed as rayon tasks against shared weights
+//! instead of MPI processes. Because the math is identical, the phenomena
+//! the paper measures (accuracy loss past the linear-scaling limit,
+//! training-time ∝ 1/n) emerge from real optimization dynamics.
+//!
+//! What is *simulated* is wall-clock time at the paper's scale: the
+//! [`cost::TrainingCostModel`] charges compute per step proportional to
+//! `batch × params` and ring-allreduce communication per step, calibrated
+//! so the paper's Table I training times are reproduced for the
+//! paper-scale data sets.
+
+pub mod allreduce;
+pub mod cost;
+pub mod hierarchical;
+pub mod scaling;
+pub mod shard;
+pub mod trainer;
+
+pub use allreduce::{average_gradients, RingAllreduceModel};
+pub use cost::TrainingCostModel;
+pub use hierarchical::{multinode_expected_seconds, HierarchicalAllreduceModel};
+pub use scaling::DataParallelHp;
+pub use trainer::{fit_data_parallel, DataParallelConfig};

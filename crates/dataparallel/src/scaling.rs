@@ -1,0 +1,82 @@
+//! The linear-scaling rule (Goyal et al., Eq. 2 of the paper):
+//! `lr_n = n · lr₁`, `bs_n = n · bs₁`.
+
+use serde::{Deserialize, Serialize};
+
+/// The three hyperparameters of data-parallel training that AgEBO's
+/// Bayesian-optimization component tunes: base learning rate `lr₁`, base
+/// batch size `bs₁`, and number of parallel processes `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataParallelHp {
+    /// Single-process learning rate `lr₁`.
+    pub lr1: f32,
+    /// Single-process batch size `bs₁`.
+    pub bs1: usize,
+    /// Number of parallel processes `n`.
+    pub n: usize,
+}
+
+impl DataParallelHp {
+    /// The paper's AgE defaults: `lr₁ = 0.01`, `bs₁ = 256`.
+    pub fn paper_default(n: usize) -> Self {
+        DataParallelHp { lr1: 0.01, bs1: 256, n }
+    }
+
+    /// Scaled learning rate `lr_n = n · lr₁`.
+    pub fn scaled_lr(&self) -> f32 {
+        self.n as f32 * self.lr1
+    }
+
+    /// Scaled (effective global) batch size `bs_n = n · bs₁`.
+    pub fn scaled_bs(&self) -> usize {
+        self.n * self.bs1
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) {
+        assert!(self.lr1 > 0.0, "lr1 must be positive");
+        assert!(self.bs1 > 0, "bs1 must be positive");
+        assert!(self.n > 0, "n must be positive");
+    }
+
+    /// The paper's search ranges: `bs₁ ∈ {32,…,1024}`, `lr₁ ∈ (0.001,0.1)`
+    /// log-uniform, `n ∈ {1,2,4,8}`.
+    pub fn in_paper_range(&self) -> bool {
+        const BS: [usize; 6] = [32, 64, 128, 256, 512, 1024];
+        const N: [usize; 4] = [1, 2, 4, 8];
+        BS.contains(&self.bs1) && (0.001..=0.1).contains(&(self.lr1 as f64)) && N.contains(&self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_scaling_rule() {
+        let hp = DataParallelHp { lr1: 0.01, bs1: 256, n: 8 };
+        assert!((hp.scaled_lr() - 0.08).abs() < 1e-7);
+        assert_eq!(hp.scaled_bs(), 2048);
+    }
+
+    #[test]
+    fn single_process_is_identity() {
+        let hp = DataParallelHp::paper_default(1);
+        assert_eq!(hp.scaled_lr(), hp.lr1);
+        assert_eq!(hp.scaled_bs(), hp.bs1);
+    }
+
+    #[test]
+    fn paper_range_membership() {
+        assert!(DataParallelHp { lr1: 0.05, bs1: 64, n: 4 }.in_paper_range());
+        assert!(!DataParallelHp { lr1: 0.5, bs1: 64, n: 4 }.in_paper_range());
+        assert!(!DataParallelHp { lr1: 0.05, bs1: 100, n: 4 }.in_paper_range());
+        assert!(!DataParallelHp { lr1: 0.05, bs1: 64, n: 3 }.in_paper_range());
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn zero_ranks_rejected() {
+        DataParallelHp { lr1: 0.01, bs1: 256, n: 0 }.validate();
+    }
+}

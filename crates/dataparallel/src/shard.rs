@@ -1,0 +1,97 @@
+//! Training-set sharding: `n` mutually exclusive subsets, one per rank.
+
+use agebo_tabular::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits `data` into `n` mutually exclusive shards of (near-)equal size.
+///
+/// Rows are shuffled first so shards are i.i.d. samples of the training
+/// distribution; the first `len % n` shards get one extra row.
+pub fn make_shards(data: &Dataset, n: usize, rng: &mut impl Rng) -> Vec<Dataset> {
+    assert!(n > 0, "need at least one shard");
+    assert!(data.len() >= n, "fewer rows than shards");
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    order.shuffle(rng);
+    let base = data.len() / n;
+    let extra = data.len() % n;
+    let mut shards = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        shards.push(data.subset(&order[start..start + size]));
+        start += size;
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agebo_tabular::synth::TeacherTask;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data(n: usize) -> Dataset {
+        TeacherTask {
+            n_features: 4,
+            n_classes: 3,
+            n_rows: n,
+            teacher_hidden: 4,
+            logit_scale: 2.0,
+            label_noise: 0.0,
+            linear_mix: 0.0,
+            nonlinear_dims: 0,
+        }
+        .generate(0)
+    }
+
+    #[test]
+    fn shards_partition_the_rows() {
+        let d = data(103);
+        let shards = make_shards(&d, 4, &mut StdRng::seed_from_u64(0));
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        assert_eq!(total, 103);
+        // Sizes differ by at most one.
+        let min = shards.iter().map(Dataset::len).min().unwrap();
+        let max = shards.iter().map(Dataset::len).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn shards_are_mutually_exclusive() {
+        // Rows are identifiable by their (unique w.h.p.) first feature.
+        let d = data(64);
+        let shards = make_shards(&d, 8, &mut StdRng::seed_from_u64(1));
+        let mut seen: Vec<u32> = Vec::new();
+        for s in &shards {
+            for r in 0..s.len() {
+                seen.push(s.x.get(r, 0).to_bits());
+            }
+        }
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        assert_eq!(seen.len(), before, "duplicate rows across shards");
+    }
+
+    #[test]
+    fn single_shard_is_a_permutation() {
+        let d = data(20);
+        let shards = make_shards(&d, 1, &mut StdRng::seed_from_u64(2));
+        assert_eq!(shards[0].len(), 20);
+        let mut a = shards[0].y.clone();
+        let mut b = d.y.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer rows than shards")]
+    fn too_many_shards_rejected() {
+        let d = data(3);
+        make_shards(&d, 4, &mut StdRng::seed_from_u64(3));
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's dense-layer activation menu:
+//! {Identity, Swish, ReLU, Tanh, Sigmoid} (§III-A).
+
+use serde::{Deserialize, Serialize};
+
+/// Activation function of a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// `f(x) = x`.
+    Identity,
+    /// `f(x) = x · σ(x)` (Ramachandran et al., "Searching for activation
+    /// functions").
+    Swish,
+    /// `f(x) = max(0, x)`.
+    Relu,
+    /// `f(x) = tanh(x)`.
+    Tanh,
+    /// `f(x) = σ(x) = 1 / (1 + e⁻ˣ)`.
+    Sigmoid,
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Activation {
+    /// All five choices, in the paper's listing order.
+    pub const ALL: [Activation; 5] = [
+        Activation::Identity,
+        Activation::Swish,
+        Activation::Relu,
+        Activation::Tanh,
+        Activation::Sigmoid,
+    ];
+
+    /// Short lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Identity => "identity",
+            Activation::Swish => "swish",
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+            Activation::Sigmoid => "sigmoid",
+        }
+    }
+
+    /// Applies the activation to a pre-activation value.
+    #[inline]
+    pub fn forward(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Swish => x * sigmoid(x),
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => sigmoid(x),
+        }
+    }
+
+    /// Derivative `f'(x)` expressed in terms of the *pre-activation* `x`.
+    #[inline]
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Swish => {
+                let s = sigmoid(x);
+                s + x * s * (1.0 - s)
+            }
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(Activation::Identity.forward(3.5), 3.5);
+        assert_eq!(Activation::Relu.forward(-2.0), 0.0);
+        assert_eq!(Activation::Relu.forward(2.0), 2.0);
+        assert!((Activation::Sigmoid.forward(0.0) - 0.5).abs() < 1e-7);
+        assert!((Activation::Tanh.forward(0.0)).abs() < 1e-7);
+        assert!((Activation::Swish.forward(0.0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for act in Activation::ALL {
+            for &x in &[-2.5f32, -1.0, -0.1, 0.0, 0.1, 1.0, 2.5] {
+                if act == Activation::Relu && x == 0.0 {
+                    continue; // kink: not differentiable at 0
+                }
+                let fd = (act.forward(x + eps) - act.forward(x - eps)) / (2.0 * eps);
+                let an = act.derivative(x);
+                assert!(
+                    (fd - an).abs() < 5e-3,
+                    "{:?} at x={x}: fd={fd} analytic={an}",
+                    act
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swish_is_bounded_below() {
+        // Swish has a global minimum around -0.278.
+        for i in -100..100 {
+            let x = i as f32 * 0.1;
+            assert!(Activation::Swish.forward(x) > -0.3);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            Activation::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), Activation::ALL.len());
+    }
+}

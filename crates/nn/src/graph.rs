@@ -1,0 +1,727 @@
+//! Architecture graphs: specification, parameter storage, forward and
+//! backward passes.
+//!
+//! A [`GraphSpec`] describes the paper's search-space semantics (§III-A):
+//!
+//! * tensors are indexed `z[0] = input`, `z[i] = output of variable node i`;
+//! * variable node `i` is either `Dense(units, activation)` or `Identity`;
+//! * a skip connection into node `i` takes `z[src]` with `src ≤ i − 2`
+//!   (only *nonconsecutive* predecessors — `z[i−1]` is already node `i`'s
+//!   chain input), projects it with a linear layer to the width of
+//!   `z[i−1]`, sums, and applies ReLU:
+//!   `a_i = relu(z[i−1] + Σ_src (z[src]·P + c))`;
+//! * with no incoming skips there is **no** projection, sum, or ReLU:
+//!   `a_i = z[i−1]` (paper: "fully connected without the linear layer and
+//!   the sum operator");
+//! * the output node applies the same merge rule and then a final linear
+//!   layer to `n_classes` logits.
+
+use crate::activation::Activation;
+use crate::loss;
+use agebo_tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One variable node of the architecture chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// `Some((units, activation))` for a dense layer, `None` for identity.
+    pub layer: Option<(usize, Activation)>,
+    /// Skip sources feeding this node, as tensor indices (`0` = input,
+    /// `j` = output of node `j`). Each must be `≤ node_index − 2`.
+    pub skips: Vec<usize>,
+}
+
+/// A complete architecture: the chain of variable nodes plus the output
+/// node's skips.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphSpec {
+    /// Input feature count.
+    pub input_dim: usize,
+    /// Output class count.
+    pub n_classes: usize,
+    /// The variable nodes, in chain order (node `i` is `nodes[i−1]`).
+    pub nodes: Vec<NodeSpec>,
+    /// Skip sources feeding the output node (tensor indices `≤ m − 1`).
+    pub output_skips: Vec<usize>,
+}
+
+impl GraphSpec {
+    /// Plain multilayer perceptron without skips — convenience for
+    /// baselines and tests.
+    pub fn mlp(input_dim: usize, hidden: &[(usize, Activation)], n_classes: usize) -> GraphSpec {
+        GraphSpec {
+            input_dim,
+            n_classes,
+            nodes: hidden
+                .iter()
+                .map(|&(units, act)| NodeSpec { layer: Some((units, act)), skips: Vec::new() })
+                .collect(),
+            output_skips: Vec::new(),
+        }
+    }
+
+    /// Validates skip-source constraints.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range or consecutive skip source.
+    pub fn validate(&self) {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let i = idx + 1;
+            for &src in &node.skips {
+                assert!(
+                    i >= 2 && src <= i - 2,
+                    "node {i}: skip source {src} must be ≤ {}",
+                    i.saturating_sub(2)
+                );
+            }
+            if let Some((units, _)) = node.layer {
+                assert!(units > 0, "node {i}: zero-width dense layer");
+            }
+        }
+        let m = self.nodes.len();
+        for &src in &self.output_skips {
+            assert!(
+                m >= 1 && src < m,
+                "output: skip source {src} must be ≤ {}",
+                m.saturating_sub(1)
+            );
+        }
+        assert!(self.input_dim > 0 && self.n_classes >= 2);
+    }
+
+    /// Width of each tensor `z[0..=m]`.
+    pub fn dims(&self) -> Vec<usize> {
+        let mut dims = Vec::with_capacity(self.nodes.len() + 1);
+        dims.push(self.input_dim);
+        for node in &self.nodes {
+            let prev = *dims.last().expect("nonempty");
+            dims.push(match node.layer {
+                Some((units, _)) => units,
+                None => prev,
+            });
+        }
+        dims
+    }
+
+    /// Number of trainable parameters (weights + biases, dense layers,
+    /// skip projections, and the output layer).
+    pub fn param_count(&self) -> usize {
+        let dims = self.dims();
+        let mut count = 0usize;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let i = idx + 1;
+            for &src in &node.skips {
+                count += dims[src] * dims[i - 1] + dims[i - 1];
+            }
+            if let Some((units, _)) = node.layer {
+                count += dims[i - 1] * units + units;
+            }
+        }
+        let m = self.nodes.len();
+        for &src in &self.output_skips {
+            count += dims[src] * dims[m] + dims[m];
+        }
+        count += dims[m] * self.n_classes + self.n_classes;
+        count
+    }
+
+    /// Number of dense (non-identity) layers.
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().filter(|n| n.layer.is_some()).count()
+    }
+
+    /// Total number of skip connections (including into the output node).
+    pub fn skip_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.skips.len()).sum::<usize>() + self.output_skips.len()
+    }
+}
+
+/// Indices into the flat parameter vectors for one node.
+#[derive(Debug, Clone)]
+struct NodeParams {
+    /// One projection per skip, in `NodeSpec::skips` order.
+    skip_proj: Vec<usize>,
+    /// Dense weight index, if the node is a dense layer.
+    dense: Option<usize>,
+}
+
+/// A parameterised network instantiated from a [`GraphSpec`].
+#[derive(Debug, Clone)]
+pub struct GraphNet {
+    spec: GraphSpec,
+    node_params: Vec<NodeParams>,
+    out_proj: Vec<usize>,
+    out_dense: usize,
+    /// Flat weight tensors; `biases[k]` pairs with `weights[k]`.
+    weights: Vec<Matrix>,
+    biases: Vec<Vec<f32>>,
+}
+
+/// Per-tensor gradients, shaped exactly like a [`GraphNet`]'s parameters.
+///
+/// In data-parallel training each rank produces one `GradientBuffer`; the
+/// allreduce averages them elementwise before the optimizer step.
+#[derive(Debug, Clone)]
+pub struct GradientBuffer {
+    /// Weight gradients, parallel to `GraphNet` weights.
+    pub weights: Vec<Matrix>,
+    /// Bias gradients, parallel to `GraphNet` biases.
+    pub biases: Vec<Vec<f32>>,
+}
+
+impl GradientBuffer {
+    /// Zero gradients shaped like `net`'s parameters.
+    pub fn zeros_like(net: &GraphNet) -> Self {
+        GradientBuffer {
+            weights: net.weights.iter().map(|w| Matrix::zeros(w.rows(), w.cols())).collect(),
+            biases: net.biases.iter().map(|b| vec![0.0; b.len()]).collect(),
+        }
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &GradientBuffer) {
+        for (a, b) in self.weights.iter_mut().zip(&other.weights) {
+            a.add_assign(b);
+        }
+        for (a, b) in self.biases.iter_mut().zip(&other.biases) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+
+    /// `self *= alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for w in &mut self.weights {
+            w.scale(alpha);
+        }
+        for b in &mut self.biases {
+            for v in b.iter_mut() {
+                *v *= alpha;
+            }
+        }
+    }
+
+    /// Total number of scalar gradient entries.
+    pub fn len(&self) -> usize {
+        self.weights.iter().map(Matrix::len).sum::<usize>()
+            + self.biases.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// True when there are no parameters at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clips the gradient to a maximum global L2 norm; returns the scale
+    /// applied (1.0 when already within bounds).
+    pub fn clip_global_norm(&mut self, max_norm: f32) -> f32 {
+        assert!(max_norm > 0.0);
+        let norm = self.l2_norm();
+        if norm <= max_norm || norm == 0.0 {
+            return 1.0;
+        }
+        let scale = max_norm / norm;
+        self.scale(scale);
+        scale
+    }
+
+    /// Global L2 norm of the gradient.
+    pub fn l2_norm(&self) -> f32 {
+        let mut acc = 0.0f32;
+        for w in &self.weights {
+            for v in w.as_slice() {
+                acc += v * v;
+            }
+        }
+        for b in &self.biases {
+            for v in b {
+                acc += v * v;
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+/// Activations cached during a forward pass for use in backward.
+struct ForwardCache {
+    /// `z[0..=m]`.
+    z: Vec<Matrix>,
+    /// Pre-ReLU merge sums `u_i`, per node (None when the node has no skips).
+    merge_pre: Vec<Option<Matrix>>,
+    /// Merged inputs `a_i`, per node.
+    merged: Vec<Matrix>,
+    /// Dense pre-activations `s_i`, per node (None for identity nodes).
+    pre_act: Vec<Option<Matrix>>,
+    /// Output-node merge pre-ReLU, if the output has skips.
+    out_merge_pre: Option<Matrix>,
+    /// Output-node merged input.
+    out_merged: Matrix,
+}
+
+impl GraphNet {
+    /// Instantiates the graph with He-normal dense weights, Glorot skip
+    /// projections, and zero biases.
+    pub fn new(spec: GraphSpec, rng: &mut impl Rng) -> Self {
+        spec.validate();
+        let dims = spec.dims();
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        let mut node_params = Vec::with_capacity(spec.nodes.len());
+        let push = |w: Matrix, weights: &mut Vec<Matrix>, biases: &mut Vec<Vec<f32>>| {
+            let idx = weights.len();
+            biases.push(vec![0.0; w.cols()]);
+            weights.push(w);
+            idx
+        };
+        for (idx, node) in spec.nodes.iter().enumerate() {
+            let i = idx + 1;
+            let mut skip_proj = Vec::with_capacity(node.skips.len());
+            for &src in &node.skips {
+                let w = Matrix::glorot_uniform(dims[src], dims[i - 1], rng);
+                skip_proj.push(push(w, &mut weights, &mut biases));
+            }
+            let dense = node.layer.map(|(units, _)| {
+                let w = Matrix::he_normal(dims[i - 1], units, rng);
+                push(w, &mut weights, &mut biases)
+            });
+            node_params.push(NodeParams { skip_proj, dense });
+        }
+        let m = spec.nodes.len();
+        let mut out_proj = Vec::with_capacity(spec.output_skips.len());
+        for &src in &spec.output_skips {
+            let w = Matrix::glorot_uniform(dims[src], dims[m], rng);
+            out_proj.push(push(w, &mut weights, &mut biases));
+        }
+        let w = Matrix::glorot_uniform(dims[m], spec.n_classes, rng);
+        let out_dense = push(w, &mut weights, &mut biases);
+
+        GraphNet { spec, node_params, out_proj, out_dense, weights, biases }
+    }
+
+    /// The architecture this net instantiates.
+    pub fn spec(&self) -> &GraphSpec {
+        &self.spec
+    }
+
+    /// Trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.weights.iter().map(Matrix::len).sum::<usize>()
+            + self.biases.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Number of parameter tensors (weight/bias pairs).
+    pub fn n_tensors(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Weight tensor `k` (tests and optimizers).
+    pub fn weight(&self, k: usize) -> &Matrix {
+        &self.weights[k]
+    }
+
+    /// Mutable weight tensor `k`.
+    pub fn weight_mut(&mut self, k: usize) -> &mut Matrix {
+        &mut self.weights[k]
+    }
+
+    /// Bias vector `k`.
+    pub fn bias(&self, k: usize) -> &[f32] {
+        &self.biases[k]
+    }
+
+    /// Mutable bias vector `k`.
+    pub fn bias_mut(&mut self, k: usize) -> &mut Vec<f32> {
+        &mut self.biases[k]
+    }
+
+    /// Merge rule: `relu(chain + Σ proj(z_src))`, or `chain` when `skips`
+    /// is empty. Returns `(pre_relu, merged)`.
+    fn merge(
+        &self,
+        chain: &Matrix,
+        skips: &[usize],
+        proj: &[usize],
+        z: &[Matrix],
+    ) -> (Option<Matrix>, Matrix) {
+        if skips.is_empty() {
+            return (None, chain.clone());
+        }
+        let mut u = chain.clone();
+        for (&src, &p) in skips.iter().zip(proj) {
+            let mut projected = z[src].matmul(&self.weights[p]);
+            projected.add_row_broadcast(&self.biases[p]);
+            u.add_assign(&projected);
+        }
+        let merged = u.map(|v| v.max(0.0));
+        (Some(u), merged)
+    }
+
+    fn forward_cached(&self, x: &Matrix) -> (Matrix, ForwardCache) {
+        assert_eq!(x.cols(), self.spec.input_dim, "input width mismatch");
+        let m = self.spec.nodes.len();
+        let mut z: Vec<Matrix> = Vec::with_capacity(m + 1);
+        z.push(x.clone());
+        let mut merge_pre = Vec::with_capacity(m);
+        let mut merged_cache = Vec::with_capacity(m);
+        let mut pre_act = Vec::with_capacity(m);
+        for (idx, node) in self.spec.nodes.iter().enumerate() {
+            let params = &self.node_params[idx];
+            let (pre, merged) = self.merge(&z[idx], &node.skips, &params.skip_proj, &z);
+            let out = match node.layer {
+                Some((_, act)) => {
+                    let k = params.dense.expect("dense param");
+                    let mut s = merged.matmul(&self.weights[k]);
+                    s.add_row_broadcast(&self.biases[k]);
+                    let out = s.map(|v| act.forward(v));
+                    pre_act.push(Some(s));
+                    out
+                }
+                None => {
+                    pre_act.push(None);
+                    merged.clone()
+                }
+            };
+            merge_pre.push(pre);
+            merged_cache.push(merged);
+            z.push(out);
+        }
+        let (out_pre, out_merged) =
+            self.merge(&z[m], &self.spec.output_skips, &self.out_proj, &z);
+        let mut logits = out_merged.matmul(&self.weights[self.out_dense]);
+        logits.add_row_broadcast(&self.biases[self.out_dense]);
+        let cache = ForwardCache {
+            z,
+            merge_pre,
+            merged: merged_cache,
+            pre_act,
+            out_merge_pre: out_pre,
+            out_merged,
+        };
+        (logits, cache)
+    }
+
+    /// Forward pass producing logits (inference path, no caching).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        self.forward_cached(x).0
+    }
+
+    /// Class predictions for a batch.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.forward(x).argmax_rows()
+    }
+
+    /// Mean cross-entropy loss and accuracy on `(x, y)`.
+    pub fn evaluate(&self, x: &Matrix, y: &[usize]) -> (f32, f64) {
+        let logits = self.forward(x);
+        let (loss_val, probs) = loss::softmax_cross_entropy(&logits, y);
+        let preds = probs.argmax_rows();
+        let hits = preds.iter().zip(y).filter(|(p, t)| p == t).count();
+        (loss_val, hits as f64 / y.len().max(1) as f64)
+    }
+
+    /// Full forward + backward pass on a mini-batch. Returns the mean
+    /// cross-entropy loss and the parameter gradients.
+    ///
+    /// `&self` is immutable so concurrent ranks can compute gradients
+    /// against shared weights (the data-parallel pattern).
+    pub fn forward_backward(&self, x: &Matrix, y: &[usize]) -> (f32, GradientBuffer) {
+        assert_eq!(x.rows(), y.len());
+        let (logits, cache) = self.forward_cached(x);
+        let (loss_val, mut dlogits) = loss::softmax_cross_entropy_backward(&logits, y);
+
+        let mut grads = GradientBuffer::zeros_like(self);
+        let m = self.spec.nodes.len();
+        // dz[t] accumulates the gradient flowing into tensor z[t].
+        let mut dz: Vec<Option<Matrix>> = vec![None; m + 1];
+        let mut add_dz = |dz: &mut Vec<Option<Matrix>>, t: usize, g: Matrix| match &mut dz[t] {
+            Some(acc) => acc.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        };
+
+        // Output layer.
+        {
+            let k = self.out_dense;
+            grads.weights[k] = cache.out_merged.matmul_at_b(&dlogits);
+            grads.biases[k] = dlogits.column_sums();
+            dlogits = dlogits.matmul_a_bt(&self.weights[k]);
+        }
+        // Output merge backward.
+        self.merge_backward(
+            dlogits,
+            &cache.out_merge_pre,
+            &self.spec.output_skips,
+            &self.out_proj,
+            m,
+            &cache.z,
+            &mut grads,
+            &mut dz,
+            &mut add_dz,
+        );
+
+        // Nodes in reverse.
+        for idx in (0..m).rev() {
+            let i = idx + 1;
+            let node = &self.spec.nodes[idx];
+            let params = &self.node_params[idx];
+            let dz_i = match dz[i].take() {
+                Some(g) => g,
+                // Tensor unused downstream (cannot happen in a chain, but
+                // keep backward total).
+                None => continue,
+            };
+            let da = match node.layer {
+                Some((_, act)) => {
+                    let k = params.dense.expect("dense param");
+                    let s = cache.pre_act[idx].as_ref().expect("pre-activation cache");
+                    let mut ds = dz_i;
+                    for (g, pre) in ds.as_mut_slice().iter_mut().zip(s.as_slice()) {
+                        *g *= act.derivative(*pre);
+                    }
+                    grads.weights[k] = cache.merged[idx].matmul_at_b(&ds);
+                    grads.biases[k] = ds.column_sums();
+                    ds.matmul_a_bt(&self.weights[k])
+                }
+                None => dz_i,
+            };
+            self.merge_backward(
+                da,
+                &cache.merge_pre[idx],
+                &node.skips,
+                &params.skip_proj,
+                idx,
+                &cache.z,
+                &mut grads,
+                &mut dz,
+                &mut add_dz,
+            );
+        }
+        (loss_val, grads)
+    }
+
+    /// Backward of the merge rule. `chain_idx` is the tensor index of the
+    /// chain input (`z[chain_idx]`).
+    #[allow(clippy::too_many_arguments)]
+    fn merge_backward(
+        &self,
+        da: Matrix,
+        merge_pre: &Option<Matrix>,
+        skips: &[usize],
+        proj: &[usize],
+        chain_idx: usize,
+        z: &[Matrix],
+        grads: &mut GradientBuffer,
+        dz: &mut Vec<Option<Matrix>>,
+        add_dz: &mut impl FnMut(&mut Vec<Option<Matrix>>, usize, Matrix),
+    ) {
+        if skips.is_empty() {
+            add_dz(dz, chain_idx, da);
+            return;
+        }
+        let u = merge_pre.as_ref().expect("merge cache");
+        let mut du = da;
+        for (g, pre) in du.as_mut_slice().iter_mut().zip(u.as_slice()) {
+            if *pre <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        for (&src, &p) in skips.iter().zip(proj) {
+            grads.weights[p] = z[src].matmul_at_b(&du);
+            grads.biases[p] = du.column_sums();
+            add_dz(dz, src, du.matmul_a_bt(&self.weights[p]));
+        }
+        add_dz(dz, chain_idx, du);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn skip_spec() -> GraphSpec {
+        GraphSpec {
+            input_dim: 5,
+            n_classes: 3,
+            nodes: vec![
+                NodeSpec { layer: Some((8, Activation::Relu)), skips: vec![] },
+                NodeSpec { layer: Some((6, Activation::Tanh)), skips: vec![0] },
+                NodeSpec { layer: None, skips: vec![1] },
+                NodeSpec { layer: Some((4, Activation::Swish)), skips: vec![0, 2] },
+            ],
+            output_skips: vec![1, 3],
+        }
+    }
+
+    #[test]
+    fn dims_follow_identity_rule() {
+        let spec = skip_spec();
+        assert_eq!(spec.dims(), vec![5, 8, 6, 6, 4]);
+    }
+
+    #[test]
+    fn param_count_matches_instantiated_net() {
+        let spec = skip_spec();
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = GraphNet::new(spec.clone(), &mut rng);
+        assert_eq!(spec.param_count(), net.num_params());
+    }
+
+    #[test]
+    fn mlp_constructor_shapes() {
+        let spec = GraphSpec::mlp(10, &[(16, Activation::Relu), (8, Activation::Tanh)], 4);
+        assert_eq!(spec.dims(), vec![10, 16, 8]);
+        assert_eq!(spec.depth(), 2);
+        assert_eq!(spec.skip_count(), 0);
+        // 10*16+16 + 16*8+8 + 8*4+4 = 176 + 136 + 36
+        assert_eq!(spec.param_count(), 176 + 136 + 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "skip source")]
+    fn consecutive_skip_rejected() {
+        GraphSpec {
+            input_dim: 3,
+            n_classes: 2,
+            nodes: vec![
+                NodeSpec { layer: Some((4, Activation::Relu)), skips: vec![] },
+                NodeSpec { layer: Some((4, Activation::Relu)), skips: vec![1] },
+            ],
+            output_skips: vec![],
+        }
+        .validate();
+    }
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let spec = skip_spec();
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = GraphNet::new(spec, &mut rng);
+        let x = Matrix::he_normal(7, 5, &mut rng);
+        let a = net.forward(&x);
+        let b = net.forward(&x);
+        assert_eq!(a.rows(), 7);
+        assert_eq!(a.cols(), 3);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn identity_only_graph_is_linear_model() {
+        let spec = GraphSpec {
+            input_dim: 4,
+            n_classes: 2,
+            nodes: vec![NodeSpec { layer: None, skips: vec![] }],
+            output_skips: vec![],
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = GraphNet::new(spec, &mut rng);
+        // Output layer weight is 4x2 and is the only parameter tensor.
+        assert_eq!(net.n_tensors(), 1);
+        assert_eq!(net.num_params(), 4 * 2 + 2);
+        // Linearity: f(2x) - f(x) == f(x) - f(0) for a linear map + bias.
+        let x = Matrix::he_normal(3, 4, &mut rng);
+        let mut x2 = x.clone();
+        x2.scale(2.0);
+        let zero = Matrix::zeros(3, 4);
+        let fx = net.forward(&x);
+        let fx2 = net.forward(&x2);
+        let f0 = net.forward(&zero);
+        for i in 0..fx.len() {
+            let lhs = fx2.as_slice()[i] - fx.as_slice()[i];
+            let rhs = fx.as_slice()[i] - f0.as_slice()[i];
+            assert!((lhs - rhs).abs() < 1e-4);
+        }
+    }
+
+    /// Central-difference gradient check across every parameter tensor of a
+    /// graph with identity nodes, multiple skips, and all activation kinds.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let spec = GraphSpec {
+            input_dim: 4,
+            n_classes: 3,
+            nodes: vec![
+                NodeSpec { layer: Some((5, Activation::Tanh)), skips: vec![] },
+                NodeSpec { layer: Some((4, Activation::Sigmoid)), skips: vec![0] },
+                NodeSpec { layer: None, skips: vec![1] },
+                NodeSpec { layer: Some((5, Activation::Swish)), skips: vec![0, 2] },
+            ],
+            output_skips: vec![1, 3],
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = GraphNet::new(spec, &mut rng);
+        let x = Matrix::he_normal(6, 4, &mut rng);
+        let y = vec![0, 1, 2, 0, 1, 2];
+        let (_, grads) = net.forward_backward(&x, &y);
+
+        let eps = 3e-3f32;
+        let mut checked = 0;
+        for k in 0..net.n_tensors() {
+            // Probe a few entries of each tensor.
+            let len = net.weight(k).len();
+            for &flat in [0usize, len / 2, len - 1].iter() {
+                let orig = net.weight(k).as_slice()[flat];
+                net.weight_mut(k).as_mut_slice()[flat] = orig + eps;
+                let (lp, _) = net.forward_backward(&x, &y);
+                net.weight_mut(k).as_mut_slice()[flat] = orig - eps;
+                let (lm, _) = net.forward_backward(&x, &y);
+                net.weight_mut(k).as_mut_slice()[flat] = orig;
+                let fd = (lp - lm) / (2.0 * eps);
+                let an = grads.weights[k].as_slice()[flat];
+                assert!(
+                    (fd - an).abs() < 2e-2 * (1.0 + fd.abs().max(an.abs())),
+                    "tensor {k} entry {flat}: fd={fd} analytic={an}"
+                );
+                checked += 1;
+            }
+            // And one bias entry.
+            let orig = net.bias(k)[0];
+            net.bias_mut(k)[0] = orig + eps;
+            let (lp, _) = net.forward_backward(&x, &y);
+            net.bias_mut(k)[0] = orig - eps;
+            let (lm, _) = net.forward_backward(&x, &y);
+            net.bias_mut(k)[0] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grads.biases[k][0];
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs().max(an.abs())),
+                "bias {k}: fd={fd} analytic={an}"
+            );
+        }
+        assert!(checked >= 18);
+    }
+
+    #[test]
+    fn gradient_buffer_arithmetic() {
+        let spec = GraphSpec::mlp(3, &[(4, Activation::Relu)], 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = GraphNet::new(spec, &mut rng);
+        let x = Matrix::he_normal(5, 3, &mut rng);
+        let y = vec![0, 1, 0, 1, 0];
+        let (_, g1) = net.forward_backward(&x, &y);
+        let mut sum = g1.clone();
+        sum.add_assign(&g1);
+        sum.scale(0.5);
+        for (a, b) in sum.weights.iter().zip(&g1.weights) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+        assert_eq!(sum.len(), net.num_params());
+        assert!(g1.l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn evaluate_reports_loss_and_accuracy() {
+        let spec = GraphSpec::mlp(2, &[(8, Activation::Relu)], 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = GraphNet::new(spec, &mut rng);
+        let x = Matrix::he_normal(20, 2, &mut rng);
+        let y: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let (loss_val, acc) = net.evaluate(&x, &y);
+        assert!(loss_val > 0.0);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

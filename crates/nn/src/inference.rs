@@ -1,0 +1,65 @@
+//! Inference-latency measurement (Table II compares a single discovered
+//! network against a stacked ensemble on exactly this metric).
+
+use crate::graph::GraphNet;
+use agebo_tensor::Matrix;
+use std::time::{Duration, Instant};
+
+/// Predictions plus wall-clock time for batched inference over `x`.
+pub fn predict_timed(net: &GraphNet, x: &Matrix, batch_size: usize) -> (Vec<usize>, Duration) {
+    assert!(batch_size > 0);
+    let start = Instant::now();
+    let mut preds = Vec::with_capacity(x.rows());
+    let mut row = 0;
+    while row < x.rows() {
+        let end = (row + batch_size).min(x.rows());
+        let indices: Vec<usize> = (row..end).collect();
+        let chunk = x.gather_rows(&indices);
+        preds.extend(net.predict(&chunk));
+        row = end;
+    }
+    (preds, start.elapsed())
+}
+
+/// Median wall-clock duration of `f` over `repeats` runs.
+pub fn median_time(repeats: usize, mut f: impl FnMut()) -> Duration {
+    assert!(repeats > 0);
+    let mut times: Vec<Duration> = (0..repeats)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::graph::GraphSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batched_predictions_match_full_pass() {
+        let spec = GraphSpec::mlp(6, &[(12, Activation::Relu)], 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = GraphNet::new(spec, &mut rng);
+        let x = Matrix::he_normal(37, 6, &mut rng);
+        let full = net.predict(&x);
+        let (batched, elapsed) = predict_timed(&net, &x, 10);
+        assert_eq!(full, batched);
+        assert!(elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn median_time_is_positive_and_runs_f() {
+        let mut count = 0;
+        let d = median_time(5, || count += 1);
+        assert_eq!(count, 5);
+        assert!(d >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,28 @@
+//! From-scratch neural-network library implementing the paper's
+//! architecture semantics.
+//!
+//! The NAS search space (crate `agebo-searchspace`) produces a [`GraphSpec`]:
+//! a chain of up to `m` *variable nodes* — each either a dense layer
+//! `Dense(units, activation)` or `Identity` — plus *skip connections* that
+//! feed the output of an earlier node into a later node's input through a
+//! **linear projection, an elementwise sum, and a ReLU** (paper §III-A,
+//! Fig. 1). This crate executes such graphs: forward, backward
+//! (reverse-mode, hand-derived), Adam, the paper's learning-rate schedule
+//! (5-epoch gradual warmup + reduce-on-plateau with patience 5), a training
+//! loop, and an inference-latency harness used by Table II.
+
+pub mod activation;
+pub mod adam;
+pub mod graph;
+pub mod inference;
+pub mod loss;
+pub mod schedule;
+pub mod serialize;
+pub mod train;
+
+pub use activation::Activation;
+pub use adam::Adam;
+pub use graph::{GradientBuffer, GraphNet, GraphSpec, NodeSpec};
+pub use schedule::{LrSchedule, PlateauReducer};
+pub use serialize::{load_model, save_model, SavedModel};
+pub use train::{fit, TrainConfig, TrainReport};

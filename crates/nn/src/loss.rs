@@ -1,0 +1,90 @@
+//! Softmax cross-entropy loss.
+
+use agebo_tensor::Matrix;
+
+/// Mean cross-entropy of `logits` against integer labels, returning the
+/// softmax probabilities as a by-product.
+pub fn softmax_cross_entropy(logits: &Matrix, y: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), y.len());
+    let mut probs = logits.clone();
+    probs.softmax_rows_inplace();
+    let n = y.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    for (r, &label) in y.iter().enumerate() {
+        loss -= probs.get(r, label).max(1e-12).ln();
+    }
+    (loss / n, probs)
+}
+
+/// Loss plus the gradient of the mean loss w.r.t. the logits:
+/// `(softmax(logits) − onehot(y)) / batch`.
+pub fn softmax_cross_entropy_backward(logits: &Matrix, y: &[usize]) -> (f32, Matrix) {
+    let (loss, mut grad) = softmax_cross_entropy(logits, y);
+    let n = y.len().max(1) as f32;
+    for (r, &label) in y.iter().enumerate() {
+        let v = grad.get(r, label);
+        grad.set(r, label, v - 1.0);
+    }
+    grad.scale(1.0 / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Matrix::zeros(4, 5);
+        let y = vec![0, 1, 2, 3];
+        let (loss, _) = softmax_cross_entropy(&logits, &y);
+        assert!((loss - (5.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Matrix::zeros(1, 3);
+        logits.set(0, 2, 20.0);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!(loss < 1e-4);
+        let (wrong, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(wrong > 10.0);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0]);
+        let (_, grad) = softmax_cross_entropy_backward(&logits, &[0, 2]);
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Matrix::from_vec(2, 3, vec![0.3, -0.7, 1.2, 0.1, 0.0, -0.5]);
+        let y = vec![1, 0];
+        let (_, grad) = softmax_cross_entropy_backward(&logits, &y);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let fd = (softmax_cross_entropy(&lp, &y).0 - softmax_cross_entropy(&lm, &y).0)
+                / (2.0 * eps);
+            assert!((fd - grad.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn loss_is_shift_invariant() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        b.map_inplace(|v| v + 100.0);
+        let (la, _) = softmax_cross_entropy(&a, &[1]);
+        let (lb, _) = softmax_cross_entropy(&b, &[1]);
+        assert!((la - lb).abs() < 1e-4);
+    }
+}

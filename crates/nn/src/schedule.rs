@@ -1,0 +1,160 @@
+//! Learning-rate schedules used by the paper's evaluation strategy:
+//! 5-epoch gradual warmup (Goyal et al.) followed by
+//! reduce-on-plateau with a patience of 5 epochs.
+
+/// Reduce-on-plateau controller: multiplies the learning rate by `factor`
+/// after `patience` consecutive epochs without improvement of the monitored
+/// quantity (lower is better, e.g. validation loss).
+#[derive(Debug, Clone)]
+pub struct PlateauReducer {
+    patience: usize,
+    factor: f32,
+    min_delta: f32,
+    best: f32,
+    wait: usize,
+    scale: f32,
+}
+
+impl PlateauReducer {
+    /// Creates a reducer; the paper uses `patience = 5` and we keep the
+    /// TensorFlow default `factor = 0.1`, `min_delta = 1e-4`.
+    pub fn new(patience: usize, factor: f32) -> Self {
+        assert!(patience > 0 && (0.0..1.0).contains(&factor));
+        PlateauReducer {
+            patience,
+            factor,
+            min_delta: 1e-4,
+            best: f32::INFINITY,
+            wait: 0,
+            scale: 1.0,
+        }
+    }
+
+    /// Reports the monitored value for an epoch; returns the current
+    /// multiplicative scale to apply to the learning rate.
+    pub fn observe(&mut self, value: f32) -> f32 {
+        if value < self.best - self.min_delta {
+            self.best = value;
+            self.wait = 0;
+        } else {
+            self.wait += 1;
+            if self.wait >= self.patience {
+                self.scale *= self.factor;
+                self.wait = 0;
+            }
+        }
+        self.scale
+    }
+
+    /// Current scale without reporting a new value.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+}
+
+/// Warmup + plateau schedule.
+///
+/// During the first `warmup_epochs` the rate ramps linearly from
+/// `start_lr` to `target_lr` (in data-parallel training: from the
+/// single-process rate `lr₁` to the scaled rate `lr_n = n·lr₁`); afterwards
+/// it is `target_lr` times the plateau scale.
+#[derive(Debug, Clone)]
+pub struct LrSchedule {
+    start_lr: f32,
+    target_lr: f32,
+    warmup_epochs: usize,
+    plateau: PlateauReducer,
+}
+
+impl LrSchedule {
+    /// Creates the paper's schedule: 5 warmup epochs, plateau patience 5.
+    pub fn paper(start_lr: f32, target_lr: f32) -> Self {
+        LrSchedule::new(start_lr, target_lr, 5, 5, 0.1)
+    }
+
+    /// Fully parameterised constructor.
+    pub fn new(
+        start_lr: f32,
+        target_lr: f32,
+        warmup_epochs: usize,
+        plateau_patience: usize,
+        plateau_factor: f32,
+    ) -> Self {
+        assert!(start_lr > 0.0 && target_lr > 0.0);
+        LrSchedule {
+            start_lr,
+            target_lr,
+            warmup_epochs,
+            plateau: PlateauReducer::new(plateau_patience, plateau_factor),
+        }
+    }
+
+    /// Learning rate for `epoch` (0-based).
+    pub fn lr_for_epoch(&self, epoch: usize) -> f32 {
+        if epoch < self.warmup_epochs {
+            let t = (epoch + 1) as f32 / self.warmup_epochs as f32;
+            self.start_lr + (self.target_lr - self.start_lr) * t
+        } else {
+            self.target_lr * self.plateau.scale()
+        }
+    }
+
+    /// Reports the epoch's monitored value (validation loss) to the
+    /// plateau controller.
+    pub fn observe(&mut self, value: f32) {
+        self.plateau.observe(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_ramps_linearly_to_target() {
+        let s = LrSchedule::paper(0.01, 0.08);
+        let lrs: Vec<f32> = (0..5).map(|e| s.lr_for_epoch(e)).collect();
+        assert!(lrs.windows(2).all(|w| w[1] > w[0]));
+        assert!((s.lr_for_epoch(4) - 0.08).abs() < 1e-7);
+        assert!((s.lr_for_epoch(10) - 0.08).abs() < 1e-7);
+        // First epoch is one warmup step up from start.
+        assert!((s.lr_for_epoch(0) - (0.01 + (0.08 - 0.01) / 5.0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn plateau_reduces_after_patience_epochs() {
+        let mut r = PlateauReducer::new(3, 0.5);
+        assert_eq!(r.observe(1.0), 1.0); // improvement (from inf)
+        assert_eq!(r.observe(1.0), 1.0); // wait 1
+        assert_eq!(r.observe(1.0), 1.0); // wait 2
+        assert_eq!(r.observe(1.0), 0.5); // wait 3 => reduce
+        assert_eq!(r.observe(0.5), 0.5); // improvement resets wait
+        assert_eq!(r.observe(0.5), 0.5);
+        assert_eq!(r.observe(0.5), 0.5);
+        assert_eq!(r.observe(0.5), 0.25); // second reduction compounds
+    }
+
+    #[test]
+    fn improvement_resets_patience() {
+        let mut r = PlateauReducer::new(2, 0.1);
+        r.observe(1.0);
+        r.observe(1.0); // wait 1
+        r.observe(0.9); // improvement
+        r.observe(0.9); // wait 1
+        assert_eq!(r.scale(), 1.0);
+    }
+
+    #[test]
+    fn schedule_applies_plateau_scale_after_warmup() {
+        let mut s = LrSchedule::new(0.1, 0.1, 1, 1, 0.5);
+        s.observe(1.0);
+        s.observe(1.0); // no improvement, patience 1 => halve
+        assert!((s.lr_for_epoch(5) - 0.05).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_warmup_starts_at_target() {
+        let s = LrSchedule::new(0.01, 0.04, 0, 5, 0.1);
+        assert!((s.lr_for_epoch(0) - 0.04).abs() < 1e-7);
+    }
+}

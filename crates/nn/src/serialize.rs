@@ -1,0 +1,202 @@
+//! Model persistence: save/load a trained [`GraphNet`] (architecture +
+//! weights) so a discovered model can be deployed without re-running the
+//! search.
+
+use crate::graph::{GraphNet, GraphSpec};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Serializable snapshot of a trained network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedModel {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The architecture.
+    pub spec: GraphSpec,
+    /// Weight tensors as (rows, cols, row-major data).
+    pub weights: Vec<(usize, usize, Vec<f32>)>,
+    /// Bias vectors.
+    pub biases: Vec<Vec<f32>>,
+}
+
+/// Errors raised while loading a saved model.
+#[derive(Debug)]
+pub enum ModelLoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON decoding failure.
+    Format(String),
+    /// The tensors don't match the declared architecture.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for ModelLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelLoadError::Io(e) => write!(f, "io error: {e}"),
+            ModelLoadError::Format(e) => write!(f, "format error: {e}"),
+            ModelLoadError::Inconsistent(e) => write!(f, "inconsistent model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelLoadError {}
+
+impl From<std::io::Error> for ModelLoadError {
+    fn from(e: std::io::Error) -> Self {
+        ModelLoadError::Io(e)
+    }
+}
+
+impl SavedModel {
+    /// Captures a network's architecture and parameters.
+    pub fn from_net(net: &GraphNet) -> SavedModel {
+        let mut weights = Vec::with_capacity(net.n_tensors());
+        let mut biases = Vec::with_capacity(net.n_tensors());
+        for k in 0..net.n_tensors() {
+            let w = net.weight(k);
+            weights.push((w.rows(), w.cols(), w.as_slice().to_vec()));
+            biases.push(net.bias(k).to_vec());
+        }
+        SavedModel { version: 1, spec: net.spec().clone(), weights, biases }
+    }
+
+    /// Reconstructs the network.
+    pub fn into_net(self) -> Result<GraphNet, ModelLoadError> {
+        // Build a net with the right layout, then overwrite parameters.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut net = GraphNet::new(self.spec.clone(), &mut rng);
+        if net.n_tensors() != self.weights.len() || net.n_tensors() != self.biases.len() {
+            return Err(ModelLoadError::Inconsistent(format!(
+                "expected {} tensors, file has {} weights / {} biases",
+                net.n_tensors(),
+                self.weights.len(),
+                self.biases.len()
+            )));
+        }
+        for (k, ((rows, cols, data), bias)) in
+            self.weights.into_iter().zip(self.biases).enumerate()
+        {
+            let w = net.weight_mut(k);
+            if w.rows() != rows || w.cols() != cols || data.len() != rows * cols {
+                return Err(ModelLoadError::Inconsistent(format!(
+                    "tensor {k}: expected {}x{}, file has {rows}x{cols} ({} values)",
+                    w.rows(),
+                    w.cols(),
+                    data.len()
+                )));
+            }
+            w.as_mut_slice().copy_from_slice(&data);
+            if net.bias(k).len() != bias.len() {
+                return Err(ModelLoadError::Inconsistent(format!(
+                    "bias {k}: expected len {}, file has {}",
+                    net.bias(k).len(),
+                    bias.len()
+                )));
+            }
+            net.bias_mut(k).copy_from_slice(&bias);
+        }
+        Ok(net)
+    }
+
+    /// Writes the model as JSON.
+    pub fn write(&self, mut writer: impl Write) -> Result<(), ModelLoadError> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| ModelLoadError::Format(e.to_string()))?;
+        writer.write_all(json.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a model from JSON.
+    pub fn read(mut reader: impl Read) -> Result<SavedModel, ModelLoadError> {
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        serde_json::from_str(&text).map_err(|e| ModelLoadError::Format(e.to_string()))
+    }
+}
+
+/// Saves a trained network to a JSON file.
+pub fn save_model(net: &GraphNet, path: impl AsRef<Path>) -> Result<(), ModelLoadError> {
+    SavedModel::from_net(net).write(std::fs::File::create(path)?)
+}
+
+/// Loads a trained network from a JSON file.
+pub fn load_model(path: impl AsRef<Path>) -> Result<GraphNet, ModelLoadError> {
+    SavedModel::read(std::fs::File::open(path)?)?.into_net()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::graph::NodeSpec;
+    use agebo_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_net() -> GraphNet {
+        let spec = GraphSpec {
+            input_dim: 5,
+            n_classes: 3,
+            nodes: vec![
+                NodeSpec { layer: Some((8, Activation::Swish)), skips: vec![] },
+                NodeSpec { layer: None, skips: vec![0] },
+            ],
+            output_skips: vec![1],
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        GraphNet::new(spec, &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let net = trained_net();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Matrix::he_normal(20, 5, &mut rng);
+        let before = net.forward(&x);
+
+        let mut buf = Vec::new();
+        SavedModel::from_net(&net).write(&mut buf).unwrap();
+        let restored = SavedModel::read(&buf[..]).unwrap().into_net().unwrap();
+        let after = restored.forward(&x);
+        assert_eq!(before.as_slice(), after.as_slice());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let net = trained_net();
+        let path = std::env::temp_dir().join("agebo_model_roundtrip.json");
+        save_model(&net, &path).unwrap();
+        let restored = load_model(&path).unwrap();
+        assert_eq!(restored.num_params(), net.num_params());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_tensor_shape_mismatch() {
+        let net = trained_net();
+        let mut saved = SavedModel::from_net(&net);
+        saved.weights[0].2.pop(); // corrupt
+        saved.weights[0].0 += 1;
+        assert!(matches!(saved.into_net(), Err(ModelLoadError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn rejects_tensor_count_mismatch() {
+        let net = trained_net();
+        let mut saved = SavedModel::from_net(&net);
+        saved.weights.pop();
+        saved.biases.pop();
+        assert!(matches!(saved.into_net(), Err(ModelLoadError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn rejects_garbage_json() {
+        assert!(matches!(
+            SavedModel::read("not json".as_bytes()),
+            Err(ModelLoadError::Format(_))
+        ));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests on the network executor: any legal graph must produce
+//! finite, shape-correct outputs and gradients.
+
+use agebo_nn::{Activation, GraphNet, GraphSpec, NodeSpec};
+use agebo_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy for random legal graph specs (up to 5 nodes, legal skips).
+fn spec_strategy() -> impl Strategy<Value = GraphSpec> {
+    (
+        2usize..8,                       // input_dim
+        2usize..5,                       // n_classes
+        prop::collection::vec((0u8..16, any::<u8>()), 1..6),
+        any::<u8>(),                     // output skip mask
+    )
+        .prop_map(|(input_dim, n_classes, node_seeds, out_mask)| {
+            let m = node_seeds.len();
+            let nodes: Vec<NodeSpec> = node_seeds
+                .iter()
+                .enumerate()
+                .map(|(idx, &(layer_code, skip_mask))| {
+                    let i = idx + 1;
+                    let layer = if layer_code == 0 {
+                        None
+                    } else {
+                        let units = [8usize, 16, 24, 32][(layer_code % 4) as usize];
+                        let act = Activation::ALL[(layer_code % 5) as usize];
+                        Some((units, act))
+                    };
+                    // Legal skip sources: tensors 0..=i-2, up to 3 of them.
+                    let mut skips = Vec::new();
+                    for offset in 1..=3usize {
+                        if offset < i && skip_mask & (1 << offset) != 0 {
+                            skips.push(i - 1 - offset);
+                        }
+                    }
+                    NodeSpec { layer, skips }
+                })
+                .collect();
+            let mut output_skips = Vec::new();
+            for offset in 1..=3usize.min(m) {
+                if out_mask & (1 << offset) != 0 {
+                    output_skips.push(m - offset);
+                }
+            }
+            GraphSpec { input_dim, n_classes, nodes, output_skips }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_legal_graph_runs_forward_and_backward(
+        spec in spec_strategy(),
+        seed in any::<u64>(),
+        batch in 1usize..12,
+    ) {
+        spec.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = GraphNet::new(spec.clone(), &mut rng);
+        prop_assert_eq!(net.num_params(), spec.param_count());
+        let x = Matrix::he_normal(batch, spec.input_dim, &mut rng);
+        let y: Vec<usize> = (0..batch).map(|i| i % spec.n_classes).collect();
+        let logits = net.forward(&x);
+        prop_assert_eq!(logits.rows(), batch);
+        prop_assert_eq!(logits.cols(), spec.n_classes);
+        prop_assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+        let (loss, grads) = net.forward_backward(&x, &y);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        prop_assert!(grads.l2_norm().is_finite());
+        prop_assert_eq!(grads.len(), net.num_params());
+    }
+
+    /// One optimizer step along the gradient reduces the loss for a small
+    /// enough learning rate (descent direction property).
+    #[test]
+    fn gradient_is_a_descent_direction(spec in spec_strategy(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = GraphNet::new(spec.clone(), &mut rng);
+        let x = Matrix::he_normal(16, spec.input_dim, &mut rng);
+        let y: Vec<usize> = (0..16).map(|i| i % spec.n_classes).collect();
+        let (loss0, grads) = net.forward_backward(&x, &y);
+        // Plain SGD step with a tiny rate.
+        let lr = 1e-3f32 / (1.0 + grads.l2_norm());
+        for k in 0..net.n_tensors() {
+            let g = grads.weights[k].clone();
+            net.weight_mut(k).axpy(-lr, &g);
+            let gb = grads.biases[k].clone();
+            for (b, gv) in net.bias_mut(k).iter_mut().zip(&gb) {
+                *b -= lr * gv;
+            }
+        }
+        let (loss1, _) = net.forward_backward(&x, &y);
+        prop_assert!(loss1 <= loss0 + 1e-5, "loss rose: {loss0} -> {loss1}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Discrete-event bookkeeping: worker slots, completion ordering, clock
+//! and utilization — independent of how results are actually computed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Totally ordered wrapper for simulated timestamps.
+///
+/// # Panics
+/// Constructing from NaN panics — simulated times are always finite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    fn assert_valid(self) -> Self {
+        assert!(self.0.is_finite(), "non-finite simulated time");
+        self
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite times")
+    }
+}
+
+/// The simulated cluster state: `n_workers` slots, a completion queue, a
+/// clock, and busy-time accounting.
+#[derive(Debug)]
+pub struct SimQueue {
+    n_workers: usize,
+    /// Next-free time of each worker slot (min-heap).
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    /// (finish_time, eval id) of running evaluations (min-heap).
+    running: BinaryHeap<Reverse<(SimTime, u64)>>,
+    clock: f64,
+    busy: f64,
+}
+
+impl SimQueue {
+    /// A cluster with `n_workers` slots, clock at 0.
+    pub fn new(n_workers: usize) -> Self {
+        assert!(n_workers > 0);
+        let mut free_at = BinaryHeap::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            free_at.push(Reverse(SimTime(0.0)));
+        }
+        SimQueue { n_workers, free_at, running: BinaryHeap::new(), clock: 0.0, busy: 0.0 }
+    }
+
+    /// Number of worker slots.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Current simulated time (seconds).
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Number of submitted-but-unfinished evaluations.
+    pub fn n_running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Assigns evaluation `id` with the given simulated `duration` to the
+    /// earliest-free worker. Returns the evaluation's finish time.
+    pub fn submit(&mut self, id: u64, duration: f64) -> f64 {
+        assert!(duration > 0.0 && duration.is_finite(), "bad duration {duration}");
+        let Reverse(free) = self.free_at.pop().expect("worker heap never empty");
+        let start = free.0.max(self.clock);
+        let finish = start + duration;
+        self.free_at.push(Reverse(SimTime(finish).assert_valid()));
+        self.running.push(Reverse((SimTime(finish), id)));
+        self.busy += duration;
+        finish
+    }
+
+    /// Advances the clock to the next completion and returns the ids of
+    /// every evaluation finished by then (at least one), in finish order.
+    /// Returns an empty vector when nothing is running.
+    pub fn pop_finished(&mut self) -> Vec<u64> {
+        let Some(&Reverse((first, _))) = self.running.peek() else {
+            return Vec::new();
+        };
+        self.clock = self.clock.max(first.0);
+        let mut out = Vec::new();
+        while let Some(&Reverse((t, id))) = self.running.peek() {
+            if t.0 <= self.clock {
+                self.running.pop();
+                out.push(id);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Fraction of worker-time spent busy up to the current clock
+    /// (can exceed 1 transiently while work is queued beyond `now`).
+    pub fn utilization(&self) -> f64 {
+        if self.clock <= 0.0 {
+            return 0.0;
+        }
+        // Count only busy time that has already elapsed.
+        let elapsed_busy = self.busy.min(self.n_workers as f64 * self.clock);
+        elapsed_busy / (self.n_workers as f64 * self.clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completions_come_in_time_order() {
+        let mut q = SimQueue::new(4);
+        q.submit(1, 30.0);
+        q.submit(2, 10.0);
+        q.submit(3, 20.0);
+        assert_eq!(q.pop_finished(), vec![2]);
+        assert_eq!(q.now(), 10.0);
+        assert_eq!(q.pop_finished(), vec![3]);
+        assert_eq!(q.pop_finished(), vec![1]);
+        assert_eq!(q.now(), 30.0);
+        assert!(q.pop_finished().is_empty());
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut q = SimQueue::new(2);
+        let mut last = 0.0;
+        for i in 0..20 {
+            q.submit(i, 1.0 + (i % 7) as f64);
+            if i % 3 == 0 {
+                q.pop_finished();
+                assert!(q.now() >= last);
+                last = q.now();
+            }
+        }
+        while !q.pop_finished().is_empty() {
+            assert!(q.now() >= last);
+            last = q.now();
+        }
+    }
+
+    #[test]
+    fn queueing_when_more_tasks_than_workers() {
+        let mut q = SimQueue::new(1);
+        q.submit(1, 10.0);
+        q.submit(2, 10.0); // must wait for the single worker
+        assert_eq!(q.pop_finished(), vec![1]);
+        assert_eq!(q.now(), 10.0);
+        assert_eq!(q.pop_finished(), vec![2]);
+        assert_eq!(q.now(), 20.0);
+    }
+
+    #[test]
+    fn simultaneous_finishes_pop_together() {
+        let mut q = SimQueue::new(2);
+        q.submit(1, 5.0);
+        q.submit(2, 5.0);
+        let ids = q.pop_finished();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(q.now(), 5.0);
+    }
+
+    #[test]
+    fn utilization_saturated_cluster_is_one() {
+        let mut q = SimQueue::new(2);
+        // Keep both workers always busy: submit replacements on finish.
+        q.submit(0, 10.0);
+        q.submit(1, 10.0);
+        let mut next = 2;
+        for _ in 0..10 {
+            let done = q.pop_finished();
+            for _ in done {
+                q.submit(next, 10.0);
+                next += 1;
+            }
+        }
+        assert!((q.utilization() - 1.0).abs() < 1e-9, "{}", q.utilization());
+    }
+
+    #[test]
+    fn utilization_half_loaded_cluster() {
+        let mut q = SimQueue::new(2);
+        // One worker works, the other idles.
+        q.submit(0, 10.0);
+        q.pop_finished();
+        assert!((q.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad duration")]
+    fn zero_duration_rejected() {
+        SimQueue::new(1).submit(0, 0.0);
+    }
+}

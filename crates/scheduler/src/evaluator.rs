@@ -1,0 +1,274 @@
+//! The evaluator: real computation on worker threads, delivery in
+//! simulated-time order.
+
+use crate::des::SimQueue;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+/// A finished evaluation as returned by
+/// [`Evaluator::get_finished_evaluations`].
+#[derive(Debug, Clone)]
+pub struct Finished<R> {
+    /// The id returned by `submit_evaluation`.
+    pub id: u64,
+    /// Simulated completion time (seconds since search start).
+    pub finished_at: f64,
+    /// Simulated duration of the evaluation.
+    pub duration: f64,
+    /// The computed result.
+    pub result: R,
+}
+
+/// Manager-side handle implementing the paper's two scheduling interfaces.
+///
+/// `T` is the task payload shipped to a worker; `R` the result shipped
+/// back. The worker function runs on a pool of OS threads; the *order* in
+/// which results are handed back to the manager is governed purely by the
+/// simulated durations, so runs are reproducible regardless of thread
+/// scheduling.
+pub struct Evaluator<T: Send + 'static, R: Send + 'static> {
+    sim: SimQueue,
+    task_tx: Sender<(u64, T)>,
+    result_rx: Receiver<(u64, R)>,
+    ready: HashMap<u64, R>,
+    durations: HashMap<u64, (f64, f64)>, // id -> (finish, duration)
+    outstanding: usize,
+    next_id: u64,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static, R: Send + 'static> Evaluator<T, R> {
+    /// Creates an evaluator with `n_workers` *simulated* worker slots and
+    /// `n_threads` real compute threads running `worker_fn`.
+    ///
+    /// On a many-core host set `n_threads` near the core count; the
+    /// simulated behaviour is identical for any positive value.
+    pub fn new<F>(n_workers: usize, n_threads: usize, worker_fn: F) -> Self
+    where
+        F: Fn(&T) -> R + Send + Sync + 'static,
+    {
+        assert!(n_threads > 0);
+        let (task_tx, task_rx) = unbounded::<(u64, T)>();
+        let (result_tx, result_rx) = unbounded::<(u64, R)>();
+        let worker_fn = std::sync::Arc::new(worker_fn);
+        let threads = (0..n_threads)
+            .map(|_| {
+                let rx = task_rx.clone();
+                let tx = result_tx.clone();
+                let f = worker_fn.clone();
+                std::thread::spawn(move || {
+                    while let Ok((id, task)) = rx.recv() {
+                        let result = f(&task);
+                        if tx.send((id, result)).is_err() {
+                            break; // manager dropped
+                        }
+                    }
+                })
+            })
+            .collect();
+        Evaluator {
+            sim: SimQueue::new(n_workers),
+            task_tx,
+            result_rx,
+            ready: HashMap::new(),
+            durations: HashMap::new(),
+            outstanding: 0,
+            next_id: 0,
+            threads,
+        }
+    }
+
+    /// Nonblocking submission (the paper's `submit_evaluation`):
+    /// dispatches `task` to the compute pool and schedules its completion
+    /// at `now + queueing + duration` on the simulated cluster.
+    pub fn submit_evaluation(&mut self, task: T, duration: f64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let finish = self.sim.submit(id, duration);
+        self.durations.insert(id, (finish, duration));
+        self.outstanding += 1;
+        self.task_tx.send((id, task)).expect("worker pool alive");
+        id
+    }
+
+    /// Blocks until at least one evaluation completes in simulated time and
+    /// returns everything finished by then (the paper's
+    /// `get_finished_evaluations`). Empty when nothing is running.
+    pub fn get_finished_evaluations(&mut self) -> Vec<Finished<R>> {
+        let ids = self.sim.pop_finished();
+        ids.into_iter()
+            .map(|id| {
+                let result = self.wait_for(id);
+                let (finished_at, duration) = self.durations.remove(&id).expect("known id");
+                self.outstanding -= 1;
+                Finished { id, finished_at, duration, result }
+            })
+            .collect()
+    }
+
+    fn wait_for(&mut self, id: u64) -> R {
+        if let Some(r) = self.ready.remove(&id) {
+            return r;
+        }
+        loop {
+            let (got, result) = self.result_rx.recv().expect("worker pool alive");
+            if got == id {
+                return result;
+            }
+            self.ready.insert(got, result);
+        }
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.sim.now()
+    }
+
+    /// Evaluations submitted but not yet returned.
+    pub fn n_outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Number of simulated worker slots.
+    pub fn n_workers(&self) -> usize {
+        self.sim.n_workers()
+    }
+
+    /// Busy fraction of the simulated cluster so far.
+    pub fn utilization(&self) -> f64 {
+        self.sim.utilization()
+    }
+}
+
+impl<T: Send + 'static, R: Send + 'static> Drop for Evaluator<T, R> {
+    fn drop(&mut self) {
+        // Closing the task channel lets worker threads drain and exit.
+        let (dead_tx, _) = unbounded();
+        drop(std::mem::replace(&mut self.task_tx, dead_tx));
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_evaluator(workers: usize) -> Evaluator<u64, u64> {
+        Evaluator::new(workers, 2, |&x| x * x)
+    }
+
+    #[test]
+    fn results_are_computed_and_ordered_by_sim_time() {
+        let mut ev = square_evaluator(4);
+        // Long task submitted first, short second: short must return first.
+        let long = ev.submit_evaluation(7, 100.0);
+        let short = ev.submit_evaluation(3, 1.0);
+        let first = ev.get_finished_evaluations();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].id, short);
+        assert_eq!(first[0].result, 9);
+        assert_eq!(ev.now(), 1.0);
+        let second = ev.get_finished_evaluations();
+        assert_eq!(second[0].id, long);
+        assert_eq!(second[0].result, 49);
+        assert_eq!(ev.now(), 100.0);
+    }
+
+    #[test]
+    fn empty_when_nothing_running() {
+        let mut ev = square_evaluator(2);
+        assert!(ev.get_finished_evaluations().is_empty());
+    }
+
+    #[test]
+    fn saturated_manager_loop_keeps_utilization_high() {
+        let mut ev = square_evaluator(8);
+        for i in 0..8 {
+            ev.submit_evaluation(i, 10.0 + i as f64);
+        }
+        let mut done = 0;
+        while done < 64 {
+            let finished = ev.get_finished_evaluations();
+            done += finished.len();
+            for f in finished {
+                if done < 64 {
+                    ev.submit_evaluation(f.result % 10, 5.0 + (f.id % 3) as f64);
+                }
+            }
+        }
+        assert!(ev.utilization() > 0.85, "{}", ev.utilization());
+    }
+
+    #[test]
+    fn deterministic_results_independent_of_thread_count() {
+        let run = |threads: usize| -> Vec<(u64, u64, u64)> {
+            let mut ev: Evaluator<u64, u64> = Evaluator::new(4, threads, |&x| x + 1);
+            for i in 0..12 {
+                ev.submit_evaluation(i, ((i * 7) % 13 + 1) as f64);
+            }
+            let mut out = Vec::new();
+            loop {
+                let finished = ev.get_finished_evaluations();
+                if finished.is_empty() {
+                    break;
+                }
+                for f in finished {
+                    out.push((f.id, f.result, f.finished_at as u64));
+                }
+            }
+            out
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn heavy_compute_results_are_correct() {
+        // Worker function that does real work (hash loop) to exercise
+        // cross-thread delivery.
+        let mut ev: Evaluator<u64, u64> = Evaluator::new(3, 3, |&x: &u64| -> u64 {
+            let mut h = x;
+            for _ in 0..10_000 {
+                h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            h
+        });
+        let expect = |x: u64| -> u64 {
+            let mut h = x;
+            for _ in 0..10_000 {
+                h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            h
+        };
+        for i in 0..9 {
+            ev.submit_evaluation(i, 1.0 + i as f64);
+        }
+        let mut seen = 0;
+        loop {
+            let finished = ev.get_finished_evaluations();
+            if finished.is_empty() {
+                break;
+            }
+            for f in finished {
+                assert_eq!(f.result, expect(f.id));
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 9);
+    }
+
+    #[test]
+    fn outstanding_count_tracks_lifecycle() {
+        let mut ev = square_evaluator(2);
+        assert_eq!(ev.n_outstanding(), 0);
+        ev.submit_evaluation(1, 5.0);
+        ev.submit_evaluation(2, 6.0);
+        assert_eq!(ev.n_outstanding(), 2);
+        ev.get_finished_evaluations();
+        assert_eq!(ev.n_outstanding(), 1);
+        ev.get_finished_evaluations();
+        assert_eq!(ev.n_outstanding(), 0);
+    }
+}

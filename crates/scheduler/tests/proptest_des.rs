@@ -1,0 +1,97 @@
+//! Property tests for the discrete-event scheduler.
+
+use agebo_scheduler::SimQueue;
+use proptest::prelude::*;
+
+proptest! {
+    /// Completions always come out in nondecreasing simulated time, every
+    /// submitted id comes out exactly once, and the final clock equals the
+    /// makespan implied by a greedy earliest-free-worker assignment.
+    #[test]
+    fn completions_sorted_and_complete(
+        durations in prop::collection::vec(1u32..1000, 1..60),
+        workers in 1usize..9,
+    ) {
+        let mut q = SimQueue::new(workers);
+        for (i, &d) in durations.iter().enumerate() {
+            q.submit(i as u64, d as f64);
+        }
+        let mut seen = Vec::new();
+        let mut last = 0.0f64;
+        loop {
+            let batch = q.pop_finished();
+            if batch.is_empty() {
+                break;
+            }
+            prop_assert!(q.now() >= last);
+            last = q.now();
+            seen.extend(batch);
+        }
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..durations.len() as u64).collect();
+        prop_assert_eq!(seen, expect);
+
+        // Greedy earliest-free makespan reference.
+        let mut free = vec![0.0f64; workers];
+        for &d in &durations {
+            let (idx, _) = free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            free[idx] += d as f64;
+        }
+        let makespan = free.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((q.now() - makespan).abs() < 1e-6, "clock {} vs makespan {makespan}", q.now());
+    }
+
+    /// Utilization is in (0, 1] after all work drains, and equals
+    /// total-work / (workers × makespan).
+    #[test]
+    fn utilization_matches_accounting(
+        durations in prop::collection::vec(1u32..500, 1..40),
+        workers in 1usize..5,
+    ) {
+        let mut q = SimQueue::new(workers);
+        for (i, &d) in durations.iter().enumerate() {
+            q.submit(i as u64, d as f64);
+        }
+        while !q.pop_finished().is_empty() {}
+        let total: f64 = durations.iter().map(|&d| d as f64).sum();
+        let expect = (total / (workers as f64 * q.now())).min(1.0);
+        prop_assert!((q.utilization() - expect).abs() < 1e-9);
+        prop_assert!(q.utilization() > 0.0 && q.utilization() <= 1.0 + 1e-12);
+    }
+
+    /// Interleaved submit/pop keeps the clock monotone and never loses or
+    /// duplicates work.
+    #[test]
+    fn interleaved_submissions(
+        ops in prop::collection::vec((1u32..200, any::<bool>()), 1..80),
+    ) {
+        let mut q = SimQueue::new(3);
+        let mut submitted = 0u64;
+        let mut finished = 0usize;
+        let mut last = 0.0f64;
+        for (d, pop) in ops {
+            q.submit(submitted, d as f64);
+            submitted += 1;
+            if pop {
+                finished += q.pop_finished().len();
+                prop_assert!(q.now() >= last);
+                last = q.now();
+            }
+        }
+        loop {
+            let batch = q.pop_finished();
+            if batch.is_empty() {
+                break;
+            }
+            finished += batch.len();
+            prop_assert!(q.now() >= last);
+            last = q.now();
+        }
+        prop_assert_eq!(finished as u64, submitted);
+        prop_assert_eq!(q.n_running(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! The paper's neural-architecture search space for tabular data (§III-A).
+//!
+//! The space is a chain of `m = 10` *variable nodes* plus an output node:
+//!
+//! * every variable node is a categorical decision with **31** choices —
+//!   6 unit counts `{16, 32, 48, 64, 80, 96}` × 5 activations
+//!   `{Identity, Swish, ReLU, Tanh, Sigmoid}` plus an `Identity`
+//!   (skip-the-layer) choice;
+//! * between nodes there are binary *skip-connection* decisions: node
+//!   `k+1` can receive skip connections from its three previous
+//!   **nonconsecutive** tensors `N_{k−1}, N_{k−2}, N_{k−3}` (the input
+//!   tensor counts as a source). Node 1 has none, node 2 one, node 3 two,
+//!   nodes 4–10 three each, and the output node three — 27 binary
+//!   decisions in total;
+//! * total: 37 decision variables and `31¹⁰ · 2²⁷ ≈ 1.1 × 10²³`
+//!   architectures.
+//!
+//! An architecture is an [`ArchVector`] (one integer per decision);
+//! [`SearchSpace::to_graph`] lowers it to an executable
+//! [`agebo_nn::GraphSpec`], and [`SearchSpace::mutate`] implements the AgE
+//! mutation: pick one decision variable uniformly at random and assign a
+//! different value (the paper describes this for the layer nodes; we apply
+//! it across all decision variables so skip patterns also evolve —
+//! otherwise skips would be frozen at their random initial values).
+
+pub mod space;
+pub mod vector;
+
+pub use space::{SearchSpace, VarKind};
+pub use vector::ArchVector;

@@ -1,0 +1,373 @@
+//! The search-space definition: variable layout, sampling, mutation, and
+//! lowering to executable graphs.
+
+use crate::vector::ArchVector;
+use agebo_nn::{Activation, GraphSpec, NodeSpec};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a decision variable controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VarKind {
+    /// Layer choice of variable node `node` (1-based), 31 values.
+    Layer {
+        /// 1-based node index.
+        node: usize,
+    },
+    /// Binary skip decision: tensor `src` → input of node `dst`
+    /// (`dst = max_nodes + 1` denotes the output node).
+    Skip {
+        /// Source tensor index (`0` = input).
+        src: usize,
+        /// Destination node index (1-based; `m+1` = output node).
+        dst: usize,
+    },
+}
+
+/// The NAS search space: `max_nodes` variable nodes over a unit/activation
+/// menu, plus skip decisions (see crate docs for the paper layout).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Input feature count of generated networks.
+    pub input_dim: usize,
+    /// Output class count of generated networks.
+    pub n_classes: usize,
+    /// Number of variable nodes `m` (paper: 10).
+    pub max_nodes: usize,
+    /// Unit-count menu (paper: {16, 32, 48, 64, 80, 96}).
+    pub units: Vec<usize>,
+    /// Activation menu (paper: all five).
+    pub activations: Vec<Activation>,
+    /// Per-variable semantics, derived at construction.
+    vars: Vec<VarKind>,
+}
+
+/// Maximum number of skip sources per node (the three previous
+/// nonconsecutive tensors).
+const MAX_SKIPS: usize = 3;
+
+impl SearchSpace {
+    /// The paper's space: 10 variable nodes, 6 unit choices, 5 activations,
+    /// 37 decision variables.
+    pub fn paper(input_dim: usize, n_classes: usize) -> Self {
+        SearchSpace::with_nodes(input_dim, n_classes, 10)
+    }
+
+    /// A space with a custom number of variable nodes (smaller spaces keep
+    /// tests and ablations cheap).
+    pub fn with_nodes(input_dim: usize, n_classes: usize, max_nodes: usize) -> Self {
+        assert!(max_nodes >= 1);
+        let units = vec![16, 32, 48, 64, 80, 96];
+        let activations = Activation::ALL.to_vec();
+        let mut vars = Vec::new();
+        for node in 1..=max_nodes {
+            vars.push(VarKind::Layer { node });
+            for offset in 1..=MAX_SKIPS.min(node - 1) {
+                vars.push(VarKind::Skip { src: node - 1 - offset, dst: node });
+            }
+        }
+        // Output node: sources m−1, m−2, m−3 (down to tensor 0).
+        let out = max_nodes + 1;
+        for offset in 1..=MAX_SKIPS.min(max_nodes) {
+            vars.push(VarKind::Skip { src: max_nodes - offset, dst: out });
+        }
+        SearchSpace { input_dim, n_classes, max_nodes, units, activations, vars }
+    }
+
+    /// Number of decision variables (37 for the paper space).
+    pub fn n_variables(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Semantics of variable `i`.
+    pub fn var_kind(&self, i: usize) -> VarKind {
+        self.vars[i]
+    }
+
+    /// Number of layer choices per variable node (31 for the paper menu).
+    pub fn layer_choices(&self) -> usize {
+        self.units.len() * self.activations.len() + 1
+    }
+
+    /// Cardinality of variable `i`.
+    pub fn cardinality(&self, i: usize) -> usize {
+        match self.vars[i] {
+            VarKind::Layer { .. } => self.layer_choices(),
+            VarKind::Skip { .. } => 2,
+        }
+    }
+
+    /// Cardinalities of every variable (for numeric encodings).
+    pub fn cardinalities(&self) -> Vec<usize> {
+        (0..self.n_variables()).map(|i| self.cardinality(i)).collect()
+    }
+
+    /// log₁₀ of the number of architectures in the space.
+    pub fn size_log10(&self) -> f64 {
+        (0..self.n_variables()).map(|i| (self.cardinality(i) as f64).log10()).sum()
+    }
+
+    /// Uniform random architecture.
+    pub fn random(&self, rng: &mut impl Rng) -> ArchVector {
+        ArchVector(
+            (0..self.n_variables())
+                .map(|i| rng.gen_range(0..self.cardinality(i)) as u16)
+                .collect(),
+        )
+    }
+
+    /// The AgE mutation: one uniformly chosen decision variable is set to
+    /// a uniformly chosen *different* value. Always returns an architecture
+    /// at Hamming distance exactly 1.
+    pub fn mutate(&self, parent: &ArchVector, rng: &mut impl Rng) -> ArchVector {
+        assert_eq!(parent.len(), self.n_variables());
+        let mut child = parent.clone();
+        let i = rng.gen_range(0..self.n_variables());
+        let card = self.cardinality(i);
+        let mut value = rng.gen_range(0..card - 1) as u16;
+        if value >= child.0[i] {
+            value += 1;
+        }
+        child.0[i] = value;
+        child
+    }
+
+    /// Ablation variant of [`SearchSpace::mutate`]: mutates only *layer*
+    /// variables (the literal reading of the paper's "choosing a different
+    /// operation for one variable node"), leaving skip decisions frozen at
+    /// their initial random values.
+    pub fn mutate_layers_only(&self, parent: &ArchVector, rng: &mut impl Rng) -> ArchVector {
+        assert_eq!(parent.len(), self.n_variables());
+        let layer_positions: Vec<usize> = (0..self.n_variables())
+            .filter(|&i| matches!(self.vars[i], VarKind::Layer { .. }))
+            .collect();
+        let mut child = parent.clone();
+        let i = layer_positions[rng.gen_range(0..layer_positions.len())];
+        let card = self.cardinality(i);
+        let mut value = rng.gen_range(0..card - 1) as u16;
+        if value >= child.0[i] {
+            value += 1;
+        }
+        child.0[i] = value;
+        child
+    }
+
+    /// Decodes a layer variable value into `Some((units, activation))` or
+    /// `None` for the identity choice.
+    pub fn decode_layer(&self, value: u16) -> Option<(usize, Activation)> {
+        if value == 0 {
+            return None;
+        }
+        let v = value as usize - 1;
+        let unit_idx = v / self.activations.len();
+        let act_idx = v % self.activations.len();
+        Some((self.units[unit_idx], self.activations[act_idx]))
+    }
+
+    /// Lowers an architecture vector to an executable graph.
+    pub fn to_graph(&self, arch: &ArchVector) -> GraphSpec {
+        assert_eq!(arch.len(), self.n_variables(), "vector from a different space");
+        let mut nodes: Vec<NodeSpec> = (1..=self.max_nodes)
+            .map(|_| NodeSpec { layer: None, skips: Vec::new() })
+            .collect();
+        let mut output_skips = Vec::new();
+        for (i, &value) in arch.0.iter().enumerate() {
+            match self.vars[i] {
+                VarKind::Layer { node } => {
+                    assert!(value < self.layer_choices() as u16, "layer value out of range");
+                    nodes[node - 1].layer = self.decode_layer(value);
+                }
+                VarKind::Skip { src, dst } => {
+                    assert!(value < 2, "skip value out of range");
+                    if value == 1 {
+                        if dst == self.max_nodes + 1 {
+                            output_skips.push(src);
+                        } else {
+                            nodes[dst - 1].skips.push(src);
+                        }
+                    }
+                }
+            }
+        }
+        let spec = GraphSpec {
+            input_dim: self.input_dim,
+            n_classes: self.n_classes,
+            nodes,
+            output_skips,
+        };
+        spec.validate();
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_space_has_37_variables_and_31_layer_choices() {
+        let s = SearchSpace::paper(54, 7);
+        assert_eq!(s.n_variables(), 37);
+        assert_eq!(s.layer_choices(), 31);
+        let layers = (0..37)
+            .filter(|&i| matches!(s.var_kind(i), VarKind::Layer { .. }))
+            .count();
+        assert_eq!(layers, 10);
+        assert_eq!(37 - layers, 27);
+    }
+
+    #[test]
+    fn paper_space_size_is_1e23() {
+        let s = SearchSpace::paper(54, 7);
+        // 31^10 · 2^27 ≈ 1.1 × 10^23.
+        assert!((s.size_log10() - 23.03).abs() < 0.05, "{}", s.size_log10());
+    }
+
+    #[test]
+    fn skip_layout_matches_paper_counts() {
+        // Node 1: 0 skips; node 2: 1; node 3: 2; nodes 4..10: 3; output: 3.
+        let s = SearchSpace::paper(54, 7);
+        let mut per_dst = std::collections::HashMap::new();
+        for i in 0..s.n_variables() {
+            if let VarKind::Skip { dst, .. } = s.var_kind(i) {
+                *per_dst.entry(dst).or_insert(0usize) += 1;
+            }
+        }
+        assert_eq!(per_dst.get(&1), None);
+        assert_eq!(per_dst[&2], 1);
+        assert_eq!(per_dst[&3], 2);
+        for d in 4..=10 {
+            assert_eq!(per_dst[&d], 3, "node {d}");
+        }
+        assert_eq!(per_dst[&11], 3);
+    }
+
+    #[test]
+    fn skip_sources_are_nonconsecutive() {
+        let s = SearchSpace::paper(54, 7);
+        for i in 0..s.n_variables() {
+            if let VarKind::Skip { src, dst } = s.var_kind(i) {
+                assert!(src + 2 <= dst, "consecutive skip {src}->{dst}");
+                assert!(src + 4 >= dst, "skip reaches too far back {src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_layer_covers_all_31_values() {
+        let s = SearchSpace::paper(10, 3);
+        assert_eq!(s.decode_layer(0), None);
+        let mut seen = std::collections::HashSet::new();
+        for v in 1..31u16 {
+            let (units, act) = s.decode_layer(v).expect("dense layer");
+            assert!(s.units.contains(&units));
+            seen.insert((units, act.name()));
+        }
+        assert_eq!(seen.len(), 30);
+    }
+
+    #[test]
+    fn random_vectors_are_in_range_and_diverse() {
+        let s = SearchSpace::paper(10, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = s.random(&mut rng);
+        let b = s.random(&mut rng);
+        assert_ne!(a, b);
+        for (i, &v) in a.0.iter().enumerate() {
+            assert!((v as usize) < s.cardinality(i));
+        }
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_variable() {
+        let s = SearchSpace::paper(10, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let parent = s.random(&mut rng);
+        for _ in 0..200 {
+            let child = s.mutate(&parent, &mut rng);
+            assert_eq!(parent.hamming(&child), 1);
+            for (i, &v) in child.0.iter().enumerate() {
+                assert!((v as usize) < s.cardinality(i));
+            }
+        }
+    }
+
+    #[test]
+    fn layers_only_mutation_never_touches_skips() {
+        let s = SearchSpace::paper(10, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let parent = s.random(&mut rng);
+        for _ in 0..100 {
+            let child = s.mutate_layers_only(&parent, &mut rng);
+            assert_eq!(parent.hamming(&child), 1);
+            let changed = (0..s.n_variables())
+                .find(|&i| parent.0[i] != child.0[i])
+                .expect("one change");
+            assert!(matches!(s.var_kind(changed), VarKind::Layer { .. }));
+        }
+    }
+
+    #[test]
+    fn to_graph_roundtrips_layer_semantics() {
+        let s = SearchSpace::with_nodes(8, 3, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let arch = s.random(&mut rng);
+            let g = s.to_graph(&arch);
+            assert_eq!(g.nodes.len(), 4);
+            assert_eq!(g.input_dim, 8);
+            assert_eq!(g.n_classes, 3);
+            // Dense nodes in the graph match non-zero layer vars.
+            let mut var_iter = 0;
+            for i in 0..s.n_variables() {
+                if let VarKind::Layer { node } = s.var_kind(i) {
+                    let expect = s.decode_layer(arch.0[i]);
+                    assert_eq!(g.nodes[node - 1].layer, expect);
+                    var_iter += 1;
+                }
+            }
+            assert_eq!(var_iter, 4);
+        }
+    }
+
+    #[test]
+    fn to_graph_produces_trainable_networks() {
+        use agebo_nn::GraphNet;
+        use agebo_tensor::Matrix;
+        let s = SearchSpace::with_nodes(6, 3, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let arch = s.random(&mut rng);
+            let g = s.to_graph(&arch);
+            let net = GraphNet::new(g, &mut rng);
+            let x = Matrix::he_normal(4, 6, &mut rng);
+            let y = vec![0, 1, 2, 0];
+            let (loss, grads) = net.forward_backward(&x, &y);
+            assert!(loss.is_finite());
+            assert!(grads.l2_norm().is_finite());
+        }
+    }
+
+    #[test]
+    fn all_identity_architecture_is_linear() {
+        let s = SearchSpace::with_nodes(6, 3, 5);
+        let zero = ArchVector(vec![0; s.n_variables()]);
+        let g = s.to_graph(&zero);
+        assert_eq!(g.depth(), 0);
+        assert_eq!(g.skip_count(), 0);
+        assert_eq!(g.param_count(), 6 * 3 + 3);
+    }
+
+    #[test]
+    fn small_space_layout() {
+        // m = 1: one layer var plus one output skip (source = input).
+        let s = SearchSpace::with_nodes(4, 2, 1);
+        assert_eq!(s.n_variables(), 2);
+        assert!(matches!(s.var_kind(1), VarKind::Skip { src: 0, dst: 2 }));
+        let arch = ArchVector(vec![5, 1]);
+        let g = s.to_graph(&arch);
+        assert_eq!(g.output_skips, vec![0]);
+    }
+}

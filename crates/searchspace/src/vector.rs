@@ -1,0 +1,84 @@
+//! The encoded architecture: one small integer per decision variable.
+
+use serde::{Deserialize, Serialize};
+
+/// An architecture as a vector of categorical decision values.
+///
+/// Layer variables take values in `0..31` (`0` = identity node,
+/// `1 + unit_idx·5 + act_idx` otherwise); skip variables take values in
+/// `{0, 1}` (`0` = `zero`, `1` = `identity`, i.e. create the connection).
+/// The meaning of each position is defined by the owning
+/// [`crate::SearchSpace`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArchVector(pub Vec<u16>);
+
+impl ArchVector {
+    /// Number of decision variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the vector has no decisions (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Hamming distance to another architecture (number of differing
+    /// decisions) — the AgE mutation moves exactly distance 1.
+    pub fn hamming(&self, other: &ArchVector) -> usize {
+        assert_eq!(self.len(), other.len(), "architectures from different spaces");
+        self.0.iter().zip(&other.0).filter(|(a, b)| a != b).count()
+    }
+
+    /// Numeric encoding in `[0, 1]` per decision, given each variable's
+    /// cardinality — used for the PCA projection of Fig. 7.
+    pub fn encode_numeric(&self, cardinalities: &[usize]) -> Vec<f64> {
+        assert_eq!(self.len(), cardinalities.len());
+        self.0
+            .iter()
+            .zip(cardinalities)
+            .map(|(&v, &c)| {
+                if c <= 1 {
+                    0.0
+                } else {
+                    v as f64 / (c - 1) as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_counts_differences() {
+        let a = ArchVector(vec![1, 2, 3, 4]);
+        let b = ArchVector(vec![1, 0, 3, 5]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different spaces")]
+    fn hamming_requires_same_length() {
+        ArchVector(vec![1]).hamming(&ArchVector(vec![1, 2]));
+    }
+
+    #[test]
+    fn numeric_encoding_normalises_to_unit_interval() {
+        let a = ArchVector(vec![0, 30, 1]);
+        let enc = a.encode_numeric(&[31, 31, 2]);
+        assert_eq!(enc, vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn usable_as_hash_key() {
+        let mut set = std::collections::HashSet::new();
+        set.insert(ArchVector(vec![1, 2]));
+        set.insert(ArchVector(vec![1, 2]));
+        set.insert(ArchVector(vec![2, 1]));
+        assert_eq!(set.len(), 2);
+    }
+}

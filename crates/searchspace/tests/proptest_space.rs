@@ -1,0 +1,69 @@
+//! Property-based tests for the search space.
+
+use agebo_searchspace::{ArchVector, SearchSpace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arch_strategy(space: &SearchSpace) -> impl Strategy<Value = ArchVector> {
+    let cards = space.cardinalities();
+    cards
+        .into_iter()
+        .map(|c| (0..c as u16).boxed())
+        .collect::<Vec<_>>()
+        .prop_map(ArchVector)
+}
+
+proptest! {
+    #[test]
+    fn every_vector_lowers_to_a_valid_graph(
+        seed in any::<u64>(),
+        nodes in 1usize..=10,
+    ) {
+        let space = SearchSpace::with_nodes(7, 4, nodes);
+        let arch = space.random(&mut StdRng::seed_from_u64(seed));
+        let g = space.to_graph(&arch);
+        // validate() ran inside to_graph; basic structural checks:
+        prop_assert_eq!(g.nodes.len(), nodes);
+        prop_assert!(g.param_count() >= 7 * 4 + 4);
+    }
+
+    #[test]
+    fn mutation_is_distance_one_and_stays_in_space(
+        seed in any::<u64>(),
+        steps in 1usize..30,
+    ) {
+        let space = SearchSpace::paper(5, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut current = space.random(&mut rng);
+        for _ in 0..steps {
+            let next = space.mutate(&current, &mut rng);
+            prop_assert_eq!(current.hamming(&next), 1);
+            for (i, &v) in next.0.iter().enumerate() {
+                prop_assert!((v as usize) < space.cardinality(i));
+            }
+            current = next;
+        }
+    }
+
+    #[test]
+    fn numeric_encoding_is_unit_box(seed in any::<u64>()) {
+        let space = SearchSpace::paper(5, 3);
+        let arch = space.random(&mut StdRng::seed_from_u64(seed));
+        let enc = arch.encode_numeric(&space.cardinalities());
+        prop_assert_eq!(enc.len(), 37);
+        prop_assert!(enc.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+}
+
+#[test]
+fn explicit_vectors_lower_consistently() {
+    let space = SearchSpace::with_nodes(3, 2, 3);
+    let cards = space.cardinalities();
+    proptest!(|(arch in arch_strategy(&space))| {
+        prop_assert_eq!(arch.len(), cards.len());
+        let g = space.to_graph(&arch);
+        // Lowering the same vector twice gives the same graph.
+        prop_assert_eq!(space.to_graph(&arch), g);
+    });
+}

@@ -1,0 +1,193 @@
+//! Minimal CSV import/export so users can run the search on their own
+//! tabular data (numeric features, integer class label in the last column).
+
+use crate::Dataset;
+use agebo_tensor::Matrix;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors raised while parsing a CSV data set.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell failed to parse as a number, with (line, column).
+    Parse(usize, usize),
+    /// Rows have inconsistent column counts.
+    RaggedRow(usize),
+    /// The file had no data rows.
+    Empty,
+    /// A label was negative or non-integer.
+    BadLabel(usize),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse(l, c) => write!(f, "parse error at line {l}, column {c}"),
+            CsvError::RaggedRow(l) => write!(f, "inconsistent column count at line {l}"),
+            CsvError::Empty => write!(f, "no data rows"),
+            CsvError::BadLabel(l) => write!(f, "bad class label at line {l}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parses a headerless numeric CSV from a reader; the last column is the
+/// integer class label. `n_classes` is inferred as `max(label) + 1`.
+pub fn read_dataset(reader: impl Read) -> Result<Dataset, CsvError> {
+    let reader = BufReader::new(reader);
+    let mut features: Vec<f32> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    let mut n_cols: Option<usize> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').collect();
+        match n_cols {
+            None => {
+                if cells.len() < 2 {
+                    return Err(CsvError::RaggedRow(lineno + 1));
+                }
+                n_cols = Some(cells.len());
+            }
+            Some(n) if n != cells.len() => return Err(CsvError::RaggedRow(lineno + 1)),
+            _ => {}
+        }
+        let (label_cell, feat_cells) = cells.split_last().expect("non-empty row");
+        for (col, cell) in feat_cells.iter().enumerate() {
+            let v: f32 = cell.trim().parse().map_err(|_| CsvError::Parse(lineno + 1, col + 1))?;
+            features.push(v);
+        }
+        let label: f64 =
+            label_cell.trim().parse().map_err(|_| CsvError::BadLabel(lineno + 1))?;
+        if label < 0.0 || label.fract() != 0.0 {
+            return Err(CsvError::BadLabel(lineno + 1));
+        }
+        labels.push(label as usize);
+    }
+    let n_cols = n_cols.ok_or(CsvError::Empty)?;
+    let n_features = n_cols - 1;
+    let n_rows = labels.len();
+    let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+    Ok(Dataset::new(Matrix::from_vec(n_rows, n_features, features), labels, n_classes))
+}
+
+/// Loads a data set from a CSV file (see [`read_dataset`]).
+pub fn load_csv(path: impl AsRef<Path>) -> Result<Dataset, CsvError> {
+    read_dataset(std::fs::File::open(path)?)
+}
+
+/// Writes a data set as headerless CSV, label in the last column.
+pub fn write_dataset(data: &Dataset, mut writer: impl Write) -> std::io::Result<()> {
+    let mut line = String::new();
+    for r in 0..data.len() {
+        line.clear();
+        for v in data.x.row(r) {
+            let _ = write!(line, "{v},");
+        }
+        let _ = write!(line, "{}", data.y[r]);
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Saves a data set to a CSV file (see [`write_dataset`]).
+pub fn save_csv(data: &Dataset, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_dataset(data, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let d = crate::synth::TeacherTask {
+            n_features: 4,
+            n_classes: 3,
+            n_rows: 50,
+            teacher_hidden: 4,
+            logit_scale: 2.0,
+            label_noise: 0.0,
+            linear_mix: 0.0,
+            nonlinear_dims: 0,
+        }
+        .generate(1);
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        let back = read_dataset(&buf[..]).unwrap();
+        assert_eq!(back.len(), d.len());
+        assert_eq!(back.y, d.y);
+        for r in 0..d.len() {
+            for (a, b) in back.x.row(r).iter().zip(d.x.row(r)) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn parses_simple_csv() {
+        let text = "1.0,2.0,0\n3.0,4.0,1\n\n5.0,6.0,1\n";
+        let d = read_dataset(text.as_bytes()).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.y, vec![0, 1, 1]);
+        assert_eq!(d.n_classes, 2);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let text = "1.0,2.0,0\n3.0,1\n";
+        assert!(matches!(read_dataset(text.as_bytes()), Err(CsvError::RaggedRow(2))));
+    }
+
+    #[test]
+    fn rejects_bad_numbers_and_labels() {
+        assert!(matches!(
+            read_dataset("1.0,zap,0\n".as_bytes()),
+            Err(CsvError::Parse(1, 2))
+        ));
+        assert!(matches!(
+            read_dataset("1.0,2.0,-1\n".as_bytes()),
+            Err(CsvError::BadLabel(1))
+        ));
+        assert!(matches!(
+            read_dataset("1.0,2.0,1.5\n".as_bytes()),
+            Err(CsvError::BadLabel(1))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(read_dataset("".as_bytes()), Err(CsvError::Empty)));
+        assert!(matches!(read_dataset("\n  \n".as_bytes()), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let d = crate::generators::make_dataset(
+            crate::DatasetKind::Airlines,
+            crate::SizeProfile::Test,
+            3,
+        )
+        .0;
+        let path = std::env::temp_dir().join("agebo_csv_roundtrip.csv");
+        save_csv(&d, &path).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(back.y, d.y);
+        std::fs::remove_file(&path).ok();
+    }
+}

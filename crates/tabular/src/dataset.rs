@@ -1,0 +1,167 @@
+//! The in-memory data set representation.
+
+use agebo_tensor::Matrix;
+
+/// A supervised classification data set: a dense feature matrix plus an
+/// integer class label per row.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// `n_rows × n_features` feature matrix.
+    pub x: Matrix,
+    /// Class label per row, in `0..n_classes`.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// Builds a data set, validating label range and shape agreement.
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != y.len()` or any label is `>= n_classes`.
+    pub fn new(x: Matrix, y: Vec<usize>, n_classes: usize) -> Self {
+        assert_eq!(x.rows(), y.len(), "feature/label row mismatch");
+        assert!(
+            y.iter().all(|&l| l < n_classes),
+            "label out of range for {n_classes} classes"
+        );
+        Dataset { x, y, n_classes }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the data set has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Gathers the listed rows into a new data set.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.gather_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// One-hot encodes the labels into an `n_rows × n_classes` matrix.
+    pub fn one_hot_labels(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.len(), self.n_classes);
+        for (r, &label) in self.y.iter().enumerate() {
+            out.set(r, label, 1.0);
+        }
+        out
+    }
+
+    /// Per-class row counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.y {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of rows whose label equals `predictions[row]`.
+    pub fn accuracy_of(&self, predictions: &[usize]) -> f64 {
+        assert_eq!(predictions.len(), self.len());
+        if self.is_empty() {
+            return 0.0;
+        }
+        let hits = predictions
+            .iter()
+            .zip(&self.y)
+            .filter(|(p, t)| p == t)
+            .count();
+        hits as f64 / self.len() as f64
+    }
+
+    /// Accuracy of always predicting the most frequent class — the floor any
+    /// trained model must beat.
+    pub fn majority_baseline(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let max = self.class_counts().into_iter().max().unwrap_or(0);
+        max as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x = Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as f32);
+        Dataset::new(x, vec![0, 1, 2, 0, 1, 0], 3)
+    }
+
+    #[test]
+    fn basic_shape_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes, 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_labels() {
+        let x = Matrix::zeros(2, 1);
+        Dataset::new(x, vec![0, 5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row mismatch")]
+    fn rejects_shape_mismatch() {
+        let x = Matrix::zeros(2, 1);
+        Dataset::new(x, vec![0], 3);
+    }
+
+    #[test]
+    fn subset_selects_rows_and_labels() {
+        let d = toy();
+        let s = d.subset(&[5, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y, vec![0, 0]);
+        assert_eq!(s.x.row(0), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn one_hot_has_single_one_per_row() {
+        let d = toy();
+        let oh = d.one_hot_labels();
+        assert_eq!(oh.rows(), 6);
+        assert_eq!(oh.cols(), 3);
+        for r in 0..6 {
+            let row = oh.row(r);
+            assert_eq!(row.iter().filter(|&&v| v == 1.0).count(), 1);
+            assert_eq!(row.iter().filter(|&&v| v == 0.0).count(), 2);
+            assert_eq!(row[d.y[r]], 1.0);
+        }
+    }
+
+    #[test]
+    fn class_counts_and_majority() {
+        let d = toy();
+        assert_eq!(d.class_counts(), vec![3, 2, 1]);
+        assert!((d.majority_baseline() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_of_exact_and_partial() {
+        let d = toy();
+        assert_eq!(d.accuracy_of(&d.y.clone()), 1.0);
+        let preds = vec![0, 0, 0, 0, 0, 0];
+        assert!((d.accuracy_of(&preds) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,33 @@
+//! Tabular-data substrate for the AgEBO-Tabular reproduction.
+//!
+//! The paper evaluates on four large OpenML data sets (Covertype, Airlines,
+//! Albert, Dionis). Those exact data sets are not available offline, so this
+//! crate provides **seeded synthetic generators** with the same feature
+//! counts, class counts and split proportions, and with a tunable Bayes-error
+//! ceiling so the reachable accuracy band matches what the paper reports
+//! (see DESIGN.md §2 for the substitution argument).
+//!
+//! Two generator families are provided:
+//!
+//! * [`synth::TeacherTask`] — labels produced by a random *teacher* MLP, so
+//!   the task has genuine nonlinear structure and rewards the deeper /
+//!   nonlinear architectures the NAS explores;
+//! * [`synth::BlobTask`] — well-separated Gaussian blobs for the many-class
+//!   regime (Dionis has 355 classes).
+//!
+//! [`generators`] instantiates the four paper data sets at three size
+//! profiles (test / bench / paper-shaped), and [`meta::DatasetMeta`] records
+//! the *paper-scale* sizes which the simulated training-time cost model uses.
+
+pub mod csv;
+pub mod dataset;
+pub mod generators;
+pub mod meta;
+pub mod scale;
+pub mod split;
+pub mod synth;
+
+pub use dataset::Dataset;
+pub use generators::{DatasetKind, SizeProfile};
+pub use meta::DatasetMeta;
+pub use split::{stratified_split, SplitSpec, TrainValidTest};

@@ -1,0 +1,62 @@
+//! Paper-scale metadata for the four benchmark data sets.
+//!
+//! The *real* trainings in this reproduction run on scaled-down synthetic
+//! data (see `generators`), but the scheduler's simulated-time cost model
+//! must reflect the paper's scale — a 581k-row Covertype epoch, not a
+//! 2.6k-row one. `DatasetMeta` carries those paper-scale numbers alongside
+//! each generated data set.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of one of the paper's benchmark data sets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetMeta {
+    /// Human-readable name (e.g. `"covertype"`).
+    pub name: &'static str,
+    /// Total rows in the paper's data set.
+    pub paper_rows: usize,
+    /// Input features (matched exactly by our generators).
+    pub n_features: usize,
+    /// Classes in the paper's data set.
+    pub paper_classes: usize,
+    /// Classes actually generated (scaled down for Dionis in small profiles).
+    pub actual_classes: usize,
+    /// Rows actually generated.
+    pub actual_rows: usize,
+}
+
+impl DatasetMeta {
+    /// Rows of the paper's data set that land in the training partition
+    /// under the 42/25/33 split — the row count the simulated-time cost
+    /// model charges per epoch.
+    pub fn paper_train_rows(&self) -> usize {
+        (self.paper_rows as f64 * crate::SplitSpec::PAPER.train) as usize
+    }
+}
+
+/// Covertype: 581,012 rows, 54 features, 7 classes.
+pub const COVERTYPE: (usize, usize, usize) = (581_012, 54, 7);
+/// Airlines: 539,383 rows, 8 features, 2 classes.
+pub const AIRLINES: (usize, usize, usize) = (539_383, 8, 2);
+/// Albert: 425,240 rows, 79 features, 2 classes.
+pub const ALBERT: (usize, usize, usize) = (425_240, 79, 2);
+/// Dionis: 416,188 rows, 61 features, 355 classes.
+pub const DIONIS: (usize, usize, usize) = (416_188, 61, 355);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_train_rows_matches_split() {
+        let meta = DatasetMeta {
+            name: "covertype",
+            paper_rows: COVERTYPE.0,
+            n_features: COVERTYPE.1,
+            paper_classes: COVERTYPE.2,
+            actual_classes: 7,
+            actual_rows: 1000,
+        };
+        assert_eq!(meta.paper_train_rows(), (581_012f64 * 0.42) as usize);
+    }
+}

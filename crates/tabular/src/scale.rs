@@ -1,0 +1,115 @@
+//! Feature standardisation (fit on train, apply everywhere).
+
+use crate::Dataset;
+use agebo_tensor::Matrix;
+
+/// Per-feature mean/std standardiser.
+///
+/// Fitted on the training partition only, then applied to all partitions —
+/// the standard leakage-free preprocessing protocol.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    mean: Vec<f32>,
+    inv_std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fits per-feature mean and standard deviation on `data`.
+    ///
+    /// Constant features get `inv_std = 1` so they map to zero rather than
+    /// dividing by zero.
+    pub fn fit(data: &Matrix) -> Self {
+        let n = data.rows().max(1) as f32;
+        let cols = data.cols();
+        let mut mean = vec![0.0f32; cols];
+        for r in 0..data.rows() {
+            for (m, v) in mean.iter_mut().zip(data.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f32; cols];
+        for r in 0..data.rows() {
+            for ((vv, v), m) in var.iter_mut().zip(data.row(r)).zip(&mean) {
+                let d = v - m;
+                *vv += d * d;
+            }
+        }
+        let inv_std = var
+            .into_iter()
+            .map(|v| {
+                let std = (v / n).sqrt();
+                if std > 1e-8 {
+                    1.0 / std
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Standardizer { mean, inv_std }
+    }
+
+    /// Applies the transform in place.
+    pub fn transform_inplace(&self, data: &mut Matrix) {
+        assert_eq!(data.cols(), self.mean.len());
+        let cols = data.cols();
+        for row in data.as_mut_slice().chunks_mut(cols) {
+            for ((v, m), s) in row.iter_mut().zip(&self.mean).zip(&self.inv_std) {
+                *v = (*v - m) * s;
+            }
+        }
+    }
+
+    /// Applies the transform to every partition of a split data set.
+    pub fn transform_dataset(&self, data: &mut Dataset) {
+        self.transform_inplace(&mut data.x);
+    }
+}
+
+/// Fits on `train` and standardises all three partitions in place.
+pub fn standardize_split(split: &mut crate::TrainValidTest) {
+    let std = Standardizer::fit(&split.train.x);
+    std.transform_dataset(&mut split.train);
+    std.transform_dataset(&mut split.valid);
+    std.transform_dataset(&mut split.test);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitted_train_has_zero_mean_unit_std() {
+        let data = Matrix::from_fn(100, 3, |r, c| (r as f32) * (c as f32 + 1.0) + 5.0);
+        let std = Standardizer::fit(&data);
+        let mut t = data.clone();
+        std.transform_inplace(&mut t);
+        for c in 0..3 {
+            let col: Vec<f32> = (0..100).map(|r| t.get(r, c)).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 100.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 100.0;
+            assert!(mean.abs() < 1e-4, "mean={mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var={var}");
+        }
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let data = Matrix::from_fn(10, 1, |_, _| 7.0);
+        let std = Standardizer::fit(&data);
+        let mut t = data.clone();
+        std.transform_inplace(&mut t);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn transform_uses_train_statistics_not_targets() {
+        let train = Matrix::from_fn(50, 1, |r, _| r as f32); // mean 24.5
+        let std = Standardizer::fit(&train);
+        let mut other = Matrix::from_fn(1, 1, |_, _| 24.5);
+        std.transform_inplace(&mut other);
+        assert!(other.get(0, 0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,150 @@
+//! Train/validation/test splitting.
+//!
+//! The paper uses the Auto-PyTorch benchmark split: 42% training, 25%
+//! validation, 33% testing. We reproduce it with a *stratified* shuffle so
+//! that scarce classes (Dionis has hundreds) appear in every partition.
+
+use crate::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Fractions of data assigned to each partition. Must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitSpec {
+    /// Training fraction.
+    pub train: f64,
+    /// Validation fraction.
+    pub valid: f64,
+    /// Test fraction.
+    pub test: f64,
+}
+
+impl SplitSpec {
+    /// The paper's 42/25/33 split.
+    pub const PAPER: SplitSpec = SplitSpec { train: 0.42, valid: 0.25, test: 0.33 };
+
+    /// Validates the fractions.
+    pub fn validate(&self) {
+        assert!(self.train > 0.0 && self.valid >= 0.0 && self.test >= 0.0);
+        let sum = self.train + self.valid + self.test;
+        assert!((sum - 1.0).abs() < 1e-9, "split fractions must sum to 1, got {sum}");
+    }
+}
+
+/// The three partitions produced by [`stratified_split`].
+#[derive(Debug, Clone)]
+pub struct TrainValidTest {
+    /// Training partition (weights are fitted here).
+    pub train: Dataset,
+    /// Validation partition (the NAS objective).
+    pub valid: Dataset,
+    /// Test partition (final evaluation only).
+    pub test: Dataset,
+}
+
+/// Splits `data` into train/valid/test with per-class proportional
+/// allocation. Within each class the rows are shuffled with `rng`; rounding
+/// leftovers go to the training partition.
+pub fn stratified_split(data: &Dataset, spec: SplitSpec, rng: &mut impl Rng) -> TrainValidTest {
+    spec.validate();
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes];
+    for (i, &label) in data.y.iter().enumerate() {
+        by_class[label].push(i);
+    }
+
+    let mut train_idx = Vec::new();
+    let mut valid_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for mut idx in by_class {
+        idx.shuffle(rng);
+        let n = idx.len();
+        let n_valid = (n as f64 * spec.valid).floor() as usize;
+        let n_test = (n as f64 * spec.test).floor() as usize;
+        let n_train = n - n_valid - n_test;
+        train_idx.extend_from_slice(&idx[..n_train]);
+        valid_idx.extend_from_slice(&idx[n_train..n_train + n_valid]);
+        test_idx.extend_from_slice(&idx[n_train + n_valid..]);
+    }
+    // Shuffle across classes so downstream mini-batching isn't class-ordered.
+    train_idx.shuffle(rng);
+    valid_idx.shuffle(rng);
+    test_idx.shuffle(rng);
+
+    TrainValidTest {
+        train: data.subset(&train_idx),
+        valid: data.subset(&valid_idx),
+        test: data.subset(&test_idx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agebo_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize, classes: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 3, |r, c| (r + c) as f32);
+        let y = (0..n).map(|i| i % classes).collect();
+        Dataset::new(x, y, classes)
+    }
+
+    #[test]
+    fn partitions_cover_all_rows_exactly_once() {
+        let d = dataset(1000, 7);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = stratified_split(&d, SplitSpec::PAPER, &mut rng);
+        assert_eq!(s.train.len() + s.valid.len() + s.test.len(), 1000);
+    }
+
+    #[test]
+    fn proportions_approximate_spec() {
+        let d = dataset(10_000, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = stratified_split(&d, SplitSpec::PAPER, &mut rng);
+        let total = d.len() as f64;
+        assert!((s.train.len() as f64 / total - 0.42).abs() < 0.01);
+        assert!((s.valid.len() as f64 / total - 0.25).abs() < 0.01);
+        assert!((s.test.len() as f64 / total - 0.33).abs() < 0.01);
+    }
+
+    #[test]
+    fn stratification_preserves_class_balance() {
+        let d = dataset(7_000, 7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = stratified_split(&d, SplitSpec::PAPER, &mut rng);
+        for part in [&s.train, &s.valid, &s.test] {
+            let counts = part.class_counts();
+            let expect = part.len() as f64 / 7.0;
+            for c in counts {
+                assert!((c as f64 - expect).abs() <= expect * 0.05 + 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn every_class_present_in_every_partition_when_feasible() {
+        let d = dataset(355 * 12, 355);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = stratified_split(&d, SplitSpec::PAPER, &mut rng);
+        for part in [&s.train, &s.valid, &s.test] {
+            assert!(part.class_counts().iter().all(|&c| c >= 1));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = dataset(500, 3);
+        let a = stratified_split(&d, SplitSpec::PAPER, &mut StdRng::seed_from_u64(9));
+        let b = stratified_split(&d, SplitSpec::PAPER, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.train.y, b.train.y);
+        assert_eq!(a.test.y, b.test.y);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn invalid_spec_panics() {
+        SplitSpec { train: 0.5, valid: 0.5, test: 0.5 }.validate();
+    }
+}

@@ -1,0 +1,21 @@
+//! Dense, row-major `f32` matrix kernels.
+//!
+//! This crate is the numerical substrate of the AgEBO-Tabular reproduction:
+//! every forward/backward pass of the neural-network library
+//! (`agebo-nn`) bottoms out in the three GEMM kernels defined here
+//! ([`Matrix::matmul`], [`Matrix::matmul_at_b`], [`Matrix::matmul_a_bt`]).
+//!
+//! The kernels use an `i-k-j` loop order so the innermost loop runs over a
+//! contiguous output row, which lets LLVM autovectorize the
+//! multiply-accumulate. Large products are row-parallelised with rayon.
+//!
+//! Determinism: all random initialisation goes through [`rng::Stream`],
+//! a SplitMix64-derived seed stream, so a run is reproducible from a single
+//! `u64` seed even when work is executed by a thread pool.
+
+pub mod matrix;
+pub mod ops;
+pub mod rng;
+
+pub use matrix::Matrix;
+pub use rng::Stream;

@@ -1,0 +1,380 @@
+//! The `Matrix` type and its GEMM kernels.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+use rayon::prelude::*;
+
+/// Row-major dense `f32` matrix.
+///
+/// The three GEMM kernels cover every product needed by backpropagation:
+///
+/// * [`Matrix::matmul`]      — `C = A · B`        (forward pass)
+/// * [`Matrix::matmul_at_b`] — `C = Aᵀ · B`       (weight gradients)
+/// * [`Matrix::matmul_a_bt`] — `C = A · Bᵀ`       (input gradients)
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+/// Row count above which GEMMs are parallelised with rayon. On a single-core
+/// host rayon degrades to sequential execution, so the threshold only has to
+/// avoid pointless task spawning for tiny matrices.
+const PAR_ROWS: usize = 256;
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// He-normal initialisation (`N(0, sqrt(2 / fan_in))`), the standard
+    /// choice for ReLU-family activations.
+    pub fn he_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let std = (2.0 / rows as f32).sqrt();
+        let dist = Normal::new(0.0, std).expect("valid normal");
+        Matrix::filled_from(rows, cols, || dist.sample(rng))
+    }
+
+    /// Glorot-uniform initialisation (`U(-l, l)` with `l = sqrt(6/(fan_in+fan_out))`).
+    pub fn glorot_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        let dist = Uniform::new_inclusive(-limit, limit);
+        Matrix::filled_from(rows, cols, || dist.sample(rng))
+    }
+
+    fn filled_from(rows: usize, cols: usize, mut f: impl FnMut() -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        data.resize_with(rows * cols, &mut f);
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Backing row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable backing slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies the listed rows into a new matrix (gather).
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// `C = self · b`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != b.rows`.
+    pub fn matmul(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, b.cols);
+        let mut out = Matrix::zeros(m, n);
+        let kernel = |(i, crow): (usize, &mut [f32])| {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for (kk, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[kk * n..(kk + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += a * bv;
+                }
+            }
+        };
+        if m >= PAR_ROWS {
+            out.data.par_chunks_mut(n).enumerate().for_each(kernel);
+        } else {
+            out.data.chunks_mut(n).enumerate().for_each(kernel);
+        }
+        out
+    }
+
+    /// `C = selfᵀ · b` without materialising the transpose.
+    ///
+    /// Used for weight gradients: `dW = Xᵀ · dY`.
+    pub fn matmul_at_b(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.rows, b.rows, "matmul_at_b shape mismatch");
+        let (m, k, n) = (self.cols, self.rows, b.cols);
+        let mut out = Matrix::zeros(m, n);
+        // C[i][j] = sum_kk A[kk][i] * B[kk][j]; accumulate row blocks.
+        for kk in 0..k {
+            let arow = &self.data[kk * m..(kk + 1) * m];
+            let brow = &b.data[kk * n..(kk + 1) * n];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let crow = &mut out.data[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += a * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `C = self · bᵀ` without materialising the transpose.
+    ///
+    /// Used for input gradients: `dX = dY · Wᵀ`.
+    pub fn matmul_a_bt(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.cols, "matmul_a_bt shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, b.rows);
+        let mut out = Matrix::zeros(m, n);
+        let kernel = |(i, crow): (usize, &mut [f32])| {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = &b.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *cv = acc;
+            }
+        };
+        if m >= PAR_ROWS {
+            out.data.par_chunks_mut(n).enumerate().for_each(kernel);
+        } else {
+            out.data.chunks_mut(n).enumerate().for_each(kernel);
+        }
+        out
+    }
+
+    /// Index of the maximum element of each row (ties resolve to the first).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let i = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for &(m, k, n) in &[(1, 1, 1), (5, 7, 3), (17, 4, 9), (300, 8, 5)] {
+            let a = Matrix::he_normal(m, k, &mut rng);
+            let b = Matrix::he_normal(k, n, &mut rng);
+            assert!(approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4));
+        }
+    }
+
+    #[test]
+    fn matmul_at_b_matches_explicit_transpose() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = Matrix::he_normal(13, 6, &mut rng);
+        let b = Matrix::he_normal(13, 4, &mut rng);
+        assert!(approx_eq(&a.matmul_at_b(&b), &a.transpose().matmul(&b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_explicit_transpose() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a = Matrix::he_normal(9, 6, &mut rng);
+        let b = Matrix::he_normal(11, 6, &mut rng);
+        assert!(approx_eq(&a.matmul_a_bt(&b), &a.matmul(&b.transpose()), 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(4, 7, |r, c| (r * 31 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let a = Matrix::from_fn(5, 2, |r, c| (r * 2 + c) as f32);
+        let g = a.gather_rows(&[4, 0, 4]);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.row(0), &[8.0, 9.0]);
+        assert_eq!(g.row(1), &[0.0, 1.0]);
+        assert_eq!(g.row(2), &[8.0, 9.0]);
+    }
+
+    #[test]
+    fn argmax_rows_ties_first() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 3.0, 3.0, 0.5, 0.1, 0.2]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn he_normal_statistics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let m = Matrix::he_normal(200, 50, &mut rng);
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / m.len() as f32;
+        let var: f32 =
+            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        let expected = 2.0 / 200.0;
+        assert!((var - expected).abs() < expected * 0.2, "var={var}");
+    }
+
+    #[test]
+    fn glorot_uniform_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let m = Matrix::glorot_uniform(30, 20, &mut rng);
+        let limit = (6.0f32 / 50.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+}

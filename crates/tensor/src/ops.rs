@@ -1,0 +1,234 @@
+//! Elementwise and broadcast operations used by the training loops.
+
+use crate::Matrix;
+
+impl Matrix {
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.rows(), other.rows());
+        assert_eq!(self.cols(), other.cols());
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` (axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.rows(), other.rows());
+        assert_eq!(self.cols(), other.cols());
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self *= alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in self.as_mut_slice() {
+            *a *= alpha;
+        }
+    }
+
+    /// Adds a bias row vector to every row.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(self.cols(), bias.len());
+        let cols = self.cols();
+        for row in self.as_mut_slice().chunks_mut(cols) {
+            for (v, b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Column sums (used for bias gradients).
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols()];
+        let cols = self.cols();
+        for row in self.as_slice().chunks(cols) {
+            for (o, v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.as_mut_slice() {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new matrix with `f` applied elementwise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Elementwise product `self ⊙ other`.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows(), other.rows());
+        assert_eq!(self.cols(), other.cols());
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix::from_vec(self.rows(), self.cols(), data)
+    }
+
+    /// In-place row-wise softmax (numerically stabilised by the row max).
+    pub fn softmax_rows_inplace(&mut self) {
+        let cols = self.cols();
+        for row in self.as_mut_slice().chunks_mut(cols) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+    }
+}
+
+/// Cache-tiled GEMM: `C = A · B` with `tile × tile` blocking over the
+/// `(i, k)` dimensions.
+///
+/// The default [`Matrix::matmul`] uses an `i-k-j` loop whose working set
+/// is one row of `A` plus the streamed rows of `B`; for operand shapes
+/// where `B` no longer fits in cache (large `k × n`), tiling keeps a
+/// `tile²` block of `A` and a `tile × n` panel of `B` resident. Produces
+/// bitwise different (but numerically equivalent) results from `matmul`
+/// because the accumulation order differs.
+pub fn matmul_tiled(a: &Matrix, b: &Matrix, tile: usize) -> Matrix {
+    assert!(tile > 0);
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i0 in (0..m).step_by(tile) {
+        let i1 = (i0 + tile).min(m);
+        for k0 in (0..k).step_by(tile) {
+            let k1 = (k0 + tile).min(k);
+            for i in i0..i1 {
+                let arow = &a.as_slice()[i * k..(i + 1) * k];
+                let crow = &mut c.as_mut_slice()[i * n..(i + 1) * n];
+                for (kk, &av) in arow[k0..k1].iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b.as_slice()[(k0 + kk) * n..(k0 + kk + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Averages a set of equally shaped matrices into the first one.
+///
+/// This is the arithmetic performed by a gradient allreduce; the
+/// data-parallel crate wraps it with communication-cost accounting.
+pub fn average_into(dst: &mut Matrix, others: &[&Matrix]) {
+    let n = (others.len() + 1) as f32;
+    for other in others {
+        dst.add_assign(other);
+    }
+    dst.scale(1.0 / n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![10.0, 10.0, 10.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[6.0, 7.0, 8.0]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn row_broadcast_and_column_sums_are_adjoint() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(a.column_sums(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let mut a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, -1.0, -1.0]);
+        a.softmax_rows_inplace();
+        for r in 0..2 {
+            let s: f32 = a.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(a.get(0, 2) > a.get(0, 1) && a.get(0, 1) > a.get(0, 0));
+        assert!((a.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let mut a = Matrix::from_vec(1, 2, vec![1000.0, 0.0]);
+        a.softmax_rows_inplace();
+        assert!((a.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!(a.get(0, 1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn average_into_matches_mean() {
+        let mut a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        let c = Matrix::from_vec(1, 2, vec![5.0, 6.0]);
+        average_into(&mut a, &[&b, &c]);
+        assert_eq!(a.as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn tiled_matmul_matches_reference() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for &(m, k, n, tile) in
+            &[(5usize, 7usize, 3usize, 2usize), (64, 64, 64, 16), (33, 17, 9, 8), (10, 10, 10, 64)]
+        {
+            let a = Matrix::he_normal(m, k, &mut rng);
+            let b = Matrix::he_normal(k, n, &mut rng);
+            let fast = a.matmul(&b);
+            let tiled = matmul_tiled(&a, &b, tile);
+            for (x, y) in fast.as_slice().iter().zip(tiled.as_slice()) {
+                assert!((x - y).abs() <= 1e-4 * (1.0 + x.abs()), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn tiled_matmul_rejects_bad_shapes() {
+        matmul_tiled(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3), 4);
+    }
+
+    #[test]
+    fn map_does_not_mutate_original() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        let b = a.map(|v| v.max(0.0));
+        assert_eq!(a.as_slice(), &[1.0, -1.0]);
+        assert_eq!(b.as_slice(), &[1.0, 0.0]);
+    }
+}

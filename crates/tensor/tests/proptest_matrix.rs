@@ -1,0 +1,102 @@
+//! Property-based tests for the GEMM kernels and elementwise ops.
+
+use agebo_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn pair_strategy(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        let a = prop::collection::vec(-10.0f32..10.0, m * k)
+            .prop_map(move |d| Matrix::from_vec(m, k, d));
+        let b = prop::collection::vec(-10.0f32..10.0, k * n)
+            .prop_map(move |d| Matrix::from_vec(k, n, d));
+        (a, b)
+    })
+}
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
+}
+
+fn close(a: &Matrix, b: &Matrix) -> bool {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .all(|(x, y)| (x - y).abs() <= 1e-3 * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #[test]
+    fn matmul_matches_naive((a, b) in pair_strategy(12)) {
+        prop_assert!(close(&a.matmul(&b), &naive_matmul(&a, &b)));
+    }
+
+    #[test]
+    fn transpose_kernels_agree((a, b) in pair_strategy(10)) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ, checked through the fused kernels.
+        let ab_t = a.matmul(&b).transpose();
+        let bt_at = b.transpose().matmul(&a.transpose());
+        prop_assert!(close(&ab_t, &bt_at));
+
+        // matmul_at_b(A, C) == Aᵀ·C where rows agree.
+        let c = naive_matmul(&a, &b);
+        let fused = a.matmul_at_b(&c);
+        let explicit = a.transpose().matmul(&c);
+        prop_assert!(close(&fused, &explicit));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition((a, b) in pair_strategy(8), scale in -3.0f32..3.0) {
+        // A·(B + sB) == A·B + s(A·B)
+        let mut b2 = b.clone();
+        b2.axpy(scale, &b);
+        let lhs = a.matmul(&b2);
+        let mut rhs = a.matmul(&b);
+        let ab = rhs.clone();
+        rhs.axpy(scale, &ab);
+        prop_assert!(close(&lhs, &rhs));
+    }
+
+    #[test]
+    fn transpose_roundtrip(a in matrix_strategy(16)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in matrix_strategy(12)) {
+        let mut s = a.clone();
+        s.softmax_rows_inplace();
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn column_sums_linear(a in matrix_strategy(10), alpha in -4.0f32..4.0) {
+        let mut scaled = a.clone();
+        scaled.scale(alpha);
+        let lhs = scaled.column_sums();
+        let rhs: Vec<f32> = a.column_sums().into_iter().map(|v| v * alpha).collect();
+        for (x, y) in lhs.iter().zip(&rhs) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs().max(y.abs())));
+        }
+    }
+}

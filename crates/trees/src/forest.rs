@@ -1,0 +1,266 @@
+//! Random forests (bagged CART) and the extra-trees variant.
+
+use crate::tree::{ClassificationTree, RegressionTree, SplitMode, TreeConfig};
+use agebo_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Forest-level configuration shared by classifier and regressor.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growing configuration.
+    pub tree: TreeConfig,
+    /// Bootstrap-sample rows per tree (`false` = use all rows, the
+    /// extra-trees convention).
+    pub bootstrap: bool,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig { n_trees: 100, tree: TreeConfig::default(), bootstrap: true }
+    }
+}
+
+impl ForestConfig {
+    /// Extra-trees: random thresholds, no bootstrap.
+    pub fn extra_trees(n_trees: usize) -> Self {
+        ForestConfig {
+            n_trees,
+            tree: TreeConfig { split: SplitMode::Random, ..TreeConfig::default() },
+            bootstrap: false,
+        }
+    }
+}
+
+fn tree_rows(n_rows: usize, bootstrap: bool, rng: &mut impl Rng) -> Vec<usize> {
+    if bootstrap {
+        (0..n_rows).map(|_| rng.gen_range(0..n_rows)).collect()
+    } else {
+        (0..n_rows).collect()
+    }
+}
+
+/// Bagged classification forest; predictions average per-tree class
+/// probabilities (soft voting).
+#[derive(Debug, Clone)]
+pub struct RandomForestClassifier {
+    trees: Vec<ClassificationTree>,
+    n_classes: usize,
+}
+
+impl RandomForestClassifier {
+    /// Fits `cfg.n_trees` trees, each on an independent bootstrap sample
+    /// with feature subsampling `√d` (the standard default) unless
+    /// overridden in `cfg.tree.max_features`.
+    pub fn fit(
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        cfg: &ForestConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(cfg.n_trees > 0);
+        let mut tree_cfg = cfg.tree;
+        if tree_cfg.max_features.is_none() {
+            tree_cfg.max_features = Some((x.cols() as f64).sqrt().ceil() as usize);
+        }
+        let trees: Vec<ClassificationTree> = (0..cfg.n_trees)
+            .into_par_iter()
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                let rows = tree_rows(x.rows(), cfg.bootstrap, &mut rng);
+                ClassificationTree::fit_rows(x, y, n_classes, &rows, &tree_cfg, &mut rng)
+            })
+            .collect();
+        RandomForestClassifier { trees, n_classes }
+    }
+
+    /// Averaged class probabilities for one row.
+    pub fn predict_proba_row(&self, row: &[f32]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.n_classes];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict_proba_row(row)) {
+                *a += p;
+            }
+        }
+        let inv = 1.0 / self.trees.len() as f32;
+        for a in &mut acc {
+            *a *= inv;
+        }
+        acc
+    }
+
+    /// Predicted classes for a batch.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows())
+            .map(|r| {
+                let p = self.predict_proba_row(x.row(r));
+                p.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Averaged class probabilities for a batch (row-major `n × k`).
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        for r in 0..x.rows() {
+            let p = self.predict_proba_row(x.row(r));
+            out.row_mut(r).copy_from_slice(&p);
+        }
+        out
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// Bagged regression forest with per-tree spread — the BO surrogate.
+#[derive(Debug, Clone)]
+pub struct RandomForestRegressor {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForestRegressor {
+    /// Fits the forest (all features per split by default, matching
+    /// scikit-optimize's surrogate configuration).
+    pub fn fit(x: &Matrix, y: &[f64], cfg: &ForestConfig, seed: u64) -> Self {
+        assert!(cfg.n_trees > 0);
+        let trees: Vec<RegressionTree> = (0..cfg.n_trees)
+            .into_par_iter()
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                let rows = tree_rows(x.rows(), cfg.bootstrap, &mut rng);
+                RegressionTree::fit_rows(x, y, &rows, &cfg.tree, &mut rng)
+            })
+            .collect();
+        RandomForestRegressor { trees }
+    }
+
+    /// Mean prediction for one row.
+    pub fn predict_row(&self, row: &[f32]) -> f64 {
+        self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Mean and standard deviation across trees — the `(μ, σ)` consumed by
+    /// the UCB acquisition function.
+    pub fn predict_mean_std_row(&self, row: &[f32]) -> (f64, f64) {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict_row(row)).collect();
+        let n = preds.len() as f64;
+        let mean = preds.iter().sum::<f64>() / n;
+        let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+
+    /// Mean predictions for a batch.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agebo_tabular::synth::TeacherTask;
+
+    #[test]
+    fn forest_beats_single_tree_on_noisy_task() {
+        let data = TeacherTask {
+            n_features: 10,
+            n_classes: 3,
+            n_rows: 600,
+            teacher_hidden: 6,
+            logit_scale: 2.0,
+            label_noise: 0.15,
+            linear_mix: 0.0,
+            nonlinear_dims: 0,
+        }
+        .generate(0);
+        let (train, test) = {
+            let idx: Vec<usize> = (0..400).collect();
+            let tidx: Vec<usize> = (400..600).collect();
+            (data.subset(&idx), data.subset(&tidx))
+        };
+        let cfg = ForestConfig { n_trees: 40, ..ForestConfig::default() };
+        let forest = RandomForestClassifier::fit(&train.x, &train.y, 3, &cfg, 1);
+        let facc = test.accuracy_of(&forest.predict(&test.x));
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let single = ClassificationTree::fit(&train.x, &train.y, 3, &TreeConfig::default(), &mut rng);
+        let sacc = test.accuracy_of(&single.predict(&test.x));
+        assert!(facc >= sacc - 0.02, "forest={facc} single={sacc}");
+        assert!(facc > 0.55, "forest too weak: {facc}");
+    }
+
+    #[test]
+    fn regressor_mean_std_shrinks_with_data_density() {
+        // Fit y = x on a dense 1-D grid: interpolation region should have
+        // near-zero spread, far extrapolation larger spread.
+        let x = Matrix::from_fn(200, 1, |r, _| r as f32 / 100.0 - 1.0);
+        let y: Vec<f64> = (0..200).map(|r| (r as f64 / 100.0 - 1.0) * 3.0).collect();
+        let cfg = ForestConfig { n_trees: 50, ..ForestConfig::default() };
+        let rf = RandomForestRegressor::fit(&x, &y, &cfg, 2);
+        let (mean_in, std_in) = rf.predict_mean_std_row(&[0.0]);
+        assert!((mean_in - 0.0).abs() < 0.2, "mean={mean_in}");
+        assert!(std_in < 0.5, "std={std_in}");
+        let (_, _std_out) = rf.predict_mean_std_row(&[5.0]);
+        // Trees all extrapolate with their last leaf; spread reflects
+        // bootstrap variation and is finite.
+        assert!(rf.predict_row(&[5.0]).is_finite());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = Matrix::from_fn(50, 2, |r, c| ((r * 7 + c * 3) % 13) as f32);
+        let y: Vec<usize> = (0..50).map(|r| r % 2).collect();
+        let cfg = ForestConfig { n_trees: 10, ..ForestConfig::default() };
+        let a = RandomForestClassifier::fit(&x, &y, 2, &cfg, 7);
+        let b = RandomForestClassifier::fit(&x, &y, 2, &cfg, 7);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn extra_trees_config_learns() {
+        let data = TeacherTask {
+            n_features: 8,
+            n_classes: 2,
+            n_rows: 400,
+            teacher_hidden: 4,
+            logit_scale: 3.0,
+            label_noise: 0.0,
+            linear_mix: 0.0,
+            nonlinear_dims: 0,
+        }
+        .generate(3);
+        let cfg = ForestConfig::extra_trees(30);
+        let et = RandomForestClassifier::fit(&data.x, &data.y, 2, &cfg, 4);
+        let acc = data.accuracy_of(&et.predict(&data.x));
+        assert!(acc > 0.85, "acc={acc}");
+    }
+
+    #[test]
+    fn proba_rows_are_distributions() {
+        let x = Matrix::from_fn(30, 2, |r, c| (r + c) as f32);
+        let y: Vec<usize> = (0..30).map(|r| r % 3).collect();
+        let cfg = ForestConfig { n_trees: 5, ..ForestConfig::default() };
+        let rf = RandomForestClassifier::fit(&x, &y, 3, &cfg, 5);
+        let p = rf.predict_proba(&x);
+        for r in 0..30 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Gradient-boosted trees for classification (multiclass logit boosting,
+//! the LightGBM/CatBoost role in the AutoGluon-like ensemble).
+
+use crate::tree::{RegressionTree, TreeConfig};
+use agebo_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Gradient boosting with softmax cross-entropy loss: each round fits one
+/// shallow regression tree per class to the negative gradient
+/// `onehot − softmax(F)` and adds it at `learning_rate`.
+#[derive(Debug, Clone)]
+pub struct GradientBoostingClassifier {
+    /// `rounds × n_classes` trees.
+    trees: Vec<Vec<RegressionTree>>,
+    n_classes: usize,
+    learning_rate: f64,
+}
+
+/// Boosting configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GbmConfig {
+    /// Boosting rounds.
+    pub n_rounds: usize,
+    /// Shrinkage per round.
+    pub learning_rate: f64,
+    /// Depth of each weak learner (typical: 3).
+    pub max_depth: usize,
+    /// Minimum rows per leaf.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for GbmConfig {
+    fn default() -> Self {
+        GbmConfig { n_rounds: 50, learning_rate: 0.1, max_depth: 3, min_samples_leaf: 5 }
+    }
+}
+
+fn softmax_rows(scores: &mut [Vec<f64>]) {
+    for row in scores.iter_mut() {
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+impl GradientBoostingClassifier {
+    /// Fits the boosted ensemble.
+    pub fn fit(x: &Matrix, y: &[usize], n_classes: usize, cfg: &GbmConfig, seed: u64) -> Self {
+        assert!(cfg.n_rounds > 0 && n_classes >= 2);
+        assert_eq!(x.rows(), y.len());
+        let tree_cfg = TreeConfig {
+            max_depth: cfg.max_depth,
+            min_samples_leaf: cfg.min_samples_leaf,
+            max_features: None,
+            split: crate::tree::SplitMode::Best,
+        };
+        let n = y.len();
+        // F[r][k]: raw score of row r for class k.
+        let mut scores = vec![vec![0.0f64; n_classes]; n];
+        let mut trees = Vec::with_capacity(cfg.n_rounds);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..cfg.n_rounds {
+            let mut probs = scores.clone();
+            softmax_rows(&mut probs);
+            let mut round = Vec::with_capacity(n_classes);
+            for k in 0..n_classes {
+                let residual: Vec<f64> = (0..n)
+                    .map(|r| f64::from(y[r] == k) - probs[r][k])
+                    .collect();
+                let tree = RegressionTree::fit(x, &residual, &tree_cfg, &mut rng);
+                for (r, score_row) in scores.iter_mut().enumerate() {
+                    score_row[k] += cfg.learning_rate * tree.predict_row(x.row(r));
+                }
+                round.push(tree);
+            }
+            trees.push(round);
+        }
+        GradientBoostingClassifier { trees, n_classes, learning_rate: cfg.learning_rate }
+    }
+
+    /// Raw (pre-softmax) scores for one row.
+    pub fn decision_row(&self, row: &[f32]) -> Vec<f64> {
+        let mut scores = vec![0.0f64; self.n_classes];
+        for round in &self.trees {
+            for (k, tree) in round.iter().enumerate() {
+                scores[k] += self.learning_rate * tree.predict_row(row);
+            }
+        }
+        scores
+    }
+
+    /// Class probabilities for one row.
+    pub fn predict_proba_row(&self, row: &[f32]) -> Vec<f32> {
+        let mut scores = vec![self.decision_row(row)];
+        softmax_rows(&mut scores);
+        scores.pop().expect("one row").into_iter().map(|v| v as f32).collect()
+    }
+
+    /// Predicted classes for a batch.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows())
+            .map(|r| {
+                let s = self.decision_row(x.row(r));
+                s.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Total number of weak learners.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len() * self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agebo_tabular::synth::TeacherTask;
+
+    #[test]
+    fn boosting_learns_nonlinear_task() {
+        let data = TeacherTask {
+            n_features: 6,
+            n_classes: 3,
+            n_rows: 400,
+            teacher_hidden: 5,
+            logit_scale: 3.0,
+            label_noise: 0.0,
+            linear_mix: 0.0,
+            nonlinear_dims: 0,
+        }
+        .generate(0);
+        let cfg = GbmConfig { n_rounds: 30, ..GbmConfig::default() };
+        let gbm = GradientBoostingClassifier::fit(&data.x, &data.y, 3, &cfg, 1);
+        let acc = data.accuracy_of(&gbm.predict(&data.x));
+        assert!(acc > 0.9, "acc={acc}");
+        assert_eq!(gbm.n_trees(), 90);
+    }
+
+    #[test]
+    fn more_rounds_fit_train_better() {
+        let data = TeacherTask {
+            n_features: 5,
+            n_classes: 2,
+            n_rows: 300,
+            teacher_hidden: 4,
+            logit_scale: 2.0,
+            label_noise: 0.1,
+            linear_mix: 0.0,
+            nonlinear_dims: 0,
+        }
+        .generate(2);
+        let small = GradientBoostingClassifier::fit(
+            &data.x,
+            &data.y,
+            2,
+            &GbmConfig { n_rounds: 2, ..GbmConfig::default() },
+            3,
+        );
+        let big = GradientBoostingClassifier::fit(
+            &data.x,
+            &data.y,
+            2,
+            &GbmConfig { n_rounds: 40, ..GbmConfig::default() },
+            3,
+        );
+        let acc_small = data.accuracy_of(&small.predict(&data.x));
+        let acc_big = data.accuracy_of(&big.predict(&data.x));
+        assert!(acc_big >= acc_small, "small={acc_small} big={acc_big}");
+    }
+
+    #[test]
+    fn probabilities_are_normalised() {
+        let data = TeacherTask {
+            n_features: 4,
+            n_classes: 4,
+            n_rows: 200,
+            teacher_hidden: 4,
+            logit_scale: 2.0,
+            label_noise: 0.0,
+            linear_mix: 0.0,
+            nonlinear_dims: 0,
+        }
+        .generate(4);
+        let gbm = GradientBoostingClassifier::fit(
+            &data.x,
+            &data.y,
+            4,
+            &GbmConfig { n_rounds: 5, ..GbmConfig::default() },
+            5,
+        );
+        for r in 0..10 {
+            let p = gbm.predict_proba_row(data.x.row(r));
+            let s: f32 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+            assert!(p.iter().all(|&v| v >= 0.0));
+        }
+    }
+}

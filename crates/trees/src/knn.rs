@@ -1,0 +1,121 @@
+//! Brute-force k-nearest-neighbours classifier.
+//!
+//! Deliberately the textbook O(train × query) implementation: in the
+//! AutoGluon-like stack it is the component whose inference cost scales
+//! with the training-set size, which is a large part of why stacked
+//! ensembles lose the Table II inference-time comparison.
+
+use agebo_tensor::Matrix;
+
+/// k-NN with Euclidean distance and majority vote (ties resolve to the
+/// smallest class index among the tied).
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    x: Matrix,
+    y: Vec<usize>,
+    n_classes: usize,
+    k: usize,
+}
+
+impl KnnClassifier {
+    /// Stores the training data.
+    pub fn fit(x: Matrix, y: Vec<usize>, n_classes: usize, k: usize) -> Self {
+        assert_eq!(x.rows(), y.len());
+        assert!(k >= 1 && k <= y.len(), "k out of range");
+        KnnClassifier { x, y, n_classes, k }
+    }
+
+    /// Class probabilities (vote shares) for one row.
+    pub fn predict_proba_row(&self, row: &[f32]) -> Vec<f32> {
+        // (distance², train index) of the current k best.
+        let mut best: Vec<(f32, usize)> = Vec::with_capacity(self.k + 1);
+        for r in 0..self.x.rows() {
+            let mut d = 0.0f32;
+            for (a, b) in self.x.row(r).iter().zip(row) {
+                let diff = a - b;
+                d += diff * diff;
+            }
+            if best.len() < self.k || d < best.last().expect("nonempty").0 {
+                let pos = best.partition_point(|&(bd, _)| bd <= d);
+                best.insert(pos, (d, r));
+                if best.len() > self.k {
+                    best.pop();
+                }
+            }
+        }
+        let mut votes = vec![0.0f32; self.n_classes];
+        for &(_, r) in &best {
+            votes[self.y[r]] += 1.0;
+        }
+        let inv = 1.0 / self.k as f32;
+        for v in &mut votes {
+            *v *= inv;
+        }
+        votes
+    }
+
+    /// Predicted classes for a batch.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows())
+            .map(|r| {
+                let votes = self.predict_proba_row(x.row(r));
+                votes
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Number of stored training rows.
+    pub fn n_train(&self) -> usize {
+        self.y.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_nn_memorises_training_data() {
+        let x = Matrix::from_fn(10, 2, |r, c| (r * 2 + c) as f32);
+        let y: Vec<usize> = (0..10).map(|r| r % 3).collect();
+        let knn = KnnClassifier::fit(x.clone(), y.clone(), 3, 1);
+        assert_eq!(knn.predict(&x), y);
+    }
+
+    #[test]
+    fn majority_vote_smooths_label_noise() {
+        // Two well-separated clusters; one flipped label inside a cluster
+        // should be outvoted with k = 5.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let cluster = i % 2;
+            xs.extend_from_slice(&[cluster as f32 * 10.0 + (i as f32) * 0.01, 0.0]);
+            ys.push(cluster);
+        }
+        ys[0] = 1; // noise inside cluster 0
+        let knn = KnnClassifier::fit(Matrix::from_vec(20, 2, xs), ys, 2, 5);
+        let q = Matrix::from_vec(1, 2, vec![0.05, 0.0]);
+        assert_eq!(knn.predict(&q), vec![0]);
+    }
+
+    #[test]
+    fn proba_is_vote_share() {
+        let x = Matrix::from_fn(4, 1, |r, _| r as f32);
+        let y = vec![0, 0, 1, 1];
+        let knn = KnnClassifier::fit(x, y, 2, 4);
+        let p = knn.predict_proba_row(&[1.5]);
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn k_larger_than_train_rejected() {
+        KnnClassifier::fit(Matrix::zeros(2, 1), vec![0, 1], 2, 3);
+    }
+}

@@ -1,0 +1,23 @@
+//! Tree ensembles and neighbours — classical supervised learners built
+//! from scratch.
+//!
+//! Two consumers in the reproduction need this substrate:
+//!
+//! * **`agebo-bo`** uses [`RandomForestRegressor`] as the Bayesian
+//!   optimization surrogate model `M` (the paper uses scikit-optimize's
+//!   random-forest regressor); the per-tree spread provides the σ used by
+//!   the UCB acquisition function;
+//! * **`agebo-baselines`** stacks [`RandomForestClassifier`], extra-trees
+//!   (random-split forests), [`GradientBoostingClassifier`] and
+//!   [`KnnClassifier`] into the AutoGluon-like ensemble whose inference
+//!   time Table II compares against a single discovered network.
+
+pub mod forest;
+pub mod gbm;
+pub mod knn;
+pub mod tree;
+
+pub use forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
+pub use gbm::{GbmConfig, GradientBoostingClassifier};
+pub use knn::KnnClassifier;
+pub use tree::{ClassificationTree, RegressionTree, SplitMode, TreeConfig};

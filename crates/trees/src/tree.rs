@@ -1,0 +1,611 @@
+//! CART decision trees (classification by Gini, regression by variance
+//! reduction), with the extra-trees random-split variant.
+//!
+//! Exhaustive splits use the standard sorted sweep: per feature the rows
+//! are sorted once and class counts / moment sums are accumulated
+//! incrementally, so a node costs `O(n·d·k)` (classification) or
+//! `O(n·d)` (regression) rather than the naive `O(n²·d)`.
+
+use agebo_tensor::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How candidate split thresholds are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitMode {
+    /// Exhaustive CART: every midpoint of consecutive distinct sorted
+    /// feature values.
+    Best,
+    /// Extra-trees: one uniform threshold in the feature's observed range
+    /// per considered feature.
+    Random,
+}
+
+/// Shared tree-growing configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum rows required in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Features considered per split (`None` = all features).
+    pub max_features: Option<usize>,
+    /// Split-selection mode.
+    pub split: SplitMode,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 16, min_samples_leaf: 1, max_features: None, split: SplitMode::Best }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Split { feature: usize, threshold: f32, left: u32, right: u32 },
+    LeafClass { probs: Vec<f32> },
+    LeafValue { value: f64 },
+}
+
+fn feature_subset(n_features: usize, cfg: &TreeConfig, rng: &mut impl Rng) -> Vec<usize> {
+    let mut all: Vec<usize> = (0..n_features).collect();
+    match cfg.max_features {
+        Some(k) if k < n_features => {
+            all.shuffle(rng);
+            all.truncate(k.max(1));
+            all
+        }
+        _ => all,
+    }
+}
+
+/// Partitions `rows` by `x[·][feature] <= threshold`.
+fn partition(
+    x: &Matrix,
+    rows: &[usize],
+    feature: usize,
+    threshold: f32,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &r in rows {
+        if x.get(r, feature) <= threshold {
+            left.push(r);
+        } else {
+            right.push(r);
+        }
+    }
+    (left, right)
+}
+
+fn gini_from_counts(counts: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / nf).powi(2)).sum::<f64>()
+}
+
+/// Best classification split over `features` by weighted Gini; returns
+/// `(feature, threshold)` or `None`.
+fn best_class_split(
+    x: &Matrix,
+    y: &[usize],
+    n_classes: usize,
+    rows: &[usize],
+    features: &[usize],
+    cfg: &TreeConfig,
+    rng: &mut impl Rng,
+) -> Option<(usize, f32)> {
+    let n = rows.len();
+    let mut total = vec![0usize; n_classes];
+    for &r in rows {
+        total[y[r]] += 1;
+    }
+    let mut best: Option<(f64, usize, f32)> = None;
+    let mut sorted = rows.to_vec();
+    let mut left = vec![0usize; n_classes];
+    for &f in features {
+        match cfg.split {
+            SplitMode::Best => {
+                sorted.sort_unstable_by(|&a, &b| {
+                    x.get(a, f).partial_cmp(&x.get(b, f)).expect("no NaN features")
+                });
+                left.iter_mut().for_each(|c| *c = 0);
+                for i in 0..n - 1 {
+                    left[y[sorted[i]]] += 1;
+                    let (lo, hi) = (x.get(sorted[i], f), x.get(sorted[i + 1], f));
+                    if hi <= lo {
+                        continue; // same value: not a boundary
+                    }
+                    let n_left = i + 1;
+                    let n_right = n - n_left;
+                    if n_left < cfg.min_samples_leaf || n_right < cfg.min_samples_leaf {
+                        continue;
+                    }
+                    let right: Vec<usize> =
+                        total.iter().zip(&left).map(|(t, l)| t - l).collect();
+                    let score = gini_from_counts(&left, n_left) * n_left as f64 / n as f64
+                        + gini_from_counts(&right, n_right) * n_right as f64 / n as f64;
+                    if best.is_none_or(|(s, _, _)| score < s) {
+                        best = Some((score, f, (lo + hi) * 0.5));
+                    }
+                }
+            }
+            SplitMode::Random => {
+                let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+                for &r in rows {
+                    let v = x.get(r, f);
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                if hi <= lo {
+                    continue;
+                }
+                let t = lo + (hi - lo) * rng.gen::<f32>();
+                left.iter_mut().for_each(|c| *c = 0);
+                let mut n_left = 0usize;
+                for &r in rows {
+                    if x.get(r, f) <= t {
+                        left[y[r]] += 1;
+                        n_left += 1;
+                    }
+                }
+                let n_right = n - n_left;
+                if n_left < cfg.min_samples_leaf || n_right < cfg.min_samples_leaf {
+                    continue;
+                }
+                let right: Vec<usize> = total.iter().zip(&left).map(|(t, l)| t - l).collect();
+                let score = gini_from_counts(&left, n_left) * n_left as f64 / n as f64
+                    + gini_from_counts(&right, n_right) * n_right as f64 / n as f64;
+                if best.is_none_or(|(s, _, _)| score < s) {
+                    best = Some((score, f, t));
+                }
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+/// Best regression split over `features` by SSE reduction.
+fn best_reg_split(
+    x: &Matrix,
+    y: &[f64],
+    rows: &[usize],
+    features: &[usize],
+    cfg: &TreeConfig,
+    rng: &mut impl Rng,
+) -> Option<(usize, f32)> {
+    let n = rows.len();
+    let total_sum: f64 = rows.iter().map(|&r| y[r]).sum();
+    let mut best: Option<(f64, usize, f32)> = None;
+    let mut sorted = rows.to_vec();
+    for &f in features {
+        match cfg.split {
+            SplitMode::Best => {
+                sorted.sort_unstable_by(|&a, &b| {
+                    x.get(a, f).partial_cmp(&x.get(b, f)).expect("no NaN features")
+                });
+                let mut left_sum = 0.0f64;
+                for i in 0..n - 1 {
+                    left_sum += y[sorted[i]];
+                    let (lo, hi) = (x.get(sorted[i], f), x.get(sorted[i + 1], f));
+                    if hi <= lo {
+                        continue;
+                    }
+                    let n_left = i + 1;
+                    let n_right = n - n_left;
+                    if n_left < cfg.min_samples_leaf || n_right < cfg.min_samples_leaf {
+                        continue;
+                    }
+                    // Minimising SSE == maximising sum of squared child
+                    // means weighted by child size.
+                    let right_sum = total_sum - left_sum;
+                    let score = -(left_sum * left_sum / n_left as f64
+                        + right_sum * right_sum / n_right as f64);
+                    if best.is_none_or(|(s, _, _)| score < s) {
+                        best = Some((score, f, (lo + hi) * 0.5));
+                    }
+                }
+            }
+            SplitMode::Random => {
+                let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+                for &r in rows {
+                    let v = x.get(r, f);
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                if hi <= lo {
+                    continue;
+                }
+                let t = lo + (hi - lo) * rng.gen::<f32>();
+                let mut left_sum = 0.0;
+                let mut n_left = 0usize;
+                for &r in rows {
+                    if x.get(r, f) <= t {
+                        left_sum += y[r];
+                        n_left += 1;
+                    }
+                }
+                let n_right = n - n_left;
+                if n_left < cfg.min_samples_leaf || n_right < cfg.min_samples_leaf {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let score = -(left_sum * left_sum / n_left as f64
+                    + right_sum * right_sum / n_right as f64);
+                if best.is_none_or(|(s, _, _)| score < s) {
+                    best = Some((score, f, t));
+                }
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+/// A Gini-impurity CART classifier.
+#[derive(Debug, Clone)]
+pub struct ClassificationTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+}
+
+impl ClassificationTree {
+    /// Grows a tree on all rows of `x` with labels `y`.
+    pub fn fit(
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        cfg: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self::fit_rows(x, y, n_classes, &(0..y.len()).collect::<Vec<_>>(), cfg, rng)
+    }
+
+    /// Grows a tree on a row subset (bootstrap samples may repeat rows).
+    pub fn fit_rows(
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        rows: &[usize],
+        cfg: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(x.rows(), y.len());
+        assert!(!rows.is_empty(), "empty training subset");
+        let mut tree = ClassificationTree { nodes: Vec::new(), n_classes };
+        tree.grow(x, y, rows, 0, cfg, rng);
+        tree
+    }
+
+    fn leaf(&mut self, y: &[usize], rows: &[usize]) -> u32 {
+        let mut counts = vec![0usize; self.n_classes];
+        for &r in rows {
+            counts[y[r]] += 1;
+        }
+        let total = rows.len() as f32;
+        let probs = counts.iter().map(|&c| c as f32 / total).collect();
+        self.nodes.push(Node::LeafClass { probs });
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn grow(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        rows: &[usize],
+        depth: usize,
+        cfg: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> u32 {
+        let first = y[rows[0]];
+        let pure = rows.iter().all(|&r| y[r] == first);
+        if pure || depth >= cfg.max_depth || rows.len() < 2 * cfg.min_samples_leaf {
+            return self.leaf(y, rows);
+        }
+        let features = feature_subset(x.cols(), cfg, rng);
+        match best_class_split(x, y, self.n_classes, rows, &features, cfg, rng) {
+            None => self.leaf(y, rows),
+            Some((feature, threshold)) => {
+                let (left_rows, right_rows) = partition(x, rows, feature, threshold);
+                if left_rows.is_empty() || right_rows.is_empty() {
+                    return self.leaf(y, rows);
+                }
+                let idx = self.nodes.len();
+                self.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+                let left = self.grow(x, y, &left_rows, depth + 1, cfg, rng);
+                let right = self.grow(x, y, &right_rows, depth + 1, cfg, rng);
+                self.nodes[idx] = Node::Split { feature, threshold, left, right };
+                idx as u32
+            }
+        }
+    }
+
+    /// Class probabilities for one row.
+    pub fn predict_proba_row(&self, row: &[f32]) -> &[f32] {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Split { feature, threshold, left, right } => {
+                    idx = if row[*feature] <= *threshold { *left as usize } else { *right as usize };
+                }
+                Node::LeafClass { probs } => return probs,
+                Node::LeafValue { .. } => unreachable!("classification tree with value leaf"),
+            }
+        }
+    }
+
+    /// Predicted class for one row.
+    pub fn predict_row(&self, row: &[f32]) -> usize {
+        let probs = self.predict_proba_row(row);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Predicted classes for a batch.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// A variance-reduction CART regressor.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Grows a tree on all rows of `x` with targets `y`.
+    pub fn fit(x: &Matrix, y: &[f64], cfg: &TreeConfig, rng: &mut impl Rng) -> Self {
+        Self::fit_rows(x, y, &(0..y.len()).collect::<Vec<_>>(), cfg, rng)
+    }
+
+    /// Grows a tree on a row subset.
+    pub fn fit_rows(
+        x: &Matrix,
+        y: &[f64],
+        rows: &[usize],
+        cfg: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(x.rows(), y.len());
+        assert!(!rows.is_empty(), "empty training subset");
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.grow(x, y, rows, 0, cfg, rng);
+        tree
+    }
+
+    fn leaf(&mut self, y: &[f64], rows: &[usize]) -> u32 {
+        let value = rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len() as f64;
+        self.nodes.push(Node::LeafValue { value });
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn grow(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        rows: &[usize],
+        depth: usize,
+        cfg: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> u32 {
+        if depth >= cfg.max_depth || rows.len() < 2 * cfg.min_samples_leaf {
+            return self.leaf(y, rows);
+        }
+        let mean = rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len() as f64;
+        let sse: f64 = rows.iter().map(|&r| (y[r] - mean).powi(2)).sum();
+        if sse < 1e-12 {
+            return self.leaf(y, rows);
+        }
+        let features = feature_subset(x.cols(), cfg, rng);
+        match best_reg_split(x, y, rows, &features, cfg, rng) {
+            None => self.leaf(y, rows),
+            Some((feature, threshold)) => {
+                let (left_rows, right_rows) = partition(x, rows, feature, threshold);
+                if left_rows.is_empty() || right_rows.is_empty() {
+                    return self.leaf(y, rows);
+                }
+                let idx = self.nodes.len();
+                self.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+                let left = self.grow(x, y, &left_rows, depth + 1, cfg, rng);
+                let right = self.grow(x, y, &right_rows, depth + 1, cfg, rng);
+                self.nodes[idx] = Node::Split { feature, threshold, left, right };
+                idx as u32
+            }
+        }
+    }
+
+    /// Predicted value for one row.
+    pub fn predict_row(&self, row: &[f32]) -> f64 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Split { feature, threshold, left, right } => {
+                    idx = if row[*feature] <= *threshold { *left as usize } else { *right as usize };
+                }
+                Node::LeafValue { value } => return *value,
+                Node::LeafClass { .. } => unreachable!("regression tree with class leaf"),
+            }
+        }
+    }
+
+    /// Predicted values for a batch.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_data() -> (Matrix, Vec<usize>) {
+        // 2D XOR scaled out to 200 points — not linearly separable, easy
+        // for a depth-2 tree.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let a = rng.gen::<f32>() * 2.0 - 1.0;
+            let b = rng.gen::<f32>() * 2.0 - 1.0;
+            xs.extend_from_slice(&[a, b]);
+            ys.push(usize::from((a > 0.0) != (b > 0.0)));
+        }
+        (Matrix::from_vec(200, 2, xs), ys)
+    }
+
+    #[test]
+    fn classification_tree_solves_xor() {
+        let (x, y) = xor_data();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = ClassificationTree::fit(&x, &y, 2, &TreeConfig::default(), &mut rng);
+        let preds = tree.predict(&x);
+        let acc =
+            preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.98, "acc={acc}");
+    }
+
+    #[test]
+    fn max_depth_zero_gives_single_leaf_majority() {
+        let (x, y) = xor_data();
+        let cfg = TreeConfig { max_depth: 0, ..TreeConfig::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = ClassificationTree::fit(&x, &y, 2, &cfg, &mut rng);
+        assert_eq!(tree.n_nodes(), 1);
+        let p = tree.predict(&x);
+        assert!(p.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let (x, y) = xor_data();
+        let cfg = TreeConfig { min_samples_leaf: 50, ..TreeConfig::default() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = ClassificationTree::fit(&x, &y, 2, &cfg, &mut rng);
+        // With 200 rows and 50-per-leaf minimum there can be at most 4
+        // leaves => at most 7 nodes.
+        assert!(tree.n_nodes() <= 7, "{}", tree.n_nodes());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (x, y) = xor_data();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = TreeConfig { max_depth: 3, ..TreeConfig::default() };
+        let tree = ClassificationTree::fit(&x, &y, 2, &cfg, &mut rng);
+        for r in 0..20 {
+            let p = tree.predict_proba_row(x.row(r));
+            let s: f32 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let x = Matrix::from_fn(100, 1, |r, _| r as f32 / 100.0);
+        let y: Vec<f64> = (0..100).map(|r| if r < 50 { 1.0 } else { 5.0 }).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng);
+        assert!((tree.predict_row(&[0.2]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict_row(&[0.8]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_tree_reduces_sse_vs_mean() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Matrix::he_normal(150, 3, &mut rng);
+        let y: Vec<f64> =
+            (0..150).map(|r| (x.get(r, 0) * 2.0 + x.get(r, 1)) as f64).collect();
+        let cfg = TreeConfig { max_depth: 6, ..TreeConfig::default() };
+        let tree = RegressionTree::fit(&x, &y, &cfg, &mut rng);
+        let preds = tree.predict(&x);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let sse_mean: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
+        let sse_tree: f64 =
+            preds.iter().zip(&y).map(|(p, t)| (p - t).powi(2)).sum();
+        assert!(sse_tree < sse_mean * 0.2, "tree={sse_tree} mean={sse_mean}");
+    }
+
+    #[test]
+    fn random_split_mode_still_learns() {
+        let (x, y) = xor_data();
+        let cfg = TreeConfig { split: SplitMode::Random, max_depth: 12, ..TreeConfig::default() };
+        let mut rng = StdRng::seed_from_u64(7);
+        let tree = ClassificationTree::fit(&x, &y, 2, &cfg, &mut rng);
+        let preds = tree.predict(&x);
+        let acc =
+            preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.9, "acc={acc}");
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let x = Matrix::zeros(20, 3);
+        let y: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        let tree = ClassificationTree::fit(&x, &y, 2, &TreeConfig::default(), &mut rng);
+        assert_eq!(tree.n_nodes(), 1);
+    }
+
+    #[test]
+    fn exhaustive_split_matches_bruteforce_on_small_input() {
+        // Cross-check the sweep against an O(n²) reference on a tiny set.
+        let x = Matrix::from_vec(6, 1, vec![1.0, 2.0, 3.0, 10.0, 11.0, 12.0]);
+        let y = vec![0usize, 0, 0, 1, 1, 1];
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = TreeConfig::default();
+        let (f, t) = best_class_split(&x, &y, 2, &[0, 1, 2, 3, 4, 5], &[0], &cfg, &mut rng)
+            .expect("split exists");
+        assert_eq!(f, 0);
+        assert!((t - 6.5).abs() < 1e-6, "t={t}");
+    }
+
+    #[test]
+    fn regression_split_finds_step_boundary() {
+        let x = Matrix::from_vec(6, 1, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let y = vec![0.0f64, 0.0, 0.0, 10.0, 10.0, 10.0];
+        let mut rng = StdRng::seed_from_u64(10);
+        let cfg = TreeConfig::default();
+        let (f, t) = best_reg_split(&x, &y, &[0, 1, 2, 3, 4, 5], &[0], &cfg, &mut rng)
+            .expect("split exists");
+        assert_eq!(f, 0);
+        assert!((t - 2.5).abs() < 1e-6, "t={t}");
+    }
+
+    #[test]
+    fn deep_tree_on_large_input_is_fast() {
+        // 2000 rows × 20 features should grow in well under a second with
+        // the sweep splitter.
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Matrix::he_normal(2000, 20, &mut rng);
+        let y: Vec<usize> = (0..2000).map(|r| usize::from(x.get(r, 3) > 0.0)).collect();
+        let start = std::time::Instant::now();
+        let tree = ClassificationTree::fit(&x, &y, 2, &TreeConfig::default(), &mut rng);
+        assert!(start.elapsed().as_secs_f64() < 2.0);
+        let acc = tree
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / 2000.0;
+        assert!(acc > 0.99);
+    }
+}

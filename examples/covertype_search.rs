@@ -1,0 +1,49 @@
+//! Compare AgE-1 (static data-parallel training) against AgEBO (autotuned)
+//! on the Covertype-like benchmark — a miniature of the paper's Fig. 6.
+//!
+//! ```sh
+//! cargo run --release -p agebo-examples --bin covertype_search
+//! ```
+
+use agebo_analysis::plot::ascii_chart;
+use agebo_core::{run_search, EvalContext, SearchConfig, Variant};
+use agebo_tabular::{DatasetKind, SizeProfile};
+use std::sync::Arc;
+
+fn main() {
+    let ctx = Arc::new(EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, 7));
+
+    let age1 = run_search(
+        Arc::clone(&ctx),
+        &SearchConfig::test(Variant::age(1)).with_seed(7),
+    );
+    let agebo = run_search(
+        Arc::clone(&ctx),
+        &SearchConfig::test(Variant::agebo()).with_seed(7),
+    );
+
+    let to_minutes = |traj: Vec<(f64, f64)>| -> Vec<(f64, f64)> {
+        traj.into_iter().map(|(t, a)| (t / 60.0, a)).collect()
+    };
+    let a = to_minutes(age1.best_so_far());
+    let b = to_minutes(agebo.best_so_far());
+    println!("best-so-far validation accuracy over simulated search time (minutes):");
+    println!("{}", ascii_chart(&[("AgE-1", a.as_slice()), ("AgEBO", b.as_slice())], 70, 16));
+
+    println!(
+        "AgE-1: {} evaluations, best {:.4}",
+        age1.len(),
+        age1.best().map(|r| r.objective).unwrap_or(0.0)
+    );
+    println!(
+        "AgEBO: {} evaluations, best {:.4}",
+        agebo.len(),
+        agebo.best().map(|r| r.objective).unwrap_or(0.0)
+    );
+    if let Some(best) = agebo.best() {
+        println!(
+            "AgEBO's tuned hyperparameters: bs1={} lr1={:.4} n={}",
+            best.hp.bs1, best.hp.lr1, best.hp.n
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Table II in miniature: a stacking ensemble matches a single tuned
+//! network on accuracy but pays a large inference-time penalty.
+//!
+//! ```sh
+//! cargo run --release -p agebo-examples --bin ensemble_vs_single
+//! ```
+
+use agebo_analysis::TextTable;
+use agebo_baselines::{AutoGluonLike, EnsembleConfig};
+use agebo_core::evaluation::train_final;
+use agebo_core::{run_search, EvalContext, EvalTask, SearchConfig, Variant};
+use agebo_nn::inference::predict_timed;
+use agebo_tabular::{DatasetKind, SizeProfile};
+use std::sync::Arc;
+
+fn main() {
+    let ctx = Arc::new(EvalContext::prepare(DatasetKind::Dionis, SizeProfile::Test, 3));
+
+    // Single model: best network from a short AgEBO search, retrained.
+    let history = run_search(
+        Arc::clone(&ctx),
+        &SearchConfig::test(Variant::agebo()).with_seed(3),
+    );
+    let best = history.best().expect("search found something");
+    let (net, _) = train_final(
+        &ctx,
+        &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: 99 },
+    );
+    let (preds, single_time) = predict_timed(&net, &ctx.test.x, 512);
+    let single_acc = ctx.test.accuracy_of(&preds);
+
+    // Stacking ensemble in the style of AutoGluon.
+    let ens = AutoGluonLike::fit(&ctx.train, &ctx.valid, &EnsembleConfig::small(3));
+    let (ens_preds, ens_time) = ens.predict_timed(&ctx.test.x);
+    let ens_acc = ctx.test.accuracy_of(&ens_preds);
+
+    let mut table = TextTable::new(&["model", "test accuracy", "inference time"]);
+    table.row(&[
+        "AgEBO single network".into(),
+        format!("{single_acc:.4}"),
+        format!("{:.2} ms", single_time.as_secs_f64() * 1e3),
+    ]);
+    table.row(&[
+        format!("stacked ensemble ({} members)", ens.n_members()),
+        format!("{ens_acc:.4}"),
+        format!("{:.2} ms", ens_time.as_secs_f64() * 1e3),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "speedup of the single network: {:.0}x",
+        ens_time.as_secs_f64() / single_time.as_secs_f64().max(1e-9)
+    );
+    println!("\nensemble members and combiner weights:");
+    for (name, w) in ens.member_weights() {
+        println!("  {name:<18} {w:.2}");
+    }
+}

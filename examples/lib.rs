@@ -1,0 +1,50 @@
+//! Shared helpers for the example binaries (see the `[[bin]]` entries in
+//! `examples/Cargo.toml`): `quickstart`, `covertype_search`,
+//! `dataparallel_tuning`, `ensemble_vs_single`, `custom_csv`.
+
+use agebo_searchspace::{ArchVector, SearchSpace, VarKind};
+
+/// Pretty-prints an architecture vector as the layer/skip structure it
+/// encodes.
+pub fn describe_architecture(space: &SearchSpace, arch: &ArchVector) -> String {
+    let mut out = String::new();
+    for (i, &value) in arch.0.iter().enumerate() {
+        match space.var_kind(i) {
+            VarKind::Layer { node } => {
+                let desc = match space.decode_layer(value) {
+                    Some((units, act)) => format!("Dense({units}, {})", act.name()),
+                    None => "Identity".to_string(),
+                };
+                out.push_str(&format!("  node {node}: {desc}\n"));
+            }
+            VarKind::Skip { src, dst } if value == 1 => {
+                let dst_name = if dst == space.max_nodes + 1 {
+                    "output".to_string()
+                } else {
+                    format!("node {dst}")
+                };
+                let src_name =
+                    if src == 0 { "input".to_string() } else { format!("node {src}") };
+                out.push_str(&format!("  skip: {src_name} -> {dst_name}\n"));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describes_layers_and_skips() {
+        let space = SearchSpace::with_nodes(4, 2, 3);
+        let mut arch = ArchVector(vec![0; space.n_variables()]);
+        arch.0[0] = 18; // Dense(64, relu) under the paper menu
+        let text = describe_architecture(&space, &arch);
+        assert!(text.contains("node 1: Dense(64, relu)"));
+        assert!(text.contains("node 2: Identity"));
+        assert!(!text.contains("skip:"));
+    }
+}

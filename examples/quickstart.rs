@@ -1,0 +1,47 @@
+//! Quickstart: run a small AgEBO search on the Covertype-like benchmark
+//! and print the best discovered network.
+//!
+//! ```sh
+//! cargo run --release -p agebo-examples --bin quickstart
+//! ```
+
+use agebo_core::{run_search, EvalContext, SearchConfig, Variant};
+use agebo_examples::describe_architecture;
+use agebo_tabular::{DatasetKind, SizeProfile};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Prepare a data set: the paper's 42/25/33 split + standardization.
+    let ctx = Arc::new(EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, 42));
+    println!(
+        "dataset: {} ({} train rows, {} features, {} classes)",
+        ctx.meta.name,
+        ctx.train.len(),
+        ctx.train.n_features(),
+        ctx.train.n_classes
+    );
+    println!(
+        "architecture space: {} decision variables, ~10^{:.1} architectures",
+        ctx.space.n_variables(),
+        ctx.space.size_log10()
+    );
+
+    // 2. Run AgEBO: aging evolution over architectures + asynchronous BO
+    //    over the data-parallel training hyperparameters (bs1, lr1, n).
+    let cfg = SearchConfig::test(Variant::agebo()).with_seed(42);
+    let history = run_search(Arc::clone(&ctx), &cfg);
+
+    // 3. Inspect the result.
+    println!(
+        "\nevaluated {} architectures in {:.0} simulated minutes (utilization {:.0}%)",
+        history.len(),
+        history.wall_time / 60.0,
+        history.utilization * 100.0
+    );
+    let best = history.best().expect("at least one evaluation");
+    println!(
+        "best validation accuracy: {:.4} with bs1={} lr1={:.4} n={}",
+        best.objective, best.hp.bs1, best.hp.lr1, best.hp.n
+    );
+    println!("best architecture:\n{}", describe_architecture(&ctx.space, &best.arch));
+}

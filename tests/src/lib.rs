@@ -1,0 +1,15 @@
+//! Shared fixtures for the cross-crate integration tests (in `tests/`).
+
+use agebo_core::EvalContext;
+use agebo_tabular::{DatasetKind, SizeProfile};
+use std::sync::Arc;
+
+/// A small prepared Covertype-like context shared by integration tests.
+pub fn covertype_ctx(seed: u64) -> Arc<EvalContext> {
+    Arc::new(EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, seed))
+}
+
+/// A small prepared Airlines-like context.
+pub fn airlines_ctx(seed: u64) -> Arc<EvalContext> {
+    Arc::new(EvalContext::prepare(DatasetKind::Airlines, SizeProfile::Test, seed))
+}

@@ -1,0 +1,75 @@
+//! Integration of the Table II / Fig. 6 / Fig. 7 machinery: baselines,
+//! final-model retraining, inference timing and PCA.
+
+use agebo_analysis::Pca;
+use agebo_baselines::{AutoGluonLike, AutoPyTorchLike, EnsembleConfig, HpoConfig};
+use agebo_core::evaluation::train_final;
+use agebo_core::{run_search, EvalTask, SearchConfig, Variant};
+use agebo_integration::covertype_ctx;
+use agebo_nn::inference::predict_timed;
+
+#[test]
+fn single_model_vs_ensemble_table2_machinery() {
+    let ctx = covertype_ctx(20);
+    let history = run_search(ctx.clone(), &SearchConfig::test(Variant::agebo()).with_seed(20));
+    let best = history.best().expect("non-empty search");
+    let (net, val_acc) = train_final(
+        &ctx,
+        &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: 77 },
+    );
+    assert!(val_acc > 0.0);
+    let (preds, single_time) = predict_timed(&net, &ctx.test.x, 512);
+    let single_acc = ctx.test.accuracy_of(&preds);
+    assert!(single_acc > ctx.test.majority_baseline());
+
+    // A production-sized stack (5 bagged folds of 5 families), as the
+    // bench-scale Table II uses.
+    let ens_cfg = EnsembleConfig { folds: 5, rf_trees: 60, et_trees: 60, gbm_rounds: 10, seed: 20, ..EnsembleConfig::default() };
+    let ens = AutoGluonLike::fit(&ctx.train, &ctx.valid, &ens_cfg);
+    let (ens_preds, _) = ens.predict_timed(&ctx.test.x);
+    let ens_acc = ctx.test.accuracy_of(&ens_preds);
+    assert!(ens_acc > ctx.test.majority_baseline());
+
+    // The structural Table II claim: the stack is much slower at
+    // inference. Median of repeated runs to de-noise.
+    let med = |f: &dyn Fn() -> std::time::Duration| {
+        let mut ts: Vec<_> = (0..5).map(|_| f()).collect();
+        ts.sort();
+        ts[2]
+    };
+    let single_med = med(&|| predict_timed(&net, &ctx.test.x, 512).1);
+    let ens_med = med(&|| ens.predict_timed(&ctx.test.x).1);
+    assert!(
+        ens_med > single_med,
+        "ensemble {ens_med:?} vs single {single_med:?}"
+    );
+    let _ = single_time;
+}
+
+#[test]
+fn autopytorch_like_is_a_plausible_reference_line() {
+    let ctx = covertype_ctx(21);
+    let cfg = HpoConfig { n_configs: 4, epochs: 4, seed: 21, ..HpoConfig::default() };
+    let apt = AutoPyTorchLike::run(&ctx.train, &ctx.valid, &cfg);
+    assert!(apt.best_val_acc > ctx.valid.majority_baseline());
+    assert!(apt.best_val_acc <= 1.0);
+}
+
+#[test]
+fn fig7_pca_pipeline_runs_on_search_output() {
+    let ctx = covertype_ctx(22);
+    let history = run_search(ctx.clone(), &SearchConfig::test(Variant::agebo()).with_seed(22));
+    let cards = ctx.space.cardinalities();
+    let rows: Vec<Vec<f64>> = history
+        .top_fraction(0.25)
+        .iter()
+        .map(|r| r.arch.encode_numeric(&cards))
+        .collect();
+    assert!(rows.len() >= 2, "need at least two configurations for PCA");
+    let pca = Pca::fit(&rows, 2);
+    let proj = pca.project(&rows);
+    assert_eq!(proj.len(), rows.len());
+    assert!(proj.iter().all(|p| p.iter().all(|v| v.is_finite())));
+    let total: f64 = pca.explained_variance_ratio.iter().sum();
+    assert!((0.0..=1.0 + 1e-9).contains(&total));
+}

@@ -1,0 +1,96 @@
+//! End-to-end integration: the full Algorithm 1 stack — data generation,
+//! search space, data-parallel training, DES scheduler, BO — wired
+//! together exactly as the experiment binaries use it.
+
+use agebo_core::{run_search, SearchConfig, Variant};
+use agebo_integration::{airlines_ctx, covertype_ctx};
+use std::collections::HashSet;
+
+#[test]
+fn agebo_end_to_end_produces_consistent_history() {
+    let ctx = covertype_ctx(1);
+    let cfg = SearchConfig::test(Variant::agebo()).with_seed(1);
+    let h = run_search(ctx.clone(), &cfg);
+    assert!(h.len() >= cfg.workers, "expected at least one wave of results");
+
+    // Records are well-formed and within the wall time.
+    for r in &h.records {
+        assert!(r.finished_at <= h.wall_time + 1e-9);
+        assert!(r.duration > 0.0);
+        assert!(r.submitted_at + r.duration <= r.finished_at + 1e-6);
+        assert!((0.0..=1.0).contains(&r.objective));
+        assert_eq!(r.arch.len(), ctx.space.n_variables());
+        assert!(r.hp.in_paper_range(), "{:?}", r.hp);
+    }
+    // Ids are unique.
+    let ids: HashSet<u64> = h.records.iter().map(|r| r.id).collect();
+    assert_eq!(ids.len(), h.len());
+    // Best-so-far is monotone and ends at the best objective.
+    let traj = h.best_so_far();
+    assert!(traj.windows(2).all(|w| w[1].1 >= w[0].1));
+    let best = h.best().unwrap().objective;
+    assert_eq!(traj.last().unwrap().1, best);
+}
+
+#[test]
+fn search_improves_over_random_start() {
+    // The best architecture at the end should be at least as good as the
+    // best of the initial random wave (trivially true) and strictly above
+    // the majority-class baseline.
+    let ctx = airlines_ctx(2);
+    let cfg = SearchConfig::test(Variant::agebo()).with_seed(2);
+    let h = run_search(ctx.clone(), &cfg);
+    let best = h.best().unwrap().objective;
+    assert!(
+        best > ctx.valid.majority_baseline() + 0.02,
+        "best {best} vs majority {}",
+        ctx.valid.majority_baseline()
+    );
+}
+
+#[test]
+fn mutated_children_stay_near_parents() {
+    // Once the population is full, every new architecture is one mutation
+    // away from an existing one; verify children are Hamming-1 from some
+    // earlier architecture.
+    let ctx = covertype_ctx(3);
+    let mut cfg = SearchConfig::test(Variant::age(8)).with_seed(3);
+    cfg.population = 4; // fill quickly
+    let h = run_search(ctx, &cfg);
+    assert!(h.len() > cfg.workers + cfg.population, "not enough evaluations");
+    let archs: Vec<_> = h.records.iter().map(|r| &r.arch).collect();
+    // After the first W + P evaluations, each arch should have a
+    // Hamming-1 neighbour among earlier archs (mutation provenance).
+    let start = cfg.workers + cfg.population;
+    let mut mutated = 0;
+    for i in start..archs.len() {
+        if archs[..i].iter().any(|a| a.hamming(archs[i]) == 1) {
+            mutated += 1;
+        }
+    }
+    let frac = mutated as f64 / (archs.len() - start).max(1) as f64;
+    assert!(frac > 0.8, "only {frac:.2} of late archs look mutated");
+}
+
+#[test]
+fn age_variants_share_data_but_differ_in_throughput() {
+    let ctx = covertype_ctx(4);
+    let h1 = run_search(ctx.clone(), &SearchConfig::test(Variant::age(1)).with_seed(4));
+    let h8 = run_search(ctx, &SearchConfig::test(Variant::age(8)).with_seed(4));
+    assert!(h8.len() > h1.len(), "AgE-8 should evaluate more ({} vs {})", h8.len(), h1.len());
+    let (m1, _) = h1.duration_mean_std();
+    let (m8, _) = h8.duration_mean_std();
+    assert!(m1 / m8 > 3.0, "simulated time should scale ~1/n: {m1} vs {m8}");
+}
+
+#[test]
+fn histories_serialize_and_reload() {
+    let ctx = covertype_ctx(5);
+    let cfg = SearchConfig::test(Variant::agebo_lr(8)).with_seed(5).with_wall_time(3000.0);
+    let h = run_search(ctx, &cfg);
+    let json = serde_json::to_string(&h).unwrap();
+    let back: agebo_core::SearchHistory = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), h.len());
+    assert_eq!(back.label, h.label);
+    assert_eq!(back.best().map(|r| r.id), h.best().map(|r| r.id));
+}

@@ -1,0 +1,83 @@
+//! Cross-crate property tests: any point of the joint search space must
+//! flow through lowering, training and the cost model without panics,
+//! NaNs or constraint violations.
+
+use agebo_core::{evaluate, EvalTask};
+use agebo_dataparallel::{DataParallelHp, TrainingCostModel};
+use agebo_integration::covertype_ctx;
+use agebo_searchspace::SearchSpace;
+use agebo_tabular::DatasetMeta;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn meta() -> DatasetMeta {
+    DatasetMeta {
+        name: "covertype",
+        paper_rows: 581_012,
+        n_features: 54,
+        paper_classes: 7,
+        actual_classes: 7,
+        actual_rows: 700,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any (architecture, hyperparameter) pair from the paper's joint
+    /// space evaluates to a finite accuracy in [0, 1].
+    #[test]
+    fn any_joint_configuration_evaluates(
+        arch_seed in any::<u64>(),
+        bs_idx in 0usize..6,
+        n_idx in 0usize..4,
+        lr_exp in -3.0f64..-1.0,
+    ) {
+        // One shared tiny context (rebuilding per case would dominate).
+        let ctx = covertype_ctx(99);
+        let arch = ctx.space.random(&mut StdRng::seed_from_u64(arch_seed));
+        let hp = DataParallelHp {
+            bs1: [32, 64, 128, 256, 512, 1024][bs_idx],
+            lr1: 10f64.powf(lr_exp) as f32,
+            n: [1, 2, 4, 8][n_idx],
+        };
+        let acc = evaluate(&ctx, &EvalTask { arch, hp, seed: arch_seed });
+        prop_assert!(acc.is_finite());
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    /// The simulated-time cost model is monotone in the directions the
+    /// paper relies on: more params cost more; more ranks cost less.
+    #[test]
+    fn cost_model_monotonicity(
+        params in 1_000usize..200_000,
+        bs_idx in 0usize..6,
+        lr in 0.001f32..0.1,
+    ) {
+        let model = TrainingCostModel { noise_sigma: 0.0, ..TrainingCostModel::paper_calibrated() };
+        let m = meta();
+        let bs1 = [32usize, 64, 128, 256, 512, 1024][bs_idx];
+        let t = |n: usize, p: usize| {
+            model.expected_seconds(&m, p, DataParallelHp { lr1: lr, bs1, n }, 20)
+        };
+        prop_assert!(t(1, params) > t(2, params));
+        prop_assert!(t(2, params) > t(4, params));
+        prop_assert!(t(4, params) > t(8, params));
+        prop_assert!(t(1, params * 2) > t(1, params));
+    }
+
+    /// Mutation chains never leave the space, and lowering stays valid
+    /// after arbitrarily many mutations.
+    #[test]
+    fn mutation_chains_keep_lowering_valid(seed in any::<u64>(), steps in 1usize..40) {
+        let space = SearchSpace::paper(54, 7);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arch = space.random(&mut rng);
+        for _ in 0..steps {
+            arch = space.mutate(&arch, &mut rng);
+        }
+        let g = space.to_graph(&arch); // validates internally
+        prop_assert!(g.param_count() >= 54 * 7 + 7);
+    }
+}

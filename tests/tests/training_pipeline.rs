@@ -1,0 +1,101 @@
+//! Integration of the training stack: generators → split → standardize →
+//! search-space lowering → data-parallel training → evaluation.
+
+use agebo_core::{evaluate, EvalTask};
+use agebo_dataparallel::{fit_data_parallel, DataParallelConfig, DataParallelHp};
+use agebo_integration::covertype_ctx;
+use agebo_nn::GraphNet;
+use agebo_searchspace::ArchVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Layer value 18 encodes Dense(64, ReLU) under the paper menu.
+fn compact_net(ctx: &agebo_core::EvalContext) -> ArchVector {
+    let mut v = vec![0u16; ctx.space.n_variables()];
+    v[0] = 18;
+    ArchVector(v)
+}
+
+#[test]
+fn rank_counts_converge_to_similar_accuracy_below_the_limit() {
+    // n=1 and n=2 with linearly scaled lr/bs should land in a similar
+    // accuracy band (the paper's premise for scaling up to the limit).
+    let ctx = covertype_ctx(10);
+    let arch = compact_net(&ctx);
+    let acc = |n: usize| {
+        evaluate(
+            &ctx,
+            &EvalTask { arch: arch.clone(), hp: DataParallelHp { lr1: 0.01, bs1: 64, n }, seed: 7 },
+        )
+    };
+    let (a1, a2) = (acc(1), acc(2));
+    assert!((a1 - a2).abs() < 0.15, "n=1 {a1} vs n=2 {a2}");
+}
+
+#[test]
+fn beyond_the_limit_accuracy_degrades() {
+    // The Table I phenomenon on the real (scaled-down) training path:
+    // n=8 at the default hyperparameters underperforms n=1.
+    let ctx = covertype_ctx(11);
+    let arch = compact_net(&ctx);
+    let acc = |n: usize| {
+        evaluate(
+            &ctx,
+            &EvalTask { arch: arch.clone(), hp: DataParallelHp::paper_default(n), seed: 8 },
+        )
+    };
+    let (a1, a8) = (acc(1), acc(8));
+    assert!(a1 > a8, "expected degradation at n=8: n=1 {a1} vs n=8 {a8}");
+}
+
+#[test]
+fn skip_connection_architectures_train_end_to_end() {
+    let ctx = covertype_ctx(12);
+    // Architecture with skips: dense nodes + all skip bits on.
+    let mut v = vec![0u16; ctx.space.n_variables()];
+    #[allow(clippy::needless_range_loop)] // i indexes both the space and v
+    for i in 0..ctx.space.n_variables() {
+        match ctx.space.var_kind(i) {
+            agebo_searchspace::VarKind::Layer { .. } => v[i] = 18,
+            agebo_searchspace::VarKind::Skip { .. } => v[i] = 1,
+        }
+    }
+    let arch = ArchVector(v);
+    let spec = ctx.space.to_graph(&arch);
+    assert_eq!(spec.skip_count(), 27);
+    let mut net = GraphNet::new(spec, &mut StdRng::seed_from_u64(0));
+    let cfg = DataParallelConfig {
+        epochs: 2,
+        hp: DataParallelHp { lr1: 0.005, bs1: 64, n: 2 },
+        warmup_epochs: 1,
+        plateau_patience: 5,
+        plateau_factor: 0.1,
+        seed: 0,
+        weight_decay: 0.0,
+        grad_clip: None,
+    };
+    let report = fit_data_parallel(&mut net, &ctx.train, &ctx.valid, &cfg);
+    assert!(report.best_val_acc.is_finite());
+    assert!(report.train_loss.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn applied_hp_respects_divisor_and_row_clamp() {
+    let ctx = covertype_ctx(13);
+    let applied = ctx.applied_hp(DataParallelHp { lr1: 0.01, bs1: 1024, n: 8 });
+    assert_eq!(applied.bs1, 1024 / ctx.bs_divisor);
+    assert_eq!(applied.n, 8);
+    let tiny = ctx.applied_hp(DataParallelHp { lr1: 0.01, bs1: 32, n: 8 });
+    assert!(tiny.bs1 >= 8);
+}
+
+#[test]
+fn evaluation_is_reproducible_across_contexts() {
+    // Two freshly prepared contexts with the same seed give identical
+    // evaluations (generation, split, standardization all deterministic).
+    let a = covertype_ctx(14);
+    let b = covertype_ctx(14);
+    let arch = compact_net(&a);
+    let task = EvalTask { arch, hp: DataParallelHp { lr1: 0.02, bs1: 128, n: 2 }, seed: 3 };
+    assert_eq!(evaluate(&a, &task), evaluate(&b, &task));
+}
