@@ -172,7 +172,7 @@ mod tests {
         let loss = log_loss(&probs, &[0, 0]);
         assert!((loss - 0.5 * (2.0f64).ln()).abs() < 1e-12);
         // Confidently wrong is heavily penalised (clamped, not infinite).
-        let bad = log_loss(&vec![vec![0.0, 1.0]], &[0]);
+        let bad = log_loss(&[vec![0.0, 1.0]], &[0]);
         assert!(bad > 30.0);
     }
 

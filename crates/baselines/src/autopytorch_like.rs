@@ -82,7 +82,7 @@ fn sample_candidate(
         width = (width / 2).max(8); // funnel shape
     }
     let lr = (rng.gen::<f64>() * ((0.1f64).ln() - (0.001f64).ln()) + (0.001f64).ln()).exp();
-    let batch_size = *[64usize, 128, 256].get(rng.gen_range(0..3)).expect("menu");
+    let batch_size = *[64usize, 128, 256].get(rng.gen_range(0..3usize)).expect("menu");
     Candidate {
         spec: GraphSpec::mlp(input_dim, &hidden, n_classes),
         lr: lr as f32,

@@ -235,7 +235,7 @@ impl BohbLike {
                             stream.labeled((bracket as u64) << 32 | (r as u64) << 16);
                         let acc = evaluate_config(c, space, train, valid, epochs, seed);
                         evaluations.push((c.clone(), epochs, acc));
-                        if best.as_ref().map_or(true, |(b, _)| acc > *b) {
+                        if best.as_ref().is_none_or(|(b, _)| acc > *b) {
                             best = Some((acc, c.clone()));
                         }
                         (acc, c.clone())

@@ -1,0 +1,109 @@
+//! Hot-path benches: the workspace-based training step against the
+//! seed-style allocating step, and the in-place GEMM kernels against
+//! their allocating wrappers. The `bench_hotpath` binary runs the same
+//! comparison and writes `BENCH_hotpath.json` for trend tracking.
+
+use agebo_bench::seed_step::SeedMlp;
+use agebo_nn::{Activation, Adam, GradientBuffer, GraphNet, GraphSpec};
+use agebo_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn covertype_like() -> (GraphNet, Matrix, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let spec = GraphSpec::mlp(54, &[(96, Activation::Relu), (96, Activation::Relu)], 7);
+    let net = GraphNet::new(spec, &mut rng);
+    let x = Matrix::he_normal(4096, 54, &mut rng);
+    let y: Vec<usize> = (0..4096).map(|i| i % 7).collect();
+    (net, x, y)
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_allocating_vs_workspace");
+    group.sample_size(20);
+    for &bs in &[64usize, 256] {
+        let batches: Vec<Vec<usize>> =
+            (0..4096 / bs).map(|b| (b * bs..(b + 1) * bs).collect()).collect();
+
+        // The seed's step: scalar kernels, fresh matrix per intermediate.
+        let (net0, x, y) = covertype_like();
+        let mut seed_net = SeedMlp::new(54, &[96, 96], 7, &mut StdRng::seed_from_u64(11));
+        let mut seed_adam = seed_net.adam();
+        let mut step = 0usize;
+        group.bench_function(format!("seed_bs{bs}"), |bench| {
+            bench.iter(|| {
+                let batch = &batches[step % batches.len()];
+                step += 1;
+                let xb = x.gather_rows(batch);
+                let yb: Vec<usize> = batch.iter().map(|&i| y[i]).collect();
+                black_box(seed_net.train_step(&mut seed_adam, &xb, &yb, 0.01))
+            })
+        });
+
+        // Today's one-shot wrappers: optimized kernels, fresh workspace
+        // and gradient buffer on every step.
+        let mut net = net0.clone();
+        let mut adam = Adam::new(&net);
+        let mut step = 0usize;
+        group.bench_function(format!("allocating_bs{bs}"), |bench| {
+            bench.iter(|| {
+                let batch = &batches[step % batches.len()];
+                step += 1;
+                let xb = x.gather_rows(batch);
+                let yb: Vec<usize> = batch.iter().map(|&i| y[i]).collect();
+                let (loss, mut grads) = net.forward_backward(&xb, &yb);
+                grads.clip_global_norm(1.0);
+                adam.step_with(&mut net, &grads, 0.01, 0.0);
+                black_box(loss)
+            })
+        });
+
+        // Zero-allocation step: all buffers persistent.
+        let mut net = net0.clone();
+        let mut adam = Adam::new(&net);
+        let mut ws = net.make_workspace(bs);
+        let mut grads = GradientBuffer::zeros_like(&net);
+        let mut xbuf = Matrix::default();
+        let mut ybuf: Vec<usize> = Vec::with_capacity(bs);
+        let mut step = 0usize;
+        group.bench_function(format!("workspace_bs{bs}"), |bench| {
+            bench.iter(|| {
+                let batch = &batches[step % batches.len()];
+                step += 1;
+                x.gather_rows_into(batch, &mut xbuf);
+                ybuf.clear();
+                ybuf.extend(batch.iter().map(|&i| y[i]));
+                let loss = net.forward_backward_with(&xbuf, &ybuf, &mut ws, &mut grads);
+                grads.clip_global_norm(1.0);
+                adam.step_with(&mut net, &grads, 0.01, 0.0);
+                black_box(loss)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm_into(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_into_vs_allocating");
+    let mut rng = StdRng::seed_from_u64(12);
+    for &(m, k, n) in &[(256usize, 54usize, 96usize), (256, 96, 7)] {
+        let a = Matrix::he_normal(m, k, &mut rng);
+        let b = Matrix::he_normal(k, n, &mut rng);
+        group.bench_function(format!("matmul_{m}x{k}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+        let mut out = Matrix::default();
+        group.bench_function(format!("matmul_into_{m}x{k}x{n}"), |bench| {
+            bench.iter(|| {
+                a.matmul_into(&b, &mut out, false);
+                black_box(out.as_slice()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_gemm_into);
+criterion_main!(benches);

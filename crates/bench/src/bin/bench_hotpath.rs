@@ -1,0 +1,154 @@
+//! Measures the training hot path and writes `BENCH_hotpath.json`.
+//!
+//! Three step implementations over the same Covertype-like workload
+//! (54 features, 7 classes, a 96-96 ReLU MLP):
+//!
+//! * `seed` — the growth seed's step, re-implemented verbatim in
+//!   [`agebo_bench::seed_step`]: scalar GEMM kernels and a fresh matrix
+//!   for every intermediate (the "before" of this repo's hot-path work);
+//! * `allocating` — today's one-shot wrappers: optimized SIMD kernels
+//!   but a fresh workspace + gradient buffer per step;
+//! * `workspace` — the zero-allocation step: persistent `Workspace`,
+//!   `GradientBuffer` and staging buffers, in-place `*_into` kernels.
+//!
+//! All three run identical batch schedules, so steps/sec is directly
+//! comparable; the JSON records the rates plus the workspace-vs-seed
+//! speedup so later PRs can track the trajectory.
+
+use agebo_bench::seed_step::SeedMlp;
+use agebo_nn::{Activation, Adam, GradientBuffer, GraphNet, GraphSpec};
+use agebo_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const HIDDEN: [usize; 2] = [96, 96];
+
+struct Workload {
+    net: GraphNet,
+    x: Matrix,
+    y: Vec<usize>,
+}
+
+fn covertype_like() -> Workload {
+    let mut rng = StdRng::seed_from_u64(11);
+    let spec = GraphSpec::mlp(
+        54,
+        &[(HIDDEN[0], Activation::Relu), (HIDDEN[1], Activation::Relu)],
+        7,
+    );
+    let net = GraphNet::new(spec, &mut rng);
+    let x = Matrix::he_normal(4096, 54, &mut rng);
+    let y: Vec<usize> = (0..4096).map(|i| i % 7).collect();
+    Workload { net, x, y }
+}
+
+fn steps_per_sec(total_steps: usize, elapsed_secs: f64) -> f64 {
+    total_steps as f64 / elapsed_secs.max(1e-9)
+}
+
+fn run_seed(w: &Workload, batches: &[Vec<usize>], steps: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut net = SeedMlp::new(54, &HIDDEN, 7, &mut rng);
+    let mut adam = net.adam();
+    for batch in batches.iter().take(4) {
+        let xb = w.x.gather_rows(batch);
+        let yb: Vec<usize> = batch.iter().map(|&i| w.y[i]).collect();
+        net.train_step(&mut adam, &xb, &yb, 0.01);
+    }
+    let t0 = Instant::now();
+    for s in 0..steps {
+        let batch = &batches[s % batches.len()];
+        let xb = w.x.gather_rows(batch);
+        let yb: Vec<usize> = batch.iter().map(|&i| w.y[i]).collect();
+        black_box(net.train_step(&mut adam, &xb, &yb, 0.01));
+    }
+    steps_per_sec(steps, t0.elapsed().as_secs_f64())
+}
+
+fn run_allocating(w: &Workload, batches: &[Vec<usize>], steps: usize) -> f64 {
+    let mut net = w.net.clone();
+    let mut adam = Adam::new(&net);
+    for batch in batches.iter().take(4) {
+        let xb = w.x.gather_rows(batch);
+        let yb: Vec<usize> = batch.iter().map(|&i| w.y[i]).collect();
+        let (_, mut grads) = net.forward_backward(&xb, &yb);
+        grads.clip_global_norm(1.0);
+        adam.step_with(&mut net, &grads, 0.01, 0.0);
+    }
+    let t0 = Instant::now();
+    for s in 0..steps {
+        let batch = &batches[s % batches.len()];
+        let xb = w.x.gather_rows(batch);
+        let yb: Vec<usize> = batch.iter().map(|&i| w.y[i]).collect();
+        let (loss, mut grads) = net.forward_backward(&xb, &yb);
+        grads.clip_global_norm(1.0);
+        adam.step_with(&mut net, &grads, 0.01, 0.0);
+        black_box(loss);
+    }
+    steps_per_sec(steps, t0.elapsed().as_secs_f64())
+}
+
+fn run_workspace(w: &Workload, batches: &[Vec<usize>], steps: usize) -> f64 {
+    let mut net = w.net.clone();
+    let mut adam = Adam::new(&net);
+    let bs = batches[0].len();
+    let mut ws = net.make_workspace(bs);
+    let mut grads = GradientBuffer::zeros_like(&net);
+    let mut xbuf = Matrix::default();
+    let mut ybuf: Vec<usize> = Vec::with_capacity(bs);
+    for batch in batches.iter().take(4) {
+        w.x.gather_rows_into(batch, &mut xbuf);
+        ybuf.clear();
+        ybuf.extend(batch.iter().map(|&i| w.y[i]));
+        net.forward_backward_with(&xbuf, &ybuf, &mut ws, &mut grads);
+        grads.clip_global_norm(1.0);
+        adam.step_with(&mut net, &grads, 0.01, 0.0);
+    }
+    let t0 = Instant::now();
+    for s in 0..steps {
+        let batch = &batches[s % batches.len()];
+        w.x.gather_rows_into(batch, &mut xbuf);
+        ybuf.clear();
+        ybuf.extend(batch.iter().map(|&i| w.y[i]));
+        let loss = net.forward_backward_with(&xbuf, &ybuf, &mut ws, &mut grads);
+        grads.clip_global_norm(1.0);
+        adam.step_with(&mut net, &grads, 0.01, 0.0);
+        black_box(loss);
+    }
+    steps_per_sec(steps, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let w = covertype_like();
+    let mut entries = Vec::new();
+    for &bs in &[64usize, 256] {
+        let batches: Vec<Vec<usize>> =
+            (0..4096 / bs).map(|b| (b * bs..(b + 1) * bs).collect()).collect();
+        let steps = if bs >= 256 { 200 } else { 600 };
+        // Interleave rounds and keep each implementation's best to shrug
+        // off scheduler noise.
+        let mut seed_rate = 0.0f64;
+        let mut alloc_rate = 0.0f64;
+        let mut ws_rate = 0.0f64;
+        for _ in 0..2 {
+            seed_rate = seed_rate.max(run_seed(&w, &batches, steps));
+            alloc_rate = alloc_rate.max(run_allocating(&w, &batches, steps));
+            ws_rate = ws_rate.max(run_workspace(&w, &batches, steps));
+        }
+        let speedup = ws_rate / seed_rate;
+        println!(
+            "bs={bs}: seed {seed_rate:.1} | allocating {alloc_rate:.1} | workspace {ws_rate:.1} steps/s — {speedup:.2}x vs seed"
+        );
+        entries.push(format!(
+            "    {{\n      \"batch_size\": {bs},\n      \"seed_steps_per_sec\": {seed_rate:.2},\n      \"allocating_steps_per_sec\": {alloc_rate:.2},\n      \"workspace_steps_per_sec\": {ws_rate:.2},\n      \"speedup_vs_seed\": {speedup:.3}\n    }}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"training_hot_path\",\n  \"workload\": \"covertype-like 54-96-96-7 relu mlp, 4096 rows\",\n  \"before\": \"seed step: scalar kernels, fresh buffers every step\",\n  \"after\": \"workspace step: fma kernels, zero steady-state allocation\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    println!("wrote BENCH_hotpath.json");
+}

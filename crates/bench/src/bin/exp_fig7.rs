@@ -15,6 +15,7 @@ use agebo_tabular::DatasetKind;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
+#[allow(dead_code)] // fields are read only through Serialize
 struct Projection {
     dataset: String,
     arch_points: Vec<Vec<f64>>,

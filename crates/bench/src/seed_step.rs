@@ -1,0 +1,259 @@
+//! A faithful re-implementation of the growth seed's training step, kept
+//! as the "before" side of the hot-path benchmark.
+//!
+//! The seed (commit `d817414`) allocated a fresh `Matrix` for every GEMM
+//! output, activation and gradient on every optimizer step, and its GEMM
+//! inner loops were the portable scalar form (autovectorized at the
+//! x86-64 SSE2 baseline — no FMA dispatch). Both properties are
+//! preserved here verbatim for an MLP workload so `BENCH_hotpath.json`
+//! compares the current zero-allocation SIMD step against what the seed
+//! actually did, not against today's allocating wrappers (which share
+//! the optimized kernels and would understate the win).
+
+use agebo_nn::{loss, Activation};
+use agebo_tensor::Matrix;
+use rand::Rng;
+
+/// Seed-form `C = A · B`: i-k-j loop, scalar multiply-add, fresh output.
+fn smm(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    let (ad, bd, cd) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Seed-form `C = Aᵀ · B` (weight gradients), fresh output.
+fn smm_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k, n) = (a.cols(), a.rows(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    let (ad, bd, cd) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
+    for kk in 0..k {
+        let arow = &ad[kk * m..(kk + 1) * m];
+        let brow = &bd[kk * n..(kk + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Seed-form `C = A · Bᵀ` (input gradients), fresh output.
+fn smm_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    let (ad, bd, cd) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    }
+    out
+}
+
+/// A plain ReLU MLP with the seed's parameter layout: hidden dense
+/// weights then the output layer.
+pub struct SeedMlp {
+    w: Vec<Matrix>,
+    b: Vec<Vec<f32>>,
+}
+
+/// Adam moments for [`SeedMlp`] (the seed's optimizer state was likewise
+/// persistent; only the step's activations/gradients were fresh).
+pub struct SeedAdam {
+    t: u64,
+    m_w: Vec<Matrix>,
+    v_w: Vec<Matrix>,
+    m_b: Vec<Vec<f32>>,
+    v_b: Vec<Vec<f32>>,
+}
+
+impl SeedMlp {
+    /// He-normal hidden layers, Glorot output layer, zero biases.
+    pub fn new(input_dim: usize, hidden: &[usize], n_classes: usize, rng: &mut impl Rng) -> Self {
+        let mut dims = vec![input_dim];
+        dims.extend_from_slice(hidden);
+        let mut w = Vec::new();
+        let mut b = Vec::new();
+        for pair in dims.windows(2) {
+            w.push(Matrix::he_normal(pair[0], pair[1], rng));
+            b.push(vec![0.0; pair[1]]);
+        }
+        w.push(Matrix::glorot_uniform(*dims.last().expect("nonempty"), n_classes, rng));
+        b.push(vec![0.0; n_classes]);
+        SeedMlp { w, b }
+    }
+
+    /// Adam state shaped like this net.
+    pub fn adam(&self) -> SeedAdam {
+        SeedAdam {
+            t: 0,
+            m_w: self.w.iter().map(|w| Matrix::zeros(w.rows(), w.cols())).collect(),
+            v_w: self.w.iter().map(|w| Matrix::zeros(w.rows(), w.cols())).collect(),
+            m_b: self.b.iter().map(|b| vec![0.0; b.len()]).collect(),
+            v_b: self.b.iter().map(|b| vec![0.0; b.len()]).collect(),
+        }
+    }
+
+    /// One full seed-style optimizer step: allocating forward/backward
+    /// with clipping and an Adam update. Returns the batch loss.
+    pub fn train_step(&mut self, adam: &mut SeedAdam, x: &Matrix, y: &[usize], lr: f32) -> f32 {
+        let n_layers = self.w.len() - 1;
+
+        // Forward, caching activations exactly as the seed's
+        // `forward_cached` did (clone per no-skip merge, fresh matrix per
+        // GEMM output and per activation map).
+        let mut z: Vec<Matrix> = Vec::with_capacity(n_layers + 1);
+        z.push(x.clone());
+        let mut merged: Vec<Matrix> = Vec::with_capacity(n_layers + 1);
+        let mut pre: Vec<Matrix> = Vec::with_capacity(n_layers);
+        for l in 0..n_layers {
+            let a = z[l].clone();
+            let mut s = smm(&a, &self.w[l]);
+            s.add_row_broadcast(&self.b[l]);
+            let mut out = s.clone();
+            for v in out.as_mut_slice() {
+                *v = Activation::Relu.forward(*v);
+            }
+            merged.push(a);
+            pre.push(s);
+            z.push(out);
+        }
+        let out_merged = z[n_layers].clone();
+        let mut logits = smm(&out_merged, &self.w[n_layers]);
+        logits.add_row_broadcast(&self.b[n_layers]);
+
+        // Backward: fresh gradient tensors per step.
+        let (loss_val, mut d) = loss::softmax_cross_entropy_backward(&logits, y);
+        let mut gw: Vec<Matrix> =
+            self.w.iter().map(|w| Matrix::zeros(w.rows(), w.cols())).collect();
+        let mut gb: Vec<Vec<f32>> = self.b.iter().map(|b| vec![0.0; b.len()]).collect();
+        gw[n_layers] = smm_at_b(&out_merged, &d);
+        gb[n_layers] = d.column_sums();
+        d = smm_a_bt(&d, &self.w[n_layers]);
+        for l in (0..n_layers).rev() {
+            for (g, p) in d.as_mut_slice().iter_mut().zip(pre[l].as_slice()) {
+                *g *= Activation::Relu.derivative(*p);
+            }
+            gw[l] = smm_at_b(&merged[l], &d);
+            gb[l] = d.column_sums();
+            d = smm_a_bt(&d, &self.w[l]);
+        }
+
+        // Global-norm clip (seed `GradientBuffer::clip_global_norm`).
+        let mut sq = 0.0f32;
+        for g in &gw {
+            for v in g.as_slice() {
+                sq += v * v;
+            }
+        }
+        for g in &gb {
+            for v in g {
+                sq += v * v;
+            }
+        }
+        let norm = sq.sqrt();
+        if norm > 1.0 {
+            let scale = 1.0 / norm;
+            for g in &mut gw {
+                g.scale(scale);
+            }
+            for g in &mut gb {
+                for v in g.iter_mut() {
+                    *v *= scale;
+                }
+            }
+        }
+
+        // Adam (seed arithmetic, biases undecayed).
+        adam.t += 1;
+        let (beta1, beta2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let bc1 = 1.0 - beta1.powi(adam.t as i32);
+        let bc2 = 1.0 - beta2.powi(adam.t as i32);
+        for k in 0..self.w.len() {
+            let m = adam.m_w[k].as_mut_slice();
+            let v = adam.v_w[k].as_mut_slice();
+            let g = gw[k].as_slice();
+            let w = self.w[k].as_mut_slice();
+            for i in 0..w.len() {
+                m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
+                v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
+                w[i] -= lr * ((m[i] / bc1) / ((v[i] / bc2).sqrt() + eps));
+            }
+            let m = &mut adam.m_b[k];
+            let v = &mut adam.v_b[k];
+            let g = &gb[k];
+            let b = &mut self.b[k];
+            for i in 0..b.len() {
+                m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
+                v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
+                b[i] -= lr * ((m[i] / bc1) / ((v[i] / bc2).sqrt() + eps));
+            }
+        }
+        loss_val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seed_step_decreases_loss() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = SeedMlp::new(10, &[32, 32], 3, &mut rng);
+        let mut adam = net.adam();
+        let x = Matrix::he_normal(64, 10, &mut rng);
+        let y: Vec<usize> = (0..64).map(|i| i % 3).collect();
+        let first = net.train_step(&mut adam, &x, &y, 0.01);
+        let mut last = first;
+        for _ in 0..30 {
+            last = net.train_step(&mut adam, &x, &y, 0.01);
+        }
+        assert!(last.is_finite() && last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn seed_kernels_match_current_kernels_numerically() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Matrix::he_normal(13, 9, &mut rng);
+        let b = Matrix::he_normal(9, 11, &mut rng);
+        let close = |x: &Matrix, y: &Matrix| {
+            x.as_slice()
+                .iter()
+                .zip(y.as_slice())
+                .all(|(p, q)| (p - q).abs() <= 1e-4 * (1.0 + p.abs().max(q.abs())))
+        };
+        assert!(close(&smm(&a, &b), &a.matmul(&b)));
+        let c = a.matmul(&b);
+        assert!(close(&smm_at_b(&a, &c), &a.matmul_at_b(&c)));
+        assert!(close(&smm_a_bt(&c, &b), &c.matmul_a_bt(&b)));
+    }
+}

@@ -34,8 +34,8 @@ fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
     for i in 0..n {
         for j in 0..=i {
             let mut sum = a[i][j];
-            for k in 0..j {
-                sum -= l[i][k] * l[j][k];
+            for (lik, ljk) in l[i].iter().zip(&l[j]).take(j) {
+                sum -= lik * ljk;
             }
             if i == j {
                 if sum <= 0.0 {
@@ -197,9 +197,9 @@ mod tests {
         let x: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
         let y: Vec<f64> = (0..10).map(|i| (i as f64 * 0.5).sin()).collect();
         let gp = GpRegressor::fit(x, &y, 1e-6);
-        for i in 0..10 {
+        for (i, &yi) in y.iter().enumerate() {
             let (mu, sigma) = gp.predict_mean_std(&[i as f32]);
-            assert!((mu - y[i]).abs() < 0.02, "at {i}: {mu} vs {}", y[i]);
+            assert!((mu - yi).abs() < 0.02, "at {i}: {mu} vs {yi}");
             assert!(sigma < 0.1);
         }
     }

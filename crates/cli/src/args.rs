@@ -126,7 +126,9 @@ fn parse_variant(s: &str) -> Result<Variant, ParseError> {
                 }
                 Ok(Variant::age(n))
             } else {
-                Err(ParseError(format!("unknown variant {s}")))
+                Err(ParseError(format!(
+                    "unknown variant {s} (agebo|age-1|age-2|age-4|age-8|agebo-lr|agebo-lr-bs)"
+                )))
             }
         }
     }

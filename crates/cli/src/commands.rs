@@ -64,6 +64,13 @@ fn report(history: &SearchHistory) {
         history.wall_time / 60.0,
         history.utilization * 100.0
     );
+    if history.n_cache_hits > 0 {
+        println!(
+            "{} of {} evaluations served from the duplicate memo-cache",
+            history.n_cache_hits,
+            history.len()
+        );
+    }
     if let Some(best) = history.best() {
         println!(
             "best validation accuracy {:.4} (bs1={} lr1={:.4} n={})",
@@ -116,7 +123,7 @@ pub fn search(args: &SearchArgs) -> Result<(), CliError> {
         let best = history.best().ok_or("no evaluations finished")?;
         let (net, _) = train_final(
             &ctx,
-            &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: args.seed ^ 0xBEEF },
+            &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: args.seed ^ 0xBEEF, cached: None },
         );
         let preds = net.predict(&ctx.test.x);
         println!("test accuracy of retrained best model: {:.4}", ctx.test.accuracy_of(&preds));

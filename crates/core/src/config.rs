@@ -80,6 +80,26 @@ impl Variant {
     }
 }
 
+/// What the manager does when an (architecture, applied-hyperparameter)
+/// pair it has already evaluated is submitted again.
+///
+/// Evaluation seeds are derived from the evaluation *content*
+/// ([`crate::evaluation::content_seed`]), so a duplicate submission would
+/// train identically and return the identical objective — re-running it
+/// is pure waste. The policy controls how that redundancy is exploited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// No memoization: duplicates re-train from scratch.
+    Off,
+    /// Serve the memoized objective but charge the full modeled duration,
+    /// keeping the simulated trajectory bit-identical to `Off` while
+    /// skipping the real compute (the default).
+    Replay,
+    /// Serve the memoized objective in (effectively) zero simulated time,
+    /// modeling a manager-side result cache on the real cluster.
+    Instant,
+}
+
 /// Full configuration of one search run.
 #[derive(Debug, Clone)]
 pub struct SearchConfig {
@@ -123,6 +143,8 @@ pub struct SearchConfig {
     /// the manager immediately submits a replacement (fault tolerance of
     /// the Balsam-style layer).
     pub failure_rate: f64,
+    /// Duplicate-evaluation memoization policy.
+    pub cache: CachePolicy,
 }
 
 fn default_threads() -> usize {
@@ -151,6 +173,7 @@ impl SearchConfig {
             bo_constant_liar: true,
             bo_surrogate: SurrogateKind::RandomForest,
             failure_rate: 0.0,
+            cache: CachePolicy::Replay,
         }
     }
 
@@ -193,6 +216,12 @@ impl SearchConfig {
     pub fn with_wall_time(mut self, seconds: f64) -> Self {
         assert!(seconds > 0.0);
         self.wall_time = seconds;
+        self
+    }
+
+    /// Sets the duplicate-evaluation cache policy.
+    pub fn with_cache(mut self, cache: CachePolicy) -> Self {
+        self.cache = cache;
         self
     }
 }

@@ -108,8 +108,12 @@ pub struct EvalTask {
     /// The data-parallel training hyperparameters.
     pub hp: DataParallelHp,
     /// Seed for weight init, sharding and shuffling — derived from the
-    /// evaluation id so results are order-independent.
+    /// evaluation *content* (see [`content_seed`]) so identical
+    /// (architecture, hyperparameter) submissions train identically.
     pub seed: u64,
+    /// Memoized objective from a previous identical evaluation; a worker
+    /// receiving `Some` returns it without training.
+    pub cached: Option<f64>,
 }
 
 /// Trains the task's network and returns its best validation accuracy.
@@ -169,12 +173,45 @@ pub fn evaluate_with_faults(
             return None;
         }
     }
+    // Memoized result of a previous identical evaluation: with a
+    // content-derived seed, re-training would reproduce it bit for bit,
+    // so skip the compute. (The fault draw above also repeats, and only
+    // evaluations that passed it are ever cached.)
+    if let Some(objective) = task.cached {
+        return Some(objective);
+    }
     Some(evaluate(ctx, task))
 }
 
 /// Random architecture/HP seeds derived per evaluation id.
 pub fn task_seed(search_seed: u64, eval_id: u64) -> u64 {
     Stream::new(search_seed).labeled(eval_id)
+}
+
+/// Evaluation seed derived from the evaluation *content*: the search
+/// seed, the architecture vector, and the hyperparameters as applied
+/// (post [`EvalContext::applied_hp`]). Two submissions of the same
+/// (architecture, applied-hp) pair within one search therefore share a
+/// seed — they would train bit-identically — which is what makes the
+/// manager's duplicate memo-cache sound. FNV-1a over the content bytes.
+pub fn content_seed(search_seed: u64, arch: &ArchVector, applied: DataParallelHp) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(search_seed);
+    for &v in &arch.0 {
+        mix(v as u64);
+    }
+    mix(applied.bs1 as u64);
+    mix(applied.n as u64);
+    mix(applied.lr1.to_bits() as u64);
+    h
 }
 
 /// A default deterministic RNG for a search component.
@@ -210,6 +247,7 @@ mod tests {
             arch,
             hp: DataParallelHp { lr1: 0.01, bs1: 64, n: 1 },
             seed: 3,
+            cached: None,
         };
         let acc = evaluate(&ctx, &task);
         assert!(
@@ -227,6 +265,7 @@ mod tests {
             arch: ctx.space.random(&mut rng),
             hp: DataParallelHp { lr1: 0.02, bs1: 128, n: 2 },
             seed: 9,
+            cached: None,
         };
         assert_eq!(evaluate(&ctx, &task), evaluate(&ctx, &task));
     }

@@ -23,6 +23,10 @@ pub struct EvalRecord {
     pub finished_at: f64,
     /// Simulated training duration (seconds).
     pub duration: f64,
+    /// True when the objective was served from the manager's duplicate
+    /// memo-cache instead of a real training run.
+    #[serde(default)]
+    pub cache_hit: bool,
 }
 
 /// The full record of one search run.
@@ -43,6 +47,9 @@ pub struct SearchHistory {
     /// Evaluations that crashed and were resubmitted (fault injection).
     #[serde(default)]
     pub n_failed: usize,
+    /// Evaluations whose objective came from the duplicate memo-cache.
+    #[serde(default)]
+    pub n_cache_hits: usize,
 }
 
 impl SearchHistory {
@@ -156,6 +163,7 @@ mod tests {
             submitted_at: finished - 1.0,
             finished_at: finished,
             duration: 1.0,
+            cache_hit: false,
         }
     }
 
@@ -168,6 +176,7 @@ mod tests {
             n_workers: 4,
             utilization: 0.9,
             n_failed: 0,
+            n_cache_hits: 0,
         }
     }
 

@@ -43,8 +43,8 @@ pub mod history;
 pub mod population;
 pub mod search;
 
-pub use config::{SearchConfig, Variant};
-pub use evaluation::{evaluate, EvalContext, EvalTask};
+pub use config::{CachePolicy, SearchConfig, Variant};
+pub use evaluation::{content_seed, evaluate, EvalContext, EvalTask};
 pub use history::{EvalRecord, SearchHistory};
 pub use population::{Member, Population};
 pub use search::{resume_search, run_search};

@@ -1,0 +1,105 @@
+//! The manager's duplicate-evaluation memo-cache.
+//!
+//! Evaluation seeds are content-derived ([`agebo_core::content_seed`]),
+//! so a duplicate (architecture, applied-hp) submission would retrain
+//! bit-identically. `CachePolicy::Replay` serves the memoized objective
+//! at the full modeled duration — the trajectory must be bit-identical
+//! to `CachePolicy::Off` — while `CachePolicy::Instant` completes hits
+//! in (effectively) zero simulated time.
+
+use agebo_core::{run_search, CachePolicy, EvalContext, SearchConfig, Variant};
+use agebo_searchspace::SearchSpace;
+use agebo_tabular::{DatasetKind, SizeProfile};
+use std::sync::Arc;
+
+/// A context over a tiny one-node space (~31 distinct architectures):
+/// random sampling and mutation collide constantly, so every policy sees
+/// plenty of duplicate submissions within a short budget.
+fn tiny_space_ctx() -> Arc<EvalContext> {
+    let mut ctx = EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, 7);
+    ctx.space = SearchSpace::with_nodes(ctx.meta.n_features, ctx.train.n_classes, 1);
+    Arc::new(ctx)
+}
+
+#[test]
+fn replay_cache_is_bit_identical_to_off() {
+    let ctx = tiny_space_ctx();
+    let base = SearchConfig::test(Variant::age(4)).with_seed(21).with_wall_time(5000.0);
+    let off = run_search(Arc::clone(&ctx), &base.clone().with_cache(CachePolicy::Off));
+    let replay = run_search(Arc::clone(&ctx), &base.with_cache(CachePolicy::Replay));
+
+    assert_eq!(off.n_cache_hits, 0);
+    assert!(replay.n_cache_hits > 0, "tiny space produced no duplicates");
+    assert_eq!(off.len(), replay.len());
+    for (a, b) in off.records.iter().zip(&replay.records) {
+        assert_eq!(a.arch, b.arch);
+        assert_eq!(a.objective, b.objective, "objective differs at id {}", a.id);
+        assert_eq!(a.submitted_at, b.submitted_at);
+        assert_eq!(a.finished_at, b.finished_at);
+        assert_eq!(a.duration, b.duration);
+        assert!(!a.cache_hit);
+    }
+}
+
+#[test]
+fn instant_cache_serves_duplicates_in_negligible_simulated_time() {
+    let ctx = tiny_space_ctx();
+    let cfg = SearchConfig::test(Variant::age(4))
+        .with_seed(22)
+        .with_wall_time(3000.0)
+        .with_cache(CachePolicy::Instant);
+    let h = run_search(Arc::clone(&ctx), &cfg);
+    assert!(h.n_cache_hits > 0, "tiny space produced no duplicates");
+    assert_eq!(h.n_cache_hits, h.records.iter().filter(|r| r.cache_hit).count());
+
+    // Every hit is charged only the manager's result-delivery latency
+    // (1 simulated second); every real training costs orders of
+    // magnitude more.
+    let min_real = h
+        .records
+        .iter()
+        .filter(|r| !r.cache_hit)
+        .map(|r| r.duration)
+        .fold(f64::INFINITY, f64::min);
+    for r in h.records.iter().filter(|r| r.cache_hit) {
+        assert!(r.duration <= 1.0, "hit charged {}", r.duration);
+        assert!(r.duration < min_real / 10.0, "hit {} vs min real {}", r.duration, min_real);
+    }
+
+    // A hit reports exactly the objective of the first real evaluation of
+    // that architecture (static-hp variant: the arch is the whole key).
+    let mut first_seen: std::collections::HashMap<&agebo_searchspace::ArchVector, f64> =
+        std::collections::HashMap::new();
+    let mut by_id: Vec<_> = h.records.iter().collect();
+    by_id.sort_by_key(|r| r.id);
+    for r in by_id {
+        match first_seen.get(&r.arch) {
+            None => {
+                assert!(!r.cache_hit, "first evaluation of an arch cannot be a hit");
+                first_seen.insert(&r.arch, r.objective);
+            }
+            Some(&obj) => {
+                if r.cache_hit {
+                    assert_eq!(r.objective, obj);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn instant_cache_finishes_more_evaluations_than_off() {
+    // Skipping duplicate compute frees simulated worker time, so the
+    // same budget fits at least as many evaluations.
+    let ctx = tiny_space_ctx();
+    let base = SearchConfig::test(Variant::age(4)).with_seed(23).with_wall_time(3000.0);
+    let off = run_search(Arc::clone(&ctx), &base.clone().with_cache(CachePolicy::Off));
+    let instant = run_search(ctx, &base.with_cache(CachePolicy::Instant));
+    assert!(instant.n_cache_hits > 0);
+    assert!(
+        instant.len() >= off.len(),
+        "instant {} vs off {}",
+        instant.len(),
+        off.len()
+    );
+}

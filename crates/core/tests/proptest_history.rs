@@ -18,6 +18,7 @@ fn history_from(objs: Vec<f64>, times: Vec<u32>) -> SearchHistory {
             submitted_at: t as f64,
             finished_at: t as f64 + 1.0,
             duration: 1.0,
+            cache_hit: false,
         })
         .collect();
     SearchHistory {
@@ -28,6 +29,7 @@ fn history_from(objs: Vec<f64>, times: Vec<u32>) -> SearchHistory {
         n_workers: 1,
         utilization: 1.0,
         n_failed: 0,
+        n_cache_hits: 0,
     }
 }
 

@@ -17,7 +17,6 @@
 //!   layer to `n_classes` logits.
 
 use crate::activation::Activation;
-use crate::loss;
 use agebo_tensor::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -139,23 +138,23 @@ impl GraphSpec {
 
 /// Indices into the flat parameter vectors for one node.
 #[derive(Debug, Clone)]
-struct NodeParams {
+pub(crate) struct NodeParams {
     /// One projection per skip, in `NodeSpec::skips` order.
-    skip_proj: Vec<usize>,
+    pub(crate) skip_proj: Vec<usize>,
     /// Dense weight index, if the node is a dense layer.
-    dense: Option<usize>,
+    pub(crate) dense: Option<usize>,
 }
 
 /// A parameterised network instantiated from a [`GraphSpec`].
 #[derive(Debug, Clone)]
 pub struct GraphNet {
-    spec: GraphSpec,
-    node_params: Vec<NodeParams>,
-    out_proj: Vec<usize>,
-    out_dense: usize,
+    pub(crate) spec: GraphSpec,
+    pub(crate) node_params: Vec<NodeParams>,
+    pub(crate) out_proj: Vec<usize>,
+    pub(crate) out_dense: usize,
     /// Flat weight tensors; `biases[k]` pairs with `weights[k]`.
-    weights: Vec<Matrix>,
-    biases: Vec<Vec<f32>>,
+    pub(crate) weights: Vec<Matrix>,
+    pub(crate) biases: Vec<Vec<f32>>,
 }
 
 /// Per-tensor gradients, shaped exactly like a [`GraphNet`]'s parameters.
@@ -244,22 +243,6 @@ impl GradientBuffer {
     }
 }
 
-/// Activations cached during a forward pass for use in backward.
-struct ForwardCache {
-    /// `z[0..=m]`.
-    z: Vec<Matrix>,
-    /// Pre-ReLU merge sums `u_i`, per node (None when the node has no skips).
-    merge_pre: Vec<Option<Matrix>>,
-    /// Merged inputs `a_i`, per node.
-    merged: Vec<Matrix>,
-    /// Dense pre-activations `s_i`, per node (None for identity nodes).
-    pre_act: Vec<Option<Matrix>>,
-    /// Output-node merge pre-ReLU, if the output has skips.
-    out_merge_pre: Option<Matrix>,
-    /// Output-node merged input.
-    out_merged: Matrix,
-}
-
 impl GraphNet {
     /// Instantiates the graph with He-normal dense weights, Glorot skip
     /// projections, and zero biases.
@@ -336,75 +319,14 @@ impl GraphNet {
         &mut self.biases[k]
     }
 
-    /// Merge rule: `relu(chain + Σ proj(z_src))`, or `chain` when `skips`
-    /// is empty. Returns `(pre_relu, merged)`.
-    fn merge(
-        &self,
-        chain: &Matrix,
-        skips: &[usize],
-        proj: &[usize],
-        z: &[Matrix],
-    ) -> (Option<Matrix>, Matrix) {
-        if skips.is_empty() {
-            return (None, chain.clone());
-        }
-        let mut u = chain.clone();
-        for (&src, &p) in skips.iter().zip(proj) {
-            let mut projected = z[src].matmul(&self.weights[p]);
-            projected.add_row_broadcast(&self.biases[p]);
-            u.add_assign(&projected);
-        }
-        let merged = u.map(|v| v.max(0.0));
-        (Some(u), merged)
-    }
-
-    fn forward_cached(&self, x: &Matrix) -> (Matrix, ForwardCache) {
-        assert_eq!(x.cols(), self.spec.input_dim, "input width mismatch");
-        let m = self.spec.nodes.len();
-        let mut z: Vec<Matrix> = Vec::with_capacity(m + 1);
-        z.push(x.clone());
-        let mut merge_pre = Vec::with_capacity(m);
-        let mut merged_cache = Vec::with_capacity(m);
-        let mut pre_act = Vec::with_capacity(m);
-        for (idx, node) in self.spec.nodes.iter().enumerate() {
-            let params = &self.node_params[idx];
-            let (pre, merged) = self.merge(&z[idx], &node.skips, &params.skip_proj, &z);
-            let out = match node.layer {
-                Some((_, act)) => {
-                    let k = params.dense.expect("dense param");
-                    let mut s = merged.matmul(&self.weights[k]);
-                    s.add_row_broadcast(&self.biases[k]);
-                    let out = s.map(|v| act.forward(v));
-                    pre_act.push(Some(s));
-                    out
-                }
-                None => {
-                    pre_act.push(None);
-                    merged.clone()
-                }
-            };
-            merge_pre.push(pre);
-            merged_cache.push(merged);
-            z.push(out);
-        }
-        let (out_pre, out_merged) =
-            self.merge(&z[m], &self.spec.output_skips, &self.out_proj, &z);
-        let mut logits = out_merged.matmul(&self.weights[self.out_dense]);
-        logits.add_row_broadcast(&self.biases[self.out_dense]);
-        let cache = ForwardCache {
-            z,
-            merge_pre,
-            merged: merged_cache,
-            pre_act,
-            out_merge_pre: out_pre,
-            out_merged,
-        };
-        (logits, cache)
-    }
-
-    /// Forward pass producing logits (inference path, no caching).
+    /// Forward pass producing logits (inference path).
+    ///
+    /// Allocates a one-shot [`crate::Workspace`]; hot loops should hold a
+    /// persistent workspace and call [`GraphNet::forward_with`] instead.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        self.forward_cached(x).0
+        let mut ws = self.make_workspace(x.rows());
+        self.forward_with(x, &mut ws);
+        std::mem::take(&mut ws.logits)
     }
 
     /// Class predictions for a batch.
@@ -413,125 +335,25 @@ impl GraphNet {
     }
 
     /// Mean cross-entropy loss and accuracy on `(x, y)`.
+    ///
+    /// One-shot wrapper over [`GraphNet::evaluate_with`].
     pub fn evaluate(&self, x: &Matrix, y: &[usize]) -> (f32, f64) {
-        let logits = self.forward(x);
-        let (loss_val, probs) = loss::softmax_cross_entropy(&logits, y);
-        let preds = probs.argmax_rows();
-        let hits = preds.iter().zip(y).filter(|(p, t)| p == t).count();
-        (loss_val, hits as f64 / y.len().max(1) as f64)
+        let mut ws = self.make_workspace(x.rows());
+        self.evaluate_with(x, y, &mut ws)
     }
 
     /// Full forward + backward pass on a mini-batch. Returns the mean
     /// cross-entropy loss and the parameter gradients.
     ///
     /// `&self` is immutable so concurrent ranks can compute gradients
-    /// against shared weights (the data-parallel pattern).
+    /// against shared weights (the data-parallel pattern). One-shot
+    /// wrapper over [`GraphNet::forward_backward_with`]; training loops
+    /// reuse a workspace and gradient buffer across steps instead.
     pub fn forward_backward(&self, x: &Matrix, y: &[usize]) -> (f32, GradientBuffer) {
-        assert_eq!(x.rows(), y.len());
-        let (logits, cache) = self.forward_cached(x);
-        let (loss_val, mut dlogits) = loss::softmax_cross_entropy_backward(&logits, y);
-
+        let mut ws = self.make_workspace(x.rows());
         let mut grads = GradientBuffer::zeros_like(self);
-        let m = self.spec.nodes.len();
-        // dz[t] accumulates the gradient flowing into tensor z[t].
-        let mut dz: Vec<Option<Matrix>> = vec![None; m + 1];
-        let mut add_dz = |dz: &mut Vec<Option<Matrix>>, t: usize, g: Matrix| match &mut dz[t] {
-            Some(acc) => acc.add_assign(&g),
-            slot @ None => *slot = Some(g),
-        };
-
-        // Output layer.
-        {
-            let k = self.out_dense;
-            grads.weights[k] = cache.out_merged.matmul_at_b(&dlogits);
-            grads.biases[k] = dlogits.column_sums();
-            dlogits = dlogits.matmul_a_bt(&self.weights[k]);
-        }
-        // Output merge backward.
-        self.merge_backward(
-            dlogits,
-            &cache.out_merge_pre,
-            &self.spec.output_skips,
-            &self.out_proj,
-            m,
-            &cache.z,
-            &mut grads,
-            &mut dz,
-            &mut add_dz,
-        );
-
-        // Nodes in reverse.
-        for idx in (0..m).rev() {
-            let i = idx + 1;
-            let node = &self.spec.nodes[idx];
-            let params = &self.node_params[idx];
-            let dz_i = match dz[i].take() {
-                Some(g) => g,
-                // Tensor unused downstream (cannot happen in a chain, but
-                // keep backward total).
-                None => continue,
-            };
-            let da = match node.layer {
-                Some((_, act)) => {
-                    let k = params.dense.expect("dense param");
-                    let s = cache.pre_act[idx].as_ref().expect("pre-activation cache");
-                    let mut ds = dz_i;
-                    for (g, pre) in ds.as_mut_slice().iter_mut().zip(s.as_slice()) {
-                        *g *= act.derivative(*pre);
-                    }
-                    grads.weights[k] = cache.merged[idx].matmul_at_b(&ds);
-                    grads.biases[k] = ds.column_sums();
-                    ds.matmul_a_bt(&self.weights[k])
-                }
-                None => dz_i,
-            };
-            self.merge_backward(
-                da,
-                &cache.merge_pre[idx],
-                &node.skips,
-                &params.skip_proj,
-                idx,
-                &cache.z,
-                &mut grads,
-                &mut dz,
-                &mut add_dz,
-            );
-        }
+        let loss_val = self.forward_backward_with(x, y, &mut ws, &mut grads);
         (loss_val, grads)
-    }
-
-    /// Backward of the merge rule. `chain_idx` is the tensor index of the
-    /// chain input (`z[chain_idx]`).
-    #[allow(clippy::too_many_arguments)]
-    fn merge_backward(
-        &self,
-        da: Matrix,
-        merge_pre: &Option<Matrix>,
-        skips: &[usize],
-        proj: &[usize],
-        chain_idx: usize,
-        z: &[Matrix],
-        grads: &mut GradientBuffer,
-        dz: &mut Vec<Option<Matrix>>,
-        add_dz: &mut impl FnMut(&mut Vec<Option<Matrix>>, usize, Matrix),
-    ) {
-        if skips.is_empty() {
-            add_dz(dz, chain_idx, da);
-            return;
-        }
-        let u = merge_pre.as_ref().expect("merge cache");
-        let mut du = da;
-        for (g, pre) in du.as_mut_slice().iter_mut().zip(u.as_slice()) {
-            if *pre <= 0.0 {
-                *g = 0.0;
-            }
-        }
-        for (&src, &p) in skips.iter().zip(proj) {
-            grads.weights[p] = z[src].matmul_at_b(&du);
-            grads.biases[p] = du.column_sums();
-            add_dz(dz, src, du.matmul_a_bt(&self.weights[p]));
-        }
-        add_dz(dz, chain_idx, du);
     }
 }
 

@@ -19,6 +19,7 @@ pub mod loss;
 pub mod schedule;
 pub mod serialize;
 pub mod train;
+pub mod workspace;
 
 pub use activation::Activation;
 pub use adam::Adam;
@@ -26,3 +27,4 @@ pub use graph::{GradientBuffer, GraphNet, GraphSpec, NodeSpec};
 pub use schedule::{LrSchedule, PlateauReducer};
 pub use serialize::{load_model, save_model, SavedModel};
 pub use train::{fit, TrainConfig, TrainReport};
+pub use workspace::Workspace;

@@ -19,14 +19,32 @@ pub fn softmax_cross_entropy(logits: &Matrix, y: &[usize]) -> (f32, Matrix) {
 /// Loss plus the gradient of the mean loss w.r.t. the logits:
 /// `(softmax(logits) − onehot(y)) / batch`.
 pub fn softmax_cross_entropy_backward(logits: &Matrix, y: &[usize]) -> (f32, Matrix) {
-    let (loss, mut grad) = softmax_cross_entropy(logits, y);
+    let mut grad = Matrix::default();
+    let loss = softmax_cross_entropy_backward_into(logits, y, &mut grad);
+    (loss, grad)
+}
+
+/// Allocation-free form of [`softmax_cross_entropy_backward`]: writes the
+/// logits gradient into `grad` (reshaped as needed) and returns the loss.
+pub fn softmax_cross_entropy_backward_into(
+    logits: &Matrix,
+    y: &[usize],
+    grad: &mut Matrix,
+) -> f32 {
+    assert_eq!(logits.rows(), y.len());
+    grad.copy_from(logits);
+    grad.softmax_rows_inplace();
     let n = y.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    for (r, &label) in y.iter().enumerate() {
+        loss -= grad.get(r, label).max(1e-12).ln();
+    }
     for (r, &label) in y.iter().enumerate() {
         let v = grad.get(r, label);
         grad.set(r, label, v - 1.0);
     }
     grad.scale(1.0 / n);
-    (loss, grad)
+    loss / n
 }
 
 #[cfg(test)]

@@ -3,9 +3,10 @@
 //! `agebo-dataparallel` and shares this crate's schedule and optimizer).
 
 use crate::adam::Adam;
-use crate::graph::GraphNet;
+use crate::graph::{GradientBuffer, GraphNet};
 use crate::schedule::LrSchedule;
 use agebo_tabular::Dataset;
+use agebo_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -79,7 +80,11 @@ impl TrainReport {
     }
 }
 
-/// Shuffled mini-batch index blocks for one epoch.
+/// Shuffled mini-batch index blocks for one epoch. `fit` now shuffles a
+/// persistent order vector in place (same RNG call sequence, same
+/// batches); this allocating form is kept as the reference definition of
+/// the batch schedule.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn epoch_batches(
     n_rows: usize,
     batch_size: usize,
@@ -91,6 +96,11 @@ pub(crate) fn epoch_batches(
 }
 
 /// Trains `net` on `train`, evaluating on `valid` after each epoch.
+///
+/// The hot path is allocation-free in steady state: one [`crate::Workspace`],
+/// one [`GradientBuffer`], one shuffle order and one `(x, y)` staging pair
+/// live across all epochs; per-step work flows through the in-place
+/// `*_into` tensor kernels.
 pub fn fit(
     net: &mut GraphNet,
     train: &Dataset,
@@ -111,22 +121,37 @@ pub fn fit(
     let mut val_acc = Vec::with_capacity(cfg.epochs);
     let mut val_loss = Vec::with_capacity(cfg.epochs);
 
+    let n_rows = train.len();
+    let bs = cfg.batch_size.max(1);
+    let mut ws = net.make_workspace(bs.min(n_rows.max(1)));
+    let mut grads = GradientBuffer::zeros_like(net);
+    let mut order: Vec<usize> = (0..n_rows).collect();
+    let mut xbuf = Matrix::default();
+    let mut ybuf: Vec<usize> = Vec::with_capacity(bs);
+
     for epoch in 0..cfg.epochs {
         let lr = schedule.lr_for_epoch(epoch);
         let mut epoch_loss = 0.0f32;
-        let batches = epoch_batches(train.len(), cfg.batch_size, &mut rng);
-        let n_batches = batches.len().max(1);
-        for batch in batches {
-            let x = train.x.gather_rows(&batch);
-            let y: Vec<usize> = batch.iter().map(|&i| train.y[i]).collect();
-            let (loss, mut grads) = net.forward_backward(&x, &y);
+        // Same batch composition as `epoch_batches`: reset to the identity
+        // permutation before shuffling so the RNG call sequence (and thus
+        // every batch) matches a fresh `(0..n).collect()` per epoch.
+        for (i, slot) in order.iter_mut().enumerate() {
+            *slot = i;
+        }
+        order.shuffle(&mut rng);
+        let n_batches = order.chunks(bs).len().max(1);
+        for batch in order.chunks(bs) {
+            train.x.gather_rows_into(batch, &mut xbuf);
+            ybuf.clear();
+            ybuf.extend(batch.iter().map(|&i| train.y[i]));
+            let loss = net.forward_backward_with(&xbuf, &ybuf, &mut ws, &mut grads);
             if let Some(max_norm) = cfg.grad_clip {
                 grads.clip_global_norm(max_norm);
             }
             adam.step_with(net, &grads, lr, cfg.weight_decay);
             epoch_loss += loss;
         }
-        let (vl, va) = net.evaluate(&valid.x, &valid.y);
+        let (vl, va) = net.evaluate_with(&valid.x, &valid.y, &mut ws);
         schedule.observe(vl);
         train_loss.push(epoch_loss / n_batches as f32);
         val_acc.push(va);

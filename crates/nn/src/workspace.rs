@@ -1,0 +1,356 @@
+//! Persistent forward/backward workspaces: the zero-allocation training
+//! hot path.
+//!
+//! A [`Workspace`] owns every intermediate tensor one forward + backward
+//! pass of a [`GraphNet`] needs. All buffers are written through the
+//! in-place `*_into` kernels of `agebo-tensor`, which resize their
+//! destinations but never shrink heap capacity, so once a workspace has
+//! seen its largest batch a training loop performs **no heap allocation
+//! per step** (see DESIGN.md, "Hot path & memory discipline").
+//!
+//! Ownership rules:
+//!
+//! * a workspace is sized for one architecture — it is created by
+//!   [`GraphNet::make_workspace`] and must only be passed back to the same
+//!   (or an identically shaped) network;
+//! * batch size is flexible: buffers reshape on the fly and retain
+//!   capacity, so interleaving mini-batches and full-set evaluations in
+//!   one workspace is both correct and allocation-free after warm-up;
+//! * the network never stores the workspace (training is `&self` on the
+//!   net), so `n` data-parallel ranks hold `n` workspaces against shared
+//!   weights.
+
+use crate::graph::{GradientBuffer, GraphNet};
+use crate::loss;
+use agebo_tensor::Matrix;
+
+/// Reusable buffers for [`GraphNet`] forward and backward passes.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// `z[0..=m]`: the input copy and every node output.
+    pub(crate) z: Vec<Matrix>,
+    /// Pre-ReLU merge sums `u_i` per node; untouched when node `i` has no
+    /// skips.
+    pub(crate) merge_pre: Vec<Matrix>,
+    /// Merged node inputs `a_i`.
+    pub(crate) merged: Vec<Matrix>,
+    /// Dense pre-activations `s_i`; untouched for identity nodes.
+    pub(crate) pre_act: Vec<Matrix>,
+    /// Output-node merge pre-ReLU (when the output has skips).
+    pub(crate) out_merge_pre: Matrix,
+    /// Output-node merged input.
+    pub(crate) out_merged: Matrix,
+    /// Final logits.
+    pub(crate) logits: Matrix,
+    /// Scratch: one skip projection `z[src]·P + c`.
+    pub(crate) proj: Matrix,
+    /// Scratch: gradient flowing out of a dense layer or the output layer.
+    pub(crate) da: Matrix,
+    /// Loss gradient w.r.t. the logits (doubles as the softmax
+    /// probabilities buffer in [`GraphNet::evaluate_with`]).
+    pub(crate) dlogits: Matrix,
+    /// `dz[t]`: gradient accumulating into tensor `z[t]`.
+    pub(crate) dz: Vec<Matrix>,
+    /// Whether `dz[t]` holds a valid accumulation for the current pass.
+    pub(crate) dz_set: Vec<bool>,
+}
+
+impl Workspace {
+    /// The logits produced by the most recent forward pass.
+    pub fn logits(&self) -> &Matrix {
+        &self.logits
+    }
+}
+
+/// `slot += g`, or `slot = g` on first touch.
+fn accumulate_dz(slot: &mut Matrix, set: &mut bool, g: &Matrix) {
+    if *set {
+        slot.add_assign(g);
+    } else {
+        slot.copy_from(g);
+        *set = true;
+    }
+}
+
+impl GraphNet {
+    /// Creates a workspace sized for this architecture and an initial
+    /// batch size. Buffers reshape on later batch-size changes, reusing
+    /// capacity whenever the batch does not grow.
+    pub fn make_workspace(&self, batch: usize) -> Workspace {
+        let dims = self.spec.dims();
+        let m = self.spec.nodes.len();
+        Workspace {
+            z: dims.iter().map(|&d| Matrix::zeros(batch, d)).collect(),
+            merge_pre: (0..m)
+                .map(|idx| {
+                    if self.spec.nodes[idx].skips.is_empty() {
+                        Matrix::default()
+                    } else {
+                        Matrix::zeros(batch, dims[idx])
+                    }
+                })
+                .collect(),
+            merged: (0..m).map(|idx| Matrix::zeros(batch, dims[idx])).collect(),
+            pre_act: (0..m)
+                .map(|idx| match self.spec.nodes[idx].layer {
+                    Some((units, _)) => Matrix::zeros(batch, units),
+                    None => Matrix::default(),
+                })
+                .collect(),
+            out_merge_pre: if self.spec.output_skips.is_empty() {
+                Matrix::default()
+            } else {
+                Matrix::zeros(batch, dims[m])
+            },
+            out_merged: Matrix::zeros(batch, dims[m]),
+            logits: Matrix::zeros(batch, self.spec.n_classes),
+            proj: Matrix::default(),
+            da: Matrix::default(),
+            dlogits: Matrix::zeros(batch, self.spec.n_classes),
+            dz: dims.iter().map(|&d| Matrix::zeros(batch, d)).collect(),
+            dz_set: vec![false; m + 1],
+        }
+    }
+
+    /// Merge rule into caller buffers: `merged = relu(chain + Σ proj)`,
+    /// or a plain copy of the chain when `skips` is empty.
+    #[allow(clippy::too_many_arguments)] // the three outputs are distinct caller-owned buffers
+    fn merge_into(
+        &self,
+        skips: &[usize],
+        proj_idx: &[usize],
+        chain: usize,
+        z: &[Matrix],
+        proj: &mut Matrix,
+        pre: &mut Matrix,
+        merged: &mut Matrix,
+    ) {
+        if skips.is_empty() {
+            merged.copy_from(&z[chain]);
+            return;
+        }
+        pre.copy_from(&z[chain]);
+        for (&src, &p) in skips.iter().zip(proj_idx) {
+            z[src].matmul_into(&self.weights[p], proj, false);
+            proj.add_row_broadcast(&self.biases[p]);
+            pre.add_assign(proj);
+        }
+        pre.map_into(merged, |v| v.max(0.0));
+    }
+
+    /// Forward pass writing every intermediate into `ws`; the logits are
+    /// available as `ws.logits()` afterwards.
+    pub fn forward_with(&self, x: &Matrix, ws: &mut Workspace) {
+        assert_eq!(x.cols(), self.spec.input_dim, "input width mismatch");
+        let m = self.spec.nodes.len();
+        ws.z[0].copy_from(x);
+        for (idx, node) in self.spec.nodes.iter().enumerate() {
+            let params = &self.node_params[idx];
+            let (zin, ztail) = ws.z.split_at_mut(idx + 1);
+            self.merge_into(
+                &node.skips,
+                &params.skip_proj,
+                idx,
+                zin,
+                &mut ws.proj,
+                &mut ws.merge_pre[idx],
+                &mut ws.merged[idx],
+            );
+            let zi = &mut ztail[0];
+            match node.layer {
+                Some((_, act)) => {
+                    let k = params.dense.expect("dense param");
+                    let s = &mut ws.pre_act[idx];
+                    ws.merged[idx].matmul_into(&self.weights[k], s, false);
+                    s.add_row_broadcast(&self.biases[k]);
+                    s.map_into(zi, |v| act.forward(v));
+                }
+                None => zi.copy_from(&ws.merged[idx]),
+            }
+        }
+        self.merge_into(
+            &self.spec.output_skips,
+            &self.out_proj,
+            m,
+            &ws.z,
+            &mut ws.proj,
+            &mut ws.out_merge_pre,
+            &mut ws.out_merged,
+        );
+        ws.out_merged.matmul_into(&self.weights[self.out_dense], &mut ws.logits, false);
+        ws.logits.add_row_broadcast(&self.biases[self.out_dense]);
+    }
+
+    /// Forward + backward through `ws`, overwriting `grads` with this
+    /// mini-batch's parameter gradients. Returns the mean cross-entropy
+    /// loss. Steady-state allocation-free: every intermediate lives in
+    /// `ws`, every gradient in `grads`.
+    pub fn forward_backward_with(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        ws: &mut Workspace,
+        grads: &mut GradientBuffer,
+    ) -> f32 {
+        assert_eq!(x.rows(), y.len());
+        self.forward_with(x, ws);
+        let loss_val =
+            loss::softmax_cross_entropy_backward_into(&ws.logits, y, &mut ws.dlogits);
+
+        let m = self.spec.nodes.len();
+        for flag in ws.dz_set.iter_mut() {
+            *flag = false;
+        }
+
+        // Output layer.
+        {
+            let k = self.out_dense;
+            ws.out_merged.matmul_at_b_into(&ws.dlogits, &mut grads.weights[k], false);
+            ws.dlogits.column_sums_into(&mut grads.biases[k]);
+            ws.dlogits.matmul_a_bt_into(&self.weights[k], &mut ws.da, false);
+        }
+        // Output merge backward.
+        {
+            let pre = if self.spec.output_skips.is_empty() {
+                None
+            } else {
+                Some(&ws.out_merge_pre)
+            };
+            self.merge_backward_into(
+                &mut ws.da,
+                pre,
+                &self.spec.output_skips,
+                &self.out_proj,
+                m,
+                &ws.z,
+                grads,
+                &mut ws.dz,
+                &mut ws.dz_set,
+            );
+        }
+
+        // Nodes in reverse.
+        for idx in (0..m).rev() {
+            let i = idx + 1;
+            let node = &self.spec.nodes[idx];
+            let params = &self.node_params[idx];
+            if !ws.dz_set[i] {
+                // Tensor unused downstream (cannot happen in a chain, but
+                // keep backward total): its parameters get zero gradient —
+                // grads is overwritten each pass, so stale values must not
+                // survive.
+                for &p in &params.skip_proj {
+                    grads.weights[p].fill(0.0);
+                    grads.biases[p].fill(0.0);
+                }
+                if let Some(k) = params.dense {
+                    grads.weights[k].fill(0.0);
+                    grads.biases[k].fill(0.0);
+                }
+                continue;
+            }
+            let (dz_low, dz_high) = ws.dz.split_at_mut(i);
+            let (set_low, _) = ws.dz_set.split_at_mut(i);
+            let dzi = &mut dz_high[0];
+            let pre = if node.skips.is_empty() { None } else { Some(&ws.merge_pre[idx]) };
+            match node.layer {
+                Some((_, act)) => {
+                    let k = params.dense.expect("dense param");
+                    let s = &ws.pre_act[idx];
+                    for (g, pre_v) in dzi.as_mut_slice().iter_mut().zip(s.as_slice()) {
+                        *g *= act.derivative(*pre_v);
+                    }
+                    ws.merged[idx].matmul_at_b_into(dzi, &mut grads.weights[k], false);
+                    dzi.column_sums_into(&mut grads.biases[k]);
+                    dzi.matmul_a_bt_into(&self.weights[k], &mut ws.da, false);
+                    self.merge_backward_into(
+                        &mut ws.da,
+                        pre,
+                        &node.skips,
+                        &params.skip_proj,
+                        idx,
+                        &ws.z,
+                        grads,
+                        dz_low,
+                        set_low,
+                    );
+                }
+                None => {
+                    self.merge_backward_into(
+                        dzi,
+                        pre,
+                        &node.skips,
+                        &params.skip_proj,
+                        idx,
+                        &ws.z,
+                        grads,
+                        dz_low,
+                        set_low,
+                    );
+                }
+            }
+        }
+        loss_val
+    }
+
+    /// Backward of the merge rule, in place: `da` is masked by the ReLU
+    /// derivative, projection gradients are written into `grads`, and the
+    /// result flows into `dz[src]`/`dz[chain]`. The `dz` slice must cover
+    /// every index `≤ chain`.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_backward_into(
+        &self,
+        da: &mut Matrix,
+        merge_pre: Option<&Matrix>,
+        skips: &[usize],
+        proj_idx: &[usize],
+        chain: usize,
+        z: &[Matrix],
+        grads: &mut GradientBuffer,
+        dz: &mut [Matrix],
+        dz_set: &mut [bool],
+    ) {
+        if skips.is_empty() {
+            accumulate_dz(&mut dz[chain], &mut dz_set[chain], da);
+            return;
+        }
+        let u = merge_pre.expect("merge cache");
+        for (g, pre) in da.as_mut_slice().iter_mut().zip(u.as_slice()) {
+            if *pre <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        for (&src, &p) in skips.iter().zip(proj_idx) {
+            z[src].matmul_at_b_into(da, &mut grads.weights[p], false);
+            da.column_sums_into(&mut grads.biases[p]);
+            da.matmul_a_bt_into(&self.weights[p], &mut dz[src], dz_set[src]);
+            dz_set[src] = true;
+        }
+        accumulate_dz(&mut dz[chain], &mut dz_set[chain], da);
+    }
+
+    /// Mean cross-entropy loss and accuracy on `(x, y)` through a
+    /// workspace — the allocation-free form of [`GraphNet::evaluate`].
+    pub fn evaluate_with(&self, x: &Matrix, y: &[usize], ws: &mut Workspace) -> (f32, f64) {
+        assert_eq!(x.rows(), y.len());
+        self.forward_with(x, ws);
+        ws.dlogits.copy_from(&ws.logits);
+        ws.dlogits.softmax_rows_inplace();
+        let n = y.len().max(1) as f32;
+        let mut loss_val = 0.0f32;
+        let mut hits = 0usize;
+        for (r, &label) in y.iter().enumerate() {
+            loss_val -= ws.dlogits.get(r, label).max(1e-12).ln();
+            // Same tie-break as `Matrix::argmax_rows`: first maximum wins.
+            let row = ws.dlogits.row(r);
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            hits += usize::from(best == label);
+        }
+        (loss_val / n, hits as f64 / y.len().max(1) as f64)
+    }
+}

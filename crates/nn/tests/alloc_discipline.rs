@@ -1,0 +1,139 @@
+//! Steady-state training steps must not touch the heap.
+//!
+//! A counting `#[global_allocator]` shim wraps the system allocator;
+//! after a warmup step has sized the workspace, gradient buffer and
+//! staging buffers, an armed window around further steps must record
+//! zero allocations. This is the acceptance gate for the zero-allocation
+//! hot path: any regression that reintroduces a per-step `Matrix` or
+//! `Vec` allocation fails this binary.
+
+use agebo_nn::{Activation, Adam, GradientBuffer, GraphNet, GraphSpec};
+use agebo_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// One optimizer step over a mini-batch, exactly as `fit` and
+/// `fit_data_parallel` perform it: stage the batch, forward/backward
+/// through the workspace, clip, Adam update.
+#[allow(clippy::too_many_arguments)]
+fn train_step(
+    net: &mut GraphNet,
+    x: &Matrix,
+    y: &[usize],
+    batch: &[usize],
+    xbuf: &mut Matrix,
+    ybuf: &mut Vec<usize>,
+    ws: &mut agebo_nn::Workspace,
+    grads: &mut GradientBuffer,
+    adam: &mut Adam,
+) -> f32 {
+    x.gather_rows_into(batch, xbuf);
+    ybuf.clear();
+    ybuf.extend(batch.iter().map(|&i| y[i]));
+    let loss = net.forward_backward_with(xbuf, ybuf, ws, grads);
+    grads.clip_global_norm(1.0);
+    adam.step_with(net, grads, 0.01, 1e-4);
+    loss
+}
+
+#[test]
+fn steady_state_training_step_does_not_allocate() {
+    // A Covertype-shaped workload: 54 features, 7 classes, two hidden
+    // layers with a skip, batch 64.
+    let mut rng = StdRng::seed_from_u64(42);
+    let spec = GraphSpec::mlp(
+        54,
+        &[(96, Activation::Relu), (96, Activation::Relu)],
+        7,
+    );
+    let mut net = GraphNet::new(spec, &mut rng);
+
+    let n_rows = 512usize;
+    let bs = 64usize;
+    let x = Matrix::he_normal(n_rows, 54, &mut rng);
+    let y: Vec<usize> = (0..n_rows).map(|i| i % 7).collect();
+    let x_valid = Matrix::he_normal(200, 54, &mut rng);
+    let y_valid: Vec<usize> = (0..200).map(|i| i % 7).collect();
+
+    let mut adam = Adam::new(&net);
+    let mut ws = net.make_workspace(bs);
+    let mut grads = GradientBuffer::zeros_like(&net);
+    let mut order: Vec<usize> = (0..n_rows).collect();
+    let mut xbuf = Matrix::default();
+    let mut ybuf: Vec<usize> = Vec::with_capacity(bs);
+
+    // Warmup epoch: sizes every buffer (including the workspace growth to
+    // the validation-set row count) and fills Adam's moment buffers.
+    order.shuffle(&mut rng);
+    for batch in order.chunks(bs) {
+        train_step(
+            &mut net, &x, &y, batch, &mut xbuf, &mut ybuf, &mut ws, &mut grads, &mut adam,
+        );
+    }
+    let _ = net.evaluate_with(&x_valid, &y_valid, &mut ws);
+
+    // Armed epochs: the shuffle, every step, and the per-epoch validation
+    // pass must perform zero heap allocations.
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let mut total_loss = 0.0f32;
+    for _ in 0..3 {
+        for (i, slot) in order.iter_mut().enumerate() {
+            *slot = i;
+        }
+        order.shuffle(&mut rng);
+        for batch in order.chunks(bs) {
+            total_loss += train_step(
+                &mut net, &x, &y, batch, &mut xbuf, &mut ybuf, &mut ws, &mut grads, &mut adam,
+            );
+        }
+        let (vl, _) = net.evaluate_with(&x_valid, &y_valid, &mut ws);
+        total_loss += vl;
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let counted = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(total_loss.is_finite());
+    assert_eq!(
+        counted, 0,
+        "steady-state training performed {counted} heap allocations"
+    );
+}

@@ -74,6 +74,45 @@ proptest! {
         prop_assert_eq!(grads.len(), net.num_params());
     }
 
+    /// A workspace carried across batches of different sizes produces
+    /// bit-identical losses, logits and gradients to fresh per-call
+    /// allocation (the allocating wrappers).
+    #[test]
+    fn reused_workspace_matches_fresh_allocation(
+        spec in spec_strategy(),
+        seed in any::<u64>(),
+        batch_a in 1usize..12,
+        batch_b in 1usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = GraphNet::new(spec.clone(), &mut rng);
+        let mut ws = net.make_workspace(batch_a);
+        let mut grads = agebo_nn::GradientBuffer::zeros_like(&net);
+        for &batch in &[batch_a, batch_b, batch_a] {
+            let x = Matrix::he_normal(batch, spec.input_dim, &mut rng);
+            let y: Vec<usize> = (0..batch).map(|i| i % spec.n_classes).collect();
+
+            let (loss_fresh, grads_fresh) = net.forward_backward(&x, &y);
+            let loss_ws = net.forward_backward_with(&x, &y, &mut ws, &mut grads);
+            prop_assert_eq!(loss_ws, loss_fresh);
+            for (gw, fw) in grads.weights.iter().zip(&grads_fresh.weights) {
+                prop_assert_eq!(gw.as_slice(), fw.as_slice());
+            }
+            for (gb, fb) in grads.biases.iter().zip(&grads_fresh.biases) {
+                prop_assert_eq!(gb.as_slice(), fb.as_slice());
+            }
+
+            let logits_fresh = net.forward(&x);
+            net.forward_with(&x, &mut ws);
+            prop_assert_eq!(ws.logits().as_slice(), logits_fresh.as_slice());
+
+            let (vl_fresh, va_fresh) = net.evaluate(&x, &y);
+            let (vl_ws, va_ws) = net.evaluate_with(&x, &y, &mut ws);
+            prop_assert_eq!(vl_ws, vl_fresh);
+            prop_assert_eq!(va_ws, va_fresh);
+        }
+    }
+
     /// One optimizer step along the gradient reduces the loss for a small
     /// enough learning rate (descent direction property).
     #[test]
@@ -94,6 +133,6 @@ proptest! {
             }
         }
         let (loss1, _) = net.forward_backward(&x, &y);
-        prop_assert!(loss1 <= loss0 + 1e-5, "loss rose: {loss0} -> {loss1}");
+        prop_assert!(loss1 <= loss0 + 1e-5, "loss rose: {} -> {}", loss0, loss1);
     }
 }

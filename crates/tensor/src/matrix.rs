@@ -18,10 +18,44 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
-/// Row count above which GEMMs are parallelised with rayon. On a single-core
-/// host rayon degrades to sequential execution, so the threshold only has to
-/// avoid pointless task spawning for tiny matrices.
-const PAR_ROWS: usize = 256;
+/// Multiply-accumulate count (`m·k·n`) above which GEMMs are parallelised
+/// with rayon. A FLOP threshold — unlike the row-count heuristic it
+/// replaces — also parallelises the skinny-but-tall products produced by
+/// gradient computation (e.g. `1024×54 · 54×96`), while leaving genuinely
+/// small products sequential so no task-spawn overhead lands on the hot
+/// path. On a single-core host rayon degrades to sequential execution.
+const PAR_FLOPS: usize = 1 << 20;
+
+#[inline]
+fn par_worthwhile(m: usize, k: usize, n: usize) -> bool {
+    m > 1 && m.saturating_mul(k).saturating_mul(n) >= PAR_FLOPS
+}
+
+/// Shared `*_into` output contract: overwrite mode reshapes and zeroes
+/// the buffer (so the accumulating kernels below start from a clean
+/// slate), accumulate mode demands the exact shape.
+#[inline]
+fn prepare_out(out: &mut Matrix, m: usize, n: usize, accumulate: bool, what: &str) {
+    if accumulate {
+        assert!(
+            out.rows == m && out.cols == n,
+            "{what}: accumulate target is {}x{}, expected {m}x{n}",
+            out.rows,
+            out.cols,
+        );
+    } else {
+        out.resize(m, n);
+        out.data.fill(0.0);
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix that owns no allocation. Useful with
+    /// `std::mem::take` to move buffers out of a workspace temporarily.
+    fn default() -> Self {
+        Matrix { rows: 0, cols: 0, data: Vec::new() }
+    }
+}
 
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
@@ -132,24 +166,67 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes in place, reusing the existing allocation when capacity
+    /// allows. Element contents are unspecified afterwards; every caller
+    /// is expected to overwrite (all `*_into` kernels with
+    /// `accumulate = false` do).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `other` into `self`, reshaping as needed.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.resize(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
     /// Copies the listed rows into a new matrix (gather).
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
+        self.gather_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Gather without allocation: copies the listed rows into `out`,
+    /// reshaping it to `indices.len() × self.cols`.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.resize(indices.len(), self.cols);
         for (dst, &src) in indices.iter().enumerate() {
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
-        out
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Cache-blocked transpose into `out` (reshaped as needed). Tiling
+    /// keeps both the row-major reads and the column-strided writes
+    /// inside one `TILE × TILE` block resident in L1.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        const TILE: usize = 32;
+        out.resize(self.cols, self.rows);
+        for r0 in (0..self.rows).step_by(TILE) {
+            let r1 = (r0 + TILE).min(self.rows);
+            for c0 in (0..self.cols).step_by(TILE) {
+                let c1 = (c0 + TILE).min(self.cols);
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
-        out
     }
 
     /// `C = self · b`.
@@ -157,9 +234,51 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.cols != b.rows`.
     pub fn matmul(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into(b, &mut out, false);
+        out
+    }
+
+    /// `C = self · b` into a caller-provided buffer.
+    ///
+    /// With `accumulate = false` the buffer is reshaped to `m × n` and
+    /// overwritten, bitwise-identical to [`Self::matmul`] (same loop
+    /// order, same zero-skip). With `accumulate = true` it must already
+    /// be `m × n`; each product element is computed in full (summing
+    /// over `k` ascending, the allocating order) and then added once, so
+    /// the result is bitwise-identical to `out.add_assign(&a.matmul(b))`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != b.rows`, or (when accumulating) if `out`
+    /// is not `m × n`.
+    pub fn matmul_into(&self, b: &Matrix, out: &mut Matrix, accumulate: bool) {
         assert_eq!(self.cols, b.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, b.cols);
-        let mut out = Matrix::zeros(m, n);
+        prepare_out(out, m, n, accumulate, "matmul_into");
+        if accumulate {
+            // Full-dot-then-add: one strided pass per element keeps the
+            // "+= whole product" contract exact; accumulate callers are
+            // off the streaming hot path, so the layout cost is fine.
+            let kernel = |(i, crow): (usize, &mut [f32])| {
+                let arow = &self.data[i * k..(i + 1) * k];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for (kk, &a) in arow.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        acc = crate::simd::madd(a, b.data[kk * n + j], acc);
+                    }
+                    *cv += acc;
+                }
+            };
+            if par_worthwhile(m, k, n) {
+                out.data.par_chunks_mut(n).enumerate().for_each(kernel);
+            } else {
+                out.data.chunks_mut(n).enumerate().for_each(kernel);
+            }
+            return;
+        }
         let kernel = |(i, crow): (usize, &mut [f32])| {
             let arow = &self.data[i * k..(i + 1) * k];
             for (kk, &a) in arow.iter().enumerate() {
@@ -167,67 +286,119 @@ impl Matrix {
                     continue;
                 }
                 let brow = &b.data[kk * n..(kk + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += a * bv;
-                }
+                crate::simd::axpy(a, brow, crow);
             }
         };
-        if m >= PAR_ROWS {
+        if par_worthwhile(m, k, n) {
             out.data.par_chunks_mut(n).enumerate().for_each(kernel);
         } else {
             out.data.chunks_mut(n).enumerate().for_each(kernel);
         }
-        out
     }
 
     /// `C = selfᵀ · b` without materialising the transpose.
     ///
     /// Used for weight gradients: `dW = Xᵀ · dY`.
     pub fn matmul_at_b(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_at_b_into(b, &mut out, false);
+        out
+    }
+
+    /// `C = selfᵀ · b` into a caller-provided buffer; see
+    /// [`Self::matmul_into`] for the `accumulate` contract.
+    ///
+    /// Small products use a serial `k`-outer loop whose inner writes are
+    /// contiguous; above the FLOP threshold the loop switches to one
+    /// output row per rayon task (each task streams a strided column of
+    /// `self`), which is what lets the tall gradient GEMMs of large
+    /// batches parallelise. Both orders accumulate over `k` ascending,
+    /// so results are bitwise-identical.
+    pub fn matmul_at_b_into(&self, b: &Matrix, out: &mut Matrix, accumulate: bool) {
         assert_eq!(self.rows, b.rows, "matmul_at_b shape mismatch");
         let (m, k, n) = (self.cols, self.rows, b.cols);
-        let mut out = Matrix::zeros(m, n);
-        // C[i][j] = sum_kk A[kk][i] * B[kk][j]; accumulate row blocks.
-        for kk in 0..k {
-            let arow = &self.data[kk * m..(kk + 1) * m];
-            let brow = &b.data[kk * n..(kk + 1) * n];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        prepare_out(out, m, n, accumulate, "matmul_at_b_into");
+        if accumulate {
+            // Full-dot-then-add (see matmul_into): C[i][j] gains the
+            // complete sum over k in one add, matching the allocating
+            // product followed by add_assign bit for bit.
+            let a_cols = self.cols;
+            let kernel = |(i, crow): (usize, &mut [f32])| {
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        let a = self.data[kk * a_cols + i];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        acc = crate::simd::madd(a, b.data[kk * n + j], acc);
+                    }
+                    *cv += acc;
                 }
-                let crow = &mut out.data[i * n..(i + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += a * bv;
+            };
+            if par_worthwhile(m, k, n) {
+                out.data.par_chunks_mut(n).enumerate().for_each(kernel);
+            } else {
+                out.data.chunks_mut(n).enumerate().for_each(kernel);
+            }
+            return;
+        }
+        if par_worthwhile(m, k, n) {
+            // C[i][j] = sum_kk A[kk][i] * B[kk][j]; one output row per task.
+            let a_cols = self.cols;
+            out.data.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+                for kk in 0..k {
+                    let a = self.data[kk * a_cols + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &b.data[kk * n..(kk + 1) * n];
+                    crate::simd::axpy(a, brow, crow);
+                }
+            });
+        } else {
+            // Serial: accumulate row blocks with contiguous writes.
+            for kk in 0..k {
+                let arow = &self.data[kk * m..(kk + 1) * m];
+                let brow = &b.data[kk * n..(kk + 1) * n];
+                for (i, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut out.data[i * n..(i + 1) * n];
+                    crate::simd::axpy(a, brow, crow);
                 }
             }
         }
-        out
     }
 
     /// `C = self · bᵀ` without materialising the transpose.
     ///
     /// Used for input gradients: `dX = dY · Wᵀ`.
     pub fn matmul_a_bt(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_a_bt_into(b, &mut out, false);
+        out
+    }
+
+    /// `C = self · bᵀ` into a caller-provided buffer; see
+    /// [`Self::matmul_into`] for the `accumulate` contract.
+    pub fn matmul_a_bt_into(&self, b: &Matrix, out: &mut Matrix, accumulate: bool) {
         assert_eq!(self.cols, b.cols, "matmul_a_bt shape mismatch");
         let (m, k, n) = (self.rows, self.cols, b.rows);
-        let mut out = Matrix::zeros(m, n);
+        prepare_out(out, m, n, accumulate, "matmul_a_bt_into");
         let kernel = |(i, crow): (usize, &mut [f32])| {
             let arow = &self.data[i * k..(i + 1) * k];
             for (j, cv) in crow.iter_mut().enumerate() {
                 let brow = &b.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                *cv = acc;
+                *cv += crate::simd::dot(arow, brow);
             }
         };
-        if m >= PAR_ROWS {
+        if par_worthwhile(m, k, n) {
             out.data.par_chunks_mut(n).enumerate().for_each(kernel);
         } else {
             out.data.chunks_mut(n).enumerate().for_each(kernel);
         }
-        out
     }
 
     /// Index of the maximum element of each row (ties resolve to the first).
@@ -376,5 +547,77 @@ mod tests {
     fn frobenius_norm_known() {
         let m = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
         assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_forms_bitwise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = Matrix::he_normal(13, 7, &mut rng);
+        let b = Matrix::he_normal(7, 5, &mut rng);
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out, false);
+        assert_eq!(out, a.matmul(&b));
+
+        let bt = Matrix::he_normal(13, 9, &mut rng);
+        a.matmul_at_b_into(&bt, &mut out, false);
+        assert_eq!(out, a.matmul_at_b(&bt));
+
+        let c = Matrix::he_normal(11, 7, &mut rng);
+        a.matmul_a_bt_into(&c, &mut out, false);
+        assert_eq!(out, a.matmul_a_bt(&c));
+    }
+
+    #[test]
+    fn accumulate_mode_adds_to_existing_contents() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let b = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut out = Matrix::from_vec(2, 2, vec![10.0, 10.0, 10.0, 10.0]);
+        a.matmul_into(&b, &mut out, true);
+        assert_eq!(out.as_slice(), &[11.0, 12.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulate target")]
+    fn accumulate_into_wrong_shape_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 2);
+        a.matmul_into(&b, &mut out, true);
+    }
+
+    #[test]
+    fn resize_reuses_capacity_and_into_overwrites_stale_data() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        // Start with a larger buffer full of garbage, shrink into it.
+        let mut out = Matrix::from_vec(4, 4, vec![9.9; 16]);
+        let ptr = out.as_slice().as_ptr();
+        a.matmul_into(&b, &mut out, false);
+        assert_eq!(out.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+        assert_eq!(out.as_slice().as_ptr(), ptr, "shrink must not reallocate");
+    }
+
+    #[test]
+    fn gather_rows_into_matches_gather_rows() {
+        let a = Matrix::from_fn(6, 3, |r, c| (r * 3 + c) as f32);
+        let idx = [5, 0, 2, 2];
+        let mut out = Matrix::default();
+        a.gather_rows_into(&idx, &mut out);
+        assert_eq!(out, a.gather_rows(&idx));
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive_on_odd_shapes() {
+        for &(r, c) in &[(1usize, 1usize), (3, 70), (70, 3), (33, 47), (64, 64)] {
+            let a = Matrix::from_fn(r, c, |i, j| (i * 131 + j * 7) as f32);
+            let t = a.transpose();
+            assert_eq!(t.rows(), c);
+            assert_eq!(t.cols(), r);
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t.get(j, i), a.get(i, j));
+                }
+            }
+        }
     }
 }

@@ -42,13 +42,23 @@ impl Matrix {
     /// Column sums (used for bias gradients).
     pub fn column_sums(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.cols()];
+        self.column_sums_into(&mut out);
+        out
+    }
+
+    /// Column sums into a caller-provided buffer (overwritten).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.cols()`.
+    pub fn column_sums_into(&self, out: &mut [f32]) {
         let cols = self.cols();
+        assert_eq!(out.len(), cols, "column_sums_into length mismatch");
+        out.fill(0.0);
         for row in self.as_slice().chunks(cols) {
             for (o, v) in out.iter_mut().zip(row) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Applies `f` to every element in place.
@@ -65,6 +75,15 @@ impl Matrix {
         out
     }
 
+    /// Writes `f(self)` elementwise into `out` (reshaped as needed),
+    /// leaving `self` untouched — the allocation-free form of [`Self::map`].
+    pub fn map_into(&self, out: &mut Matrix, f: impl Fn(f32) -> f32) {
+        out.resize(self.rows(), self.cols());
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(self.as_slice()) {
+            *o = f(v);
+        }
+    }
+
     /// Elementwise product `self ⊙ other`.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows(), other.rows());
@@ -76,6 +95,15 @@ impl Matrix {
             .map(|(a, b)| a * b)
             .collect();
         Matrix::from_vec(self.rows(), self.cols(), data)
+    }
+
+    /// In-place elementwise product `self ⊙= other`.
+    pub fn hadamard_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.rows(), other.rows());
+        assert_eq!(self.cols(), other.cols());
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a *= b;
+        }
     }
 
     /// In-place row-wise softmax (numerically stabilised by the row max).

@@ -1,0 +1,176 @@
+//! Runtime-dispatched SIMD inner loops for the GEMM kernels.
+//!
+//! The portable `i-k-j` kernels autovectorize at the x86-64 baseline
+//! (SSE2: 4 lanes, separate mul + add). On machines with AVX2 + FMA the
+//! same loops run here as 8-lane fused multiply-adds instead — roughly a
+//! 2× step throughput win on the Covertype-shaped GEMMs that dominate
+//! training (see `BENCH_hotpath.json`).
+//!
+//! Bitwise discipline: dispatch is per-process-uniform (the cached
+//! `use_fma` flag), so every kernel sees the same arithmetic. Under FMA
+//! each output element of [`axpy`] is a `mul_add` chain over `k`
+//! ascending — including the scalar tail, which also uses `mul_add` —
+//! and the accumulate-mode GEMM paths in `matrix.rs` replay exactly that
+//! chain, keeping "accumulate == allocating product + add_assign" exact.
+//! [`dot`] uses a multi-accumulator reduction whose order is only
+//! machine-deterministic; it is shared by *both* modes of
+//! `matmul_a_bt_into`, so the same guarantee holds there too.
+
+/// True when the 8-lane FMA paths are in use (cached by `std_detect`).
+#[inline]
+pub(crate) fn use_fma() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// `y[j] += a * x[j]` for all `j` (fused on FMA machines).
+#[inline]
+pub(crate) fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { axpy_fma(a, x, y) };
+        return;
+    }
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
+/// Dot product of two equal-length slices. Multi-accumulator on FMA
+/// machines; sequential on the portable path. Deterministic per machine.
+#[inline]
+pub(crate) fn dot(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        return unsafe { dot_fma(x, y) };
+    }
+    let mut acc = 0.0f32;
+    for (&a, &b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// One step of the per-element multiply-add chain, matching whatever
+/// arithmetic [`axpy`] uses on this machine. The accumulate-mode GEMM
+/// paths use this to replay an output lane of the streaming kernels.
+#[inline]
+pub(crate) fn madd(a: f32, b: f32, acc: f32) -> f32 {
+    if use_fma() {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_fma(a: f32, x: &[f32], y: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let va = _mm256_set1_ps(a);
+    let mut j = 0usize;
+    while j + 16 <= n {
+        let y0 = _mm256_loadu_ps(yp.add(j));
+        let y1 = _mm256_loadu_ps(yp.add(j + 8));
+        let r0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(xp.add(j)), y0);
+        let r1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(xp.add(j + 8)), y1);
+        _mm256_storeu_ps(yp.add(j), r0);
+        _mm256_storeu_ps(yp.add(j + 8), r1);
+        j += 16;
+    }
+    if j + 8 <= n {
+        let y0 = _mm256_loadu_ps(yp.add(j));
+        let r0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(xp.add(j)), y0);
+        _mm256_storeu_ps(yp.add(j), r0);
+        j += 8;
+    }
+    // Tail lanes use scalar FMA so every element sees fused arithmetic.
+    while j < n {
+        *yp.add(j) = a.mul_add(*xp.add(j), *yp.add(j));
+        j += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_fma(x: &[f32], y: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    let xp = x.as_ptr();
+    let yp = y.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut j = 0usize;
+    while j + 16 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(j)), _mm256_loadu_ps(yp.add(j)), acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(xp.add(j + 8)),
+            _mm256_loadu_ps(yp.add(j + 8)),
+            acc1,
+        );
+        j += 16;
+    }
+    if j + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(j)), _mm256_loadu_ps(yp.add(j)), acc0);
+        j += 8;
+    }
+    let acc = _mm256_add_ps(acc0, acc1);
+    let hi = _mm256_extractf128_ps(acc, 1);
+    let lo = _mm256_castps256_ps128(acc);
+    let sum4 = _mm_add_ps(lo, hi);
+    let sum2 = _mm_add_ps(sum4, _mm_movehl_ps(sum4, sum4));
+    let sum1 = _mm_add_ss(sum2, _mm_shuffle_ps(sum2, sum2, 0b01));
+    let mut total = _mm_cvtss_f32(sum1);
+    while j < n {
+        total = (*xp.add(j)).mul_add(*yp.add(j), total);
+        j += 1;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_matches_scalar_reference() {
+        let x: Vec<f32> = (0..37).map(|i| (i as f32) * 0.37 - 5.0).collect();
+        let mut y: Vec<f32> = (0..37).map(|i| (i as f32) * -0.11 + 1.0).collect();
+        let reference: Vec<f32> =
+            y.iter().zip(&x).map(|(&yv, &xv)| yv + 1.5 * xv).collect();
+        axpy(1.5, &x, &mut y);
+        for (got, want) in y.iter().zip(&reference) {
+            assert!((got - want).abs() <= 1e-5 * (1.0 + want.abs()), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn dot_matches_scalar_reference() {
+        let x: Vec<f32> = (0..41).map(|i| (i as f32) * 0.21 - 4.0).collect();
+        let y: Vec<f32> = (0..41).map(|i| (i as f32) * -0.09 + 2.0).collect();
+        let reference: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let got = dot(&x, &y);
+        assert!((got - reference).abs() <= 1e-3 * (1.0 + reference.abs()));
+    }
+
+    #[test]
+    fn madd_is_consistent_with_axpy_on_one_lane() {
+        // One element treated as a length-1 axpy must equal madd exactly.
+        let mut y = [0.625f32];
+        axpy(1.75, &[3.3], &mut y);
+        assert_eq!(y[0], madd(1.75, 3.3, 0.625));
+    }
+}

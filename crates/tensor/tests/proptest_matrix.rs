@@ -90,6 +90,82 @@ proptest! {
     }
 
     #[test]
+    fn into_kernels_bitwise_match_allocating_forms((a, b) in pair_strategy(10)) {
+        // Overwrite mode: each in-place kernel must reproduce its
+        // allocating counterpart bit for bit.
+        let ab = a.matmul(&b);             // (m, n)
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out, false);
+        prop_assert_eq!(out.as_slice(), ab.as_slice());
+        prop_assert_eq!((out.rows(), out.cols()), (ab.rows(), ab.cols()));
+
+        let at_c = a.matmul_at_b(&ab);     // (k, n)
+        let mut out2 = Matrix::default();
+        a.matmul_at_b_into(&ab, &mut out2, false);
+        prop_assert_eq!(out2.as_slice(), at_c.as_slice());
+
+        let c_bt = ab.matmul_a_bt(&b);     // (m, k)
+        let mut out3 = Matrix::default();
+        ab.matmul_a_bt_into(&b, &mut out3, false);
+        prop_assert_eq!(out3.as_slice(), c_bt.as_slice());
+    }
+
+    #[test]
+    fn into_kernels_accumulate_mode_bitwise_matches((a, b) in pair_strategy(10)) {
+        // Accumulate mode: out += A·B must equal the allocating product
+        // added elementwise onto the same seed values, bit for bit.
+        let ab = a.matmul(&b);
+        let mut seed = ab.clone();
+        seed.scale(0.25);
+        let mut expected = seed.clone();
+        expected.add_assign(&ab);
+        let mut out = seed.clone();
+        a.matmul_into(&b, &mut out, true);
+        prop_assert_eq!(out.as_slice(), expected.as_slice());
+
+        let at_c = a.matmul_at_b(&ab);
+        let mut seed2 = at_c.clone();
+        seed2.scale(-0.5);
+        let mut expected2 = seed2.clone();
+        expected2.add_assign(&at_c);
+        let mut out2 = seed2.clone();
+        a.matmul_at_b_into(&ab, &mut out2, true);
+        prop_assert_eq!(out2.as_slice(), expected2.as_slice());
+
+        let c_bt = ab.matmul_a_bt(&b);
+        let mut seed3 = c_bt.clone();
+        seed3.scale(2.0);
+        let mut expected3 = seed3.clone();
+        expected3.add_assign(&c_bt);
+        let mut out3 = seed3.clone();
+        ab.matmul_a_bt_into(&b, &mut out3, true);
+        prop_assert_eq!(out3.as_slice(), expected3.as_slice());
+    }
+
+    #[test]
+    fn reused_out_buffer_matches_fresh((a, b) in pair_strategy(10), (c, d) in pair_strategy(10)) {
+        // A workspace buffer carried from one product shape to another
+        // must give the same bits as a fresh allocation.
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out, false);
+        c.matmul_into(&d, &mut out, false);
+        prop_assert_eq!(out.as_slice(), c.matmul(&d).as_slice());
+        prop_assert_eq!((out.rows(), out.cols()), (c.rows(), d.cols()));
+    }
+
+    #[test]
+    fn blocked_transpose_into_matches_simple(a in matrix_strategy(40)) {
+        let mut out = Matrix::default();
+        a.transpose_into(&mut out);
+        prop_assert_eq!(&out, &a.transpose());
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                prop_assert_eq!(out.get(c, r), a.get(r, c));
+            }
+        }
+    }
+
+    #[test]
     fn column_sums_linear(a in matrix_strategy(10), alpha in -4.0f32..4.0) {
         let mut scaled = a.clone();
         scaled.scale(alpha);

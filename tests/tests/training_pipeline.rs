@@ -25,7 +25,7 @@ fn rank_counts_converge_to_similar_accuracy_below_the_limit() {
     let acc = |n: usize| {
         evaluate(
             &ctx,
-            &EvalTask { arch: arch.clone(), hp: DataParallelHp { lr1: 0.01, bs1: 64, n }, seed: 7 },
+            &EvalTask { arch: arch.clone(), hp: DataParallelHp { lr1: 0.01, bs1: 64, n }, seed: 7, cached: None },
         )
     };
     let (a1, a2) = (acc(1), acc(2));
@@ -35,16 +35,24 @@ fn rank_counts_converge_to_similar_accuracy_below_the_limit() {
 #[test]
 fn beyond_the_limit_accuracy_degrades() {
     // The Table I phenomenon on the real (scaled-down) training path:
-    // n=8 at the default hyperparameters underperforms n=1.
+    // past the scaling limit the linearly scaled rate `lr_n = n·lr₁`
+    // leaves the stable region and n=8 underperforms n=1. At lr₁ = 0.06
+    // (within the paper's search range) `lr_8 = 0.48` is decisively
+    // unstable; a single seed can still buck the trend, so compare means
+    // over several seeds.
     let ctx = covertype_ctx(11);
     let arch = compact_net(&ctx);
-    let acc = |n: usize| {
+    let acc = |n: usize, seed: u64| {
         evaluate(
             &ctx,
-            &EvalTask { arch: arch.clone(), hp: DataParallelHp::paper_default(n), seed: 8 },
+            &EvalTask { arch: arch.clone(), hp: DataParallelHp { lr1: 0.06, bs1: 256, n }, seed, cached: None },
         )
     };
-    let (a1, a8) = (acc(1), acc(8));
+    let seeds: &[u64] = &[8, 21, 34, 55, 89];
+    let mean = |n: usize| {
+        seeds.iter().map(|&s| acc(n, s)).sum::<f64>() / seeds.len() as f64
+    };
+    let (a1, a8) = (mean(1), mean(8));
     assert!(a1 > a8, "expected degradation at n=8: n=1 {a1} vs n=8 {a8}");
 }
 
@@ -96,6 +104,6 @@ fn evaluation_is_reproducible_across_contexts() {
     let a = covertype_ctx(14);
     let b = covertype_ctx(14);
     let arch = compact_net(&a);
-    let task = EvalTask { arch, hp: DataParallelHp { lr1: 0.02, bs1: 128, n: 2 }, seed: 3 };
+    let task = EvalTask { arch, hp: DataParallelHp { lr1: 0.02, bs1: 128, n: 2 }, seed: 3, cached: None };
     assert_eq!(evaluate(&a, &task), evaluate(&b, &task));
 }
