@@ -21,6 +21,8 @@ pub enum Command {
     Resume(ResumeArgs),
     /// Evaluate a saved model on a CSV file.
     Evaluate(EvaluateArgs),
+    /// Summarize a telemetry directory's run-event log.
+    Report(ReportArgs),
 }
 
 /// Arguments of `agebo search`.
@@ -42,6 +44,8 @@ pub struct SearchArgs {
     pub model_out: Option<String>,
     /// Override of the simulated wall-time budget, in minutes.
     pub wall_minutes: Option<f64>,
+    /// Directory receiving the run-event log and metrics snapshot.
+    pub telemetry: Option<String>,
 }
 
 /// Arguments of `agebo resume`.
@@ -57,6 +61,8 @@ pub struct ResumeArgs {
     pub seed: u64,
     /// Where to write the merged history.
     pub out: Option<String>,
+    /// Directory receiving the run-event log and metrics snapshot.
+    pub telemetry: Option<String>,
 }
 
 /// Arguments of `agebo evaluate`.
@@ -66,6 +72,14 @@ pub struct EvaluateArgs {
     pub model: String,
     /// CSV data to evaluate on.
     pub csv: String,
+}
+
+/// Arguments of `agebo report`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportArgs {
+    /// Telemetry directory (containing `events.jsonl`) or a direct path
+    /// to a JSONL event log.
+    pub dir: String,
 }
 
 /// Parse failures, with a message suitable for direct printing.
@@ -90,9 +104,11 @@ USAGE:
                  [--variant agebo|age-1|age-2|age-4|age-8|agebo-lr|agebo-lr-bs]
                  [--profile test|bench|large] [--seed N] [--wall-minutes M]
                  [--out history.json] [--model-out model.json]
+                 [--telemetry DIR]
   agebo resume   --history history.json [--dataset D] [--profile P] [--seed N]
-                 [--out merged.json]
+                 [--out merged.json] [--telemetry DIR]
   agebo evaluate --model model.json --csv data.csv
+  agebo report   --dir DIR    (a --telemetry directory or an events.jsonl)
 ";
 
 fn parse_dataset(s: &str) -> Result<DatasetKind, ParseError> {
@@ -134,8 +150,13 @@ fn parse_variant(s: &str) -> Result<Variant, ParseError> {
     }
 }
 
-/// Pulls `--key value` pairs out of `argv`; returns (map, leftovers).
-fn keyed(argv: &[String]) -> Result<std::collections::HashMap<String, String>, ParseError> {
+/// Pulls `--key value` pairs out of `argv`, rejecting keys outside
+/// `allowed` (so a typo like `--sed 7` fails loudly instead of being
+/// silently ignored) and duplicate keys.
+fn keyed(
+    argv: &[String],
+    allowed: &[&str],
+) -> Result<std::collections::HashMap<String, String>, ParseError> {
     let mut map = std::collections::HashMap::new();
     let mut i = 0;
     while i < argv.len() {
@@ -143,10 +164,23 @@ fn keyed(argv: &[String]) -> Result<std::collections::HashMap<String, String>, P
         if !key.starts_with("--") {
             return Err(ParseError(format!("unexpected argument {key}")));
         }
+        let name = &key[2..];
+        if !allowed.contains(&name) {
+            return Err(ParseError(format!(
+                "unknown flag {key} (expected one of: {})",
+                allowed
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )));
+        }
         let value = argv
             .get(i + 1)
             .ok_or_else(|| ParseError(format!("{key} expects a value")))?;
-        map.insert(key[2..].to_string(), value.clone());
+        if map.insert(name.to_string(), value.clone()).is_some() {
+            return Err(ParseError(format!("{key} given more than once")));
+        }
         i += 2;
     }
     Ok(map)
@@ -161,7 +195,20 @@ impl Cli {
         let command = match sub.as_str() {
             "info" => Command::Info,
             "search" => {
-                let kv = keyed(rest)?;
+                let kv = keyed(
+                    rest,
+                    &[
+                        "dataset",
+                        "csv",
+                        "variant",
+                        "profile",
+                        "seed",
+                        "out",
+                        "model-out",
+                        "wall-minutes",
+                        "telemetry",
+                    ],
+                )?;
                 Command::Search(SearchArgs {
                     dataset: kv
                         .get("dataset")
@@ -193,10 +240,14 @@ impl Cli {
                                 .map_err(|_| ParseError("bad --wall-minutes".into()))
                         })
                         .transpose()?,
+                    telemetry: kv.get("telemetry").cloned(),
                 })
             }
             "resume" => {
-                let kv = keyed(rest)?;
+                let kv = keyed(
+                    rest,
+                    &["history", "dataset", "profile", "seed", "out", "telemetry"],
+                )?;
                 Command::Resume(ResumeArgs {
                     history: kv
                         .get("history")
@@ -218,10 +269,11 @@ impl Cli {
                         .transpose()?
                         .unwrap_or(43),
                     out: kv.get("out").cloned(),
+                    telemetry: kv.get("telemetry").cloned(),
                 })
             }
             "evaluate" => {
-                let kv = keyed(rest)?;
+                let kv = keyed(rest, &["model", "csv"])?;
                 Command::Evaluate(EvaluateArgs {
                     model: kv
                         .get("model")
@@ -231,6 +283,15 @@ impl Cli {
                         .get("csv")
                         .cloned()
                         .ok_or_else(|| ParseError("evaluate requires --csv".into()))?,
+                })
+            }
+            "report" => {
+                let kv = keyed(rest, &["dir"])?;
+                Command::Report(ReportArgs {
+                    dir: kv
+                        .get("dir")
+                        .cloned()
+                        .ok_or_else(|| ParseError("report requires --dir".into()))?,
                 })
             }
             "--help" | "-h" | "help" => return Err(ParseError(USAGE.to_string())),
@@ -300,6 +361,29 @@ mod tests {
         assert!(Cli::parse(&argv(&["search", "--seed"])).is_err());
         assert!(Cli::parse(&argv(&["frobnicate"])).is_err());
         assert!(Cli::parse(&argv(&["evaluate", "--model", "m.json"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_and_duplicate_flags() {
+        let err = Cli::parse(&argv(&["search", "--sed", "7"])).unwrap_err();
+        assert!(err.0.contains("unknown flag --sed"), "{}", err.0);
+        assert!(err.0.contains("--seed"), "should list valid flags: {}", err.0);
+        let err = Cli::parse(&argv(&["search", "--seed", "1", "--seed", "2"])).unwrap_err();
+        assert!(err.0.contains("more than once"), "{}", err.0);
+        assert!(Cli::parse(&argv(&["evaluate", "--model", "m", "--csv", "c", "--out", "x"]))
+            .is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_and_report() {
+        let cli = Cli::parse(&argv(&["search", "--telemetry", "/tmp/tel"])).unwrap();
+        match cli.command {
+            Command::Search(a) => assert_eq!(a.telemetry.as_deref(), Some("/tmp/tel")),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = Cli::parse(&argv(&["report", "--dir", "/tmp/tel"])).unwrap();
+        assert_eq!(cli.command, Command::Report(ReportArgs { dir: "/tmp/tel".into() }));
+        assert!(Cli::parse(&argv(&["report"])).is_err());
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Subcommand implementations.
 
-use crate::args::{EvaluateArgs, ResumeArgs, SearchArgs};
+use crate::args::{EvaluateArgs, ReportArgs, ResumeArgs, SearchArgs};
 use agebo_analysis::ConfusionMatrix;
 use agebo_core::evaluation::train_final;
 use agebo_core::{
-    resume_search, run_search, EvalContext, EvalTask, SearchConfig, SearchHistory,
+    resume_search_instrumented, run_search_instrumented, EvalContext, EvalTask, SearchConfig,
+    SearchHistory,
 };
+use agebo_telemetry::{RunEvent, RunSummary, Telemetry, EVENTS_FILE};
 use agebo_nn::serialize::{load_model, save_model};
 use agebo_searchspace::SearchSpace;
 use agebo_tabular::csv::load_csv;
@@ -99,6 +101,28 @@ pub fn info() {
     }
 }
 
+/// Opens the telemetry sink selected by `--telemetry` (or a no-op one).
+fn telemetry_for(dir: &Option<String>) -> Result<Telemetry, CliError> {
+    Ok(match dir {
+        Some(dir) => Telemetry::to_dir(dir)?,
+        None => Telemetry::disabled(),
+    })
+}
+
+/// Flushes the sink and points the user at the artifacts.
+fn finish_telemetry(tel: &Telemetry) -> Result<(), CliError> {
+    tel.flush()?;
+    if let Some(dir) = tel.dir() {
+        println!(
+            "telemetry written to {} ({} events); summarize with `agebo report --dir {}`",
+            dir.display(),
+            tel.n_events(),
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
 /// `agebo search`.
 pub fn search(args: &SearchArgs) -> Result<(), CliError> {
     let ctx = context_for(args)?;
@@ -113,10 +137,16 @@ pub fn search(args: &SearchArgs) -> Result<(), CliError> {
         cfg.workers,
         cfg.wall_time / 60.0
     );
-    let history = run_search(Arc::clone(&ctx), &cfg);
+    let tel = telemetry_for(&args.telemetry)?;
+    let history = run_search_instrumented(Arc::clone(&ctx), &cfg, &tel);
     report(&history);
     if let Some(path) = &args.out {
         std::fs::write(path, serde_json::to_string_pretty(&history)?)?;
+        tel.emit(RunEvent::Checkpoint {
+            sim: history.wall_time,
+            n_records: history.len(),
+            path: path.clone(),
+        });
         println!("history written to {path}");
     }
     if let Some(path) = &args.model_out {
@@ -130,6 +160,7 @@ pub fn search(args: &SearchArgs) -> Result<(), CliError> {
         save_model(&net, path)?;
         println!("model written to {path}");
     }
+    finish_telemetry(&tel)?;
     Ok(())
 }
 
@@ -141,18 +172,38 @@ pub fn resume(args: &ResumeArgs) -> Result<(), CliError> {
     let variant = if checkpoint.label.starts_with("AgEBO") {
         agebo_core::Variant::agebo()
     } else if let Some(n) = checkpoint.label.strip_prefix("AgE-") {
-        agebo_core::Variant::age(n.parse().unwrap_or(1))
+        let n = n.parse().map_err(|_| {
+            format!("cannot recover process count from history label {:?}", checkpoint.label)
+        })?;
+        agebo_core::Variant::age(n)
     } else {
         agebo_core::Variant::agebo()
     };
     let ctx = Arc::new(EvalContext::prepare(args.dataset, args.profile, args.seed));
     let cfg = search_config(args.profile, variant).with_seed(args.seed);
-    let merged = resume_search(Arc::clone(&ctx), &cfg, &checkpoint);
+    let tel = telemetry_for(&args.telemetry)?;
+    let merged = resume_search_instrumented(Arc::clone(&ctx), &cfg, &checkpoint, &tel);
     report(&merged);
     if let Some(path) = &args.out {
         std::fs::write(path, serde_json::to_string_pretty(&merged)?)?;
+        tel.emit(RunEvent::Checkpoint {
+            sim: merged.wall_time,
+            n_records: merged.len(),
+            path: path.clone(),
+        });
         println!("merged history written to {path}");
     }
+    finish_telemetry(&tel)?;
+    Ok(())
+}
+
+/// `agebo report`: summarize a telemetry directory's event log.
+pub fn run_report(args: &ReportArgs) -> Result<(), CliError> {
+    let path = std::path::Path::new(&args.dir);
+    let events = if path.is_dir() { path.join(EVENTS_FILE) } else { path.to_path_buf() };
+    let text = std::fs::read_to_string(&events)
+        .map_err(|e| format!("cannot read {}: {e}", events.display()))?;
+    print!("{}", RunSummary::from_jsonl(&text).render());
     Ok(())
 }
 
@@ -190,6 +241,8 @@ mod tests {
         let hist_path = dir.join("agebo_cli_hist.json");
         let model_path = dir.join("agebo_cli_model.json");
         let csv_path = dir.join("agebo_cli_data.csv");
+        let tel_dir = dir.join("agebo_cli_telemetry");
+        let _ = std::fs::remove_dir_all(&tel_dir);
 
         // Tiny CSV data set.
         let data = TeacherTask {
@@ -216,10 +269,15 @@ mod tests {
             // Small data makes simulated evaluations short; bound the
             // simulated wall clock so the test stays fast.
             wall_minutes: Some(5.0),
+            telemetry: Some(tel_dir.to_string_lossy().into_owned()),
         };
         search(&args).unwrap();
         assert!(hist_path.exists());
         assert!(model_path.exists());
+        // Telemetry artifacts exist and summarize.
+        assert!(tel_dir.join(agebo_telemetry::EVENTS_FILE).exists());
+        assert!(tel_dir.join(agebo_telemetry::METRICS_FILE).exists());
+        run_report(&ReportArgs { dir: tel_dir.to_string_lossy().into_owned() }).unwrap();
 
         // The saved model evaluates on the same CSV.
         evaluate(&EvaluateArgs {
@@ -236,6 +294,7 @@ mod tests {
         for p in [hist_path, model_path, csv_path] {
             std::fs::remove_file(p).ok();
         }
+        std::fs::remove_dir_all(&tel_dir).ok();
     }
 
     #[test]

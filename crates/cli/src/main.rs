@@ -19,6 +19,7 @@ fn main() {
         Command::Search(args) => agebo_cli::commands::search(args),
         Command::Resume(args) => agebo_cli::commands::resume(args),
         Command::Evaluate(args) => agebo_cli::commands::evaluate(args),
+        Command::Report(args) => agebo_cli::commands::run_report(args),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

@@ -100,6 +100,18 @@ pub enum CachePolicy {
     Instant,
 }
 
+impl CachePolicy {
+    /// Stable lowercase name, as used by the CLI flag and the telemetry
+    /// run manifest.
+    pub fn label(self) -> &'static str {
+        match self {
+            CachePolicy::Off => "off",
+            CachePolicy::Replay => "replay",
+            CachePolicy::Instant => "instant",
+        }
+    }
+}
+
 /// Full configuration of one search run.
 #[derive(Debug, Clone)]
 pub struct SearchConfig {

@@ -5,7 +5,10 @@
 //! warmup, plateau reduction) on the prepared data set, and returns the
 //! best validation accuracy — the search objective.
 
-use agebo_dataparallel::{fit_data_parallel, DataParallelConfig, DataParallelHp};
+use agebo_dataparallel::{
+    fit_data_parallel_instrumented, DataParallelConfig, DataParallelHp, TrainerTelemetry,
+};
+use agebo_telemetry::Telemetry;
 use agebo_nn::GraphNet;
 use agebo_searchspace::{ArchVector, SearchSpace};
 use agebo_tabular::{
@@ -118,6 +121,15 @@ pub struct EvalTask {
 
 /// Trains the task's network and returns its best validation accuracy.
 pub fn evaluate(ctx: &EvalContext, task: &EvalTask) -> f64 {
+    evaluate_instrumented(ctx, task, &TrainerTelemetry::register(&Telemetry::disabled()))
+}
+
+/// [`evaluate`] recording per-rank step and allreduce timings on `tt`.
+pub fn evaluate_instrumented(
+    ctx: &EvalContext,
+    task: &EvalTask,
+    tt: &TrainerTelemetry,
+) -> f64 {
     let spec = ctx.space.to_graph(&task.arch);
     let mut stream = Stream::new(task.seed);
     let mut net = GraphNet::new(spec, &mut stream.rng());
@@ -132,7 +144,7 @@ pub fn evaluate(ctx: &EvalContext, task: &EvalTask) -> f64 {
         weight_decay: 0.0,
         grad_clip: None,
     };
-    let report = fit_data_parallel(&mut net, &ctx.train, &ctx.valid, &cfg);
+    let report = fit_data_parallel_instrumented(&mut net, &ctx.train, &ctx.valid, &cfg, tt);
     report.best_val_acc
 }
 
@@ -153,7 +165,13 @@ pub fn train_final(ctx: &EvalContext, task: &EvalTask) -> (GraphNet, f64) {
         weight_decay: 0.0,
         grad_clip: None,
     };
-    let report = fit_data_parallel(&mut net, &ctx.train, &ctx.valid, &cfg);
+    let report = fit_data_parallel_instrumented(
+        &mut net,
+        &ctx.train,
+        &ctx.valid,
+        &cfg,
+        &TrainerTelemetry::register(&Telemetry::disabled()),
+    );
     (net, report.best_val_acc)
 }
 
@@ -165,6 +183,22 @@ pub fn evaluate_with_faults(
     ctx: &EvalContext,
     task: &EvalTask,
     failure_rate: f64,
+) -> Option<f64> {
+    evaluate_with_faults_instrumented(
+        ctx,
+        task,
+        failure_rate,
+        &TrainerTelemetry::register(&Telemetry::disabled()),
+    )
+}
+
+/// [`evaluate_with_faults`] recording training timings on `tt` (cache hits
+/// and faults skip training and record nothing).
+pub fn evaluate_with_faults_instrumented(
+    ctx: &EvalContext,
+    task: &EvalTask,
+    failure_rate: f64,
+    tt: &TrainerTelemetry,
 ) -> Option<f64> {
     if failure_rate > 0.0 {
         let draw = Stream::new(task.seed).labeled(0xFA11) as f64
@@ -180,7 +214,7 @@ pub fn evaluate_with_faults(
     if let Some(objective) = task.cached {
         return Some(objective);
     }
-    Some(evaluate(ctx, task))
+    Some(evaluate_instrumented(ctx, task, tt))
 }
 
 /// Random architecture/HP seeds derived per evaluation id.

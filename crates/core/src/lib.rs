@@ -44,7 +44,11 @@ pub mod population;
 pub mod search;
 
 pub use config::{CachePolicy, SearchConfig, Variant};
-pub use evaluation::{content_seed, evaluate, EvalContext, EvalTask};
+pub use evaluation::{
+    content_seed, evaluate, evaluate_instrumented, EvalContext, EvalTask,
+};
 pub use history::{EvalRecord, SearchHistory};
 pub use population::{Member, Population};
-pub use search::{resume_search, run_search};
+pub use search::{
+    resume_search, resume_search_instrumented, run_search, run_search_instrumented,
+};

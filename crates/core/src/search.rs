@@ -14,13 +14,17 @@
 //! 6. submit and repeat until the simulated wall time is exhausted.
 
 use crate::config::{CachePolicy, SearchConfig, Variant};
-use crate::evaluation::{component_rng, content_seed, evaluate_with_faults, EvalContext, EvalTask};
+use crate::evaluation::{
+    component_rng, content_seed, evaluate_with_faults_instrumented, EvalContext, EvalTask,
+};
+use agebo_dataparallel::TrainerTelemetry;
 use crate::history::{EvalRecord, SearchHistory};
 use crate::population::{Member, Population};
 use agebo_bo::{BoConfig, BoOptimizer, HpPoint, Space};
 use agebo_dataparallel::DataParallelHp;
 use agebo_scheduler::Evaluator;
 use agebo_searchspace::ArchVector;
+use agebo_telemetry::{Counter, Gauge, RunEvent, SpanStats, Telemetry, SCHEMA_VERSION};
 use agebo_tensor::Stream;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -31,9 +35,56 @@ fn hp_of_point(p: &HpPoint) -> DataParallelHp {
 }
 
 /// Converts training hyperparameters back into a BO point, clamping the
-/// f32→f64 learning rate into the space bounds.
-fn point_of_hp(hp: DataParallelHp) -> HpPoint {
-    vec![hp.bs1 as f64, (hp.lr1 as f64).clamp(0.001, 0.1), hp.n as f64]
+/// f32→f64 learning rate into the space bounds. A clamp that actually
+/// changes the value means the caller fed an out-of-space learning rate
+/// to the surrogate; it is counted on `lr_clamped` rather than silently
+/// swallowed.
+fn point_of_hp(hp: DataParallelHp, lr_clamped: &Counter) -> HpPoint {
+    let lr = hp.lr1 as f64;
+    debug_assert!(lr.is_finite(), "non-finite lr1 {lr} fed to point_of_hp");
+    let clamped = lr.clamp(0.001, 0.1);
+    if clamped != lr {
+        lr_clamped.inc();
+    }
+    vec![hp.bs1 as f64, clamped, hp.n as f64]
+}
+
+/// Pre-registered manager-loop metrics.
+struct SearchTelemetry {
+    /// `search_lr_clamped_total`: out-of-space learning rates clamped by
+    /// [`point_of_hp`].
+    lr_clamped: Arc<Counter>,
+    /// `search_evals_submitted_total`.
+    submitted: Arc<Counter>,
+    /// `search_evals_finished_total` (recorded evaluations).
+    finished: Arc<Counter>,
+    /// `search_evals_failed_total` (faulted, resubmitted).
+    failed: Arc<Counter>,
+    /// `search_cache_hits_total` (served from the duplicate memo-cache).
+    cache_hits: Arc<Counter>,
+    /// `search_best_objective`: best validation accuracy so far.
+    best: Arc<Gauge>,
+    /// `search_utilization`: simulated-cluster busy fraction.
+    utilization: Arc<Gauge>,
+    /// Dual-clock spans around `optimizer.ask` / `optimizer.tell`.
+    bo_ask: SpanStats,
+    bo_tell: SpanStats,
+}
+
+impl SearchTelemetry {
+    fn register(tel: &Telemetry) -> Self {
+        SearchTelemetry {
+            lr_clamped: tel.registry().counter("search_lr_clamped_total"),
+            submitted: tel.registry().counter("search_evals_submitted_total"),
+            finished: tel.registry().counter("search_evals_finished_total"),
+            failed: tel.registry().counter("search_evals_failed_total"),
+            cache_hits: tel.registry().counter("search_cache_hits_total"),
+            best: tel.registry().gauge("search_best_objective"),
+            utilization: tel.registry().gauge("search_utilization"),
+            bo_ask: SpanStats::register(tel, "bo_ask"),
+            bo_tell: SpanStats::register(tel, "bo_tell"),
+        }
+    }
 }
 
 /// Runs one search and returns its history.
@@ -42,7 +93,22 @@ fn point_of_hp(hp: DataParallelHp) -> HpPoint {
 /// the clock and utilization follow the paper-scale simulated durations
 /// from `cfg.cost`.
 pub fn run_search(ctx: Arc<EvalContext>, cfg: &SearchConfig) -> SearchHistory {
-    run_search_with_state(ctx, cfg, None)
+    run_search_with_state(ctx, cfg, None, &Telemetry::disabled())
+}
+
+/// [`run_search`] with observability: the manager loop emits the
+/// structured run-event stream on `tel` and records its metrics
+/// (counters, BO spans, scheduler queue stats) on `tel`'s registry.
+///
+/// Events are emitted only from the manager thread, in loop order, so
+/// their *content* is deterministic for a seeded config — two runs
+/// differ only in the envelope's wall-clock field.
+pub fn run_search_instrumented(
+    ctx: Arc<EvalContext>,
+    cfg: &SearchConfig,
+    tel: &Telemetry,
+) -> SearchHistory {
+    run_search_with_state(ctx, cfg, None, tel)
 }
 
 /// Resumes a search from a previous run's history.
@@ -59,17 +125,41 @@ pub fn resume_search(
     cfg: &SearchConfig,
     checkpoint: &SearchHistory,
 ) -> SearchHistory {
-    run_search_with_state(ctx, cfg, Some(checkpoint))
+    run_search_with_state(ctx, cfg, Some(checkpoint), &Telemetry::disabled())
+}
+
+/// [`resume_search`] with observability; see [`run_search_instrumented`].
+pub fn resume_search_instrumented(
+    ctx: Arc<EvalContext>,
+    cfg: &SearchConfig,
+    checkpoint: &SearchHistory,
+    tel: &Telemetry,
+) -> SearchHistory {
+    run_search_with_state(ctx, cfg, Some(checkpoint), tel)
 }
 
 fn run_search_with_state(
     ctx: Arc<EvalContext>,
     cfg: &SearchConfig,
     warm: Option<&SearchHistory>,
+    tel: &Telemetry,
 ) -> SearchHistory {
     assert!(cfg.workers >= 1 && cfg.population >= 1 && cfg.sample_size >= 1);
     let stream = Stream::new(cfg.seed);
     let mut arch_rng = component_rng(cfg.seed, 1);
+
+    let stel = SearchTelemetry::register(tel);
+    tel.emit(RunEvent::RunManifest {
+        schema: SCHEMA_VERSION,
+        label: cfg.variant.label(),
+        dataset: ctx.meta.name.to_string(),
+        seed: cfg.seed,
+        workers: cfg.workers,
+        population: cfg.population,
+        wall_time_budget: cfg.wall_time,
+        cache_policy: cfg.cache.label().to_string(),
+        resumed: warm.is_some(),
+    });
 
     let mut bo = match &cfg.variant {
         Variant::Age { .. } | Variant::RandomSearch => None,
@@ -89,10 +179,15 @@ fn run_search_with_state(
 
     let worker_ctx = Arc::clone(&ctx);
     let failure_rate = cfg.failure_rate;
+    // Clone of the (atomic-handle) trainer telemetry moves into the
+    // worker closure: worker threads record only metrics, never events,
+    // keeping the event stream deterministic.
+    let worker_tt = TrainerTelemetry::register(tel);
     let mut evaluator: Evaluator<EvalTask, Option<f64>> =
         Evaluator::new(cfg.workers, cfg.n_threads.max(1), move |task| {
-            evaluate_with_faults(&worker_ctx, task, failure_rate)
+            evaluate_with_faults_instrumented(&worker_ctx, task, failure_rate, &worker_tt)
         });
+    evaluator.attach_telemetry(tel);
 
     let mut population = Population::new(cfg.population);
     // id -> (arch, hp, submitted_at, cache_hit)
@@ -124,7 +219,8 @@ fn run_search_with_state(
             population.push(Member { arch: r.arch.clone(), accuracy: r.objective });
         }
         if let Some(bo) = &mut bo {
-            let xs: Vec<HpPoint> = sorted.iter().map(|r| point_of_hp(r.hp)).collect();
+            let xs: Vec<HpPoint> =
+                sorted.iter().map(|r| point_of_hp(r.hp, &stel.lr_clamped)).collect();
             let ys: Vec<f64> = sorted.iter().map(|r| r.objective).collect();
             if !xs.is_empty() {
                 bo.tell(&xs, &ys);
@@ -170,8 +266,23 @@ fn run_search_with_state(
             (Some(_), CachePolicy::Instant) => INSTANT_HIT_SECONDS,
             _ => modeled,
         };
-        let id = evaluator
-            .submit_evaluation(EvalTask { arch: arch.clone(), hp, seed, cached }, duration);
+        let (id, placement) = evaluator
+            .submit_evaluation_traced(EvalTask { arch: arch.clone(), hp, seed, cached }, duration);
+        stel.submitted.inc();
+        tel.emit(RunEvent::EvalSubmitted {
+            id,
+            sim: submitted_at,
+            bs1: hp.bs1,
+            lr1: hp.lr1,
+            n: hp.n,
+            modeled_duration: modeled,
+            cache_hit: cached.is_some(),
+            arch: arch.0.clone(),
+        });
+        if let Some(objective) = cached {
+            tel.emit(RunEvent::EvalCacheHit { id, sim: submitted_at, objective });
+        }
+        tel.emit(RunEvent::EvalStarted { id, sim: placement.start });
         pending.insert(id, (arch, hp, submitted_at, cached.is_some()));
     };
 
@@ -181,7 +292,13 @@ fn run_search_with_state(
     } else {
         match (&static_hp, &mut bo) {
             (Some(hp), _) => vec![*hp; cfg.workers],
-            (None, Some(bo)) => bo.ask(cfg.workers).iter().map(hp_of_point).collect(),
+            (None, Some(bo)) => {
+                let span = stel.bo_ask.start(evaluator.now());
+                let points = bo.ask(cfg.workers);
+                span.end(evaluator.now());
+                tel.emit(RunEvent::BoAsk { sim: evaluator.now(), n_points: cfg.workers });
+                points.iter().map(hp_of_point).collect()
+            }
             _ => unreachable!("variant has either static or BO hyperparameters"),
         }
     };
@@ -211,6 +328,7 @@ fn run_search_with_state(
                         }
                         if cache_hit {
                             n_cache_hits += 1;
+                            stel.cache_hits.inc();
                         }
                         records.push(EvalRecord {
                             id: f.id,
@@ -222,17 +340,42 @@ fn run_search_with_state(
                             duration: f.duration,
                             cache_hit,
                         });
+                        stel.finished.inc();
+                        if objective > stel.best.get() {
+                            stel.best.set(objective);
+                        }
+                        tel.emit(RunEvent::EvalFinished {
+                            id: f.id,
+                            sim: f.finished_at,
+                            duration: f.duration,
+                            objective,
+                            cache_hit,
+                        });
                         population.push(Member { arch, accuracy: objective });
-                        batch_x.push(point_of_hp(hp));
+                        tel.emit(RunEvent::PopulationReplaced {
+                            sim: f.finished_at,
+                            eval_id: f.id,
+                            size: population.len(),
+                            full: population.is_full(),
+                        });
+                        batch_x.push(point_of_hp(hp, &stel.lr_clamped));
                         batch_y.push(objective);
                     }
-                    None => n_failed += 1, // crash: resubmit, don't record
+                    None => {
+                        // Crash: resubmit, don't record.
+                        n_failed += 1;
+                        stel.failed.inc();
+                        tel.emit(RunEvent::EvalFault { id: f.id, sim: f.finished_at });
+                    }
                 }
             }
         }
         if let Some(bo) = &mut bo {
             if !batch_x.is_empty() {
+                let span = stel.bo_tell.start(evaluator.now());
                 bo.tell(&batch_x, &batch_y);
+                span.end(evaluator.now());
+                tel.emit(RunEvent::BoTell { sim: evaluator.now(), n_points: batch_x.len() });
             }
         }
         if evaluator.now() >= cfg.wall_time || n_replace == 0 {
@@ -244,7 +387,13 @@ fn run_search_with_state(
         } else {
             match (&static_hp, &mut bo) {
                 (Some(hp), _) => vec![*hp; n_replace],
-                (None, Some(bo)) => bo.ask(n_replace).iter().map(hp_of_point).collect(),
+                (None, Some(bo)) => {
+                    let span = stel.bo_ask.start(evaluator.now());
+                    let points = bo.ask(n_replace);
+                    span.end(evaluator.now());
+                    tel.emit(RunEvent::BoAsk { sim: evaluator.now(), n_points: n_replace });
+                    points.iter().map(hp_of_point).collect()
+                }
                 _ => unreachable!(),
             }
         };
@@ -266,6 +415,7 @@ fn run_search_with_state(
     }
 
     let utilization = evaluator.utilization();
+    stel.utilization.set(utilization);
     match warm {
         None => SearchHistory {
             label: cfg.variant.label(),
@@ -461,11 +611,51 @@ mod tests {
 
     #[test]
     fn hp_point_roundtrip() {
+        let clamps = Counter::default();
         let hp = DataParallelHp { lr1: 0.0123, bs1: 512, n: 4 };
-        let p = point_of_hp(hp);
+        let p = point_of_hp(hp, &clamps);
         let back = hp_of_point(&p);
         assert_eq!(back.bs1, 512);
         assert_eq!(back.n, 4);
         assert!((back.lr1 - 0.0123).abs() < 1e-6);
+        assert_eq!(clamps.get(), 0, "in-space lr must not count as clamped");
+    }
+
+    #[test]
+    fn out_of_space_lr_is_clamped_and_counted() {
+        let clamps = Counter::default();
+        let high = point_of_hp(DataParallelHp { lr1: 0.5, bs1: 256, n: 1 }, &clamps);
+        assert_eq!(high[1], 0.1);
+        let low = point_of_hp(DataParallelHp { lr1: 1e-5, bs1: 256, n: 1 }, &clamps);
+        assert_eq!(low[1], 0.001);
+        assert_eq!(clamps.get(), 2);
+    }
+
+    #[test]
+    fn instrumented_search_emits_deterministic_stream() {
+        use agebo_telemetry::mask_wall_clock;
+        let cfg = SearchConfig::test(Variant::agebo()).with_seed(4);
+        let t1 = Telemetry::in_memory();
+        let t2 = Telemetry::in_memory();
+        let a = run_search_instrumented(ctx(), &cfg, &t1);
+        let b = run_search_instrumented(ctx(), &cfg, &t2);
+        assert_eq!(a.len(), b.len());
+        let s1 = mask_wall_clock(&t1.events_jsonl().unwrap());
+        let s2 = mask_wall_clock(&t2.events_jsonl().unwrap());
+        assert!(!s1.is_empty());
+        assert_eq!(s1, s2, "same-seed event streams must match modulo wall clock");
+        assert!(s1.contains("\"type\":\"run_manifest\""));
+        assert!(s1.contains("\"type\":\"eval_submitted\""));
+        assert!(s1.contains("\"type\":\"eval_finished\""));
+        assert!(s1.contains("\"type\":\"bo_ask\""));
+        // Metrics agree with the history the run returned.
+        let snap = t1.registry().snapshot();
+        assert_eq!(snap.counters["search_evals_finished_total"] as usize, a.len());
+        assert!(snap.gauges["search_utilization"] > 0.0);
+        let best = a.best_so_far().last().map(|&(_, b)| b).unwrap_or(0.0);
+        assert!((snap.gauges["search_best_objective"] - best).abs() < 1e-12);
+        // The disabled path records nothing but behaves identically.
+        let plain = run_search(ctx(), &cfg);
+        assert_eq!(plain.len(), a.len());
     }
 }

@@ -30,4 +30,6 @@ pub use allreduce::{average_gradients, RingAllreduceModel};
 pub use cost::TrainingCostModel;
 pub use hierarchical::{multinode_expected_seconds, HierarchicalAllreduceModel};
 pub use scaling::DataParallelHp;
-pub use trainer::{fit_data_parallel, DataParallelConfig};
+pub use trainer::{
+    fit_data_parallel, fit_data_parallel_instrumented, DataParallelConfig, TrainerTelemetry,
+};

@@ -9,12 +9,48 @@
 use crate::scaling::DataParallelHp;
 use crate::shard::make_shards;
 use agebo_nn::{Adam, GradientBuffer, GraphNet, LrSchedule, TrainReport, Workspace};
+use agebo_telemetry::{Counter, SpanStats, Telemetry};
 use agebo_tensor::Matrix;
 use agebo_tabular::Dataset;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Pre-registered metrics for the data-parallel training loop.
+///
+/// Clone handles are cheap (`Arc`s); a clone can be moved into the
+/// evaluator's worker closure so every concurrent training records into
+/// the same registry. Recording is atomics-only — per-rank step spans
+/// run inside rayon tasks without locks or allocation, and wall-clock
+/// durations land in the metrics registry, never in the (deterministic)
+/// event stream.
+#[derive(Clone)]
+pub struct TrainerTelemetry {
+    /// Span `dp_rank_step`: wall-clock duration of one rank's gradient
+    /// computation within a global step.
+    pub rank_step: SpanStats,
+    /// Span `dp_allreduce`: wall-clock duration of the gradient
+    /// averaging + optimizer update.
+    pub allreduce: SpanStats,
+    /// Counter `dp_steps_total`: global synchronous steps taken.
+    pub steps: Arc<Counter>,
+    /// Counter `dp_epochs_total`.
+    pub epochs: Arc<Counter>,
+}
+
+impl TrainerTelemetry {
+    /// Registers the trainer metrics on `tel`'s registry.
+    pub fn register(tel: &Telemetry) -> Self {
+        TrainerTelemetry {
+            rank_step: SpanStats::register(tel, "dp_rank_step"),
+            allreduce: SpanStats::register(tel, "dp_allreduce"),
+            steps: tel.registry().counter("dp_steps_total"),
+            epochs: tel.registry().counter("dp_epochs_total"),
+        }
+    }
+}
 
 /// Configuration of a data-parallel training run.
 #[derive(Debug, Clone)]
@@ -83,6 +119,20 @@ pub fn fit_data_parallel(
     valid: &Dataset,
     cfg: &DataParallelConfig,
 ) -> TrainReport {
+    let tt = TrainerTelemetry::register(&Telemetry::disabled());
+    fit_data_parallel_instrumented(net, train, valid, cfg, &tt)
+}
+
+/// [`fit_data_parallel`] with observability: per-rank step and allreduce
+/// wall-clock spans plus step/epoch counters recorded on pre-registered
+/// handles (see [`TrainerTelemetry`]).
+pub fn fit_data_parallel_instrumented(
+    net: &mut GraphNet,
+    train: &Dataset,
+    valid: &Dataset,
+    cfg: &DataParallelConfig,
+    tt: &TrainerTelemetry,
+) -> TrainReport {
     cfg.hp.validate();
     assert!(cfg.epochs > 0);
     let n = cfg.hp.n;
@@ -145,6 +195,7 @@ pub fn fit_data_parallel(
                 .par_iter_mut()
                 .zip(shards.par_iter())
                 .for_each(|(st, shard)| {
+                    let span = tt.rank_step.start(0.0);
                     let cs = bs1.min(shard.len()).max(1);
                     let start = step * cs;
                     let end = (start + cs).min(st.order.len());
@@ -158,12 +209,14 @@ pub fn fit_data_parallel(
                         &mut st.ws,
                         &mut st.grads,
                     );
+                    span.end_wall_only();
                 });
             let mean_loss: f32 =
                 rank_states.iter().map(|st| st.loss).sum::<f32>() / n as f32;
             // In-place allreduce into rank 0's buffer, replicating the
             // floating-point addition order of `average_gradients` (which
             // swap-removes index 0, so rank n−1 is added first).
+            let allreduce_span = tt.allreduce.start(0.0);
             let (first, rest) = rank_states.split_at_mut(1);
             let grads = &mut first[0].grads;
             if let Some((last, middle)) = rest.split_last() {
@@ -177,6 +230,8 @@ pub fn fit_data_parallel(
                 grads.clip_global_norm(max_norm);
             }
             adam.step_with(net, grads, lr, cfg.weight_decay);
+            allreduce_span.end_wall_only();
+            tt.steps.inc();
             epoch_loss += mean_loss;
         }
         let eval_ws = &mut rank_states[0].ws;
@@ -185,6 +240,7 @@ pub fn fit_data_parallel(
         train_loss.push(epoch_loss / steps as f32);
         val_acc.push(va);
         val_loss.push(vl);
+        tt.epochs.inc();
     }
     TrainReport::new(train_loss, val_acc, val_loss)
 }
@@ -303,5 +359,27 @@ mod tests {
         let ra = fit_data_parallel(&mut a, &train, &valid, &cfg);
         let rb = fit_data_parallel(&mut b, &train, &valid, &cfg);
         assert_eq!(ra.val_acc, rb.val_acc);
+    }
+
+    #[test]
+    fn instrumented_training_records_step_and_epoch_metrics() {
+        let (train, valid) = task(400);
+        let mut net = GraphNet::new(spec(), &mut StdRng::seed_from_u64(3));
+        let cfg = DataParallelConfig {
+            epochs: 2,
+            hp: DataParallelHp { lr1: 0.01, bs1: 64, n: 2 },
+            ..DataParallelConfig::paper(DataParallelHp::paper_default(2))
+        };
+        let tel = Telemetry::in_memory();
+        let tt = TrainerTelemetry::register(&tel);
+        fit_data_parallel_instrumented(&mut net, &train, &valid, &cfg, &tt);
+        assert_eq!(tt.epochs.get(), 2);
+        let steps = tt.steps.get();
+        assert!(steps > 0);
+        // Every global step runs one rank-step span per rank plus one
+        // allreduce span.
+        assert_eq!(tt.rank_step.total().get(), steps * 2);
+        assert_eq!(tt.rank_step.wall().count(), steps * 2);
+        assert_eq!(tt.allreduce.total().get(), steps);
     }
 }

@@ -26,5 +26,5 @@ pub use adam::Adam;
 pub use graph::{GradientBuffer, GraphNet, GraphSpec, NodeSpec};
 pub use schedule::{LrSchedule, PlateauReducer};
 pub use serialize::{load_model, save_model, SavedModel};
-pub use train::{fit, TrainConfig, TrainReport};
+pub use train::{fit, fit_instrumented, FitTelemetry, TrainConfig, TrainReport};
 pub use workspace::Workspace;

@@ -104,6 +104,13 @@ impl LrSchedule {
     pub fn observe(&mut self, value: f32) {
         self.plateau.observe(value);
     }
+
+    /// Current plateau scale (1.0 until the first reduction). Comparing
+    /// the scale across [`LrSchedule::observe`] calls detects reduction
+    /// events without peeking into the controller.
+    pub fn scale(&self) -> f32 {
+        self.plateau.scale()
+    }
 }
 
 #[cfg(test)]

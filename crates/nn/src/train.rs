@@ -6,10 +6,51 @@ use crate::adam::Adam;
 use crate::graph::{GradientBuffer, GraphNet};
 use crate::schedule::LrSchedule;
 use agebo_tabular::Dataset;
+use agebo_telemetry::{Counter, Gauge, SpanStats, Telemetry};
 use agebo_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Pre-registered metrics for the single-process training loop.
+///
+/// Register once (allocates the handles), then every recording inside
+/// [`fit_instrumented`] is a few atomic operations with no heap
+/// allocation — cheap enough for the zero-allocation hot path pinned by
+/// `tests/alloc_discipline.rs`.
+#[derive(Clone)]
+pub struct FitTelemetry {
+    /// Span `fit_step`: wall-clock duration of one optimizer step.
+    pub step: SpanStats,
+    /// Gauge `fit_lr`: learning rate of the current epoch.
+    pub lr: Arc<Gauge>,
+    /// Gauge `fit_epoch_train_loss`: mean training loss, last epoch.
+    pub epoch_train_loss: Arc<Gauge>,
+    /// Gauge `fit_epoch_val_acc`: validation accuracy, last epoch.
+    pub epoch_val_acc: Arc<Gauge>,
+    /// Gauge `fit_epoch_val_loss`: validation loss, last epoch.
+    pub epoch_val_loss: Arc<Gauge>,
+    /// Counter `fit_lr_reductions_total`: plateau reductions fired.
+    pub lr_reductions: Arc<Counter>,
+    /// Counter `fit_epochs_total`.
+    pub epochs: Arc<Counter>,
+}
+
+impl FitTelemetry {
+    /// Registers the training-loop metrics on `tel`'s registry.
+    pub fn register(tel: &Telemetry) -> Self {
+        FitTelemetry {
+            step: SpanStats::register(tel, "fit_step"),
+            lr: tel.registry().gauge("fit_lr"),
+            epoch_train_loss: tel.registry().gauge("fit_epoch_train_loss"),
+            epoch_val_acc: tel.registry().gauge("fit_epoch_val_acc"),
+            epoch_val_loss: tel.registry().gauge("fit_epoch_val_loss"),
+            lr_reductions: tel.registry().counter("fit_lr_reductions_total"),
+            epochs: tel.registry().counter("fit_epochs_total"),
+        }
+    }
+}
 
 /// Configuration of a training run.
 #[derive(Debug, Clone)]
@@ -107,6 +148,19 @@ pub fn fit(
     valid: &Dataset,
     cfg: &TrainConfig,
 ) -> TrainReport {
+    fit_instrumented(net, train, valid, cfg, &FitTelemetry::register(&Telemetry::disabled()))
+}
+
+/// [`fit`] with observability: epoch loss/accuracy gauges, the learning
+/// rate and its plateau-reduction events, and per-step wall-clock spans
+/// recorded on pre-registered handles (see [`FitTelemetry`]).
+pub fn fit_instrumented(
+    net: &mut GraphNet,
+    train: &Dataset,
+    valid: &Dataset,
+    cfg: &TrainConfig,
+    ft: &FitTelemetry,
+) -> TrainReport {
     assert!(cfg.epochs > 0 && cfg.batch_size > 0);
     let mut adam = Adam::new(net);
     let mut schedule = LrSchedule::new(
@@ -131,6 +185,7 @@ pub fn fit(
 
     for epoch in 0..cfg.epochs {
         let lr = schedule.lr_for_epoch(epoch);
+        ft.lr.set(lr as f64);
         let mut epoch_loss = 0.0f32;
         // Same batch composition as `epoch_batches`: reset to the identity
         // permutation before shuffling so the RNG call sequence (and thus
@@ -141,6 +196,7 @@ pub fn fit(
         order.shuffle(&mut rng);
         let n_batches = order.chunks(bs).len().max(1);
         for batch in order.chunks(bs) {
+            let span = ft.step.start(0.0);
             train.x.gather_rows_into(batch, &mut xbuf);
             ybuf.clear();
             ybuf.extend(batch.iter().map(|&i| train.y[i]));
@@ -150,9 +206,18 @@ pub fn fit(
             }
             adam.step_with(net, &grads, lr, cfg.weight_decay);
             epoch_loss += loss;
+            span.end_wall_only();
         }
         let (vl, va) = net.evaluate_with(&valid.x, &valid.y, &mut ws);
+        let scale_before = schedule.scale();
         schedule.observe(vl);
+        if schedule.scale() < scale_before {
+            ft.lr_reductions.inc();
+        }
+        ft.epoch_train_loss.set(f64::from(epoch_loss / n_batches as f32));
+        ft.epoch_val_acc.set(va);
+        ft.epoch_val_loss.set(f64::from(vl));
+        ft.epochs.inc();
         train_loss.push(epoch_loss / n_batches as f32);
         val_acc.push(va);
         val_loss.push(vl);
@@ -219,6 +284,26 @@ mod tests {
         let rb = fit(&mut b, &train, &valid, &cfg);
         assert_eq!(ra.val_acc, rb.val_acc);
         assert_eq!(ra.train_loss, rb.train_loss);
+    }
+
+    #[test]
+    fn instrumented_fit_records_epochs_steps_and_lr() {
+        let (train, valid) = small_task();
+        let spec = GraphSpec::mlp(8, &[(16, Activation::Relu)], 3);
+        let mut net = GraphNet::new(spec, &mut StdRng::seed_from_u64(7));
+        let cfg = TrainConfig { epochs: 4, batch_size: 64, ..TrainConfig::paper_default() };
+        let tel = Telemetry::in_memory();
+        let ft = FitTelemetry::register(&tel);
+        let report = fit_instrumented(&mut net, &train, &valid, &cfg, &ft);
+        assert_eq!(ft.epochs.get(), 4);
+        // One step span per batch: 4 epochs × ⌈rows/64⌉ batches.
+        let batches_per_epoch = train.len().div_ceil(64) as u64;
+        assert_eq!(ft.step.total().get(), 4 * batches_per_epoch);
+        // The lr gauge holds the last epoch's rate (flat at `lr` here since
+        // `lr_start == lr` and no plateau reduction fires in 4 epochs).
+        assert!((ft.lr.get() - f64::from(cfg.lr)).abs() < 1e-9);
+        // Epoch gauges hold the final epoch's values.
+        assert!((ft.epoch_val_acc.get() - report.val_acc[3]).abs() < 1e-12);
     }
 
     #[test]

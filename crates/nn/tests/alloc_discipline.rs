@@ -8,6 +8,7 @@
 //! `Vec` allocation fails this binary.
 
 use agebo_nn::{Activation, Adam, GradientBuffer, GraphNet, GraphSpec};
+use agebo_telemetry::{Histogram, SpanStats, Telemetry};
 use agebo_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -100,6 +101,16 @@ fn steady_state_training_step_does_not_allocate() {
     let mut xbuf = Matrix::default();
     let mut ybuf: Vec<usize> = Vec::with_capacity(bs);
 
+    // Telemetry handles register (and allocate) once, before arming;
+    // recording on them afterwards must be allocation-free — the
+    // lock-free-metrics contract of the telemetry crate.
+    let tel = Telemetry::in_memory();
+    let steps = tel.registry().counter("alloc_test_steps_total");
+    let loss_gauge = tel.registry().gauge("alloc_test_loss");
+    let loss_hist =
+        tel.registry().histogram("alloc_test_loss_hist", &Histogram::seconds_bounds());
+    let step_span = SpanStats::register(&tel, "alloc_test_step");
+
     // Warmup epoch: sizes every buffer (including the workspace growth to
     // the validation-set row count) and fills Adam's moment buffers.
     order.shuffle(&mut rng);
@@ -121,9 +132,15 @@ fn steady_state_training_step_does_not_allocate() {
         }
         order.shuffle(&mut rng);
         for batch in order.chunks(bs) {
-            total_loss += train_step(
+            let span = step_span.start(0.0);
+            let loss = train_step(
                 &mut net, &x, &y, batch, &mut xbuf, &mut ybuf, &mut ws, &mut grads, &mut adam,
             );
+            span.end_wall_only();
+            steps.inc();
+            loss_gauge.set(f64::from(loss));
+            loss_hist.record(f64::from(loss));
+            total_loss += loss;
         }
         let (vl, _) = net.evaluate_with(&x_valid, &y_valid, &mut ws);
         total_loss += vl;
@@ -134,6 +151,9 @@ fn steady_state_training_step_does_not_allocate() {
     assert!(total_loss.is_finite());
     assert_eq!(
         counted, 0,
-        "steady-state training performed {counted} heap allocations"
+        "steady-state training (with telemetry recording) performed {counted} heap allocations"
     );
+    assert_eq!(steps.get(), 3 * (n_rows as u64).div_ceil(bs as u64));
+    assert_eq!(step_span.wall().count(), steps.get());
+    assert_eq!(loss_hist.count(), steps.get());
 }

@@ -1,7 +1,8 @@
 //! The evaluator: real computation on worker threads, delivery in
 //! simulated-time order.
 
-use crate::des::SimQueue;
+use crate::des::{Placement, SimQueue};
+use agebo_telemetry::Telemetry;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
@@ -12,6 +13,8 @@ use std::thread::JoinHandle;
 pub struct Finished<R> {
     /// The id returned by `submit_evaluation`.
     pub id: u64,
+    /// Simulated start time on its worker slot.
+    pub started_at: f64,
     /// Simulated completion time (seconds since search start).
     pub finished_at: f64,
     /// Simulated duration of the evaluation.
@@ -32,7 +35,7 @@ pub struct Evaluator<T: Send + 'static, R: Send + 'static> {
     task_tx: Sender<(u64, T)>,
     result_rx: Receiver<(u64, R)>,
     ready: HashMap<u64, R>,
-    durations: HashMap<u64, (f64, f64)>, // id -> (finish, duration)
+    durations: HashMap<u64, (f64, f64, f64)>, // id -> (start, finish, duration)
     outstanding: usize,
     next_id: u64,
     threads: Vec<JoinHandle<()>>,
@@ -79,17 +82,29 @@ impl<T: Send + 'static, R: Send + 'static> Evaluator<T, R> {
         }
     }
 
+    /// Registers the underlying queue's metrics (depth gauge,
+    /// wait/latency histograms, per-worker busy gauges) on `tel`.
+    pub fn attach_telemetry(&mut self, tel: &Telemetry) {
+        self.sim.attach_telemetry(tel);
+    }
+
     /// Nonblocking submission (the paper's `submit_evaluation`):
     /// dispatches `task` to the compute pool and schedules its completion
     /// at `now + queueing + duration` on the simulated cluster.
     pub fn submit_evaluation(&mut self, task: T, duration: f64) -> u64 {
+        self.submit_evaluation_traced(task, duration).0
+    }
+
+    /// Like [`Evaluator::submit_evaluation`], also reporting where and
+    /// when the evaluation was scheduled.
+    pub fn submit_evaluation_traced(&mut self, task: T, duration: f64) -> (u64, Placement) {
         let id = self.next_id;
         self.next_id += 1;
-        let finish = self.sim.submit(id, duration);
-        self.durations.insert(id, (finish, duration));
+        let placement = self.sim.submit_traced(id, duration);
+        self.durations.insert(id, (placement.start, placement.finish, duration));
         self.outstanding += 1;
         self.task_tx.send((id, task)).expect("worker pool alive");
-        id
+        (id, placement)
     }
 
     /// Blocks until at least one evaluation completes in simulated time and
@@ -100,9 +115,10 @@ impl<T: Send + 'static, R: Send + 'static> Evaluator<T, R> {
         ids.into_iter()
             .map(|id| {
                 let result = self.wait_for(id);
-                let (finished_at, duration) = self.durations.remove(&id).expect("known id");
+                let (started_at, finished_at, duration) =
+                    self.durations.remove(&id).expect("known id");
                 self.outstanding -= 1;
-                Finished { id, finished_at, duration, result }
+                Finished { id, started_at, finished_at, duration, result }
             })
             .collect()
     }

@@ -21,5 +21,5 @@
 pub mod des;
 pub mod evaluator;
 
-pub use des::SimQueue;
+pub use des::{Placement, SimQueue};
 pub use evaluator::{Evaluator, Finished};

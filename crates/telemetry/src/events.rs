@@ -1,0 +1,441 @@
+//! The structured run-event log: a stable, versioned schema for
+//! everything a search run does.
+//!
+//! Events are written as JSON Lines — one [`Envelope`] per line, each
+//! carrying a monotone sequence number, a wall-clock timestamp
+//! (`wall_ms`, milliseconds since the Unix epoch) and the tagged
+//! [`RunEvent`]. Every field except `wall_ms` is deterministic for a
+//! seeded run: simulated times come from the discrete-event scheduler,
+//! ids from submission order. [`mask_wall_clock`] canonicalizes a stream
+//! for byte-exact comparison in golden and determinism tests.
+//!
+//! Serialization goes through the crate's own [`crate::json`] codec
+//! (the vendored `serde_json` is a typecheck-only stub), with a flat
+//! layout and a `"type"` tag in `snake_case`:
+//! `{"seq":0,"wall_ms":0,"type":"bo_ask","sim":1.0,"n_points":2}`.
+//! Field order is fixed, so equal envelopes serialize to equal bytes.
+
+use crate::json::{Json, JsonError};
+
+/// Version of the event schema; bump on any breaking field change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One line of the JSONL event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Monotone per-run sequence number (0-based emission order).
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch — the only
+    /// nondeterministic field.
+    pub wall_ms: u64,
+    /// The event payload.
+    pub event: RunEvent,
+}
+
+/// A structured run event.
+///
+/// All times are simulated seconds since search start unless a field
+/// says otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunEvent {
+    /// Emitted once at search start: the run's identity and scale.
+    RunManifest {
+        /// Event-schema version ([`SCHEMA_VERSION`]).
+        schema: u32,
+        /// Variant label (e.g. `"AgEBO"`).
+        label: String,
+        /// Data-set name.
+        dataset: String,
+        /// Root seed.
+        seed: u64,
+        /// Simulated worker nodes.
+        workers: usize,
+        /// Aging-population size.
+        population: usize,
+        /// Simulated wall-time budget (seconds).
+        wall_time_budget: f64,
+        /// Duplicate-evaluation cache policy (`"off"|"replay"|"instant"`).
+        cache_policy: String,
+        /// True when resuming from a checkpointed history.
+        resumed: bool,
+    },
+    /// An evaluation was handed to the scheduler.
+    EvalSubmitted {
+        /// Evaluation id (submission order).
+        id: u64,
+        /// Simulated submission time.
+        sim: f64,
+        /// Base batch size submitted.
+        bs1: usize,
+        /// Base learning rate submitted.
+        lr1: f32,
+        /// Data-parallel rank count submitted.
+        n: usize,
+        /// Paper-scale modeled training duration (seconds).
+        modeled_duration: f64,
+        /// True when the manager served it from the duplicate memo-cache.
+        cache_hit: bool,
+        /// The architecture decision vector.
+        arch: Vec<u16>,
+    },
+    /// The evaluation began running on a simulated worker slot (equals
+    /// submission time on an idle cluster; later when it queued).
+    EvalStarted {
+        /// Evaluation id.
+        id: u64,
+        /// Simulated start time.
+        sim: f64,
+    },
+    /// The evaluation completed and its objective was recorded.
+    EvalFinished {
+        /// Evaluation id.
+        id: u64,
+        /// Simulated completion time.
+        sim: f64,
+        /// Simulated duration charged by the cost model.
+        duration: f64,
+        /// Best validation accuracy (the search objective).
+        objective: f64,
+        /// True when served from the duplicate memo-cache.
+        cache_hit: bool,
+    },
+    /// A duplicate submission was served from the manager's memo-cache.
+    EvalCacheHit {
+        /// Evaluation id.
+        id: u64,
+        /// Simulated time of the hit (submission time).
+        sim: f64,
+        /// The memoized objective.
+        objective: f64,
+    },
+    /// The evaluation crashed (fault injection / diverged training) and
+    /// will be replaced, not recorded.
+    EvalFault {
+        /// Evaluation id.
+        id: u64,
+        /// Simulated completion time of the failed run.
+        sim: f64,
+    },
+    /// The BO optimizer was asked for new hyperparameter points.
+    BoAsk {
+        /// Simulated time of the call.
+        sim: f64,
+        /// Number of points requested.
+        n_points: usize,
+    },
+    /// Finished (hyperparameter, objective) pairs were told to the BO.
+    BoTell {
+        /// Simulated time of the call.
+        sim: f64,
+        /// Number of observations told.
+        n_points: usize,
+    },
+    /// A finished evaluation entered the aging population.
+    PopulationReplaced {
+        /// Simulated time.
+        sim: f64,
+        /// The entering evaluation's id.
+        eval_id: u64,
+        /// Population size after the push.
+        size: usize,
+        /// True once the population is at capacity (pushes now age out
+        /// the oldest member).
+        full: bool,
+    },
+    /// A history checkpoint was written.
+    Checkpoint {
+        /// Simulated time at the checkpoint.
+        sim: f64,
+        /// Number of records in the checkpoint.
+        n_records: usize,
+        /// Destination path.
+        path: String,
+    },
+}
+
+impl RunEvent {
+    /// The schema tag this event serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunEvent::RunManifest { .. } => "run_manifest",
+            RunEvent::EvalSubmitted { .. } => "eval_submitted",
+            RunEvent::EvalStarted { .. } => "eval_started",
+            RunEvent::EvalFinished { .. } => "eval_finished",
+            RunEvent::EvalCacheHit { .. } => "eval_cache_hit",
+            RunEvent::EvalFault { .. } => "eval_fault",
+            RunEvent::BoAsk { .. } => "bo_ask",
+            RunEvent::BoTell { .. } => "bo_tell",
+            RunEvent::PopulationReplaced { .. } => "population_replaced",
+            RunEvent::Checkpoint { .. } => "checkpoint",
+        }
+    }
+
+    /// The event's payload fields as ordered `(key, value)` pairs (the
+    /// `"type"` tag excluded).
+    fn fields(&self) -> Vec<(&'static str, Json)> {
+        match self {
+            RunEvent::RunManifest {
+                schema,
+                label,
+                dataset,
+                seed,
+                workers,
+                population,
+                wall_time_budget,
+                cache_policy,
+                resumed,
+            } => vec![
+                ("schema", Json::UInt(u64::from(*schema))),
+                ("label", Json::Str(label.clone())),
+                ("dataset", Json::Str(dataset.clone())),
+                ("seed", Json::UInt(*seed)),
+                ("workers", Json::UInt(*workers as u64)),
+                ("population", Json::UInt(*population as u64)),
+                ("wall_time_budget", Json::Num(*wall_time_budget)),
+                ("cache_policy", Json::Str(cache_policy.clone())),
+                ("resumed", Json::Bool(*resumed)),
+            ],
+            RunEvent::EvalSubmitted {
+                id,
+                sim,
+                bs1,
+                lr1,
+                n,
+                modeled_duration,
+                cache_hit,
+                arch,
+            } => vec![
+                ("id", Json::UInt(*id)),
+                ("sim", Json::Num(*sim)),
+                ("bs1", Json::UInt(*bs1 as u64)),
+                ("lr1", Json::Num(f64::from(*lr1))),
+                ("n", Json::UInt(*n as u64)),
+                ("modeled_duration", Json::Num(*modeled_duration)),
+                ("cache_hit", Json::Bool(*cache_hit)),
+                ("arch", Json::Arr(arch.iter().map(|&a| Json::UInt(u64::from(a))).collect())),
+            ],
+            RunEvent::EvalStarted { id, sim } => {
+                vec![("id", Json::UInt(*id)), ("sim", Json::Num(*sim))]
+            }
+            RunEvent::EvalFinished { id, sim, duration, objective, cache_hit } => vec![
+                ("id", Json::UInt(*id)),
+                ("sim", Json::Num(*sim)),
+                ("duration", Json::Num(*duration)),
+                ("objective", Json::Num(*objective)),
+                ("cache_hit", Json::Bool(*cache_hit)),
+            ],
+            RunEvent::EvalCacheHit { id, sim, objective } => vec![
+                ("id", Json::UInt(*id)),
+                ("sim", Json::Num(*sim)),
+                ("objective", Json::Num(*objective)),
+            ],
+            RunEvent::EvalFault { id, sim } => {
+                vec![("id", Json::UInt(*id)), ("sim", Json::Num(*sim))]
+            }
+            RunEvent::BoAsk { sim, n_points } => vec![
+                ("sim", Json::Num(*sim)),
+                ("n_points", Json::UInt(*n_points as u64)),
+            ],
+            RunEvent::BoTell { sim, n_points } => vec![
+                ("sim", Json::Num(*sim)),
+                ("n_points", Json::UInt(*n_points as u64)),
+            ],
+            RunEvent::PopulationReplaced { sim, eval_id, size, full } => vec![
+                ("sim", Json::Num(*sim)),
+                ("eval_id", Json::UInt(*eval_id)),
+                ("size", Json::UInt(*size as u64)),
+                ("full", Json::Bool(*full)),
+            ],
+            RunEvent::Checkpoint { sim, n_records, path } => vec![
+                ("sim", Json::Num(*sim)),
+                ("n_records", Json::UInt(*n_records as u64)),
+                ("path", Json::Str(path.clone())),
+            ],
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<RunEvent, JsonError> {
+        let kind = rstr(v, "type")?;
+        Ok(match kind.as_str() {
+            "run_manifest" => RunEvent::RunManifest {
+                schema: ru64(v, "schema")? as u32,
+                label: rstr(v, "label")?,
+                dataset: rstr(v, "dataset")?,
+                seed: ru64(v, "seed")?,
+                workers: ru64(v, "workers")? as usize,
+                population: ru64(v, "population")? as usize,
+                wall_time_budget: rf64(v, "wall_time_budget")?,
+                cache_policy: rstr(v, "cache_policy")?,
+                resumed: rbool(v, "resumed")?,
+            },
+            "eval_submitted" => RunEvent::EvalSubmitted {
+                id: ru64(v, "id")?,
+                sim: rf64(v, "sim")?,
+                bs1: ru64(v, "bs1")? as usize,
+                lr1: rf64(v, "lr1")? as f32,
+                n: ru64(v, "n")? as usize,
+                modeled_duration: rf64(v, "modeled_duration")?,
+                cache_hit: rbool(v, "cache_hit")?,
+                arch: req(v, "arch")?
+                    .as_arr()
+                    .ok_or_else(|| field_err("arch", "expected array"))?
+                    .iter()
+                    .map(|a| {
+                        a.as_u64()
+                            .map(|u| u as u16)
+                            .ok_or_else(|| field_err("arch", "expected integer"))
+                    })
+                    .collect::<Result<Vec<u16>, JsonError>>()?,
+            },
+            "eval_started" => RunEvent::EvalStarted { id: ru64(v, "id")?, sim: rf64(v, "sim")? },
+            "eval_finished" => RunEvent::EvalFinished {
+                id: ru64(v, "id")?,
+                sim: rf64(v, "sim")?,
+                duration: rf64(v, "duration")?,
+                objective: rf64(v, "objective")?,
+                cache_hit: rbool(v, "cache_hit")?,
+            },
+            "eval_cache_hit" => RunEvent::EvalCacheHit {
+                id: ru64(v, "id")?,
+                sim: rf64(v, "sim")?,
+                objective: rf64(v, "objective")?,
+            },
+            "eval_fault" => RunEvent::EvalFault { id: ru64(v, "id")?, sim: rf64(v, "sim")? },
+            "bo_ask" => RunEvent::BoAsk {
+                sim: rf64(v, "sim")?,
+                n_points: ru64(v, "n_points")? as usize,
+            },
+            "bo_tell" => RunEvent::BoTell {
+                sim: rf64(v, "sim")?,
+                n_points: ru64(v, "n_points")? as usize,
+            },
+            "population_replaced" => RunEvent::PopulationReplaced {
+                sim: rf64(v, "sim")?,
+                eval_id: ru64(v, "eval_id")?,
+                size: ru64(v, "size")? as usize,
+                full: rbool(v, "full")?,
+            },
+            "checkpoint" => RunEvent::Checkpoint {
+                sim: rf64(v, "sim")?,
+                n_records: ru64(v, "n_records")? as usize,
+                path: rstr(v, "path")?,
+            },
+            other => return Err(field_err("type", &format!("unknown event kind `{other}`"))),
+        })
+    }
+}
+
+impl Envelope {
+    /// The envelope as a [`Json`] object with fixed field order:
+    /// `seq`, `wall_ms`, `type`, then the event's fields.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("seq", Json::UInt(self.seq)),
+            ("wall_ms", Json::UInt(self.wall_ms)),
+            ("type", Json::Str(self.event.kind().to_string())),
+        ];
+        pairs.extend(self.event.fields());
+        Json::obj(pairs)
+    }
+
+    /// One compact JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Parses one JSONL line back into an envelope.
+    pub fn parse(line: &str) -> Result<Envelope, JsonError> {
+        let v = Json::parse(line)?;
+        Ok(Envelope {
+            seq: ru64(&v, "seq")?,
+            wall_ms: ru64(&v, "wall_ms")?,
+            event: RunEvent::from_json(&v)?,
+        })
+    }
+}
+
+fn field_err(key: &str, what: &str) -> JsonError {
+    JsonError { message: format!("field `{key}`: {what}"), offset: 0 }
+}
+
+fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+    v.get(key).ok_or_else(|| field_err(key, "missing"))
+}
+
+fn ru64(v: &Json, key: &str) -> Result<u64, JsonError> {
+    req(v, key)?.as_u64().ok_or_else(|| field_err(key, "expected unsigned integer"))
+}
+
+fn rf64(v: &Json, key: &str) -> Result<f64, JsonError> {
+    req(v, key)?.as_f64().ok_or_else(|| field_err(key, "expected number"))
+}
+
+fn rbool(v: &Json, key: &str) -> Result<bool, JsonError> {
+    req(v, key)?.as_bool().ok_or_else(|| field_err(key, "expected bool"))
+}
+
+fn rstr(v: &Json, key: &str) -> Result<String, JsonError> {
+    req(v, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| field_err(key, "expected string"))
+}
+
+/// Canonicalizes a JSONL event stream for comparison: parses each line,
+/// zeroes the wall-clock field, and re-serializes compactly. Two
+/// same-seed runs must produce byte-identical output here; lines that
+/// fail to parse are passed through verbatim.
+pub fn mask_wall_clock(jsonl: &str) -> String {
+    let mut out = String::with_capacity(jsonl.len());
+    for line in jsonl.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Json::parse(line) {
+            Ok(mut v) => {
+                if v.get("wall_ms").is_some() {
+                    v.set("wall_ms", Json::UInt(0));
+                }
+                out.push_str(&v.to_string_compact());
+            }
+            Err(_) => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_serializes_flat_with_type_tag() {
+        let env = Envelope {
+            seq: 3,
+            wall_ms: 1234,
+            event: RunEvent::BoAsk { sim: 10.5, n_points: 4 },
+        };
+        let line = env.to_json_line();
+        assert_eq!(
+            line,
+            r#"{"seq":3,"wall_ms":1234,"type":"bo_ask","sim":10.5,"n_points":4}"#
+        );
+        assert_eq!(Envelope::parse(&line).unwrap(), env);
+    }
+
+    #[test]
+    fn mask_wall_clock_zeroes_only_wall_fields() {
+        let a = r#"{"seq":0,"wall_ms":111,"type":"bo_ask","sim":1.0,"n_points":2}"#;
+        let b = r#"{"seq":0,"wall_ms":999,"type":"bo_ask","sim":1.0,"n_points":2}"#;
+        assert_eq!(mask_wall_clock(a), mask_wall_clock(b));
+        let c = r#"{"seq":1,"wall_ms":111,"type":"bo_ask","sim":1.0,"n_points":2}"#;
+        assert_ne!(mask_wall_clock(a), mask_wall_clock(c));
+    }
+
+    #[test]
+    fn mask_wall_clock_passes_garbage_through() {
+        let masked = mask_wall_clock("not json\n");
+        assert_eq!(masked, "not json\n");
+    }
+}

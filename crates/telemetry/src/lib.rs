@@ -1,0 +1,48 @@
+//! Observability for the AgEBO-Tabular stack: metrics, spans, and a
+//! structured run-event log.
+//!
+//! Three layers, cheapest first:
+//!
+//! * [`metrics`] — a registry of atomic [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s. Registration allocates once and hands
+//!   back `Arc` handles; *recording* is a handful of atomic operations
+//!   with **zero heap allocation**, cheap enough to sit inside the
+//!   zero-allocation training hot path (pinned by
+//!   `crates/nn/tests/alloc_discipline.rs`).
+//! * [`span`] — lightweight dual-clock spans. Every span records the
+//!   real wall-clock duration *and* (optionally) the scheduler's
+//!   simulated clock, so one trace explains both "what this machine did"
+//!   and "what the paper-scale cluster would have done".
+//! * [`events`] — a structured JSONL run-event log with a stable,
+//!   versioned schema ([`RunEvent`]): run manifest, evaluation
+//!   lifecycle (submitted/started/finished/cache-hit/fault), BO
+//!   ask/tell, population replacement, checkpoints.
+//!
+//! Everything hangs off a [`Telemetry`] handle. A disabled handle
+//! ([`Telemetry::disabled`]) is a no-op [`EventSink`] plus a registry
+//! that still accepts recordings (atomics only), so instrumented code
+//! needs no branching and pays near-nothing when observability is off.
+//!
+//! # Determinism
+//!
+//! Event *content* is deterministic wherever it records simulated time:
+//! two runs of the same seeded search produce identical event streams
+//! modulo the wall-clock envelope fields (`wall_ms`). The
+//! [`events::mask_wall_clock`] helper canonicalizes a stream for
+//! byte-comparison in golden tests. Wall-clock durations (span
+//! latencies, step timings) only ever land in the metrics registry,
+//! never in the event stream.
+
+pub mod events;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod sink;
+pub mod span;
+
+pub use events::{mask_wall_clock, Envelope, RunEvent, SCHEMA_VERSION};
+pub use json::{Json, JsonError};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use report::RunSummary;
+pub use sink::{EventSink, Telemetry, EVENTS_FILE, METRICS_FILE};
+pub use span::{ActiveSpan, SpanStats};

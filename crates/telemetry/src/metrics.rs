@@ -1,0 +1,447 @@
+//! Lock-free metrics: atomic counters, gauges, and fixed-bucket
+//! histograms behind a name-keyed registry.
+//!
+//! The recording path is allocation-free and lock-free: a counter
+//! increment is one `fetch_add`, a gauge set is one `store`, a histogram
+//! record is a bucket scan over a fixed array plus two atomic updates.
+//! Only registration (done once, at setup) and snapshotting (done at
+//! report time) take the registry lock or allocate.
+
+use crate::json::{Json, JsonError};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64` (stored as bits).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+///
+/// Bucket bounds are upper-inclusive and fixed at construction; an
+/// implicit overflow bucket catches everything above the last bound.
+/// Recording scans the (small) bound array and performs two atomic
+/// adds — no allocation, no locks.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    buckets: Box<[AtomicU64]>,
+    /// Sum of observations, accumulated as f64 bits via CAS.
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given upper bucket bounds (must be finite
+    /// and strictly increasing); an overflow bucket is appended.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.into(),
+            buckets,
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Default exponential bounds for second-scale latencies:
+    /// 1 ms … ~17 min in ×2 steps.
+    pub fn seconds_bounds() -> Vec<f64> {
+        (0..21).map(|i| 0.001 * 2f64.powi(i)).collect()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 { 0.0 } else { self.sum() / n as f64 }
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1): the upper bound of the
+    /// bucket containing the quantile rank (the last finite bound for
+    /// the overflow bucket). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q));
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q * (total as f64 - 1.0)).floor() as u64;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum > rank {
+                return Some(*self.bounds.get(i).unwrap_or(self.bounds.last().expect("nonempty")));
+            }
+        }
+        Some(*self.bounds.last().expect("nonempty"))
+    }
+
+    /// Per-bucket counts (including the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            counts: self.bucket_counts(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// Serializable point-in-time view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds (the overflow bucket is the extra count).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, `bounds.len() + 1` long.
+    pub counts: Vec<u64>,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A name-keyed registry of metrics.
+///
+/// Registration is idempotent: re-registering a name returns the
+/// existing handle (panicking if the kind differs). Handles are `Arc`s;
+/// recording through them never touches the registry lock.
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry { metrics: RwLock::new(BTreeMap::new()) }
+    }
+
+    /// Registers (or fetches) a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.metrics.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Registers (or fetches) a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.metrics.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Registers (or fetches) a histogram with the given bounds; bounds
+    /// of an existing histogram are kept.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut map = self.metrics.write();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered metric, with
+    /// deterministic (sorted) ordering.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.read();
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Serializable snapshot of a whole [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot as a [`Json`] object (keys sorted by the backing
+    /// `BTreeMap`s, so output is deterministic).
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters.iter().map(|(k, &v)| (k.clone(), Json::UInt(v))).collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges.iter().map(|(k, &v)| (k.clone(), Json::Num(v))).collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Json::obj(vec![
+                            ("bounds", Json::Arr(h.bounds.iter().map(|&b| Json::Num(b)).collect())),
+                            ("counts", Json::Arr(h.counts.iter().map(|&c| Json::UInt(c)).collect())),
+                            ("sum", Json::Num(h.sum)),
+                            ("count", Json::UInt(h.count)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+
+    /// Parses a snapshot back from its JSON text (e.g. `metrics.json`).
+    pub fn from_json_str(text: &str) -> Result<MetricsSnapshot, JsonError> {
+        let bad = |what: &str| JsonError { message: what.to_string(), offset: 0 };
+        let v = Json::parse(text)?;
+        let mut snap = MetricsSnapshot::default();
+        if let Some(Json::Obj(pairs)) = v.get("counters") {
+            for (k, c) in pairs {
+                snap.counters
+                    .insert(k.clone(), c.as_u64().ok_or_else(|| bad("counter value"))?);
+            }
+        }
+        if let Some(Json::Obj(pairs)) = v.get("gauges") {
+            for (k, g) in pairs {
+                snap.gauges.insert(k.clone(), g.as_f64().ok_or_else(|| bad("gauge value"))?);
+            }
+        }
+        if let Some(Json::Obj(pairs)) = v.get("histograms") {
+            for (k, h) in pairs {
+                let nums = |key: &str| -> Result<Vec<f64>, JsonError> {
+                    h.get(key)
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| bad("histogram array"))?
+                        .iter()
+                        .map(|x| x.as_f64().ok_or_else(|| bad("histogram number")))
+                        .collect()
+                };
+                snap.histograms.insert(
+                    k.clone(),
+                    HistogramSnapshot {
+                        bounds: nums("bounds")?,
+                        counts: nums("counts")?.into_iter().map(|c| c as u64).collect(),
+                        sum: h.get("sum").and_then(Json::as_f64).ok_or_else(|| bad("sum"))?,
+                        count: h.get("count").and_then(Json::as_u64).ok_or_else(|| bad("count"))?,
+                    },
+                );
+            }
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("evals_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = reg.gauge("queue_depth");
+        g.set(3.5);
+        assert_eq!(g.get(), 3.5);
+        // Idempotent registration returns the same handle.
+        assert_eq!(reg.counter("evals_total").get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_and_quantiles() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.7, 3.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 106.7).abs() < 1e-9);
+        assert_eq!(h.bucket_counts(), vec![1, 2, 1, 1]);
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        // Overflow bucket reports the last finite bound.
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        assert!(Histogram::new(&[1.0]).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_is_safe_under_concurrent_recording() {
+        let h = Arc::new(Histogram::new(&Histogram::seconds_bounds()));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        h.record(0.001 * ((t * 1000 + i) % 50 + 1) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert!(h.sum() > 0.0);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 4000);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_serializable() {
+        let reg = Registry::new();
+        reg.counter("b_counter").add(2);
+        reg.counter("a_counter").add(1);
+        reg.gauge("g").set(1.25);
+        reg.histogram("h", &[1.0, 2.0]).record(1.5);
+        let snap = reg.snapshot();
+        let json = snap.to_json().to_string_pretty();
+        let back = MetricsSnapshot::from_json_str(&json).unwrap();
+        assert_eq!(back, snap);
+        // BTreeMap ordering: names come out sorted.
+        let names: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(names, vec!["a_counter", "b_counter"]);
+        assert!(json.contains("\"a_counter\": 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn nan_observations_are_ignored() {
+        let h = Histogram::new(&[1.0]);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Dual-clock spans: every span measures real wall-clock time, and —
+//! when the caller passes the scheduler's simulated clock — simulated
+//! time as well.
+//!
+//! A [`SpanStats`] bundle is registered once (allocating the metric
+//! handles); starting and finishing a span afterwards is allocation-free:
+//! an `Instant::now()` plus a few atomic updates. Wall durations land in
+//! `<name>_wall_seconds`, simulated durations in `<name>_sim_seconds`,
+//! and completions in `<name>_total` — keeping nondeterministic
+//! wall-clock data in the metrics registry and out of the (deterministic)
+//! event stream.
+
+use crate::metrics::{Counter, Histogram};
+use crate::sink::Telemetry;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pre-registered metric handles for one span name.
+#[derive(Debug, Clone)]
+pub struct SpanStats {
+    wall: Arc<Histogram>,
+    sim: Arc<Histogram>,
+    total: Arc<Counter>,
+}
+
+impl SpanStats {
+    /// Registers the span's three metrics on `tel`'s registry.
+    pub fn register(tel: &Telemetry, name: &str) -> Self {
+        let bounds = Histogram::seconds_bounds();
+        SpanStats {
+            wall: tel.registry().histogram(&format!("{name}_wall_seconds"), &bounds),
+            sim: tel.registry().histogram(&format!("{name}_sim_seconds"), &bounds),
+            total: tel.registry().counter(&format!("{name}_total")),
+        }
+    }
+
+    /// Starts a span. `sim_now` is the simulated clock at entry (pass
+    /// 0.0 for purely wall-clock spans and finish with
+    /// [`ActiveSpan::end_wall_only`]).
+    #[inline]
+    pub fn start(&self, sim_now: f64) -> ActiveSpan<'_> {
+        ActiveSpan { stats: self, wall_start: Instant::now(), sim_start: sim_now }
+    }
+
+    /// Wall-clock duration histogram.
+    pub fn wall(&self) -> &Histogram {
+        &self.wall
+    }
+
+    /// Simulated-clock duration histogram.
+    pub fn sim(&self) -> &Histogram {
+        &self.sim
+    }
+
+    /// Completion counter.
+    pub fn total(&self) -> &Counter {
+        &self.total
+    }
+}
+
+/// An in-flight span; record it with [`ActiveSpan::end`] (dual clock) or
+/// [`ActiveSpan::end_wall_only`].
+#[derive(Debug)]
+pub struct ActiveSpan<'a> {
+    stats: &'a SpanStats,
+    wall_start: Instant,
+    sim_start: f64,
+}
+
+impl ActiveSpan<'_> {
+    /// Finishes the span at simulated time `sim_now`, recording both
+    /// clocks.
+    #[inline]
+    pub fn end(self, sim_now: f64) {
+        self.stats.sim.record(sim_now - self.sim_start);
+        self.stats.wall.record(self.wall_start.elapsed().as_secs_f64());
+        self.stats.total.inc();
+    }
+
+    /// Finishes the span recording only the wall clock (for code with no
+    /// simulated-time notion, e.g. the training loops).
+    #[inline]
+    pub fn end_wall_only(self) {
+        self.stats.wall.record(self.wall_start.elapsed().as_secs_f64());
+        self.stats.total.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_both_clocks() {
+        let tel = Telemetry::in_memory();
+        let stats = SpanStats::register(&tel, "bo_ask");
+        let span = stats.start(100.0);
+        span.end(130.0);
+        assert_eq!(stats.total().get(), 1);
+        assert_eq!(stats.sim().count(), 1);
+        assert!((stats.sim().sum() - 30.0).abs() < 1e-12);
+        assert_eq!(stats.wall().count(), 1);
+        assert!(stats.wall().sum() >= 0.0);
+    }
+
+    #[test]
+    fn wall_only_span_skips_sim_histogram() {
+        let tel = Telemetry::disabled();
+        let stats = SpanStats::register(&tel, "train_step");
+        stats.start(0.0).end_wall_only();
+        stats.start(0.0).end_wall_only();
+        assert_eq!(stats.total().get(), 2);
+        assert_eq!(stats.sim().count(), 0);
+        assert_eq!(stats.wall().count(), 2);
+    }
+}

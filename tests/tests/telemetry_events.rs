@@ -1,0 +1,119 @@
+//! Event-log schema and determinism tests (cross-crate): every
+//! [`RunEvent`] variant must survive a JSONL round trip, and a tiny
+//! seeded search must emit a byte-identical event stream — pinned by a
+//! committed golden file and by a two-run file-sink comparison.
+
+use agebo_core::{run_search_instrumented, SearchConfig, Variant};
+use agebo_integration::covertype_ctx;
+use agebo_telemetry::{
+    mask_wall_clock, Envelope, RunEvent, Telemetry, EVENTS_FILE, SCHEMA_VERSION,
+};
+
+fn all_variants() -> Vec<RunEvent> {
+    vec![
+        RunEvent::RunManifest {
+            schema: SCHEMA_VERSION,
+            label: "AgEBO".into(),
+            dataset: "covertype".into(),
+            seed: u64::MAX,
+            workers: 8,
+            population: 100,
+            wall_time_budget: 10800.0,
+            cache_policy: "replay".into(),
+            resumed: true,
+        },
+        RunEvent::EvalSubmitted {
+            id: 17,
+            sim: 12.25,
+            bs1: 256,
+            lr1: 0.0123456,
+            n: 4,
+            modeled_duration: 345.5,
+            cache_hit: false,
+            arch: vec![0, 5, 17, 1, 0],
+        },
+        RunEvent::EvalStarted { id: 17, sim: 12.25 },
+        RunEvent::EvalFinished {
+            id: 17,
+            sim: 357.75,
+            duration: 345.5,
+            objective: 0.912345,
+            cache_hit: false,
+        },
+        RunEvent::EvalCacheHit { id: 18, sim: 360.0, objective: 0.912345 },
+        RunEvent::EvalFault { id: 19, sim: 400.0 },
+        RunEvent::BoAsk { sim: 0.0, n_points: 8 },
+        RunEvent::BoTell { sim: 357.75, n_points: 1 },
+        RunEvent::PopulationReplaced { sim: 357.75, eval_id: 17, size: 100, full: true },
+        RunEvent::Checkpoint { sim: 10800.0, n_records: 479, path: "out/history.json".into() },
+    ]
+}
+
+#[test]
+fn every_event_variant_round_trips_through_jsonl() {
+    let tel = Telemetry::in_memory();
+    let events = all_variants();
+    for e in &events {
+        tel.emit(e.clone());
+    }
+    let jsonl = tel.events_jsonl().unwrap();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), events.len());
+    for (i, (line, original)) in lines.iter().zip(&events).enumerate() {
+        let env = Envelope::parse(line).unwrap_or_else(|e| panic!("line {i}: {e}\n{line}"));
+        assert_eq!(env.seq, i as u64);
+        assert_eq!(&env.event, original, "variant {i} changed across the round trip");
+        // Re-serialization is byte-stable (fixed field order).
+        assert_eq!(&env.to_json_line(), line);
+    }
+}
+
+fn tiny_search_stream() -> String {
+    let ctx = covertype_ctx(11);
+    let cfg = SearchConfig::test(Variant::agebo()).with_seed(11).with_wall_time(900.0);
+    let tel = Telemetry::in_memory();
+    run_search_instrumented(ctx, &cfg, &tel);
+    mask_wall_clock(&tel.events_jsonl().unwrap())
+}
+
+/// Golden pin of the event stream (wall clock masked) of one tiny seeded
+/// search. Regenerate after an intentional schema change with:
+/// `UPDATE_TELEMETRY_GOLDEN=1 cargo test -p agebo-integration golden`.
+#[test]
+fn tiny_seeded_search_matches_golden_event_stream() {
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/telemetry_events.jsonl");
+    let stream = tiny_search_stream();
+    if std::env::var_os("UPDATE_TELEMETRY_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &stream).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden file missing — run with UPDATE_TELEMETRY_GOLDEN=1 to create it");
+    assert_eq!(
+        stream, golden,
+        "event stream diverged from golden; if the change is intentional, regenerate with \
+         UPDATE_TELEMETRY_GOLDEN=1"
+    );
+}
+
+#[test]
+fn same_seed_file_sinks_produce_identical_masked_streams() {
+    let base = std::env::temp_dir().join("agebo_tel_determinism");
+    let _ = std::fs::remove_dir_all(&base);
+    let ctx = covertype_ctx(12);
+    let cfg = SearchConfig::test(Variant::agebo()).with_seed(12).with_wall_time(900.0);
+    let mut streams = Vec::new();
+    for run in 0..2 {
+        let dir = base.join(format!("run{run}"));
+        let tel = Telemetry::to_dir(&dir).unwrap();
+        run_search_instrumented(ctx.clone(), &cfg, &tel);
+        tel.flush().unwrap();
+        let raw = std::fs::read_to_string(dir.join(EVENTS_FILE)).unwrap();
+        assert!(!raw.is_empty());
+        streams.push(mask_wall_clock(&raw));
+    }
+    assert_eq!(streams[0], streams[1], "same-seed runs must emit identical event content");
+    std::fs::remove_dir_all(&base).ok();
+}
