@@ -4,10 +4,12 @@
 //! the aging population; the DES scheduler; and the Fig. 7 PCA.
 
 use agebo_analysis::Pca;
-use agebo_bo::{BoConfig, BoOptimizer, Space};
+use agebo_bo::{BoConfig, BoOptimizer, HpPoint, Space};
 use agebo_core::{Member, Population};
 use agebo_scheduler::SimQueue;
 use agebo_searchspace::SearchSpace;
+use agebo_tensor::Matrix;
+use agebo_trees::{ForestConfig, ForestScratch, RandomForestRegressor, TreeConfig};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,6 +59,65 @@ fn bench_bo(c: &mut Criterion) {
             )
         });
     }
+    group.bench_function("ask8_after_200_observations", |b| {
+        b.iter_batched(|| seeded_bo(200), |mut bo| black_box(bo.ask(8)), BatchSize::SmallInput)
+    });
+    group.finish();
+}
+
+/// The surrogate hot path underneath `ask`: warm-start refit vs fresh
+/// fit, and batched vs per-row candidate scoring.
+fn bench_bo_surrogate(c: &mut Criterion) {
+    let space = Space::paper_hm();
+    let mut rng = StdRng::seed_from_u64(3);
+    let xs: Vec<HpPoint> = (0..200).map(|_| space.sample(&mut rng)).collect();
+    let ys: Vec<f64> = xs.iter().map(|p| 1.0 - (p[1].ln() + 4.0).abs() * 0.1).collect();
+    let mut enc = Matrix::zeros(xs.len(), space.len());
+    for (i, x) in xs.iter().enumerate() {
+        space.encode_into(x, enc.row_mut(i));
+    }
+    let cfg = ForestConfig {
+        n_trees: 25,
+        tree: TreeConfig { max_depth: 24, min_samples_leaf: 2, ..TreeConfig::default() },
+        bootstrap: true,
+    };
+
+    let mut group = c.benchmark_group("bo_surrogate");
+    group.sample_size(20);
+    group.bench_function("fit_fresh_200_obs", |b| {
+        b.iter(|| black_box(RandomForestRegressor::fit(&enc, &ys, &cfg, 7)))
+    });
+    group.bench_function("refit_warm_200_obs", |b| {
+        let mut forest = RandomForestRegressor::default();
+        let mut scratch = ForestScratch::default();
+        forest.refit(&enc, &ys, &cfg, 7, &mut scratch);
+        b.iter(|| {
+            forest.refit(&enc, &ys, &cfg, 7, &mut scratch);
+            black_box(&forest);
+        })
+    });
+
+    let forest = RandomForestRegressor::fit(&enc, &ys, &cfg, 7);
+    let pool_pts: Vec<HpPoint> = (0..256).map(|_| space.sample(&mut rng)).collect();
+    let mut pool = Matrix::zeros(pool_pts.len(), space.len());
+    for (i, x) in pool_pts.iter().enumerate() {
+        space.encode_into(x, pool.row_mut(i));
+    }
+    group.bench_function("pool256_predict_per_row", |b| {
+        b.iter(|| {
+            for r in 0..pool.rows() {
+                black_box(forest.predict_mean_std_row(pool.row(r)));
+            }
+        })
+    });
+    group.bench_function("pool256_predict_batched", |b| {
+        let mut per_tree = Vec::new();
+        let mut preds = Vec::new();
+        b.iter(|| {
+            forest.predict_mean_std_batch_into(&pool, &mut per_tree, &mut preds);
+            black_box(&preds);
+        })
+    });
     group.finish();
 }
 
@@ -108,6 +169,7 @@ criterion_group!(
     benches,
     bench_space_ops,
     bench_bo,
+    bench_bo_surrogate,
     bench_population,
     bench_scheduler,
     bench_pca

@@ -1,0 +1,195 @@
+//! Measures the BO hot path and writes `BENCH_bo.json`.
+//!
+//! Reproduces the manager's seeded ask/tell loop at three history sizes
+//! (50 / 200 / 800 observations) and times three components, before vs
+//! after the BO hot-path work:
+//!
+//! * `fit` — surrogate (re)fit. Before: re-encode the full history and
+//!   grow a fresh forest through the allocating recursion
+//!   ([`agebo_bench::seed_bo`]). After: warm-start
+//!   `RandomForestRegressor::refit` on the cached encoding, reusing
+//!   bootstrap and growth scratch across fits.
+//! * `batch_predict` — score one 256-candidate UCB pool. Before: per-row
+//!   `predict_mean_std_row` with a fresh vote vector per row. After:
+//!   `predict_mean_std_batch_into` (rayon per-tree, reused buffers).
+//! * `ask(q=8)` — the full constant-liar multipoint ask the manager
+//!   issues every loop iteration.
+//!
+//! The before/after paths are bitwise equivalent (asserted here before
+//! timing), so the rates measure the same computation. `--quick` shrinks
+//! repetition counts for CI smoke runs.
+
+use agebo_bench::seed_bo::{SeedBo, SeedForest};
+use agebo_bo::{BoConfig, BoOptimizer, HpPoint, Space};
+use agebo_tensor::Matrix;
+use agebo_trees::{ForestConfig, ForestScratch, RandomForestRegressor, TreeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const Q: usize = 8;
+const POOL: usize = 256;
+
+fn bo_cfg() -> BoConfig {
+    BoConfig { n_initial: 10, n_candidates: POOL, n_trees: 25, seed: 7, ..BoConfig::default() }
+}
+
+fn forest_cfg() -> ForestConfig {
+    ForestConfig {
+        n_trees: 25,
+        tree: TreeConfig { max_depth: 24, min_samples_leaf: 2, ..TreeConfig::default() },
+        bootstrap: true,
+    }
+}
+
+/// The seeded history: the same synthetic smooth objective the criterion
+/// harness uses, over the paper's `[bs₁, lr₁, n]` space.
+fn history(n_obs: usize) -> (Vec<HpPoint>, Vec<f64>) {
+    let space = Space::paper_hm();
+    let mut rng = StdRng::seed_from_u64(11);
+    let xs: Vec<HpPoint> = (0..n_obs).map(|_| space.sample(&mut rng)).collect();
+    let ys: Vec<f64> = xs.iter().map(|p| 1.0 - (p[1].ln() + 4.0).abs() * 0.1).collect();
+    (xs, ys)
+}
+
+fn encode_history(space: &Space, xs: &[HpPoint]) -> Matrix {
+    let mut m = Matrix::zeros(xs.len(), space.len());
+    for (i, x) in xs.iter().enumerate() {
+        space.encode_into(x, m.row_mut(i));
+    }
+    m
+}
+
+fn rate(iters: usize, secs: f64) -> f64 {
+    iters as f64 / secs.max(1e-9)
+}
+
+/// Seed-form fit, one iteration: re-encode the history + fresh forest.
+fn seed_fit(space: &Space, xs: &[HpPoint], ys: &[f64], seed: u64) -> SeedForest {
+    let d = space.len();
+    let mut data = Vec::with_capacity(xs.len() * d);
+    for x in xs {
+        data.extend(space.encode(x));
+    }
+    let features = Matrix::from_vec(xs.len(), d, data);
+    SeedForest::fit(&features, ys, &forest_cfg(), seed)
+}
+
+fn measure_fit(space: &Space, xs: &[HpPoint], ys: &[f64], enc: &Matrix, reps: usize) -> (f64, f64) {
+    let t0 = Instant::now();
+    for r in 0..reps {
+        black_box(seed_fit(space, xs, ys, 7 ^ ((r as u64 + 1) << 32)));
+    }
+    let seed_rate = rate(reps, t0.elapsed().as_secs_f64());
+
+    let mut forest = RandomForestRegressor::default();
+    let mut scratch = ForestScratch::default();
+    let cfg = forest_cfg();
+    // Warm the scratch once so the timed loop measures steady state.
+    forest.refit(enc, ys, &cfg, 7, &mut scratch);
+    let t0 = Instant::now();
+    for r in 0..reps {
+        forest.refit(enc, ys, &cfg, 7 ^ ((r as u64 + 1) << 32), &mut scratch);
+        black_box(&forest);
+    }
+    (seed_rate, rate(reps, t0.elapsed().as_secs_f64()))
+}
+
+fn measure_batch_predict(space: &Space, ys: &[f64], enc: &Matrix, reps: usize) -> (f64, f64) {
+    let seed_forest = SeedForest::fit(enc, ys, &forest_cfg(), 7);
+    let forest = RandomForestRegressor::fit(enc, ys, &forest_cfg(), 7);
+    let mut rng = StdRng::seed_from_u64(13);
+    let pool_pts: Vec<HpPoint> = (0..POOL).map(|_| space.sample(&mut rng)).collect();
+    let pool = encode_history(space, &pool_pts);
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for r in 0..pool.rows() {
+            black_box(seed_forest.predict_mean_std_row(pool.row(r)));
+        }
+    }
+    let seed_rate = rate(reps, t0.elapsed().as_secs_f64());
+
+    let mut per_tree = Vec::new();
+    let mut preds = Vec::new();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        forest.predict_mean_std_batch_into(&pool, &mut per_tree, &mut preds);
+        black_box(&preds);
+    }
+    (seed_rate, rate(reps, t0.elapsed().as_secs_f64()))
+}
+
+fn measure_ask(xs: &[HpPoint], ys: &[f64], reps: usize) -> (f64, f64) {
+    // Equivalence gate: both paths must propose identical points.
+    let mut seed_bo = SeedBo::new(Space::paper_hm(), bo_cfg());
+    let mut cur_bo = BoOptimizer::new(Space::paper_hm(), bo_cfg());
+    seed_bo.tell(xs, ys);
+    cur_bo.tell(xs, ys);
+    assert_eq!(seed_bo.ask(Q), cur_bo.ask(Q), "seed and current ask diverged");
+
+    let mut seed_bo = SeedBo::new(Space::paper_hm(), bo_cfg());
+    seed_bo.tell(xs, ys);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        black_box(seed_bo.ask(Q));
+    }
+    let seed_rate = rate(reps, t0.elapsed().as_secs_f64());
+
+    let mut cur_bo = BoOptimizer::new(Space::paper_hm(), bo_cfg());
+    cur_bo.tell(xs, ys);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        black_box(cur_bo.ask(Q));
+    }
+    (seed_rate, rate(reps, t0.elapsed().as_secs_f64()))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 1 } else { 3 };
+    let space = Space::paper_hm();
+    let mut entries = Vec::new();
+    for &(n_obs, fit_reps, pool_reps, ask_reps) in
+        &[(50usize, 30usize, 120usize, 8usize), (200, 15, 80, 8), (800, 6, 40, 3)]
+    {
+        let scale = if quick { 3 } else { 1 };
+        let (fit_reps, pool_reps, ask_reps) =
+            ((fit_reps / scale).max(2), (pool_reps / scale).max(2), (ask_reps / scale).max(2));
+        let (xs, ys) = history(n_obs);
+        let enc = encode_history(&space, &xs);
+        // Interleave rounds and keep each side's best to shrug off
+        // scheduler noise.
+        let (mut sf, mut wf, mut sp, mut bp, mut sa, mut ca) =
+            (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for _ in 0..rounds {
+            let (a, b) = measure_fit(&space, &xs, &ys, &enc, fit_reps);
+            sf = sf.max(a);
+            wf = wf.max(b);
+            let (a, b) = measure_batch_predict(&space, &ys, &enc, pool_reps);
+            sp = sp.max(a);
+            bp = bp.max(b);
+            let (a, b) = measure_ask(&xs, &ys, ask_reps);
+            sa = sa.max(a);
+            ca = ca.max(b);
+        }
+        let ask_speedup = ca / sa;
+        println!(
+            "n_obs={n_obs}: fit {sf:.1} -> {wf:.1} fits/s ({:.2}x) | pool {sp:.1} -> {bp:.1} scorings/s ({:.2}x) | ask(q={Q}) {sa:.2} -> {ca:.2} asks/s ({ask_speedup:.2}x)",
+            wf / sf,
+            bp / sp,
+        );
+        entries.push(format!(
+            "    {{\n      \"n_obs\": {n_obs},\n      \"seed_fits_per_sec\": {sf:.2},\n      \"warm_fits_per_sec\": {wf:.2},\n      \"fit_speedup\": {:.3},\n      \"seed_pool_scorings_per_sec\": {sp:.2},\n      \"batched_pool_scorings_per_sec\": {bp:.2},\n      \"batch_predict_speedup\": {:.3},\n      \"seed_asks_per_sec\": {sa:.3},\n      \"asks_per_sec\": {ca:.3},\n      \"ask_speedup\": {ask_speedup:.3}\n    }}",
+            wf / sf,
+            bp / sp,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"bo_hot_path\",\n  \"workload\": \"paper [bs1, lr1, n] space, rf surrogate 25 trees, {POOL}-candidate pool, constant-liar ask(q={Q})\",\n  \"before\": \"seed BO: re-encode history per refit, allocating tree growth, per-row pool scoring\",\n  \"after\": \"cached encoding, warm-start refit with reused scratch, batched rayon pool scoring, last liar refit skipped\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_bo.json", &json).expect("write BENCH_bo.json");
+    println!("wrote BENCH_bo.json");
+}

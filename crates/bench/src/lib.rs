@@ -5,6 +5,7 @@
 //! under `results/` so binaries that share runs (Table I / Fig. 3;
 //! Fig. 6 / Table III / Fig. 7) don't recompute them.
 
+pub mod seed_bo;
 pub mod seed_step;
 
 use agebo_core::{run_search, EvalContext, SearchConfig, SearchHistory, Variant};

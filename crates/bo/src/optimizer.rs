@@ -4,7 +4,7 @@
 use crate::gp::GpRegressor;
 use crate::space::{HpPoint, Space};
 use agebo_tensor::Matrix;
-use agebo_trees::{ForestConfig, RandomForestRegressor, TreeConfig};
+use agebo_trees::{ForestConfig, ForestScratch, RandomForestRegressor, TreeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -16,21 +16,6 @@ pub enum SurrogateKind {
     RandomForest,
     /// RBF-kernel Gaussian process (ablation).
     GaussianProcess,
-}
-
-/// A fitted surrogate of either kind.
-enum Surrogate {
-    Forest(RandomForestRegressor),
-    Gp(GpRegressor),
-}
-
-impl Surrogate {
-    fn predict_mean_std(&self, row: &[f32]) -> (f64, f64) {
-        match self {
-            Surrogate::Forest(m) => m.predict_mean_std_row(row),
-            Surrogate::Gp(m) => m.predict_mean_std(row),
-        }
-    }
 }
 
 /// Optimizer configuration.
@@ -72,13 +57,33 @@ impl Default for BoConfig {
 /// Random-forest BO with the scikit-optimize-style `ask`/`tell` interface.
 /// The objective is **maximized** (the paper maximizes validation
 /// accuracy).
+///
+/// The hot path is allocation-light: the encoded feature matrix of the
+/// observed history is maintained incrementally by [`BoOptimizer::tell`]
+/// (liar points are appended and truncated away inside one `ask`), the
+/// forest is refitted in place through reusable scratch buffers, and the
+/// candidate pool is scored through the batched forest predictor.
 #[derive(Debug)]
 pub struct BoOptimizer {
     space: Space,
     cfg: BoConfig,
     observed_x: Vec<HpPoint>,
     observed_y: Vec<f64>,
+    /// Running sum of `observed_y` (lie mean numerator), maintained in
+    /// push order so it is bitwise-equal to a left-to-right re-summation.
+    sum_y: f64,
+    /// Encoded features of `observed_x`, one row per observation; rows are
+    /// appended on `tell` instead of re-encoding the history per refit.
+    encoded: Matrix,
     rng: StdRng,
+    // Reusable ask-path state (contents are transient per call).
+    forest: RandomForestRegressor,
+    forest_scratch: ForestScratch,
+    liar_ys: Vec<f64>,
+    cand_points: Vec<HpPoint>,
+    cand_enc: Matrix,
+    per_tree: Vec<f64>,
+    preds: Vec<(f64, f64)>,
 }
 
 impl BoOptimizer {
@@ -86,7 +91,23 @@ impl BoOptimizer {
     pub fn new(space: Space, cfg: BoConfig) -> Self {
         assert!(cfg.kappa >= 0.0 && cfg.n_candidates > 0 && cfg.n_trees > 0);
         let rng = StdRng::seed_from_u64(cfg.seed);
-        BoOptimizer { space, cfg, observed_x: Vec::new(), observed_y: Vec::new(), rng }
+        let encoded = Matrix::zeros(0, space.len());
+        BoOptimizer {
+            space,
+            cfg,
+            observed_x: Vec::new(),
+            observed_y: Vec::new(),
+            sum_y: 0.0,
+            encoded,
+            rng,
+            forest: RandomForestRegressor::default(),
+            forest_scratch: ForestScratch::default(),
+            liar_ys: Vec::new(),
+            cand_points: Vec::new(),
+            cand_enc: Matrix::zeros(0, 0),
+            per_tree: Vec::new(),
+            preds: Vec::new(),
+        }
     }
 
     /// The space being searched.
@@ -100,42 +121,75 @@ impl BoOptimizer {
     }
 
     /// Registers evaluated configurations and their objective values.
-    pub fn tell(&mut self, xs: &[HpPoint], ys: &[f64]) {
+    ///
+    /// Points outside the space still panic (that is a caller bug), but a
+    /// non-finite objective — one diverged or faulted evaluation — must
+    /// not kill the manager: the point is skipped and the number of
+    /// skipped points is returned so the caller can count and report it.
+    pub fn tell(&mut self, xs: &[HpPoint], ys: &[f64]) -> usize {
         assert_eq!(xs.len(), ys.len());
+        let d = self.space.len();
+        let mut rejected = 0;
         for (x, &y) in xs.iter().zip(ys) {
             assert!(self.space.contains(x), "point outside space: {x:?}");
-            assert!(y.is_finite(), "non-finite objective");
+            if !y.is_finite() {
+                rejected += 1;
+                continue;
+            }
+            let n = self.observed_x.len();
+            self.encoded.resize(n + 1, d);
+            self.space.encode_into(x, self.encoded.row_mut(n));
             self.observed_x.push(x.clone());
             self.observed_y.push(y);
+            self.sum_y += y;
+        }
+        rejected
+    }
+
+    fn forest_cfg(&self) -> ForestConfig {
+        ForestConfig {
+            n_trees: self.cfg.n_trees,
+            tree: TreeConfig { max_depth: 24, min_samples_leaf: 2, ..TreeConfig::default() },
+            bootstrap: true,
         }
     }
 
-    fn fit_surrogate(&self, xs: &[HpPoint], ys: &[f64], seed: u64) -> Surrogate {
-        let n = xs.len();
+    fn fit_gp(space: &Space, xs: &[HpPoint], ys: &[f64]) -> GpRegressor {
+        let rows: Vec<Vec<f32>> = xs.iter().map(|x| space.encode(x)).collect();
+        GpRegressor::fit(rows, ys, 1e-4)
+    }
+
+    /// Maximizes the UCB over a fresh random candidate pool, scoring the
+    /// whole pool through the batched forest predictor. All candidates are
+    /// drawn up front (encoding and prediction consume no rng), so the rng
+    /// stream and the first-strictly-greater argmax match the former
+    /// one-row-at-a-time loop exactly.
+    fn argmax_ucb_forest(&mut self) -> HpPoint {
         let d = self.space.len();
-        match self.cfg.surrogate {
-            SurrogateKind::RandomForest => {
-                let mut data = Vec::with_capacity(n * d);
-                for x in xs {
-                    data.extend(self.space.encode(x));
-                }
-                let features = Matrix::from_vec(n, d, data);
-                let cfg = ForestConfig {
-                    n_trees: self.cfg.n_trees,
-                    tree: TreeConfig { max_depth: 24, min_samples_leaf: 2, ..TreeConfig::default() },
-                    bootstrap: true,
-                };
-                Surrogate::Forest(RandomForestRegressor::fit(&features, ys, &cfg, seed))
-            }
-            SurrogateKind::GaussianProcess => {
-                let rows: Vec<Vec<f32>> = xs.iter().map(|x| self.space.encode(x)).collect();
-                Surrogate::Gp(GpRegressor::fit(rows, ys, 1e-4))
+        let m = self.cfg.n_candidates;
+        self.cand_enc.resize(m, d);
+        self.space.sample_batch_into(&mut self.rng, m, &mut self.cand_points);
+        for (i, cand) in self.cand_points.iter().enumerate() {
+            self.space.encode_into(cand, self.cand_enc.row_mut(i));
+        }
+        self.forest.predict_mean_std_batch_into(
+            &self.cand_enc,
+            &mut self.per_tree,
+            &mut self.preds,
+        );
+        let mut best: Option<(f64, usize)> = None;
+        for (i, &(mu, sigma)) in self.preds.iter().enumerate() {
+            let ucb = mu + self.cfg.kappa * sigma;
+            if best.is_none_or(|(b, _)| ucb > b) {
+                best = Some((ucb, i));
             }
         }
+        self.cand_points[best.expect("n_candidates > 0").1].clone()
     }
 
-    /// Maximizes the UCB over a fresh random candidate pool.
-    fn argmax_ucb(&mut self, model: &Surrogate) -> HpPoint {
+    /// Maximizes the UCB over a fresh random candidate pool against the GP
+    /// surrogate (ablation path, row-at-a-time).
+    fn argmax_ucb_gp(&mut self, model: &GpRegressor) -> HpPoint {
         let mut best: Option<(f64, HpPoint)> = None;
         for _ in 0..self.cfg.n_candidates {
             let cand = self.space.sample(&mut self.rng);
@@ -154,23 +208,77 @@ impl BoOptimizer {
     /// Before `n_initial` observations exist the points are random.
     /// Afterwards each point maximizes UCB against a surrogate that has
     /// been refitted with the *constant lie* (the mean of all observed
-    /// objectives) for every previously selected point of this batch.
+    /// objectives) for every previously selected point of this batch. The
+    /// refit after the batch's final point is skipped — its result was
+    /// never consumed and the fit draws nothing from the optimizer's rng.
     pub fn ask(&mut self, q: usize) -> Vec<HpPoint> {
         assert!(q > 0);
-        if self.observed_y.len() < self.cfg.n_initial {
+        let n = self.observed_y.len();
+        if n < self.cfg.n_initial {
             return (0..q).map(|_| self.space.sample(&mut self.rng)).collect();
         }
-        let lie = self.observed_y.iter().sum::<f64>() / self.observed_y.len() as f64;
-        let mut xs = self.observed_x.clone();
-        let mut ys = self.observed_y.clone();
+        let lie = self.sum_y / n as f64;
+        match self.cfg.surrogate {
+            SurrogateKind::RandomForest => self.ask_forest(q, lie),
+            SurrogateKind::GaussianProcess => self.ask_gp(q, lie),
+        }
+    }
+
+    fn ask_forest(&mut self, q: usize, lie: f64) -> Vec<HpPoint> {
+        let n = self.observed_y.len();
+        let d = self.space.len();
+        let forest_cfg = self.forest_cfg();
+        self.forest.refit(
+            &self.encoded,
+            &self.observed_y,
+            &forest_cfg,
+            self.cfg.seed,
+            &mut self.forest_scratch,
+        );
         let mut out = Vec::with_capacity(q);
-        let mut model = self.fit_surrogate(&xs, &ys, self.cfg.seed);
         for j in 0..q {
-            let chosen = self.argmax_ucb(&model);
-            if self.cfg.use_liar {
+            let chosen = self.argmax_ucb_forest();
+            if self.cfg.use_liar && j + 1 < q {
+                if j == 0 {
+                    self.liar_ys.clear();
+                    self.liar_ys.extend_from_slice(&self.observed_y);
+                }
+                let rows = self.encoded.rows();
+                self.encoded.resize(rows + 1, d);
+                self.space.encode_into(&chosen, self.encoded.row_mut(rows));
+                self.liar_ys.push(lie);
+                self.forest.refit(
+                    &self.encoded,
+                    &self.liar_ys,
+                    &forest_cfg,
+                    self.cfg.seed ^ ((j as u64 + 1) << 32),
+                    &mut self.forest_scratch,
+                );
+            }
+            out.push(chosen);
+        }
+        // Drop the liar rows: the cache again mirrors the observed history.
+        self.encoded.resize(n, d);
+        out
+    }
+
+    fn ask_gp(&mut self, q: usize, lie: f64) -> Vec<HpPoint> {
+        // Borrow the history for the initial fit; clone only if the liar
+        // actually extends it.
+        let mut model = Self::fit_gp(&self.space, &self.observed_x, &self.observed_y);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut out = Vec::with_capacity(q);
+        for j in 0..q {
+            let chosen = self.argmax_ucb_gp(&model);
+            if self.cfg.use_liar && j + 1 < q {
+                if j == 0 {
+                    xs = self.observed_x.clone();
+                    ys = self.observed_y.clone();
+                }
                 xs.push(chosen.clone());
                 ys.push(lie);
-                model = self.fit_surrogate(&xs, &ys, self.cfg.seed ^ ((j as u64 + 1) << 32));
+                model = Self::fit_gp(&self.space, &xs, &ys);
             }
             out.push(chosen);
         }
@@ -315,6 +423,42 @@ mod tests {
     fn tell_rejects_illegal_points() {
         let mut bo = BoOptimizer::new(Space::paper_hm(), BoConfig::default());
         bo.tell(&[vec![100.0, 0.01, 4.0]], &[0.5]);
+    }
+
+    #[test]
+    fn non_finite_objectives_are_skipped_not_fatal() {
+        let cfg = BoConfig { n_initial: 2, ..BoConfig::default() };
+        let mut bo = BoOptimizer::new(Space::paper_hm(), cfg);
+        let xs = vec![
+            vec![256.0, 0.01, 4.0],
+            vec![128.0, 0.02, 2.0],
+            vec![512.0, 0.005, 8.0],
+        ];
+        let rejected = bo.tell(&xs, &[0.5, f64::NAN, f64::INFINITY]);
+        assert_eq!(rejected, 2);
+        assert_eq!(bo.n_observed(), 1);
+        // The optimizer stays fully usable after rejecting bad points.
+        assert_eq!(bo.tell(&[vec![64.0, 0.05, 1.0]], &[0.7]), 0);
+        let batch = bo.ask(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(bo.best_observed().map(|(_, y)| y), Some(0.7));
+    }
+
+    #[test]
+    fn rejection_keeps_lie_mean_consistent_with_history() {
+        // After a rejected point, further asks must behave exactly as if
+        // the bad observation never happened.
+        let cfg = BoConfig { n_initial: 2, n_candidates: 32, n_trees: 5, seed: 3, ..BoConfig::default() };
+        let mut with_reject = BoOptimizer::new(Space::paper_hm(), cfg.clone());
+        let mut clean = BoOptimizer::new(Space::paper_hm(), cfg);
+        let good =
+            [vec![256.0, 0.01, 4.0], vec![128.0, 0.02, 2.0], vec![512.0, 0.005, 8.0]];
+        let ys = [0.4, 0.6, 0.5];
+        with_reject.tell(&good[..2], &ys[..2]);
+        with_reject.tell(&[vec![32.0, 0.003, 1.0]], &[f64::NAN]);
+        with_reject.tell(&good[2..], &ys[2..]);
+        clean.tell(&good, &ys);
+        assert_eq!(with_reject.ask(4), clean.ask(4));
     }
 
     #[test]

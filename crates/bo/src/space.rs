@@ -139,6 +139,46 @@ impl Space {
         self.dims.iter().map(|d| d.sample(rng)).collect()
     }
 
+    /// `n` random points into reused buffers — the candidate-pool fill
+    /// of the optimizer's acquisition loop. Consumes the rng in the same
+    /// order as `n` successive [`Space::sample`] calls and produces the
+    /// same values bitwise (the per-dimension bounds below are the same
+    /// expressions `Dimension::sample` evaluates, hoisted out of the
+    /// point loop), so seeded runs are unaffected.
+    pub fn sample_batch_into(&self, rng: &mut impl Rng, n: usize, out: &mut Vec<HpPoint>) {
+        enum Pre<'a> {
+            Log { llo: f64, width: f64 },
+            Lin { lo: f64, width: f64 },
+            Menu(&'a [f64]),
+        }
+        let pre: Vec<Pre> = self
+            .dims
+            .iter()
+            .map(|d| match d {
+                Dimension::RealLog { lo, hi } => {
+                    let (llo, lhi) = (lo.ln(), hi.ln());
+                    Pre::Log { llo, width: lhi - llo }
+                }
+                Dimension::Real { lo, hi } => Pre::Lin { lo: *lo, width: *hi - *lo },
+                Dimension::Ordinal { values } => Pre::Menu(values),
+            })
+            .collect();
+        out.truncate(n);
+        while out.len() < n {
+            out.push(Vec::with_capacity(self.dims.len()));
+        }
+        for p in out.iter_mut() {
+            p.clear();
+            for d in &pre {
+                p.push(match d {
+                    Pre::Log { llo, width } => (llo + rng.gen::<f64>() * width).exp(),
+                    Pre::Lin { lo, width } => lo + rng.gen::<f64>() * width,
+                    Pre::Menu(values) => values[rng.gen_range(0..values.len())],
+                });
+            }
+        }
+    }
+
     /// True when every coordinate is legal.
     pub fn contains(&self, p: &[f64]) -> bool {
         p.len() == self.dims.len()
@@ -147,8 +187,19 @@ impl Space {
 
     /// Surrogate-model features for a point.
     pub fn encode(&self, p: &[f64]) -> Vec<f32> {
+        let mut out = vec![0.0; self.dims.len()];
+        self.encode_into(p, &mut out);
+        out
+    }
+
+    /// [`Space::encode`] into a caller-provided slice — the append path of
+    /// the optimizer's incremental feature-matrix cache.
+    pub fn encode_into(&self, p: &[f64], out: &mut [f32]) {
         assert_eq!(p.len(), self.dims.len());
-        self.dims.iter().zip(p).map(|(d, &v)| d.encode(v)).collect()
+        assert_eq!(out.len(), self.dims.len());
+        for ((d, &v), slot) in self.dims.iter().zip(p).zip(out.iter_mut()) {
+            *slot = d.encode(v);
+        }
     }
 }
 

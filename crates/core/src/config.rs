@@ -157,6 +157,12 @@ pub struct SearchConfig {
     pub failure_rate: f64,
     /// Duplicate-evaluation memoization policy.
     pub cache: CachePolicy,
+    /// Run the manager's `optimizer.ask` on a background thread,
+    /// overlapped with replacement-architecture generation (default).
+    /// The ask's inputs are fully determined when it is kicked off, so
+    /// the search trajectory is identical with this on or off; disabling
+    /// it serializes the manager loop (debugging / baseline timing).
+    pub pipeline_ask: bool,
 }
 
 fn default_threads() -> usize {
@@ -186,6 +192,7 @@ impl SearchConfig {
             bo_surrogate: SurrogateKind::RandomForest,
             failure_rate: 0.0,
             cache: CachePolicy::Replay,
+            pipeline_ask: true,
         }
     }
 
@@ -234,6 +241,12 @@ impl SearchConfig {
     /// Sets the duplicate-evaluation cache policy.
     pub fn with_cache(mut self, cache: CachePolicy) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Enables or disables the background-thread `ask` pipeline.
+    pub fn with_pipeline_ask(mut self, pipeline_ask: bool) -> Self {
+        self.pipeline_ask = pipeline_ask;
         self
     }
 }

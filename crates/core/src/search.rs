@@ -24,10 +24,12 @@ use agebo_bo::{BoConfig, BoOptimizer, HpPoint, Space};
 use agebo_dataparallel::DataParallelHp;
 use agebo_scheduler::Evaluator;
 use agebo_searchspace::ArchVector;
-use agebo_telemetry::{Counter, Gauge, RunEvent, SpanStats, Telemetry, SCHEMA_VERSION};
+use agebo_telemetry::{Counter, Gauge, Histogram, RunEvent, SpanStats, Telemetry, SCHEMA_VERSION};
 use agebo_tensor::Stream;
+use rand::rngs::StdRng;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Converts a BO point `[bs₁, lr₁, n]` into training hyperparameters.
 fn hp_of_point(p: &HpPoint) -> DataParallelHp {
@@ -66,6 +68,13 @@ struct SearchTelemetry {
     best: Arc<Gauge>,
     /// `search_utilization`: simulated-cluster busy fraction.
     utilization: Arc<Gauge>,
+    /// `bo_rejected_total`: observations the BO skipped for a non-finite
+    /// objective instead of panicking.
+    bo_rejected: Arc<Counter>,
+    /// `bo_ask_hidden_seconds`: wall-clock seconds of each `ask` that ran
+    /// concurrently with manager-side architecture generation (the
+    /// overlap won by the pipelined loop).
+    bo_ask_hidden: Arc<Histogram>,
     /// Dual-clock spans around `optimizer.ask` / `optimizer.tell`.
     bo_ask: SpanStats,
     bo_tell: SpanStats,
@@ -81,6 +90,10 @@ impl SearchTelemetry {
             cache_hits: tel.registry().counter("search_cache_hits_total"),
             best: tel.registry().gauge("search_best_objective"),
             utilization: tel.registry().gauge("search_utilization"),
+            bo_rejected: tel.registry().counter("bo_rejected_total"),
+            bo_ask_hidden: tel
+                .registry()
+                .histogram("bo_ask_hidden_seconds", &Histogram::seconds_bounds()),
             bo_ask: SpanStats::register(tel, "bo_ask"),
             bo_tell: SpanStats::register(tel, "bo_tell"),
         }
@@ -223,7 +236,14 @@ fn run_search_with_state(
                 sorted.iter().map(|r| point_of_hp(r.hp, &stel.lr_clamped)).collect();
             let ys: Vec<f64> = sorted.iter().map(|r| r.objective).collect();
             if !xs.is_empty() {
-                bo.tell(&xs, &ys);
+                let rejected = bo.tell(&xs, &ys);
+                if rejected > 0 {
+                    stel.bo_rejected.add(rejected as u64);
+                    tel.emit(RunEvent::BoRejected {
+                        sim: evaluator.now(),
+                        n_points: rejected,
+                    });
+                }
             }
         }
     }
@@ -373,43 +393,90 @@ fn run_search_with_state(
         if let Some(bo) = &mut bo {
             if !batch_x.is_empty() {
                 let span = stel.bo_tell.start(evaluator.now());
-                bo.tell(&batch_x, &batch_y);
+                let rejected = bo.tell(&batch_x, &batch_y);
                 span.end(evaluator.now());
                 tel.emit(RunEvent::BoTell { sim: evaluator.now(), n_points: batch_x.len() });
+                if rejected > 0 {
+                    stel.bo_rejected.add(rejected as u64);
+                    tel.emit(RunEvent::BoRejected {
+                        sim: evaluator.now(),
+                        n_points: rejected,
+                    });
+                }
             }
         }
         if evaluator.now() >= cfg.wall_time || n_replace == 0 {
             break;
         }
         // Generate |results| replacements (failed slots are refilled too).
-        let next_hps: Vec<DataParallelHp> = if pure_random {
-            (0..n_replace).map(|_| hp_of_point(&hm_space.sample(&mut hp_rng))).collect()
+        //
+        // Architecture generation draws only from `arch_rng` and reads the
+        // population; `optimizer.ask` draws only from the BO's own rng
+        // stream and its observed history. The two are independent, so the
+        // pipelined path runs the ask on a background thread while the
+        // manager generates the replacement architectures — the trajectory
+        // is bit-identical with pipelining on or off.
+        let gen_archs =
+            |n: usize, arch_rng: &mut StdRng, population: &Population| -> Vec<ArchVector> {
+                (0..n)
+                    .map(|_| {
+                        if pure_random || !population.is_full() {
+                            ctx.space.random(arch_rng)
+                        } else {
+                            let parent =
+                                population.select_parent(cfg.sample_size, arch_rng).arch.clone();
+                            if cfg.mutate_layers_only {
+                                ctx.space.mutate_layers_only(&parent, arch_rng)
+                            } else {
+                                ctx.space.mutate(&parent, arch_rng)
+                            }
+                        }
+                    })
+                    .collect()
+            };
+        let (next_hps, archs): (Vec<DataParallelHp>, Vec<ArchVector>) = if pure_random {
+            let hps = (0..n_replace).map(|_| hp_of_point(&hm_space.sample(&mut hp_rng))).collect();
+            (hps, gen_archs(n_replace, &mut arch_rng, &population))
         } else {
             match (&static_hp, &mut bo) {
-                (Some(hp), _) => vec![*hp; n_replace],
+                (Some(hp), _) => {
+                    (vec![*hp; n_replace], gen_archs(n_replace, &mut arch_rng, &population))
+                }
                 (None, Some(bo)) => {
-                    let span = stel.bo_ask.start(evaluator.now());
-                    let points = bo.ask(n_replace);
-                    span.end(evaluator.now());
+                    let ask_sim = evaluator.now();
+                    let (points, archs) = if cfg.pipeline_ask {
+                        let bo_ask = &stel.bo_ask;
+                        std::thread::scope(|scope| {
+                            let ask_thread = scope.spawn(|| {
+                                let t0 = Instant::now();
+                                let span = bo_ask.start(ask_sim);
+                                let points = bo.ask(n_replace);
+                                span.end(ask_sim);
+                                (points, t0.elapsed().as_secs_f64())
+                            });
+                            let g0 = Instant::now();
+                            let archs = gen_archs(n_replace, &mut arch_rng, &population);
+                            let gen_wall = g0.elapsed().as_secs_f64();
+                            let (points, ask_wall) =
+                                ask_thread.join().expect("bo ask thread panicked");
+                            // The overlap won: ask wall-time that was hidden
+                            // behind architecture generation.
+                            stel.bo_ask_hidden.record(ask_wall.min(gen_wall));
+                            (points, archs)
+                        })
+                    } else {
+                        let span = stel.bo_ask.start(ask_sim);
+                        let points = bo.ask(n_replace);
+                        span.end(ask_sim);
+                        (points, gen_archs(n_replace, &mut arch_rng, &population))
+                    };
                     tel.emit(RunEvent::BoAsk { sim: evaluator.now(), n_points: n_replace });
-                    points.iter().map(hp_of_point).collect()
+                    (points.iter().map(hp_of_point).collect(), archs)
                 }
                 _ => unreachable!(),
             }
         };
-        for hp in next_hps {
-            let arch = if pure_random {
-                ctx.space.random(&mut arch_rng)
-            } else if population.is_full() {
-                let parent = population.select_parent(cfg.sample_size, &mut arch_rng).arch.clone();
-                if cfg.mutate_layers_only {
-                    ctx.space.mutate_layers_only(&parent, &mut arch_rng)
-                } else {
-                    ctx.space.mutate(&parent, &mut arch_rng)
-                }
-            } else {
-                ctx.space.random(&mut arch_rng)
-            };
+        for (hp, arch) in next_hps.into_iter().zip(archs) {
             submit(&mut evaluator, &mut pending, &memo, &mut submit_counter, arch, hp);
         }
     }
@@ -629,6 +696,45 @@ mod tests {
         let low = point_of_hp(DataParallelHp { lr1: 1e-5, bs1: 256, n: 1 }, &clamps);
         assert_eq!(low[1], 0.001);
         assert_eq!(clamps.get(), 2);
+    }
+
+    #[test]
+    fn pipelined_ask_matches_synchronous_loop() {
+        use agebo_telemetry::mask_wall_clock;
+        let shared = ctx();
+        let base = SearchConfig::test(Variant::agebo()).with_seed(13).with_wall_time(4000.0);
+        let t_sync = Telemetry::in_memory();
+        let t_pipe = Telemetry::in_memory();
+        let a = run_search_instrumented(
+            Arc::clone(&shared),
+            &base.clone().with_pipeline_ask(false),
+            &t_sync,
+        );
+        let b = run_search_instrumented(shared, &base.with_pipeline_ask(true), &t_pipe);
+        // Identical SearchHistory, record by record.
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.arch, y.arch);
+            assert_eq!(x.hp.bs1, y.hp.bs1);
+            assert_eq!(x.hp.lr1.to_bits(), y.hp.lr1.to_bits());
+            assert_eq!(x.hp.n, y.hp.n);
+            assert_eq!(x.objective.to_bits(), y.objective.to_bits());
+            assert_eq!(x.submitted_at.to_bits(), y.submitted_at.to_bits());
+            assert_eq!(x.finished_at.to_bits(), y.finished_at.to_bits());
+        }
+        // Identical masked telemetry event streams.
+        let s1 = mask_wall_clock(&t_sync.events_jsonl().unwrap());
+        let s2 = mask_wall_clock(&t_pipe.events_jsonl().unwrap());
+        assert!(!s1.is_empty());
+        assert_eq!(s1, s2, "pipelining must not change the event stream");
+        // The pipelined run actually overlapped some asks.
+        let snap = t_pipe.registry().snapshot();
+        assert!(
+            snap.histograms["bo_ask_hidden_seconds"].count > 0,
+            "pipelined run recorded no overlapped asks"
+        );
     }
 
     #[test]

@@ -240,24 +240,21 @@ mod tests {
         assert_eq!(run(1), run(4));
     }
 
+    /// Real work (an LCG hash loop) for the heavy-compute test — one
+    /// definition shared by the worker and the expectation.
+    fn hash_loop(x: u64) -> u64 {
+        let mut h = x;
+        for _ in 0..10_000 {
+            h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        }
+        h
+    }
+
     #[test]
     fn heavy_compute_results_are_correct() {
-        // Worker function that does real work (hash loop) to exercise
-        // cross-thread delivery.
-        let mut ev: Evaluator<u64, u64> = Evaluator::new(3, 3, |&x: &u64| -> u64 {
-            let mut h = x;
-            for _ in 0..10_000 {
-                h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            }
-            h
-        });
-        let expect = |x: u64| -> u64 {
-            let mut h = x;
-            for _ in 0..10_000 {
-                h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            }
-            h
-        };
+        // Worker function that does real work to exercise cross-thread
+        // delivery.
+        let mut ev: Evaluator<u64, u64> = Evaluator::new(3, 3, |&x: &u64| hash_loop(x));
         for i in 0..9 {
             ev.submit_evaluation(i, 1.0 + i as f64);
         }
@@ -268,7 +265,7 @@ mod tests {
                 break;
             }
             for f in finished {
-                assert_eq!(f.result, expect(f.id));
+                assert_eq!(f.result, hash_loop(f.id));
                 seen += 1;
             }
         }

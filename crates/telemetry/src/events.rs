@@ -130,6 +130,14 @@ pub enum RunEvent {
         /// Number of observations told.
         n_points: usize,
     },
+    /// The BO rejected observations with a non-finite objective instead
+    /// of recording them (diverged or faulted evaluations).
+    BoRejected {
+        /// Simulated time of the `tell` that carried the bad points.
+        sim: f64,
+        /// Number of rejected observations.
+        n_points: usize,
+    },
     /// A finished evaluation entered the aging population.
     PopulationReplaced {
         /// Simulated time.
@@ -165,6 +173,7 @@ impl RunEvent {
             RunEvent::EvalFault { .. } => "eval_fault",
             RunEvent::BoAsk { .. } => "bo_ask",
             RunEvent::BoTell { .. } => "bo_tell",
+            RunEvent::BoRejected { .. } => "bo_rejected",
             RunEvent::PopulationReplaced { .. } => "population_replaced",
             RunEvent::Checkpoint { .. } => "checkpoint",
         }
@@ -236,7 +245,7 @@ impl RunEvent {
                 ("sim", Json::Num(*sim)),
                 ("n_points", Json::UInt(*n_points as u64)),
             ],
-            RunEvent::BoTell { sim, n_points } => vec![
+            RunEvent::BoTell { sim, n_points } | RunEvent::BoRejected { sim, n_points } => vec![
                 ("sim", Json::Num(*sim)),
                 ("n_points", Json::UInt(*n_points as u64)),
             ],
@@ -306,6 +315,10 @@ impl RunEvent {
                 n_points: ru64(v, "n_points")? as usize,
             },
             "bo_tell" => RunEvent::BoTell {
+                sim: rf64(v, "sim")?,
+                n_points: ru64(v, "n_points")? as usize,
+            },
+            "bo_rejected" => RunEvent::BoRejected {
                 sim: rf64(v, "sim")?,
                 n_points: ru64(v, "n_points")? as usize,
             },

@@ -32,6 +32,8 @@ pub struct RunSummary {
     pub n_bo_asks: usize,
     /// BO `tell` calls.
     pub n_bo_tells: usize,
+    /// Observations the BO rejected for a non-finite objective.
+    pub n_bo_rejected: usize,
     /// Latest simulated completion time (the makespan).
     pub makespan: f64,
     /// Busy worker-seconds divided by `workers × makespan`.
@@ -62,6 +64,7 @@ impl RunSummary {
             n_faults: 0,
             n_bo_asks: 0,
             n_bo_tells: 0,
+            n_bo_rejected: 0,
             makespan: 0.0,
             utilization: 0.0,
             mean_queue_wait: 0.0,
@@ -118,6 +121,7 @@ impl RunSummary {
                 }
                 RunEvent::BoAsk { .. } => s.n_bo_asks += 1,
                 RunEvent::BoTell { .. } => s.n_bo_tells += 1,
+                RunEvent::BoRejected { n_points, .. } => s.n_bo_rejected += n_points,
                 RunEvent::PopulationReplaced { .. } | RunEvent::Checkpoint { .. } => {}
             }
         }
@@ -177,7 +181,13 @@ impl RunSummary {
                 self.n_submitted, self.n_finished, self.n_cache_hits, self.n_faults
             ),
         );
-        push(&mut out, format!("bo:           {} asks, {} tells", self.n_bo_asks, self.n_bo_tells));
+        push(
+            &mut out,
+            format!(
+                "bo:           {} asks, {} tells, {} rejected",
+                self.n_bo_asks, self.n_bo_tells, self.n_bo_rejected
+            ),
+        );
         push(
             &mut out,
             format!(
@@ -255,6 +265,7 @@ mod tests {
             cache_hit: false,
         });
         tel.emit(RunEvent::BoTell { sim: 200.0, n_points: 2 });
+        tel.emit(RunEvent::BoRejected { sim: 200.0, n_points: 1 });
         tel.emit(RunEvent::EvalFault { id: 2, sim: 250.0 });
         tel.events_jsonl().unwrap()
     }
@@ -269,6 +280,7 @@ mod tests {
         assert_eq!(s.n_faults, 1);
         assert_eq!(s.n_bo_asks, 1);
         assert_eq!(s.n_bo_tells, 1);
+        assert_eq!(s.n_bo_rejected, 1);
         assert_eq!(s.makespan, 250.0);
         // busy 300s over 2 workers * 250s.
         assert!((s.utilization - 0.6).abs() < 1e-12);

@@ -1,6 +1,6 @@
 //! Random forests (bagged CART) and the extra-trees variant.
 
-use crate::tree::{ClassificationTree, RegressionTree, SplitMode, TreeConfig};
+use crate::tree::{ClassificationTree, RegressionTree, SplitMode, TreeConfig, TreeScratch};
 use agebo_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -123,8 +123,21 @@ impl RandomForestClassifier {
     }
 }
 
+/// Reusable fit state for [`RandomForestRegressor::refit`]: per-tree
+/// bootstrap index buffers and growth scratch, kept warm across the
+/// constant-liar refit loop so a refit performs no steady-state heap
+/// allocation.
+#[derive(Debug, Clone, Default)]
+pub struct ForestScratch {
+    per_tree: Vec<(Vec<usize>, TreeScratch)>,
+    /// Column-major feature values + integer sort keys, extracted once
+    /// per refit and shared read-only by every tree.
+    cols: Vec<f32>,
+    keys: Vec<u32>,
+}
+
 /// Bagged regression forest with per-tree spread — the BO surrogate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RandomForestRegressor {
     trees: Vec<RegressionTree>,
 }
@@ -133,16 +146,58 @@ impl RandomForestRegressor {
     /// Fits the forest (all features per split by default, matching
     /// scikit-optimize's surrogate configuration).
     pub fn fit(x: &Matrix, y: &[f64], cfg: &ForestConfig, seed: u64) -> Self {
+        let mut forest = RandomForestRegressor::default();
+        forest.refit(x, y, cfg, seed, &mut ForestScratch::default());
+        forest
+    }
+
+    /// Refits in place, reusing tree node storage and `scratch`'s
+    /// bootstrap/growth buffers. Produces a forest bitwise-identical to
+    /// [`RandomForestRegressor::fit`] with the same arguments; trees grow
+    /// in parallel and land at fixed indices, so the reduction order of
+    /// every downstream prediction is deterministic.
+    pub fn refit(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        cfg: &ForestConfig,
+        seed: u64,
+        scratch: &mut ForestScratch,
+    ) {
         assert!(cfg.n_trees > 0);
-        let trees: Vec<RegressionTree> = (0..cfg.n_trees)
-            .into_par_iter()
-            .map(|i| {
-                let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-                let rows = tree_rows(x.rows(), cfg.bootstrap, &mut rng);
-                RegressionTree::fit_rows(x, y, &rows, &cfg.tree, &mut rng)
-            })
-            .collect();
-        RandomForestRegressor { trees }
+        assert_eq!(x.rows(), y.len());
+        self.trees.resize_with(cfg.n_trees, RegressionTree::empty);
+        self.trees.truncate(cfg.n_trees);
+        let ForestScratch { per_tree, cols, keys } = scratch;
+        per_tree.resize_with(cfg.n_trees, Default::default);
+        crate::tree::extract_columns(x, cols, keys);
+        let (cols, keys) = (&*cols, &*keys);
+        let n_rows = x.rows();
+        let fit_one = |i: usize, tree: &mut RegressionTree, state: &mut (Vec<usize>, TreeScratch)| {
+            let (rows, tree_scratch) = state;
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            rows.clear();
+            if cfg.bootstrap {
+                rows.extend((0..n_rows).map(|_| rng.gen_range(0..n_rows)));
+            } else {
+                rows.extend(0..n_rows);
+            }
+            tree.refit_rows_with(cols, keys, n_rows, y, rows, &cfg.tree, &mut rng, tree_scratch);
+        };
+        // Each tree is an independent seeded computation, so running them
+        // sequentially or in parallel yields the same forest; skip the
+        // rayon dispatch overhead when there is nothing to fan out to.
+        if rayon::current_num_threads() <= 1 {
+            for (i, (tree, state)) in self.trees.iter_mut().zip(per_tree.iter_mut()).enumerate() {
+                fit_one(i, tree, state);
+            }
+        } else {
+            self.trees
+                .par_iter_mut()
+                .zip(per_tree.par_iter_mut())
+                .enumerate()
+                .for_each(|(i, (tree, state))| fit_one(i, tree, state));
+        }
     }
 
     /// Mean prediction for one row.
@@ -158,6 +213,75 @@ impl RandomForestRegressor {
         let mean = preds.iter().sum::<f64>() / n;
         let var = preds.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / n;
         (mean, var.sqrt())
+    }
+
+    /// `(μ, σ)` for every row of `x` — bitwise-identical to calling
+    /// [`RandomForestRegressor::predict_mean_std_row`] per row, but each
+    /// tree traverses the whole batch (rayon per-tree parallelism) and the
+    /// per-row reduction runs sequentially in tree order.
+    pub fn predict_mean_std_batch(&self, x: &Matrix) -> Vec<(f64, f64)> {
+        let mut per_tree = Vec::new();
+        let mut out = Vec::new();
+        self.predict_mean_std_batch_into(x, &mut per_tree, &mut out);
+        out
+    }
+
+    /// [`RandomForestRegressor::predict_mean_std_batch`] into reused
+    /// buffers. In the parallel path `per_tree` is filled tree-major
+    /// (`n_trees × n_rows`); in the single-thread path it serves as a
+    /// one-row vote buffer. Either way `out` is bitwise-identical to the
+    /// per-row predictor.
+    pub fn predict_mean_std_batch_into(
+        &self,
+        x: &Matrix,
+        per_tree: &mut Vec<f64>,
+        out: &mut Vec<(f64, f64)>,
+    ) {
+        assert!(!self.trees.is_empty(), "empty forest");
+        let n = x.rows();
+        let t = self.trees.len();
+        let nt = t as f64;
+        out.clear();
+        out.reserve(n);
+        if rayon::current_num_threads() <= 1 {
+            // Row-major with a reused vote buffer: the exact per-row
+            // algorithm (sum trees left-to-right, divide, squared
+            // deviations in the same order) minus its allocation.
+            per_tree.clear();
+            per_tree.resize(t, 0.0);
+            for r in 0..n {
+                let row = x.row(r);
+                for (slot, tree) in per_tree.iter_mut().zip(&self.trees) {
+                    *slot = tree.predict_row(row);
+                }
+                let mean = per_tree.iter().sum::<f64>() / nt;
+                let var = per_tree.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / nt;
+                out.push((mean, var.sqrt()));
+            }
+            return;
+        }
+        per_tree.clear();
+        per_tree.resize(t * n, 0.0);
+        per_tree.par_chunks_mut(n.max(1)).zip(self.trees.par_iter()).for_each(|(chunk, tree)| {
+            for (r, slot) in chunk.iter_mut().enumerate() {
+                *slot = tree.predict_row(x.row(r));
+            }
+        });
+        for r in 0..n {
+            // Same float-op order as the per-row path: sum over trees
+            // left-to-right, divide, then accumulate squared deviations in
+            // the same order.
+            let mut sum = 0.0;
+            for chunk in per_tree.chunks_exact(n) {
+                sum += chunk[r];
+            }
+            let mean = sum / nt;
+            let mut var = 0.0;
+            for chunk in per_tree.chunks_exact(n) {
+                var += (chunk[r] - mean).powi(2);
+            }
+            out.push((mean, (var / nt).sqrt()));
+        }
     }
 
     /// Mean predictions for a batch.

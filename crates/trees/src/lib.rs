@@ -17,7 +17,7 @@ pub mod gbm;
 pub mod knn;
 pub mod tree;
 
-pub use forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
+pub use forest::{ForestConfig, ForestScratch, RandomForestClassifier, RandomForestRegressor};
 pub use gbm::{GbmConfig, GradientBoostingClassifier};
 pub use knn::KnnClassifier;
-pub use tree::{ClassificationTree, RegressionTree, SplitMode, TreeConfig};
+pub use tree::{ClassificationTree, RegressionTree, SplitMode, TreeConfig, TreeScratch};

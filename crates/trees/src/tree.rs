@@ -48,15 +48,123 @@ enum Node {
 }
 
 fn feature_subset(n_features: usize, cfg: &TreeConfig, rng: &mut impl Rng) -> Vec<usize> {
-    let mut all: Vec<usize> = (0..n_features).collect();
-    match cfg.max_features {
-        Some(k) if k < n_features => {
-            all.shuffle(rng);
-            all.truncate(k.max(1));
-            all
+    let mut out = Vec::new();
+    feature_subset_into(n_features, cfg, rng, &mut out);
+    out
+}
+
+/// [`feature_subset`] into a reused buffer (identical rng draws).
+fn feature_subset_into(
+    n_features: usize,
+    cfg: &TreeConfig,
+    rng: &mut impl Rng,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    out.extend(0..n_features);
+    if let Some(k) = cfg.max_features {
+        if k < n_features {
+            out.shuffle(rng);
+            out.truncate(k.max(1));
         }
-        _ => all,
     }
+}
+
+/// Reusable buffers for allocation-free regression-tree growth. One
+/// instance per tree; cleared and refilled on every refit so steady-state
+/// growth performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct TreeScratch {
+    /// Row-index arena: every node's row set is a contiguous `[lo, hi)`
+    /// range of this buffer, partitioned in place as the tree grows.
+    idx: Vec<usize>,
+    /// Staging area for the right-hand side of a stable partition.
+    stage: Vec<usize>,
+    /// Per-node sort buffer for the sweep splitter: `(sort_key, row)`
+    /// pairs so the sort compares contiguous integer keys instead of
+    /// gathering floats through an index indirection. The key order
+    /// equals the float `partial_cmp` order (see [`sort_key`]), so the
+    /// comparator outcomes — and therefore the resulting permutation —
+    /// are identical to sorting row indices by feature value directly.
+    sorted: Vec<(u32, u32)>,
+    /// Feature-subset buffer.
+    feats: Vec<usize>,
+}
+
+/// Column-major copy of the feature matrix (`cols[f·n + r] = x[r][f]`)
+/// plus the [`sort_key`] of every entry, extracted once per forest refit
+/// and shared by all trees, so the sort comparators and partition tests
+/// read contiguous slices instead of doing strided `Matrix::get`
+/// gathers and the per-node key refresh is a plain gather. Values are
+/// exact copies, so every comparison — and therefore every sort
+/// permutation and split — is identical to reading the matrix directly.
+pub(crate) fn extract_columns(x: &Matrix, cols: &mut Vec<f32>, keys: &mut Vec<u32>) {
+    let (n_rows, n_features) = (x.rows(), x.cols());
+    cols.clear();
+    cols.resize(n_features * n_rows, 0.0);
+    keys.clear();
+    keys.resize(n_features * n_rows, 0);
+    for f in 0..n_features {
+        let base = f * n_rows;
+        for r in 0..n_rows {
+            let v = x.get(r, f);
+            assert!(!v.is_nan(), "no NaN features");
+            cols[base + r] = v;
+            keys[base + r] = sort_key(v);
+        }
+    }
+}
+
+/// Maps a non-NaN `f32` to a `u32` whose integer order equals the
+/// float's `partial_cmp` order: the sign bit is flipped for
+/// non-negatives and all bits for negatives (the classic monotone
+/// transform), and `-0.0` is first folded into `+0.0` so the two zeros
+/// compare *equal* under the key exactly as they do under `partial_cmp`.
+#[inline]
+fn sort_key(v: f32) -> u32 {
+    let bits = (v + 0.0).to_bits(); // IEEE: -0.0 + 0.0 == +0.0
+    if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000
+    }
+}
+
+/// Inverse of [`sort_key`] (zeros come back as `+0.0`, which only ever
+/// differs from the original value in sign — never in comparisons or
+/// arithmetic against the thresholds built from it).
+#[inline]
+fn key_val(key: u32) -> f32 {
+    let mask = 0xFFFF_FFFFu32.wrapping_add(key >> 31) | 0x8000_0000;
+    f32::from_bits(key ^ mask)
+}
+
+/// Stable in-place partition of `idx[lo..hi]` by
+/// `col[·] <= threshold` (where `col` is the split feature's column):
+/// left rows are compacted forward in their original relative order,
+/// right rows staged and copied back after them. Returns the number of
+/// left rows.
+fn partition_in_place(
+    col: &[f32],
+    idx: &mut [usize],
+    lo: usize,
+    hi: usize,
+    threshold: f32,
+    stage: &mut Vec<usize>,
+) -> usize {
+    stage.clear();
+    let mut write = lo;
+    for read in lo..hi {
+        let r = idx[read];
+        if col[r] <= threshold {
+            idx[write] = r;
+            write += 1;
+        } else {
+            stage.push(r);
+        }
+    }
+    idx[write..hi].copy_from_slice(stage);
+    write - lo
 }
 
 /// Partitions `rows` by `x[·][feature] <= threshold`.
@@ -167,31 +275,72 @@ fn best_class_split(
     best.map(|(_, f, t)| (f, t))
 }
 
-/// Best regression split over `features` by SSE reduction.
-fn best_reg_split(
-    x: &Matrix,
+/// Best regression split over `features` by SSE reduction, with a
+/// caller-provided sort buffer (replacing the former per-node
+/// `rows.to_vec()` allocation) and a column-major feature copy `cols`
+/// (`cols[f·n_rows + r]` holds `x[r][f]`). `total_sum` is the node's
+/// left-to-right sum of `y` over `rows`, which the caller has already
+/// computed. The copied values are exact and the integer sort keys
+/// order exactly like the floats, so arithmetic, comparator decisions
+/// and rng draws are all unchanged.
+#[allow(clippy::too_many_arguments)]
+fn best_reg_split_with(
+    cols: &[f32],
+    keys: &[u32],
+    n_rows: usize,
     y: &[f64],
     rows: &[usize],
+    total_sum: f64,
     features: &[usize],
     cfg: &TreeConfig,
     rng: &mut impl Rng,
+    sorted: &mut Vec<(u32, u32)>,
 ) -> Option<(usize, f32)> {
     let n = rows.len();
-    let total_sum: f64 = rows.iter().map(|&r| y[r]).sum();
     let mut best: Option<(f64, usize, f32)> = None;
-    let mut sorted = rows.to_vec();
+    sorted.clear();
+    // Seed the buffer with the first feature's keys directly (rows stay
+    // in node order, exactly as a `(0, r)` fill plus refresh would
+    // leave them), so the first iteration skips its refresh pass.
+    let first_f = features.first().copied();
+    if let (Some(f0), SplitMode::Best) = (first_f, cfg.split) {
+        let key_col = &keys[f0 * n_rows..(f0 + 1) * n_rows];
+        sorted.extend(rows.iter().map(|&r| (key_col[r], r as u32)));
+    } else {
+        sorted.extend(rows.iter().map(|&r| (0u32, r as u32)));
+    }
     for &f in features {
+        let col = &cols[f * n_rows..(f + 1) * n_rows];
+        let key_col = &keys[f * n_rows..(f + 1) * n_rows];
         match cfg.split {
             SplitMode::Best => {
-                sorted.sort_unstable_by(|&a, &b| {
-                    x.get(a, f).partial_cmp(&x.get(b, f)).expect("no NaN features")
-                });
+                // Refresh the keys for this feature in the buffer's
+                // current order — the comparator then sees exactly the
+                // ordering (and input permutation) an index sort would.
+                if first_f != Some(f) {
+                    for p in sorted.iter_mut() {
+                        p.0 = key_col[p.1 as usize];
+                    }
+                }
+                // Constant feature at this node (common deep in the
+                // tree once an ordinal dimension is pure): the sweep
+                // can find no boundary, and the sort would be an
+                // identity permutation — every comparison returns
+                // `Equal`, and the standard unstable sort leaves
+                // fully-sorted input untouched — so both are skipped
+                // and the next feature sees the same row order as if
+                // the sort had run. The identity invariant is guarded
+                // by the bitwise seed-equivalence tests in agebo-bench.
+                if sorted.iter().all(|p| p.0 == sorted[0].0) {
+                    continue;
+                }
+                sorted.sort_unstable_by_key(|p| p.0);
                 let mut left_sum = 0.0f64;
-                for i in 0..n - 1 {
-                    left_sum += y[sorted[i]];
-                    let (lo, hi) = (x.get(sorted[i], f), x.get(sorted[i + 1], f));
-                    if hi <= lo {
-                        continue;
+                for (i, w) in sorted.windows(2).enumerate() {
+                    left_sum += y[w[0].1 as usize];
+                    let (lo_k, hi_k) = (w[0].0, w[1].0);
+                    if hi_k <= lo_k {
+                        continue; // same value: not a boundary
                     }
                     let n_left = i + 1;
                     let n_right = n - n_left;
@@ -204,14 +353,14 @@ fn best_reg_split(
                     let score = -(left_sum * left_sum / n_left as f64
                         + right_sum * right_sum / n_right as f64);
                     if best.is_none_or(|(s, _, _)| score < s) {
-                        best = Some((score, f, (lo + hi) * 0.5));
+                        best = Some((score, f, (key_val(lo_k) + key_val(hi_k)) * 0.5));
                     }
                 }
             }
             SplitMode::Random => {
                 let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
                 for &r in rows {
-                    let v = x.get(r, f);
+                    let v = col[r];
                     lo = lo.min(v);
                     hi = hi.max(v);
                 }
@@ -222,7 +371,7 @@ fn best_reg_split(
                 let mut left_sum = 0.0;
                 let mut n_left = 0usize;
                 for &r in rows {
-                    if x.get(r, f) <= t {
+                    if col[r] <= t {
                         left_sum += y[r];
                         n_left += 1;
                     }
@@ -377,50 +526,122 @@ impl RegressionTree {
         cfg: &TreeConfig,
         rng: &mut impl Rng,
     ) -> Self {
-        assert_eq!(x.rows(), y.len());
-        assert!(!rows.is_empty(), "empty training subset");
-        let mut tree = RegressionTree { nodes: Vec::new() };
-        tree.grow(x, y, rows, 0, cfg, rng);
+        let (mut cols, mut keys) = (Vec::new(), Vec::new());
+        extract_columns(x, &mut cols, &mut keys);
+        let mut tree = RegressionTree::empty();
+        tree.refit_rows_with(&cols, &keys, x.rows(), y, rows, cfg, rng, &mut TreeScratch::default());
         tree
+    }
+
+    /// An empty tree with no nodes — a placeholder to be populated by
+    /// [`RegressionTree::refit_rows_with`]. Predicting on it panics.
+    pub fn empty() -> Self {
+        RegressionTree { nodes: Vec::new() }
+    }
+
+    /// Regrows this tree on `rows`, reusing its node storage and the
+    /// caller's scratch buffers. `cols`/`keys` are the shared
+    /// [`extract_columns`] output for the training matrix (`n_rows`
+    /// tall) — shared so a forest extracts once, not per tree.
+    /// Bitwise-identical to [`RegressionTree::fit_rows`] (same rng draw
+    /// sequence, same floating-point operation order) but
+    /// allocation-free once the buffers are warm — the hot path of the
+    /// constant-liar refit loop.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn refit_rows_with(
+        &mut self,
+        cols: &[f32],
+        keys: &[u32],
+        n_rows: usize,
+        y: &[f64],
+        rows: &[usize],
+        cfg: &TreeConfig,
+        rng: &mut impl Rng,
+        scratch: &mut TreeScratch,
+    ) {
+        assert_eq!(n_rows, y.len());
+        assert!(!rows.is_empty(), "empty training subset");
+        self.nodes.clear();
+        let TreeScratch { idx, stage, sorted, feats } = scratch;
+        let n_features = cols.len().checked_div(n_rows).unwrap_or(0);
+        idx.clear();
+        idx.extend_from_slice(rows);
+        let hi = idx.len();
+        self.grow_in_place(
+            cols, keys, n_rows, n_features, y, idx, 0, hi, 0, cfg, rng, stage, sorted, feats,
+        );
     }
 
     fn leaf(&mut self, y: &[f64], rows: &[usize]) -> u32 {
         let value = rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len() as f64;
+        self.leaf_value(value)
+    }
+
+    fn leaf_value(&mut self, value: f64) -> u32 {
         self.nodes.push(Node::LeafValue { value });
         (self.nodes.len() - 1) as u32
     }
 
-    fn grow(
+    /// The allocation-free growth recursion: the node's row set lives in
+    /// `idx[lo..hi]` and children are produced by a *stable* in-place
+    /// partition, so every per-node row order (and hence every float
+    /// summation order and rng draw) matches the allocating original.
+    #[allow(clippy::too_many_arguments)]
+    fn grow_in_place(
         &mut self,
-        x: &Matrix,
+        cols: &[f32],
+        keys: &[u32],
+        n_rows: usize,
+        n_features: usize,
         y: &[f64],
-        rows: &[usize],
+        idx: &mut Vec<usize>,
+        lo: usize,
+        hi: usize,
         depth: usize,
         cfg: &TreeConfig,
         rng: &mut impl Rng,
+        stage: &mut Vec<usize>,
+        sorted: &mut Vec<(u32, u32)>,
+        feats: &mut Vec<usize>,
     ) -> u32 {
-        if depth >= cfg.max_depth || rows.len() < 2 * cfg.min_samples_leaf {
-            return self.leaf(y, rows);
+        let n = hi - lo;
+        if depth >= cfg.max_depth || n < 2 * cfg.min_samples_leaf {
+            return self.leaf(y, &idx[lo..hi]);
         }
-        let mean = rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len() as f64;
-        let sse: f64 = rows.iter().map(|&r| (y[r] - mean).powi(2)).sum();
+        // `sum / n` is bitwise the leaf value of this node's row set, and
+        // `sum` is the splitter's total in the same summation order — both
+        // are reused below instead of re-summing.
+        let sum = idx[lo..hi].iter().map(|&r| y[r]).sum::<f64>();
+        let mean = sum / n as f64;
+        let sse: f64 = idx[lo..hi].iter().map(|&r| (y[r] - mean).powi(2)).sum();
         if sse < 1e-12 {
-            return self.leaf(y, rows);
+            return self.leaf_value(mean);
         }
-        let features = feature_subset(x.cols(), cfg, rng);
-        match best_reg_split(x, y, rows, &features, cfg, rng) {
-            None => self.leaf(y, rows),
+        feature_subset_into(n_features, cfg, rng, feats);
+        match best_reg_split_with(cols, keys, n_rows, y, &idx[lo..hi], sum, feats, cfg, rng, sorted)
+        {
+            None => self.leaf_value(mean),
             Some((feature, threshold)) => {
-                let (left_rows, right_rows) = partition(x, rows, feature, threshold);
-                if left_rows.is_empty() || right_rows.is_empty() {
-                    return self.leaf(y, rows);
+                let col = &cols[feature * n_rows..(feature + 1) * n_rows];
+                let n_left = partition_in_place(col, idx, lo, hi, threshold, stage);
+                if n_left == 0 || n_left == n {
+                    // One-sided partition: the stable pass left the order
+                    // unchanged, so the node mean is the leaf value.
+                    return self.leaf_value(mean);
                 }
-                let idx = self.nodes.len();
+                let node = self.nodes.len();
                 self.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
-                let left = self.grow(x, y, &left_rows, depth + 1, cfg, rng);
-                let right = self.grow(x, y, &right_rows, depth + 1, cfg, rng);
-                self.nodes[idx] = Node::Split { feature, threshold, left, right };
-                idx as u32
+                let mid = lo + n_left;
+                let left = self.grow_in_place(
+                    cols, keys, n_rows, n_features, y, idx, lo, mid, depth + 1, cfg, rng, stage,
+                    sorted, feats,
+                );
+                let right = self.grow_in_place(
+                    cols, keys, n_rows, n_features, y, idx, mid, hi, depth + 1, cfg, rng, stage,
+                    sorted, feats,
+                );
+                self.nodes[node] = Node::Split { feature, threshold, left, right };
+                node as u32
             }
         }
     }
@@ -583,8 +804,22 @@ mod tests {
         let y = vec![0.0f64, 0.0, 0.0, 10.0, 10.0, 10.0];
         let mut rng = StdRng::seed_from_u64(10);
         let cfg = TreeConfig::default();
-        let (f, t) = best_reg_split(&x, &y, &[0, 1, 2, 3, 4, 5], &[0], &cfg, &mut rng)
-            .expect("split exists");
+        let cols: Vec<f32> = (0..6).map(|r| x.get(r, 0)).collect();
+        let keys: Vec<u32> = cols.iter().map(|&v| sort_key(v)).collect();
+        let total: f64 = y.iter().sum();
+        let (f, t) = best_reg_split_with(
+            &cols,
+            &keys,
+            6,
+            &y,
+            &[0, 1, 2, 3, 4, 5],
+            total,
+            &[0],
+            &cfg,
+            &mut rng,
+            &mut Vec::new(),
+        )
+        .expect("split exists");
         assert_eq!(f, 0);
         assert!((t - 2.5).abs() < 1e-6, "t={t}");
     }

@@ -1,0 +1,109 @@
+//! Property-based tests for the regression-forest hot path: the batched
+//! predictor and the warm-start refit must be *bitwise* equal to the
+//! per-row / from-scratch originals, not merely close — the BO golden
+//! event stream depends on it.
+
+use agebo_tensor::Matrix;
+use agebo_trees::{ForestConfig, ForestScratch, RandomForestRegressor, TreeConfig};
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (4usize..40, 1usize..6).prop_flat_map(|(rows, cols)| {
+        let x = prop::collection::vec(-10.0f32..10.0, rows * cols)
+            .prop_map(move |d| Matrix::from_vec(rows, cols, d));
+        let y = prop::collection::vec(-5.0f64..5.0, rows);
+        (x, y)
+    })
+}
+
+fn queries_strategy() -> impl Strategy<Value = (usize, Vec<f32>)> {
+    (1usize..24, 1usize..6)
+        .prop_flat_map(|(rows, cols)| {
+            prop::collection::vec(-12.0f32..12.0, rows * cols)
+                .prop_map(move |d| (cols, d))
+        })
+}
+
+fn forest_cfg(n_trees: usize, max_features: Option<usize>) -> ForestConfig {
+    ForestConfig {
+        n_trees,
+        tree: TreeConfig { max_depth: 8, max_features, ..TreeConfig::default() },
+        bootstrap: true,
+    }
+}
+
+proptest! {
+    #[test]
+    fn batch_predict_matches_per_row_bitwise(
+        (x, y) in dataset_strategy(),
+        n_trees in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let rf = RandomForestRegressor::fit(&x, &y, &forest_cfg(n_trees, None), seed);
+        // Query at the training points plus shifted copies (off-manifold).
+        let mut q = x.clone();
+        for r in 0..q.rows() {
+            for c in 0..q.cols() {
+                let v = q.get(r, c);
+                q.set(r, c, v * 1.5 - 0.25);
+            }
+        }
+        for m in [&x, &q] {
+            let batch = rf.predict_mean_std_batch(m);
+            prop_assert_eq!(batch.len(), m.rows());
+            for (r, &(mean, std)) in batch.iter().enumerate() {
+                let (rm, rs) = rf.predict_mean_std_row(m.row(r));
+                prop_assert_eq!(mean.to_bits(), rm.to_bits(), "mean row {}", r);
+                prop_assert_eq!(std.to_bits(), rs.to_bits(), "std row {}", r);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_predict_matches_on_arbitrary_queries(
+        (x, y) in dataset_strategy(),
+        (qcols, qdata) in queries_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // Feature-subsampled forest, query dims padded/truncated to match.
+        let cols = x.cols();
+        let rf = RandomForestRegressor::fit(&x, &y, &forest_cfg(7, Some(1)), seed);
+        let qrows = qdata.len() / qcols;
+        let q = Matrix::from_fn(qrows, cols, |r, c| {
+            if c < qcols { qdata[r * qcols + c] } else { 0.0 }
+        });
+        let batch = rf.predict_mean_std_batch(&q);
+        for (r, &(mean, std)) in batch.iter().enumerate() {
+            let (rm, rs) = rf.predict_mean_std_row(q.row(r));
+            prop_assert_eq!(mean.to_bits(), rm.to_bits());
+            prop_assert_eq!(std.to_bits(), rs.to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_refit_is_bitwise_equal_to_fresh_fit(
+        (x, y) in dataset_strategy(),
+        seeds in prop::collection::vec(any::<u64>(), 1..5),
+        subsample in 0usize..3,
+    ) {
+        // One scratch reused across several refits (the constant-liar
+        // pattern) must reproduce each from-scratch fit exactly, even as
+        // the training set shrinks and grows between refits.
+        let cfg = forest_cfg(5, if subsample == 0 { None } else { Some(subsample) });
+        let mut warm = RandomForestRegressor::default();
+        let mut scratch = ForestScratch::default();
+        for (k, &seed) in seeds.iter().enumerate() {
+            let n = x.rows() - (k % 2);
+            let xs = Matrix::from_fn(n, x.cols(), |r, c| x.get(r, c));
+            let ys = &y[..n];
+            warm.refit(&xs, ys, &cfg, seed, &mut scratch);
+            let fresh = RandomForestRegressor::fit(&xs, ys, &cfg, seed);
+            let warm_p = warm.predict_mean_std_batch(&xs);
+            let fresh_p = fresh.predict_mean_std_batch(&xs);
+            for (w, f) in warm_p.iter().zip(&fresh_p) {
+                prop_assert_eq!(w.0.to_bits(), f.0.to_bits());
+                prop_assert_eq!(w.1.to_bits(), f.1.to_bits());
+            }
+        }
+    }
+}

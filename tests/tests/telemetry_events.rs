@@ -44,6 +44,7 @@ fn all_variants() -> Vec<RunEvent> {
         RunEvent::EvalFault { id: 19, sim: 400.0 },
         RunEvent::BoAsk { sim: 0.0, n_points: 8 },
         RunEvent::BoTell { sim: 357.75, n_points: 1 },
+        RunEvent::BoRejected { sim: 357.75, n_points: 2 },
         RunEvent::PopulationReplaced { sim: 357.75, eval_id: 17, size: 100, full: true },
         RunEvent::Checkpoint { sim: 10800.0, n_records: 479, path: "out/history.json".into() },
     ]
