@@ -84,7 +84,7 @@ fn table2_inference(c: &mut Criterion) {
     let best = history.best().expect("smoke search found something");
     let (net, _) = agebo_core::evaluation::train_final(
         &ctx,
-        &agebo_core::EvalTask { arch: best.arch.clone(), hp: best.hp, seed: 4, cached: None },
+        &agebo_core::EvalTask { arch: best.arch.clone(), hp: best.hp, seed: 4, attempt: 0, cached: None },
     );
     let ens = AutoGluonLike::fit(&ctx.train, &ctx.valid, &EnsembleConfig::small(4));
     let mut g = group(c, "table2_inference");

@@ -51,7 +51,7 @@ fn main() {
                         arch: arch.clone(),
                         hp: DataParallelHp { lr1: 0.01, bs1: bs, n },
                         seed: 1234,
-                        cached: None,
+                        attempt: 0, cached: None,
                     },
                 );
                 println!(

@@ -50,7 +50,7 @@ fn main() {
         }
         // Real (scaled-down) accuracy at this rank count; shard size
         // limits how far n can stretch on the generated data.
-        let acc = evaluate(&ctx, &EvalTask { arch: arch.clone(), hp, seed: args.seed, cached: None });
+        let acc = evaluate(&ctx, &EvalTask { arch: arch.clone(), hp, seed: args.seed, attempt: 0, cached: None });
         rows.push(Row {
             n,
             nodes: n.div_ceil(comm.ranks_per_node),

@@ -36,7 +36,7 @@ fn main() {
         // Retrain the best discovered model and evaluate on the test set.
         let (net, _) = train_final(
             &ctx,
-            &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: args.seed ^ 0xF1AA, cached: None },
+            &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: args.seed ^ 0xF1AA, attempt: 0, cached: None },
         );
         let (preds, _) = predict_timed(&net, &ctx.test.x, 1024);
         let agebo_acc = ctx.test.accuracy_of(&preds);

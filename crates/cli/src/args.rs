@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing (no external CLI dependency).
 
-use agebo_core::Variant;
+use agebo_core::{FaultPlan, Variant};
 use agebo_tabular::{DatasetKind, SizeProfile};
 
 /// A parsed command line.
@@ -46,6 +46,12 @@ pub struct SearchArgs {
     pub wall_minutes: Option<f64>,
     /// Directory receiving the run-event log and metrics snapshot.
     pub telemetry: Option<String>,
+    /// Injected application-level failure probability, in `[0, 1]`.
+    pub failure_rate: Option<f64>,
+    /// Simulated-cluster chaos profile (`none | mild | heavy`).
+    pub chaos: Option<FaultPlan>,
+    /// Checkpoint the history every N recorded completions (to `--out`).
+    pub checkpoint_every: Option<usize>,
 }
 
 /// Arguments of `agebo resume`.
@@ -63,6 +69,12 @@ pub struct ResumeArgs {
     pub out: Option<String>,
     /// Directory receiving the run-event log and metrics snapshot.
     pub telemetry: Option<String>,
+    /// Injected application-level failure probability, in `[0, 1]`.
+    pub failure_rate: Option<f64>,
+    /// Simulated-cluster chaos profile (`none | mild | heavy`).
+    pub chaos: Option<FaultPlan>,
+    /// Checkpoint the history every N recorded completions (to `--out`).
+    pub checkpoint_every: Option<usize>,
 }
 
 /// Arguments of `agebo evaluate`.
@@ -104,9 +116,11 @@ USAGE:
                  [--variant agebo|age-1|age-2|age-4|age-8|agebo-lr|agebo-lr-bs]
                  [--profile test|bench|large] [--seed N] [--wall-minutes M]
                  [--out history.json] [--model-out model.json]
-                 [--telemetry DIR]
+                 [--telemetry DIR] [--failure-rate P]
+                 [--chaos-profile none|mild|heavy] [--checkpoint-every N]
   agebo resume   --history history.json [--dataset D] [--profile P] [--seed N]
-                 [--out merged.json] [--telemetry DIR]
+                 [--out merged.json] [--telemetry DIR] [--failure-rate P]
+                 [--chaos-profile none|mild|heavy] [--checkpoint-every N]
   agebo evaluate --model model.json --csv data.csv
   agebo report   --dir DIR    (a --telemetry directory or an events.jsonl)
 ";
@@ -148,6 +162,21 @@ fn parse_variant(s: &str) -> Result<Variant, ParseError> {
             }
         }
     }
+}
+
+fn parse_failure_rate(s: &str) -> Result<f64, ParseError> {
+    let rate: f64 = s
+        .parse()
+        .map_err(|_| ParseError(format!("bad --failure-rate {s}")))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(ParseError(format!("--failure-rate must be in [0,1], got {rate}")));
+    }
+    Ok(rate)
+}
+
+fn parse_chaos(s: &str) -> Result<FaultPlan, ParseError> {
+    FaultPlan::from_label(s)
+        .ok_or_else(|| ParseError(format!("unknown chaos profile {s} (none|mild|heavy)")))
 }
 
 /// Pulls `--key value` pairs out of `argv`, rejecting keys outside
@@ -207,6 +236,9 @@ impl Cli {
                         "model-out",
                         "wall-minutes",
                         "telemetry",
+                        "failure-rate",
+                        "chaos-profile",
+                        "checkpoint-every",
                     ],
                 )?;
                 Command::Search(SearchArgs {
@@ -241,12 +273,34 @@ impl Cli {
                         })
                         .transpose()?,
                     telemetry: kv.get("telemetry").cloned(),
+                    failure_rate: kv
+                        .get("failure-rate")
+                        .map(|s| parse_failure_rate(s))
+                        .transpose()?,
+                    chaos: kv.get("chaos-profile").map(|s| parse_chaos(s)).transpose()?,
+                    checkpoint_every: kv
+                        .get("checkpoint-every")
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| ParseError("bad --checkpoint-every".into()))
+                        })
+                        .transpose()?,
                 })
             }
             "resume" => {
                 let kv = keyed(
                     rest,
-                    &["history", "dataset", "profile", "seed", "out", "telemetry"],
+                    &[
+                        "history",
+                        "dataset",
+                        "profile",
+                        "seed",
+                        "out",
+                        "telemetry",
+                        "failure-rate",
+                        "chaos-profile",
+                        "checkpoint-every",
+                    ],
                 )?;
                 Command::Resume(ResumeArgs {
                     history: kv
@@ -270,6 +324,18 @@ impl Cli {
                         .unwrap_or(43),
                     out: kv.get("out").cloned(),
                     telemetry: kv.get("telemetry").cloned(),
+                    failure_rate: kv
+                        .get("failure-rate")
+                        .map(|s| parse_failure_rate(s))
+                        .transpose()?,
+                    chaos: kv.get("chaos-profile").map(|s| parse_chaos(s)).transpose()?,
+                    checkpoint_every: kv
+                        .get("checkpoint-every")
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| ParseError("bad --checkpoint-every".into()))
+                        })
+                        .transpose()?,
                 })
             }
             "evaluate" => {
@@ -384,6 +450,57 @@ mod tests {
         let cli = Cli::parse(&argv(&["report", "--dir", "/tmp/tel"])).unwrap();
         assert_eq!(cli.command, Command::Report(ReportArgs { dir: "/tmp/tel".into() }));
         assert!(Cli::parse(&argv(&["report"])).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        let cli = Cli::parse(&argv(&[
+            "search",
+            "--failure-rate",
+            "0.25",
+            "--chaos-profile",
+            "heavy",
+            "--checkpoint-every",
+            "10",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Search(a) => {
+                assert_eq!(a.failure_rate, Some(0.25));
+                assert_eq!(a.chaos, Some(FaultPlan::heavy()));
+                assert_eq!(a.checkpoint_every, Some(10));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = Cli::parse(&argv(&[
+            "resume",
+            "--history",
+            "h.json",
+            "--chaos-profile",
+            "mild",
+            "--failure-rate",
+            "0",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Resume(a) => {
+                assert_eq!(a.chaos, Some(FaultPlan::mild()));
+                assert_eq!(a.failure_rate, Some(0.0));
+                assert_eq!(a.checkpoint_every, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_chaos_flags() {
+        let err = Cli::parse(&argv(&["search", "--failure-rate", "1.5"])).unwrap_err();
+        assert!(err.0.contains("must be in [0,1]"), "{}", err.0);
+        assert!(Cli::parse(&argv(&["search", "--failure-rate", "-0.1"])).is_err());
+        assert!(Cli::parse(&argv(&["search", "--failure-rate", "lots"])).is_err());
+        let err = Cli::parse(&argv(&["search", "--chaos-profile", "apocalyptic"])).unwrap_err();
+        assert!(err.0.contains("none|mild|heavy"), "{}", err.0);
+        assert!(Cli::parse(&argv(&["search", "--checkpoint-every", "-3"])).is_err());
     }
 
     #[test]

@@ -123,6 +123,28 @@ fn finish_telemetry(tel: &Telemetry) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Applies the shared chaos/robustness flags to a search config. The
+/// checkpoint destination is the history `--out` path (checkpoints
+/// overwrite it periodically; the final write happens at run end).
+fn apply_chaos_flags(
+    mut cfg: SearchConfig,
+    failure_rate: Option<f64>,
+    chaos: Option<agebo_core::FaultPlan>,
+    checkpoint_every: Option<usize>,
+    out: &Option<String>,
+) -> SearchConfig {
+    if let Some(rate) = failure_rate {
+        cfg = cfg.with_failure_rate(rate);
+    }
+    if let Some(plan) = chaos {
+        cfg = cfg.with_chaos(plan);
+    }
+    if let Some(every) = checkpoint_every {
+        cfg = cfg.with_checkpoints(every, out.clone());
+    }
+    cfg
+}
+
 /// `agebo search`.
 pub fn search(args: &SearchArgs) -> Result<(), CliError> {
     let ctx = context_for(args)?;
@@ -130,6 +152,7 @@ pub fn search(args: &SearchArgs) -> Result<(), CliError> {
     if let Some(minutes) = args.wall_minutes {
         cfg = cfg.with_wall_time(minutes * 60.0);
     }
+    cfg = apply_chaos_flags(cfg, args.failure_rate, args.chaos, args.checkpoint_every, &args.out);
     eprintln!(
         "searching with {} on {} ({} workers, {:.0} simulated minutes)...",
         args.variant.label(),
@@ -141,7 +164,7 @@ pub fn search(args: &SearchArgs) -> Result<(), CliError> {
     let history = run_search_instrumented(Arc::clone(&ctx), &cfg, &tel);
     report(&history);
     if let Some(path) = &args.out {
-        std::fs::write(path, serde_json::to_string_pretty(&history)?)?;
+        std::fs::write(path, history.to_json_string())?;
         tel.emit(RunEvent::Checkpoint {
             sim: history.wall_time,
             n_records: history.len(),
@@ -153,7 +176,7 @@ pub fn search(args: &SearchArgs) -> Result<(), CliError> {
         let best = history.best().ok_or("no evaluations finished")?;
         let (net, _) = train_final(
             &ctx,
-            &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: args.seed ^ 0xBEEF, cached: None },
+            &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: args.seed ^ 0xBEEF, attempt: 0, cached: None },
         );
         let preds = net.predict(&ctx.test.x);
         println!("test accuracy of retrained best model: {:.4}", ctx.test.accuracy_of(&preds));
@@ -167,25 +190,35 @@ pub fn search(args: &SearchArgs) -> Result<(), CliError> {
 /// `agebo resume`.
 pub fn resume(args: &ResumeArgs) -> Result<(), CliError> {
     let text = std::fs::read_to_string(&args.history)?;
-    let checkpoint: SearchHistory = serde_json::from_str(&text)?;
-    // The variant is recovered from the label for the common cases.
-    let variant = if checkpoint.label.starts_with("AgEBO") {
-        agebo_core::Variant::agebo()
-    } else if let Some(n) = checkpoint.label.strip_prefix("AgE-") {
-        let n = n.parse().map_err(|_| {
-            format!("cannot recover process count from history label {:?}", checkpoint.label)
-        })?;
-        agebo_core::Variant::age(n)
-    } else {
-        agebo_core::Variant::agebo()
+    let checkpoint = SearchHistory::from_json_str(&text)
+        .map_err(|e| format!("cannot parse {}: {e}", args.history))?;
+    // Histories written since the variant was serialized carry it
+    // verbatim; label parsing is only a fallback for legacy files.
+    let variant = match &checkpoint.variant {
+        Some(v) => v.clone(),
+        None if checkpoint.label.starts_with("AgEBO") => agebo_core::Variant::agebo(),
+        None => {
+            if let Some(n) = checkpoint.label.strip_prefix("AgE-") {
+                let n = n.parse().map_err(|_| {
+                    format!(
+                        "cannot recover process count from history label {:?}",
+                        checkpoint.label
+                    )
+                })?;
+                agebo_core::Variant::age(n)
+            } else {
+                agebo_core::Variant::agebo()
+            }
+        }
     };
     let ctx = Arc::new(EvalContext::prepare(args.dataset, args.profile, args.seed));
-    let cfg = search_config(args.profile, variant).with_seed(args.seed);
+    let mut cfg = search_config(args.profile, variant).with_seed(args.seed);
+    cfg = apply_chaos_flags(cfg, args.failure_rate, args.chaos, args.checkpoint_every, &args.out);
     let tel = telemetry_for(&args.telemetry)?;
     let merged = resume_search_instrumented(Arc::clone(&ctx), &cfg, &checkpoint, &tel);
     report(&merged);
     if let Some(path) = &args.out {
-        std::fs::write(path, serde_json::to_string_pretty(&merged)?)?;
+        std::fs::write(path, merged.to_json_string())?;
         tel.emit(RunEvent::Checkpoint {
             sim: merged.wall_time,
             n_records: merged.len(),
@@ -270,6 +303,11 @@ mod tests {
             // simulated wall clock so the test stays fast.
             wall_minutes: Some(5.0),
             telemetry: Some(tel_dir.to_string_lossy().into_owned()),
+            failure_rate: None,
+            chaos: None,
+            // Exercise the periodic checkpoint path end to end: the
+            // history file is (over)written during the run too.
+            checkpoint_every: Some(5),
         };
         search(&args).unwrap();
         assert!(hist_path.exists());
@@ -286,10 +324,12 @@ mod tests {
         })
         .unwrap();
 
-        // And the history resumes.
+        // And the history parses back with the variant serialized, so a
+        // resume needs no label guessing.
         let text = std::fs::read_to_string(&hist_path).unwrap();
-        let h: SearchHistory = serde_json::from_str(&text).unwrap();
+        let h = SearchHistory::from_json_str(&text).unwrap();
         assert!(!h.is_empty());
+        assert_eq!(h.variant, Some(agebo_core::Variant::agebo()));
 
         for p in [hist_path, model_path, csv_path] {
             std::fs::remove_file(p).ok();

@@ -2,9 +2,10 @@
 
 use agebo_bo::SurrogateKind;
 use agebo_dataparallel::{DataParallelHp, TrainingCostModel};
+use agebo_scheduler::FaultPlan;
 
 /// Which search method to run — the paper's baselines and ablations.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Variant {
     /// Plain aging evolution with *static* data-parallel training:
     /// `lr` and `bs` follow the linear-scaling rule at fixed `n`
@@ -112,6 +113,79 @@ impl CachePolicy {
     }
 }
 
+/// How the manager reacts to failed, killed, or late evaluations.
+///
+/// All delays are simulated seconds; retry decisions depend only on the
+/// (deterministic) outcome stream, so they replay bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per candidate, including the first (≥ 1). When
+    /// exhausted, the candidate is abandoned and a replacement is
+    /// generated instead.
+    pub max_attempts: u32,
+    /// Base backoff before a retry, in simulated seconds; the delay for
+    /// retry attempt `a` (1-based) is `backoff × 2^(a−1)`. Zero disables
+    /// backoff.
+    pub backoff: f64,
+    /// Deadline multiplier: kill an evaluation `k ×` its modeled
+    /// duration after submission and reassign it. `None` disables
+    /// deadlines (stragglers run to completion).
+    pub deadline_factor: Option<f64>,
+    /// Quarantine a worker slot after this many *consecutive*
+    /// infrastructure failures (outage kills, crashes, timeouts —
+    /// injected task faults don't count). 0 disables quarantine.
+    pub quarantine_after: u32,
+    /// Length of a quarantine, in simulated seconds.
+    pub quarantine_cooldown: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: 0.0,
+            deadline_factor: None,
+            quarantine_after: 3,
+            quarantine_cooldown: 600.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy tuned for hostile clusters: deadlines at 4× the modeled
+    /// duration, 30 s exponential backoff, longer quarantines.
+    pub fn hardened() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: 30.0,
+            deadline_factor: Some(4.0),
+            quarantine_after: 3,
+            quarantine_cooldown: 900.0,
+        }
+    }
+
+    /// Simulated-seconds delay before retry attempt `attempt` (1-based).
+    pub fn backoff_for(&self, attempt: u32) -> f64 {
+        if self.backoff <= 0.0 {
+            return 0.0;
+        }
+        self.backoff * 2f64.powi(attempt.saturating_sub(1).min(16) as i32)
+    }
+
+    /// Validates the policy's parameters (panics on nonsense values).
+    pub fn validate(&self) {
+        assert!(self.max_attempts >= 1, "max_attempts must be >= 1");
+        assert!(self.backoff >= 0.0 && self.backoff.is_finite(), "bad backoff");
+        if let Some(k) = self.deadline_factor {
+            assert!(k > 1.0 && k.is_finite(), "deadline_factor must exceed 1");
+        }
+        assert!(
+            self.quarantine_cooldown >= 0.0 && self.quarantine_cooldown.is_finite(),
+            "bad quarantine_cooldown"
+        );
+    }
+}
+
 /// Full configuration of one search run.
 #[derive(Debug, Clone)]
 pub struct SearchConfig {
@@ -163,6 +237,19 @@ pub struct SearchConfig {
     /// the search trajectory is identical with this on or off; disabling
     /// it serializes the manager loop (debugging / baseline timing).
     pub pipeline_ask: bool,
+    /// Simulated-cluster chaos: worker outages and stragglers.
+    /// [`FaultPlan::none`] (the default) keeps the run bitwise identical
+    /// to a chaos-free build.
+    pub chaos: FaultPlan,
+    /// Retry / deadline / quarantine policy for failed evaluations.
+    pub retry: RetryPolicy,
+    /// Write a history checkpoint every this many recorded completions
+    /// (0 = off). Each checkpoint also emits `RunEvent::Checkpoint`.
+    pub checkpoint_every: usize,
+    /// Destination of periodic checkpoints; required when
+    /// `checkpoint_every > 0` wants files on disk (with `None`, only the
+    /// telemetry event is emitted).
+    pub checkpoint_path: Option<String>,
 }
 
 fn default_threads() -> usize {
@@ -193,6 +280,10 @@ impl SearchConfig {
             failure_rate: 0.0,
             cache: CachePolicy::Replay,
             pipeline_ask: true,
+            chaos: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            checkpoint_every: 0,
+            checkpoint_path: None,
         }
     }
 
@@ -247,6 +338,40 @@ impl SearchConfig {
     /// Enables or disables the background-thread `ask` pipeline.
     pub fn with_pipeline_ask(mut self, pipeline_ask: bool) -> Self {
         self.pipeline_ask = pipeline_ask;
+        self
+    }
+
+    /// Sets the injected per-task failure probability (validated to
+    /// `[0, 1]`).
+    pub fn with_failure_rate(mut self, failure_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&failure_rate),
+            "failure_rate must be in [0,1], got {failure_rate}"
+        );
+        self.failure_rate = failure_rate;
+        self
+    }
+
+    /// Installs a chaos plan (worker outages + stragglers).
+    pub fn with_chaos(mut self, chaos: FaultPlan) -> Self {
+        chaos.validate();
+        self.chaos = chaos;
+        self
+    }
+
+    /// Sets the retry / deadline / quarantine policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        retry.validate();
+        self.retry = retry;
+        self
+    }
+
+    /// Checkpoints the history every `every` recorded completions to
+    /// `path` (`every = 0` disables; `path = None` emits only the
+    /// telemetry event).
+    pub fn with_checkpoints(mut self, every: usize, path: Option<String>) -> Self {
+        self.checkpoint_every = every;
+        self.checkpoint_path = path;
         self
     }
 }

@@ -114,9 +114,39 @@ pub struct EvalTask {
     /// evaluation *content* (see [`content_seed`]) so identical
     /// (architecture, hyperparameter) submissions train identically.
     pub seed: u64,
+    /// Retry attempt index (0 = first submission). Mixed into the
+    /// injected-fault draw — but *not* into the training seed — so a
+    /// resubmission of a transiently-faulted candidate can succeed while
+    /// still training bit-identically.
+    pub attempt: u32,
     /// Memoized objective from a previous identical evaluation; a worker
     /// receiving `Some` returns it without training.
     pub cached: Option<f64>,
+}
+
+/// What a worker reports back for one [`EvalTask`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskOutput {
+    /// Training completed with a finite objective (best validation
+    /// accuracy).
+    Objective(f64),
+    /// The injected transient fault fired: the evaluation "crashed" and
+    /// may succeed on retry (the draw mixes in the attempt index).
+    Faulted,
+    /// Training produced a non-finite objective: the candidate itself
+    /// diverges, so retrying the same seed is pointless — the manager
+    /// replaces it instead.
+    Diverged,
+}
+
+impl TaskOutput {
+    /// The objective when training succeeded.
+    pub fn objective(self) -> Option<f64> {
+        match self {
+            TaskOutput::Objective(o) => Some(o),
+            _ => None,
+        }
+    }
 }
 
 /// Trains the task's network and returns its best validation accuracy.
@@ -200,21 +230,41 @@ pub fn evaluate_with_faults_instrumented(
     failure_rate: f64,
     tt: &TrainerTelemetry,
 ) -> Option<f64> {
+    evaluate_task_instrumented(ctx, task, failure_rate, tt).objective()
+}
+
+/// The structured worker entry point: injected faults, the divergence
+/// guard, the memo-cache, and training, reported as a [`TaskOutput`].
+pub fn evaluate_task_instrumented(
+    ctx: &EvalContext,
+    task: &EvalTask,
+    failure_rate: f64,
+    tt: &TrainerTelemetry,
+) -> TaskOutput {
     if failure_rate > 0.0 {
-        let draw = Stream::new(task.seed).labeled(0xFA11) as f64
-            / u64::MAX as f64;
+        // The draw mixes the attempt index into the label (attempt 0
+        // reproduces the historical draw bit for bit). Drawing from the
+        // content-derived seed alone would make the same candidate fault
+        // on every resubmission, permanently biasing the search away
+        // from whatever architectures happened to draw badly.
+        let label = 0xFA11 ^ (u64::from(task.attempt) << 16);
+        let draw = Stream::new(task.seed).labeled(label) as f64 / u64::MAX as f64;
         if draw < failure_rate {
-            return None;
+            return TaskOutput::Faulted;
         }
     }
     // Memoized result of a previous identical evaluation: with a
     // content-derived seed, re-training would reproduce it bit for bit,
-    // so skip the compute. (The fault draw above also repeats, and only
-    // evaluations that passed it are ever cached.)
+    // so skip the compute. (Only finite objectives are ever cached.)
     if let Some(objective) = task.cached {
-        return Some(objective);
+        return TaskOutput::Objective(objective);
     }
-    Some(evaluate_instrumented(ctx, task, tt))
+    let objective = evaluate_instrumented(ctx, task, tt);
+    if objective.is_finite() {
+        TaskOutput::Objective(objective)
+    } else {
+        TaskOutput::Diverged
+    }
 }
 
 /// Random architecture/HP seeds derived per evaluation id.
@@ -281,7 +331,7 @@ mod tests {
             arch,
             hp: DataParallelHp { lr1: 0.01, bs1: 64, n: 1 },
             seed: 3,
-            cached: None,
+            attempt: 0, cached: None,
         };
         let acc = evaluate(&ctx, &task);
         assert!(
@@ -299,7 +349,7 @@ mod tests {
             arch: ctx.space.random(&mut rng),
             hp: DataParallelHp { lr1: 0.02, bs1: 128, n: 2 },
             seed: 9,
-            cached: None,
+            attempt: 0, cached: None,
         };
         assert_eq!(evaluate(&ctx, &task), evaluate(&ctx, &task));
     }

@@ -1,8 +1,16 @@
 //! Search histories: one timed record per evaluated architecture, plus
 //! the derived quantities the paper's figures plot.
+//!
+//! Histories persist through their own JSON codec
+//! ([`SearchHistory::to_json_string`] / [`SearchHistory::from_json_str`],
+//! built on [`agebo_telemetry::Json`]) — the vendored `serde_json` is a
+//! typecheck-only stub, so the serde derives exist for API compatibility
+//! but cannot actually round-trip files.
 
+use crate::config::Variant;
 use agebo_dataparallel::DataParallelHp;
 use agebo_searchspace::ArchVector;
+use agebo_telemetry::{Json, JsonError};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -50,6 +58,11 @@ pub struct SearchHistory {
     /// Evaluations whose objective came from the duplicate memo-cache.
     #[serde(default)]
     pub n_cache_hits: usize,
+    /// The search variant that produced this history. `None` only for
+    /// histories written before the field existed; `agebo resume` then
+    /// falls back to parsing the free-text label.
+    #[serde(default)]
+    pub variant: Option<Variant>,
 }
 
 impl SearchHistory {
@@ -148,6 +161,156 @@ impl SearchHistory {
             self.records.iter().map(|r| (r.duration - mean).powi(2)).sum::<f64>() / n;
         (mean, var.sqrt())
     }
+
+    /// The history as a [`Json`] value (field order fixed, so equal
+    /// histories serialize to equal bytes).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::Str(self.label.clone())),
+            ("dataset", Json::Str(self.dataset.clone())),
+            (
+                "variant",
+                self.variant.as_ref().map_or(Json::Null, variant_to_json),
+            ),
+            ("wall_time", Json::Num(self.wall_time)),
+            ("n_workers", Json::UInt(self.n_workers as u64)),
+            ("utilization", Json::Num(self.utilization)),
+            ("n_failed", Json::UInt(self.n_failed as u64)),
+            ("n_cache_hits", Json::UInt(self.n_cache_hits as u64)),
+            ("records", Json::Arr(self.records.iter().map(record_to_json).collect())),
+        ])
+    }
+
+    /// Pretty-printed JSON, ready to write to a history/checkpoint file.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Parses a history written by [`SearchHistory::to_json_string`]
+    /// (or any JSON with the same shape).
+    pub fn from_json_str(text: &str) -> Result<SearchHistory, JsonError> {
+        let v = Json::parse(text)?;
+        let records = v
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| herr("records", "missing or not an array"))?
+            .iter()
+            .map(record_from_json)
+            .collect::<Result<Vec<EvalRecord>, JsonError>>()?;
+        let variant = match v.get("variant") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(variant_from_json(j)?),
+        };
+        Ok(SearchHistory {
+            label: hstr(&v, "label")?,
+            dataset: hstr(&v, "dataset")?,
+            records,
+            wall_time: hf64(&v, "wall_time")?,
+            n_workers: husize(&v, "n_workers")?,
+            utilization: hf64(&v, "utilization")?,
+            n_failed: v.get("n_failed").and_then(Json::as_usize).unwrap_or(0),
+            n_cache_hits: v.get("n_cache_hits").and_then(Json::as_usize).unwrap_or(0),
+            variant,
+        })
+    }
+}
+
+fn herr(key: &str, what: &str) -> JsonError {
+    JsonError { message: format!("history field `{key}`: {what}"), offset: 0 }
+}
+
+fn hstr(v: &Json, key: &str) -> Result<String, JsonError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| herr(key, "expected string"))
+}
+
+fn hf64(v: &Json, key: &str) -> Result<f64, JsonError> {
+    v.get(key).and_then(Json::as_f64).ok_or_else(|| herr(key, "expected number"))
+}
+
+fn husize(v: &Json, key: &str) -> Result<usize, JsonError> {
+    v.get(key).and_then(Json::as_usize).ok_or_else(|| herr(key, "expected integer"))
+}
+
+fn variant_to_json(variant: &Variant) -> Json {
+    match variant {
+        Variant::Age { n } => {
+            Json::obj(vec![("kind", Json::Str("age".into())), ("n", Json::UInt(*n as u64))])
+        }
+        Variant::RandomSearch => Json::obj(vec![("kind", Json::Str("random_search".into()))]),
+        Variant::AgeBo { freeze_bs, freeze_n, kappa } => Json::obj(vec![
+            ("kind", Json::Str("agebo".into())),
+            ("freeze_bs", freeze_bs.map_or(Json::Null, |b| Json::UInt(b as u64))),
+            ("freeze_n", freeze_n.map_or(Json::Null, |n| Json::UInt(n as u64))),
+            ("kappa", Json::Num(*kappa)),
+        ]),
+    }
+}
+
+fn variant_from_json(v: &Json) -> Result<Variant, JsonError> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| herr("variant.kind", "expected string"))?;
+    Ok(match kind {
+        "age" => Variant::Age { n: husize(v, "n")? },
+        "random_search" => Variant::RandomSearch,
+        "agebo" => Variant::AgeBo {
+            freeze_bs: v.get("freeze_bs").and_then(Json::as_usize),
+            freeze_n: v.get("freeze_n").and_then(Json::as_usize),
+            kappa: hf64(v, "kappa")?,
+        },
+        other => return Err(herr("variant.kind", &format!("unknown variant `{other}`"))),
+    })
+}
+
+fn record_to_json(r: &EvalRecord) -> Json {
+    Json::obj(vec![
+        ("id", Json::UInt(r.id)),
+        ("arch", Json::Arr(r.arch.0.iter().map(|&a| Json::UInt(u64::from(a))).collect())),
+        (
+            "hp",
+            Json::obj(vec![
+                ("lr1", Json::Num(f64::from(r.hp.lr1))),
+                ("bs1", Json::UInt(r.hp.bs1 as u64)),
+                ("n", Json::UInt(r.hp.n as u64)),
+            ]),
+        ),
+        ("objective", Json::Num(r.objective)),
+        ("submitted_at", Json::Num(r.submitted_at)),
+        ("finished_at", Json::Num(r.finished_at)),
+        ("duration", Json::Num(r.duration)),
+        ("cache_hit", Json::Bool(r.cache_hit)),
+    ])
+}
+
+fn record_from_json(v: &Json) -> Result<EvalRecord, JsonError> {
+    let arch = v
+        .get("arch")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| herr("record.arch", "expected array"))?
+        .iter()
+        .map(|a| {
+            a.as_u64().map(|u| u as u16).ok_or_else(|| herr("record.arch", "expected integer"))
+        })
+        .collect::<Result<Vec<u16>, JsonError>>()?;
+    let hp = v.get("hp").ok_or_else(|| herr("record.hp", "missing"))?;
+    Ok(EvalRecord {
+        id: v.get("id").and_then(Json::as_u64).ok_or_else(|| herr("record.id", "expected id"))?,
+        arch: ArchVector(arch),
+        hp: DataParallelHp {
+            lr1: hf64(hp, "lr1")? as f32,
+            bs1: husize(hp, "bs1")?,
+            n: husize(hp, "n")?,
+        },
+        objective: hf64(v, "objective")?,
+        submitted_at: hf64(v, "submitted_at")?,
+        finished_at: hf64(v, "finished_at")?,
+        duration: hf64(v, "duration")?,
+        cache_hit: v.get("cache_hit").and_then(Json::as_bool).unwrap_or(false),
+    })
 }
 
 #[cfg(test)]
@@ -177,6 +340,7 @@ mod tests {
             utilization: 0.9,
             n_failed: 0,
             n_cache_hits: 0,
+            variant: None,
         }
     }
 
@@ -240,11 +404,59 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let h = history(vec![record(0, 0.5, 10.0, 0)]);
-        let json = serde_json::to_string(&h).unwrap();
-        let back: SearchHistory = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.records.len(), 1);
+    fn json_codec_roundtrips_exactly() {
+        let mut h = history(vec![record(0, 0.5, 10.0, 0), record(1, 0.75, 20.0, 3)]);
+        h.n_failed = 2;
+        h.n_cache_hits = 1;
+        h.variant = Some(Variant::agebo());
+        h.records[1].cache_hit = true;
+        let text = h.to_json_string();
+        let back = SearchHistory::from_json_str(&text).expect("parse own output");
+        assert_eq!(back.label, h.label);
+        assert_eq!(back.variant, h.variant);
+        assert_eq!(back.n_failed, 2);
+        assert_eq!(back.n_cache_hits, 1);
+        assert_eq!(back.records.len(), 2);
         assert_eq!(back.records[0].arch, h.records[0].arch);
+        assert_eq!(back.records[0].objective.to_bits(), h.records[0].objective.to_bits());
+        assert_eq!(back.records[0].hp.lr1.to_bits(), h.records[0].hp.lr1.to_bits());
+        assert!(back.records[1].cache_hit);
+        // Byte-stable: re-serializing the parse reproduces the file.
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn json_codec_roundtrips_every_variant_shape() {
+        for variant in [
+            Variant::age(8),
+            Variant::random_search(),
+            Variant::agebo(),
+            Variant::agebo_lr(8),
+            Variant::agebo_lr_bs(4),
+            Variant::agebo_kappa(1.96),
+        ] {
+            let mut h = history(vec![record(0, 0.5, 10.0, 0)]);
+            h.label = variant.label();
+            h.variant = Some(variant.clone());
+            let back = SearchHistory::from_json_str(&h.to_json_string()).unwrap();
+            assert_eq!(back.variant, Some(variant));
+        }
+    }
+
+    #[test]
+    fn missing_variant_parses_as_none() {
+        // A pre-variant history file (the old schema) must still load.
+        let legacy = r#"{"label":"AgE-4","dataset":"covertype","wall_time":50.0,
+            "n_workers":2,"utilization":0.8,"records":[]}"#;
+        let h = SearchHistory::from_json_str(legacy).expect("legacy file parses");
+        assert_eq!(h.variant, None);
+        assert_eq!(h.label, "AgE-4");
+        assert_eq!(h.n_failed, 0);
+    }
+
+    #[test]
+    fn malformed_history_reports_the_field() {
+        let err = SearchHistory::from_json_str(r#"{"label":"x"}"#).unwrap_err();
+        assert!(err.message.contains("records"), "{}", err.message);
     }
 }

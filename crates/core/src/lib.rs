@@ -43,10 +43,12 @@ pub mod history;
 pub mod population;
 pub mod search;
 
-pub use config::{CachePolicy, SearchConfig, Variant};
+pub use config::{CachePolicy, RetryPolicy, SearchConfig, Variant};
 pub use evaluation::{
-    content_seed, evaluate, evaluate_instrumented, EvalContext, EvalTask,
+    content_seed, evaluate, evaluate_instrumented, evaluate_task_instrumented, EvalContext,
+    EvalTask, TaskOutput,
 };
+pub use agebo_scheduler::FaultPlan;
 pub use history::{EvalRecord, SearchHistory};
 pub use population::{Member, Population};
 pub use search::{

@@ -15,14 +15,14 @@
 
 use crate::config::{CachePolicy, SearchConfig, Variant};
 use crate::evaluation::{
-    component_rng, content_seed, evaluate_with_faults_instrumented, EvalContext, EvalTask,
+    component_rng, content_seed, evaluate_task_instrumented, EvalContext, EvalTask, TaskOutput,
 };
 use agebo_dataparallel::TrainerTelemetry;
 use crate::history::{EvalRecord, SearchHistory};
 use crate::population::{Member, Population};
 use agebo_bo::{BoConfig, BoOptimizer, HpPoint, Space};
 use agebo_dataparallel::DataParallelHp;
-use agebo_scheduler::Evaluator;
+use agebo_scheduler::{EvalOutcome, Evaluator, SubmitOpts};
 use agebo_searchspace::ArchVector;
 use agebo_telemetry::{Counter, Gauge, Histogram, RunEvent, SpanStats, Telemetry, SCHEMA_VERSION};
 use agebo_tensor::Stream;
@@ -49,6 +49,18 @@ fn point_of_hp(hp: DataParallelHp, lr_clamped: &Counter) -> HpPoint {
         lr_clamped.inc();
     }
     vec![hp.bs1 as f64, clamped, hp.n as f64]
+}
+
+/// Manager-side bookkeeping for an in-flight evaluation.
+struct PendingEval {
+    arch: ArchVector,
+    hp: DataParallelHp,
+    submitted_at: f64,
+    cache_hit: bool,
+    /// 0 for a fresh submission; bumped on every infrastructure retry.
+    attempt: u32,
+    /// Worker slot the evaluation was placed on (for quarantine streaks).
+    worker: usize,
 }
 
 /// Pre-registered manager-loop metrics.
@@ -196,15 +208,21 @@ fn run_search_with_state(
     // worker closure: worker threads record only metrics, never events,
     // keeping the event stream deterministic.
     let worker_tt = TrainerTelemetry::register(tel);
-    let mut evaluator: Evaluator<EvalTask, Option<f64>> =
+    let mut evaluator: Evaluator<EvalTask, TaskOutput> =
         Evaluator::new(cfg.workers, cfg.n_threads.max(1), move |task| {
-            evaluate_with_faults_instrumented(&worker_ctx, task, failure_rate, &worker_tt)
+            evaluate_task_instrumented(&worker_ctx, task, failure_rate, &worker_tt)
         });
     evaluator.attach_telemetry(tel);
+    // A `FaultPlan::none()` install is a no-op: the scheduler keeps the
+    // exact chaos-free arithmetic, so seeded histories stay bitwise
+    // identical to a build without the fault layer.
+    evaluator.install_faults(&cfg.chaos, stream.labeled(0xC4A05));
 
     let mut population = Population::new(cfg.population);
-    // id -> (arch, hp, submitted_at, cache_hit)
-    let mut pending: HashMap<u64, (ArchVector, DataParallelHp, f64, bool)> = HashMap::new();
+    let mut pending: HashMap<u64, PendingEval> = HashMap::new();
+    // Consecutive infrastructure failures per worker slot; injected task
+    // faults (the modeled application-level crashes) do not count.
+    let mut streaks = vec![0u32; cfg.workers];
     let mut records: Vec<EvalRecord> = Vec::new();
     let mut n_failed = 0usize;
     let mut n_cache_hits = 0usize;
@@ -259,12 +277,17 @@ fn run_search_with_state(
     let hm_space = Space::paper_hm();
 
     let mut submit_counter: u64 = 0;
-    let submit = |evaluator: &mut Evaluator<EvalTask, Option<f64>>,
-                      pending: &mut HashMap<u64, (ArchVector, DataParallelHp, f64, bool)>,
+    // `retry` is `Some((attempt, not_before, reason))` when resubmitting an
+    // infrastructure-failed evaluation; `None` for fresh candidates. The
+    // chaos-off path always passes `None`, so its submit arithmetic and
+    // event stream are unchanged.
+    let submit = |evaluator: &mut Evaluator<EvalTask, TaskOutput>,
+                      pending: &mut HashMap<u64, PendingEval>,
                       memo: &HashMap<EvalKey, f64>,
                       counter: &mut u64,
                       arch: ArchVector,
-                      hp: DataParallelHp| {
+                      hp: DataParallelHp,
+                      retry: Option<(u32, Option<f64>, &'static str)>| {
         let params = ctx.space.to_graph(&arch).param_count();
         // The duration charged is the paper-scale one (cost_epochs = 20),
         // independent of the scaled-down real training.
@@ -286,8 +309,21 @@ fn run_search_with_state(
             (Some(_), CachePolicy::Instant) => INSTANT_HIT_SECONDS,
             _ => modeled,
         };
-        let (id, placement) = evaluator
-            .submit_evaluation_traced(EvalTask { arch: arch.clone(), hp, seed, cached }, duration);
+        let (attempt, not_before) = match retry {
+            Some((attempt, not_before, _)) => (attempt, not_before),
+            None => (0, None),
+        };
+        let opts = SubmitOpts {
+            // The deadline covers queueing + (straggler-inflated) runtime:
+            // a k× multiple of the modeled duration.
+            deadline: cfg.retry.deadline_factor.map(|k| k * duration),
+            not_before,
+        };
+        let (id, placement) = evaluator.submit_evaluation_opts(
+            EvalTask { arch: arch.clone(), hp, seed, attempt, cached },
+            duration,
+            opts,
+        );
         stel.submitted.inc();
         tel.emit(RunEvent::EvalSubmitted {
             id,
@@ -299,11 +335,29 @@ fn run_search_with_state(
             cache_hit: cached.is_some(),
             arch: arch.0.clone(),
         });
+        if let Some((attempt, _, reason)) = retry {
+            tel.emit(RunEvent::EvalRetry {
+                id,
+                sim: submitted_at,
+                attempt: u64::from(attempt),
+                reason: reason.to_string(),
+            });
+        }
         if let Some(objective) = cached {
             tel.emit(RunEvent::EvalCacheHit { id, sim: submitted_at, objective });
         }
         tel.emit(RunEvent::EvalStarted { id, sim: placement.start });
-        pending.insert(id, (arch, hp, submitted_at, cached.is_some()));
+        pending.insert(
+            id,
+            PendingEval {
+                arch,
+                hp,
+                submitted_at,
+                cache_hit: cached.is_some(),
+                attempt,
+                worker: placement.worker,
+            },
+        );
     };
 
     // Initialization: W nonblocking submissions (Algorithm 1, lines 3-7).
@@ -324,8 +378,53 @@ fn run_search_with_state(
     };
     for hp in init_hps {
         let arch = ctx.space.random(&mut arch_rng);
-        submit(&mut evaluator, &mut pending, &memo, &mut submit_counter, arch, hp);
+        submit(&mut evaluator, &mut pending, &memo, &mut submit_counter, arch, hp, None);
     }
+
+    // Assembles the history for the final return and for mid-run
+    // checkpoints, so a checkpoint is exactly a truncated final history.
+    let assemble = |records: Vec<EvalRecord>,
+                        n_failed: usize,
+                        n_cache_hits: usize,
+                        utilization: f64| -> SearchHistory {
+        match warm {
+            None => SearchHistory {
+                label: cfg.variant.label(),
+                dataset: ctx.meta.name.to_string(),
+                variant: Some(cfg.variant.clone()),
+                records,
+                wall_time: cfg.wall_time,
+                n_workers: cfg.workers,
+                utilization,
+                n_failed,
+                n_cache_hits,
+            },
+            Some(prev) => {
+                // Append with times shifted past the checkpoint's budget.
+                let offset = prev.wall_time;
+                let mut merged = prev.records.clone();
+                let base_id = merged.iter().map(|r| r.id).max().map_or(0, |m| m + 1);
+                for mut r in records {
+                    r.id += base_id;
+                    r.submitted_at += offset;
+                    r.finished_at += offset;
+                    merged.push(r);
+                }
+                SearchHistory {
+                    label: prev.label.clone(),
+                    dataset: prev.dataset.clone(),
+                    variant: Some(cfg.variant.clone()),
+                    records: merged,
+                    wall_time: offset + cfg.wall_time,
+                    n_workers: cfg.workers,
+                    utilization,
+                    n_failed: prev.n_failed + n_failed,
+                    n_cache_hits: prev.n_cache_hits + n_cache_hits,
+                }
+            }
+        }
+    };
+    let mut last_checkpoint = 0usize;
 
     // Main loop (Algorithm 1, lines 8-25).
     loop {
@@ -336,56 +435,112 @@ fn run_search_with_state(
         let mut batch_x: Vec<HpPoint> = Vec::with_capacity(finished.len());
         let mut batch_y: Vec<f64> = Vec::with_capacity(finished.len());
         let mut n_replace = 0usize;
+        // Infrastructure-failed candidates to resubmit this round:
+        // (arch, hp, next attempt, reason).
+        let mut retries: Vec<(ArchVector, DataParallelHp, u32, &'static str)> = Vec::new();
         for f in &finished {
-            let (arch, hp, submitted_at, cache_hit) =
-                pending.remove(&f.id).expect("finished id was pending");
-            if f.finished_at <= cfg.wall_time {
-                n_replace += 1;
-                match f.result {
-                    Some(objective) => {
-                        if cfg.cache != CachePolicy::Off {
-                            memo.insert(eval_key(&arch, ctx.applied_hp(hp)), objective);
-                        }
-                        if cache_hit {
-                            n_cache_hits += 1;
-                            stel.cache_hits.inc();
-                        }
-                        records.push(EvalRecord {
-                            id: f.id,
-                            arch: arch.clone(),
-                            hp,
-                            objective,
-                            submitted_at,
-                            finished_at: f.finished_at,
-                            duration: f.duration,
-                            cache_hit,
-                        });
-                        stel.finished.inc();
-                        if objective > stel.best.get() {
-                            stel.best.set(objective);
-                        }
-                        tel.emit(RunEvent::EvalFinished {
-                            id: f.id,
-                            sim: f.finished_at,
-                            duration: f.duration,
-                            objective,
-                            cache_hit,
-                        });
-                        population.push(Member { arch, accuracy: objective });
-                        tel.emit(RunEvent::PopulationReplaced {
-                            sim: f.finished_at,
-                            eval_id: f.id,
-                            size: population.len(),
-                            full: population.is_full(),
-                        });
-                        batch_x.push(point_of_hp(hp, &stel.lr_clamped));
-                        batch_y.push(objective);
+            let p = pending.remove(&f.id).expect("finished id was pending");
+            if f.finished_at > cfg.wall_time {
+                continue;
+            }
+            match &f.outcome {
+                EvalOutcome::Ok(TaskOutput::Objective(objective)) => {
+                    let objective = *objective;
+                    n_replace += 1;
+                    streaks[p.worker] = 0;
+                    let PendingEval { arch, hp, submitted_at, cache_hit, .. } = p;
+                    if cfg.cache != CachePolicy::Off {
+                        memo.insert(eval_key(&arch, ctx.applied_hp(hp)), objective);
                     }
-                    None => {
-                        // Crash: resubmit, don't record.
-                        n_failed += 1;
-                        stel.failed.inc();
-                        tel.emit(RunEvent::EvalFault { id: f.id, sim: f.finished_at });
+                    if cache_hit {
+                        n_cache_hits += 1;
+                        stel.cache_hits.inc();
+                    }
+                    records.push(EvalRecord {
+                        id: f.id,
+                        arch: arch.clone(),
+                        hp,
+                        objective,
+                        submitted_at,
+                        finished_at: f.finished_at,
+                        duration: f.duration,
+                        cache_hit,
+                    });
+                    stel.finished.inc();
+                    if objective > stel.best.get() {
+                        stel.best.set(objective);
+                    }
+                    tel.emit(RunEvent::EvalFinished {
+                        id: f.id,
+                        sim: f.finished_at,
+                        duration: f.duration,
+                        objective,
+                        cache_hit,
+                    });
+                    population.push(Member { arch, accuracy: objective });
+                    tel.emit(RunEvent::PopulationReplaced {
+                        sim: f.finished_at,
+                        eval_id: f.id,
+                        size: population.len(),
+                        full: population.is_full(),
+                    });
+                    batch_x.push(point_of_hp(hp, &stel.lr_clamped));
+                    batch_y.push(objective);
+                }
+                EvalOutcome::Ok(TaskOutput::Faulted) | EvalOutcome::Ok(TaskOutput::Diverged) => {
+                    // Application-level failure. Injected faults keep the
+                    // pre-chaos semantics (replace with a fresh candidate,
+                    // never retry: the candidate itself is suspect), and a
+                    // diverged training is deterministic for its
+                    // (arch, hp, seed), so a retry would diverge again.
+                    n_replace += 1;
+                    n_failed += 1;
+                    stel.failed.inc();
+                    tel.emit(RunEvent::EvalFault { id: f.id, sim: f.finished_at });
+                }
+                infra => {
+                    // Infrastructure failure: the candidate is innocent, so
+                    // it is retried (up to the attempt budget) rather than
+                    // discarded, and the worker slot accrues a strike.
+                    let reason = match infra {
+                        EvalOutcome::Faulted { worker, down_at, up_at } => {
+                            tel.emit(RunEvent::WorkerDown { worker: *worker, sim: *down_at });
+                            tel.emit(RunEvent::WorkerUp { worker: *worker, sim: *up_at });
+                            "outage"
+                        }
+                        EvalOutcome::Crashed { message } => {
+                            tel.emit(RunEvent::EvalCrashed {
+                                id: f.id,
+                                sim: f.finished_at,
+                                message: message.chars().take(200).collect(),
+                            });
+                            "crash"
+                        }
+                        EvalOutcome::TimedOut => {
+                            tel.emit(RunEvent::EvalTimeout { id: f.id, sim: f.finished_at });
+                            "timeout"
+                        }
+                        EvalOutcome::Ok(_) => unreachable!("handled above"),
+                    };
+                    n_failed += 1;
+                    stel.failed.inc();
+                    streaks[p.worker] += 1;
+                    if streaks[p.worker] >= cfg.retry.quarantine_after {
+                        let until = evaluator.now() + cfg.retry.quarantine_cooldown;
+                        evaluator.quarantine_worker(p.worker, until);
+                        tel.emit(RunEvent::WorkerQuarantined {
+                            worker: p.worker,
+                            sim: evaluator.now(),
+                            until,
+                        });
+                        streaks[p.worker] = 0;
+                    }
+                    if p.attempt + 1 < cfg.retry.max_attempts {
+                        retries.push((p.arch, p.hp, p.attempt + 1, reason));
+                    } else {
+                        // Attempt budget exhausted: give the slot to a
+                        // fresh candidate instead.
+                        n_replace += 1;
                     }
                 }
             }
@@ -405,8 +560,46 @@ fn run_search_with_state(
                 }
             }
         }
-        if evaluator.now() >= cfg.wall_time || n_replace == 0 {
+        // Periodic checkpoint: every `checkpoint_every` recorded
+        // completions, snapshot the history (and write it to disk when a
+        // path is configured). `checkpoint_every = 0` disables the block
+        // entirely, leaving the event stream untouched.
+        if cfg.checkpoint_every > 0 && records.len() >= last_checkpoint + cfg.checkpoint_every {
+            last_checkpoint = records.len();
+            let snapshot =
+                assemble(records.clone(), n_failed, n_cache_hits, evaluator.utilization());
+            if let Some(path) = &cfg.checkpoint_path {
+                // Best effort: a failed checkpoint write must not kill a
+                // long-running search. The event still records the attempt.
+                let _ = std::fs::write(path, snapshot.to_json_string());
+            }
+            tel.emit(RunEvent::Checkpoint {
+                sim: evaluator.now(),
+                n_records: snapshot.records.len(),
+                path: cfg.checkpoint_path.clone().unwrap_or_default(),
+            });
+        }
+        if evaluator.now() >= cfg.wall_time || (n_replace == 0 && retries.is_empty()) {
             break;
+        }
+        // Resubmit infrastructure-failed candidates first: same
+        // (arch, hp) with a bumped attempt index and an optional
+        // simulated-time backoff. Chaos-off runs never populate `retries`.
+        for (arch, hp, attempt, reason) in retries {
+            let backoff = cfg.retry.backoff_for(attempt);
+            let not_before = (backoff > 0.0).then(|| evaluator.now() + backoff);
+            submit(
+                &mut evaluator,
+                &mut pending,
+                &memo,
+                &mut submit_counter,
+                arch,
+                hp,
+                Some((attempt, not_before, reason)),
+            );
+        }
+        if n_replace == 0 {
+            continue;
         }
         // Generate |results| replacements (failed slots are refilled too).
         //
@@ -477,46 +670,13 @@ fn run_search_with_state(
             }
         };
         for (hp, arch) in next_hps.into_iter().zip(archs) {
-            submit(&mut evaluator, &mut pending, &memo, &mut submit_counter, arch, hp);
+            submit(&mut evaluator, &mut pending, &memo, &mut submit_counter, arch, hp, None);
         }
     }
 
     let utilization = evaluator.utilization();
     stel.utilization.set(utilization);
-    match warm {
-        None => SearchHistory {
-            label: cfg.variant.label(),
-            dataset: ctx.meta.name.to_string(),
-            records,
-            wall_time: cfg.wall_time,
-            n_workers: cfg.workers,
-            utilization,
-            n_failed,
-            n_cache_hits,
-        },
-        Some(prev) => {
-            // Append with times shifted past the checkpoint's budget.
-            let offset = prev.wall_time;
-            let mut merged = prev.records.clone();
-            let base_id = merged.iter().map(|r| r.id).max().map_or(0, |m| m + 1);
-            for mut r in records {
-                r.id += base_id;
-                r.submitted_at += offset;
-                r.finished_at += offset;
-                merged.push(r);
-            }
-            SearchHistory {
-                label: prev.label.clone(),
-                dataset: prev.dataset.clone(),
-                records: merged,
-                wall_time: offset + cfg.wall_time,
-                n_workers: cfg.workers,
-                utilization,
-                n_failed: prev.n_failed + n_failed,
-                n_cache_hits: prev.n_cache_hits + n_cache_hits,
-            }
-        }
-    }
+    assemble(records, n_failed, n_cache_hits, utilization)
 }
 
 #[cfg(test)]
@@ -674,6 +834,105 @@ mod tests {
         let clean = run_search(ctx(), &clean_cfg);
         assert!(!clean.is_empty());
         assert_eq!(clean.n_failed, 0);
+    }
+
+    #[test]
+    fn chaos_search_is_deterministic_and_survives() {
+        use crate::config::RetryPolicy;
+        use agebo_scheduler::FaultPlan;
+        use agebo_telemetry::mask_wall_clock;
+        let cfg = SearchConfig::test(Variant::age(8))
+            .with_seed(21)
+            .with_wall_time(4000.0)
+            .with_chaos(FaultPlan::heavy())
+            .with_retry(RetryPolicy::hardened());
+        let t1 = Telemetry::in_memory();
+        let t2 = Telemetry::in_memory();
+        let a = run_search_instrumented(ctx(), &cfg, &t1);
+        let b = run_search_instrumented(ctx(), &cfg, &t2);
+        assert!(!a.is_empty(), "chaos run recorded nothing");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.arch, y.arch);
+            assert_eq!(x.objective.to_bits(), y.objective.to_bits());
+            assert_eq!(x.submitted_at.to_bits(), y.submitted_at.to_bits());
+            assert_eq!(x.finished_at.to_bits(), y.finished_at.to_bits());
+        }
+        let s1 = mask_wall_clock(&t1.events_jsonl().unwrap());
+        let s2 = mask_wall_clock(&t2.events_jsonl().unwrap());
+        assert_eq!(s1, s2, "same-seed chaos must replay bit-identically");
+        // The heavy profile actually exercised the fault machinery, and
+        // every kill was retried or replaced (the search kept going).
+        assert!(s1.contains("\"type\":\"worker_down\""), "no outages under heavy chaos");
+        assert!(s1.contains("\"type\":\"worker_up\""));
+        assert!(s1.contains("\"type\":\"eval_retry\""), "kills were never retried");
+        assert!(a.n_failed > 0, "outage kills must count as failures");
+    }
+
+    #[test]
+    fn stragglers_hit_deadlines_and_are_retried() {
+        use crate::config::RetryPolicy;
+        use agebo_scheduler::FaultPlan;
+        // Half the slots run up to 8× slow; a 2× deadline kills most of
+        // their evaluations while the fast slots keep recording results.
+        let chaos = FaultPlan {
+            mtbf: f64::INFINITY,
+            mttr: 0.0,
+            straggler_fraction: 0.5,
+            straggler_factor: 8.0,
+        };
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            backoff: 10.0,
+            deadline_factor: Some(2.0),
+            quarantine_after: 2,
+            quarantine_cooldown: 300.0,
+        };
+        let cfg = SearchConfig::test(Variant::age(8))
+            .with_seed(22)
+            .with_wall_time(4000.0)
+            .with_chaos(chaos)
+            .with_retry(retry);
+        let t = Telemetry::in_memory();
+        let h = run_search_instrumented(ctx(), &cfg, &t);
+        let s = t.events_jsonl().unwrap();
+        assert!(s.contains("\"type\":\"eval_timeout\""), "no deadline kills");
+        assert!(s.contains("\"type\":\"eval_retry\""), "timeouts were not retried");
+        assert!(
+            s.contains("\"type\":\"worker_quarantined\""),
+            "repeat offenders were never quarantined"
+        );
+        assert!(h.n_failed > 0);
+        assert!(!h.is_empty(), "fast slots should still record results");
+    }
+
+    #[test]
+    fn checkpoints_are_written_and_resumable() {
+        let path = std::env::temp_dir().join(format!("agebo_ckpt_test_{}.json", std::process::id()));
+        let path_s = path.to_string_lossy().to_string();
+        let shared = ctx();
+        let cfg = SearchConfig::test(Variant::agebo())
+            .with_seed(23)
+            .with_checkpoints(5, Some(path_s));
+        let t = Telemetry::in_memory();
+        let h = run_search_instrumented(Arc::clone(&shared), &cfg, &t);
+        assert!(h.len() >= 5, "run too small to checkpoint: {}", h.len());
+        let s = t.events_jsonl().unwrap();
+        assert!(s.contains("\"type\":\"checkpoint\""), "no checkpoint events");
+        let text = std::fs::read_to_string(&path).expect("checkpoint file written");
+        let ck = SearchHistory::from_json_str(&text).expect("checkpoint parses");
+        let _ = std::fs::remove_file(&path);
+        // The checkpoint is a truncated final history with the variant
+        // serialized, so `resume` needs no label parsing.
+        assert_eq!(ck.variant, Some(cfg.variant.clone()));
+        assert!(!ck.records.is_empty() && ck.records.len() <= h.len());
+        for (c, f) in ck.records.iter().zip(&h.records) {
+            assert_eq!(c.id, f.id);
+            assert_eq!(c.objective.to_bits(), f.objective.to_bits());
+        }
+        let resumed = resume_search(shared, &cfg.clone().with_checkpoints(0, None), &ck);
+        assert!(resumed.len() > ck.records.len(), "resume added no evaluations");
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn history_from(objs: Vec<f64>, times: Vec<u32>) -> SearchHistory {
     SearchHistory {
         label: "prop".into(),
         dataset: "prop".into(),
+        variant: None,
         records,
         wall_time: 1e9,
         n_workers: 1,

@@ -45,6 +45,11 @@ impl Activation {
         }
     }
 
+    /// Inverse of [`Activation::name`].
+    pub fn from_name(s: &str) -> Option<Activation> {
+        Activation::ALL.into_iter().find(|a| a.name() == s)
+    }
+
     /// Applies the activation to a pre-activation value.
     #[inline]
     pub fn forward(self, x: f32) -> f32 {

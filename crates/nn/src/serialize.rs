@@ -1,8 +1,15 @@
 //! Model persistence: save/load a trained [`GraphNet`] (architecture +
 //! weights) so a discovered model can be deployed without re-running the
 //! search.
+//!
+//! The file format is hand-rolled on [`agebo_telemetry::Json`] (the same
+//! codec the history checkpoints use), so persistence works even where
+//! `serde_json` is unavailable; `f32` parameters round-trip bit-exactly
+//! through the `f64` JSON numbers.
 
-use crate::graph::{GraphNet, GraphSpec};
+use crate::activation::Activation;
+use crate::graph::{GraphNet, GraphSpec, NodeSpec};
+use agebo_telemetry::Json;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::path::Path;
@@ -103,9 +110,7 @@ impl SavedModel {
 
     /// Writes the model as JSON.
     pub fn write(&self, mut writer: impl Write) -> Result<(), ModelLoadError> {
-        let json = serde_json::to_string(self)
-            .map_err(|e| ModelLoadError::Format(e.to_string()))?;
-        writer.write_all(json.as_bytes())?;
+        writer.write_all(self.to_json().to_string_compact().as_bytes())?;
         Ok(())
     }
 
@@ -113,8 +118,142 @@ impl SavedModel {
     pub fn read(mut reader: impl Read) -> Result<SavedModel, ModelLoadError> {
         let mut text = String::new();
         reader.read_to_string(&mut text)?;
-        serde_json::from_str(&text).map_err(|e| ModelLoadError::Format(e.to_string()))
+        let v = Json::parse(&text).map_err(|e| ModelLoadError::Format(e.to_string()))?;
+        SavedModel::from_json(&v)
     }
+
+    fn to_json(&self) -> Json {
+        let weights = self
+            .weights
+            .iter()
+            .map(|(rows, cols, data)| {
+                Json::Arr(vec![
+                    Json::UInt(*rows as u64),
+                    Json::UInt(*cols as u64),
+                    Json::Arr(data.iter().map(|&v| Json::Num(f64::from(v))).collect()),
+                ])
+            })
+            .collect();
+        let biases = self
+            .biases
+            .iter()
+            .map(|b| Json::Arr(b.iter().map(|&v| Json::Num(f64::from(v))).collect()))
+            .collect();
+        Json::obj(vec![
+            ("version", Json::UInt(u64::from(self.version))),
+            ("spec", spec_to_json(&self.spec)),
+            ("weights", Json::Arr(weights)),
+            ("biases", Json::Arr(biases)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<SavedModel, ModelLoadError> {
+        let version = jusize(v, "version")? as u32;
+        let spec = spec_from_json(v.get("spec").ok_or_else(|| merr("missing field spec"))?)?;
+        let weights = jarr(v, "weights")?
+            .iter()
+            .map(|w| {
+                let t = w.as_arr().ok_or_else(|| merr("weight entry must be an array"))?;
+                if t.len() != 3 {
+                    return Err(merr("weight entry must be [rows, cols, data]"));
+                }
+                let rows = t[0].as_usize().ok_or_else(|| merr("bad weight rows"))?;
+                let cols = t[1].as_usize().ok_or_else(|| merr("bad weight cols"))?;
+                let data =
+                    f32_list(t[2].as_arr().ok_or_else(|| merr("weight data must be an array"))?)?;
+                Ok((rows, cols, data))
+            })
+            .collect::<Result<Vec<_>, ModelLoadError>>()?;
+        let biases = jarr(v, "biases")?
+            .iter()
+            .map(|b| f32_list(b.as_arr().ok_or_else(|| merr("bias must be an array"))?))
+            .collect::<Result<Vec<_>, ModelLoadError>>()?;
+        Ok(SavedModel { version, spec, weights, biases })
+    }
+}
+
+fn merr(message: impl Into<String>) -> ModelLoadError {
+    ModelLoadError::Format(message.into())
+}
+
+fn jusize(v: &Json, key: &str) -> Result<usize, ModelLoadError> {
+    v.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| merr(format!("missing or invalid field {key}")))
+}
+
+fn jarr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], ModelLoadError> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| merr(format!("missing or invalid array {key}")))
+}
+
+fn usize_list(v: &Json, key: &str) -> Result<Vec<usize>, ModelLoadError> {
+    jarr(v, key)?
+        .iter()
+        .map(|j| j.as_usize().ok_or_else(|| merr(format!("bad index in {key}"))))
+        .collect()
+}
+
+fn f32_list(items: &[Json]) -> Result<Vec<f32>, ModelLoadError> {
+    items
+        .iter()
+        .map(|j| j.as_f64().map(|v| v as f32).ok_or_else(|| merr("non-numeric parameter")))
+        .collect()
+}
+
+fn spec_to_json(spec: &GraphSpec) -> Json {
+    let nodes = spec
+        .nodes
+        .iter()
+        .map(|n| {
+            let layer = match &n.layer {
+                Some((units, act)) => Json::obj(vec![
+                    ("units", Json::UInt(*units as u64)),
+                    ("activation", Json::Str(act.name().to_string())),
+                ]),
+                None => Json::Null,
+            };
+            Json::obj(vec![
+                ("layer", layer),
+                ("skips", Json::Arr(n.skips.iter().map(|&s| Json::UInt(s as u64)).collect())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("input_dim", Json::UInt(spec.input_dim as u64)),
+        ("n_classes", Json::UInt(spec.n_classes as u64)),
+        ("nodes", Json::Arr(nodes)),
+        ("output_skips", Json::Arr(spec.output_skips.iter().map(|&s| Json::UInt(s as u64)).collect())),
+    ])
+}
+
+fn spec_from_json(v: &Json) -> Result<GraphSpec, ModelLoadError> {
+    let nodes = jarr(v, "nodes")?
+        .iter()
+        .map(|n| {
+            let layer = match n.get("layer") {
+                None | Some(Json::Null) => None,
+                Some(l) => {
+                    let units = jusize(l, "units")?;
+                    let name = l
+                        .get("activation")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| merr("missing activation name"))?;
+                    let act = Activation::from_name(name)
+                        .ok_or_else(|| merr(format!("unknown activation {name}")))?;
+                    Some((units, act))
+                }
+            };
+            Ok(NodeSpec { layer, skips: usize_list(n, "skips")? })
+        })
+        .collect::<Result<Vec<_>, ModelLoadError>>()?;
+    Ok(GraphSpec {
+        input_dim: jusize(v, "input_dim")?,
+        n_classes: jusize(v, "n_classes")?,
+        nodes,
+        output_skips: usize_list(v, "output_skips")?,
+    })
 }
 
 /// Saves a trained network to a JSON file.

@@ -1,6 +1,7 @@
 //! Discrete-event bookkeeping: worker slots, completion ordering, clock
 //! and utilization — independent of how results are actually computed.
 
+use crate::fault::{FaultPlan, FaultState};
 use agebo_telemetry::{Gauge, Histogram, Telemetry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -42,8 +43,38 @@ pub struct Placement {
     /// Simulated start time (submission time on an idle slot, later when
     /// the evaluation had to queue).
     pub start: f64,
-    /// Simulated completion time.
+    /// Simulated delivery time: natural completion, or the moment the
+    /// evaluation was killed by an outage or its deadline.
     pub finish: f64,
+}
+
+/// Why an evaluation left the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvalFate {
+    /// Ran to completion; the computed result is valid.
+    Done,
+    /// Killed by a worker-slot outage at `down_at`; the slot stays
+    /// offline until `up_at`.
+    Outage {
+        /// Slot that went down.
+        worker: usize,
+        /// Simulated time the outage began (= when the manager learns).
+        down_at: f64,
+        /// Simulated time the slot comes back.
+        up_at: f64,
+    },
+    /// Killed because it exceeded the deadline passed in [`SubmitOpts`].
+    TimedOut,
+}
+
+/// Optional per-submission scheduling constraints.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SubmitOpts {
+    /// Kill the evaluation this many simulated seconds after submission
+    /// (covers queueing + runtime — a deadline, not a runtime cap).
+    pub deadline: Option<f64>,
+    /// Earliest simulated start time (retry backoff lands here).
+    pub not_before: Option<f64>,
 }
 
 /// Pre-registered scheduler metrics (see [`SimQueue::attach_telemetry`]).
@@ -91,6 +122,15 @@ pub struct SimQueue {
     /// Cumulative busy seconds per worker slot.
     worker_busy: Vec<f64>,
     telemetry: Option<QueueTelemetry>,
+    /// Installed chaos (None = fault-free, the bitwise-identical legacy
+    /// behaviour).
+    fault: Option<FaultState>,
+    /// Administrative unavailability (quarantine) per slot: the slot
+    /// accepts no new work before this simulated time.
+    unavail_until: Vec<f64>,
+    /// Fates of running evaluations that will *not* complete normally.
+    /// Absent id ⇒ [`EvalFate::Done`].
+    fates: HashMap<u64, EvalFate>,
 }
 
 impl SimQueue {
@@ -110,6 +150,30 @@ impl SimQueue {
             busy: 0.0,
             worker_busy: vec![0.0; n_workers],
             telemetry: None,
+            fault: None,
+            unavail_until: vec![0.0; n_workers],
+            fates: HashMap::new(),
+        }
+    }
+
+    /// Installs a seeded [`FaultPlan`]. Outage schedules and straggler
+    /// factors are drawn deterministically from `seed`, so the same
+    /// `(plan, seed)` replays bit-identically. Installing
+    /// [`FaultPlan::none`] (or never calling this) keeps the queue's
+    /// behaviour bitwise identical to the fault-free implementation.
+    pub fn install_faults(&mut self, plan: &FaultPlan, seed: u64) {
+        self.fault =
+            if plan.is_none() { None } else { Some(FaultState::new(*plan, seed, self.n_workers)) };
+    }
+
+    /// Administratively bars `worker` from new placements before the
+    /// simulated time `until` (manager-side quarantine). Work already
+    /// running on the slot is unaffected.
+    pub fn quarantine(&mut self, worker: usize, until: f64) {
+        assert!(worker < self.n_workers, "no such worker {worker}");
+        assert!(until.is_finite(), "quarantine must end");
+        if until > self.unavail_until[worker] {
+            self.unavail_until[worker] = until;
         }
     }
 
@@ -150,21 +214,93 @@ impl SimQueue {
     /// Like [`SimQueue::submit`], also reporting which slot the
     /// evaluation landed on and when it starts.
     pub fn submit_traced(&mut self, id: u64, duration: f64) -> Placement {
+        self.submit_traced_opts(id, duration, SubmitOpts::default())
+    }
+
+    /// Like [`SimQueue::submit_traced`] with per-submission constraints.
+    ///
+    /// Under an installed [`FaultPlan`] the evaluation's duration is
+    /// stretched by its slot's straggler factor, and an outage beginning
+    /// before its natural finish kills it ([`EvalFate::Outage`], learned
+    /// from [`SimQueue::pop_finished_detailed`]) and holds the slot
+    /// offline until the outage ends. A deadline that expires first wins
+    /// instead ([`EvalFate::TimedOut`]). Outages that pass while a slot
+    /// is idle are skipped silently — faults are detected on contact,
+    /// like a real manager polling a dead node.
+    pub fn submit_traced_opts(&mut self, id: u64, duration: f64, opts: SubmitOpts) -> Placement {
         assert!(duration > 0.0 && duration.is_finite(), "bad duration {duration}");
-        let Reverse((free, worker)) = self.free_at.pop().expect("worker heap never empty");
-        let start = free.0.max(self.clock);
-        let finish = start + duration;
-        self.free_at.push(Reverse((SimTime(finish).assert_valid(), worker)));
-        self.running.push(Reverse((SimTime(finish), id)));
+        // Pop the earliest-free slot, lazily re-keying quarantined slots.
+        let (free, worker) = loop {
+            let Reverse((free, worker)) = self.free_at.pop().expect("worker heap never empty");
+            let until = self.unavail_until[worker];
+            if until > free.0 {
+                self.free_at.push(Reverse((SimTime(until).assert_valid(), worker)));
+                continue;
+            }
+            break (free.0, worker);
+        };
+        let mut start = free.max(self.clock);
+        if let Some(nb) = opts.not_before {
+            start = start.max(nb);
+        }
+        let mut eff_duration = duration;
+        if let Some(fs) = &mut self.fault {
+            eff_duration = duration * fs.speed[worker];
+            // Consume outages already behind us; wait out one in progress.
+            loop {
+                let (down_at, up_at) = fs.peek_outage(worker);
+                if up_at <= start {
+                    fs.advance_outage(worker);
+                } else if down_at <= start {
+                    start = up_at;
+                    fs.advance_outage(worker);
+                } else {
+                    break;
+                }
+            }
+        }
+        let natural_finish = start + eff_duration;
+        let mut fate = EvalFate::Done;
+        let mut delivered = natural_finish;
+        let mut slot_free = natural_finish;
+        if let Some(fs) = &self.fault {
+            let (down_at, up_at) = fs.peek_outage(worker);
+            if down_at < natural_finish {
+                fate = EvalFate::Outage { worker, down_at, up_at };
+                delivered = down_at;
+                slot_free = up_at;
+            }
+        }
+        if let Some(dl) = opts.deadline {
+            assert!(dl > 0.0 && dl.is_finite(), "bad deadline {dl}");
+            let deadline_at = self.clock + dl;
+            if deadline_at < delivered {
+                fate = EvalFate::TimedOut;
+                delivered = deadline_at;
+                // Expired while still queued ⇒ the slot was never
+                // occupied; keep its original free time.
+                slot_free = if deadline_at > start { deadline_at } else { free };
+            }
+        }
+        let occupancy = match fate {
+            EvalFate::Done => eff_duration,
+            EvalFate::Outage { down_at, .. } => down_at - start,
+            EvalFate::TimedOut => (delivered - start).max(0.0),
+        };
+        self.free_at.push(Reverse((SimTime(slot_free).assert_valid(), worker)));
+        self.running.push(Reverse((SimTime(delivered).assert_valid(), id)));
         self.submitted_at.insert(id, self.clock);
-        self.busy += duration;
-        self.worker_busy[worker] += duration;
+        self.busy += occupancy;
+        self.worker_busy[worker] += occupancy;
+        if fate != EvalFate::Done {
+            self.fates.insert(id, fate);
+        }
         if let Some(t) = &self.telemetry {
             t.depth.set(self.running.len() as f64);
             t.wait.record(start - self.clock);
             t.worker_busy[worker].set(self.worker_busy[worker]);
         }
-        Placement { worker, start, finish }
+        Placement { worker, start, finish: delivered }
     }
 
     /// Advances the clock to the next completion and returns the ids of
@@ -193,6 +329,16 @@ impl SimQueue {
             t.depth.set(self.running.len() as f64);
         }
         out
+    }
+
+    /// Like [`SimQueue::pop_finished`], pairing each id with its
+    /// [`EvalFate`] so the manager can distinguish completions from
+    /// outage kills and deadline expiries.
+    pub fn pop_finished_detailed(&mut self) -> Vec<(u64, EvalFate)> {
+        self.pop_finished()
+            .into_iter()
+            .map(|id| (id, self.fates.remove(&id).unwrap_or(EvalFate::Done)))
+            .collect()
     }
 
     /// Fraction of worker-time spent busy up to the current clock
@@ -360,5 +506,150 @@ mod tests {
     #[should_panic(expected = "bad duration")]
     fn zero_duration_rejected() {
         SimQueue::new(1).submit(0, 0.0);
+    }
+
+    #[test]
+    fn none_plan_is_bitwise_identical_to_no_plan() {
+        let mut plain = SimQueue::new(3);
+        let mut chaos_off = SimQueue::new(3);
+        chaos_off.install_faults(&FaultPlan::none(), 1234);
+        for i in 0..20u64 {
+            let d = 1.0 + (i % 7) as f64 * 3.5;
+            assert_eq!(plain.submit_traced(i, d), chaos_off.submit_traced(i, d));
+            if i % 4 == 3 {
+                assert_eq!(plain.pop_finished_detailed(), chaos_off.pop_finished_detailed());
+                assert_eq!(plain.now().to_bits(), chaos_off.now().to_bits());
+            }
+        }
+        loop {
+            let a = plain.pop_finished_detailed();
+            assert_eq!(a, chaos_off.pop_finished_detailed());
+            if a.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(plain.utilization().to_bits(), chaos_off.utilization().to_bits());
+    }
+
+    #[test]
+    fn outage_kills_in_flight_and_holds_slot_offline() {
+        // MTBF 1s vs a 1000s task: an outage strikes with overwhelming
+        // probability, deterministically for the fixed seed.
+        let plan =
+            FaultPlan { mtbf: 1.0, mttr: 5.0, straggler_fraction: 0.0, straggler_factor: 1.0 };
+        let mut q = SimQueue::new(1);
+        q.install_faults(&plan, 99);
+        let p = q.submit_traced_opts(0, 1000.0, SubmitOpts::default());
+        assert!(p.finish < 1000.0, "killed before natural finish, got {}", p.finish);
+        let fates = q.pop_finished_detailed();
+        assert_eq!(fates.len(), 1);
+        let (id, fate) = fates[0];
+        assert_eq!(id, 0);
+        let EvalFate::Outage { worker, down_at, up_at } = fate else {
+            panic!("expected outage, got {fate:?}");
+        };
+        assert_eq!(worker, 0);
+        assert_eq!(down_at, p.finish);
+        assert!(up_at > down_at, "slot must stay down for a while");
+        // The slot is offline until `up_at`: a fresh submission cannot
+        // start before then.
+        let p2 = q.submit_traced_opts(1, 0.5, SubmitOpts::default());
+        assert!(p2.start >= up_at, "start {} before recovery {up_at}", p2.start);
+    }
+
+    #[test]
+    fn deadline_expires_while_queued_without_occupying_the_slot() {
+        let mut q = SimQueue::new(1);
+        q.submit(0, 10.0);
+        // Would only start at t=10, past its t=8 deadline.
+        let p = q.submit_traced_opts(1, 5.0, SubmitOpts { deadline: Some(8.0), not_before: None });
+        assert_eq!(p.finish, 8.0);
+        assert_eq!(q.pop_finished_detailed(), vec![(1, EvalFate::TimedOut)]);
+        assert_eq!(q.now(), 8.0);
+        assert_eq!(q.pop_finished_detailed(), vec![(0, EvalFate::Done)]);
+        // The slot was never occupied by the timed-out task.
+        let p3 = q.submit_traced(2, 1.0);
+        assert_eq!(p3.start, 10.0);
+        // Zero occupancy counted for the queued-out task: 11 busy seconds.
+        assert_eq!(q.worker_busy(), &[11.0]);
+    }
+
+    #[test]
+    fn deadline_kills_mid_run_and_frees_the_slot() {
+        let mut q = SimQueue::new(1);
+        let p = q.submit_traced_opts(0, 100.0, SubmitOpts { deadline: Some(30.0), not_before: None });
+        assert_eq!((p.start, p.finish), (0.0, 30.0));
+        assert_eq!(q.pop_finished_detailed(), vec![(0, EvalFate::TimedOut)]);
+        let p2 = q.submit_traced(1, 1.0);
+        assert_eq!(p2.start, 30.0, "slot freed at the kill time");
+        assert_eq!(q.worker_busy(), &[31.0]);
+    }
+
+    #[test]
+    fn not_before_delays_the_start() {
+        let mut q = SimQueue::new(2);
+        let p = q.submit_traced_opts(0, 4.0, SubmitOpts { deadline: None, not_before: Some(50.0) });
+        assert_eq!((p.start, p.finish), (50.0, 54.0));
+    }
+
+    #[test]
+    fn quarantine_defers_placement_until_cooldown() {
+        let mut q = SimQueue::new(2);
+        q.quarantine(0, 15.0);
+        let a = q.submit_traced(0, 10.0);
+        let b = q.submit_traced(1, 10.0);
+        let c = q.submit_traced(2, 10.0);
+        assert_eq!((a.worker, a.start), (1, 0.0));
+        assert_eq!((b.worker, b.start), (1, 10.0), "quarantined slot skipped");
+        assert_eq!((c.worker, c.start), (0, 15.0), "re-admitted after cooldown");
+    }
+
+    #[test]
+    fn stragglers_stretch_durations() {
+        let plan = FaultPlan {
+            mtbf: f64::INFINITY,
+            mttr: 0.0,
+            straggler_fraction: 1.0,
+            straggler_factor: 4.0,
+        };
+        let mut q = SimQueue::new(1);
+        q.install_faults(&plan, 5);
+        let p = q.submit_traced(0, 10.0);
+        assert!(p.finish > 10.0 && p.finish <= 40.0, "stretched finish {}", p.finish);
+        assert_eq!(q.pop_finished_detailed(), vec![(0, EvalFate::Done)]);
+    }
+
+    #[test]
+    fn same_seed_chaos_replays_bit_identically() {
+        let run = |seed: u64| {
+            let mut q = SimQueue::new(4);
+            q.install_faults(&FaultPlan::heavy(), seed);
+            let mut trace = Vec::new();
+            for i in 0..40u64 {
+                let opts = SubmitOpts {
+                    deadline: if i % 5 == 0 { Some(2_000.0) } else { None },
+                    not_before: None,
+                };
+                let p = q.submit_traced_opts(i, 300.0 + (i % 9) as f64 * 250.0, opts);
+                trace.push((p.worker as u64, p.start.to_bits(), p.finish.to_bits()));
+                if i % 3 == 2 {
+                    for (id, fate) in q.pop_finished_detailed() {
+                        trace.push((id, q.now().to_bits(), matches!(fate, EvalFate::Done) as u64));
+                    }
+                }
+            }
+            loop {
+                let done = q.pop_finished_detailed();
+                if done.is_empty() {
+                    break;
+                }
+                for (id, fate) in done {
+                    trace.push((id, q.now().to_bits(), matches!(fate, EvalFate::Done) as u64));
+                }
+            }
+            trace
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds must differ");
     }
 }

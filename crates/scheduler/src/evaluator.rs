@@ -1,11 +1,56 @@
 //! The evaluator: real computation on worker threads, delivery in
 //! simulated-time order.
 
-use crate::des::{Placement, SimQueue};
+use crate::des::{EvalFate, Placement, SimQueue, SubmitOpts};
+use crate::fault::FaultPlan;
 use agebo_telemetry::Telemetry;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
+
+/// How an evaluation ended, as seen by the manager.
+///
+/// Structured counterpart of the bare result the pre-chaos evaluator
+/// returned: the happy path carries the worker's value; the other
+/// variants describe the distinct failure modes the manager must react
+/// to (outage kill, worker panic, deadline expiry).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalOutcome<R> {
+    /// The evaluation completed and computed `R`.
+    Ok(R),
+    /// Killed by a simulated worker-slot outage; no result exists.
+    Faulted {
+        /// Slot that went down.
+        worker: usize,
+        /// Simulated time the outage began.
+        down_at: f64,
+        /// Simulated time the slot comes back online.
+        up_at: f64,
+    },
+    /// The worker function panicked; `message` is the panic payload.
+    Crashed {
+        /// Panic message (best-effort downcast of the payload).
+        message: String,
+    },
+    /// Killed by the deadline passed via [`SubmitOpts`].
+    TimedOut,
+}
+
+impl<R> EvalOutcome<R> {
+    /// The computed value, if the evaluation completed.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            EvalOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// True when the evaluation completed normally.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, EvalOutcome::Ok(_))
+    }
+}
 
 /// A finished evaluation as returned by
 /// [`Evaluator::get_finished_evaluations`].
@@ -15,12 +60,24 @@ pub struct Finished<R> {
     pub id: u64,
     /// Simulated start time on its worker slot.
     pub started_at: f64,
-    /// Simulated completion time (seconds since search start).
+    /// Simulated delivery time (natural completion, or the moment the
+    /// evaluation was killed), in seconds since search start.
     pub finished_at: f64,
-    /// Simulated duration of the evaluation.
+    /// Modeled (requested) simulated duration of the evaluation.
     pub duration: f64,
-    /// The computed result.
-    pub result: R,
+    /// How the evaluation ended, with its result when it completed.
+    pub outcome: EvalOutcome<R>,
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".to_string()
+    }
 }
 
 /// Manager-side handle implementing the paper's two scheduling interfaces.
@@ -33,8 +90,8 @@ pub struct Finished<R> {
 pub struct Evaluator<T: Send + 'static, R: Send + 'static> {
     sim: SimQueue,
     task_tx: Sender<(u64, T)>,
-    result_rx: Receiver<(u64, R)>,
-    ready: HashMap<u64, R>,
+    result_rx: Receiver<(u64, Result<R, String>)>,
+    ready: HashMap<u64, Result<R, String>>,
     durations: HashMap<u64, (f64, f64, f64)>, // id -> (start, finish, duration)
     outstanding: usize,
     next_id: u64,
@@ -53,7 +110,7 @@ impl<T: Send + 'static, R: Send + 'static> Evaluator<T, R> {
     {
         assert!(n_threads > 0);
         let (task_tx, task_rx) = unbounded::<(u64, T)>();
-        let (result_tx, result_rx) = unbounded::<(u64, R)>();
+        let (result_tx, result_rx) = unbounded::<(u64, Result<R, String>)>();
         let worker_fn = std::sync::Arc::new(worker_fn);
         let threads = (0..n_threads)
             .map(|_| {
@@ -62,7 +119,11 @@ impl<T: Send + 'static, R: Send + 'static> Evaluator<T, R> {
                 let f = worker_fn.clone();
                 std::thread::spawn(move || {
                     while let Ok((id, task)) = rx.recv() {
-                        let result = f(&task);
+                        // A panicking worker_fn must become a delivered
+                        // outcome, not a dead pool thread that leaves the
+                        // manager waiting forever.
+                        let result = catch_unwind(AssertUnwindSafe(|| f(&task)))
+                            .map_err(|payload| panic_message(payload.as_ref()));
                         if tx.send((id, result)).is_err() {
                             break; // manager dropped
                         }
@@ -98,32 +159,71 @@ impl<T: Send + 'static, R: Send + 'static> Evaluator<T, R> {
     /// Like [`Evaluator::submit_evaluation`], also reporting where and
     /// when the evaluation was scheduled.
     pub fn submit_evaluation_traced(&mut self, task: T, duration: f64) -> (u64, Placement) {
+        self.submit_evaluation_opts(task, duration, SubmitOpts::default())
+    }
+
+    /// Like [`Evaluator::submit_evaluation_traced`] with per-submission
+    /// constraints (deadline, earliest start).
+    pub fn submit_evaluation_opts(
+        &mut self,
+        task: T,
+        duration: f64,
+        opts: SubmitOpts,
+    ) -> (u64, Placement) {
         let id = self.next_id;
         self.next_id += 1;
-        let placement = self.sim.submit_traced(id, duration);
+        let placement = self.sim.submit_traced_opts(id, duration, opts);
         self.durations.insert(id, (placement.start, placement.finish, duration));
         self.outstanding += 1;
         self.task_tx.send((id, task)).expect("worker pool alive");
         (id, placement)
     }
 
+    /// Installs a seeded [`FaultPlan`] on the simulated cluster (see
+    /// [`SimQueue::install_faults`]).
+    pub fn install_faults(&mut self, plan: &FaultPlan, seed: u64) {
+        self.sim.install_faults(plan, seed);
+    }
+
+    /// Bars `worker` from new placements before simulated time `until`
+    /// (see [`SimQueue::quarantine`]).
+    pub fn quarantine_worker(&mut self, worker: usize, until: f64) {
+        self.sim.quarantine(worker, until);
+    }
+
     /// Blocks until at least one evaluation completes in simulated time and
     /// returns everything finished by then (the paper's
     /// `get_finished_evaluations`). Empty when nothing is running.
+    ///
+    /// Evaluations killed by an outage or deadline are still drained from
+    /// the compute pool (their real computation runs to completion and is
+    /// discarded) so no orphan results accumulate; their fate arrives as
+    /// [`EvalOutcome::Faulted`] / [`EvalOutcome::TimedOut`].
     pub fn get_finished_evaluations(&mut self) -> Vec<Finished<R>> {
-        let ids = self.sim.pop_finished();
-        ids.into_iter()
-            .map(|id| {
-                let result = self.wait_for(id);
+        let finished = self.sim.pop_finished_detailed();
+        finished
+            .into_iter()
+            .map(|(id, fate)| {
+                let computed = self.wait_for(id);
                 let (started_at, finished_at, duration) =
                     self.durations.remove(&id).expect("known id");
                 self.outstanding -= 1;
-                Finished { id, started_at, finished_at, duration, result }
+                let outcome = match fate {
+                    EvalFate::Done => match computed {
+                        Ok(r) => EvalOutcome::Ok(r),
+                        Err(message) => EvalOutcome::Crashed { message },
+                    },
+                    EvalFate::Outage { worker, down_at, up_at } => {
+                        EvalOutcome::Faulted { worker, down_at, up_at }
+                    }
+                    EvalFate::TimedOut => EvalOutcome::TimedOut,
+                };
+                Finished { id, started_at, finished_at, duration, outcome }
             })
             .collect()
     }
 
-    fn wait_for(&mut self, id: u64) -> R {
+    fn wait_for(&mut self, id: u64) -> Result<R, String> {
         if let Some(r) = self.ready.remove(&id) {
             return r;
         }
@@ -185,11 +285,11 @@ mod tests {
         let first = ev.get_finished_evaluations();
         assert_eq!(first.len(), 1);
         assert_eq!(first[0].id, short);
-        assert_eq!(first[0].result, 9);
+        assert_eq!(first[0].outcome, EvalOutcome::Ok(9));
         assert_eq!(ev.now(), 1.0);
         let second = ev.get_finished_evaluations();
         assert_eq!(second[0].id, long);
-        assert_eq!(second[0].result, 49);
+        assert_eq!(second[0].outcome, EvalOutcome::Ok(49));
         assert_eq!(ev.now(), 100.0);
     }
 
@@ -211,7 +311,8 @@ mod tests {
             done += finished.len();
             for f in finished {
                 if done < 64 {
-                    ev.submit_evaluation(f.result % 10, 5.0 + (f.id % 3) as f64);
+                    let r = f.outcome.ok().expect("no faults installed");
+                    ev.submit_evaluation(r % 10, 5.0 + (f.id % 3) as f64);
                 }
             }
         }
@@ -232,7 +333,7 @@ mod tests {
                     break;
                 }
                 for f in finished {
-                    out.push((f.id, f.result, f.finished_at as u64));
+                    out.push((f.id, f.outcome.ok().unwrap(), f.finished_at as u64));
                 }
             }
             out
@@ -265,11 +366,66 @@ mod tests {
                 break;
             }
             for f in finished {
-                assert_eq!(f.result, hash_loop(f.id));
+                assert_eq!(f.outcome, EvalOutcome::Ok(hash_loop(f.id)));
                 seen += 1;
             }
         }
         assert_eq!(seen, 9);
+    }
+
+    #[test]
+    fn panicking_worker_surfaces_as_crashed_instead_of_hanging() {
+        // Regression: a panic in worker_fn used to kill the pool thread,
+        // leaving wait_for blocked forever on a result that never comes.
+        let mut ev: Evaluator<u64, u64> = Evaluator::new(2, 1, |&x| {
+            if x == 13 {
+                panic!("unlucky task {x}");
+            }
+            x * 2
+        });
+        ev.submit_evaluation(13, 5.0);
+        ev.submit_evaluation(4, 9.0);
+        let first = ev.get_finished_evaluations();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].id, 0);
+        let EvalOutcome::Crashed { message } = &first[0].outcome else {
+            panic!("expected Crashed, got {:?}", first[0].outcome);
+        };
+        assert!(message.contains("unlucky task 13"), "payload preserved: {message}");
+        // The pool survives: the next task completes normally on the
+        // same single compute thread.
+        let second = ev.get_finished_evaluations();
+        assert_eq!(second[0].outcome, EvalOutcome::Ok(8));
+    }
+
+    #[test]
+    fn killed_evaluations_surface_their_fate_not_a_result() {
+        let plan =
+            FaultPlan { mtbf: 1.0, mttr: 5.0, straggler_fraction: 0.0, straggler_factor: 1.0 };
+        let mut ev = square_evaluator(1);
+        ev.install_faults(&plan, 77);
+        ev.submit_evaluation(6, 1000.0);
+        let got = ev.get_finished_evaluations();
+        assert_eq!(got.len(), 1);
+        assert!(
+            matches!(got[0].outcome, EvalOutcome::Faulted { worker: 0, .. }),
+            "expected outage fate, got {:?}",
+            got[0].outcome
+        );
+        assert_eq!(ev.n_outstanding(), 0, "killed evals are fully drained");
+    }
+
+    #[test]
+    fn deadline_timeout_flows_through_the_evaluator() {
+        let mut ev = square_evaluator(1);
+        ev.submit_evaluation_opts(
+            5,
+            100.0,
+            SubmitOpts { deadline: Some(25.0), not_before: None },
+        );
+        let got = ev.get_finished_evaluations();
+        assert_eq!(got[0].outcome, EvalOutcome::TimedOut);
+        assert_eq!(got[0].finished_at, 25.0);
     }
 
     #[test]

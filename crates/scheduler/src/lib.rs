@@ -20,6 +20,8 @@
 
 pub mod des;
 pub mod evaluator;
+pub mod fault;
 
-pub use des::{Placement, SimQueue};
-pub use evaluator::{Evaluator, Finished};
+pub use des::{EvalFate, Placement, SimQueue, SubmitOpts};
+pub use evaluator::{EvalOutcome, Evaluator, Finished};
+pub use fault::FaultPlan;

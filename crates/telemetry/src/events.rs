@@ -159,6 +159,57 @@ pub enum RunEvent {
         /// Destination path.
         path: String,
     },
+    /// A worker slot went down (outage began), killing its evaluation.
+    WorkerDown {
+        /// Index of the slot.
+        worker: usize,
+        /// Simulated time the outage began.
+        sim: f64,
+    },
+    /// A worker slot came back online after an outage.
+    WorkerUp {
+        /// Index of the slot.
+        worker: usize,
+        /// Simulated time the slot recovered.
+        sim: f64,
+    },
+    /// A failed evaluation was resubmitted under the retry policy.
+    EvalRetry {
+        /// Id of the *new* (resubmitted) evaluation.
+        id: u64,
+        /// Simulated time of the resubmission.
+        sim: f64,
+        /// Attempt index of the resubmission (first retry = 1).
+        attempt: u64,
+        /// Why the previous attempt failed
+        /// (`"fault"|"outage"|"crash"|"timeout"`).
+        reason: String,
+    },
+    /// An evaluation exceeded its deadline and was killed.
+    EvalTimeout {
+        /// Evaluation id.
+        id: u64,
+        /// Simulated time of the kill.
+        sim: f64,
+    },
+    /// The worker function panicked while computing an evaluation.
+    EvalCrashed {
+        /// Evaluation id.
+        id: u64,
+        /// Simulated completion time of the crashed run.
+        sim: f64,
+        /// Panic message (truncated by the emitter).
+        message: String,
+    },
+    /// A worker slot was quarantined after consecutive failures.
+    WorkerQuarantined {
+        /// Index of the slot.
+        worker: usize,
+        /// Simulated time of the quarantine decision.
+        sim: f64,
+        /// Simulated time the slot is re-admitted.
+        until: f64,
+    },
 }
 
 impl RunEvent {
@@ -176,6 +227,12 @@ impl RunEvent {
             RunEvent::BoRejected { .. } => "bo_rejected",
             RunEvent::PopulationReplaced { .. } => "population_replaced",
             RunEvent::Checkpoint { .. } => "checkpoint",
+            RunEvent::WorkerDown { .. } => "worker_down",
+            RunEvent::WorkerUp { .. } => "worker_up",
+            RunEvent::EvalRetry { .. } => "eval_retry",
+            RunEvent::EvalTimeout { .. } => "eval_timeout",
+            RunEvent::EvalCrashed { .. } => "eval_crashed",
+            RunEvent::WorkerQuarantined { .. } => "worker_quarantined",
         }
     }
 
@@ -260,6 +317,29 @@ impl RunEvent {
                 ("n_records", Json::UInt(*n_records as u64)),
                 ("path", Json::Str(path.clone())),
             ],
+            RunEvent::WorkerDown { worker, sim } | RunEvent::WorkerUp { worker, sim } => vec![
+                ("worker", Json::UInt(*worker as u64)),
+                ("sim", Json::Num(*sim)),
+            ],
+            RunEvent::EvalRetry { id, sim, attempt, reason } => vec![
+                ("id", Json::UInt(*id)),
+                ("sim", Json::Num(*sim)),
+                ("attempt", Json::UInt(*attempt)),
+                ("reason", Json::Str(reason.clone())),
+            ],
+            RunEvent::EvalTimeout { id, sim } => {
+                vec![("id", Json::UInt(*id)), ("sim", Json::Num(*sim))]
+            }
+            RunEvent::EvalCrashed { id, sim, message } => vec![
+                ("id", Json::UInt(*id)),
+                ("sim", Json::Num(*sim)),
+                ("message", Json::Str(message.clone())),
+            ],
+            RunEvent::WorkerQuarantined { worker, sim, until } => vec![
+                ("worker", Json::UInt(*worker as u64)),
+                ("sim", Json::Num(*sim)),
+                ("until", Json::Num(*until)),
+            ],
         }
     }
 
@@ -332,6 +412,31 @@ impl RunEvent {
                 sim: rf64(v, "sim")?,
                 n_records: ru64(v, "n_records")? as usize,
                 path: rstr(v, "path")?,
+            },
+            "worker_down" => RunEvent::WorkerDown {
+                worker: ru64(v, "worker")? as usize,
+                sim: rf64(v, "sim")?,
+            },
+            "worker_up" => RunEvent::WorkerUp {
+                worker: ru64(v, "worker")? as usize,
+                sim: rf64(v, "sim")?,
+            },
+            "eval_retry" => RunEvent::EvalRetry {
+                id: ru64(v, "id")?,
+                sim: rf64(v, "sim")?,
+                attempt: ru64(v, "attempt")?,
+                reason: rstr(v, "reason")?,
+            },
+            "eval_timeout" => RunEvent::EvalTimeout { id: ru64(v, "id")?, sim: rf64(v, "sim")? },
+            "eval_crashed" => RunEvent::EvalCrashed {
+                id: ru64(v, "id")?,
+                sim: rf64(v, "sim")?,
+                message: rstr(v, "message")?,
+            },
+            "worker_quarantined" => RunEvent::WorkerQuarantined {
+                worker: ru64(v, "worker")? as usize,
+                sim: rf64(v, "sim")?,
+                until: rf64(v, "until")?,
             },
             other => return Err(field_err("type", &format!("unknown event kind `{other}`"))),
         })

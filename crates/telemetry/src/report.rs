@@ -34,6 +34,16 @@ pub struct RunSummary {
     pub n_bo_tells: usize,
     /// Observations the BO rejected for a non-finite objective.
     pub n_bo_rejected: usize,
+    /// Worker-slot outages observed (WorkerDown events).
+    pub n_worker_down: usize,
+    /// Evaluations resubmitted under the retry policy.
+    pub n_retries: usize,
+    /// Evaluations killed by their deadline.
+    pub n_timeouts: usize,
+    /// Evaluations whose worker function panicked.
+    pub n_crashes: usize,
+    /// Worker-slot quarantine decisions.
+    pub n_quarantined: usize,
     /// Latest simulated completion time (the makespan).
     pub makespan: f64,
     /// Busy worker-seconds divided by `workers × makespan`.
@@ -65,6 +75,11 @@ impl RunSummary {
             n_bo_asks: 0,
             n_bo_tells: 0,
             n_bo_rejected: 0,
+            n_worker_down: 0,
+            n_retries: 0,
+            n_timeouts: 0,
+            n_crashes: 0,
+            n_quarantined: 0,
             makespan: 0.0,
             utilization: 0.0,
             mean_queue_wait: 0.0,
@@ -122,7 +137,23 @@ impl RunSummary {
                 RunEvent::BoAsk { .. } => s.n_bo_asks += 1,
                 RunEvent::BoTell { .. } => s.n_bo_tells += 1,
                 RunEvent::BoRejected { n_points, .. } => s.n_bo_rejected += n_points,
-                RunEvent::PopulationReplaced { .. } | RunEvent::Checkpoint { .. } => {}
+                RunEvent::WorkerDown { sim, .. } => {
+                    s.n_worker_down += 1;
+                    s.makespan = s.makespan.max(sim);
+                }
+                RunEvent::EvalRetry { .. } => s.n_retries += 1,
+                RunEvent::EvalTimeout { sim, .. } => {
+                    s.n_timeouts += 1;
+                    s.makespan = s.makespan.max(sim);
+                }
+                RunEvent::EvalCrashed { sim, .. } => {
+                    s.n_crashes += 1;
+                    s.makespan = s.makespan.max(sim);
+                }
+                RunEvent::WorkerQuarantined { .. } => s.n_quarantined += 1,
+                RunEvent::PopulationReplaced { .. }
+                | RunEvent::Checkpoint { .. }
+                | RunEvent::WorkerUp { .. } => {}
             }
         }
         if s.workers > 0 && s.makespan > 0.0 {
@@ -186,6 +217,13 @@ impl RunSummary {
             format!(
                 "bo:           {} asks, {} tells, {} rejected",
                 self.n_bo_asks, self.n_bo_tells, self.n_bo_rejected
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "faults:       {} outages, {} crashes, {} timeouts, {} retries, {} quarantines",
+                self.n_worker_down, self.n_crashes, self.n_timeouts, self.n_retries, self.n_quarantined
             ),
         );
         push(
@@ -290,6 +328,28 @@ mod tests {
         let text = s.render();
         assert!(text.contains("AgEBO"));
         assert!(text.contains("utilization 60.0%"));
+    }
+
+    #[test]
+    fn fault_events_are_counted_and_rendered() {
+        let tel = Telemetry::in_memory();
+        tel.emit(RunEvent::WorkerDown { worker: 1, sim: 50.0 });
+        tel.emit(RunEvent::WorkerUp { worker: 1, sim: 80.0 });
+        tel.emit(RunEvent::EvalRetry { id: 9, sim: 50.0, attempt: 1, reason: "outage".into() });
+        tel.emit(RunEvent::EvalTimeout { id: 4, sim: 90.0 });
+        tel.emit(RunEvent::EvalCrashed { id: 5, sim: 95.0, message: "boom".into() });
+        tel.emit(RunEvent::WorkerQuarantined { worker: 1, sim: 95.0, until: 700.0 });
+        let s = RunSummary::from_jsonl(&tel.events_jsonl().unwrap());
+        assert_eq!(
+            (s.n_worker_down, s.n_retries, s.n_timeouts, s.n_crashes, s.n_quarantined),
+            (1, 1, 1, 1, 1)
+        );
+        assert_eq!(s.makespan, 95.0);
+        let text = s.render();
+        assert!(
+            text.contains("faults:       1 outages, 1 crashes, 1 timeouts, 1 retries, 1 quarantines"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -534,7 +534,7 @@ impl RegressionTree {
     }
 
     /// An empty tree with no nodes — a placeholder to be populated by
-    /// [`RegressionTree::refit_rows_with`]. Predicting on it panics.
+    /// `RegressionTree::refit_rows_with`. Predicting on it panics.
     pub fn empty() -> Self {
         RegressionTree { nodes: Vec::new() }
     }

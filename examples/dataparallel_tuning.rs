@@ -36,7 +36,7 @@ fn main() {
     ]);
     for n in [1usize, 2, 4, 8] {
         let hp = DataParallelHp::paper_default(n);
-        let acc = evaluate(&ctx, &EvalTask { arch: arch.clone(), hp, seed: 5, cached: None });
+        let acc = evaluate(&ctx, &EvalTask { arch: arch.clone(), hp, seed: 5, attempt: 0, cached: None });
         let minutes = cost.expected_seconds(&ctx.meta, params, hp, 20) / 60.0;
         table.row(&[
             n.to_string(),

@@ -24,7 +24,7 @@ fn main() {
     let best = history.best().expect("search found something");
     let (net, _) = train_final(
         &ctx,
-        &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: 99, cached: None },
+        &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: 99, attempt: 0, cached: None },
     );
     let (preds, single_time) = predict_timed(&net, &ctx.test.x, 512);
     let single_acc = ctx.test.accuracy_of(&preds);

@@ -15,7 +15,7 @@ fn single_model_vs_ensemble_table2_machinery() {
     let best = history.best().expect("non-empty search");
     let (net, val_acc) = train_final(
         &ctx,
-        &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: 77, cached: None },
+        &EvalTask { arch: best.arch.clone(), hp: best.hp, seed: 77, attempt: 0, cached: None },
     );
     assert!(val_acc > 0.0);
     let (preds, single_time) = predict_timed(&net, &ctx.test.x, 512);

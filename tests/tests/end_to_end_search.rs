@@ -88,9 +88,10 @@ fn histories_serialize_and_reload() {
     let ctx = covertype_ctx(5);
     let cfg = SearchConfig::test(Variant::agebo_lr(8)).with_seed(5).with_wall_time(3000.0);
     let h = run_search(ctx, &cfg);
-    let json = serde_json::to_string(&h).unwrap();
-    let back: agebo_core::SearchHistory = serde_json::from_str(&json).unwrap();
+    let json = h.to_json_string();
+    let back = agebo_core::SearchHistory::from_json_str(&json).unwrap();
     assert_eq!(back.len(), h.len());
     assert_eq!(back.label, h.label);
+    assert_eq!(back.variant, h.variant);
     assert_eq!(back.best().map(|r| r.id), h.best().map(|r| r.id));
 }

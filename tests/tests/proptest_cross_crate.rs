@@ -42,7 +42,7 @@ proptest! {
             lr1: 10f64.powf(lr_exp) as f32,
             n: [1, 2, 4, 8][n_idx],
         };
-        let acc = evaluate(&ctx, &EvalTask { arch, hp, seed: arch_seed, cached: None });
+        let acc = evaluate(&ctx, &EvalTask { arch, hp, seed: arch_seed, attempt: 0, cached: None });
         prop_assert!(acc.is_finite());
         prop_assert!((0.0..=1.0).contains(&acc));
     }

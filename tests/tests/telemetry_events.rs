@@ -47,6 +47,12 @@ fn all_variants() -> Vec<RunEvent> {
         RunEvent::BoRejected { sim: 357.75, n_points: 2 },
         RunEvent::PopulationReplaced { sim: 357.75, eval_id: 17, size: 100, full: true },
         RunEvent::Checkpoint { sim: 10800.0, n_records: 479, path: "out/history.json".into() },
+        RunEvent::WorkerDown { worker: 3, sim: 512.5 },
+        RunEvent::WorkerUp { worker: 3, sim: 812.5 },
+        RunEvent::EvalRetry { id: 20, sim: 815.0, attempt: 1, reason: "outage".into() },
+        RunEvent::EvalTimeout { id: 21, sim: 900.0 },
+        RunEvent::EvalCrashed { id: 22, sim: 950.0, message: "worker panicked: oom".into() },
+        RunEvent::WorkerQuarantined { worker: 3, sim: 960.0, until: 1860.0 },
     ]
 }
 

@@ -25,7 +25,7 @@ fn rank_counts_converge_to_similar_accuracy_below_the_limit() {
     let acc = |n: usize| {
         evaluate(
             &ctx,
-            &EvalTask { arch: arch.clone(), hp: DataParallelHp { lr1: 0.01, bs1: 64, n }, seed: 7, cached: None },
+            &EvalTask { arch: arch.clone(), hp: DataParallelHp { lr1: 0.01, bs1: 64, n }, seed: 7, attempt: 0, cached: None },
         )
     };
     let (a1, a2) = (acc(1), acc(2));
@@ -45,7 +45,7 @@ fn beyond_the_limit_accuracy_degrades() {
     let acc = |n: usize, seed: u64| {
         evaluate(
             &ctx,
-            &EvalTask { arch: arch.clone(), hp: DataParallelHp { lr1: 0.06, bs1: 256, n }, seed, cached: None },
+            &EvalTask { arch: arch.clone(), hp: DataParallelHp { lr1: 0.06, bs1: 256, n }, seed, attempt: 0, cached: None },
         )
     };
     let seeds: &[u64] = &[8, 21, 34, 55, 89];
@@ -104,6 +104,6 @@ fn evaluation_is_reproducible_across_contexts() {
     let a = covertype_ctx(14);
     let b = covertype_ctx(14);
     let arch = compact_net(&a);
-    let task = EvalTask { arch, hp: DataParallelHp { lr1: 0.02, bs1: 128, n: 2 }, seed: 3, cached: None };
+    let task = EvalTask { arch, hp: DataParallelHp { lr1: 0.02, bs1: 128, n: 2 }, seed: 3, attempt: 0, cached: None };
     assert_eq!(evaluate(&a, &task), evaluate(&b, &task));
 }
