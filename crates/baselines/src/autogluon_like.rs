@@ -151,7 +151,7 @@ impl AutoGluonLike {
             let mut idx: Vec<usize> = (0..train.len()).collect();
             idx.shuffle(&mut rng);
             idx.truncate((train.len() * 4 / 5).max(1));
-            let sub = train.subset(&idx);
+            let sub = train.gather(&idx);
 
             let rf_cfg = ForestConfig { n_trees: cfg.rf_trees, ..ForestConfig::default() };
             members.push(Member::Rf(RandomForestClassifier::fit(
@@ -177,8 +177,8 @@ impl AutoGluonLike {
                 stream.labeled(300 + fold as u64),
             )));
             members.push(Member::Knn(KnnClassifier::fit(
-                sub.x.clone(),
-                sub.y.clone(),
+                (*sub.x).clone(),
+                (*sub.y).clone(),
                 k,
                 cfg.knn_k.min(sub.len()),
             )));

@@ -3,8 +3,13 @@
 //! their allocating wrappers. The `bench_hotpath` binary runs the same
 //! comparison and writes `BENCH_hotpath.json` for trend tracking.
 
+use agebo_bench::seed_eval::seed_evaluate;
 use agebo_bench::seed_step::SeedMlp;
+use agebo_core::{evaluate_pooled, EvalContext, EvalScratch, EvalTask};
+use agebo_dataparallel::{DataParallelHp, TrainerTelemetry};
 use agebo_nn::{Activation, Adam, GradientBuffer, GraphNet, GraphSpec};
+use agebo_tabular::{DatasetKind, SizeProfile};
+use agebo_telemetry::Telemetry;
 use agebo_tensor::Matrix;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -105,5 +110,31 @@ fn bench_gemm_into(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_step, bench_gemm_into);
+fn bench_eval_engine(c: &mut Criterion) {
+    // Whole-evaluation throughput, seed path vs the pooled engine — the
+    // same comparison the `bench_eval` binary records in BENCH_eval.json.
+    let ctx = EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, 42);
+    let tt = TrainerTelemetry::register(&Telemetry::disabled());
+    let mut group = c.benchmark_group("eval_seed_vs_engine");
+    group.sample_size(10);
+    for &n in &[1usize, 8] {
+        let task = EvalTask {
+            arch: ctx.space.random(&mut StdRng::seed_from_u64(21)),
+            hp: DataParallelHp { lr1: 0.02, bs1: 256, n },
+            seed: 21,
+            attempt: 0,
+            cached: None,
+        };
+        group.bench_function(format!("seed_n{n}"), |bench| {
+            bench.iter(|| black_box(seed_evaluate(&ctx, &task)))
+        });
+        let mut scratch = EvalScratch::new();
+        group.bench_function(format!("engine_n{n}"), |bench| {
+            bench.iter(|| black_box(evaluate_pooled(&ctx, &task, &tt, &mut scratch, None)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_gemm_into, bench_eval_engine);
 criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Measures the evaluation engine and writes `BENCH_eval.json`.
+//!
+//! Times whole architecture evaluations (network build + `n`-rank
+//! data-parallel training + per-epoch validation) before vs after the
+//! throughput-scale evaluation engine, at `n ∈ {1, 2, 4, 8}` on two
+//! dataset sizes:
+//!
+//! * before ([`agebo_bench::seed_eval`]): copying shards, fresh
+//!   workspaces/optimizer per fit, serial whole-validation-set inference;
+//! * after (`agebo_core::evaluate_pooled`): zero-copy shard views, one
+//!   [`EvalScratch`] reused across evaluations, parallel batched
+//!   validation inference.
+//!
+//! Both paths are bitwise equivalent (asserted here before timing any
+//! side), so the rates measure the same computation. `--quick` shrinks
+//! repetition counts for CI smoke runs.
+
+use agebo_bench::seed_eval::seed_evaluate;
+use agebo_core::{evaluate_pooled, EvalContext, EvalScratch, EvalTask};
+use agebo_dataparallel::{DataParallelHp, TrainerTelemetry};
+use agebo_tabular::{DatasetKind, SizeProfile};
+use agebo_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const RANKS: [usize; 4] = [1, 2, 4, 8];
+
+fn profile_name(p: SizeProfile) -> &'static str {
+    match p {
+        SizeProfile::Test => "test",
+        SizeProfile::Bench => "bench",
+        SizeProfile::Large => "large",
+    }
+}
+
+/// The benchmark task for one `(context, n)` cell: a fixed mid-size
+/// architecture drawn from the paper space with a content-style seed, so
+/// both sides train the identical network on the identical schedule.
+fn task_for(ctx: &EvalContext, n: usize, salt: u64) -> EvalTask {
+    let mut rng = StdRng::seed_from_u64(0xE7A1 ^ salt);
+    EvalTask {
+        arch: ctx.space.random(&mut rng),
+        hp: DataParallelHp { lr1: 0.02, bs1: 256, n },
+        seed: 0x5EED ^ salt,
+        attempt: 0,
+        cached: None,
+    }
+}
+
+fn rate(iters: usize, secs: f64) -> f64 {
+    iters as f64 / secs.max(1e-9)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 1 } else { 2 };
+    let tt = TrainerTelemetry::register(&Telemetry::disabled());
+    let mut entries = Vec::new();
+
+    for &(kind, profile, reps) in &[
+        (DatasetKind::Covertype, SizeProfile::Test, if quick { 3usize } else { 8 }),
+        (DatasetKind::Covertype, SizeProfile::Bench, if quick { 1 } else { 3 }),
+    ] {
+        let ctx = EvalContext::prepare(kind, profile, 42);
+        eprintln!(
+            "[ctx] {} {}: {} train rows, {} features",
+            kind.name(),
+            profile_name(profile),
+            ctx.train.len(),
+            ctx.meta.n_features
+        );
+
+        // Equivalence gate: the engine must reproduce the seed path bit
+        // for bit on this context before either side is timed.
+        let mut scratch = EvalScratch::new();
+        for (i, &n) in RANKS.iter().enumerate() {
+            let task = task_for(&ctx, n, 100 + i as u64);
+            let seed_obj = seed_evaluate(&ctx, &task);
+            let engine_obj = evaluate_pooled(&ctx, &task, &tt, &mut scratch, None);
+            assert_eq!(
+                seed_obj.to_bits(),
+                engine_obj.to_bits(),
+                "seed and engine objectives diverged at n={n}"
+            );
+        }
+
+        for &n in &RANKS {
+            let task = task_for(&ctx, n, n as u64);
+            // Interleave rounds and keep each side's best to shrug off
+            // scheduler noise. The engine side reuses one scratch across
+            // all repetitions — its steady state.
+            let (mut seed_rate, mut engine_rate) = (0.0f64, 0.0f64);
+            let mut scratch = EvalScratch::new();
+            black_box(evaluate_pooled(&ctx, &task, &tt, &mut scratch, None));
+            for _ in 0..rounds {
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    black_box(seed_evaluate(&ctx, &task));
+                }
+                seed_rate = seed_rate.max(rate(reps, t0.elapsed().as_secs_f64()));
+
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    black_box(evaluate_pooled(&ctx, &task, &tt, &mut scratch, None));
+                }
+                engine_rate = engine_rate.max(rate(reps, t0.elapsed().as_secs_f64()));
+            }
+            let speedup = engine_rate / seed_rate;
+            println!(
+                "{} {} n={n}: {seed_rate:.2} -> {engine_rate:.2} evals/s ({speedup:.2}x)",
+                kind.name(),
+                profile_name(profile)
+            );
+            entries.push(format!(
+                "    {{\n      \"dataset\": \"{}\",\n      \"profile\": \"{}\",\n      \"n\": {n},\n      \"train_rows\": {},\n      \"seed_evals_per_sec\": {seed_rate:.3},\n      \"engine_evals_per_sec\": {engine_rate:.3},\n      \"speedup\": {speedup:.3}\n    }}",
+                kind.name(),
+                profile_name(profile),
+                ctx.train.len()
+            ));
+        }
+    }
+
+    // The parallel-validation half of the engine only shows up with a real
+    // thread pool; record the pool width so single-thread numbers (where
+    // only the zero-copy/pooling wins apply) are not misread.
+    let json = format!(
+        "{{\n  \"benchmark\": \"evaluation_engine\",\n  \"workload\": \"full architecture evaluation: build + n-rank data-parallel training + per-epoch validation, paper space arch, bs1=256 lr1=0.02\",\n  \"before\": \"seed path: copying shards, fresh buffers per fit, serial validation inference\",\n  \"after\": \"zero-copy shard views, pooled cross-evaluation scratch, parallel batched validation\",\n  \"threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rayon::current_num_threads(),
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
+    println!("wrote BENCH_eval.json");
+}

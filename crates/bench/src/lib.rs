@@ -6,6 +6,7 @@
 //! Fig. 6 / Table III / Fig. 7) don't recompute them.
 
 pub mod seed_bo;
+pub mod seed_eval;
 pub mod seed_step;
 
 use agebo_core::{run_search, EvalContext, SearchConfig, SearchHistory, Variant};

@@ -1,0 +1,233 @@
+//! The pre-engine ("seed") evaluation path, preserved verbatim for
+//! benchmarking.
+//!
+//! PR 6 replaced the copying shard + serial-validation training loop with
+//! the zero-copy/pooled evaluation engine. The replaced implementation is
+//! kept here, byte for byte in its arithmetic, as the benchmark baseline:
+//! `bench_eval` asserts at startup that [`seed_evaluate`] and the engine
+//! produce bitwise-identical objectives before timing either side.
+//!
+//! Differences from the deleted code are mechanical only: telemetry spans
+//! are dropped (they never touched the arithmetic) and the old copying
+//! `Dataset::subset` is spelled [`Dataset::gather`], which is the same
+//! row-copying operation under its post-PR name.
+
+use agebo_core::{EvalContext, EvalTask};
+use agebo_dataparallel::DataParallelConfig;
+use agebo_nn::{Adam, GradientBuffer, GraphNet, LrSchedule, TrainReport, Workspace};
+use agebo_tabular::Dataset;
+use agebo_tensor::{Matrix, Stream};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// The seed's copying shard split: shuffles row indices and deep-copies
+/// each rank's rows (and labels) into an owned [`Dataset`]. Same RNG
+/// consumption and row order as the engine's `make_shards` views.
+pub fn seed_make_shards(data: &Dataset, n: usize, rng: &mut impl Rng) -> Vec<Dataset> {
+    assert!(n > 0, "need at least one shard");
+    assert!(data.len() >= n, "fewer rows than shards");
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    order.shuffle(rng);
+    let base = data.len() / n;
+    let extra = data.len() % n;
+    let mut shards = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        shards.push(data.gather(&order[start..start + size]));
+        start += size;
+    }
+    shards
+}
+
+/// Per-rank state of the seed trainer — allocated fresh on every fit.
+struct SeedRank {
+    ws: Workspace,
+    grads: GradientBuffer,
+    xbuf: Matrix,
+    ybuf: Vec<usize>,
+    order: Vec<usize>,
+    loss: f32,
+}
+
+/// The seed's data-parallel training loop, verbatim: copying shards,
+/// fresh per-fit workspaces/optimizer, always-parallel rank dispatch, and
+/// a serial whole-validation-set evaluation on rank 0's workspace after
+/// every epoch.
+pub fn seed_fit_data_parallel(
+    net: &mut GraphNet,
+    train: &Dataset,
+    valid: &Dataset,
+    cfg: &DataParallelConfig,
+) -> TrainReport {
+    cfg.hp.validate();
+    assert!(cfg.epochs > 0);
+    let n = cfg.hp.n;
+    let bs1 = cfg.hp.bs1;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let shards = seed_make_shards(train, n, &mut rng);
+    let mut rank_rngs: Vec<StdRng> =
+        (0..n).map(|_| StdRng::seed_from_u64(rng.gen())).collect();
+
+    let mut adam = Adam::new(net);
+    let mut schedule = LrSchedule::new(
+        cfg.hp.lr1,
+        cfg.hp.scaled_lr(),
+        cfg.warmup_epochs,
+        cfg.plateau_patience,
+        cfg.plateau_factor,
+    );
+
+    let mut rank_states: Vec<SeedRank> = shards
+        .iter()
+        .map(|shard| SeedRank {
+            ws: net.make_workspace(bs1.min(shard.len()).max(1)),
+            grads: GradientBuffer::zeros_like(net),
+            xbuf: Matrix::default(),
+            ybuf: Vec::with_capacity(bs1),
+            order: (0..shard.len()).collect(),
+            loss: 0.0,
+        })
+        .collect();
+
+    let mut train_loss = Vec::with_capacity(cfg.epochs);
+    let mut val_acc = Vec::with_capacity(cfg.epochs);
+    let mut val_loss = Vec::with_capacity(cfg.epochs);
+
+    for epoch in 0..cfg.epochs {
+        let lr = schedule.lr_for_epoch(epoch);
+        for (st, rank_rng) in rank_states.iter_mut().zip(rank_rngs.iter_mut()) {
+            for (i, slot) in st.order.iter_mut().enumerate() {
+                *slot = i;
+            }
+            st.order.shuffle(rank_rng);
+        }
+        let steps = rank_states
+            .iter()
+            .zip(&shards)
+            .map(|(st, shard)| st.order.chunks(bs1.min(shard.len()).max(1)).len())
+            .min()
+            .unwrap_or(1)
+            .max(1);
+
+        let mut epoch_loss = 0.0f32;
+        for step in 0..steps {
+            // &*net: ranks share immutable weights while computing grads.
+            let frozen: &GraphNet = net;
+            rank_states
+                .par_iter_mut()
+                .zip(shards.par_iter())
+                .for_each(|(st, shard)| {
+                    let cs = bs1.min(shard.len()).max(1);
+                    let start = step * cs;
+                    let end = (start + cs).min(st.order.len());
+                    let batch = &st.order[start..end];
+                    shard.x.gather_rows_into(batch, &mut st.xbuf);
+                    st.ybuf.clear();
+                    st.ybuf.extend(batch.iter().map(|&i| shard.y[i]));
+                    st.loss = frozen.forward_backward_with(
+                        &st.xbuf,
+                        &st.ybuf,
+                        &mut st.ws,
+                        &mut st.grads,
+                    );
+                });
+            let mean_loss: f32 =
+                rank_states.iter().map(|st| st.loss).sum::<f32>() / n as f32;
+            // In-place allreduce into rank 0's buffer, replicating the
+            // floating-point addition order of `average_gradients` (which
+            // swap-removes index 0, so rank n−1 is added first).
+            let (first, rest) = rank_states.split_at_mut(1);
+            let grads = &mut first[0].grads;
+            if let Some((last, middle)) = rest.split_last() {
+                grads.add_assign(&last.grads);
+                for st in middle {
+                    grads.add_assign(&st.grads);
+                }
+            }
+            grads.scale(1.0 / n as f32);
+            if let Some(max_norm) = cfg.grad_clip {
+                grads.clip_global_norm(max_norm);
+            }
+            adam.step_with(net, grads, lr, cfg.weight_decay);
+            epoch_loss += mean_loss;
+        }
+        let eval_ws = &mut rank_states[0].ws;
+        let (vl, va) = net.evaluate_with(&valid.x, &valid.y, eval_ws);
+        schedule.observe(vl);
+        train_loss.push(epoch_loss / steps as f32);
+        val_acc.push(va);
+        val_loss.push(vl);
+    }
+    TrainReport::new(train_loss, val_acc, val_loss)
+}
+
+/// The seed's worker evaluation: builds the task's network and trains it
+/// with [`seed_fit_data_parallel`], returning the best validation
+/// accuracy. Mirrors `agebo_core::evaluate` exactly (same seed stream,
+/// same config derivation).
+pub fn seed_evaluate(ctx: &EvalContext, task: &EvalTask) -> f64 {
+    let spec = ctx.space.to_graph(&task.arch);
+    let mut stream = Stream::new(task.seed);
+    let mut net = GraphNet::new(spec, &mut stream.rng());
+    let hp = ctx.applied_hp(task.hp);
+    let cfg = DataParallelConfig {
+        epochs: ctx.epochs,
+        hp,
+        warmup_epochs: ctx.warmup_epochs,
+        plateau_patience: ctx.plateau_patience,
+        plateau_factor: 0.1,
+        seed: stream.next_u64(),
+        weight_decay: 0.0,
+        grad_clip: None,
+    };
+    seed_fit_data_parallel(&mut net, &ctx.train, &ctx.valid, &cfg).best_val_acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agebo_core::evaluate;
+    use agebo_dataparallel::{make_shards, DataParallelHp};
+    use agebo_tabular::{DatasetKind, SizeProfile};
+
+    #[test]
+    fn seed_shards_match_engine_views_row_for_row() {
+        let ctx = EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, 11);
+        for n in [1usize, 2, 4, 8] {
+            let copied = seed_make_shards(&ctx.train, n, &mut StdRng::seed_from_u64(7));
+            let views = make_shards(&ctx.train, n, &mut StdRng::seed_from_u64(7));
+            assert_eq!(copied.len(), views.len());
+            for (c, v) in copied.iter().zip(&views) {
+                assert_eq!(c.len(), v.len(), "n={n}");
+                let m = v.materialize();
+                assert_eq!(c.x.as_slice(), m.x.as_slice(), "n={n}");
+                assert_eq!(&*c.y, &*m.y, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_evaluate_matches_engine_bitwise() {
+        let ctx = EvalContext::prepare(DatasetKind::Airlines, SizeProfile::Test, 12);
+        let mut rng = StdRng::seed_from_u64(3);
+        for (i, n) in [1usize, 2, 8].iter().enumerate() {
+            let task = EvalTask {
+                arch: ctx.space.random(&mut rng),
+                hp: DataParallelHp { lr1: 0.02, bs1: 128, n: *n },
+                seed: 90 + i as u64,
+                attempt: 0,
+                cached: None,
+            };
+            let seed_obj = seed_evaluate(&ctx, &task);
+            let engine_obj = evaluate(&ctx, &task);
+            assert_eq!(
+                seed_obj.to_bits(),
+                engine_obj.to_bits(),
+                "n={n} seed={seed_obj} engine={engine_obj}"
+            );
+        }
+    }
+}

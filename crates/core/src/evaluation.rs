@@ -6,7 +6,8 @@
 //! best validation accuracy — the search objective.
 
 use agebo_dataparallel::{
-    fit_data_parallel_instrumented, DataParallelConfig, DataParallelHp, TrainerTelemetry,
+    fit_data_parallel_instrumented, fit_data_parallel_pooled, DataParallelConfig, DataParallelHp,
+    DpScratch, TrainerTelemetry,
 };
 use agebo_telemetry::Telemetry;
 use agebo_nn::GraphNet;
@@ -18,6 +19,7 @@ use agebo_tabular::{
 use agebo_tensor::Stream;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::AtomicBool;
 
 /// Everything an evaluation needs that is shared across all evaluations of
 /// one search: the standardized data partitions, the architecture space,
@@ -233,6 +235,52 @@ pub fn evaluate_with_faults_instrumented(
     evaluate_task_instrumented(ctx, task, failure_rate, tt).objective()
 }
 
+/// Reusable cross-evaluation scratch for a compute thread: the training
+/// buffers (workspaces, gradient accumulators, gather buffers, shard
+/// index scratch) and the batched-evaluation pool, checked out of the
+/// search's [`ScratchPool`](agebo_scheduler::ScratchPool) and reused
+/// across evaluations. Carries no task state — reusing one scratch across
+/// arbitrary (architecture, hyperparameter) pairs is bitwise equivalent
+/// to fresh buffers.
+#[derive(Default)]
+pub struct EvalScratch {
+    dp: DpScratch,
+}
+
+impl EvalScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+}
+
+/// [`evaluate_instrumented`] running on pooled buffers, with an optional
+/// between-epoch cancellation flag (see
+/// [`fit_data_parallel_pooled`]). Bitwise identical objective.
+pub fn evaluate_pooled(
+    ctx: &EvalContext,
+    task: &EvalTask,
+    tt: &TrainerTelemetry,
+    scratch: &mut EvalScratch,
+    cancel: Option<&AtomicBool>,
+) -> f64 {
+    let spec = ctx.space.to_graph(&task.arch);
+    let mut stream = Stream::new(task.seed);
+    let mut net = GraphNet::new(spec, &mut stream.rng());
+    let hp = ctx.applied_hp(task.hp);
+    let cfg = DataParallelConfig {
+        epochs: ctx.epochs,
+        hp,
+        warmup_epochs: ctx.warmup_epochs,
+        plateau_patience: ctx.plateau_patience,
+        plateau_factor: 0.1,
+        seed: stream.next_u64(),
+        weight_decay: 0.0,
+        grad_clip: None,
+    };
+    fit_data_parallel_pooled(&mut net, &ctx.train, &ctx.valid, &cfg, tt, &mut scratch.dp, cancel)
+}
+
 /// The structured worker entry point: injected faults, the divergence
 /// guard, the memo-cache, and training, reported as a [`TaskOutput`].
 pub fn evaluate_task_instrumented(
@@ -240,6 +288,22 @@ pub fn evaluate_task_instrumented(
     task: &EvalTask,
     failure_rate: f64,
     tt: &TrainerTelemetry,
+) -> TaskOutput {
+    let mut scratch = EvalScratch::new();
+    evaluate_task_pooled(ctx, task, failure_rate, tt, &mut scratch, None)
+}
+
+/// [`evaluate_task_instrumented`] on pooled buffers with cooperative
+/// cancellation — the form the search's compute pool actually runs.
+/// A cancelled training still reports normally (its partial objective is
+/// discarded by the manager along with the evaluation's fate).
+pub fn evaluate_task_pooled(
+    ctx: &EvalContext,
+    task: &EvalTask,
+    failure_rate: f64,
+    tt: &TrainerTelemetry,
+    scratch: &mut EvalScratch,
+    cancel: Option<&AtomicBool>,
 ) -> TaskOutput {
     if failure_rate > 0.0 {
         // The draw mixes the attempt index into the label (attempt 0
@@ -259,7 +323,7 @@ pub fn evaluate_task_instrumented(
     if let Some(objective) = task.cached {
         return TaskOutput::Objective(objective);
     }
-    let objective = evaluate_instrumented(ctx, task, tt);
+    let objective = evaluate_pooled(ctx, task, tt, scratch, cancel);
     if objective.is_finite() {
         TaskOutput::Objective(objective)
     } else {
@@ -352,6 +416,28 @@ mod tests {
             attempt: 0, cached: None,
         };
         assert_eq!(evaluate(&ctx, &task), evaluate(&ctx, &task));
+    }
+
+    #[test]
+    fn pooled_evaluation_matches_fresh_buffers_bitwise() {
+        let ctx = EvalContext::prepare(DatasetKind::Airlines, SizeProfile::Test, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let tt = TrainerTelemetry::register(&Telemetry::disabled());
+        let mut scratch = EvalScratch::new();
+        // Reuse one scratch across differing architectures and rank
+        // counts; every objective must equal the fresh-buffer path's.
+        for (i, n) in [1usize, 3, 2].iter().enumerate() {
+            let task = EvalTask {
+                arch: ctx.space.random(&mut rng),
+                hp: DataParallelHp { lr1: 0.02, bs1: 128, n: *n },
+                seed: 40 + i as u64,
+                attempt: 0,
+                cached: None,
+            };
+            let fresh = evaluate_instrumented(&ctx, &task, &tt);
+            let pooled = evaluate_pooled(&ctx, &task, &tt, &mut scratch, None);
+            assert_eq!(fresh.to_bits(), pooled.to_bits(), "task {i}");
+        }
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub mod search;
 
 pub use config::{CachePolicy, RetryPolicy, SearchConfig, Variant};
 pub use evaluation::{
-    content_seed, evaluate, evaluate_instrumented, evaluate_task_instrumented, EvalContext,
-    EvalTask, TaskOutput,
+    content_seed, evaluate, evaluate_instrumented, evaluate_pooled, evaluate_task_instrumented,
+    evaluate_task_pooled, EvalContext, EvalScratch, EvalTask, TaskOutput,
 };
 pub use agebo_scheduler::FaultPlan;
 pub use history::{EvalRecord, SearchHistory};

@@ -15,14 +15,15 @@
 
 use crate::config::{CachePolicy, SearchConfig, Variant};
 use crate::evaluation::{
-    component_rng, content_seed, evaluate_task_instrumented, EvalContext, EvalTask, TaskOutput,
+    component_rng, content_seed, evaluate_task_pooled, EvalContext, EvalScratch, EvalTask,
+    TaskOutput,
 };
 use agebo_dataparallel::TrainerTelemetry;
 use crate::history::{EvalRecord, SearchHistory};
 use crate::population::{Member, Population};
 use agebo_bo::{BoConfig, BoOptimizer, HpPoint, Space};
 use agebo_dataparallel::DataParallelHp;
-use agebo_scheduler::{EvalOutcome, Evaluator, SubmitOpts};
+use agebo_scheduler::{EvalOutcome, Evaluator, ScratchPool, SubmitOpts};
 use agebo_searchspace::ArchVector;
 use agebo_telemetry::{Counter, Gauge, Histogram, RunEvent, SpanStats, Telemetry, SCHEMA_VERSION};
 use agebo_tensor::Stream;
@@ -208,9 +209,25 @@ fn run_search_with_state(
     // worker closure: worker threads record only metrics, never events,
     // keeping the event stream deterministic.
     let worker_tt = TrainerTelemetry::register(tel);
+    // Cross-evaluation buffer pool: each compute thread checks a scratch
+    // out per evaluation and returns it on completion, so the steady
+    // state of the whole search allocates no training buffers
+    // (`eval_scratch_hits_total` / `_misses_total`). The per-task cancel
+    // flag lets a training the cluster already killed stop at its next
+    // epoch boundary instead of running to completion.
+    let scratch_pool: Arc<ScratchPool<EvalScratch>> =
+        Arc::new(ScratchPool::register(tel, "eval_scratch", EvalScratch::new));
     let mut evaluator: Evaluator<EvalTask, TaskOutput> =
-        Evaluator::new(cfg.workers, cfg.n_threads.max(1), move |task| {
-            evaluate_task_instrumented(&worker_ctx, task, failure_rate, &worker_tt)
+        Evaluator::new_cancellable(cfg.workers, cfg.n_threads.max(1), move |task, cancel| {
+            let mut scratch = scratch_pool.checkout();
+            evaluate_task_pooled(
+                &worker_ctx,
+                task,
+                failure_rate,
+                &worker_tt,
+                &mut scratch,
+                Some(cancel),
+            )
         });
     evaluator.attach_telemetry(tel);
     // A `FaultPlan::none()` install is a no-op: the scheduler keeps the

@@ -30,6 +30,8 @@ pub use allreduce::{average_gradients, RingAllreduceModel};
 pub use cost::TrainingCostModel;
 pub use hierarchical::{multinode_expected_seconds, HierarchicalAllreduceModel};
 pub use scaling::DataParallelHp;
+pub use shard::{make_shards, make_shards_into};
 pub use trainer::{
-    fit_data_parallel, fit_data_parallel_instrumented, DataParallelConfig, TrainerTelemetry,
+    fit_data_parallel, fit_data_parallel_instrumented, fit_data_parallel_pooled,
+    DataParallelConfig, DpScratch, TrainerTelemetry,
 };

@@ -1,28 +1,62 @@
 //! Training-set sharding: `n` mutually exclusive subsets, one per rank.
+//!
+//! Shards are zero-copy [`DatasetView`]s: all `n` share one shuffled
+//! permutation vector (disjoint ranges of it) and the original backing
+//! storage, so sharding an `R`-row training set costs one `R`-entry index
+//! vector instead of a deep copy of every row. The view row order is exactly
+//! the order the seed's copying implementation produced, which keeps
+//! training bitwise-identical (see DESIGN.md §12).
 
-use agebo_tabular::Dataset;
+use agebo_tabular::{Dataset, DatasetView};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Splits `data` into `n` mutually exclusive shards of (near-)equal size.
 ///
 /// Rows are shuffled first so shards are i.i.d. samples of the training
 /// distribution; the first `len % n` shards get one extra row.
-pub fn make_shards(data: &Dataset, n: usize, rng: &mut impl Rng) -> Vec<Dataset> {
+pub fn make_shards(data: &Dataset, n: usize, rng: &mut impl Rng) -> Vec<DatasetView> {
+    let mut order = Arc::new(Vec::new());
+    let mut shards = Vec::new();
+    make_shards_into(data, n, rng, &mut order, &mut shards);
+    shards
+}
+
+/// [`make_shards`] with caller-owned buffers: `order` is reused as the
+/// shared permutation vector and `shards` is cleared and refilled.
+///
+/// When the caller has dropped all views from a previous call the `Arc` is
+/// unique and the shuffle happens in the existing allocation, so repeated
+/// sharding of same-sized training sets allocates nothing — the
+/// cross-evaluation pooling path. Draws from `rng` and produces shards
+/// identically to [`make_shards`].
+pub fn make_shards_into(
+    data: &Dataset,
+    n: usize,
+    rng: &mut impl Rng,
+    order: &mut Arc<Vec<usize>>,
+    shards: &mut Vec<DatasetView>,
+) {
     assert!(n > 0, "need at least one shard");
     assert!(data.len() >= n, "fewer rows than shards");
-    let mut order: Vec<usize> = (0..data.len()).collect();
-    order.shuffle(rng);
+    // Drop the previous call's views first: they hold clones of `order`,
+    // and `Arc::make_mut` on a shared `Arc` would deep-copy the vector.
+    shards.clear();
+    {
+        let buf = Arc::make_mut(order);
+        buf.clear();
+        buf.extend(0..data.len());
+        buf.shuffle(rng);
+    }
     let base = data.len() / n;
     let extra = data.len() % n;
-    let mut shards = Vec::with_capacity(n);
     let mut start = 0;
     for i in 0..n {
         let size = base + usize::from(i < extra);
-        shards.push(data.subset(&order[start..start + size]));
+        shards.push(DatasetView::slice_of(data.clone(), Arc::clone(order), start, size));
         start += size;
     }
-    shards
 }
 
 #[cfg(test)]
@@ -51,24 +85,21 @@ mod tests {
         let d = data(103);
         let shards = make_shards(&d, 4, &mut StdRng::seed_from_u64(0));
         assert_eq!(shards.len(), 4);
-        let total: usize = shards.iter().map(Dataset::len).sum();
+        let total: usize = shards.iter().map(DatasetView::len).sum();
         assert_eq!(total, 103);
         // Sizes differ by at most one.
-        let min = shards.iter().map(Dataset::len).min().unwrap();
-        let max = shards.iter().map(Dataset::len).max().unwrap();
+        let min = shards.iter().map(DatasetView::len).min().unwrap();
+        let max = shards.iter().map(DatasetView::len).max().unwrap();
         assert!(max - min <= 1);
     }
 
     #[test]
     fn shards_are_mutually_exclusive() {
-        // Rows are identifiable by their (unique w.h.p.) first feature.
         let d = data(64);
         let shards = make_shards(&d, 8, &mut StdRng::seed_from_u64(1));
-        let mut seen: Vec<u32> = Vec::new();
+        let mut seen: Vec<usize> = Vec::new();
         for s in &shards {
-            for r in 0..s.len() {
-                seen.push(s.x.get(r, 0).to_bits());
-            }
+            seen.extend_from_slice(s.indices());
         }
         seen.sort_unstable();
         let before = seen.len();
@@ -81,11 +112,34 @@ mod tests {
         let d = data(20);
         let shards = make_shards(&d, 1, &mut StdRng::seed_from_u64(2));
         assert_eq!(shards[0].len(), 20);
-        let mut a = shards[0].y.clone();
-        let mut b = d.y.clone();
+        let mut a: Vec<usize> = (0..20).map(|i| shards[0].label(i)).collect();
+        let mut b = (*d.y).clone();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shards_share_one_order_allocation() {
+        let d = data(30);
+        let shards = make_shards(&d, 3, &mut StdRng::seed_from_u64(4));
+        let first = shards[0].indices().as_ptr();
+        let second = shards[1].indices().as_ptr();
+        // Consecutive ranges of the same backing vector.
+        assert_eq!(first.wrapping_add(shards[0].len()), second);
+    }
+
+    #[test]
+    fn make_shards_into_matches_make_shards() {
+        let d = data(47);
+        let a = make_shards(&d, 4, &mut StdRng::seed_from_u64(5));
+        let mut order = Arc::new(Vec::new());
+        let mut b = Vec::new();
+        make_shards_into(&d, 4, &mut StdRng::seed_from_u64(5), &mut order, &mut b);
+        assert_eq!(a.len(), b.len());
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.indices(), sb.indices());
+        }
     }
 
     #[test]

@@ -7,15 +7,16 @@
 //! `lr₁` to `lr_n`, and reduce-on-plateau patience 5).
 
 use crate::scaling::DataParallelHp;
-use crate::shard::make_shards;
-use agebo_nn::{Adam, GradientBuffer, GraphNet, LrSchedule, TrainReport, Workspace};
+use crate::shard::make_shards_into;
+use agebo_nn::{Adam, BatchEval, GradientBuffer, GraphNet, LrSchedule, TrainReport, Workspace};
 use agebo_telemetry::{Counter, SpanStats, Telemetry};
 use agebo_tensor::Matrix;
-use agebo_tabular::Dataset;
+use agebo_tabular::{Dataset, DatasetView};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Pre-registered metrics for the data-parallel training loop.
@@ -38,6 +39,13 @@ pub struct TrainerTelemetry {
     pub steps: Arc<Counter>,
     /// Counter `dp_epochs_total`.
     pub epochs: Arc<Counter>,
+    /// Counter `dp_aborts_total`: trainings that exited early because
+    /// their evaluation was cancelled (outage / deadline kill).
+    pub aborts: Arc<Counter>,
+    /// Counter `dp_shard_bytes_saved_total`: bytes the zero-copy shard
+    /// views did *not* copy (the seed path deep-copied every training row
+    /// plus its label into per-rank data sets on each fit).
+    pub bytes_saved: Arc<Counter>,
 }
 
 impl TrainerTelemetry {
@@ -48,6 +56,8 @@ impl TrainerTelemetry {
             allreduce: SpanStats::register(tel, "dp_allreduce"),
             steps: tel.registry().counter("dp_steps_total"),
             epochs: tel.registry().counter("dp_epochs_total"),
+            aborts: tel.registry().counter("dp_aborts_total"),
+            bytes_saved: tel.registry().counter("dp_shard_bytes_saved_total"),
         }
     }
 }
@@ -104,6 +114,64 @@ struct RankState {
     loss: f32,
 }
 
+/// Reusable training scratch: per-rank state, shard index buffers, the
+/// optimizer moments, and the batched-evaluation pool, all kept alive
+/// across evaluations. Checked out of the scheduler's per-thread pool so
+/// the steady state of a whole search makes no training allocations.
+///
+/// A scratch carries no configuration — it is safe (and intended) to
+/// reuse one instance across different architectures and rank counts;
+/// every buffer is re-fitted at the start of each fit.
+#[derive(Default)]
+pub struct DpScratch {
+    ranks: Vec<RankState>,
+    eval: BatchEval,
+    order: Arc<Vec<usize>>,
+    shards: Vec<DatasetView>,
+    adam: Option<Adam>,
+    rank_rngs: Vec<StdRng>,
+    train_loss: Vec<f32>,
+    val_acc: Vec<f64>,
+    val_loss: Vec<f32>,
+}
+
+impl DpScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        DpScratch::default()
+    }
+
+    /// The learning curves of the most recent fit as a [`TrainReport`].
+    pub fn report(&self) -> TrainReport {
+        TrainReport::new(
+            self.train_loss.clone(),
+            self.val_acc.clone(),
+            self.val_loss.clone(),
+        )
+    }
+}
+
+/// One rank's gradient micro-step: gather the step's batch rows through
+/// the shard view into the rank's persistent buffers, then run
+/// forward/backward against the shared frozen weights.
+fn rank_microbatch(
+    st: &mut RankState,
+    shard: &DatasetView,
+    net: &GraphNet,
+    tt: &TrainerTelemetry,
+    bs1: usize,
+    step: usize,
+) {
+    let span = tt.rank_step.start(0.0);
+    let cs = bs1.min(shard.len()).max(1);
+    let start = step * cs;
+    let end = (start + cs).min(st.order.len());
+    let batch = &st.order[start..end];
+    shard.gather_into(batch, &mut st.xbuf, &mut st.ybuf);
+    st.loss = net.forward_backward_with(&st.xbuf, &st.ybuf, &mut st.ws, &mut st.grads);
+    span.end_wall_only();
+}
+
 /// Trains `net` with `n`-rank data-parallel SGD (Adam) on `train`,
 /// evaluating on `valid` after every epoch.
 ///
@@ -133,16 +201,61 @@ pub fn fit_data_parallel_instrumented(
     cfg: &DataParallelConfig,
     tt: &TrainerTelemetry,
 ) -> TrainReport {
+    let mut scratch = DpScratch::new();
+    fit_data_parallel_pooled(net, train, valid, cfg, tt, &mut scratch, None);
+    scratch.report()
+}
+
+/// The pooled training engine behind [`fit_data_parallel`]: identical
+/// arithmetic (bitwise, for a given `cfg.seed`), but every buffer lives in
+/// the caller-owned [`DpScratch`] so repeated fits allocate nothing in the
+/// steady state, and an optional `cancel` flag aborts between epochs.
+///
+/// Returns the best validation accuracy observed; the full learning
+/// curves of the fit are available via [`DpScratch::report`]. When
+/// `cancel` flips to `true` the current epoch finishes, `dp_aborts_total`
+/// is bumped, and the curves hold the epochs completed so far.
+pub fn fit_data_parallel_pooled(
+    net: &mut GraphNet,
+    train: &Dataset,
+    valid: &Dataset,
+    cfg: &DataParallelConfig,
+    tt: &TrainerTelemetry,
+    scratch: &mut DpScratch,
+    cancel: Option<&AtomicBool>,
+) -> f64 {
     cfg.hp.validate();
     assert!(cfg.epochs > 0);
     let n = cfg.hp.n;
     let bs1 = cfg.hp.bs1;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let shards = make_shards(train, n, &mut rng);
-    let mut rank_rngs: Vec<StdRng> =
-        (0..n).map(|_| StdRng::seed_from_u64(rng.gen())).collect();
+    let DpScratch {
+        ranks,
+        eval,
+        order,
+        shards,
+        adam,
+        rank_rngs,
+        train_loss,
+        val_acc,
+        val_loss,
+    } = scratch;
+    make_shards_into(train, n, &mut rng, order, shards);
+    // What the seed's copying shard path would have duplicated: every
+    // training row (f32 features) plus its usize label.
+    tt.bytes_saved
+        .add(train.len() as u64 * (4 * train.n_features() as u64 + 8));
+    rank_rngs.clear();
+    for _ in 0..n {
+        rank_rngs.push(StdRng::seed_from_u64(rng.gen()));
+    }
 
-    let mut adam = Adam::new(net);
+    if let Some(a) = adam.as_mut() {
+        a.reset_for(net);
+    } else {
+        *adam = Some(Adam::new(net));
+    }
+    let adam = adam.as_mut().expect("adam state");
     let mut schedule = LrSchedule::new(
         cfg.hp.lr1,
         cfg.hp.scaled_lr(),
@@ -151,37 +264,48 @@ pub fn fit_data_parallel_instrumented(
         cfg.plateau_factor,
     );
 
-    let mut rank_states: Vec<RankState> = shards
-        .iter()
-        .map(|shard| RankState {
-            ws: net.make_workspace(bs1.min(shard.len()).max(1)),
+    while ranks.len() < n {
+        ranks.push(RankState {
+            ws: net.make_workspace(1),
             grads: GradientBuffer::zeros_like(net),
             xbuf: Matrix::default(),
-            ybuf: Vec::with_capacity(bs1),
-            order: (0..shard.len()).collect(),
+            ybuf: Vec::new(),
+            order: Vec::new(),
             loss: 0.0,
-        })
-        .collect();
+        });
+    }
+    let rank_states = &mut ranks[..n];
+    for st in rank_states.iter_mut() {
+        net.reshape_workspace(&mut st.ws);
+        st.grads.resize_like(net);
+    }
 
-    let mut train_loss = Vec::with_capacity(cfg.epochs);
-    let mut val_acc = Vec::with_capacity(cfg.epochs);
-    let mut val_loss = Vec::with_capacity(cfg.epochs);
+    train_loss.clear();
+    val_acc.clear();
+    val_loss.clear();
 
     for epoch in 0..cfg.epochs {
+        if let Some(flag) = cancel {
+            if flag.load(Ordering::Relaxed) {
+                tt.aborts.inc();
+                break;
+            }
+        }
         let lr = schedule.lr_for_epoch(epoch);
         // Per-rank shuffled batch schedule for this epoch. Every rank takes
         // the same number of steps (the minimum across ranks) so the
         // allreduce stays synchronous; a shard smaller than bs₁ yields one
         // whole-shard batch.
-        for (st, rank_rng) in rank_states.iter_mut().zip(rank_rngs.iter_mut()) {
-            for (i, slot) in st.order.iter_mut().enumerate() {
-                *slot = i;
-            }
+        for ((st, rank_rng), shard) in
+            rank_states.iter_mut().zip(rank_rngs.iter_mut()).zip(&*shards)
+        {
+            st.order.clear();
+            st.order.extend(0..shard.len());
             st.order.shuffle(rank_rng);
         }
         let steps = rank_states
             .iter()
-            .zip(&shards)
+            .zip(&*shards)
             .map(|(st, shard)| st.order.chunks(bs1.min(shard.len()).max(1)).len())
             .min()
             .unwrap_or(1)
@@ -189,28 +313,19 @@ pub fn fit_data_parallel_instrumented(
 
         let mut epoch_loss = 0.0f32;
         for step in 0..steps {
-            // &*net: ranks share immutable weights while computing grads.
-            let frozen: &GraphNet = net;
-            rank_states
-                .par_iter_mut()
-                .zip(shards.par_iter())
-                .for_each(|(st, shard)| {
-                    let span = tt.rank_step.start(0.0);
-                    let cs = bs1.min(shard.len()).max(1);
-                    let start = step * cs;
-                    let end = (start + cs).min(st.order.len());
-                    let batch = &st.order[start..end];
-                    shard.x.gather_rows_into(batch, &mut st.xbuf);
-                    st.ybuf.clear();
-                    st.ybuf.extend(batch.iter().map(|&i| shard.y[i]));
-                    st.loss = frozen.forward_backward_with(
-                        &st.xbuf,
-                        &st.ybuf,
-                        &mut st.ws,
-                        &mut st.grads,
-                    );
-                    span.end_wall_only();
-                });
+            if n == 1 {
+                // Single rank: skip the rayon bridge entirely.
+                rank_microbatch(&mut rank_states[0], &shards[0], net, tt, bs1, step);
+            } else {
+                // &*net: ranks share immutable weights while computing grads.
+                let frozen: &GraphNet = net;
+                rank_states
+                    .par_iter_mut()
+                    .zip(shards.par_iter())
+                    .for_each(|(st, shard)| {
+                        rank_microbatch(st, shard, frozen, tt, bs1, step);
+                    });
+            }
             let mean_loss: f32 =
                 rank_states.iter().map(|st| st.loss).sum::<f32>() / n as f32;
             // In-place allreduce into rank 0's buffer, replicating the
@@ -234,15 +349,14 @@ pub fn fit_data_parallel_instrumented(
             tt.steps.inc();
             epoch_loss += mean_loss;
         }
-        let eval_ws = &mut rank_states[0].ws;
-        let (vl, va) = net.evaluate_with(&valid.x, &valid.y, eval_ws);
+        let (vl, va) = net.evaluate_batched_with(&valid.x, &valid.y, eval);
         schedule.observe(vl);
         train_loss.push(epoch_loss / steps as f32);
         val_acc.push(va);
         val_loss.push(vl);
         tt.epochs.inc();
     }
-    TrainReport::new(train_loss, val_acc, val_loss)
+    val_acc.iter().copied().fold(0.0f64, f64::max)
 }
 
 #[cfg(test)]
@@ -359,6 +473,86 @@ mod tests {
         let ra = fit_data_parallel(&mut a, &train, &valid, &cfg);
         let rb = fit_data_parallel(&mut b, &train, &valid, &cfg);
         assert_eq!(ra.val_acc, rb.val_acc);
+    }
+
+    #[test]
+    fn pooled_scratch_reuse_is_bitwise_deterministic() {
+        // A scratch reused across fits — including a different rank count
+        // in between — must reproduce exactly what a fresh scratch yields.
+        let (train, valid) = task(400);
+        let cfg4 = DataParallelConfig {
+            epochs: 3,
+            hp: DataParallelHp { lr1: 0.01, bs1: 32, n: 4 },
+            ..DataParallelConfig::paper(DataParallelHp::paper_default(4))
+        };
+        let cfg2 = DataParallelConfig {
+            epochs: 2,
+            hp: DataParallelHp { lr1: 0.02, bs1: 16, n: 2 },
+            ..DataParallelConfig::paper(DataParallelHp::paper_default(2))
+        };
+        let tt = TrainerTelemetry::register(&Telemetry::disabled());
+
+        let mut fresh = GraphNet::new(spec(), &mut StdRng::seed_from_u64(5));
+        let mut s1 = DpScratch::new();
+        fit_data_parallel_pooled(&mut fresh, &train, &valid, &cfg4, &tt, &mut s1, None);
+        let reference = s1.report();
+
+        let mut scratch = DpScratch::new();
+        let mut warm = GraphNet::new(spec(), &mut StdRng::seed_from_u64(9));
+        fit_data_parallel_pooled(&mut warm, &train, &valid, &cfg2, &tt, &mut scratch, None);
+        let mut reused = GraphNet::new(spec(), &mut StdRng::seed_from_u64(5));
+        fit_data_parallel_pooled(&mut reused, &train, &valid, &cfg4, &tt, &mut scratch, None);
+        let second = scratch.report();
+
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&reference.val_acc), bits(&second.val_acc));
+        let lbits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(lbits(&reference.val_loss), lbits(&second.val_loss));
+        assert_eq!(lbits(&reference.train_loss), lbits(&second.train_loss));
+    }
+
+    #[test]
+    fn pooled_matches_instrumented_bitwise() {
+        let (train, valid) = task(400);
+        let cfg = DataParallelConfig {
+            epochs: 3,
+            hp: DataParallelHp { lr1: 0.01, bs1: 32, n: 3 },
+            ..DataParallelConfig::paper(DataParallelHp::paper_default(3))
+        };
+        let tt = TrainerTelemetry::register(&Telemetry::disabled());
+        let mut a = GraphNet::new(spec(), &mut StdRng::seed_from_u64(7));
+        let ra = fit_data_parallel_instrumented(&mut a, &train, &valid, &cfg, &tt);
+        let mut b = GraphNet::new(spec(), &mut StdRng::seed_from_u64(7));
+        let mut scratch = DpScratch::new();
+        let best = fit_data_parallel_pooled(&mut b, &train, &valid, &cfg, &tt, &mut scratch, None);
+        let rb = scratch.report();
+        assert_eq!(
+            ra.val_acc.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            rb.val_acc.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(best.to_bits(), ra.best_val_acc.to_bits());
+    }
+
+    #[test]
+    fn cancellation_aborts_between_epochs() {
+        let (train, valid) = task(400);
+        let cfg = DataParallelConfig {
+            epochs: 10,
+            hp: DataParallelHp { lr1: 0.01, bs1: 32, n: 2 },
+            ..DataParallelConfig::paper(DataParallelHp::paper_default(2))
+        };
+        let tel = Telemetry::in_memory();
+        let tt = TrainerTelemetry::register(&tel);
+        let mut net = GraphNet::new(spec(), &mut StdRng::seed_from_u64(8));
+        let mut scratch = DpScratch::new();
+        let flag = AtomicBool::new(true);
+        let best =
+            fit_data_parallel_pooled(&mut net, &train, &valid, &cfg, &tt, &mut scratch, Some(&flag));
+        // Pre-set flag: no epoch runs at all.
+        assert_eq!(tt.epochs.get(), 0);
+        assert_eq!(tt.aborts.get(), 1);
+        assert_eq!(best, 0.0);
+        assert!(scratch.report().val_acc.is_empty());
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Steady-state pooled training must not touch the heap.
+//!
+//! Extends the nn crate's counting-allocator gate to the whole
+//! data-parallel fit: after one warmup fit has sized every buffer in the
+//! [`DpScratch`], a second same-shaped fit — sharding, per-epoch
+//! shuffles, every micro-batch gather, the allreduce, the optimizer and
+//! the per-epoch validation pass — must record zero allocations.
+//!
+//! The workload is deliberately serial (n = 1 skips the rayon bridge;
+//! a ≤ 64-row validation set keeps batched evaluation on its serial fast
+//! path) so the counter observes only this thread.
+
+use agebo_dataparallel::{
+    fit_data_parallel_pooled, DataParallelConfig, DataParallelHp, DpScratch, TrainerTelemetry,
+};
+use agebo_nn::{Activation, GraphNet, GraphSpec};
+use agebo_tabular::Dataset;
+use agebo_telemetry::Telemetry;
+use agebo_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn synthetic(rows: usize) -> Dataset {
+    let x = Matrix::from_fn(rows, 8, |r, c| ((r * 17 + c * 5) as f32).sin());
+    let y: Vec<usize> = (0..rows).map(|r| r % 3).collect();
+    Dataset::new(x, y, 3)
+}
+
+#[test]
+fn repeat_pooled_fit_does_not_allocate() {
+    let train = synthetic(256);
+    let valid = synthetic(64);
+    let spec = GraphSpec::mlp(8, &[(32, Activation::Relu), (16, Activation::Relu)], 3);
+    let mut net = GraphNet::new(spec, &mut StdRng::seed_from_u64(1));
+    let cfg = DataParallelConfig {
+        epochs: 2,
+        hp: DataParallelHp { lr1: 0.01, bs1: 64, n: 1 },
+        ..DataParallelConfig::paper(DataParallelHp::paper_default(1))
+    };
+    // Telemetry handles register (and allocate) once, before arming;
+    // recording on them afterwards is allocation-free.
+    let tt = TrainerTelemetry::register(&Telemetry::disabled());
+    let mut scratch = DpScratch::new();
+
+    // Warmup fit: sizes the shard index vector, rank state, optimizer
+    // moments, evaluation workspaces and learning curves.
+    let warm = fit_data_parallel_pooled(&mut net, &train, &valid, &cfg, &tt, &mut scratch, None);
+    assert!(warm.is_finite());
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let best = fit_data_parallel_pooled(&mut net, &train, &valid, &cfg, &tt, &mut scratch, None);
+    ARMED.store(false, Ordering::SeqCst);
+    let counted = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(best.is_finite());
+    assert_eq!(
+        counted, 0,
+        "steady-state pooled fit performed {counted} heap allocations"
+    );
+}

@@ -1,0 +1,74 @@
+//! Property test: the zero-copy shard views are bitwise-identical to the
+//! seed's copying shard split — same RNG consumption, same shard sizes,
+//! same row order, same feature bits and labels — for arbitrary dataset
+//! shapes and rank counts.
+
+use agebo_dataparallel::make_shards;
+use agebo_tabular::Dataset;
+use agebo_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The seed's copying shard split, reimplemented verbatim: shuffle a row
+/// permutation, chunk it (first `len % n` shards get one extra row), and
+/// deep-copy every shard's rows.
+fn seed_shards(data: &Dataset, n: usize, rng: &mut StdRng) -> Vec<Dataset> {
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    order.shuffle(rng);
+    let base = data.len() / n;
+    let extra = data.len() % n;
+    let mut shards = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        shards.push(data.gather(&order[start..start + size]));
+        start += size;
+    }
+    shards
+}
+
+fn synthetic(rows: usize, cols: usize, seed: u64) -> Dataset {
+    let salt = (seed % 97) as f32;
+    let x = Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c * 7) as f32 + salt).sin());
+    let y: Vec<usize> = (0..rows).map(|r| (r * 13 + seed as usize) % 3).collect();
+    Dataset::new(x, y, 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn views_match_seed_copies_bitwise(
+        rows in 8usize..160,
+        cols in 1usize..6,
+        n_raw in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let n = n_raw.min(rows);
+        let data = synthetic(rows, cols, seed);
+        let copied = seed_shards(&data, n, &mut StdRng::seed_from_u64(seed));
+        let views = make_shards(&data, n, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(copied.len(), views.len());
+        for (c, v) in copied.iter().zip(&views) {
+            prop_assert_eq!(c.len(), v.len());
+            for k in 0..v.len() {
+                let src = v.indices()[k];
+                let vrow: Vec<u32> = data.x.row(src).iter().map(|f| f.to_bits()).collect();
+                let crow: Vec<u32> = c.x.row(k).iter().map(|f| f.to_bits()).collect();
+                prop_assert_eq!(vrow, crow);
+                prop_assert_eq!(c.y[k], v.label(k));
+            }
+            // Gathering the whole view reproduces the copied shard exactly.
+            let locals: Vec<usize> = (0..v.len()).collect();
+            let mut xbuf = Matrix::default();
+            let mut ybuf = Vec::new();
+            v.gather_into(&locals, &mut xbuf, &mut ybuf);
+            let vbits: Vec<u32> = xbuf.as_slice().iter().map(|f| f.to_bits()).collect();
+            let cbits: Vec<u32> = c.x.as_slice().iter().map(|f| f.to_bits()).collect();
+            prop_assert_eq!(vbits, cbits);
+            prop_assert_eq!(&ybuf[..], &c.y[..]);
+        }
+    }
+}

@@ -43,6 +43,33 @@ impl Adam {
         self.t
     }
 
+    /// Re-fits existing optimizer state to `net`: the moment buffers
+    /// reshape (reusing allocations), every moment zeroes, and the step
+    /// counter restarts. The subsequent update sequence is bitwise
+    /// identical to a fresh [`Adam::new`] — this is what lets the scratch
+    /// pool reuse optimizer state across evaluations without touching the
+    /// results.
+    pub fn reset_for(&mut self, net: &GraphNet) {
+        self.t = 0;
+        let n = net.n_tensors();
+        self.m_w.resize_with(n, Matrix::default);
+        self.v_w.resize_with(n, Matrix::default);
+        self.m_b.resize_with(n, Vec::new);
+        self.v_b.resize_with(n, Vec::new);
+        for k in 0..n {
+            let (rows, cols) = (net.weight(k).rows(), net.weight(k).cols());
+            for m in [&mut self.m_w[k], &mut self.v_w[k]] {
+                m.resize(rows, cols);
+                m.fill(0.0);
+            }
+            let blen = net.bias(k).len();
+            for b in [&mut self.m_b[k], &mut self.v_b[k]] {
+                b.clear();
+                b.resize(blen, 0.0);
+            }
+        }
+    }
+
     /// Applies one Adam update to `net` using `grads` at learning rate `lr`.
     pub fn step(&mut self, net: &mut GraphNet, grads: &GradientBuffer, lr: f32) {
         self.step_with(net, grads, lr, 0.0);

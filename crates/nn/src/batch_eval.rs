@@ -1,0 +1,169 @@
+//! Parallel batched evaluation: validation inference split into chunks
+//! scored on rayon tasks, bitwise identical to the serial pass.
+//!
+//! Why this is exact (the determinism argument, DESIGN.md §12): every
+//! forward kernel is per-output-row independent — a row of logits is
+//! computed from its input row alone, with a floating-point operation
+//! order that does not depend on how many rows share the batch. So
+//! forwarding rows `start..start+len` in a chunk yields bitwise the same
+//! logits rows as a full-batch forward. Each chunk then records *per-row*
+//! loss/hit partials, and a single fixed-order sequential reduction
+//! replays the exact accumulation sequence of the serial
+//! [`GraphNet::evaluate_with`] loop — independent of chunk count, chunk
+//! boundaries, and rayon's scheduling.
+
+use crate::graph::GraphNet;
+use crate::workspace::Workspace;
+use agebo_tensor::Matrix;
+use rayon::prelude::*;
+
+/// Rows below which a chunk is not worth a rayon task: a tiny validation
+/// set is scored serially, larger ones split into at most
+/// `current_num_threads` chunks of at least this many rows.
+const MIN_CHUNK_ROWS: usize = 64;
+
+/// Reusable state for [`GraphNet::evaluate_batched_with`]: one workspace
+/// per concurrent chunk plus per-row loss/hit partials. Create once (cheap
+/// and empty) and reuse across evaluations — and across architectures; the
+/// workspaces are re-fitted to the network on every call.
+#[derive(Debug, Default)]
+pub struct BatchEval {
+    chunks: Vec<Workspace>,
+    row_loss: Vec<f32>,
+    row_hit: Vec<u8>,
+}
+
+impl BatchEval {
+    /// An empty pool; workspaces are created on first use.
+    pub fn new() -> Self {
+        BatchEval::default()
+    }
+}
+
+impl GraphNet {
+    /// Mean cross-entropy loss and accuracy on `(x, y)`, computed with
+    /// chunk-parallel inference. Bitwise identical to
+    /// [`GraphNet::evaluate_with`] for any rayon thread count (see the
+    /// module docs for the argument).
+    pub fn evaluate_batched_with(&self, x: &Matrix, y: &[usize], be: &mut BatchEval) -> (f32, f64) {
+        assert_eq!(x.rows(), y.len());
+        let rows = y.len();
+        let tasks = rayon::current_num_threads()
+            .min(rows.div_ceil(MIN_CHUNK_ROWS.max(1)))
+            .max(1);
+        let chunk = rows.div_ceil(tasks).max(1);
+        let n_chunks = rows.div_ceil(chunk).max(1);
+        while be.chunks.len() < n_chunks {
+            be.chunks.push(self.make_workspace(1));
+        }
+        for ws in be.chunks.iter_mut().take(n_chunks) {
+            self.reshape_workspace(ws);
+        }
+        if n_chunks == 1 {
+            // Serial fast path: no partials, no rayon bridge. Same
+            // arithmetic as the chunked path by construction.
+            return self.evaluate_with(x, y, &mut be.chunks[0]);
+        }
+
+        be.row_loss.clear();
+        be.row_loss.resize(rows, 0.0);
+        be.row_hit.clear();
+        be.row_hit.resize(rows, 0);
+        be.row_loss
+            .par_chunks_mut(chunk)
+            .zip(be.row_hit.par_chunks_mut(chunk))
+            .zip(be.chunks[..n_chunks].par_iter_mut())
+            .enumerate()
+            .for_each(|(ci, ((losses, hits), ws))| {
+                let start = ci * chunk;
+                let len = losses.len();
+                self.forward_rows_with(x, start, len, ws);
+                ws.dlogits.copy_from(&ws.logits);
+                ws.dlogits.softmax_rows_inplace();
+                for r in 0..len {
+                    let label = y[start + r];
+                    losses[r] = ws.dlogits.get(r, label).max(1e-12).ln();
+                    // Same tie-break as the serial loop: first maximum wins.
+                    let row = ws.dlogits.row(r);
+                    let mut best = 0;
+                    for (i, &v) in row.iter().enumerate() {
+                        if v > row[best] {
+                            best = i;
+                        }
+                    }
+                    hits[r] = u8::from(best == label);
+                }
+            });
+
+        // Fixed-order reduction: the same `-=` sequence over rows in global
+        // order as the serial loop, so the f32 rounding matches exactly.
+        let n = rows.max(1) as f32;
+        let mut loss_val = 0.0f32;
+        let mut hit_count = 0usize;
+        for r in 0..rows {
+            loss_val -= be.row_loss[r];
+            hit_count += usize::from(be.row_hit[r] != 0);
+        }
+        (loss_val / n, hit_count as f64 / rows.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::graph::GraphSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net_and_data(rows: usize) -> (GraphNet, Matrix, Vec<usize>) {
+        let spec = GraphSpec::mlp(6, &[(24, Activation::Relu), (12, Activation::Tanh)], 4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = GraphNet::new(spec, &mut rng);
+        let x = Matrix::he_normal(rows, 6, &mut rng);
+        let y: Vec<usize> = (0..rows).map(|r| r % 4).collect();
+        (net, x, y)
+    }
+
+    #[test]
+    fn batched_matches_serial_bitwise() {
+        // Large enough to split into several chunks on any thread count.
+        let (net, x, y) = net_and_data(1000);
+        let mut ws = net.make_workspace(1000);
+        let (sl, sa) = net.evaluate_with(&x, &y, &mut ws);
+        let mut be = BatchEval::new();
+        let (bl, ba) = net.evaluate_batched_with(&x, &y, &mut be);
+        assert_eq!(sl.to_bits(), bl.to_bits());
+        assert_eq!(sa.to_bits(), ba.to_bits());
+    }
+
+    #[test]
+    fn tiny_set_takes_the_serial_path_and_matches() {
+        let (net, x, y) = net_and_data(17);
+        let mut ws = net.make_workspace(17);
+        let (sl, sa) = net.evaluate_with(&x, &y, &mut ws);
+        let mut be = BatchEval::new();
+        let (bl, ba) = net.evaluate_batched_with(&x, &y, &mut be);
+        assert_eq!(sl.to_bits(), bl.to_bits());
+        assert_eq!(sa.to_bits(), ba.to_bits());
+    }
+
+    #[test]
+    fn reuse_across_architectures_is_sound() {
+        let (net_a, xa, ya) = net_and_data(300);
+        let spec_b = GraphSpec::mlp(3, &[(8, Activation::Sigmoid)], 2);
+        let net_b = GraphNet::new(spec_b, &mut StdRng::seed_from_u64(5));
+        let xb = Matrix::he_normal(200, 3, &mut StdRng::seed_from_u64(6));
+        let yb: Vec<usize> = (0..200).map(|r| r % 2).collect();
+
+        let mut be = BatchEval::new();
+        let first = net_a.evaluate_batched_with(&xa, &ya, &mut be);
+        let other = net_b.evaluate_batched_with(&xb, &yb, &mut be);
+        let again = net_a.evaluate_batched_with(&xa, &ya, &mut be);
+        assert_eq!(first.0.to_bits(), again.0.to_bits());
+        assert_eq!(first.1.to_bits(), again.1.to_bits());
+        let mut ws = net_b.make_workspace(200);
+        let serial = net_b.evaluate_with(&xb, &yb, &mut ws);
+        assert_eq!(other.0.to_bits(), serial.0.to_bits());
+    }
+}

@@ -178,6 +178,24 @@ impl GradientBuffer {
         }
     }
 
+    /// Reshapes this buffer to match `net`'s parameters, reusing existing
+    /// allocations, and zeroes every entry — the same state as a fresh
+    /// [`GradientBuffer::zeros_like`] without the allocations. Used by the
+    /// cross-evaluation scratch pool to re-fit pooled gradient buffers to
+    /// each evaluation's architecture.
+    pub fn resize_like(&mut self, net: &GraphNet) {
+        self.weights.resize_with(net.weights.len(), Matrix::default);
+        for (g, w) in self.weights.iter_mut().zip(&net.weights) {
+            g.resize(w.rows(), w.cols());
+            g.fill(0.0);
+        }
+        self.biases.resize_with(net.biases.len(), Vec::new);
+        for (g, b) in self.biases.iter_mut().zip(&net.biases) {
+            g.clear();
+            g.resize(b.len(), 0.0);
+        }
+    }
+
     /// `self += other`.
     pub fn add_assign(&mut self, other: &GradientBuffer) {
         for (a, b) in self.weights.iter_mut().zip(&other.weights) {

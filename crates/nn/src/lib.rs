@@ -13,6 +13,7 @@
 
 pub mod activation;
 pub mod adam;
+pub mod batch_eval;
 pub mod graph;
 pub mod inference;
 pub mod loss;
@@ -23,6 +24,7 @@ pub mod workspace;
 
 pub use activation::Activation;
 pub use adam::Adam;
+pub use batch_eval::BatchEval;
 pub use graph::{GradientBuffer, GraphNet, GraphSpec, NodeSpec};
 pub use schedule::{LrSchedule, PlateauReducer};
 pub use serialize::{load_model, save_model, SavedModel};

@@ -138,12 +138,48 @@ impl GraphNet {
         pre.map_into(merged, |v| v.max(0.0));
     }
 
+    /// Adapts `ws` — possibly created for a *different* architecture — to
+    /// this network: the per-node buffer vectors get the right lengths
+    /// (new slots start empty; surplus slots are dropped). The matrices
+    /// themselves reshape lazily through the in-place kernels on the next
+    /// pass, reusing whatever capacity survived. This is how pooled
+    /// workspaces are re-fitted to each evaluation's architecture instead
+    /// of being reallocated from scratch.
+    pub fn reshape_workspace(&self, ws: &mut Workspace) {
+        let m = self.spec.nodes.len();
+        ws.z.resize_with(m + 1, Matrix::default);
+        ws.merge_pre.resize_with(m, Matrix::default);
+        ws.merged.resize_with(m, Matrix::default);
+        ws.pre_act.resize_with(m, Matrix::default);
+        ws.dz.resize_with(m + 1, Matrix::default);
+        ws.dz_set.clear();
+        ws.dz_set.resize(m + 1, false);
+    }
+
     /// Forward pass writing every intermediate into `ws`; the logits are
     /// available as `ws.logits()` afterwards.
     pub fn forward_with(&self, x: &Matrix, ws: &mut Workspace) {
         assert_eq!(x.cols(), self.spec.input_dim, "input width mismatch");
-        let m = self.spec.nodes.len();
         ws.z[0].copy_from(x);
+        self.forward_loaded(ws);
+    }
+
+    /// Forward pass over the contiguous row span `start..start + len` of
+    /// `x` — the chunk form used by parallel batched evaluation. Row `r`
+    /// of the resulting logits is bitwise identical to row `start + r` of
+    /// a full-batch [`GraphNet::forward_with`]: every forward kernel
+    /// computes each output row from its input row alone, with a
+    /// floating-point operation order independent of the batch size.
+    pub fn forward_rows_with(&self, x: &Matrix, start: usize, len: usize, ws: &mut Workspace) {
+        assert_eq!(x.cols(), self.spec.input_dim, "input width mismatch");
+        ws.z[0].copy_row_span_from(x, start, len);
+        self.forward_loaded(ws);
+    }
+
+    /// The shared tail of the forward pass: assumes `ws.z[0]` already
+    /// holds the input rows.
+    fn forward_loaded(&self, ws: &mut Workspace) {
+        let m = self.spec.nodes.len();
         for (idx, node) in self.spec.nodes.iter().enumerate() {
             let params = &self.node_params[idx];
             let (zin, ztail) = ws.z.split_at_mut(idx + 1);

@@ -331,6 +331,15 @@ impl SimQueue {
         out
     }
 
+    /// True when `id` is running but already known *not* to complete
+    /// normally (outage kill or deadline expiry). Fates are decided
+    /// eagerly at submission, so this is meaningful immediately after
+    /// `submit_*` — the hook the evaluator uses to flip a doomed
+    /// evaluation's cancellation flag before its real computation starts.
+    pub fn is_doomed(&self, id: u64) -> bool {
+        self.fates.contains_key(&id)
+    }
+
     /// Like [`SimQueue::pop_finished`], pairing each id with its
     /// [`EvalFate`] so the manager can distinguish completions from
     /// outage kills and deadline expiries.

@@ -7,6 +7,8 @@ use agebo_telemetry::Telemetry;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// How an evaluation ended, as seen by the manager.
@@ -89,7 +91,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// scheduling.
 pub struct Evaluator<T: Send + 'static, R: Send + 'static> {
     sim: SimQueue,
-    task_tx: Sender<(u64, T)>,
+    task_tx: Sender<(u64, T, Arc<AtomicBool>)>,
     result_rx: Receiver<(u64, Result<R, String>)>,
     ready: HashMap<u64, Result<R, String>>,
     durations: HashMap<u64, (f64, f64, f64)>, // id -> (start, finish, duration)
@@ -108,21 +110,36 @@ impl<T: Send + 'static, R: Send + 'static> Evaluator<T, R> {
     where
         F: Fn(&T) -> R + Send + Sync + 'static,
     {
+        Self::new_cancellable(n_workers, n_threads, move |task, _cancel| worker_fn(task))
+    }
+
+    /// [`Evaluator::new`] with a cancellation-aware worker function: the
+    /// second argument is a per-task flag that flips to `true` when the
+    /// simulated cluster has already decided the evaluation will be
+    /// killed (outage or deadline). A worker that polls it at safe points
+    /// (e.g. epoch boundaries) can abort a doomed computation early
+    /// instead of burning real compute on a result nobody will see; its
+    /// return value is discarded either way, so aborting never changes
+    /// delivered results.
+    pub fn new_cancellable<F>(n_workers: usize, n_threads: usize, worker_fn: F) -> Self
+    where
+        F: Fn(&T, &AtomicBool) -> R + Send + Sync + 'static,
+    {
         assert!(n_threads > 0);
-        let (task_tx, task_rx) = unbounded::<(u64, T)>();
+        let (task_tx, task_rx) = unbounded::<(u64, T, Arc<AtomicBool>)>();
         let (result_tx, result_rx) = unbounded::<(u64, Result<R, String>)>();
-        let worker_fn = std::sync::Arc::new(worker_fn);
+        let worker_fn = Arc::new(worker_fn);
         let threads = (0..n_threads)
             .map(|_| {
                 let rx = task_rx.clone();
                 let tx = result_tx.clone();
                 let f = worker_fn.clone();
                 std::thread::spawn(move || {
-                    while let Ok((id, task)) = rx.recv() {
+                    while let Ok((id, task, cancel)) = rx.recv() {
                         // A panicking worker_fn must become a delivered
                         // outcome, not a dead pool thread that leaves the
                         // manager waiting forever.
-                        let result = catch_unwind(AssertUnwindSafe(|| f(&task)))
+                        let result = catch_unwind(AssertUnwindSafe(|| f(&task, &cancel)))
                             .map_err(|payload| panic_message(payload.as_ref()));
                         if tx.send((id, result)).is_err() {
                             break; // manager dropped
@@ -175,7 +192,13 @@ impl<T: Send + 'static, R: Send + 'static> Evaluator<T, R> {
         let placement = self.sim.submit_traced_opts(id, duration, opts);
         self.durations.insert(id, (placement.start, placement.finish, duration));
         self.outstanding += 1;
-        self.task_tx.send((id, task)).expect("worker pool alive");
+        let cancel = Arc::new(AtomicBool::new(false));
+        // Fates are decided at submission: an evaluation the cluster will
+        // kill gets its flag flipped before its real computation starts.
+        if self.sim.is_doomed(id) {
+            cancel.store(true, Ordering::Relaxed);
+        }
+        self.task_tx.send((id, task, cancel)).expect("worker pool alive");
         (id, placement)
     }
 
@@ -196,9 +219,12 @@ impl<T: Send + 'static, R: Send + 'static> Evaluator<T, R> {
     /// `get_finished_evaluations`). Empty when nothing is running.
     ///
     /// Evaluations killed by an outage or deadline are still drained from
-    /// the compute pool (their real computation runs to completion and is
-    /// discarded) so no orphan results accumulate; their fate arrives as
-    /// [`EvalOutcome::Faulted`] / [`EvalOutcome::TimedOut`].
+    /// the compute pool so no orphan results accumulate; their fate
+    /// arrives as [`EvalOutcome::Faulted`] / [`EvalOutcome::TimedOut`].
+    /// Their per-task cancellation flag was flipped at submission, so a
+    /// cancellation-aware worker ([`Evaluator::new_cancellable`]) aborts
+    /// the doomed computation at its next safe point instead of running
+    /// it to completion; whatever it returns is discarded.
     pub fn get_finished_evaluations(&mut self) -> Vec<Finished<R>> {
         let finished = self.sim.pop_finished_detailed();
         finished
@@ -426,6 +452,37 @@ mod tests {
         let got = ev.get_finished_evaluations();
         assert_eq!(got[0].outcome, EvalOutcome::TimedOut);
         assert_eq!(got[0].finished_at, 25.0);
+    }
+
+    #[test]
+    fn doomed_evaluations_see_their_cancellation_flag() {
+        use std::sync::atomic::AtomicUsize;
+        let cancelled_seen = Arc::new(AtomicUsize::new(0));
+        let seen = cancelled_seen.clone();
+        let mut ev: Evaluator<u64, u64> = Evaluator::new_cancellable(1, 1, move |&x, cancel| {
+            if cancel.load(Ordering::Relaxed) {
+                seen.fetch_add(1, Ordering::Relaxed);
+            }
+            x
+        });
+        // Deadline expires long before the 100s duration: doomed at submit.
+        ev.submit_evaluation_opts(
+            1,
+            100.0,
+            SubmitOpts { deadline: Some(25.0), not_before: None },
+        );
+        // Healthy evaluation: flag must stay false.
+        ev.submit_evaluation(2, 5.0);
+        let mut fates = Vec::new();
+        loop {
+            let finished = ev.get_finished_evaluations();
+            if finished.is_empty() {
+                break;
+            }
+            fates.extend(finished.into_iter().map(|f| f.outcome.is_ok()));
+        }
+        assert_eq!(fates, vec![false, true]);
+        assert_eq!(cancelled_seen.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -21,7 +21,9 @@
 pub mod des;
 pub mod evaluator;
 pub mod fault;
+pub mod pool;
 
 pub use des::{EvalFate, Placement, SimQueue, SubmitOpts};
 pub use evaluator::{EvalOutcome, Evaluator, Finished};
 pub use fault::FaultPlan;
+pub use pool::{ScratchGuard, ScratchPool};

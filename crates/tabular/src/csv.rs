@@ -144,7 +144,7 @@ mod tests {
         let d = read_dataset(text.as_bytes()).unwrap();
         assert_eq!(d.len(), 3);
         assert_eq!(d.n_features(), 2);
-        assert_eq!(d.y, vec![0, 1, 1]);
+        assert_eq!(&d.y[..], &[0, 1, 1]);
         assert_eq!(d.n_classes, 2);
     }
 

@@ -1,15 +1,23 @@
 //! The in-memory data set representation.
 
+use crate::view::DatasetView;
 use agebo_tensor::Matrix;
+use std::sync::Arc;
 
 /// A supervised classification data set: a dense feature matrix plus an
 /// integer class label per row.
+///
+/// Storage is `Arc`-shared: cloning a `Dataset` (and taking subsets via
+/// [`Dataset::subset`]) copies pointers, not rows. Mutation goes through
+/// [`Arc::make_mut`], so the rare in-place transforms (standardisation)
+/// still work on uniquely-owned data while the hot sharding path stays
+/// zero-copy.
 #[derive(Debug, Clone)]
 pub struct Dataset {
-    /// `n_rows × n_features` feature matrix.
-    pub x: Matrix,
-    /// Class label per row, in `0..n_classes`.
-    pub y: Vec<usize>,
+    /// `n_rows × n_features` feature matrix (shared storage).
+    pub x: Arc<Matrix>,
+    /// Class label per row, in `0..n_classes` (shared storage).
+    pub y: Arc<Vec<usize>>,
     /// Number of classes.
     pub n_classes: usize,
 }
@@ -25,7 +33,7 @@ impl Dataset {
             y.iter().all(|&l| l < n_classes),
             "label out of range for {n_classes} classes"
         );
-        Dataset { x, y, n_classes }
+        Dataset { x: Arc::new(x), y: Arc::new(y), n_classes }
     }
 
     /// Number of rows.
@@ -43,11 +51,18 @@ impl Dataset {
         self.x.cols()
     }
 
-    /// Gathers the listed rows into a new data set.
-    pub fn subset(&self, indices: &[usize]) -> Dataset {
+    /// A zero-copy view of the listed rows: shares storage and records the
+    /// indices instead of gathering rows. Use [`Dataset::gather`] when an
+    /// owned copy is genuinely needed.
+    pub fn subset(&self, indices: &[usize]) -> DatasetView {
+        DatasetView::new(self.clone(), Arc::new(indices.to_vec()))
+    }
+
+    /// Gathers the listed rows into a new, independently-owned data set.
+    pub fn gather(&self, indices: &[usize]) -> Dataset {
         Dataset {
-            x: self.x.gather_rows(indices),
-            y: indices.iter().map(|&i| self.y[i]).collect(),
+            x: Arc::new(self.x.gather_rows(indices)),
+            y: Arc::new(indices.iter().map(|&i| self.y[i]).collect()),
             n_classes: self.n_classes,
         }
     }
@@ -64,7 +79,7 @@ impl Dataset {
     /// Per-class row counts.
     pub fn class_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.n_classes];
-        for &l in &self.y {
+        for &l in self.y.iter() {
             counts[l] += 1;
         }
         counts
@@ -78,7 +93,7 @@ impl Dataset {
         }
         let hits = predictions
             .iter()
-            .zip(&self.y)
+            .zip(self.y.iter())
             .filter(|(p, t)| p == t)
             .count();
         hits as f64 / self.len() as f64
@@ -128,12 +143,32 @@ mod tests {
     }
 
     #[test]
-    fn subset_selects_rows_and_labels() {
+    fn subset_views_rows_and_labels_without_copying() {
         let d = toy();
         let s = d.subset(&[5, 0]);
         assert_eq!(s.len(), 2);
-        assert_eq!(s.y, vec![0, 0]);
+        assert_eq!(s.label(0), 0);
+        assert_eq!(s.label(1), 0);
+        let m = s.materialize();
+        assert_eq!(*m.y, vec![0, 0]);
+        assert_eq!(m.x.row(0), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn gather_copies_rows_and_labels() {
+        let d = toy();
+        let s = d.gather(&[5, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(*s.y, vec![0, 0]);
         assert_eq!(s.x.row(0), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let d = toy();
+        let c = d.clone();
+        assert!(Arc::ptr_eq(&d.x, &c.x));
+        assert!(Arc::ptr_eq(&d.y, &c.y));
     }
 
     #[test]

@@ -26,8 +26,10 @@ pub mod meta;
 pub mod scale;
 pub mod split;
 pub mod synth;
+pub mod view;
 
 pub use dataset::Dataset;
+pub use view::DatasetView;
 pub use generators::{DatasetKind, SizeProfile};
 pub use meta::DatasetMeta;
 pub use split::{stratified_split, SplitSpec, TrainValidTest};

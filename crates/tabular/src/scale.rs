@@ -63,8 +63,12 @@ impl Standardizer {
     }
 
     /// Applies the transform to every partition of a split data set.
+    ///
+    /// Clones the feature matrix first if its storage is shared (the
+    /// split partitions are freshly gathered, so in practice this mutates
+    /// in place).
     pub fn transform_dataset(&self, data: &mut Dataset) {
-        self.transform_inplace(&mut data.x);
+        self.transform_inplace(std::sync::Arc::make_mut(&mut data.x));
     }
 }
 

@@ -71,9 +71,9 @@ pub fn stratified_split(data: &Dataset, spec: SplitSpec, rng: &mut impl Rng) -> 
     test_idx.shuffle(rng);
 
     TrainValidTest {
-        train: data.subset(&train_idx),
-        valid: data.subset(&valid_idx),
-        test: data.subset(&test_idx),
+        train: data.gather(&train_idx),
+        valid: data.gather(&valid_idx),
+        test: data.gather(&test_idx),
     }
 }
 

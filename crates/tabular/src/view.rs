@@ -1,0 +1,168 @@
+//! Zero-copy, index-indirected views into a [`Dataset`].
+//!
+//! Sharding a training set for data-parallel ranks used to deep-copy rows
+//! into per-rank `Dataset`s on every evaluation. A [`DatasetView`] instead
+//! shares the backing storage (`Arc`) plus a shared permutation vector and a
+//! `(start, len)` range into it — so `n` shards of an `R`-row set cost one
+//! `R`-entry index vector total, and micro-batch draws gather rows straight
+//! from the original matrix into a caller-owned buffer.
+
+use crate::Dataset;
+use agebo_tensor::Matrix;
+use std::sync::Arc;
+
+/// A view of `len` rows of a [`Dataset`], selected by a contiguous range of
+/// a shared index vector (typically one shuffled permutation shared by all
+/// shards of a training set).
+///
+/// View row `k` is data-set row `order[start + k]`; views preserve the exact
+/// row order the seed's copying `subset` produced, which is what keeps the
+/// zero-copy training path bitwise-identical.
+#[derive(Debug, Clone)]
+pub struct DatasetView {
+    data: Dataset,
+    order: Arc<Vec<usize>>,
+    start: usize,
+    len: usize,
+}
+
+impl DatasetView {
+    /// Views all rows listed in `order` (the whole index vector).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range for `data`.
+    pub fn new(data: Dataset, order: Arc<Vec<usize>>) -> Self {
+        let len = order.len();
+        DatasetView::slice_of(data, order, 0, len)
+    }
+
+    /// Views rows `order[start..start + len]`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds `order` or any covered index is out of
+    /// range for `data`.
+    pub fn slice_of(data: Dataset, order: Arc<Vec<usize>>, start: usize, len: usize) -> Self {
+        assert!(start + len <= order.len(), "view range exceeds index vector");
+        assert!(
+            order[start..start + len].iter().all(|&i| i < data.len()),
+            "view index out of range for {} rows",
+            data.len()
+        );
+        DatasetView { data, order, start, len }
+    }
+
+    /// Number of rows in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view selects no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.data.n_features()
+    }
+
+    /// Number of classes in the underlying data set.
+    pub fn n_classes(&self) -> usize {
+        self.data.n_classes
+    }
+
+    /// The underlying data set (shared storage).
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The data-set row indices this view selects, in view order.
+    pub fn indices(&self) -> &[usize] {
+        &self.order[self.start..self.start + self.len]
+    }
+
+    /// Label of view row `local`.
+    #[inline]
+    pub fn label(&self, local: usize) -> usize {
+        self.data.y[self.order[self.start + local]]
+    }
+
+    /// Gathers the view rows listed in `local` (view-local indices) into
+    /// caller-owned buffers: `xbuf` becomes `local.len() × n_features`,
+    /// `ybuf` the matching labels. No allocation once the buffers have
+    /// reached capacity — this is the per-step micro-batch draw.
+    pub fn gather_into(&self, local: &[usize], xbuf: &mut Matrix, ybuf: &mut Vec<usize>) {
+        xbuf.resize(local.len(), self.data.n_features());
+        ybuf.clear();
+        for (dst, &l) in local.iter().enumerate() {
+            let src = self.order[self.start + l];
+            xbuf.row_mut(dst).copy_from_slice(self.data.x.row(src));
+            ybuf.push(self.data.y[src]);
+        }
+    }
+
+    /// Copies the viewed rows into a new, independently-owned [`Dataset`]
+    /// (exactly what the seed's copying `subset` returned).
+    pub fn materialize(&self) -> Dataset {
+        self.data.gather(self.indices())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x = Matrix::from_fn(6, 2, |r, c| (r * 10 + c) as f32);
+        Dataset::new(x, vec![0, 1, 2, 0, 1, 0], 3)
+    }
+
+    #[test]
+    fn view_indexes_through_order() {
+        let d = toy();
+        let v = DatasetView::new(d, Arc::new(vec![4, 1, 5]));
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.indices(), &[4, 1, 5]);
+        assert_eq!(v.label(0), 1);
+        assert_eq!(v.label(2), 0);
+    }
+
+    #[test]
+    fn slice_of_selects_a_range() {
+        let d = toy();
+        let order = Arc::new(vec![5, 4, 3, 2, 1, 0]);
+        let v = DatasetView::slice_of(d, order, 2, 3);
+        assert_eq!(v.indices(), &[3, 2, 1]);
+        assert_eq!(v.label(0), 0);
+    }
+
+    #[test]
+    fn gather_into_matches_materialize() {
+        let d = toy();
+        let v = d.subset(&[5, 0, 3]);
+        let mut xbuf = Matrix::default();
+        let mut ybuf = Vec::new();
+        v.gather_into(&[2, 0], &mut xbuf, &mut ybuf);
+        assert_eq!(xbuf.rows(), 2);
+        assert_eq!(xbuf.row(0), &[30.0, 31.0]);
+        assert_eq!(xbuf.row(1), &[50.0, 51.0]);
+        assert_eq!(ybuf, vec![0, 0]);
+        let m = v.materialize();
+        assert_eq!(m.x.row(2), &[30.0, 31.0]);
+        assert_eq!(*m.y, vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "view range exceeds")]
+    fn range_overflow_panics() {
+        let d = toy();
+        DatasetView::slice_of(d, Arc::new(vec![0, 1]), 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "view index out of range")]
+    fn bad_index_panics() {
+        let d = toy();
+        DatasetView::new(d, Arc::new(vec![0, 9]));
+    }
+}

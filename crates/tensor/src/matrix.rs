@@ -203,6 +203,21 @@ impl Matrix {
         }
     }
 
+    /// Copies the contiguous row span `start..start + len` of `src` into
+    /// `self`, reshaping to `len × src.cols()`. Row-major storage makes the
+    /// span one contiguous slice, so this is a single memcpy — the cheap way
+    /// to load a validation chunk into a per-thread workspace.
+    ///
+    /// # Panics
+    /// Panics if `start + len > src.rows()`.
+    pub fn copy_row_span_from(&mut self, src: &Matrix, start: usize, len: usize) {
+        assert!(start + len <= src.rows, "row span out of bounds");
+        self.resize(len, src.cols);
+        let lo = start * src.cols;
+        let hi = lo + len * src.cols;
+        self.data.copy_from_slice(&src.data[lo..hi]);
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);

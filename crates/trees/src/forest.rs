@@ -316,7 +316,7 @@ mod tests {
         let (train, test) = {
             let idx: Vec<usize> = (0..400).collect();
             let tidx: Vec<usize> = (400..600).collect();
-            (data.subset(&idx), data.subset(&tidx))
+            (data.gather(&idx), data.gather(&tidx))
         };
         let cfg = ForestConfig { n_trees: 40, ..ForestConfig::default() };
         let forest = RandomForestClassifier::fit(&train.x, &train.y, 3, &cfg, 1);

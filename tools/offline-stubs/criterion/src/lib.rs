@@ -1,0 +1,83 @@
+//! Offline typecheck stub for criterion: runs each routine once.
+use std::marker::PhantomData;
+use std::time::Duration;
+
+pub fn black_box<T>(x: T) -> T { std::hint::black_box(x) }
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher;
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+    }
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+    }
+}
+
+pub mod measurement {
+    pub struct WallTime;
+}
+
+pub struct BenchmarkGroup<'a, M> {
+    _m: PhantomData<(&'a mut (), M)>,
+}
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self { self }
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self { self }
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        _id: S,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion;
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        _name: S,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup { _m: PhantomData }
+    }
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        _id: S,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

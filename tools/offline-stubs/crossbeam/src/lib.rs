@@ -1,0 +1,28 @@
+//! Offline typecheck stub for crossbeam (channel only), over std mpsc.
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+
+    pub use mpsc::{RecvError, SendError, TryRecvError};
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self { Sender(self.0.clone()) }
+    }
+    impl<T> Sender<T> {
+        pub fn send(&self, v: T) -> Result<(), SendError<T>> { self.0.send(v) }
+    }
+
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self { Receiver(Arc::clone(&self.0)) }
+    }
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> { self.0.lock().unwrap().recv() }
+        pub fn try_recv(&self) -> Result<T, TryRecvError> { self.0.lock().unwrap().try_recv() }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline typecheck stub for parking_lot over std::sync.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+impl<T> Mutex<T> {
+    pub fn new(v: T) -> Self { Mutex(std::sync::Mutex::new(v)) }
+    pub fn into_inner(self) -> T { self.0.into_inner().unwrap() }
+}
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> { self.0.lock().unwrap() }
+}
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self { Mutex::new(T::default()) }
+}
+
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+impl<T> RwLock<T> {
+    pub fn new(v: T) -> Self { RwLock(std::sync::RwLock::new(v)) }
+}
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> { self.0.read().unwrap() }
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> { self.0.write().unwrap() }
+}
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self { RwLock::new(T::default()) }
+}

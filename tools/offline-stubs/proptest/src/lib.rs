@@ -1,0 +1,186 @@
+//! Offline typecheck stub for proptest. The `proptest!` macro swallows its
+//! body (tests vanish); strategy combinators typecheck outside the macro.
+use std::marker::PhantomData;
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self { ProptestConfig { cases } }
+}
+impl Default for ProptestConfig {
+    fn default() -> Self { ProptestConfig { cases: 256 } }
+}
+
+pub mod strategy {
+    use super::PhantomData;
+
+    pub trait Strategy: Sized {
+        type Value;
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> { Map(self, f) }
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F> {
+            FlatMap(self, f)
+        }
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(self, _why: &'static str, f: F) -> Filter<Self, F> {
+            Filter(self, f)
+        }
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+        {
+            BoxedStrategy(PhantomData)
+        }
+    }
+
+    pub struct Map<S, F>(S, F);
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+    }
+    pub struct FlatMap<S, F>(S, F);
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+    }
+    pub struct Filter<S, F>(S, F);
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+    }
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+    }
+    pub struct BoxedStrategy<T>(pub(crate) PhantomData<T>);
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+    }
+    /// Typecheck-only value extractor used by the expanded `proptest!` macro.
+    pub fn value_of<S: Strategy>(_s: S) -> S::Value {
+        unreachable!("proptest typecheck stub")
+    }
+
+    pub struct Just<T>(pub T);
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> { type Value = $t; }
+            impl Strategy for core::ops::RangeInclusive<$t> { type Value = $t; }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, G);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::PhantomData;
+    pub struct Any<T>(PhantomData<T>);
+    impl<T> Strategy for Any<T> {
+        type Value = T;
+    }
+    pub fn any<T>() -> Any<T> { Any(PhantomData) }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::PhantomData;
+    pub struct SizeRange;
+    impl From<usize> for SizeRange {
+        fn from(_: usize) -> Self { SizeRange }
+    }
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(_: core::ops::Range<usize>) -> Self { SizeRange }
+    }
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(_: core::ops::RangeInclusive<usize>) -> Self { SizeRange }
+    }
+    pub struct VecStrategy<S>(S, PhantomData<()>);
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+    }
+    pub fn vec<S: Strategy>(element: S, _size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy(element, PhantomData)
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (|($($arg:pat_param in $strat:expr),* $(,)?)| $body:block) => {
+        {
+            #[allow(unused_variables, unreachable_code)]
+            let _typecheck_only = || {
+                $(let $arg = $crate::strategy::value_of($strat);)*
+                $body
+            };
+        }
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        const _: () = {
+            #[allow(dead_code)]
+            fn _cfg_typechecks() { let _ = $cfg; }
+        };
+        $crate::proptest!{ $($rest)* }
+    };
+    ($( $(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                // Typecheck the body without running it: the stub cannot
+                // generate strategy values, and a panicking test would
+                // read as a real failure.
+                #[allow(unused_variables, unreachable_code, unused_mut)]
+                let _typecheck_only = || {
+                    $(let $arg = $crate::strategy::value_of($strat);)*
+                    $body
+                };
+            }
+        )*
+    };
+}
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+#[macro_export]
+macro_rules! prop_assume {
+    ($e:expr $(, $($fmt:tt)*)?) => { let _ = $e; };
+}
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($tt:tt)*) => {
+        compile_error!("prop_oneof stub used outside swallowed proptest! body")
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline typecheck stub for rand 0.8 (SplitMix64-backed).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+    fn next_u32(&mut self) -> u32 { (self.next_u64() >> 32) as u32 }
+}
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 { (**self).next_u64() }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, d: D) -> T
+    where
+        Self: Sized,
+    {
+        d.sample(self)
+    }
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    #[derive(Debug, Clone)]
+    pub struct StdRng(u64);
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 { super::splitmix(&mut self.0) }
+    }
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self { StdRng(state) }
+    }
+}
+
+pub mod distributions {
+    pub trait Distribution<T> {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+    pub struct Standard;
+    macro_rules! std_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> $t { rng.next_u64() as $t }
+            }
+        )*};
+    }
+    std_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    impl Distribution<bool> for Standard {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> bool { rng.next_u64() & 1 == 1 }
+    }
+    impl Distribution<f64> for Standard {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+    impl Distribution<f32> for Standard {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            ((rng.next_u64() >> 40) as f32) / (1u32 << 24) as f32
+        }
+    }
+
+    pub mod uniform {
+        pub trait SampleUniform: Sized + Copy + PartialOrd {
+            fn lerp_u64(lo: Self, hi: Self, inclusive: bool, draw: u64) -> Self;
+        }
+        macro_rules! uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn lerp_u64(lo: Self, hi: Self, inclusive: bool, draw: u64) -> Self {
+                        let span = (hi as i128 - lo as i128 + if inclusive { 1 } else { 0 }).max(1) as u128;
+                        (lo as i128 + (draw as u128 % span) as i128) as $t
+                    }
+                }
+            )*};
+        }
+        uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+        impl SampleUniform for f64 {
+            fn lerp_u64(lo: Self, hi: Self, _inclusive: bool, draw: u64) -> Self {
+                lo + (hi - lo) * ((draw >> 11) as f64 / (1u64 << 53) as f64)
+            }
+        }
+        impl SampleUniform for f32 {
+            fn lerp_u64(lo: Self, hi: Self, _inclusive: bool, draw: u64) -> Self {
+                lo + (hi - lo) * (((draw >> 40) as f32) / (1u32 << 24) as f32)
+            }
+        }
+
+        pub trait SampleRange<T> {
+            fn sample_single<R: crate::Rng + ?Sized>(self, rng: &mut R) -> T;
+        }
+        impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+            fn sample_single<R: crate::Rng + ?Sized>(self, rng: &mut R) -> T {
+                T::lerp_u64(self.start, self.end, false, rng.next_u64())
+            }
+        }
+        impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+            fn sample_single<R: crate::Rng + ?Sized>(self, rng: &mut R) -> T {
+                T::lerp_u64(*self.start(), *self.end(), true, rng.next_u64())
+            }
+        }
+
+        #[derive(Debug, Clone, Copy)]
+        pub struct Uniform<T> {
+            lo: T,
+            hi: T,
+            inclusive: bool,
+        }
+        impl<T: SampleUniform> Uniform<T> {
+            pub fn new(lo: T, hi: T) -> Self { Uniform { lo, hi, inclusive: false } }
+            pub fn new_inclusive(lo: T, hi: T) -> Self { Uniform { lo, hi, inclusive: true } }
+        }
+        impl<T: SampleUniform> super::Distribution<T> for Uniform<T> {
+            fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> T {
+                T::lerp_u64(self.lo, self.hi, self.inclusive, rng.next_u64())
+            }
+        }
+    }
+    pub use uniform::Uniform;
+}
+
+pub mod seq {
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: super::Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: super::Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+        fn shuffle<R: super::Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+        fn choose<R: super::Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+
+    pub mod index {
+        pub struct IndexVec(Vec<usize>);
+        impl IndexVec {
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ { self.0.iter().copied() }
+            pub fn into_vec(self) -> Vec<usize> { self.0 }
+        }
+        pub fn sample<R: crate::Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(amount <= length);
+            let mut pool: Vec<usize> = (0..length).collect();
+            use super::SliceRandom;
+            pool.shuffle(rng);
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}

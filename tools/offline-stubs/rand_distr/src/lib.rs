@@ -1,0 +1,57 @@
+//! Offline typecheck stub for rand_distr 0.4.
+pub use rand::distributions::{Distribution, Uniform};
+
+#[derive(Debug, Clone, Copy)]
+pub struct NormalError;
+impl core::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid normal parameters")
+    }
+}
+impl std::error::Error for NormalError {}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+impl<F: Copy> Normal<F> {
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        Ok(Normal { mean, std_dev })
+    }
+}
+macro_rules! normal_impl {
+    ($t:ty) => {
+        impl Distribution<$t> for Normal<$t> {
+            fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                // Box-Muller, close enough for a typecheck stub.
+                let u1 = ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+                let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+                self.mean + self.std_dev * z as $t
+            }
+        }
+    };
+}
+normal_impl!(f64);
+impl Distribution<f32> for Normal<f32> {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let u1 = ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+        let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z as f32
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct StandardNormal;
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Normal::new(0.0f64, 1.0).unwrap().sample(rng)
+    }
+}
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        Normal::new(0.0f32, 1.0).unwrap().sample(rng)
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline typecheck stub for rayon: sequential std iterators.
+pub fn current_num_threads() -> usize { 1 }
+
+pub mod prelude {
+    pub trait ParSliceRef<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, n: usize) -> std::slice::Chunks<'_, T>;
+    }
+    impl<T> ParSliceRef<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> { self.iter() }
+        fn par_chunks(&self, n: usize) -> std::slice::Chunks<'_, T> { self.chunks(n) }
+    }
+    pub trait ParSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, n: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+    impl<T> ParSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> { self.iter_mut() }
+        fn par_chunks_mut(&mut self, n: usize) -> std::slice::ChunksMut<'_, T> { self.chunks_mut(n) }
+    }
+    pub trait IntoParIter: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter { self.into_iter() }
+    }
+    impl<I: IntoIterator> IntoParIter for I {}
+}

@@ -1,0 +1,16 @@
+//! Offline typecheck stub for serde: blanket trait impls + no-op derives.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+}
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,8 @@
+//! No-op serde derives (the serde stub blanket-implements the traits).
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream { TokenStream::new() }
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream { TokenStream::new() }

@@ -1,0 +1,13 @@
+//! Offline typecheck stub for serde_json: stable signatures, inert bodies.
+#[derive(Debug)]
+pub struct Error;
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json stub")
+    }
+}
+impl std::error::Error for Error {}
+
+pub fn to_string<T: ?Sized + serde::Serialize>(_v: &T) -> Result<String, Error> { Err(Error) }
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_v: &T) -> Result<String, Error> { Err(Error) }
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T, Error> { Err(Error) }

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Build /tmp/vendor — a cargo "directory source" of stub crates that
+# stand in for the workspace's external dependencies when crates.io is
+# unreachable. Run once per machine/boot, then build with:
+#
+#   cargo --config 'source.crates-io.replace-with="vendored-sources"' \
+#         --config 'source.vendored-sources.directory="/tmp/vendor"' \
+#         build --offline --workspace --release
+#
+# (or export the two tables in a .cargo/config.toml outside the repo).
+#
+# Stub semantics to keep in mind (see .claude/skills/verify/SKILL.md):
+#   - rand is a real deterministic generator (SplitMix64), but NOT the
+#     algorithm of the real rand crate: absolute RNG-derived values
+#     (e.g. the committed telemetry golden) differ under the stubs.
+#     Relative checks — same-seed determinism, seed-vs-engine bitwise
+#     equality — are fully meaningful.
+#   - rayon is sequential (current_num_threads() == 1).
+#   - serde_json serialization/deserialization returns errors; history
+#     and model persistence use the workspace's own codec instead.
+#   - proptest typechecks test bodies but runs them as no-ops.
+#   - criterion runs each routine once.
+set -eu
+src="$(cd "$(dirname "$0")" && pwd)"
+dst="${1:-/tmp/vendor}"
+rm -rf "$dst"
+mkdir -p "$dst"
+for c in criterion crossbeam parking_lot proptest rand rand_distr rayon \
+         serde serde_derive serde_json; do
+  cp -r "$src/$c" "$dst/$c"
+  # Directory sources require a checksum manifest; an empty file map
+  # skips content verification.
+  printf '{"files":{},"package":""}' > "$dst/$c/.cargo-checksum.json"
+done
+echo "vendored stub crates -> $dst"
