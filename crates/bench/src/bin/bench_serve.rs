@@ -1,0 +1,147 @@
+//! Measures the multi-search serving layer and writes `BENCH_serve.json`.
+//!
+//! The question the serving layer answers: with a fixed pool of compute
+//! slots, how much aggregate search throughput does multiplexing M
+//! concurrent sessions buy over running the same M searches one after
+//! another? The workload is the one the layer is built for — tenants
+//! whose requested searches *overlap*: session i runs the suite search
+//! `seed_for(i % DISTINCT_SUITES)`, so at M ≥ 4 several tenants request
+//! identical suites concurrently. Each session is deliberately narrow
+//! (`workers = 2` in-flight evaluations) on a 4-slot pool, the realistic
+//! shape where one search cannot saturate shared hardware on its own.
+//!
+//! For each M ∈ {1, 2, 4, 8} the same seeded searches run twice:
+//!
+//! * **served**: M concurrent sessions under one [`SessionManager`] —
+//!   duplicate suites share evaluations through the memo-cache and its
+//!   single-flight coalescing (concurrent identical trainings are paid
+//!   for once), and narrow sessions pack the shared slots;
+//! * **sequential**: the standalone searches back to back, each on its
+//!   own `workers`-thread pool with no shared state — every duplicate
+//!   suite pays full compute again.
+//!
+//! On many-core hosts both consolidation terms (slot packing and
+//! dedup/coalescing) contribute; on few-core hosts the dedup term
+//! dominates. Both sides must produce bitwise-identical histories
+//! (asserted before any number is reported), so the rates measure the
+//! same results. `--quick` shrinks the simulated wall budget for CI
+//! smoke runs.
+
+use agebo_core::{run_search, EvalContext, SearchConfig, Variant};
+use agebo_serve::{ServeOptions, SessionManager, SessionSpec};
+use agebo_tabular::{DatasetKind, SizeProfile};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared compute slots on the served side.
+const SLOTS: usize = 4;
+/// Per-session in-flight evaluation bound (both sides).
+const WORKERS: usize = 2;
+/// Distinct suite searches the tenants draw from; at M > DISTINCT_SUITES
+/// several concurrent sessions request the same suite.
+const DISTINCT_SUITES: usize = 2;
+
+fn cfg_for(seed: u64, wall: f64) -> SearchConfig {
+    let mut cfg = SearchConfig::test(Variant::agebo()).with_seed(seed).with_wall_time(wall);
+    cfg.workers = WORKERS;
+    cfg
+}
+
+/// Session i runs suite `i % DISTINCT_SUITES`: distinct suites have
+/// distinct seeds (distinct contexts and cache fingerprints — they share
+/// nothing), equal suites are the overlap the serving layer consolidates.
+fn seed_for(i: usize) -> u64 {
+    1000 + 17 * (i % DISTINCT_SUITES) as u64
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let wall = if quick { 2000.0 } else { 7000.0 };
+    let ms: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    let mut entries = Vec::new();
+    let mut serve_rate_at_4 = None;
+    let mut seq_rate_at_1 = None;
+    for &m in ms {
+        // Served: M concurrent sessions over SLOTS shared slots.
+        let manager = SessionManager::new(ServeOptions { slots: SLOTS, cache_capacity: 4096 });
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..m)
+            .map(|i| {
+                let spec = SessionSpec::new(
+                    format!("s{i}"),
+                    "bench",
+                    DatasetKind::Covertype,
+                    SizeProfile::Test,
+                    cfg_for(seed_for(i), wall),
+                );
+                manager.submit(spec).expect_accepted()
+            })
+            .collect();
+        let reports: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        let serve_secs = t0.elapsed().as_secs_f64();
+        let serve_evals: usize = reports.iter().map(|r| r.history.len()).sum();
+        let mut latencies: Vec<f64> = reports.iter().map(|r| r.wall_seconds).collect();
+        latencies.sort_by(|a, b| a.total_cmp(b));
+
+        // Sequential: the same searches standalone, one after another.
+        let t0 = Instant::now();
+        let mut seq_evals = 0;
+        let mut seq_latencies = Vec::new();
+        for (i, report) in reports.iter().enumerate() {
+            let cfg = cfg_for(seed_for(i), wall);
+            let ctx =
+                Arc::new(EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, cfg.seed));
+            let s0 = Instant::now();
+            let history = run_search(ctx, &cfg);
+            seq_latencies.push(s0.elapsed().as_secs_f64());
+            seq_evals += history.len();
+            assert_eq!(
+                history.to_json_string(),
+                report.history.to_json_string(),
+                "served session s{i} diverged from its standalone run"
+            );
+        }
+        let seq_secs = t0.elapsed().as_secs_f64();
+        seq_latencies.sort_by(|a, b| a.total_cmp(b));
+
+        let serve_rate = serve_evals as f64 / serve_secs.max(1e-9);
+        let seq_rate = seq_evals as f64 / seq_secs.max(1e-9);
+        if m == 1 {
+            seq_rate_at_1 = Some(seq_rate);
+        }
+        if m == 4 {
+            serve_rate_at_4 = Some(serve_rate);
+        }
+        println!(
+            "M={m}: served {serve_evals} evals in {serve_secs:.2}s ({serve_rate:.2}/s), \
+             sequential {seq_secs:.2}s ({seq_rate:.2}/s), {:.2}x",
+            serve_rate / seq_rate
+        );
+        entries.push(format!(
+            "    {{\n      \"m\": {m},\n      \"evaluations\": {serve_evals},\n      \"serve_seconds\": {serve_secs:.3},\n      \"serve_evals_per_sec\": {serve_rate:.3},\n      \"serve_session_latency_p50\": {:.3},\n      \"serve_session_latency_p95\": {:.3},\n      \"sequential_seconds\": {seq_secs:.3},\n      \"sequential_evals_per_sec\": {seq_rate:.3},\n      \"sequential_session_latency_p50\": {:.3},\n      \"sequential_session_latency_p95\": {:.3},\n      \"speedup\": {:.3}\n    }}",
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.95),
+            percentile(&seq_latencies, 0.50),
+            percentile(&seq_latencies, 0.95),
+            serve_rate / seq_rate,
+        ));
+    }
+
+    let headline = match (serve_rate_at_4, seq_rate_at_1) {
+        (Some(serve), Some(seq)) => serve / seq,
+        _ => f64::NAN,
+    };
+    println!("serve(M=4) aggregate vs M=1 sequential baseline: {headline:.2}x");
+    let json = format!(
+        "{{\n  \"benchmark\": \"serving_layer\",\n  \"workload\": \"M concurrent test-profile AgEBO searches (workers={WORKERS} each, {DISTINCT_SUITES} distinct suites requested round-robin) on {SLOTS} shared slots vs the same searches run sequentially standalone\",\n  \"slots\": {SLOTS},\n  \"session_workers\": {WORKERS},\n  \"distinct_suites\": {DISTINCT_SUITES},\n  \"wall_time_budget\": {wall},\n  \"m4_aggregate_vs_m1_sequential\": {headline:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

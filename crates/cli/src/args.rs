@@ -23,6 +23,8 @@ pub enum Command {
     Evaluate(EvaluateArgs),
     /// Summarize a telemetry directory's run-event log.
     Report(ReportArgs),
+    /// Run multiple concurrent searches from a serve config file.
+    Serve(ServeArgs),
 }
 
 /// Arguments of `agebo search`.
@@ -86,6 +88,15 @@ pub struct EvaluateArgs {
     pub csv: String,
 }
 
+/// Arguments of `agebo serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Serve config JSON (slots, tenants, sessions).
+    pub config: String,
+    /// Output directory for per-session artifacts and the final report.
+    pub out_dir: String,
+}
+
 /// Arguments of `agebo report`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReportArgs {
@@ -123,6 +134,7 @@ USAGE:
                  [--chaos-profile none|mild|heavy] [--checkpoint-every N]
   agebo evaluate --model model.json --csv data.csv
   agebo report   --dir DIR    (a --telemetry directory or an events.jsonl)
+  agebo serve    --config serve.json [--out-dir DIR]
 ";
 
 fn parse_dataset(s: &str) -> Result<DatasetKind, ParseError> {
@@ -360,6 +372,19 @@ impl Cli {
                         .ok_or_else(|| ParseError("report requires --dir".into()))?,
                 })
             }
+            "serve" => {
+                let kv = keyed(rest, &["config", "out-dir"])?;
+                Command::Serve(ServeArgs {
+                    config: kv
+                        .get("config")
+                        .cloned()
+                        .ok_or_else(|| ParseError("serve requires --config".into()))?,
+                    out_dir: kv
+                        .get("out-dir")
+                        .cloned()
+                        .unwrap_or_else(|| "serve-out".to_string()),
+                })
+            }
             "--help" | "-h" | "help" => return Err(ParseError(USAGE.to_string())),
             other => return Err(ParseError(format!("unknown subcommand {other}\n{USAGE}"))),
         };
@@ -501,6 +526,23 @@ mod tests {
         let err = Cli::parse(&argv(&["search", "--chaos-profile", "apocalyptic"])).unwrap_err();
         assert!(err.0.contains("none|mild|heavy"), "{}", err.0);
         assert!(Cli::parse(&argv(&["search", "--checkpoint-every", "-3"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cli = Cli::parse(&argv(&["serve", "--config", "s.json"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve(ServeArgs { config: "s.json".into(), out_dir: "serve-out".into() })
+        );
+        let cli =
+            Cli::parse(&argv(&["serve", "--config", "s.json", "--out-dir", "/tmp/o"])).unwrap();
+        match cli.command {
+            Command::Serve(a) => assert_eq!(a.out_dir, "/tmp/o"),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(Cli::parse(&argv(&["serve"])).is_err());
+        assert!(Cli::parse(&argv(&["serve", "--config", "s.json", "--slots", "4"])).is_err());
     }
 
     #[test]

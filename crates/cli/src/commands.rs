@@ -1,13 +1,14 @@
 //! Subcommand implementations.
 
-use crate::args::{EvaluateArgs, ReportArgs, ResumeArgs, SearchArgs};
+use crate::args::{EvaluateArgs, ReportArgs, ResumeArgs, SearchArgs, ServeArgs};
 use agebo_analysis::ConfusionMatrix;
 use agebo_core::evaluation::train_final;
 use agebo_core::{
     resume_search_instrumented, run_search_instrumented, EvalContext, EvalTask, SearchConfig,
     SearchHistory,
 };
-use agebo_telemetry::{RunEvent, RunSummary, Telemetry, EVENTS_FILE};
+use agebo_serve::{Admission, ServeConfig, ServeOptions, SessionManager, SessionTelemetry};
+use agebo_telemetry::{Json, RunEvent, RunSummary, Telemetry, EVENTS_FILE};
 use agebo_nn::serialize::{load_model, save_model};
 use agebo_searchspace::SearchSpace;
 use agebo_tabular::csv::load_csv;
@@ -237,6 +238,103 @@ pub fn run_report(args: &ReportArgs) -> Result<(), CliError> {
     let text = std::fs::read_to_string(&events)
         .map_err(|e| format!("cannot read {}: {e}", events.display()))?;
     print!("{}", RunSummary::from_jsonl(&text).render());
+    Ok(())
+}
+
+/// `agebo serve`: run a serve config's sessions concurrently on a shared
+/// slot pool, writing per-session telemetry and history files plus a
+/// final report under `--out-dir`.
+pub fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(&args.config)
+        .map_err(|e| format!("cannot read {}: {e}", args.config))?;
+    let config = ServeConfig::parse(&text)?;
+    let out_dir = std::path::Path::new(&args.out_dir);
+    std::fs::create_dir_all(out_dir)?;
+    let manager = SessionManager::new(ServeOptions {
+        slots: config.slots,
+        cache_capacity: config.cache_capacity,
+    });
+    for tenant in &config.tenants {
+        manager.register_tenant(&tenant.name, tenant.budget.clone());
+    }
+    eprintln!(
+        "serving {} sessions over {} shared slots (cache capacity {})...",
+        config.sessions.len(),
+        config.slots,
+        config.cache_capacity
+    );
+    let mut handles = Vec::new();
+    let mut rows = Vec::new();
+    for decl in &config.sessions {
+        let spec = decl
+            .to_spec()
+            .with_telemetry(SessionTelemetry::Dir(out_dir.join(&decl.name)));
+        match manager.submit(spec) {
+            Admission::Accepted(handle) => handles.push(handle),
+            Admission::Rejected { reason } => {
+                eprintln!("session {} rejected: {reason}", decl.name);
+                rows.push(Json::obj(vec![
+                    ("name", Json::Str(decl.name.clone())),
+                    ("tenant", Json::Str(decl.tenant.clone())),
+                    ("stop", Json::Str("rejected".into())),
+                    ("reason", Json::Str(reason)),
+                ]));
+            }
+        }
+    }
+    for handle in handles {
+        let report = handle.join();
+        let hist_path = out_dir.join(format!("{}.history.json", report.name));
+        std::fs::write(&hist_path, report.history.to_json_string())?;
+        println!(
+            "session {} ({}): {} — {} evaluations, best {}, {:.2}s wall clock",
+            report.name,
+            report.tenant,
+            report.stop.label(),
+            report.history.len(),
+            report
+                .history
+                .best()
+                .map_or("n/a".to_string(), |b| format!("{:.4}", b.objective)),
+            report.wall_seconds
+        );
+        rows.push(Json::obj(vec![
+            ("name", Json::Str(report.name.clone())),
+            ("tenant", Json::Str(report.tenant.clone())),
+            ("stop", Json::Str(report.stop.label().to_string())),
+            ("evaluations", Json::UInt(report.history.len() as u64)),
+            (
+                "best_objective",
+                report.history.best().map_or(Json::Null, |b| Json::Num(b.objective)),
+            ),
+            ("sim_wall_time", Json::Num(report.history.wall_time)),
+            ("wall_seconds", Json::Num(report.wall_seconds)),
+            ("history", Json::Str(hist_path.to_string_lossy().into_owned())),
+        ]));
+    }
+    let stats = manager.cache_stats();
+    let report = Json::obj(vec![
+        ("slots", Json::UInt(config.slots as u64)),
+        ("sessions", Json::Arr(rows)),
+        (
+            "shared_cache",
+            Json::obj(vec![
+                ("hits", Json::UInt(stats.hits)),
+                ("misses", Json::UInt(stats.misses)),
+                ("coalesced", Json::UInt(stats.coalesced)),
+                ("evictions", Json::UInt(stats.evictions)),
+                ("len", Json::UInt(stats.len as u64)),
+                ("capacity", Json::UInt(stats.capacity as u64)),
+            ]),
+        ),
+    ]);
+    let report_path = out_dir.join("serve_report.json");
+    std::fs::write(&report_path, report.to_string_pretty())?;
+    println!(
+        "shared cache: {} hits, {} misses, {} coalesced, {} evictions",
+        stats.hits, stats.misses, stats.coalesced, stats.evictions
+    );
+    println!("serve report written to {}", report_path.display());
     Ok(())
 }
 

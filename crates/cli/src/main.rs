@@ -20,6 +20,7 @@ fn main() {
         Command::Resume(args) => agebo_cli::commands::resume(args),
         Command::Evaluate(args) => agebo_cli::commands::evaluate(args),
         Command::Report(args) => agebo_cli::commands::run_report(args),
+        Command::Serve(args) => agebo_cli::commands::run_serve(args),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

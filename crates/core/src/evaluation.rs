@@ -305,17 +305,8 @@ pub fn evaluate_task_pooled(
     scratch: &mut EvalScratch,
     cancel: Option<&AtomicBool>,
 ) -> TaskOutput {
-    if failure_rate > 0.0 {
-        // The draw mixes the attempt index into the label (attempt 0
-        // reproduces the historical draw bit for bit). Drawing from the
-        // content-derived seed alone would make the same candidate fault
-        // on every resubmission, permanently biasing the search away
-        // from whatever architectures happened to draw badly.
-        let label = 0xFA11 ^ (u64::from(task.attempt) << 16);
-        let draw = Stream::new(task.seed).labeled(label) as f64 / u64::MAX as f64;
-        if draw < failure_rate {
-            return TaskOutput::Faulted;
-        }
+    if injected_fault(task, failure_rate) {
+        return TaskOutput::Faulted;
     }
     // Memoized result of a previous identical evaluation: with a
     // content-derived seed, re-training would reproduce it bit for bit,
@@ -329,6 +320,22 @@ pub fn evaluate_task_pooled(
     } else {
         TaskOutput::Diverged
     }
+}
+
+/// The chaos layer's injected-fault decision for `task` at
+/// `failure_rate`. Extracted so any worker path (the search's own pool or
+/// the serving layer's shared slots) makes the exact same draw: it mixes
+/// the attempt index into the label (attempt 0 reproduces the historical
+/// draw bit for bit), because drawing from the content-derived seed alone
+/// would make the same candidate fault on every resubmission, permanently
+/// biasing the search away from whatever architectures drew badly.
+pub fn injected_fault(task: &EvalTask, failure_rate: f64) -> bool {
+    if failure_rate <= 0.0 {
+        return false;
+    }
+    let label = 0xFA11 ^ (u64::from(task.attempt) << 16);
+    let draw = Stream::new(task.seed).labeled(label) as f64 / u64::MAX as f64;
+    draw < failure_rate
 }
 
 /// Random architecture/HP seeds derived per evaluation id.

@@ -46,11 +46,12 @@ pub mod search;
 pub use config::{CachePolicy, RetryPolicy, SearchConfig, Variant};
 pub use evaluation::{
     content_seed, evaluate, evaluate_instrumented, evaluate_pooled, evaluate_task_instrumented,
-    evaluate_task_pooled, EvalContext, EvalScratch, EvalTask, TaskOutput,
+    evaluate_task_pooled, injected_fault, EvalContext, EvalScratch, EvalTask, TaskOutput,
 };
 pub use agebo_scheduler::FaultPlan;
 pub use history::{EvalRecord, SearchHistory};
 pub use population::{Member, Population};
 pub use search::{
-    resume_search, resume_search_instrumented, run_search, run_search_instrumented,
+    resume_search, resume_search_instrumented, run_search, run_search_controlled,
+    run_search_instrumented, run_search_served, ExternalCompute, RunControl, StopReason,
 };

@@ -23,12 +23,13 @@ use crate::history::{EvalRecord, SearchHistory};
 use crate::population::{Member, Population};
 use agebo_bo::{BoConfig, BoOptimizer, HpPoint, Space};
 use agebo_dataparallel::DataParallelHp;
-use agebo_scheduler::{EvalOutcome, Evaluator, ScratchPool, SubmitOpts};
+use agebo_scheduler::{EvalOutcome, Evaluator, ResultReceiver, ScratchPool, SubmitOpts};
 use agebo_searchspace::ArchVector;
 use agebo_telemetry::{Counter, Gauge, Histogram, RunEvent, SpanStats, Telemetry, SCHEMA_VERSION};
 use agebo_tensor::Stream;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -113,13 +114,118 @@ impl SearchTelemetry {
     }
 }
 
+/// Why a search run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The simulated wall-time budget was exhausted or the cluster
+    /// drained — the ordinary end of a search.
+    Completed,
+    /// The external evaluation allowance ([`RunControl::with_allowance`])
+    /// reached zero.
+    BudgetExhausted,
+    /// The real wall-clock deadline ([`RunControl::with_deadline`])
+    /// passed.
+    DeadlineExceeded,
+    /// The cooperative stop flag ([`RunControl::stop_flag`]) was raised.
+    Stopped,
+}
+
+impl StopReason {
+    /// Stable lowercase name for reports and serialization.
+    pub fn label(self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::BudgetExhausted => "budget_exhausted",
+            StopReason::DeadlineExceeded => "deadline_exceeded",
+            StopReason::Stopped => "stopped",
+        }
+    }
+}
+
+/// External control of a running search, checked once per manager-loop
+/// round (after results are processed, before replacements are
+/// generated). A default control never triggers, and the checks emit no
+/// events, so a controlled run that finishes naturally is bitwise
+/// identical to an uncontrolled one — the property the serving layer's
+/// single-session equivalence rests on.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// Remaining evaluation allowance, shared across every search charged
+    /// against the same budget (a tenant's sessions). Decremented by each
+    /// recorded completion; at zero the run stops with
+    /// [`StopReason::BudgetExhausted`].
+    allowance: Option<Arc<AtomicU64>>,
+    /// Real wall-clock deadline.
+    deadline: Option<Instant>,
+    /// Cooperative stop flag (admin cancellation).
+    stop: Arc<AtomicBool>,
+}
+
+impl RunControl {
+    /// A control that never triggers.
+    pub fn unlimited() -> RunControl {
+        RunControl::default()
+    }
+
+    /// Charges recorded completions against `allowance` (saturating at
+    /// zero) and stops the run once it is spent. The counter may be
+    /// shared by several concurrent searches.
+    pub fn with_allowance(mut self, allowance: Arc<AtomicU64>) -> Self {
+        self.allowance = Some(allowance);
+        self
+    }
+
+    /// Stops the run at the first round boundary after `deadline`.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The cooperative stop flag; store `true` to end the run at its next
+    /// round boundary.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Deducts `n` recorded completions from the allowance, saturating at
+    /// zero.
+    fn charge(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        if let Some(allowance) = &self.allowance {
+            let n = n as u64;
+            let _ = allowance
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| Some(v.saturating_sub(n)));
+        }
+    }
+
+    /// The stop decision for this round, if any.
+    fn should_stop(&self) -> Option<StopReason> {
+        if self.stop.load(Ordering::Relaxed) {
+            return Some(StopReason::Stopped);
+        }
+        if let Some(allowance) = &self.allowance {
+            if allowance.load(Ordering::Acquire) == 0 {
+                return Some(StopReason::BudgetExhausted);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+}
+
 /// Runs one search and returns its history.
 ///
 /// Real trainings execute on `cfg.n_threads` OS threads; completion order,
 /// the clock and utilization follow the paper-scale simulated durations
 /// from `cfg.cost`.
 pub fn run_search(ctx: Arc<EvalContext>, cfg: &SearchConfig) -> SearchHistory {
-    run_search_with_state(ctx, cfg, None, &Telemetry::disabled())
+    run_search_with_state(ctx, cfg, None, &Telemetry::disabled(), None).0
 }
 
 /// [`run_search`] with observability: the manager loop emits the
@@ -134,7 +240,21 @@ pub fn run_search_instrumented(
     cfg: &SearchConfig,
     tel: &Telemetry,
 ) -> SearchHistory {
-    run_search_with_state(ctx, cfg, None, tel)
+    run_search_with_state(ctx, cfg, None, tel, None).0
+}
+
+/// [`run_search_instrumented`] under external control: budgets,
+/// deadlines and cooperative cancellation from `control` are checked at
+/// every round boundary, and the reason the run ended is returned
+/// alongside the history. With [`RunControl::unlimited`] the result is
+/// bitwise identical to [`run_search_instrumented`].
+pub fn run_search_controlled(
+    ctx: Arc<EvalContext>,
+    cfg: &SearchConfig,
+    tel: &Telemetry,
+    control: &RunControl,
+) -> (SearchHistory, StopReason) {
+    run_search_with_state(ctx, cfg, None, tel, Some(control))
 }
 
 /// Resumes a search from a previous run's history.
@@ -151,7 +271,7 @@ pub fn resume_search(
     cfg: &SearchConfig,
     checkpoint: &SearchHistory,
 ) -> SearchHistory {
-    run_search_with_state(ctx, cfg, Some(checkpoint), &Telemetry::disabled())
+    run_search_with_state(ctx, cfg, Some(checkpoint), &Telemetry::disabled(), None).0
 }
 
 /// [`resume_search`] with observability; see [`run_search_instrumented`].
@@ -161,7 +281,7 @@ pub fn resume_search_instrumented(
     checkpoint: &SearchHistory,
     tel: &Telemetry,
 ) -> SearchHistory {
-    run_search_with_state(ctx, cfg, Some(checkpoint), tel)
+    run_search_with_state(ctx, cfg, Some(checkpoint), tel, None).0
 }
 
 fn run_search_with_state(
@@ -169,7 +289,46 @@ fn run_search_with_state(
     cfg: &SearchConfig,
     warm: Option<&SearchHistory>,
     tel: &Telemetry,
-) -> SearchHistory {
+    control: Option<&RunControl>,
+) -> (SearchHistory, StopReason) {
+    run_search_full(ctx, cfg, warm, tel, control, None)
+}
+
+/// External compute for a search whose real trainings run in a shared
+/// pool (the serving layer): `submit` is invoked once per evaluation
+/// with `(id, task, cancel)`, and the pool must deliver exactly one
+/// `(id, result)` on the channel `results` was created from — in any
+/// real-time order. See [`Evaluator::external`].
+pub struct ExternalCompute {
+    /// Task dispatch into the shared pool.
+    pub submit: Box<dyn FnMut(u64, EvalTask, Arc<AtomicBool>) + Send>,
+    /// Completions coming back from the shared pool.
+    pub results: ResultReceiver<TaskOutput>,
+}
+
+/// [`run_search_controlled`] with real compute delegated to an external
+/// shared pool. The simulated cluster — and with it the entire search
+/// trajectory — stays owned by this call, so the returned history and
+/// event stream are bitwise identical to [`run_search_instrumented`]
+/// with the same `ctx`/`cfg`, no matter how the pool schedules tenants.
+pub fn run_search_served(
+    ctx: Arc<EvalContext>,
+    cfg: &SearchConfig,
+    tel: &Telemetry,
+    control: &RunControl,
+    compute: ExternalCompute,
+) -> (SearchHistory, StopReason) {
+    run_search_full(ctx, cfg, None, tel, Some(control), Some(compute))
+}
+
+fn run_search_full(
+    ctx: Arc<EvalContext>,
+    cfg: &SearchConfig,
+    warm: Option<&SearchHistory>,
+    tel: &Telemetry,
+    control: Option<&RunControl>,
+    compute: Option<ExternalCompute>,
+) -> (SearchHistory, StopReason) {
     assert!(cfg.workers >= 1 && cfg.population >= 1 && cfg.sample_size >= 1);
     let stream = Stream::new(cfg.seed);
     let mut arch_rng = component_rng(cfg.seed, 1);
@@ -203,11 +362,10 @@ fn run_search_with_state(
         )),
     };
 
-    let worker_ctx = Arc::clone(&ctx);
-    let failure_rate = cfg.failure_rate;
     // Clone of the (atomic-handle) trainer telemetry moves into the
     // worker closure: worker threads record only metrics, never events,
-    // keeping the event stream deterministic.
+    // keeping the event stream deterministic. Registered in both compute
+    // modes so the registry layout does not depend on where compute runs.
     let worker_tt = TrainerTelemetry::register(tel);
     // Cross-evaluation buffer pool: each compute thread checks a scratch
     // out per evaluation and returns it on completion, so the steady
@@ -217,18 +375,30 @@ fn run_search_with_state(
     // epoch boundary instead of running to completion.
     let scratch_pool: Arc<ScratchPool<EvalScratch>> =
         Arc::new(ScratchPool::register(tel, "eval_scratch", EvalScratch::new));
-    let mut evaluator: Evaluator<EvalTask, TaskOutput> =
-        Evaluator::new_cancellable(cfg.workers, cfg.n_threads.max(1), move |task, cancel| {
-            let mut scratch = scratch_pool.checkout();
-            evaluate_task_pooled(
-                &worker_ctx,
-                task,
-                failure_rate,
-                &worker_tt,
-                &mut scratch,
-                Some(cancel),
-            )
-        });
+    let mut evaluator: Evaluator<EvalTask, TaskOutput> = match compute {
+        // The classic shape: a private pool of compute threads.
+        None => {
+            let worker_ctx = Arc::clone(&ctx);
+            let failure_rate = cfg.failure_rate;
+            Evaluator::new_cancellable(cfg.workers, cfg.n_threads.max(1), move |task, cancel| {
+                let mut scratch = scratch_pool.checkout();
+                evaluate_task_pooled(
+                    &worker_ctx,
+                    task,
+                    failure_rate,
+                    &worker_tt,
+                    &mut scratch,
+                    Some(cancel),
+                )
+            })
+        }
+        // The serving layer's shape: real compute happens in a shared
+        // external pool, while this evaluator keeps full ownership of the
+        // *simulated* cluster — durations, completion order, faults and
+        // the clock — so the search trajectory cannot depend on how the
+        // shared pool interleaves tenants.
+        Some(ext) => Evaluator::external(cfg.workers, ext.submit, ext.results),
+    };
     evaluator.attach_telemetry(tel);
     // A `FaultPlan::none()` install is a no-op: the scheduler keeps the
     // exact chaos-free arithmetic, so seeded histories stay bitwise
@@ -449,6 +619,7 @@ fn run_search_with_state(
         if finished.is_empty() {
             break;
         }
+        let records_before = records.len();
         let mut batch_x: Vec<HpPoint> = Vec::with_capacity(finished.len());
         let mut batch_y: Vec<f64> = Vec::with_capacity(finished.len());
         let mut n_replace = 0usize;
@@ -596,6 +767,19 @@ fn run_search_with_state(
                 path: cfg.checkpoint_path.clone().unwrap_or_default(),
             });
         }
+        // External control (serving layer): charge this round's recorded
+        // completions against the tenant allowance, then honor any stop
+        // request. An unlimited control never triggers and emits nothing,
+        // so a controlled run that finishes naturally stays bitwise
+        // identical to an uncontrolled one.
+        if let Some(control) = control {
+            control.charge(records.len() - records_before);
+            if let Some(reason) = control.should_stop() {
+                let utilization = evaluator.utilization();
+                stel.utilization.set(utilization);
+                return (assemble(records, n_failed, n_cache_hits, utilization), reason);
+            }
+        }
         if evaluator.now() >= cfg.wall_time || (n_replace == 0 && retries.is_empty()) {
             break;
         }
@@ -693,7 +877,7 @@ fn run_search_with_state(
 
     let utilization = evaluator.utilization();
     stel.utilization.set(utilization);
-    assemble(records, n_failed, n_cache_hits, utilization)
+    (assemble(records, n_failed, n_cache_hits, utilization), StopReason::Completed)
 }
 
 #[cfg(test)]
@@ -1039,5 +1223,51 @@ mod tests {
         // The disabled path records nothing but behaves identically.
         let plain = run_search(ctx(), &cfg);
         assert_eq!(plain.len(), a.len());
+    }
+
+    #[test]
+    fn unlimited_control_is_bitwise_identical_to_plain_run() {
+        let cfg = SearchConfig::test(Variant::agebo()).with_seed(11);
+        let plain = run_search(ctx(), &cfg);
+        let (controlled, reason) = run_search_controlled(
+            ctx(),
+            &cfg,
+            &Telemetry::disabled(),
+            &RunControl::unlimited(),
+        );
+        assert_eq!(reason, StopReason::Completed);
+        assert_eq!(plain.to_json_string(), controlled.to_json_string());
+    }
+
+    #[test]
+    fn allowance_stops_the_search_with_budget_exhausted() {
+        let cfg = SearchConfig::test(Variant::agebo()).with_seed(11);
+        let full = run_search(ctx(), &cfg);
+        assert!(full.len() > 8, "full run too short to observe a cutoff");
+        let allowance = Arc::new(AtomicU64::new(3));
+        let control = RunControl::unlimited().with_allowance(Arc::clone(&allowance));
+        let (h, reason) = run_search_controlled(ctx(), &cfg, &Telemetry::disabled(), &control);
+        assert_eq!(reason, StopReason::BudgetExhausted);
+        assert_eq!(allowance.load(Ordering::Acquire), 0);
+        // The cutoff lands at a round boundary: at least the allowance,
+        // well short of the full run.
+        assert!(h.len() >= 3 && h.len() < full.len(), "len = {}", h.len());
+        // The records it did produce are a prefix-consistent replay of the
+        // uncontrolled run (same ids, same objectives).
+        for (a, b) in h.records.iter().zip(&full.records) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        }
+    }
+
+    #[test]
+    fn stop_flag_ends_the_run_with_stopped() {
+        let cfg = SearchConfig::test(Variant::agebo()).with_seed(5);
+        let control = RunControl::unlimited();
+        control.stop_flag().store(true, Ordering::Relaxed);
+        let (h, reason) = run_search_controlled(ctx(), &cfg, &Telemetry::disabled(), &control);
+        assert_eq!(reason, StopReason::Stopped);
+        let full = run_search(ctx(), &cfg);
+        assert!(h.len() < full.len(), "stop flag did not shorten the run");
     }
 }

@@ -209,12 +209,16 @@ pub fn fit_data_parallel_instrumented(
 /// The pooled training engine behind [`fit_data_parallel`]: identical
 /// arithmetic (bitwise, for a given `cfg.seed`), but every buffer lives in
 /// the caller-owned [`DpScratch`] so repeated fits allocate nothing in the
-/// steady state, and an optional `cancel` flag aborts between epochs.
+/// steady state, and an optional `cancel` flag aborts between global
+/// steps (and at epoch boundaries).
 ///
 /// Returns the best validation accuracy observed; the full learning
 /// curves of the fit are available via [`DpScratch::report`]. When
-/// `cancel` flips to `true` the current epoch finishes, `dp_aborts_total`
-/// is bumped, and the curves hold the epochs completed so far.
+/// `cancel` flips to `true` the training stops at the next step boundary
+/// — a doomed evaluation no longer burns the rest of a full epoch —
+/// `dp_aborts_total` is bumped exactly once, and the curves hold the
+/// epochs *completed*; the interrupted epoch's partial state is
+/// discarded with the run.
 pub fn fit_data_parallel_pooled(
     net: &mut GraphNet,
     train: &Dataset,
@@ -284,11 +288,12 @@ pub fn fit_data_parallel_pooled(
     val_acc.clear();
     val_loss.clear();
 
-    for epoch in 0..cfg.epochs {
+    let mut aborted = false;
+    'epochs: for epoch in 0..cfg.epochs {
         if let Some(flag) = cancel {
             if flag.load(Ordering::Relaxed) {
-                tt.aborts.inc();
-                break;
+                aborted = true;
+                break 'epochs;
             }
         }
         let lr = schedule.lr_for_epoch(epoch);
@@ -313,6 +318,18 @@ pub fn fit_data_parallel_pooled(
 
         let mut epoch_loss = 0.0f32;
         for step in 0..steps {
+            // Between-step cancellation: the flag was already consulted at
+            // the top of the epoch, so re-check only once real work sits
+            // behind us. The interrupted epoch never reaches validation or
+            // the curves — its partial optimizer state dies with the run.
+            if step > 0 {
+                if let Some(flag) = cancel {
+                    if flag.load(Ordering::Relaxed) {
+                        aborted = true;
+                        break 'epochs;
+                    }
+                }
+            }
             if n == 1 {
                 // Single rank: skip the rayon bridge entirely.
                 rank_microbatch(&mut rank_states[0], &shards[0], net, tt, bs1, step);
@@ -355,6 +372,9 @@ pub fn fit_data_parallel_pooled(
         val_acc.push(va);
         val_loss.push(vl);
         tt.epochs.inc();
+    }
+    if aborted {
+        tt.aborts.inc();
     }
     val_acc.iter().copied().fold(0.0f64, f64::max)
 }
@@ -553,6 +573,71 @@ mod tests {
         assert_eq!(tt.aborts.get(), 1);
         assert_eq!(best, 0.0);
         assert!(scratch.report().val_acc.is_empty());
+    }
+
+    #[test]
+    fn cancellation_aborts_mid_epoch_between_steps() {
+        // One epoch with thousands of single-row steps, and a watcher that
+        // raises the flag only after the third global step has been
+        // counted: the epoch-top check has already passed, so the training
+        // can only stop at the between-step check — without finishing the
+        // epoch. The barrier guarantees the watcher is spinning before the
+        // first step runs, and the step count leaves it a ~1000x margin.
+        let (train, valid) = task(8192);
+        let cfg = DataParallelConfig {
+            epochs: 1,
+            hp: DataParallelHp { lr1: 0.01, bs1: 1, n: 2 },
+            ..DataParallelConfig::paper(DataParallelHp::paper_default(2))
+        };
+        let tel = Telemetry::in_memory();
+        let tt = TrainerTelemetry::register(&tel);
+        let flag = Arc::new(AtomicBool::new(false));
+        let start = Arc::new(std::sync::Barrier::new(2));
+        let total_steps = {
+            let watcher_tt = tt.clone();
+            let watcher_flag = Arc::clone(&flag);
+            let watcher_start = Arc::clone(&start);
+            let watcher = std::thread::spawn(move || {
+                watcher_start.wait();
+                while watcher_tt.steps.get() < 3 {
+                    std::hint::spin_loop();
+                }
+                watcher_flag.store(true, Ordering::Relaxed);
+            });
+            start.wait();
+            let mut net = GraphNet::new(spec(), &mut StdRng::seed_from_u64(9));
+            let mut scratch = DpScratch::new();
+            let best = fit_data_parallel_pooled(
+                &mut net,
+                &train,
+                &valid,
+                &cfg,
+                &tt,
+                &mut scratch,
+                Some(&flag),
+            );
+            watcher.join().unwrap();
+            // The interrupted epoch never completed: no validation point,
+            // no curve entry, zero best.
+            assert_eq!(tt.aborts.get(), 1);
+            assert_eq!(tt.epochs.get(), 0);
+            assert_eq!(best, 0.0);
+            assert!(scratch.report().val_acc.is_empty());
+            tt.steps.get()
+        };
+        // And it genuinely stopped early: an uncancelled fit of the same
+        // config runs strictly more global steps.
+        let tel2 = Telemetry::in_memory();
+        let tt2 = TrainerTelemetry::register(&tel2);
+        let mut net = GraphNet::new(spec(), &mut StdRng::seed_from_u64(9));
+        let mut scratch = DpScratch::new();
+        fit_data_parallel_pooled(&mut net, &train, &valid, &cfg, &tt2, &mut scratch, None);
+        assert!(
+            total_steps < tt2.steps.get(),
+            "cancelled fit ran {} of {} steps",
+            total_steps,
+            tt2.steps.get()
+        );
     }
 
     #[test]

@@ -5,6 +5,18 @@ use crate::des::{EvalFate, Placement, SimQueue, SubmitOpts};
 use crate::fault::FaultPlan;
 use agebo_telemetry::Telemetry;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Sending half of an external compute pool's result channel: one
+/// `(id, result)` per submission handed to [`Evaluator::external`].
+pub type ResultSender<R> = Sender<(u64, Result<R, String>)>;
+/// Receiving half handed to [`Evaluator::external`].
+pub type ResultReceiver<R> = Receiver<(u64, Result<R, String>)>;
+
+/// The channel pair wiring an external compute pool back into an
+/// [`Evaluator::external`].
+pub fn result_channel<R>() -> (ResultSender<R>, ResultReceiver<R>) {
+    unbounded()
+}
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -82,6 +94,27 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Where an evaluator's real compute happens.
+///
+/// The classic shape ([`ComputeBackend::Owned`]) spawns a private pool of
+/// OS threads. The serving layer instead shares one machine-wide pool
+/// across many concurrent searches ([`ComputeBackend::External`]): task
+/// dispatch goes through a caller-supplied closure and results come back
+/// on a caller-supplied channel, so the evaluator neither owns threads
+/// nor decides which session's work runs next.
+enum ComputeBackend<T> {
+    /// A private worker pool owned (and joined on drop) by the evaluator.
+    Owned {
+        task_tx: Sender<(u64, T, Arc<AtomicBool>)>,
+        threads: Vec<JoinHandle<()>>,
+    },
+    /// Dispatch into an external pool; whoever owns the pool must
+    /// eventually send exactly one `(id, result)` per submitted id.
+    External {
+        submit: Box<dyn FnMut(u64, T, Arc<AtomicBool>) + Send>,
+    },
+}
+
 /// Manager-side handle implementing the paper's two scheduling interfaces.
 ///
 /// `T` is the task payload shipped to a worker; `R` the result shipped
@@ -91,13 +124,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// scheduling.
 pub struct Evaluator<T: Send + 'static, R: Send + 'static> {
     sim: SimQueue,
-    task_tx: Sender<(u64, T, Arc<AtomicBool>)>,
+    backend: ComputeBackend<T>,
     result_rx: Receiver<(u64, Result<R, String>)>,
     ready: HashMap<u64, Result<R, String>>,
     durations: HashMap<u64, (f64, f64, f64)>, // id -> (start, finish, duration)
     outstanding: usize,
     next_id: u64,
-    threads: Vec<JoinHandle<()>>,
 }
 
 impl<T: Send + 'static, R: Send + 'static> Evaluator<T, R> {
@@ -150,13 +182,39 @@ impl<T: Send + 'static, R: Send + 'static> Evaluator<T, R> {
             .collect();
         Evaluator {
             sim: SimQueue::new(n_workers),
-            task_tx,
+            backend: ComputeBackend::Owned { task_tx, threads },
             result_rx,
             ready: HashMap::new(),
             durations: HashMap::new(),
             outstanding: 0,
             next_id: 0,
-            threads,
+        }
+    }
+
+    /// An evaluator whose real compute lives in an *external* shared pool
+    /// (the serving layer's): `submit` is called once per submission with
+    /// `(id, task, cancel)`, and the pool must deliver exactly one
+    /// `(id, result)` on the channel behind `results` — in any real-time
+    /// order. The simulated cluster (`n_workers` slots, completion order,
+    /// utilization) is still owned by this evaluator, so a search driven
+    /// through an external backend keeps the exact trajectory of one
+    /// driven through [`Evaluator::new`].
+    pub fn external<F>(
+        n_workers: usize,
+        submit: F,
+        results: Receiver<(u64, Result<R, String>)>,
+    ) -> Self
+    where
+        F: FnMut(u64, T, Arc<AtomicBool>) + Send + 'static,
+    {
+        Evaluator {
+            sim: SimQueue::new(n_workers),
+            backend: ComputeBackend::External { submit: Box::new(submit) },
+            result_rx: results,
+            ready: HashMap::new(),
+            durations: HashMap::new(),
+            outstanding: 0,
+            next_id: 0,
         }
     }
 
@@ -198,7 +256,12 @@ impl<T: Send + 'static, R: Send + 'static> Evaluator<T, R> {
         if self.sim.is_doomed(id) {
             cancel.store(true, Ordering::Relaxed);
         }
-        self.task_tx.send((id, task, cancel)).expect("worker pool alive");
+        match &mut self.backend {
+            ComputeBackend::Owned { task_tx, .. } => {
+                task_tx.send((id, task, cancel)).expect("worker pool alive");
+            }
+            ComputeBackend::External { submit } => submit(id, task, cancel),
+        }
         (id, placement)
     }
 
@@ -285,12 +348,16 @@ impl<T: Send + 'static, R: Send + 'static> Evaluator<T, R> {
 
 impl<T: Send + 'static, R: Send + 'static> Drop for Evaluator<T, R> {
     fn drop(&mut self) {
-        // Closing the task channel lets worker threads drain and exit.
-        let (dead_tx, _) = unbounded();
-        drop(std::mem::replace(&mut self.task_tx, dead_tx));
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        if let ComputeBackend::Owned { task_tx, threads } = &mut self.backend {
+            // Closing the task channel lets worker threads drain and exit.
+            let (dead_tx, _) = unbounded();
+            drop(std::mem::replace(task_tx, dead_tx));
+            for t in threads.drain(..) {
+                let _ = t.join();
+            }
         }
+        // External backends: the shared pool outlives this evaluator and
+        // is joined by its own owner (the session manager).
     }
 }
 
@@ -483,6 +550,59 @@ mod tests {
         }
         assert_eq!(fates, vec![false, true]);
         assert_eq!(cancelled_seen.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn external_backend_matches_owned_pool() {
+        // The same submissions through a private pool and through an
+        // external compute channel must produce identical trajectories:
+        // the simulated cluster is evaluator-owned either way.
+        let run_owned = || -> Vec<(u64, u64, u64)> {
+            let mut ev = square_evaluator(3);
+            for i in 0..10u64 {
+                ev.submit_evaluation(i, ((i * 5) % 11 + 1) as f64);
+            }
+            drain(&mut ev)
+        };
+        let run_external = || -> Vec<(u64, u64, u64)> {
+            let (task_tx, task_rx) = unbounded::<(u64, u64, Arc<AtomicBool>)>();
+            let (result_tx, result_rx) = unbounded();
+            let pool = std::thread::spawn(move || {
+                while let Ok((id, x, _cancel)) = task_rx.recv() {
+                    if result_tx.send((id, Ok(x * x))).is_err() {
+                        break;
+                    }
+                }
+            });
+            let mut ev: Evaluator<u64, u64> = Evaluator::external(
+                3,
+                move |id, task, cancel| {
+                    let _ = task_tx.send((id, task, cancel));
+                },
+                result_rx,
+            );
+            for i in 0..10u64 {
+                ev.submit_evaluation(i, ((i * 5) % 11 + 1) as f64);
+            }
+            let out = drain(&mut ev);
+            drop(ev); // closes the task channel, letting the pool exit
+            pool.join().unwrap();
+            out
+        };
+        fn drain(ev: &mut Evaluator<u64, u64>) -> Vec<(u64, u64, u64)> {
+            let mut out = Vec::new();
+            loop {
+                let finished = ev.get_finished_evaluations();
+                if finished.is_empty() {
+                    break;
+                }
+                for f in finished {
+                    out.push((f.id, f.outcome.ok().unwrap(), f.finished_at.to_bits()));
+                }
+            }
+            out
+        }
+        assert_eq!(run_owned(), run_external());
     }
 
     #[test]

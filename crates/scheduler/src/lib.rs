@@ -24,6 +24,8 @@ pub mod fault;
 pub mod pool;
 
 pub use des::{EvalFate, Placement, SimQueue, SubmitOpts};
-pub use evaluator::{EvalOutcome, Evaluator, Finished};
+pub use evaluator::{
+    result_channel, EvalOutcome, Evaluator, Finished, ResultReceiver, ResultSender,
+};
 pub use fault::FaultPlan;
 pub use pool::{ScratchGuard, ScratchPool};

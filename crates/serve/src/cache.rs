@@ -1,0 +1,391 @@
+//! The shared cross-session memo-cache: identical configurations
+//! evaluated by different sessions are paid for once.
+
+use agebo_core::EvalTask;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Condvar;
+
+/// Cache key: the context fingerprint (dataset, size profile, context
+/// seed) plus the full evaluation content. The content-derived task seed
+/// already hashes (search seed, architecture, applied hp), but the
+/// architecture and hp are kept verbatim so a 64-bit hash collision can
+/// never serve the wrong objective.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    fingerprint: u64,
+    content_seed: u64,
+    arch: agebo_searchspace::ArchVector,
+    bs1: usize,
+    lr1_bits: u32,
+    n: usize,
+}
+
+impl CacheKey {
+    pub(crate) fn of(fingerprint: u64, task: &EvalTask) -> CacheKey {
+        CacheKey {
+            fingerprint,
+            content_seed: task.seed,
+            arch: task.arch.clone(),
+            bs1: task.hp.bs1,
+            lr1_bits: task.hp.lr1.to_bits(),
+            n: task.hp.n,
+        }
+    }
+}
+
+/// Hit/miss/evict counters of a [`SharedMemoCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to real compute.
+    pub misses: u64,
+    /// Lookups served by waiting for another slot's in-flight computation
+    /// of the same key (single-flight coalescing) instead of recomputing.
+    pub coalesced: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Capacity bound.
+    pub capacity: usize,
+}
+
+struct Entry {
+    key: CacheKey,
+    value: f64,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// Intrusive doubly-linked LRU list over a slab, with a `HashMap` index:
+/// `get`, `insert` and eviction are all O(1).
+struct Lru {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl Lru {
+    fn new() -> Lru {
+        Lru { map: HashMap::new(), slab: Vec::new(), free: Vec::new(), head: NIL, tail: NIL }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+        self.slab[i].prev = NIL;
+        self.slab[i].next = NIL;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<f64> {
+        let i = *self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.slab[i].value)
+    }
+
+    /// Inserts (or refreshes) an entry; returns true when an eviction was
+    /// needed to stay within `capacity`.
+    fn insert(&mut self, key: CacheKey, value: f64, capacity: usize) -> bool {
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return false;
+        }
+        if self.map.len() >= capacity {
+            // Full: recycle the least-recently-used slot in place.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old = std::mem::replace(&mut self.slab[victim].key, key.clone());
+            self.map.remove(&old);
+            self.slab[victim].value = value;
+            self.map.insert(key, victim);
+            self.push_front(victim);
+            return true;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Entry { key: key.clone(), value, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.slab.push(Entry { key: key.clone(), value, prev: NIL, next: NIL });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A capacity-bounded, thread-safe memo-cache mapping evaluation content
+/// to its objective, shared by every session of a [`crate::SessionManager`].
+///
+/// Soundness rests on content-derived seeds: two evaluations with the
+/// same key would train bit-identically, so serving the stored
+/// objective is exact — it changes *which thread paid* for the result,
+/// never the result. Simulated durations are charged by each session's
+/// own clock regardless, so cache hits do not perturb trajectories.
+/// Duplicate work submitted *concurrently* is also paid for once: a slot
+/// that claims a key registers it as in flight, and any other slot
+/// reaching the same key blocks until the first computation lands
+/// (single-flight coalescing), then reads the stored value instead of
+/// recomputing it.
+pub struct SharedMemoCache {
+    inner: Mutex<Lru>,
+    /// Keys some slot is currently computing (std mutex: the waiters
+    /// park on `flight_done`, which needs `std::sync::Condvar`).
+    in_flight: std::sync::Mutex<HashSet<CacheKey>>,
+    flight_done: Condvar,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SharedMemoCache {
+    /// A cache holding at most `capacity` entries (0 disables storage;
+    /// lookups then always miss).
+    pub fn new(capacity: usize) -> SharedMemoCache {
+        SharedMemoCache {
+            inner: Mutex::new(Lru::new()),
+            in_flight: std::sync::Mutex::new(HashSet::new()),
+            flight_done: Condvar::new(),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the memoized value for `key`, or claims the key for the
+    /// calling slot (returning `None`, after which the slot must compute
+    /// and call [`SharedMemoCache::complete`]). When another slot is
+    /// already computing the same key, blocks until that computation
+    /// lands and serves its value — so N concurrent identical requests
+    /// cost one training, not N.
+    ///
+    /// Never deadlocks: a wait is only entered while some *other* slot
+    /// holds the claim, and every claim ends in `complete` (which
+    /// notifies); a claim whose computation was cancelled completes with
+    /// no value, and the woken waiter simply claims and computes itself.
+    pub(crate) fn get_or_claim(&self, key: &CacheKey) -> Option<f64> {
+        let mut waited = false;
+        loop {
+            if let Some(v) = self.inner.lock().get(key) {
+                if waited {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(v);
+            }
+            let mut fl = self.in_flight.lock().unwrap();
+            // Re-check under the flight lock: the computing slot inserts
+            // into the cache *before* clearing its claim, so a key absent
+            // from both is genuinely ours to compute.
+            if let Some(v) = self.inner.lock().get(key) {
+                drop(fl);
+                if waited {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(v);
+            }
+            if fl.insert(key.clone()) {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            fl = self.flight_done.wait(fl).unwrap();
+            drop(fl);
+            waited = true;
+        }
+    }
+
+    /// Ends a claim made by [`SharedMemoCache::get_or_claim`]: stores the
+    /// value (if the computation produced a cacheable one) and wakes any
+    /// slots waiting on the key.
+    pub(crate) fn complete(&self, key: &CacheKey, value: Option<f64>) {
+        if let Some(v) = value {
+            self.insert(key.clone(), v);
+        }
+        self.in_flight.lock().unwrap().remove(key);
+        self.flight_done.notify_all();
+    }
+
+    /// Plain non-claiming lookup; the pool path uses
+    /// [`SharedMemoCache::get_or_claim`], this remains for tests.
+    #[cfg(test)]
+    pub(crate) fn get(&self, key: &CacheKey) -> Option<f64> {
+        let hit = self.inner.lock().get(key);
+        match hit {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    pub(crate) fn insert(&self, key: CacheKey, value: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.inner.lock().insert(key, value, self.capacity) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.inner.lock().len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agebo_dataparallel::DataParallelHp;
+    use agebo_searchspace::ArchVector;
+
+    fn task(seed: u64, arch: Vec<u16>) -> EvalTask {
+        EvalTask {
+            arch: ArchVector(arch),
+            hp: DataParallelHp { lr1: 0.01, bs1: 256, n: 1 },
+            seed,
+            attempt: 0,
+            cached: None,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_and_counts() {
+        let cache = SharedMemoCache::new(2);
+        let (a, b, c) = (
+            CacheKey::of(1, &task(10, vec![1])),
+            CacheKey::of(1, &task(11, vec![2])),
+            CacheKey::of(1, &task(12, vec![3])),
+        );
+        cache.insert(a.clone(), 0.1);
+        cache.insert(b.clone(), 0.2);
+        assert_eq!(cache.get(&a), Some(0.1)); // refresh a: b is now LRU
+        cache.insert(c.clone(), 0.3); // evicts b
+        assert_eq!(cache.get(&b), None);
+        assert_eq!(cache.get(&a), Some(0.1));
+        assert_eq!(cache.get(&c), Some(0.3));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len), (3, 1, 1, 2));
+    }
+
+    #[test]
+    fn fingerprint_isolates_contexts() {
+        // Same content under different dataset/profile fingerprints must
+        // never alias.
+        let cache = SharedMemoCache::new(8);
+        cache.insert(CacheKey::of(100, &task(7, vec![4])), 0.9);
+        assert_eq!(cache.get(&CacheKey::of(200, &task(7, vec![4]))), None);
+        assert_eq!(cache.get(&CacheKey::of(100, &task(7, vec![4]))), Some(0.9));
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = SharedMemoCache::new(0);
+        let k = CacheKey::of(1, &task(1, vec![1]));
+        cache.insert(k.clone(), 0.5);
+        assert_eq!(cache.get(&k), None);
+        assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_identical_work() {
+        use std::sync::Arc;
+        let cache = Arc::new(SharedMemoCache::new(8));
+        let key = CacheKey::of(1, &task(1, vec![1]));
+        // This thread claims the key; a second requester must not claim
+        // it again, and must observe the completed value.
+        assert_eq!(cache.get_or_claim(&key), None);
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let key = key.clone();
+            std::thread::spawn(move || cache.get_or_claim(&key))
+        };
+        // Give the waiter a moment to park on the in-flight key (if it
+        // has not arrived yet it will see a plain hit instead — both are
+        // valid interleavings; the assertions below accept either).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.complete(&key, Some(0.5));
+        assert_eq!(waiter.join().unwrap(), Some(0.5));
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "the key must be claimed exactly once: {s:?}");
+        assert_eq!(s.coalesced + s.hits, 1, "{s:?}");
+    }
+
+    #[test]
+    fn cancelled_claim_hands_the_key_to_the_next_requester() {
+        let cache = SharedMemoCache::new(8);
+        let key = CacheKey::of(1, &task(2, vec![2]));
+        assert_eq!(cache.get_or_claim(&key), None);
+        // The computation was cancelled: nothing lands in the cache, and
+        // the key becomes claimable again instead of wedging waiters.
+        cache.complete(&key, None);
+        assert_eq!(cache.get_or_claim(&key), None);
+        cache.complete(&key, Some(0.9));
+        assert_eq!(cache.get_or_claim(&key), Some(0.9));
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_without_eviction() {
+        let cache = SharedMemoCache::new(2);
+        let k = CacheKey::of(1, &task(1, vec![1]));
+        cache.insert(k.clone(), 0.5);
+        cache.insert(k.clone(), 0.7);
+        assert_eq!(cache.get(&k), Some(0.7));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().len, 1);
+    }
+}

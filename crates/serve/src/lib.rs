@@ -1,0 +1,57 @@
+//! Multi-search serving: many concurrent AgEBO sessions over one shared
+//! compute pool.
+//!
+//! The paper's manager drives exactly one search per process. This crate
+//! multiplexes M independent searches ("sessions") over N compute slots:
+//!
+//! * [`SessionManager`] owns the slots, a deficit-round-robin fair
+//!   scheduler ([`Drr`]) and one capacity-bounded [`SharedMemoCache`]
+//!   with single-flight coalescing — identical evaluations requested by
+//!   different sessions, even concurrently, are trained once;
+//! * each admitted session runs the *unmodified* core search loop on its
+//!   own thread, with its own simulated cluster, BO state and telemetry —
+//!   only the real trainings are delegated to the shared pool (see
+//!   [`agebo_core::run_search_served`]);
+//! * per-tenant budgets (max in-flight slots, total evaluation
+//!   allowance, wall-clock deadline, bounded pending queue) are enforced
+//!   at dispatch and admission time; an over-budget submission gets an
+//!   explicit [`Admission::Rejected`] instead of unbounded growth.
+//!
+//! Determinism: a session's trajectory is decided entirely by its own
+//! simulated clock, which never observes shared-pool timing — so one
+//! session served here is bitwise identical (history *and* telemetry
+//! event stream) to the same search run standalone, and an M-session run
+//! is reproducible for fixed seeds regardless of slot interleaving.
+//!
+//! ```no_run
+//! use agebo_core::{SearchConfig, Variant};
+//! use agebo_serve::{ServeOptions, SessionManager, SessionSpec, TenantBudget};
+//! use agebo_tabular::{DatasetKind, SizeProfile};
+//!
+//! let manager = SessionManager::new(ServeOptions { slots: 4, cache_capacity: 4096 });
+//! manager.register_tenant("acme", TenantBudget::default());
+//! let spec = SessionSpec::new(
+//!     "s0",
+//!     "acme",
+//!     DatasetKind::Covertype,
+//!     SizeProfile::Test,
+//!     SearchConfig::test(Variant::agebo()).with_seed(7),
+//! );
+//! let handle = manager.submit(spec).expect_accepted();
+//! let report = handle.join();
+//! println!("{}: {} evals ({})", report.name, report.history.len(), report.stop.label());
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod drr;
+pub mod pool;
+pub mod session;
+
+pub use cache::{CacheStats, SharedMemoCache};
+pub use config::{ServeConfig, SessionDecl, TenantDecl};
+pub use drr::Drr;
+pub use session::{
+    Admission, ServeOptions, SessionHandle, SessionManager, SessionReport, SessionSpec,
+    SessionTelemetry, TenantBudget,
+};

@@ -1,0 +1,272 @@
+//! The shared compute pool: N slot threads serving every session's real
+//! trainings, dispatched fairly by [`Drr`] and memoized through the
+//! [`SharedMemoCache`].
+
+use crate::cache::{CacheKey, SharedMemoCache};
+use crate::drr::Drr;
+use agebo_core::{evaluate_pooled, injected_fault, EvalContext, EvalScratch, EvalTask, TaskOutput};
+use agebo_dataparallel::TrainerTelemetry;
+use agebo_scheduler::ResultSender;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One evaluation waiting for (or holding) a compute slot.
+pub(crate) struct WorkItem {
+    pub eval_id: u64,
+    pub task: EvalTask,
+    pub cancel: Arc<AtomicBool>,
+}
+
+/// The per-session constants a slot needs to execute that session's
+/// work: cloned out of the lane at pick time so compute runs without the
+/// pool lock.
+#[derive(Clone)]
+pub(crate) struct LaneExec {
+    pub ctx: Arc<EvalContext>,
+    pub failure_rate: f64,
+    pub fingerprint: u64,
+    pub tt: TrainerTelemetry,
+    pub result_tx: ResultSender<TaskOutput>,
+    pub tenant: String,
+}
+
+/// A session's lane in the shared pool.
+pub(crate) struct Lane {
+    pub exec: LaneExec,
+    pub pending: VecDeque<WorkItem>,
+    /// Cancel flags of items already handed to a slot; flipped wholesale
+    /// when the session is removed so in-flight trainings of a dead
+    /// session abort at their next step boundary.
+    pub dispatched: Vec<Arc<AtomicBool>>,
+}
+
+/// Per-tenant dispatch state: the budget bounds enforced at the pool.
+pub(crate) struct TenantDispatch {
+    pub in_flight: usize,
+    pub max_in_flight: usize,
+    pub pending: usize,
+    pub max_pending: usize,
+}
+
+pub(crate) struct PoolState {
+    pub lanes: HashMap<u64, Lane>,
+    pub tenants: HashMap<String, TenantDispatch>,
+    pub drr: Drr,
+    pub shutdown: bool,
+}
+
+impl PoolState {
+    /// The DRR dispatch decision plus the bookkeeping it implies.
+    fn pick(&mut self) -> Option<(LaneExec, WorkItem)> {
+        let lanes = &self.lanes;
+        let tenants = &self.tenants;
+        let picked = self.drr.pick(
+            |id| lanes.get(&id).map_or(0, |l| l.pending.len()),
+            |id| {
+                lanes.get(&id).is_some_and(|l| {
+                    tenants
+                        .get(&l.exec.tenant)
+                        .is_none_or(|t| t.in_flight < t.max_in_flight)
+                })
+            },
+        )?;
+        let lane = self.lanes.get_mut(&picked).expect("picked lane exists");
+        let item = lane.pending.pop_front().expect("picked lane backlogged");
+        lane.dispatched.push(Arc::clone(&item.cancel));
+        let exec = lane.exec.clone();
+        if let Some(t) = self.tenants.get_mut(&exec.tenant) {
+            t.in_flight += 1;
+            t.pending -= 1;
+        }
+        Some((exec, item))
+    }
+}
+
+/// N compute slots multiplexed over M session lanes.
+///
+/// Each slot thread owns one [`EvalScratch`], so the pool's steady state
+/// allocates no training buffers regardless of how many sessions come
+/// and go — the serving-layer analogue of the search's scratch pool.
+pub(crate) struct SharedPool {
+    state: Mutex<PoolState>,
+    /// Signals slots: work arrived, capacity freed, or shutdown.
+    work: Condvar,
+    /// Signals submitters: a tenant's pending queue drained below bound.
+    space: Condvar,
+    pub cache: Arc<SharedMemoCache>,
+    slots: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl SharedPool {
+    pub fn new(n_slots: usize, cache: Arc<SharedMemoCache>) -> Arc<SharedPool> {
+        assert!(n_slots > 0, "pool needs at least one slot");
+        let pool = Arc::new(SharedPool {
+            state: Mutex::new(PoolState {
+                lanes: HashMap::new(),
+                tenants: HashMap::new(),
+                drr: Drr::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            cache,
+            slots: Mutex::new(Vec::new()),
+        });
+        let mut slots = pool.slots.lock().unwrap();
+        for _ in 0..n_slots {
+            let pool = Arc::clone(&pool);
+            slots.push(std::thread::spawn(move || pool.slot_loop()));
+        }
+        drop(slots);
+        pool
+    }
+
+    /// Registers a tenant's dispatch bounds (idempotent per name).
+    pub fn register_tenant(&self, name: &str, max_in_flight: usize, max_pending: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.tenants.entry(name.to_string()).or_insert(TenantDispatch {
+            in_flight: 0,
+            max_in_flight,
+            pending: 0,
+            max_pending,
+        });
+    }
+
+    /// Adds a session lane with DRR weight `weight`.
+    pub fn add_session(&self, id: u64, weight: f64, exec: LaneExec) {
+        let mut st = self.state.lock().unwrap();
+        st.drr.add_lane(id, weight);
+        st.lanes.insert(id, Lane { exec, pending: VecDeque::new(), dispatched: Vec::new() });
+    }
+
+    /// Removes a session lane: queued work is discarded, and in-flight
+    /// work is cancelled so it stops at its next step boundary (its
+    /// result is sent nowhere — the session's receiver is gone).
+    pub fn remove_session(&self, id: u64) {
+        let mut st = self.state.lock().unwrap();
+        st.drr.remove_lane(id);
+        if let Some(lane) = st.lanes.remove(&id) {
+            let tenant = lane.exec.tenant.clone();
+            if let Some(t) = st.tenants.get_mut(&tenant) {
+                t.pending -= lane.pending.len();
+            }
+            for flag in &lane.dispatched {
+                flag.store(true, Ordering::Relaxed);
+            }
+        }
+        drop(st);
+        self.space.notify_all();
+    }
+
+    /// Enqueues one evaluation for session `id`, blocking while the
+    /// owning tenant's pending queue is at its bound (backpressure: the
+    /// session thread stalls instead of the queue growing without limit).
+    pub fn enqueue(&self, id: u64, item: WorkItem) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.shutdown {
+                return; // result will never come; session is being torn down
+            }
+            let Some(lane) = st.lanes.get(&id) else { return };
+            let tenant = lane.exec.tenant.clone();
+            match st.tenants.get(&tenant) {
+                Some(t) if t.pending >= t.max_pending => st = self.space.wait(st).unwrap(),
+                _ => break,
+            }
+        }
+        let Some(lane) = st.lanes.get_mut(&id) else { return };
+        let tenant = lane.exec.tenant.clone();
+        lane.pending.push_back(item);
+        if let Some(t) = st.tenants.get_mut(&tenant) {
+            t.pending += 1;
+        }
+        drop(st);
+        self.work.notify_one();
+    }
+
+    /// Stops the slot threads after their current items; called once by
+    /// the manager's drop. Sessions must be joined first.
+    pub fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.work.notify_all();
+        self.space.notify_all();
+        let mut slots = self.slots.lock().unwrap();
+        for handle in slots.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn slot_loop(&self) {
+        let mut scratch = EvalScratch::new();
+        loop {
+            let (exec, item) = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if let Some(pick) = st.pick() {
+                        break pick;
+                    }
+                    st = self.work.wait(st).unwrap();
+                }
+            };
+            let output = execute(&self.cache, &exec, &item, &mut scratch);
+            // A send error means the session already tore down; the
+            // result dies with it.
+            let _ = exec.result_tx.send((item.eval_id, Ok(output)));
+            {
+                let mut st = self.state.lock().unwrap();
+                if let Some(t) = st.tenants.get_mut(&exec.tenant) {
+                    t.in_flight -= 1;
+                }
+            }
+            // In-flight capacity freed: other slots may now dispatch this
+            // tenant, and submitters may have been waiting on space.
+            self.work.notify_all();
+            self.space.notify_all();
+        }
+    }
+}
+
+/// One evaluation on a shared slot. The decision order replicates
+/// [`agebo_core::evaluate_task_pooled`] exactly — injected-fault draw
+/// first, then the session's own memo verdict, and only then the shared
+/// cache — so a session served here faults, caches and diverges on
+/// precisely the same evaluations as a standalone search. The shared
+/// cache can only substitute a bit-identical objective (content-derived
+/// seeds) for a training that would otherwise run, which changes *who
+/// pays* for the result, never the result.
+fn execute(
+    cache: &SharedMemoCache,
+    exec: &LaneExec,
+    item: &WorkItem,
+    scratch: &mut EvalScratch,
+) -> TaskOutput {
+    if injected_fault(&item.task, exec.failure_rate) {
+        return TaskOutput::Faulted;
+    }
+    if let Some(objective) = item.task.cached {
+        return TaskOutput::Objective(objective);
+    }
+    let key = CacheKey::of(exec.fingerprint, &item.task);
+    // Memoized or in flight on another slot: either way this slot does
+    // not retrain. `None` means we claimed the key and owe a `complete`.
+    if let Some(objective) = cache.get_or_claim(&key) {
+        return TaskOutput::Objective(objective);
+    }
+    let objective =
+        evaluate_pooled(&exec.ctx, &item.task, &exec.tt, scratch, Some(&item.cancel));
+    // A cancelled training returns a partial result the manager will
+    // discard — it must never poison the shared cache; completing with
+    // no value hands the key to any coalesced waiter to compute itself.
+    let cacheable = objective.is_finite() && !item.cancel.load(Ordering::Relaxed);
+    cache.complete(&key, cacheable.then_some(objective));
+    if objective.is_finite() {
+        TaskOutput::Objective(objective)
+    } else {
+        TaskOutput::Diverged
+    }
+}

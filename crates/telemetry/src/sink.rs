@@ -1,17 +1,77 @@
 //! The [`Telemetry`] handle: a metrics registry plus an event sink.
 
 use crate::events::{Envelope, RunEvent};
-use crate::metrics::Registry;
+use crate::metrics::{Counter, Registry};
 use parking_lot::Mutex;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// File name of the event log inside a telemetry directory.
 pub const EVENTS_FILE: &str = "events.jsonl";
 /// File name of the metrics snapshot inside a telemetry directory.
 pub const METRICS_FILE: &str = "metrics.json";
+
+/// Capacity of the bounded queue between emitters and the writer thread.
+/// When the writer falls this far behind, further events are *dropped*
+/// (counted in `telemetry_dropped_events_total`) rather than stalling the
+/// manager loop on disk I/O.
+const WRITER_QUEUE_CAP: usize = 8192;
+
+enum WriterMsg {
+    Line(String),
+    /// Flush the file and acknowledge on the carried channel.
+    Flush(SyncSender<()>),
+    /// Flush, then exit the writer thread.
+    Shutdown,
+}
+
+/// A file-backed sink: serialization happens on the emitting thread, but
+/// disk I/O happens on a dedicated writer thread behind a bounded queue.
+pub struct FileSink {
+    tx: SyncSender<WriterMsg>,
+    writer: Mutex<Option<JoinHandle<()>>>,
+    dropped: Arc<Counter>,
+}
+
+impl FileSink {
+    fn spawn(file: File, dropped: Arc<Counter>) -> FileSink {
+        let (tx, rx): (SyncSender<WriterMsg>, Receiver<WriterMsg>) =
+            sync_channel(WRITER_QUEUE_CAP);
+        let writer = std::thread::spawn(move || {
+            let mut w = BufWriter::new(file);
+            loop {
+                match rx.recv() {
+                    Ok(WriterMsg::Line(line)) => {
+                        let _ = writeln!(w, "{line}");
+                    }
+                    Ok(WriterMsg::Flush(ack)) => {
+                        let _ = w.flush();
+                        let _ = ack.send(());
+                    }
+                    Ok(WriterMsg::Shutdown) | Err(_) => {
+                        let _ = w.flush();
+                        break;
+                    }
+                }
+            }
+        });
+        FileSink { tx, writer: Mutex::new(Some(writer)), dropped }
+    }
+
+    /// Blocks until every line queued so far is on disk.
+    fn flush_blocking(&self) {
+        let (ack_tx, ack_rx) = sync_channel(1);
+        // A blocking send: flush must not be droppable under backpressure.
+        if self.tx.send(WriterMsg::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+}
 
 /// Where emitted events go.
 pub enum EventSink {
@@ -19,8 +79,8 @@ pub enum EventSink {
     Noop,
     /// Events accumulate in memory as JSONL (tests, `report` internals).
     Memory(Mutex<String>),
-    /// Events stream to `<dir>/events.jsonl`.
-    File(Mutex<BufWriter<File>>),
+    /// Events stream to `<dir>/events.jsonl` via the writer thread.
+    File(FileSink),
 }
 
 /// One run's observability handle: a lock-free metrics [`Registry`] and
@@ -67,9 +127,11 @@ impl Telemetry {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let file = File::create(dir.join(EVENTS_FILE))?;
+        let registry = Registry::new();
+        let dropped = registry.counter("telemetry_dropped_events_total");
         Ok(Telemetry {
-            registry: Registry::new(),
-            sink: EventSink::File(Mutex::new(BufWriter::new(file))),
+            registry,
+            sink: EventSink::File(FileSink::spawn(file, dropped)),
             seq: AtomicU64::new(0),
             dir: Some(dir),
         })
@@ -110,9 +172,13 @@ impl Telemetry {
                 buf.push_str(&line);
                 buf.push('\n');
             }
-            EventSink::File(w) => {
-                let mut w = w.lock();
-                let _ = writeln!(w, "{line}");
+            EventSink::File(f) => {
+                // Nonblocking hand-off to the writer thread: a full queue
+                // means the disk cannot keep up, and the event is shed
+                // rather than stalling the emitter.
+                if f.tx.try_send(WriterMsg::Line(line)).is_err() {
+                    f.dropped.inc();
+                }
             }
         }
     }
@@ -133,14 +199,29 @@ impl Telemetry {
     /// Flushes the event log and, when file-backed, writes the metrics
     /// snapshot to `<dir>/metrics.json`.
     pub fn flush(&self) -> std::io::Result<()> {
-        if let EventSink::File(w) = &self.sink {
-            w.lock().flush()?;
+        if let EventSink::File(f) = &self.sink {
+            f.flush_blocking();
         }
         if let Some(dir) = &self.dir {
             let snap = self.registry.snapshot();
             std::fs::write(dir.join(METRICS_FILE), snap.to_json().to_string_pretty())?;
         }
         Ok(())
+    }
+}
+
+impl Drop for Telemetry {
+    /// Flush-on-drop: the writer thread drains its queue and flushes the
+    /// file before the handle disappears, so a run that never calls
+    /// [`Telemetry::flush`] still leaves a complete `events.jsonl` —
+    /// the golden-stream tests depend on it.
+    fn drop(&mut self) {
+        if let EventSink::File(f) = &self.sink {
+            let _ = f.tx.send(WriterMsg::Shutdown);
+            if let Some(handle) = f.writer.lock().take() {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
@@ -196,5 +277,51 @@ mod tests {
         tel2.emit(RunEvent::EvalFault { id: 1, sim: 3.0 });
         assert_eq!(mask_wall_clock(&events), mask_wall_clock(&tel2.events_jsonl().unwrap()));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writer_thread_flushes_on_drop() {
+        let dir = std::env::temp_dir().join("agebo_tel_writer_drop_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let tel = Telemetry::to_dir(&dir).unwrap();
+        for i in 0..100 {
+            tel.emit(RunEvent::BoAsk { sim: i as f64, n_points: 1 });
+        }
+        // No explicit flush: dropping the handle must drain the queue.
+        drop(tel);
+        let events = std::fs::read_to_string(dir.join(EVENTS_FILE)).unwrap();
+        assert_eq!(events.lines().count(), 100);
+        assert!(events.contains("\"seq\":99"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_writer_queue_sheds_events_and_counts_them() {
+        // A sink whose queue holds one message and whose writer never
+        // drains it: the second and third emits must be shed, counted,
+        // and must not block.
+        let registry = Registry::new();
+        let dropped = registry.counter("telemetry_dropped_events_total");
+        let (tx, rx) = sync_channel(1);
+        let tel = Telemetry {
+            registry,
+            sink: EventSink::File(FileSink {
+                tx,
+                writer: Mutex::new(None),
+                dropped: Arc::clone(&dropped),
+            }),
+            seq: AtomicU64::new(0),
+            dir: None,
+        };
+        tel.emit(RunEvent::BoAsk { sim: 0.0, n_points: 1 });
+        tel.emit(RunEvent::BoAsk { sim: 1.0, n_points: 1 });
+        tel.emit(RunEvent::BoAsk { sim: 2.0, n_points: 1 });
+        assert_eq!(dropped.get(), 2);
+        // Sequence numbers still advance for shed events: the stream
+        // records *that* something was lost, not silent renumbering.
+        assert_eq!(tel.n_events(), 3);
+        // Disconnect the queue before Drop so its Shutdown send returns
+        // instead of waiting on a writer that does not exist.
+        drop(rx);
     }
 }
