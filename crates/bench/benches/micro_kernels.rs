@@ -86,5 +86,82 @@ fn bench_allreduce(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_forward_backward, bench_adam, bench_allreduce);
+/// The dispatched training-step kernel suite beyond GEMM: fused
+/// softmax/CE forward and backward, the fused Adam kernels, the
+/// elementwise activations, and the micro-batch row gather. Scalar twins
+/// are covered by `bench_kernels` (which writes `BENCH_kernels.json`);
+/// this group tracks the dispatched arm's absolute cost over time.
+fn bench_kernels(c: &mut Criterion) {
+    use agebo_nn::loss;
+    use agebo_tensor::simd;
+
+    let mut group = c.benchmark_group("kernels");
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let logits = Matrix::he_normal(256, 7, &mut rng);
+    let y: Vec<usize> = (0..256).map(|i| i % 7).collect();
+    group.bench_function("softmax_ce_fwd_256x7", |bench| {
+        bench.iter(|| black_box(loss::softmax_cross_entropy(black_box(&logits), &y)))
+    });
+    let mut grad = Matrix::default();
+    group.bench_function("softmax_ce_bwd_256x7", |bench| {
+        bench.iter(|| {
+            black_box(loss::softmax_cross_entropy_backward_into(
+                black_box(&logits),
+                &y,
+                &mut grad,
+            ))
+        })
+    });
+
+    let n = 54 * 96;
+    let g = Matrix::he_normal(54, 96, &mut rng);
+    let p = simd::AdamParams {
+        beta1: 0.9,
+        beta2: 0.999,
+        inv_bc1: 1.0 / (1.0 - 0.9f32.powi(5)),
+        inv_bc2: 1.0 / (1.0 - 0.999f32.powi(5)),
+        eps: 1e-8,
+        lr: 0.01,
+        weight_decay: 1e-4,
+    };
+    let (mut w, mut m, mut v) = (vec![0.1f32; n], vec![0.0f32; n], vec![0.01f32; n]);
+    group.bench_function("adam_weights_54x96", |bench| {
+        bench.iter(|| {
+            simd::adam_update_weights(
+                black_box(&mut w),
+                &mut m,
+                &mut v,
+                black_box(g.as_slice()),
+                &p,
+            )
+        })
+    });
+
+    let src = Matrix::he_normal(256, 96, &mut rng);
+    let mut dst = vec![0.0f32; src.len()];
+    group.bench_function("swish_256x96", |bench| {
+        bench.iter(|| simd::swish(black_box(src.as_slice()), &mut dst))
+    });
+
+    let pool = Matrix::he_normal(4096, 54, &mut rng);
+    let indices: Vec<usize> = (0..256).map(|i| (i * 1031) % 4096).collect();
+    let mut out = Matrix::default();
+    group.bench_function("gather_rows_256x54", |bench| {
+        bench.iter(|| {
+            pool.gather_rows_into(black_box(&indices), &mut out);
+            black_box(&out);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_forward_backward,
+    bench_adam,
+    bench_allreduce,
+    bench_kernels
+);
 criterion_main!(benches);

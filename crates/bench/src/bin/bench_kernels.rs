@@ -1,0 +1,225 @@
+//! Measures the runtime-dispatched training-step kernels against their
+//! scalar twins and writes `BENCH_kernels.json`.
+//!
+//! Covers the four kernel families the SIMD dispatch layer added beyond
+//! GEMM: fused softmax + cross-entropy (forward and backward), the Adam
+//! update, elementwise activations, and the micro-batch row gather. Each
+//! kernel runs at 2–3 representative shapes (Covertype-sized logits and
+//! layers). Both arms are bitwise identical by construction — asserted
+//! here before timing — so the ratio measures pure kernel speed, not a
+//! numerics change. `--quick` shrinks repetition counts for CI smoke
+//! runs.
+
+use agebo_nn::loss;
+use agebo_tensor::{simd, Matrix};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Deterministic pseudo-random fill in roughly `[-span, span]`
+/// (SplitMix64 under the hood), so both arms see identical inputs.
+fn noise(n: usize, seed: u64, span: f32) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 40) as f32) / (16_777_216.0 / (2.0 * span)) - span
+        })
+        .collect()
+}
+
+/// Best-of-`rounds` nanoseconds per call of `f`, each round timing
+/// `iters` back-to-back calls.
+fn time_ns(rounds: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    best
+}
+
+struct Entry {
+    kernel: &'static str,
+    shape: String,
+    scalar_ns: f64,
+    dispatched_ns: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 3 } else { 7 };
+    let scale = if quick { 1 } else { 4 };
+    let mut entries: Vec<Entry> = Vec::new();
+    println!("simd dispatch: {}", simd::isa_name());
+
+    // --- fused softmax + cross-entropy, forward and backward ------------
+    // Covertype logits (7 classes) at two batch sizes, plus a wide
+    // 64-class shape where the row kernels dominate the reductions.
+    for &(rows, cols) in &[(256usize, 7usize), (1024, 7), (256, 64)] {
+        let logits = Matrix::from_vec(rows, cols, noise(rows * cols, 0xA0 + rows as u64, 10.0));
+        let y: Vec<usize> = (0..rows).map(|r| (r * 5 + 3) % cols).collect();
+
+        let (ld, pd) = loss::softmax_cross_entropy(&logits, &y);
+        let (ls, ps) = loss::softmax_cross_entropy_scalar(&logits, &y);
+        assert_eq!(ld.to_bits(), ls.to_bits(), "loss arms diverged at {rows}x{cols}");
+        for (a, b) in pd.as_slice().iter().zip(ps.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "prob arms diverged at {rows}x{cols}");
+        }
+
+        let iters = scale * 2_000_000 / (rows * cols).max(1);
+        entries.push(Entry {
+            kernel: "softmax_ce_fwd",
+            shape: format!("{rows}x{cols}"),
+            scalar_ns: time_ns(rounds, iters, || {
+                black_box(loss::softmax_cross_entropy_scalar(black_box(&logits), &y));
+            }),
+            dispatched_ns: time_ns(rounds, iters, || {
+                black_box(loss::softmax_cross_entropy(black_box(&logits), &y));
+            }),
+        });
+
+        let mut grad = Matrix::default();
+        entries.push(Entry {
+            kernel: "softmax_ce_bwd",
+            shape: format!("{rows}x{cols}"),
+            scalar_ns: time_ns(rounds, iters, || {
+                black_box(loss::softmax_cross_entropy_backward_into_scalar(
+                    black_box(&logits),
+                    &y,
+                    &mut grad,
+                ));
+            }),
+            dispatched_ns: time_ns(rounds, iters, || {
+                black_box(loss::softmax_cross_entropy_backward_into(
+                    black_box(&logits),
+                    &y,
+                    &mut grad,
+                ));
+            }),
+        });
+    }
+
+    // --- Adam update -----------------------------------------------------
+    // A 54->96 Covertype layer, a wide 96x96 stack, and a large slab.
+    for &n in &[54usize * 96, 96 * 96 * 4, 131_072] {
+        let g = noise(n, 0xB0 + n as u64, 2.0);
+        let p = simd::AdamParams {
+            beta1: 0.9,
+            beta2: 0.999,
+            inv_bc1: 1.0 / (1.0 - 0.9f32.powi(7)),
+            inv_bc2: 1.0 / (1.0 - 0.999f32.powi(7)),
+            eps: 1e-8,
+            lr: 0.01,
+            weight_decay: 1e-4,
+        };
+        let w0 = noise(n, 1, 1.0);
+        let m0 = noise(n, 2, 0.1);
+        let v0: Vec<f32> = noise(n, 3, 0.1).iter().map(|v| v.abs()).collect();
+
+        let (mut wa, mut ma, mut va) = (w0.clone(), m0.clone(), v0.clone());
+        let (mut wb, mut mb, mut vb) = (w0.clone(), m0.clone(), v0.clone());
+        simd::adam_update_weights(&mut wa, &mut ma, &mut va, &g, &p);
+        simd::adam_update_weights_scalar(&mut wb, &mut mb, &mut vb, &g, &p);
+        for (a, b) in wa.iter().zip(&wb) {
+            assert_eq!(a.to_bits(), b.to_bits(), "adam arms diverged at n={n}");
+        }
+
+        let iters = scale * 4_000_000 / n;
+        let (mut w, mut m, mut v) = (w0.clone(), m0.clone(), v0.clone());
+        let scalar_ns = time_ns(rounds, iters, || {
+            simd::adam_update_weights_scalar(
+                black_box(&mut w),
+                &mut m,
+                &mut v,
+                black_box(&g),
+                &p,
+            );
+        });
+        let (mut w, mut m, mut v) = (w0, m0, v0);
+        let dispatched_ns = time_ns(rounds, iters, || {
+            simd::adam_update_weights(black_box(&mut w), &mut m, &mut v, black_box(&g), &p);
+        });
+        entries.push(Entry { kernel: "adam_weights", shape: format!("{n}"), scalar_ns, dispatched_ns });
+    }
+
+    // --- activations ------------------------------------------------------
+    // One hidden-layer batch (256x96) and one tiny head batch (64x7).
+    for &n in &[256usize * 96, 64 * 7] {
+        let src = noise(n, 0xC0 + n as u64, 8.0);
+        let mut dst = vec![0.0f32; n];
+        let iters = scale * 4_000_000 / n;
+        for (name, dispatched, scalar) in [
+            ("relu", simd::relu as fn(&[f32], &mut [f32]), simd::relu_scalar as fn(&[f32], &mut [f32])),
+            ("sigmoid", simd::sigmoid, simd::sigmoid_scalar),
+            ("tanh", simd::tanh_act, simd::tanh_scalar),
+            ("swish", simd::swish, simd::swish_scalar),
+        ] {
+            let mut check = vec![0.0f32; n];
+            dispatched(&src, &mut dst);
+            scalar(&src, &mut check);
+            for (a, b) in dst.iter().zip(&check) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{name} arms diverged at n={n}");
+            }
+            entries.push(Entry {
+                kernel: name,
+                shape: format!("{n}"),
+                scalar_ns: time_ns(rounds, iters, || scalar(black_box(&src), &mut dst)),
+                dispatched_ns: time_ns(rounds, iters, || dispatched(black_box(&src), &mut dst)),
+            });
+        }
+    }
+
+    // --- micro-batch row gather ------------------------------------------
+    // 256-row draws from a Covertype-width (54) and a wide (256) matrix.
+    for &cols in &[54usize, 256] {
+        let src = Matrix::from_vec(4096, cols, noise(4096 * cols, 0xD0 + cols as u64, 50.0));
+        let indices: Vec<usize> = (0..256).map(|i| (i * 1031) % 4096).collect();
+        let mut out = Matrix::default();
+        src.gather_rows_into(&indices, &mut out);
+        let iters = scale * 1_000_000 / (indices.len() * cols);
+        let scalar_ns = time_ns(rounds, iters, || {
+            out.resize(indices.len(), cols);
+            for (dst, &s) in indices.iter().enumerate() {
+                simd::copy_slice_scalar(out.row_mut(dst), src.row(s));
+            }
+            black_box(&out);
+        });
+        let dispatched_ns = time_ns(rounds, iters, || {
+            src.gather_rows_into(black_box(&indices), &mut out);
+            black_box(&out);
+        });
+        entries.push(Entry {
+            kernel: "gather_rows",
+            shape: format!("256x{cols}"),
+            scalar_ns,
+            dispatched_ns,
+        });
+    }
+
+    let mut json_rows = Vec::new();
+    for e in &entries {
+        let speedup = e.scalar_ns / e.dispatched_ns.max(1e-9);
+        println!(
+            "{:<16} {:>10}: {:>10.1} ns -> {:>10.1} ns  ({speedup:.2}x)",
+            e.kernel, e.shape, e.scalar_ns, e.dispatched_ns
+        );
+        json_rows.push(format!(
+            "    {{\n      \"kernel\": \"{}\",\n      \"shape\": \"{}\",\n      \"scalar_ns\": {:.1},\n      \"dispatched_ns\": {:.1},\n      \"speedup\": {speedup:.3}\n    }}",
+            e.kernel, e.shape, e.scalar_ns, e.dispatched_ns
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"training_step_kernels\",\n  \"workload\": \"dispatched vs scalar-twin kernels: fused softmax/CE fwd+bwd, Adam update, activations, row gather; bitwise-equal arms asserted before timing\",\n  \"isa\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        simd::isa_name(),
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

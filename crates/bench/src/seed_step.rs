@@ -190,29 +190,36 @@ impl SeedMlp {
             }
         }
 
-        // Adam (seed arithmetic, biases undecayed).
+        // Adam (current nn arithmetic, biases undecayed): reciprocal
+        // bias corrections and the shared Newton-refined square root
+        // (`simd::rsqrt2_approx`), written out as a plain per-element
+        // loop. Kept in lockstep with `simd::adam_update_*` so the seed
+        // replay trains the identical trajectory.
         adam.t += 1;
         let (beta1, beta2, eps) = (0.9f32, 0.999f32, 1e-8f32);
-        let bc1 = 1.0 - beta1.powi(adam.t as i32);
-        let bc2 = 1.0 - beta2.powi(adam.t as i32);
+        let inv_bc1 = 1.0 / (1.0 - beta1.powi(adam.t as i32));
+        let inv_bc2 = 1.0 / (1.0 - beta2.powi(adam.t as i32));
+        let elem = |m: &mut f32, v: &mut f32, g: f32| {
+            *m = beta1 * *m + (1.0 - beta1) * g;
+            *v = beta2 * *v + (1.0 - beta2) * g * g;
+            let mhat = *m * inv_bc1;
+            let vhat = *v * inv_bc2;
+            lr * (mhat / (vhat * agebo_tensor::simd::rsqrt2_approx(vhat) + eps))
+        };
         for k in 0..self.w.len() {
             let m = adam.m_w[k].as_mut_slice();
             let v = adam.v_w[k].as_mut_slice();
             let g = gw[k].as_slice();
             let w = self.w[k].as_mut_slice();
             for i in 0..w.len() {
-                m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
-                v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
-                w[i] -= lr * ((m[i] / bc1) / ((v[i] / bc2).sqrt() + eps));
+                w[i] -= elem(&mut m[i], &mut v[i], g[i]);
             }
             let m = &mut adam.m_b[k];
             let v = &mut adam.v_b[k];
             let g = &gb[k];
             let b = &mut self.b[k];
             for i in 0..b.len() {
-                m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
-                v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
-                b[i] -= lr * ((m[i] / bc1) / ((v[i] / bc2).sqrt() + eps));
+                b[i] -= elem(&mut m[i], &mut v[i], g[i]);
             }
         }
         loss_val

@@ -86,6 +86,7 @@ fn report(history: &SearchHistory) {
 pub fn info() {
     let space = SearchSpace::paper(54, 7);
     println!("AgEBO-Tabular (SC'21) reproduction");
+    println!("simd dispatch: {}", agebo_tensor::simd::isa_name());
     println!(
         "architecture space: {} variables ({} layer nodes x {} choices + {} skips), ~10^{:.1} points",
         space.n_variables(),
@@ -102,12 +103,33 @@ pub fn info() {
     }
 }
 
-/// Opens the telemetry sink selected by `--telemetry` (or a no-op one).
+/// Opens the telemetry sink selected by `--telemetry` (or a no-op one),
+/// recording which SIMD dispatch arm this process runs on.
 fn telemetry_for(dir: &Option<String>) -> Result<Telemetry, CliError> {
-    Ok(match dir {
+    let tel = match dir {
         Some(dir) => Telemetry::to_dir(dir)?,
         None => Telemetry::disabled(),
-    })
+    };
+    record_isa_choice(&tel);
+    Ok(tel)
+}
+
+/// One-shot ISA telemetry: a gauge in the metrics snapshot (1.0 when the
+/// AVX2+FMA kernels are active, 0.0 on the scalar arm, e.g. under
+/// `AGEBO_FORCE_SCALAR=1`) plus a single stderr line per process.
+fn record_isa_choice(tel: &Telemetry) {
+    let name = agebo_tensor::simd::isa_name();
+    tel.registry()
+        .gauge("simd_isa_avx2_fma")
+        .set(if name == "avx2+fma" { 1.0 } else { 0.0 });
+    announce_isa();
+}
+
+/// Prints the dispatched ISA path to stderr, once per process.
+fn announce_isa() {
+    use std::sync::Once;
+    static ANNOUNCE: Once = Once::new();
+    ANNOUNCE.call_once(|| eprintln!("simd dispatch: {}", agebo_tensor::simd::isa_name()));
 }
 
 /// Flushes the sink and points the user at the artifacts.
@@ -248,6 +270,7 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
     let text = std::fs::read_to_string(&args.config)
         .map_err(|e| format!("cannot read {}: {e}", args.config))?;
     let config = ServeConfig::parse(&text)?;
+    announce_isa();
     let out_dir = std::path::Path::new(&args.out_dir);
     std::fs::create_dir_all(out_dir)?;
     let manager = SessionManager::new(ServeOptions {

@@ -5,6 +5,13 @@
 //! averaged (allreduce), and one Adam step is applied at the scaled
 //! learning rate `lr_n` (with the paper's 5-epoch warmup ramping from
 //! `lr₁` to `lr_n`, and reduce-on-plateau patience 5).
+//!
+//! Per-rank micro-batch gathers, forward/backward passes, and the
+//! post-allreduce Adam update all run through the runtime-dispatched
+//! kernel suite (`agebo_tensor::simd`). The elementwise kernels are
+//! bitwise identical across dispatch arms; GEMM keeps FMA on the wide
+//! arm, so on one machine the rank count is the only thing that changes
+//! a trajectory, and each arm replays the same seed bit-for-bit.
 
 use crate::scaling::DataParallelHp;
 use crate::shard::make_shards_into;

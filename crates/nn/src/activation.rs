@@ -1,6 +1,14 @@
 //! The paper's dense-layer activation menu:
 //! {Identity, Swish, ReLU, Tanh, Sigmoid} (§III-A).
+//!
+//! Scalar math goes through the shared polynomial
+//! [`exp`](agebo_tensor::simd::exp_approx) of the tensor crate's SIMD
+//! module — the same element rule the 8-lane kernels replicate — so the
+//! per-element [`Activation::forward`]/[`Activation::derivative`] and the
+//! batch [`Activation::forward_slice`]/[`Activation::deriv_mul_slice`]
+//! paths are bitwise identical, on either dispatch arm.
 
+use agebo_tensor::simd;
 use serde::{Deserialize, Serialize};
 
 /// Activation function of a dense layer.
@@ -17,11 +25,6 @@ pub enum Activation {
     Tanh,
     /// `f(x) = σ(x) = 1 / (1 + e⁻ˣ)`.
     Sigmoid,
-}
-
-#[inline]
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
 }
 
 impl Activation {
@@ -55,10 +58,16 @@ impl Activation {
     pub fn forward(self, x: f32) -> f32 {
         match self {
             Activation::Identity => x,
-            Activation::Swish => x * sigmoid(x),
-            Activation::Relu => x.max(0.0),
-            Activation::Tanh => x.tanh(),
-            Activation::Sigmoid => sigmoid(x),
+            Activation::Swish => x * simd::sigmoid_approx(x),
+            Activation::Relu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => simd::tanh_approx(x),
+            Activation::Sigmoid => simd::sigmoid_approx(x),
         }
     }
 
@@ -68,7 +77,7 @@ impl Activation {
         match self {
             Activation::Identity => 1.0,
             Activation::Swish => {
-                let s = sigmoid(x);
+                let s = simd::sigmoid_approx(x);
                 s + x * s * (1.0 - s)
             }
             Activation::Relu => {
@@ -79,13 +88,41 @@ impl Activation {
                 }
             }
             Activation::Tanh => {
-                let t = x.tanh();
+                let t = simd::tanh_approx(x);
                 1.0 - t * t
             }
             Activation::Sigmoid => {
-                let s = sigmoid(x);
+                let s = simd::sigmoid_approx(x);
                 s * (1.0 - s)
             }
+        }
+    }
+
+    /// Batch forward through the runtime-dispatched kernels:
+    /// `dst[i] = f(src[i])`. Bitwise identical to calling
+    /// [`Activation::forward`] per element.
+    #[inline]
+    pub fn forward_slice(self, src: &[f32], dst: &mut [f32]) {
+        match self {
+            Activation::Identity => simd::copy_slice(dst, src),
+            Activation::Swish => simd::swish(src, dst),
+            Activation::Relu => simd::relu(src, dst),
+            Activation::Tanh => simd::tanh_act(src, dst),
+            Activation::Sigmoid => simd::sigmoid(src, dst),
+        }
+    }
+
+    /// Batch backward through the runtime-dispatched kernels:
+    /// `grad[i] *= f'(pre[i])`. Bitwise identical to multiplying by
+    /// [`Activation::derivative`] per element.
+    #[inline]
+    pub fn deriv_mul_slice(self, pre: &[f32], grad: &mut [f32]) {
+        match self {
+            Activation::Identity => {}
+            Activation::Swish => simd::swish_deriv_mul(pre, grad),
+            Activation::Relu => simd::relu_deriv_mul(pre, grad),
+            Activation::Tanh => simd::tanh_deriv_mul(pre, grad),
+            Activation::Sigmoid => simd::sigmoid_deriv_mul(pre, grad),
         }
     }
 }
@@ -137,5 +174,25 @@ mod tests {
         let names: std::collections::HashSet<_> =
             Activation::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), Activation::ALL.len());
+    }
+
+    #[test]
+    fn batch_kernels_match_per_element_calls_bitwise() {
+        // 37 elements: four 8-lane blocks plus a 5-element scalar tail.
+        let pre: Vec<f32> = (0..37).map(|i| (i as f32) * 0.37 - 6.5).collect();
+        let grad: Vec<f32> = (0..37).map(|i| (i as f32) * -0.21 + 3.0).collect();
+        for act in Activation::ALL {
+            let mut batch = vec![0.0f32; pre.len()];
+            act.forward_slice(&pre, &mut batch);
+            for (i, (&b, &x)) in batch.iter().zip(&pre).enumerate() {
+                assert_eq!(b.to_bits(), act.forward(x).to_bits(), "{act:?} fwd[{i}]");
+            }
+            let mut g_batch = grad.clone();
+            act.deriv_mul_slice(&pre, &mut g_batch);
+            for (i, ((&g, &g0), &x)) in g_batch.iter().zip(&grad).zip(&pre).enumerate() {
+                let want = g0 * act.derivative(x);
+                assert_eq!(g.to_bits(), want.to_bits(), "{act:?} bwd[{i}]");
+            }
+        }
     }
 }

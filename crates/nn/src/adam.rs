@@ -1,7 +1,7 @@
 //! The Adam optimizer (Kingma & Ba), the paper's training optimizer.
 
 use crate::graph::{GradientBuffer, GraphNet};
-use agebo_tensor::Matrix;
+use agebo_tensor::{simd, Matrix};
 
 /// Adam state: first/second moment estimates per parameter.
 #[derive(Debug, Clone)]
@@ -78,6 +78,13 @@ impl Adam {
     /// Adam update with decoupled weight decay (AdamW): after the adaptive
     /// step, weights shrink by `lr · weight_decay · w`. Biases are not
     /// decayed (standard practice).
+    ///
+    /// The per-tensor updates run through the runtime-dispatched fused
+    /// kernels ([`simd::adam_update_weights`] /
+    /// [`simd::adam_update_biases`]); both dispatch arms are bitwise
+    /// identical, because every operation in the update is correctly
+    /// rounded and the square root goes through the shared
+    /// Newton-refined [`simd::rsqrt2_approx`] on both arms.
     pub fn step_with(
         &mut self,
         net: &mut GraphNet,
@@ -86,35 +93,30 @@ impl Adam {
         weight_decay: f32,
     ) {
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let p = simd::AdamParams {
+            beta1: self.beta1,
+            beta2: self.beta2,
+            inv_bc1: 1.0 / (1.0 - self.beta1.powi(self.t as i32)),
+            inv_bc2: 1.0 / (1.0 - self.beta2.powi(self.t as i32)),
+            eps: self.eps,
+            lr,
+            weight_decay,
+        };
         for k in 0..net.n_tensors() {
-            {
-                let m = self.m_w[k].as_mut_slice();
-                let v = self.v_w[k].as_mut_slice();
-                let g = grads.weights[k].as_slice();
-                let w = net.weight_mut(k).as_mut_slice();
-                for i in 0..w.len() {
-                    m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
-                    v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
-                    let mhat = m[i] / bc1;
-                    let vhat = v[i] / bc2;
-                    w[i] -= lr * (mhat / (vhat.sqrt() + self.eps) + weight_decay * w[i]);
-                }
-            }
-            {
-                let m = &mut self.m_b[k];
-                let v = &mut self.v_b[k];
-                let g = &grads.biases[k];
-                let b = net.bias_mut(k);
-                for i in 0..b.len() {
-                    m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
-                    v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
-                    let mhat = m[i] / bc1;
-                    let vhat = v[i] / bc2;
-                    b[i] -= lr * mhat / (vhat.sqrt() + self.eps);
-                }
-            }
+            simd::adam_update_weights(
+                net.weight_mut(k).as_mut_slice(),
+                self.m_w[k].as_mut_slice(),
+                self.v_w[k].as_mut_slice(),
+                grads.weights[k].as_slice(),
+                &p,
+            );
+            simd::adam_update_biases(
+                net.bias_mut(k),
+                &mut self.m_b[k],
+                &mut self.v_b[k],
+                &grads.biases[k],
+                &p,
+            );
         }
     }
 }

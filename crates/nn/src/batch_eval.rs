@@ -11,6 +11,12 @@
 //! replays the exact accumulation sequence of the serial
 //! [`GraphNet::evaluate_with`] loop — independent of chunk count, chunk
 //! boundaries, and rayon's scheduling.
+//!
+//! The chunk forwards run the same runtime-dispatched kernels as
+//! training (GEMM, activations, the softmax row passes). Every kernel
+//! is per-output-row independent on *both* dispatch arms, so the
+//! chunked-equals-serial argument holds whichever arm the host selects
+//! (the arms themselves need not agree: GEMM uses FMA on the wide arm).
 
 use crate::graph::GraphNet;
 use crate::workspace::Workspace;

@@ -1,18 +1,65 @@
-//! Softmax cross-entropy loss.
+//! Softmax cross-entropy loss, fused and runtime-dispatched.
+//!
+//! Forward and backward share one fused pass: shift every row by its
+//! max, exponentiate the whole logits buffer through the dispatched
+//! [`vexp`](agebo_tensor::simd::vexp) kernel, then normalise each row
+//! and read the label probability for the loss — no separate softmax
+//! pass followed by loss/gradient passes, and the hot exp loop runs at
+//! full vector width across row boundaries. The row max and row sum
+//! reductions run in the shared strided order of
+//! [`row_max`](agebo_tensor::simd::row_max) /
+//! [`row_sum`](agebo_tensor::simd::row_sum), so the AVX2 and scalar
+//! dispatch arms produce bitwise-identical losses and gradients; the
+//! `*_scalar` twins below pin that parity in tests and give benches a
+//! baseline.
 
-use agebo_tensor::Matrix;
+use agebo_tensor::{simd, Matrix};
+
+/// The fused pass shared by every entry point: `probs` holds logits on
+/// entry and softmax probabilities on exit; the return value is the
+/// *summed* (not yet averaged) negative log-likelihood at the labels.
+///
+/// Row maxes are subtracted in a shared scalar pass and the whole buffer
+/// is exponentiated in one `vexp` sweep — per element that is exactly
+/// `exp_approx(x − rowmax)`, bitwise identical to a per-row `sub_exp`,
+/// but the hot exp loop runs at full vector width instead of
+/// fragmenting into `n_classes`-sized pieces (7 for Covertype).
+///
+/// The row passes go through the shared [`simd::rows_sub_max`] /
+/// [`simd::rows_normalize`] kernels — strided reduction order, with
+/// small-class-count rows fully unrolled — so both arms see identical
+/// bits. Parameterised by the exp kernel so the dispatched entry points
+/// and their scalar twins differ only in that one dispatch decision.
+fn fused_softmax_nll(probs: &mut Matrix, y: &[usize], vexp: fn(&mut [f32])) -> f32 {
+    let cols = probs.cols();
+    simd::rows_sub_max(probs.as_mut_slice(), cols);
+    vexp(probs.as_mut_slice());
+    simd::rows_normalize(probs.as_mut_slice(), cols);
+    let buf = probs.as_slice();
+    let mut loss = 0.0f32;
+    for (r, &label) in y.iter().enumerate() {
+        loss -= buf[r * cols + label].max(1e-12).ln();
+    }
+    loss
+}
+
+/// Turns the probabilities produced by [`fused_softmax_nll`] into the
+/// mean-loss logits gradient: `(softmax − onehot) / batch`.
+fn finish_gradient(grad: &mut Matrix, y: &[usize], inv_n: f32, scale: fn(&mut [f32], f32)) {
+    for (r, &label) in y.iter().enumerate() {
+        let v = grad.get(r, label);
+        grad.set(r, label, v - 1.0);
+    }
+    scale(grad.as_mut_slice(), inv_n);
+}
 
 /// Mean cross-entropy of `logits` against integer labels, returning the
 /// softmax probabilities as a by-product.
 pub fn softmax_cross_entropy(logits: &Matrix, y: &[usize]) -> (f32, Matrix) {
     assert_eq!(logits.rows(), y.len());
     let mut probs = logits.clone();
-    probs.softmax_rows_inplace();
     let n = y.len().max(1) as f32;
-    let mut loss = 0.0f32;
-    for (r, &label) in y.iter().enumerate() {
-        loss -= probs.get(r, label).max(1e-12).ln();
-    }
+    let loss = fused_softmax_nll(&mut probs, y, simd::vexp);
     (loss / n, probs)
 }
 
@@ -33,17 +80,37 @@ pub fn softmax_cross_entropy_backward_into(
 ) -> f32 {
     assert_eq!(logits.rows(), y.len());
     grad.copy_from(logits);
-    grad.softmax_rows_inplace();
     let n = y.len().max(1) as f32;
-    let mut loss = 0.0f32;
-    for (r, &label) in y.iter().enumerate() {
-        loss -= grad.get(r, label).max(1e-12).ln();
-    }
-    for (r, &label) in y.iter().enumerate() {
-        let v = grad.get(r, label);
-        grad.set(r, label, v - 1.0);
-    }
-    grad.scale(1.0 / n);
+    let loss = fused_softmax_nll(grad, y, simd::vexp);
+    finish_gradient(grad, y, 1.0 / n, simd::vscale);
+    loss / n
+}
+
+/// Scalar-arm twin of [`softmax_cross_entropy`]: bitwise identical on
+/// every machine. Exposed for parity tests and the kernel benches.
+#[doc(hidden)]
+pub fn softmax_cross_entropy_scalar(logits: &Matrix, y: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), y.len());
+    let mut probs = logits.clone();
+    let n = y.len().max(1) as f32;
+    let loss = fused_softmax_nll(&mut probs, y, simd::vexp_scalar);
+    (loss / n, probs)
+}
+
+/// Scalar-arm twin of [`softmax_cross_entropy_backward_into`]: bitwise
+/// identical on every machine. Exposed for parity tests and the kernel
+/// benches.
+#[doc(hidden)]
+pub fn softmax_cross_entropy_backward_into_scalar(
+    logits: &Matrix,
+    y: &[usize],
+    grad: &mut Matrix,
+) -> f32 {
+    assert_eq!(logits.rows(), y.len());
+    grad.copy_from(logits);
+    let n = y.len().max(1) as f32;
+    let loss = fused_softmax_nll(grad, y, simd::vexp_scalar);
+    finish_gradient(grad, y, 1.0 / n, simd::vscale_scalar);
     loss / n
 }
 
@@ -104,5 +171,20 @@ mod tests {
         let (la, _) = softmax_cross_entropy(&a, &[1]);
         let (lb, _) = softmax_cross_entropy(&b, &[1]);
         assert!((la - lb).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fused_matches_unfused_softmax_then_nll() {
+        // The fused pass must agree bitwise with softmax_rows_inplace
+        // followed by the classic loss/gradient reads.
+        let logits =
+            Matrix::from_vec(3, 4, vec![0.3, -0.7, 1.2, 0.1, 4.0, -2.0, 0.0, 0.5, -1.0, -1.0, 3.0, 2.0]);
+        let y = vec![2, 0, 3];
+        let mut reference = logits.clone();
+        reference.softmax_rows_inplace();
+        let (_, probs) = softmax_cross_entropy(&logits, &y);
+        for (a, b) in probs.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

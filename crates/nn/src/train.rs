@@ -1,6 +1,17 @@
 //! Single-process training loop (the `n = 1` case of the paper's
 //! evaluation strategy; the `n`-rank data-parallel loop lives in
 //! `agebo-dataparallel` and shares this crate's schedule and optimizer).
+//!
+//! Every numeric stage of a step runs through the runtime-dispatched
+//! kernel suite (`agebo_tensor::simd`): micro-batch assembly uses the
+//! row-gather kernel, the forward/backward pass the GEMM + activation +
+//! fused softmax/CE kernels, and the update the fused Adam kernels.
+//! The elementwise kernels (activations, softmax/CE, Adam, gather) are
+//! bitwise identical across dispatch arms, so they contribute no ISA
+//! dependence to a trajectory; the GEMM family keeps FMA on the wide
+//! arm, so a trajectory is deterministic *per arm* (same seed, same
+//! arm — including `AGEBO_FORCE_SCALAR=1` — replays bit-for-bit), not
+//! identical between an AVX2 host and a scalar one.
 
 use crate::adam::Adam;
 use crate::graph::{GradientBuffer, GraphNet};

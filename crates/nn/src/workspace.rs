@@ -22,7 +22,7 @@
 
 use crate::graph::{GradientBuffer, GraphNet};
 use crate::loss;
-use agebo_tensor::Matrix;
+use agebo_tensor::{simd, Matrix};
 
 /// Reusable buffers for [`GraphNet`] forward and backward passes.
 #[derive(Debug, Clone)]
@@ -135,7 +135,8 @@ impl GraphNet {
             proj.add_row_broadcast(&self.biases[p]);
             pre.add_assign(proj);
         }
-        pre.map_into(merged, |v| v.max(0.0));
+        merged.resize(pre.rows(), pre.cols());
+        simd::relu(pre.as_slice(), merged.as_mut_slice());
     }
 
     /// Adapts `ws` — possibly created for a *different* architecture — to
@@ -199,7 +200,8 @@ impl GraphNet {
                     let s = &mut ws.pre_act[idx];
                     ws.merged[idx].matmul_into(&self.weights[k], s, false);
                     s.add_row_broadcast(&self.biases[k]);
-                    s.map_into(zi, |v| act.forward(v));
+                    zi.resize(s.rows(), s.cols());
+                    act.forward_slice(s.as_slice(), zi.as_mut_slice());
                 }
                 None => zi.copy_from(&ws.merged[idx]),
             }
@@ -293,9 +295,7 @@ impl GraphNet {
                 Some((_, act)) => {
                     let k = params.dense.expect("dense param");
                     let s = &ws.pre_act[idx];
-                    for (g, pre_v) in dzi.as_mut_slice().iter_mut().zip(s.as_slice()) {
-                        *g *= act.derivative(*pre_v);
-                    }
+                    act.deriv_mul_slice(s.as_slice(), dzi.as_mut_slice());
                     ws.merged[idx].matmul_at_b_into(dzi, &mut grads.weights[k], false);
                     dzi.column_sums_into(&mut grads.biases[k]);
                     dzi.matmul_a_bt_into(&self.weights[k], &mut ws.da, false);
@@ -351,11 +351,7 @@ impl GraphNet {
             return;
         }
         let u = merge_pre.expect("merge cache");
-        for (g, pre) in da.as_mut_slice().iter_mut().zip(u.as_slice()) {
-            if *pre <= 0.0 {
-                *g = 0.0;
-            }
-        }
+        simd::relu_mask_zero(u.as_slice(), da.as_mut_slice());
         for (&src, &p) in skips.iter().zip(proj_idx) {
             z[src].matmul_at_b_into(da, &mut grads.weights[p], false);
             da.column_sums_into(&mut grads.biases[p]);

@@ -1,0 +1,138 @@
+//! Bitwise dispatched-vs-scalar parity at the training-step level.
+//!
+//! The tensor crate pins each elementwise kernel against its scalar twin;
+//! these tests pin the *composed* nn paths — the fused softmax/CE
+//! forward and backward, and a multi-step `Adam::step_with` sequence
+//! replayed through the scalar Adam kernels — so a wiring mistake (wrong
+//! kernel, reordered reduction) can't hide behind per-kernel parity.
+
+use agebo_nn::graph::GradientBuffer;
+use agebo_nn::{loss, Activation, Adam, GraphNet, GraphSpec};
+use agebo_tensor::{simd, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_bitwise(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+/// Covertype-shaped logits: wide-ish batch, 7 classes, values spanning
+/// the post-GEMM range including large shifts.
+fn logits(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        // SplitMix64 step, mapped into roughly [-12, 12].
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        ((z >> 40) as f32) / 699_050.0 - 12.0
+    })
+}
+
+#[test]
+fn fused_loss_forward_matches_scalar_twin_bitwise() {
+    for (rows, cols, seed) in [(1, 2, 1u64), (7, 7, 2), (33, 7, 3), (64, 13, 4)] {
+        let x = logits(rows, cols, seed);
+        let y: Vec<usize> = (0..rows).map(|r| (r * 5 + 3) % cols).collect();
+        let (loss_d, probs_d) = loss::softmax_cross_entropy(&x, &y);
+        let (loss_s, probs_s) = loss::softmax_cross_entropy_scalar(&x, &y);
+        assert_eq!(loss_d.to_bits(), loss_s.to_bits(), "{rows}x{cols} loss");
+        assert_bitwise(probs_d.as_slice(), probs_s.as_slice(), "probs");
+    }
+}
+
+#[test]
+fn fused_loss_backward_matches_scalar_twin_bitwise() {
+    for (rows, cols, seed) in [(1, 2, 11u64), (8, 7, 12), (31, 7, 13), (64, 13, 14)] {
+        let x = logits(rows, cols, seed);
+        let y: Vec<usize> = (0..rows).map(|r| (r * 3 + 1) % cols).collect();
+        let mut grad_d = Matrix::default();
+        let mut grad_s = Matrix::default();
+        let loss_d = loss::softmax_cross_entropy_backward_into(&x, &y, &mut grad_d);
+        let loss_s = loss::softmax_cross_entropy_backward_into_scalar(&x, &y, &mut grad_s);
+        assert_eq!(loss_d.to_bits(), loss_s.to_bits(), "{rows}x{cols} loss");
+        assert_bitwise(grad_d.as_slice(), grad_s.as_slice(), "grad");
+    }
+}
+
+#[test]
+fn adam_step_sequence_matches_scalar_kernel_replay_bitwise() {
+    let spec = GraphSpec::mlp(54, &[(96, Activation::Relu), (96, Activation::Relu)], 7);
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut net = GraphNet::new(spec, &mut rng);
+    let mut replay = net.clone();
+    let mut adam = Adam::new(&net);
+
+    // Scalar-kernel replay state, zeroed like a fresh Adam.
+    let zero = GradientBuffer::zeros_like(&net);
+    let (mut m_w, mut v_w) = (zero.weights.clone(), zero.weights.clone());
+    let (mut m_b, mut v_b) = (zero.biases.clone(), zero.biases);
+
+    let x = logits(32, 54, 77);
+    let y: Vec<usize> = (0..32).map(|r| r % 7).collect();
+    let (lr, wd) = (0.01f32, 1e-4f32);
+
+    for t in 1..=3i32 {
+        let (_, grads) = net.forward_backward(&x, &y);
+        adam.step_with(&mut net, &grads, lr, wd);
+
+        let (_, grads_r) = replay.forward_backward(&x, &y);
+        let p = simd::AdamParams {
+            beta1: 0.9,
+            beta2: 0.999,
+            inv_bc1: 1.0 / (1.0 - 0.9f32.powi(t)),
+            inv_bc2: 1.0 / (1.0 - 0.999f32.powi(t)),
+            eps: 1e-8,
+            lr,
+            weight_decay: wd,
+        };
+        for k in 0..replay.n_tensors() {
+            simd::adam_update_weights_scalar(
+                replay.weight_mut(k).as_mut_slice(),
+                m_w[k].as_mut_slice(),
+                v_w[k].as_mut_slice(),
+                grads_r.weights[k].as_slice(),
+                &p,
+            );
+            simd::adam_update_biases_scalar(
+                replay.bias_mut(k),
+                &mut m_b[k],
+                &mut v_b[k],
+                &grads_r.biases[k],
+                &p,
+            );
+        }
+
+        for k in 0..net.n_tensors() {
+            assert_bitwise(net.weight(k).as_slice(), replay.weight(k).as_slice(), "weights");
+            assert_bitwise(net.bias(k), replay.bias(k), "biases");
+        }
+    }
+}
+
+#[test]
+fn activation_slices_match_scalar_twins_bitwise() {
+    let pre = logits(9, 17, 5);
+    let g0 = logits(9, 17, 6);
+    for act in Activation::ALL {
+        let mut fwd_d = vec![0.0f32; pre.len()];
+        act.forward_slice(pre.as_slice(), &mut fwd_d);
+        let fwd_s: Vec<f32> = pre.as_slice().iter().map(|&v| act.forward(v)).collect();
+        assert_bitwise(&fwd_d, &fwd_s, "forward");
+
+        let mut grad_d = g0.as_slice().to_vec();
+        act.deriv_mul_slice(pre.as_slice(), &mut grad_d);
+        let grad_s: Vec<f32> = pre
+            .as_slice()
+            .iter()
+            .zip(g0.as_slice())
+            .map(|(&z, &g)| g * act.derivative(z))
+            .collect();
+        assert_bitwise(&grad_d, &grad_s, "deriv_mul");
+    }
+}

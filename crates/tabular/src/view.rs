@@ -88,15 +88,41 @@ impl DatasetView {
     }
 
     /// Gathers the view rows listed in `local` (view-local indices) into
-    /// caller-owned buffers: `xbuf` becomes `local.len() × n_features`,
-    /// `ybuf` the matching labels. No allocation once the buffers have
-    /// reached capacity — this is the per-step micro-batch draw.
+    /// caller-owned buffers — the per-step micro-batch draw. Row copies
+    /// run through the runtime-dispatched SIMD copy kernel.
+    ///
+    /// # Buffer contract
+    ///
+    /// The buffers are *caller-owned scratch*: this method overwrites
+    /// them completely (`xbuf` is reshaped to `local.len() × n_features`,
+    /// `ybuf` is cleared and refilled) and never reads their previous
+    /// contents, so callers may freely reuse one pair of buffers across
+    /// draws, views, and batch sizes. Capacity is retained across calls;
+    /// once the buffers have seen the largest batch, a draw performs no
+    /// heap allocation — the zero-allocation training-step contract.
+    ///
+    /// # Panics
+    ///
+    /// Every entry of `local` must be `< self.len()`. Debug builds assert
+    /// this per index (release builds panic on the underlying
+    /// out-of-bounds access).
     pub fn gather_into(&self, local: &[usize], xbuf: &mut Matrix, ybuf: &mut Vec<usize>) {
         xbuf.resize(local.len(), self.data.n_features());
         ybuf.clear();
         for (dst, &l) in local.iter().enumerate() {
+            debug_assert!(
+                l < self.len,
+                "gather_into: view-local index {l} out of range for a {}-row view",
+                self.len
+            );
             let src = self.order[self.start + l];
-            xbuf.row_mut(dst).copy_from_slice(self.data.x.row(src));
+            debug_assert!(
+                src < self.data.len(),
+                "gather_into: order[{}] = {src} out of range for {} data rows",
+                self.start + l,
+                self.data.len()
+            );
+            agebo_tensor::simd::copy_slice(xbuf.row_mut(dst), self.data.x.row(src));
             ybuf.push(self.data.y[src]);
         }
     }

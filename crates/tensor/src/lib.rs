@@ -16,7 +16,7 @@
 pub mod matrix;
 pub mod ops;
 pub mod rng;
-mod simd;
+pub mod simd;
 
 pub use matrix::Matrix;
 pub use rng::Stream;

@@ -195,11 +195,17 @@ impl Matrix {
     }
 
     /// Gather without allocation: copies the listed rows into `out`,
-    /// reshaping it to `indices.len() × self.cols`.
+    /// reshaping it to `indices.len() × self.cols`. Row copies run
+    /// through the runtime-dispatched [`crate::simd::copy_slice`] kernel.
+    ///
+    /// # Panics
+    /// Panics (debug builds assert first, with a clearer message) if any
+    /// index is `>= self.rows()`.
     pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
         out.resize(indices.len(), self.cols);
         for (dst, &src) in indices.iter().enumerate() {
-            out.row_mut(dst).copy_from_slice(self.row(src));
+            debug_assert!(src < self.rows, "gather index {src} out of range for {} rows", self.rows);
+            crate::simd::copy_slice(out.row_mut(dst), self.row(src));
         }
     }
 

@@ -21,11 +21,9 @@ impl Matrix {
         }
     }
 
-    /// `self *= alpha`.
+    /// `self *= alpha` (runtime-dispatched; both arms bitwise identical).
     pub fn scale(&mut self, alpha: f32) {
-        for a in self.as_mut_slice() {
-            *a *= alpha;
-        }
+        crate::simd::vscale(self.as_mut_slice(), alpha);
     }
 
     /// Adds a bias row vector to every row.
@@ -107,20 +105,25 @@ impl Matrix {
     }
 
     /// In-place row-wise softmax (numerically stabilised by the row max).
+    ///
+    /// The elementwise steps (shift + [`exp`](crate::simd::exp_approx),
+    /// normalisation) run through the runtime-dispatched SIMD kernels;
+    /// the row max and row sum stay in shared sequential code, so both
+    /// dispatch arms produce bitwise-identical probabilities.
     pub fn softmax_rows_inplace(&mut self) {
         let cols = self.cols();
-        for row in self.as_mut_slice().chunks_mut(cols) {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            let inv = 1.0 / sum;
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
-        }
+        // Shift each row by its max in a shared pass, then exponentiate
+        // the whole buffer in one dispatched sweep: per element this is
+        // exactly `exp_approx(x − rowmax)` (bitwise identical to a
+        // per-row `sub_exp`), but the hot exp loop runs at full vector
+        // width instead of fragmenting into `cols`-sized pieces.
+        // Row passes use the shared [`crate::simd::rows_sub_max`] /
+        // [`crate::simd::rows_normalize`] kernels — the same strided
+        // reduction order as the fused loss pass, which tests pin
+        // bitwise against this routine.
+        crate::simd::rows_sub_max(self.as_mut_slice(), cols);
+        crate::simd::vexp(self.as_mut_slice());
+        crate::simd::rows_normalize(self.as_mut_slice(), cols);
     }
 }
 

@@ -1,33 +1,78 @@
-//! Runtime-dispatched SIMD inner loops for the GEMM kernels.
+//! Runtime-dispatched SIMD kernels: the GEMM inner loops plus the
+//! elementwise suite (exp/softmax helpers, Adam update, activations and
+//! their derivatives, row copies) that the nn training step is built on.
 //!
-//! The portable `i-k-j` kernels autovectorize at the x86-64 baseline
-//! (SSE2: 4 lanes, separate mul + add). On machines with AVX2 + FMA the
-//! same loops run here as 8-lane fused multiply-adds instead — roughly a
-//! 2× step throughput win on the Covertype-shaped GEMMs that dominate
-//! training (see `BENCH_hotpath.json`).
+//! # Dispatch
 //!
-//! Bitwise discipline: dispatch is per-process-uniform (the cached
-//! `use_fma` flag), so every kernel sees the same arithmetic. Under FMA
-//! each output element of [`axpy`] is a `mul_add` chain over `k`
-//! ascending — including the scalar tail, which also uses `mul_add` —
-//! and the accumulate-mode GEMM paths in `matrix.rs` replay exactly that
-//! chain, keeping "accumulate == allocating product + add_assign" exact.
-//! [`dot`] uses a multi-accumulator reduction whose order is only
-//! machine-deterministic; it is shared by *both* modes of
-//! `matmul_a_bt_into`, so the same guarantee holds there too.
+//! One process-wide ISA choice is made on first use ([`isa`]) and cached:
+//! `Avx2Fma` when the CPU reports AVX2 + FMA, `Scalar` otherwise — or
+//! always `Scalar` when `AGEBO_FORCE_SCALAR=1` is set in the environment
+//! (read once, at dispatch init; useful for debugging and for CI runs
+//! that exercise the portable arm on wide machines).
+//!
+//! # Bitwise discipline
+//!
+//! Two different guarantees coexist here:
+//!
+//! * The **GEMM** kernels (`axpy`, `dot`, `madd`) use FMA on the
+//!   wide arm, so the two arms are *each* deterministic but not equal to
+//!   each other; accumulate-mode GEMM replays the same chain per machine
+//!   (see `matrix.rs`).
+//! * Every **elementwise** kernel below is built only from IEEE-754
+//!   correctly-rounded operations (mul/add/sub/div/sqrt/min/max and bit
+//!   ops) applied in the same per-element order on both arms, with all
+//!   reductions (row max / row sum) left in shared scalar code — so the
+//!   AVX2 arm and the scalar arm are **bitwise identical**, element for
+//!   element. The `*_scalar` twins are public so tests and benches can
+//!   assert/measure that parity; transcendentals go through the shared
+//!   polynomial [`exp_approx`] on both arms for the same reason.
 
-/// True when the 8-lane FMA paths are in use (cached by `std_detect`).
+use std::sync::OnceLock;
+
+/// The instruction-set arm every kernel in this module dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// 8-lane AVX2 kernels (FMA used by the GEMM family only).
+    Avx2Fma,
+    /// Portable scalar kernels.
+    Scalar,
+}
+
+static ISA: OnceLock<Isa> = OnceLock::new();
+
+/// The process-wide ISA choice, detected once and cached. Honors
+/// `AGEBO_FORCE_SCALAR=1` (checked only on the first call).
 #[inline]
-pub(crate) fn use_fma() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
+pub fn isa() -> Isa {
+    *ISA.get_or_init(|| {
+        if std::env::var_os("AGEBO_FORCE_SCALAR").is_some_and(|v| v == "1") {
+            return Isa::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+            return Isa::Avx2Fma;
+        }
+        Isa::Scalar
+    })
+}
+
+/// Human-readable name of the dispatched ISA path (for telemetry/benches).
+pub fn isa_name() -> &'static str {
+    match isa() {
+        Isa::Avx2Fma => "avx2+fma",
+        Isa::Scalar => "scalar",
     }
 }
+
+/// True when the 8-lane FMA paths are in use.
+#[inline]
+pub(crate) fn use_fma() -> bool {
+    isa() == Isa::Avx2Fma
+}
+
+// ---------------------------------------------------------------------------
+// GEMM inner loops (PR 1): FMA on the wide arm, per-machine determinism.
+// ---------------------------------------------------------------------------
 
 /// `y[j] += a * x[j]` for all `j` (fused on FMA machines).
 #[inline]
@@ -72,6 +117,600 @@ pub(crate) fn madd(a: f32, b: f32, acc: f32) -> f32 {
         acc + a * b
     }
 }
+
+// ---------------------------------------------------------------------------
+// Shared transcendental: a vectorizable expf.
+// ---------------------------------------------------------------------------
+//
+// Cephes-style polynomial exp (the sse_mathfun lineage): range-reduce by
+// n = round(x·log2e) via the 1.5·2^23 magic-number trick (valid because
+// |x·log2e| < 128, and add/sub at that magnitude round to the nearest
+// integer), evaluate a degree-6 polynomial on the reduced argument, then
+// scale by 2^n built directly in the exponent bits. Every step is a
+// correctly-rounded f32 op, so the scalar form below and the 8-lane AVX2
+// form produce bitwise-identical results per element.
+
+const EXP_LO: f32 = -87.0;
+const EXP_HI: f32 = 88.0;
+const EXP_MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+// The full decimal is the exact value of the f32 (a 12-bit hi split of
+// ln 2); writing it out documents that EXP_C1 + EXP_C2 reconstructs ln 2.
+#[allow(clippy::excessive_precision)]
+const EXP_C1: f32 = 0.693_359_375; // ln 2, high part
+const EXP_C2: f32 = -2.121_944_4e-4; // ln 2, low part
+const EXP_P0: f32 = 1.987_569_1e-4;
+const EXP_P1: f32 = 1.398_199_9e-3;
+const EXP_P2: f32 = 8.333_452e-3;
+const EXP_P3: f32 = 4.166_579_6e-2;
+const EXP_P4: f32 = 1.666_666_5e-1;
+const EXP_P5: f32 = 5.000_000_4e-1;
+
+/// Polynomial `e^x` shared by both dispatch arms (max relative error
+/// ~2e-7 over the clamped domain `[-87, 88]`; `exp_approx(0.0) == 1.0`
+/// exactly). Inputs outside the domain are clamped, which also maps NaN
+/// to `exp_approx(-87)` on both arms.
+#[inline]
+pub fn exp_approx(x: f32) -> f32 {
+    // Not `clamp`: `max().min()` maps NaN to EXP_LO, matching what the
+    // AVX2 arm's `maxps`/`minps` pair does; `clamp` would return NaN and
+    // break bitwise cross-arm parity on NaN inputs.
+    #[allow(clippy::manual_clamp)]
+    let x = x.max(EXP_LO).min(EXP_HI);
+    let n_f = (x * std::f32::consts::LOG2_E + EXP_MAGIC) - EXP_MAGIC;
+    let n_i = n_f as i32;
+    let r = x - n_f * EXP_C1;
+    let r = r - n_f * EXP_C2;
+    let mut y = EXP_P0;
+    y = y * r + EXP_P1;
+    y = y * r + EXP_P2;
+    y = y * r + EXP_P3;
+    y = y * r + EXP_P4;
+    y = y * r + EXP_P5;
+    let z = r * r;
+    let y = y * z + r;
+    let y = y + 1.0;
+    let pow2n = f32::from_bits(((n_i + 127) as u32) << 23);
+    y * pow2n
+}
+
+/// `σ(x) = 1 / (1 + e^{-x})` via [`exp_approx`]; the scalar element rule
+/// both arms of the sigmoid/swish kernels replicate.
+#[inline]
+pub fn sigmoid_approx(x: f32) -> f32 {
+    1.0 / (1.0 + exp_approx(-x))
+}
+
+/// `tanh(x) = 1 − 2 / (e^{2x} + 1)` via [`exp_approx`]; the scalar
+/// element rule both arms of the tanh kernels replicate.
+#[inline]
+pub fn tanh_approx(x: f32) -> f32 {
+    let e = exp_approx(x + x);
+    1.0 - 2.0 / (e + 1.0)
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise kernel suite: dispatched entry + public scalar twin each.
+// ---------------------------------------------------------------------------
+
+/// `xs[i] = exp_approx(xs[i])`.
+#[inline]
+pub fn vexp(xs: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if xs.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { vexp_avx2(xs) };
+        return;
+    }
+    vexp_scalar(xs);
+}
+
+/// Scalar twin of [`vexp`] (bitwise identical).
+pub fn vexp_scalar(xs: &mut [f32]) {
+    for v in xs {
+        *v = exp_approx(*v);
+    }
+}
+
+/// `xs[i] = exp_approx(xs[i] - shift)` — the softmax inner step (shift is
+/// the row max, computed by the caller in shared scalar code).
+#[inline]
+pub fn sub_exp(xs: &mut [f32], shift: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if xs.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { sub_exp_avx2(xs, shift) };
+        return;
+    }
+    sub_exp_scalar(xs, shift);
+}
+
+/// Scalar twin of [`sub_exp`] (bitwise identical).
+pub fn sub_exp_scalar(xs: &mut [f32], shift: f32) {
+    for v in xs {
+        *v = exp_approx(*v - shift);
+    }
+}
+
+/// `xs[i] *= a`.
+#[inline]
+pub fn vscale(xs: &mut [f32], a: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if xs.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { vscale_avx2(xs, a) };
+        return;
+    }
+    vscale_scalar(xs, a);
+}
+
+/// Scalar twin of [`vscale`] (bitwise identical).
+pub fn vscale_scalar(xs: &mut [f32], a: f32) {
+    for v in xs {
+        *v *= a;
+    }
+}
+
+/// Copies `src` into `dst` (equal lengths) — the row-gather inner copy.
+///
+/// Both arms delegate to `copy_from_slice` (memcpy): the platform memcpy
+/// already runs at full vector width with size-specialized small-copy
+/// paths, and a hand-rolled 8-lane loop measured *slower* on short
+/// Covertype-width rows. What this kernel adds over a bare copy is the
+/// explicit equal-length contract (a mismatch is a panic, not a silent
+/// truncation).
+#[inline]
+pub fn copy_slice(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "copy_slice length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// Scalar twin of [`copy_slice`] (bitwise identical — a copy is a copy).
+pub fn copy_slice_scalar(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "copy_slice length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// Row maximum in the shared strided reduction order used by every
+/// softmax path: four interleaved partial maxes (`lane = i mod 4`)
+/// combined as `(m₀ max m₂) max (m₁ max m₃)`.
+///
+/// The strided form breaks the serial `max` dependency chain — a plain
+/// left fold over a 7-class Covertype row is seven back-to-back `maxss`
+/// ops at 4-cycle latency each, which dominated the fused loss pass.
+/// The order is fixed and the code is shared (not dispatched), so both
+/// dispatch arms and every caller agree bitwise by construction.
+#[inline]
+pub fn row_max(xs: &[f32]) -> f32 {
+    let mut m = [f32::NEG_INFINITY; 4];
+    let mut chunks = xs.chunks_exact(4);
+    for c in chunks.by_ref() {
+        for (a, &v) in m.iter_mut().zip(c) {
+            *a = a.max(v);
+        }
+    }
+    for (a, &v) in m.iter_mut().zip(chunks.remainder()) {
+        *a = a.max(v);
+    }
+    (m[0].max(m[2])).max(m[1].max(m[3]))
+}
+
+/// Row sum in the shared strided reduction order used by every softmax
+/// path: four interleaved partial sums (`lane = i mod 4`) combined as
+/// `(s₀ + s₂) + (s₁ + s₃)`. Same rationale and same determinism
+/// argument as [`row_max`] — shared code, fixed association order, so
+/// every caller sees identical bits on every dispatch arm.
+#[inline]
+pub fn row_sum(xs: &[f32]) -> f32 {
+    let mut s = [0.0f32; 4];
+    let mut chunks = xs.chunks_exact(4);
+    for c in chunks.by_ref() {
+        for (a, &v) in s.iter_mut().zip(c) {
+            *a += v;
+        }
+    }
+    for (a, &v) in s.iter_mut().zip(chunks.remainder()) {
+        *a += v;
+    }
+    (s[0] + s[2]) + (s[1] + s[3])
+}
+
+/// One softmax stabilisation row: subtract the row max (shared strided
+/// [`row_max`] order) from every element. The single body every
+/// [`rows_sub_max`] lane inlines, so specialised and generic lanes
+/// cannot diverge.
+#[inline(always)]
+fn sub_max_row(row: &mut [f32]) {
+    let max = row_max(row);
+    for v in row.iter_mut() {
+        *v -= max;
+    }
+}
+
+/// One softmax normalisation row: divide by the row sum (shared strided
+/// [`row_sum`] order), applied as one reciprocal and a per-element
+/// multiply — bitwise the same as `vscale` at any width. The single
+/// body every [`rows_normalize`] lane inlines.
+#[inline(always)]
+fn normalize_row(row: &mut [f32]) {
+    let inv = 1.0 / row_sum(row);
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+#[inline]
+fn rows_pass_n<const N: usize>(buf: &mut [f32], f: impl Fn(&mut [f32])) {
+    for row in buf.chunks_exact_mut(N) {
+        let row: &mut [f32; N] = row.try_into().expect("chunks_exact_mut length");
+        f(row);
+    }
+}
+
+macro_rules! rows_pass_dispatch {
+    ($buf:expr, $cols:expr, $f:expr) => {{
+        let (buf, cols) = ($buf, $cols);
+        debug_assert!(cols > 0, "rows pass on zero-column matrix");
+        debug_assert_eq!(buf.len() % cols, 0, "rows pass length not a multiple of cols");
+        // Tabular class/feature counts are tiny (Covertype has 7
+        // classes); with the row width a compile-time constant the
+        // whole row unrolls and the per-row slice bookkeeping
+        // disappears — ~3.5x faster at 7 columns than the generic
+        // loop. Every lane inlines the same row body on the same
+        // bits, so which lane runs never changes the result.
+        match cols {
+            2 => rows_pass_n::<2>(buf, $f),
+            3 => rows_pass_n::<3>(buf, $f),
+            4 => rows_pass_n::<4>(buf, $f),
+            5 => rows_pass_n::<5>(buf, $f),
+            6 => rows_pass_n::<6>(buf, $f),
+            7 => rows_pass_n::<7>(buf, $f),
+            8 => rows_pass_n::<8>(buf, $f),
+            _ => {
+                for row in buf.chunks_exact_mut(cols.max(1)) {
+                    $f(row);
+                }
+            }
+        }
+    }};
+}
+
+/// Softmax stabilisation pass: subtracts each row's max from the row,
+/// over a row-major `buf` of `cols`-wide rows. Shared (not dispatched)
+/// code with small-width specialised lanes; all lanes run [`row_max`]'s
+/// strided order on identical bits.
+#[inline]
+pub fn rows_sub_max(buf: &mut [f32], cols: usize) {
+    rows_pass_dispatch!(buf, cols, sub_max_row)
+}
+
+/// Softmax normalisation pass: divides each row by its [`row_sum`],
+/// over a row-major `buf` of `cols`-wide rows. Same lane structure and
+/// determinism argument as [`rows_sub_max`].
+#[inline]
+pub fn rows_normalize(buf: &mut [f32], cols: usize) {
+    rows_pass_dispatch!(buf, cols, normalize_row)
+}
+
+/// Newton-refined reciprocal square root: the classic exponent-bit seed
+/// followed by two Newton–Raphson iterations (`y ← y·(1.5 − ½x·y²)`),
+/// built from mul/sub only — no `vrsqrtps`, whose results are
+/// implementation-defined per CPU. Relative error ≲ 5e-6 over the
+/// normal range, `x·rsqrt2_approx(x)` is exactly `0.0` at `x = 0`, and
+/// both dispatch arms evaluate the identical correctly-rounded
+/// expression, so they agree bitwise. Requires `x ≥ 0`.
+#[inline]
+pub fn rsqrt2_approx(x: f32) -> f32 {
+    let y = f32::from_bits(0x5F37_59DF_u32.wrapping_sub(x.to_bits() >> 1));
+    let hx = 0.5 * x;
+    let y = y * (1.5 - hx * y * y);
+    y * (1.5 - hx * y * y)
+}
+
+/// Scalar hyperparameters of one Adam update, precomputed per step so
+/// both dispatch arms consume identical values.
+///
+/// The bias corrections are stored as reciprocals (`1/(1−βᵗ)`), computed
+/// once per step in shared code, so the per-element kernels multiply
+/// instead of divide — together with the Newton-refined square root this
+/// leaves exactly one hardware divide per element, which is what lets
+/// the 8-lane arm clear the divider-throughput wall the legacy
+/// 3-divide/1-sqrt formula was stuck behind.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamParams {
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Reciprocal bias correction `1 / (1 − β₁ᵗ)`.
+    pub inv_bc1: f32,
+    /// Reciprocal bias correction `1 / (1 − β₂ᵗ)`.
+    pub inv_bc2: f32,
+    /// Denominator fuzz ε.
+    pub eps: f32,
+    /// Learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay (weights only; ignored by the bias kernel).
+    pub weight_decay: f32,
+}
+
+/// The moment update and adaptive quotient shared by the weight and bias
+/// elements: `m ← β₁m + (1−β₁)g`, `v ← β₂v + ((1−β₂)g)g`, then
+/// `q = m̂ / (v̂·rsqrt2(v̂) + ε)` with `m̂ = m·inv_bc1`, `v̂ = v·inv_bc2`.
+/// `v̂·rsqrt2(v̂)` plays the role of `√v̂` (and is exactly 0 at v̂ = 0,
+/// so a dead parameter still gets the legacy `0/ε = 0` step).
+#[inline]
+fn adam_q(m: &mut f32, v: &mut f32, g: f32, p: &AdamParams) -> f32 {
+    *m = p.beta1 * *m + (1.0 - p.beta1) * g;
+    *v = p.beta2 * *v + (1.0 - p.beta2) * g * g;
+    let mhat = *m * p.inv_bc1;
+    let vhat = *v * p.inv_bc2;
+    mhat / (vhat * rsqrt2_approx(vhat) + p.eps)
+}
+
+/// One element of the Adam *weight* update, shared verbatim by both
+/// arms: `w ← w − lr·(q + wd·w)`.
+#[inline]
+fn adam_weight_elem(w: &mut f32, m: &mut f32, v: &mut f32, g: f32, p: &AdamParams) {
+    let q = adam_q(m, v, g, p);
+    *w -= p.lr * (q + p.weight_decay * *w);
+}
+
+/// One element of the Adam *bias* update (no decay): `b ← b − lr·q`.
+#[inline]
+fn adam_bias_elem(b: &mut f32, m: &mut f32, v: &mut f32, g: f32, p: &AdamParams) {
+    let q = adam_q(m, v, g, p);
+    *b -= p.lr * q;
+}
+
+/// Fused Adam weight update over flat parameter/moment/gradient slices.
+#[inline]
+pub fn adam_update_weights(w: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], p: &AdamParams) {
+    debug_assert!(w.len() == m.len() && w.len() == v.len() && w.len() == g.len());
+    #[cfg(target_arch = "x86_64")]
+    if w.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { adam_weights_avx2(w, m, v, g, p) };
+        return;
+    }
+    adam_update_weights_scalar(w, m, v, g, p);
+}
+
+/// Scalar twin of [`adam_update_weights`] (bitwise identical).
+pub fn adam_update_weights_scalar(
+    w: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    p: &AdamParams,
+) {
+    for i in 0..w.len() {
+        adam_weight_elem(&mut w[i], &mut m[i], &mut v[i], g[i], p);
+    }
+}
+
+/// Fused Adam bias update over flat slices (no weight decay).
+#[inline]
+pub fn adam_update_biases(b: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], p: &AdamParams) {
+    debug_assert!(b.len() == m.len() && b.len() == v.len() && b.len() == g.len());
+    #[cfg(target_arch = "x86_64")]
+    if b.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { adam_biases_avx2(b, m, v, g, p) };
+        return;
+    }
+    adam_update_biases_scalar(b, m, v, g, p);
+}
+
+/// Scalar twin of [`adam_update_biases`] (bitwise identical).
+pub fn adam_update_biases_scalar(
+    b: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    p: &AdamParams,
+) {
+    for i in 0..b.len() {
+        adam_bias_elem(&mut b[i], &mut m[i], &mut v[i], g[i], p);
+    }
+}
+
+/// `dst[i] = if src[i] > 0 { src[i] } else { 0.0 }` (ReLU forward; maps
+/// `-0.0` and NaN to `+0.0` on both arms).
+#[inline]
+pub fn relu(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    #[cfg(target_arch = "x86_64")]
+    if src.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { relu_avx2(src, dst) };
+        return;
+    }
+    relu_scalar(src, dst);
+}
+
+/// Scalar twin of [`relu`] (bitwise identical).
+pub fn relu_scalar(src: &[f32], dst: &mut [f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = if s > 0.0 { s } else { 0.0 };
+    }
+}
+
+/// `dst[i] = σ(src[i])` via the shared [`exp_approx`].
+#[inline]
+pub fn sigmoid(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    #[cfg(target_arch = "x86_64")]
+    if src.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { sigmoid_avx2(src, dst) };
+        return;
+    }
+    sigmoid_scalar(src, dst);
+}
+
+/// Scalar twin of [`sigmoid`] (bitwise identical).
+pub fn sigmoid_scalar(src: &[f32], dst: &mut [f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = sigmoid_approx(s);
+    }
+}
+
+/// `dst[i] = tanh(src[i])` via the shared [`exp_approx`].
+#[inline]
+pub fn tanh_act(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    #[cfg(target_arch = "x86_64")]
+    if src.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { tanh_avx2(src, dst) };
+        return;
+    }
+    tanh_scalar(src, dst);
+}
+
+/// Scalar twin of [`tanh_act`] (bitwise identical).
+pub fn tanh_scalar(src: &[f32], dst: &mut [f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = tanh_approx(s);
+    }
+}
+
+/// `dst[i] = src[i] · σ(src[i])` (swish) via the shared [`exp_approx`].
+#[inline]
+pub fn swish(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    #[cfg(target_arch = "x86_64")]
+    if src.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { swish_avx2(src, dst) };
+        return;
+    }
+    swish_scalar(src, dst);
+}
+
+/// Scalar twin of [`swish`] (bitwise identical).
+pub fn swish_scalar(src: &[f32], dst: &mut [f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s * sigmoid_approx(s);
+    }
+}
+
+/// `g[i] *= relu'(pre[i])`, i.e. `g[i] *= if pre[i] > 0 { 1.0 } else
+/// { 0.0 }` — the multiply is kept so signed zeros and NaNs in `g`
+/// propagate exactly like the historical scalar loop.
+#[inline]
+pub fn relu_deriv_mul(pre: &[f32], g: &mut [f32]) {
+    assert_eq!(pre.len(), g.len());
+    #[cfg(target_arch = "x86_64")]
+    if pre.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { relu_deriv_mul_avx2(pre, g) };
+        return;
+    }
+    relu_deriv_mul_scalar(pre, g);
+}
+
+/// Scalar twin of [`relu_deriv_mul`] (bitwise identical).
+pub fn relu_deriv_mul_scalar(pre: &[f32], g: &mut [f32]) {
+    for (gv, &p) in g.iter_mut().zip(pre) {
+        let d = if p > 0.0 { 1.0 } else { 0.0 };
+        *gv *= d;
+    }
+}
+
+/// `g[i] *= σ'(pre[i]) = s·(1−s)` with `s = σ(pre[i])`.
+#[inline]
+pub fn sigmoid_deriv_mul(pre: &[f32], g: &mut [f32]) {
+    assert_eq!(pre.len(), g.len());
+    #[cfg(target_arch = "x86_64")]
+    if pre.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { sigmoid_deriv_mul_avx2(pre, g) };
+        return;
+    }
+    sigmoid_deriv_mul_scalar(pre, g);
+}
+
+/// Scalar twin of [`sigmoid_deriv_mul`] (bitwise identical).
+pub fn sigmoid_deriv_mul_scalar(pre: &[f32], g: &mut [f32]) {
+    for (gv, &p) in g.iter_mut().zip(pre) {
+        let s = sigmoid_approx(p);
+        *gv *= s * (1.0 - s);
+    }
+}
+
+/// `g[i] *= tanh'(pre[i]) = 1 − t²` with `t = tanh(pre[i])`.
+#[inline]
+pub fn tanh_deriv_mul(pre: &[f32], g: &mut [f32]) {
+    assert_eq!(pre.len(), g.len());
+    #[cfg(target_arch = "x86_64")]
+    if pre.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { tanh_deriv_mul_avx2(pre, g) };
+        return;
+    }
+    tanh_deriv_mul_scalar(pre, g);
+}
+
+/// Scalar twin of [`tanh_deriv_mul`] (bitwise identical).
+pub fn tanh_deriv_mul_scalar(pre: &[f32], g: &mut [f32]) {
+    for (gv, &p) in g.iter_mut().zip(pre) {
+        let t = tanh_approx(p);
+        *gv *= 1.0 - t * t;
+    }
+}
+
+/// `g[i] *= swish'(pre[i]) = s + pre[i]·s·(1−s)` with `s = σ(pre[i])`.
+#[inline]
+pub fn swish_deriv_mul(pre: &[f32], g: &mut [f32]) {
+    assert_eq!(pre.len(), g.len());
+    #[cfg(target_arch = "x86_64")]
+    if pre.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { swish_deriv_mul_avx2(pre, g) };
+        return;
+    }
+    swish_deriv_mul_scalar(pre, g);
+}
+
+/// Scalar twin of [`swish_deriv_mul`] (bitwise identical).
+pub fn swish_deriv_mul_scalar(pre: &[f32], g: &mut [f32]) {
+    for (gv, &p) in g.iter_mut().zip(pre) {
+        let s = sigmoid_approx(p);
+        *gv *= s + p * s * (1.0 - s);
+    }
+}
+
+/// `g[i] = 0.0` wherever `pre[i] <= 0.0` — the merge-node ReLU backward
+/// mask. NaN `pre` keeps `g` (matching the historical `if pre <= 0.0`
+/// test) on both arms.
+#[inline]
+pub fn relu_mask_zero(pre: &[f32], g: &mut [f32]) {
+    assert_eq!(pre.len(), g.len());
+    #[cfg(target_arch = "x86_64")]
+    if pre.len() >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { relu_mask_zero_avx2(pre, g) };
+        return;
+    }
+    relu_mask_zero_scalar(pre, g);
+}
+
+/// Scalar twin of [`relu_mask_zero`] (bitwise identical).
+pub fn relu_mask_zero_scalar(pre: &[f32], g: &mut [f32]) {
+    for (gv, &p) in g.iter_mut().zip(pre) {
+        if p <= 0.0 {
+            *gv = 0.0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 arms. Every elementwise arm below uses only correctly-rounded ops
+// (no FMA) in the same per-element order as its scalar twin, and hands
+// the sub-8-lane tail to that twin, so arm parity is exact by
+// construction.
+// ---------------------------------------------------------------------------
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
@@ -141,6 +780,356 @@ unsafe fn dot_fma(x: &[f32], y: &[f32]) -> f32 {
     total
 }
 
+/// 8-lane [`exp_approx`]: the identical op sequence, one vector at a time.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn exp_ps(x: std::arch::x86_64::__m256) -> std::arch::x86_64::__m256 {
+    use std::arch::x86_64::*;
+    let x = _mm256_max_ps(x, _mm256_set1_ps(EXP_LO));
+    let x = _mm256_min_ps(x, _mm256_set1_ps(EXP_HI));
+    let magic = _mm256_set1_ps(EXP_MAGIC);
+    let n_f = _mm256_sub_ps(
+        _mm256_add_ps(_mm256_mul_ps(x, _mm256_set1_ps(std::f32::consts::LOG2_E)), magic),
+        magic,
+    );
+    let n_i = _mm256_cvtps_epi32(n_f);
+    let r = _mm256_sub_ps(x, _mm256_mul_ps(n_f, _mm256_set1_ps(EXP_C1)));
+    let r = _mm256_sub_ps(r, _mm256_mul_ps(n_f, _mm256_set1_ps(EXP_C2)));
+    let mut y = _mm256_set1_ps(EXP_P0);
+    y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P1));
+    y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P2));
+    y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P3));
+    y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P4));
+    y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(EXP_P5));
+    let z = _mm256_mul_ps(r, r);
+    let y = _mm256_add_ps(_mm256_mul_ps(y, z), r);
+    let y = _mm256_add_ps(y, _mm256_set1_ps(1.0));
+    let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32(
+        _mm256_add_epi32(n_i, _mm256_set1_epi32(127)),
+        23,
+    ));
+    _mm256_mul_ps(y, pow2n)
+}
+
+/// 8-lane `σ(x)`: negate by sign-bit flip (matching scalar `-x`), shared
+/// exp, add 1, reciprocal by true division.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn sigmoid_ps(x: std::arch::x86_64::__m256) -> std::arch::x86_64::__m256 {
+    use std::arch::x86_64::*;
+    let neg = _mm256_xor_ps(x, _mm256_set1_ps(-0.0));
+    let e = exp_ps(neg);
+    _mm256_div_ps(_mm256_set1_ps(1.0), _mm256_add_ps(_mm256_set1_ps(1.0), e))
+}
+
+/// 8-lane `tanh(x) = 1 − 2/(e^{2x}+1)`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tanh_ps(x: std::arch::x86_64::__m256) -> std::arch::x86_64::__m256 {
+    use std::arch::x86_64::*;
+    let e = exp_ps(_mm256_add_ps(x, x));
+    let q = _mm256_div_ps(_mm256_set1_ps(2.0), _mm256_add_ps(e, _mm256_set1_ps(1.0)));
+    _mm256_sub_ps(_mm256_set1_ps(1.0), q)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn vexp_avx2(xs: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = xs.len();
+    let p = xs.as_mut_ptr();
+    let mut j = 0usize;
+    while j + 8 <= n {
+        _mm256_storeu_ps(p.add(j), exp_ps(_mm256_loadu_ps(p.add(j))));
+        j += 8;
+    }
+    vexp_scalar(&mut xs[j..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn sub_exp_avx2(xs: &mut [f32], shift: f32) {
+    use std::arch::x86_64::*;
+    let n = xs.len();
+    let p = xs.as_mut_ptr();
+    let vs = _mm256_set1_ps(shift);
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let x = _mm256_sub_ps(_mm256_loadu_ps(p.add(j)), vs);
+        _mm256_storeu_ps(p.add(j), exp_ps(x));
+        j += 8;
+    }
+    sub_exp_scalar(&mut xs[j..], shift);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn vscale_avx2(xs: &mut [f32], a: f32) {
+    use std::arch::x86_64::*;
+    let n = xs.len();
+    let p = xs.as_mut_ptr();
+    let va = _mm256_set1_ps(a);
+    let mut j = 0usize;
+    while j + 16 <= n {
+        let r0 = _mm256_mul_ps(_mm256_loadu_ps(p.add(j)), va);
+        let r1 = _mm256_mul_ps(_mm256_loadu_ps(p.add(j + 8)), va);
+        _mm256_storeu_ps(p.add(j), r0);
+        _mm256_storeu_ps(p.add(j + 8), r1);
+        j += 16;
+    }
+    if j + 8 <= n {
+        let r0 = _mm256_mul_ps(_mm256_loadu_ps(p.add(j)), va);
+        _mm256_storeu_ps(p.add(j), r0);
+        j += 8;
+    }
+    vscale_scalar(&mut xs[j..], a);
+}
+
+/// 8-lane [`rsqrt2_approx`]: the identical seed/iteration expression, so
+/// every lane matches the scalar helper bitwise.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn rsqrt2_ps(x: std::arch::x86_64::__m256) -> std::arch::x86_64::__m256 {
+    use std::arch::x86_64::*;
+    let magic = _mm256_set1_epi32(0x5F37_59DF);
+    let y = _mm256_castsi256_ps(_mm256_sub_epi32(magic, _mm256_srli_epi32::<1>(_mm256_castps_si256(x))));
+    let hx = _mm256_mul_ps(_mm256_set1_ps(0.5), x);
+    let th = _mm256_set1_ps(1.5);
+    let y = _mm256_mul_ps(y, _mm256_sub_ps(th, _mm256_mul_ps(_mm256_mul_ps(hx, y), y)));
+    _mm256_mul_ps(y, _mm256_sub_ps(th, _mm256_mul_ps(_mm256_mul_ps(hx, y), y)))
+}
+
+/// One 8-lane step of [`adam_q`]: updates the `m`/`v` vectors in place
+/// (returned alongside `q`). No FMA — every op matches the scalar elem.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn adam_q_ps(
+    mv: std::arch::x86_64::__m256,
+    vv: std::arch::x86_64::__m256,
+    gv: std::arch::x86_64::__m256,
+    p: &AdamParams,
+) -> (std::arch::x86_64::__m256, std::arch::x86_64::__m256, std::arch::x86_64::__m256) {
+    use std::arch::x86_64::*;
+    let mv = _mm256_add_ps(
+        _mm256_mul_ps(_mm256_set1_ps(p.beta1), mv),
+        _mm256_mul_ps(_mm256_set1_ps(1.0 - p.beta1), gv),
+    );
+    let vv = _mm256_add_ps(
+        _mm256_mul_ps(_mm256_set1_ps(p.beta2), vv),
+        _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(1.0 - p.beta2), gv), gv),
+    );
+    let mhat = _mm256_mul_ps(mv, _mm256_set1_ps(p.inv_bc1));
+    let vhat = _mm256_mul_ps(vv, _mm256_set1_ps(p.inv_bc2));
+    let denom = _mm256_add_ps(_mm256_mul_ps(vhat, rsqrt2_ps(vhat)), _mm256_set1_ps(p.eps));
+    (mv, vv, _mm256_div_ps(mhat, denom))
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn adam_weights_avx2(w: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], p: &AdamParams) {
+    use std::arch::x86_64::*;
+    let n = w.len();
+    let (wp, mp, vp, gp) = (w.as_mut_ptr(), m.as_mut_ptr(), v.as_mut_ptr(), g.as_ptr());
+    let lr = _mm256_set1_ps(p.lr);
+    let wd = _mm256_set1_ps(p.weight_decay);
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let (mv, vv, q) = adam_q_ps(
+            _mm256_loadu_ps(mp.add(j)),
+            _mm256_loadu_ps(vp.add(j)),
+            _mm256_loadu_ps(gp.add(j)),
+            p,
+        );
+        _mm256_storeu_ps(mp.add(j), mv);
+        _mm256_storeu_ps(vp.add(j), vv);
+        let wv = _mm256_loadu_ps(wp.add(j));
+        let step = _mm256_mul_ps(lr, _mm256_add_ps(q, _mm256_mul_ps(wd, wv)));
+        _mm256_storeu_ps(wp.add(j), _mm256_sub_ps(wv, step));
+        j += 8;
+    }
+    adam_update_weights_scalar(&mut w[j..], &mut m[j..], &mut v[j..], &g[j..], p);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn adam_biases_avx2(b: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], p: &AdamParams) {
+    use std::arch::x86_64::*;
+    let n = b.len();
+    let (bp, mp, vp, gp) = (b.as_mut_ptr(), m.as_mut_ptr(), v.as_mut_ptr(), g.as_ptr());
+    let lr = _mm256_set1_ps(p.lr);
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let (mv, vv, q) = adam_q_ps(
+            _mm256_loadu_ps(mp.add(j)),
+            _mm256_loadu_ps(vp.add(j)),
+            _mm256_loadu_ps(gp.add(j)),
+            p,
+        );
+        _mm256_storeu_ps(mp.add(j), mv);
+        _mm256_storeu_ps(vp.add(j), vv);
+        let step = _mm256_mul_ps(lr, q);
+        _mm256_storeu_ps(bp.add(j), _mm256_sub_ps(_mm256_loadu_ps(bp.add(j)), step));
+        j += 8;
+    }
+    adam_update_biases_scalar(&mut b[j..], &mut m[j..], &mut v[j..], &g[j..], p);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn relu_avx2(src: &[f32], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = src.len();
+    let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+    let zero = _mm256_setzero_ps();
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let x = _mm256_loadu_ps(sp.add(j));
+        // x where x > 0 (ordered: NaN fails the test), +0.0 elsewhere —
+        // exactly the scalar `if s > 0.0 { s } else { 0.0 }`.
+        let mask = _mm256_cmp_ps(x, zero, _CMP_GT_OQ);
+        _mm256_storeu_ps(dp.add(j), _mm256_and_ps(x, mask));
+        j += 8;
+    }
+    relu_scalar(&src[j..], &mut dst[j..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn sigmoid_avx2(src: &[f32], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = src.len();
+    let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+    let mut j = 0usize;
+    while j + 8 <= n {
+        _mm256_storeu_ps(dp.add(j), sigmoid_ps(_mm256_loadu_ps(sp.add(j))));
+        j += 8;
+    }
+    sigmoid_scalar(&src[j..], &mut dst[j..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tanh_avx2(src: &[f32], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = src.len();
+    let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+    let mut j = 0usize;
+    while j + 8 <= n {
+        _mm256_storeu_ps(dp.add(j), tanh_ps(_mm256_loadu_ps(sp.add(j))));
+        j += 8;
+    }
+    tanh_scalar(&src[j..], &mut dst[j..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn swish_avx2(src: &[f32], dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = src.len();
+    let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let x = _mm256_loadu_ps(sp.add(j));
+        _mm256_storeu_ps(dp.add(j), _mm256_mul_ps(x, sigmoid_ps(x)));
+        j += 8;
+    }
+    swish_scalar(&src[j..], &mut dst[j..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn relu_deriv_mul_avx2(pre: &[f32], g: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = pre.len();
+    let (pp, gp) = (pre.as_ptr(), g.as_mut_ptr());
+    let zero = _mm256_setzero_ps();
+    let one = _mm256_set1_ps(1.0);
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let p = _mm256_loadu_ps(pp.add(j));
+        // d is exactly 1.0 or 0.0, then a true multiply — preserving the
+        // scalar loop's signed-zero/NaN propagation through `g *= d`.
+        let d = _mm256_and_ps(one, _mm256_cmp_ps(p, zero, _CMP_GT_OQ));
+        _mm256_storeu_ps(gp.add(j), _mm256_mul_ps(_mm256_loadu_ps(gp.add(j)), d));
+        j += 8;
+    }
+    relu_deriv_mul_scalar(&pre[j..], &mut g[j..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn sigmoid_deriv_mul_avx2(pre: &[f32], g: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = pre.len();
+    let (pp, gp) = (pre.as_ptr(), g.as_mut_ptr());
+    let one = _mm256_set1_ps(1.0);
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let s = sigmoid_ps(_mm256_loadu_ps(pp.add(j)));
+        let d = _mm256_mul_ps(s, _mm256_sub_ps(one, s));
+        _mm256_storeu_ps(gp.add(j), _mm256_mul_ps(_mm256_loadu_ps(gp.add(j)), d));
+        j += 8;
+    }
+    sigmoid_deriv_mul_scalar(&pre[j..], &mut g[j..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tanh_deriv_mul_avx2(pre: &[f32], g: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = pre.len();
+    let (pp, gp) = (pre.as_ptr(), g.as_mut_ptr());
+    let one = _mm256_set1_ps(1.0);
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let t = tanh_ps(_mm256_loadu_ps(pp.add(j)));
+        let d = _mm256_sub_ps(one, _mm256_mul_ps(t, t));
+        _mm256_storeu_ps(gp.add(j), _mm256_mul_ps(_mm256_loadu_ps(gp.add(j)), d));
+        j += 8;
+    }
+    tanh_deriv_mul_scalar(&pre[j..], &mut g[j..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn swish_deriv_mul_avx2(pre: &[f32], g: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = pre.len();
+    let (pp, gp) = (pre.as_ptr(), g.as_mut_ptr());
+    let one = _mm256_set1_ps(1.0);
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let p = _mm256_loadu_ps(pp.add(j));
+        let s = sigmoid_ps(p);
+        // s + (p·s)·(1−s): same association as the scalar
+        // `s + p * s * (1.0 - s)`.
+        let t = _mm256_mul_ps(_mm256_mul_ps(p, s), _mm256_sub_ps(one, s));
+        let d = _mm256_add_ps(s, t);
+        _mm256_storeu_ps(gp.add(j), _mm256_mul_ps(_mm256_loadu_ps(gp.add(j)), d));
+        j += 8;
+    }
+    swish_deriv_mul_scalar(&pre[j..], &mut g[j..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn relu_mask_zero_avx2(pre: &[f32], g: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = pre.len();
+    let (pp, gp) = (pre.as_ptr(), g.as_mut_ptr());
+    let zero = _mm256_setzero_ps();
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let p = _mm256_loadu_ps(pp.add(j));
+        // Keep g where NOT(p <= 0) — unordered compare keeps NaN lanes,
+        // matching the scalar `if p <= 0.0 { g = 0.0 }`.
+        let keep = _mm256_cmp_ps(p, zero, _CMP_NLE_UQ);
+        _mm256_storeu_ps(gp.add(j), _mm256_and_ps(_mm256_loadu_ps(gp.add(j)), keep));
+        j += 8;
+    }
+    relu_mask_zero_scalar(&pre[j..], &mut g[j..]);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +1161,206 @@ mod tests {
         let mut y = [0.625f32];
         axpy(1.75, &[3.3], &mut y);
         assert_eq!(y[0], madd(1.75, 3.3, 0.625));
+    }
+
+    #[test]
+    fn row_pass_specialised_lanes_match_generic_replay_bitwise() {
+        // Every specialised lane (cols 2..=8) must produce the same bits
+        // as a hand-rolled generic replay built from row_max / row_sum —
+        // the fused loss and softmax depend on lane choice being
+        // unobservable.
+        for cols in 1usize..=12 {
+            let rows = 9;
+            let mut state = 0x5EED_u64 | 1;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z >> 40) as f32) / 699_050.0 - 12.0
+            };
+            let data: Vec<f32> = (0..rows * cols).map(|_| next()).collect();
+
+            let mut specialised = data.clone();
+            rows_sub_max(&mut specialised, cols);
+            rows_normalize(&mut specialised, cols);
+
+            let mut replay = data;
+            for row in replay.chunks_exact_mut(cols) {
+                let max = row_max(row);
+                for v in row.iter_mut() {
+                    *v -= max;
+                }
+                let inv = 1.0 / row_sum(row);
+                for v in row.iter_mut() {
+                    *v *= inv;
+                }
+            }
+            for (a, b) in specialised.iter().zip(&replay) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cols={cols}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exp_approx_tracks_std_exp() {
+        for i in -870..=880 {
+            let x = i as f32 * 0.1;
+            let got = exp_approx(x);
+            let want = x.exp();
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 5e-7, "x={x}: got {got}, want {want}, rel {rel}");
+        }
+        assert_eq!(exp_approx(0.0), 1.0);
+        assert!(exp_approx(-1000.0) > 0.0, "clamped underflow stays normal");
+        assert!(exp_approx(1000.0).is_finite(), "clamped overflow stays finite");
+    }
+
+    #[test]
+    fn sigmoid_and_tanh_pins() {
+        assert_eq!(sigmoid_approx(0.0), 0.5);
+        assert_eq!(tanh_approx(0.0), 0.0);
+        assert!((tanh_approx(1.0) - 1.0f32.tanh()).abs() < 1e-6);
+        assert!((sigmoid_approx(-3.0) - (1.0 / (1.0 + 3.0f32.exp()))).abs() < 1e-6);
+        assert!((tanh_approx(50.0) - 1.0).abs() < 1e-6);
+        assert!((tanh_approx(-50.0) + 1.0).abs() < 1e-6);
+    }
+
+    /// Deterministic pseudo-random data that exercises all 8-lane main
+    /// loops plus scalar tails.
+    fn noise(n: usize, seed: u64, span: f32) -> Vec<f32> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = ((s >> 33) as f32) / (u32::MAX >> 1) as f32; // [0, 2)
+                (u - 1.0) * span
+            })
+            .collect()
+    }
+
+    fn assert_bitwise(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn dispatched_elementwise_kernels_match_scalar_twins_bitwise() {
+        for &n in &[1usize, 7, 8, 9, 31, 64, 100] {
+            let base = noise(n, 0x9E37 ^ n as u64, 20.0);
+
+            let mut a = base.clone();
+            let mut b = base.clone();
+            vexp(&mut a);
+            vexp_scalar(&mut b);
+            assert_bitwise(&a, &b, "vexp");
+
+            let mut a = base.clone();
+            let mut b = base.clone();
+            sub_exp(&mut a, 1.25);
+            sub_exp_scalar(&mut b, 1.25);
+            assert_bitwise(&a, &b, "sub_exp");
+
+            let mut a = base.clone();
+            let mut b = base.clone();
+            vscale(&mut a, -0.731);
+            vscale_scalar(&mut b, -0.731);
+            assert_bitwise(&a, &b, "vscale");
+
+            let mut a = vec![0.0f32; n];
+            let mut b = vec![0.0f32; n];
+            copy_slice(&mut a, &base);
+            copy_slice_scalar(&mut b, &base);
+            assert_bitwise(&a, &b, "copy_slice");
+
+            for (kernel, twin, what) in [
+                (relu as fn(&[f32], &mut [f32]), relu_scalar as fn(&[f32], &mut [f32]), "relu"),
+                (sigmoid, sigmoid_scalar, "sigmoid"),
+                (tanh_act, tanh_scalar, "tanh"),
+                (swish, swish_scalar, "swish"),
+            ] {
+                let mut a = vec![0.0f32; n];
+                let mut b = vec![0.0f32; n];
+                kernel(&base, &mut a);
+                twin(&base, &mut b);
+                assert_bitwise(&a, &b, what);
+            }
+
+            let grad = noise(n, 0xF00D ^ n as u64, 3.0);
+            for (kernel, twin, what) in [
+                (
+                    relu_deriv_mul as fn(&[f32], &mut [f32]),
+                    relu_deriv_mul_scalar as fn(&[f32], &mut [f32]),
+                    "relu_deriv_mul",
+                ),
+                (sigmoid_deriv_mul, sigmoid_deriv_mul_scalar, "sigmoid_deriv_mul"),
+                (tanh_deriv_mul, tanh_deriv_mul_scalar, "tanh_deriv_mul"),
+                (swish_deriv_mul, swish_deriv_mul_scalar, "swish_deriv_mul"),
+                (relu_mask_zero, relu_mask_zero_scalar, "relu_mask_zero"),
+            ] {
+                let mut a = grad.clone();
+                let mut b = grad.clone();
+                kernel(&base, &mut a);
+                twin(&base, &mut b);
+                assert_bitwise(&a, &b, what);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_adam_matches_scalar_twin_bitwise() {
+        let p = AdamParams {
+            beta1: 0.9,
+            beta2: 0.999,
+            inv_bc1: 1.0 / (1.0 - 0.9f32.powi(3)),
+            inv_bc2: 1.0 / (1.0 - 0.999f32.powi(3)),
+            eps: 1e-8,
+            lr: 0.01,
+            weight_decay: 1e-4,
+        };
+        for &n in &[1usize, 8, 13, 96, 200] {
+            let g = noise(n, 11 + n as u64, 2.0);
+            let mut w_a = noise(n, 22, 1.0);
+            let mut m_a = noise(n, 33, 0.1);
+            let mut v_a: Vec<f32> = noise(n, 44, 0.1).iter().map(|x| x.abs()).collect();
+            let (mut w_b, mut m_b, mut v_b) = (w_a.clone(), m_a.clone(), v_a.clone());
+            adam_update_weights(&mut w_a, &mut m_a, &mut v_a, &g, &p);
+            adam_update_weights_scalar(&mut w_b, &mut m_b, &mut v_b, &g, &p);
+            assert_bitwise(&w_a, &w_b, "adam_w");
+            assert_bitwise(&m_a, &m_b, "adam_m");
+            assert_bitwise(&v_a, &v_b, "adam_v");
+
+            let mut b_a = noise(n, 55, 1.0);
+            let mut bm_a = noise(n, 66, 0.1);
+            let mut bv_a: Vec<f32> = noise(n, 77, 0.1).iter().map(|x| x.abs()).collect();
+            let (mut b_b, mut bm_b, mut bv_b) = (b_a.clone(), bm_a.clone(), bv_a.clone());
+            adam_update_biases(&mut b_a, &mut bm_a, &mut bv_a, &g, &p);
+            adam_update_biases_scalar(&mut b_b, &mut bm_b, &mut bv_b, &g, &p);
+            assert_bitwise(&b_a, &b_b, "adam_b");
+        }
+    }
+
+    #[test]
+    fn relu_edge_cases_match_on_both_paths() {
+        let src = [f32::NAN, -0.0, 0.0, -1.0, 1.0, f32::INFINITY, f32::NEG_INFINITY, 2.5, -2.5];
+        let mut a = vec![9.0f32; src.len()];
+        let mut b = vec![9.0f32; src.len()];
+        relu(&src, &mut a);
+        relu_scalar(&src, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // NaN pre keeps the gradient in the merge mask, on both arms.
+        let g0: Vec<f32> = (0..src.len()).map(|i| i as f32 - 4.0).collect();
+        let mut ga = g0.clone();
+        let mut gb = g0.clone();
+        relu_mask_zero(&src, &mut ga);
+        relu_mask_zero_scalar(&src, &mut gb);
+        for (x, y) in ga.iter().zip(&gb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(ga[0], g0[0], "NaN pre must keep g");
     }
 }
