@@ -1,0 +1,155 @@
+//! Measures checkpoint-persistence cost and writes `BENCH_ckpt.json`.
+//!
+//! The question: what does durable search state cost as the history
+//! grows? The legacy scheme rewrites the entire history JSON at every
+//! checkpoint — O(history) bytes per checkpoint, O(history²) for a
+//! run — while the segmented store appends only the delta since the
+//! last committed checkpoint plus an O(#segments) manifest rewrite.
+//! Both sides run against the real file system with the same fsync
+//! discipline (temp-then-rename for the legacy rewrite, framed append
+//! + manifest rename for the store), so seconds are comparable too.
+//!
+//! The workload is synthetic — a history of N records checkpointed
+//! every E completions — because the cost under test is purely the
+//! persistence layer's; search compute would only add noise. A final
+//! compaction folds the segments into one snapshot and reports the
+//! reclaim. `--quick` shrinks N for CI smoke runs.
+
+use agebo_core::{
+    CachePolicy, CheckpointMeta, DurableStore, EvalRecord, FaultPlan, RealIo, RunHeader,
+    SearchHistory, Variant,
+};
+use agebo_dataparallel::DataParallelHp;
+use agebo_searchspace::ArchVector;
+use std::time::Instant;
+
+/// Checkpoint cadence (recorded completions per checkpoint).
+const EVERY: usize = 10;
+
+/// A plausible record: varied arch lengths and float digits so JSON
+/// sizes match real histories rather than a best-case constant.
+fn record(i: usize) -> EvalRecord {
+    EvalRecord {
+        id: i as u64,
+        arch: ArchVector((0..8).map(|j| ((i * 31 + j * 7) % 40) as u16).collect()),
+        hp: DataParallelHp { lr1: 0.001 + (i % 97) as f32 * 1e-5, bs1: 256, n: 1 + (i % 8) },
+        objective: 0.5 + ((i * 2654435761) % 100_000) as f64 * 1e-6,
+        submitted_at: i as f64 * 13.7,
+        finished_at: i as f64 * 13.7 + 120.0,
+        duration: 120.0,
+        cache_hit: i.is_multiple_of(11),
+    }
+}
+
+fn history_of(records: Vec<EvalRecord>) -> SearchHistory {
+    SearchHistory {
+        label: "AgEBO".into(),
+        dataset: "covertype".into(),
+        records,
+        wall_time: 1e9,
+        n_workers: 16,
+        utilization: 0.9,
+        n_failed: 0,
+        n_cache_hits: 0,
+        variant: Some(Variant::agebo()),
+    }
+}
+
+fn header() -> RunHeader {
+    RunHeader {
+        dataset: "covertype".into(),
+        profile: "bench".into(),
+        seed: 42,
+        variant: Variant::agebo(),
+        wall_time: 1e9,
+        workers: 16,
+        failure_rate: 0.0,
+        chaos: FaultPlan::none(),
+        cache: CachePolicy::Replay,
+        checkpoint_every: EVERY,
+        fingerprint: 0,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick { &[200, 1000] } else { &[200, 1000, 4000] };
+
+    let scratch = std::env::temp_dir().join(format!("agebo-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    let mut entries = Vec::new();
+    let mut ratio_at_max = f64::NAN;
+    for &n in sizes {
+        let records: Vec<EvalRecord> = (0..n).map(record).collect();
+        let checkpoints = n / EVERY;
+
+        // Legacy: every checkpoint rewrites the full history so far,
+        // durably (temp file, fsync, rename — what the CLI's
+        // `--checkpoint` path does via `atomic_write_str`).
+        let legacy_path = scratch.join(format!("legacy-{n}.json"));
+        let t0 = Instant::now();
+        let mut legacy_bytes = 0u64;
+        for c in 1..=checkpoints {
+            let snap = history_of(records[..c * EVERY].to_vec());
+            let json = snap.to_json_string();
+            legacy_bytes += json.len() as u64;
+            agebo_telemetry::atomic_write_str(&legacy_path, &json).expect("legacy checkpoint");
+        }
+        let legacy_secs = t0.elapsed().as_secs_f64();
+
+        // Segmented: the same cadence appends only the delta frames;
+        // the manifest rewrite is O(#segments), not O(history).
+        let store_dir = scratch.join(format!("store-{n}"));
+        let t0 = Instant::now();
+        let mut store = DurableStore::create(Box::new(RealIo), &store_dir, header())
+            .expect("create store");
+        let mut seg_bytes = 0u64;
+        for c in 1..=checkpoints {
+            let delta = &records[(c - 1) * EVERY..c * EVERY];
+            let stats = store
+                .append_checkpoint(
+                    delta,
+                    CheckpointMeta {
+                        sim: (c * EVERY) as f64,
+                        n_failed: 0,
+                        n_cache_hits: 0,
+                        in_flight: 16,
+                    },
+                )
+                .expect("append checkpoint");
+            seg_bytes += stats.bytes;
+        }
+        let seg_secs = t0.elapsed().as_secs_f64();
+        let sealed = store.sealed_segments();
+        let t0 = Instant::now();
+        let compact = store.compact().expect("compact store");
+        let compact_secs = t0.elapsed().as_secs_f64();
+
+        let ratio = legacy_bytes as f64 / seg_bytes.max(1) as f64;
+        if n == *sizes.last().unwrap() {
+            ratio_at_max = ratio;
+        }
+        println!(
+            "N={n} (x{checkpoints} checkpoints): full-rewrite {legacy_bytes} B in \
+             {legacy_secs:.3}s, segmented {seg_bytes} B in {seg_secs:.3}s ({ratio:.1}x fewer \
+             bytes), compact {} -> {} B in {compact_secs:.3}s",
+            compact.bytes_before, compact.bytes_after
+        );
+        entries.push(format!(
+            "    {{\n      \"n_records\": {n},\n      \"checkpoints\": {checkpoints},\n      \"full_rewrite_bytes\": {legacy_bytes},\n      \"full_rewrite_seconds\": {legacy_secs:.4},\n      \"segmented_bytes\": {seg_bytes},\n      \"segmented_seconds\": {seg_secs:.4},\n      \"bytes_ratio\": {ratio:.2},\n      \"sealed_segments\": {sealed},\n      \"compact_bytes_before\": {},\n      \"compact_bytes_after\": {},\n      \"compact_seconds\": {compact_secs:.4}\n    }}",
+            compact.bytes_before, compact.bytes_after
+        ));
+    }
+
+    println!("full-rewrite vs segmented bytes at N={}: {ratio_at_max:.1}x", sizes.last().unwrap());
+    let json = format!(
+        "{{\n  \"benchmark\": \"durable_checkpoints\",\n  \"workload\": \"synthetic {EVERY}-record checkpoint cadence on the real file system: full-history atomic rewrite (legacy --checkpoint) vs segmented append-only store (--checkpoint-dir), identical fsync discipline\",\n  \"checkpoint_every\": {EVERY},\n  \"full_rewrite_vs_segmented_bytes_at_max\": {ratio_at_max:.2},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_ckpt.json", &json).expect("write BENCH_ckpt.json");
+    println!("wrote BENCH_ckpt.json");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}

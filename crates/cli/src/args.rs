@@ -25,6 +25,8 @@ pub enum Command {
     Report(ReportArgs),
     /// Run multiple concurrent searches from a serve config file.
     Serve(ServeArgs),
+    /// Fold a durable checkpoint store's segments into one snapshot.
+    Compact(CompactArgs),
 }
 
 /// Arguments of `agebo search`.
@@ -54,13 +56,18 @@ pub struct SearchArgs {
     pub chaos: Option<FaultPlan>,
     /// Checkpoint the history every N recorded completions (to `--out`).
     pub checkpoint_every: Option<usize>,
+    /// Durable segmented checkpoint store directory; makes the run
+    /// crash-resumable via `agebo resume --dir`.
+    pub checkpoint_dir: Option<String>,
 }
 
 /// Arguments of `agebo resume`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResumeArgs {
-    /// Saved history to resume.
-    pub history: String,
+    /// Saved history to resume (legacy single-file checkpoint).
+    pub history: Option<String>,
+    /// Durable checkpoint store to resume exactly-once (`--dir`).
+    pub dir: Option<String>,
     /// Benchmark data set the history was produced on.
     pub dataset: DatasetKind,
     /// Size/search profile.
@@ -95,6 +102,17 @@ pub struct ServeArgs {
     pub config: String,
     /// Output directory for per-session artifacts and the final report.
     pub out_dir: String,
+    /// Restart an interrupted deployment: skip sessions `serve_state.json`
+    /// marks done (pre-charging their evaluations against tenant budgets)
+    /// and resume the rest from their checkpoint stores.
+    pub resume: bool,
+}
+
+/// Arguments of `agebo compact`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactArgs {
+    /// Durable checkpoint store directory.
+    pub dir: String,
 }
 
 /// Arguments of `agebo report`.
@@ -129,12 +147,17 @@ USAGE:
                  [--out history.json] [--model-out model.json]
                  [--telemetry DIR] [--failure-rate P]
                  [--chaos-profile none|mild|heavy] [--checkpoint-every N]
+                 [--checkpoint-dir DIR]   (durable store; crash-resumable)
+  agebo resume   --dir CKPT_DIR           (exactly-once resume of a durable
+                 [--out merged.json]       store; config comes from the store)
+                 [--telemetry DIR]
   agebo resume   --history history.json [--dataset D] [--profile P] [--seed N]
                  [--out merged.json] [--telemetry DIR] [--failure-rate P]
                  [--chaos-profile none|mild|heavy] [--checkpoint-every N]
+  agebo compact  --dir CKPT_DIR           (fold segments into one snapshot)
   agebo evaluate --model model.json --csv data.csv
   agebo report   --dir DIR    (a --telemetry directory or an events.jsonl)
-  agebo serve    --config serve.json [--out-dir DIR]
+  agebo serve    --config serve.json [--out-dir DIR] [--resume]
 ";
 
 fn parse_dataset(s: &str) -> Result<DatasetKind, ParseError> {
@@ -191,12 +214,15 @@ fn parse_chaos(s: &str) -> Result<FaultPlan, ParseError> {
         .ok_or_else(|| ParseError(format!("unknown chaos profile {s} (none|mild|heavy)")))
 }
 
-/// Pulls `--key value` pairs out of `argv`, rejecting keys outside
-/// `allowed` (so a typo like `--sed 7` fails loudly instead of being
-/// silently ignored) and duplicate keys.
-fn keyed(
+/// Pulls `--key value` pairs (and valueless `--switch` toggles from
+/// `switches`) out of `argv`, rejecting keys outside `allowed ∪ switches`
+/// (so a typo like `--sed 7` fails loudly instead of being silently
+/// ignored) and duplicate keys. Switches are returned in the map with an
+/// empty value.
+fn keyed_with_switches(
     argv: &[String],
     allowed: &[&str],
+    switches: &[&str],
 ) -> Result<std::collections::HashMap<String, String>, ParseError> {
     let mut map = std::collections::HashMap::new();
     let mut i = 0;
@@ -206,11 +232,19 @@ fn keyed(
             return Err(ParseError(format!("unexpected argument {key}")));
         }
         let name = &key[2..];
+        if switches.contains(&name) {
+            if map.insert(name.to_string(), String::new()).is_some() {
+                return Err(ParseError(format!("{key} given more than once")));
+            }
+            i += 1;
+            continue;
+        }
         if !allowed.contains(&name) {
             return Err(ParseError(format!(
                 "unknown flag {key} (expected one of: {})",
                 allowed
                     .iter()
+                    .chain(switches)
                     .map(|k| format!("--{k}"))
                     .collect::<Vec<_>>()
                     .join(", ")
@@ -225,6 +259,13 @@ fn keyed(
         i += 2;
     }
     Ok(map)
+}
+
+fn keyed(
+    argv: &[String],
+    allowed: &[&str],
+) -> Result<std::collections::HashMap<String, String>, ParseError> {
+    keyed_with_switches(argv, allowed, &[])
 }
 
 impl Cli {
@@ -251,6 +292,7 @@ impl Cli {
                         "failure-rate",
                         "chaos-profile",
                         "checkpoint-every",
+                        "checkpoint-dir",
                     ],
                 )?;
                 Command::Search(SearchArgs {
@@ -297,6 +339,7 @@ impl Cli {
                                 .map_err(|_| ParseError("bad --checkpoint-every".into()))
                         })
                         .transpose()?,
+                    checkpoint_dir: kv.get("checkpoint-dir").cloned(),
                 })
             }
             "resume" => {
@@ -304,6 +347,7 @@ impl Cli {
                     rest,
                     &[
                         "history",
+                        "dir",
                         "dataset",
                         "profile",
                         "seed",
@@ -314,11 +358,24 @@ impl Cli {
                         "checkpoint-every",
                     ],
                 )?;
+                let history = kv.get("history").cloned();
+                let dir = kv.get("dir").cloned();
+                match (&history, &dir) {
+                    (None, None) => {
+                        return Err(ParseError(
+                            "resume requires --dir (durable store) or --history (legacy)".into(),
+                        ))
+                    }
+                    (Some(_), Some(_)) => {
+                        return Err(ParseError(
+                            "resume takes --dir or --history, not both".into(),
+                        ))
+                    }
+                    _ => {}
+                }
                 Command::Resume(ResumeArgs {
-                    history: kv
-                        .get("history")
-                        .cloned()
-                        .ok_or_else(|| ParseError("resume requires --history".into()))?,
+                    history,
+                    dir,
                     dataset: kv
                         .get("dataset")
                         .map(|s| parse_dataset(s))
@@ -373,7 +430,7 @@ impl Cli {
                 })
             }
             "serve" => {
-                let kv = keyed(rest, &["config", "out-dir"])?;
+                let kv = keyed_with_switches(rest, &["config", "out-dir"], &["resume"])?;
                 Command::Serve(ServeArgs {
                     config: kv
                         .get("config")
@@ -383,6 +440,16 @@ impl Cli {
                         .get("out-dir")
                         .cloned()
                         .unwrap_or_else(|| "serve-out".to_string()),
+                    resume: kv.contains_key("resume"),
+                })
+            }
+            "compact" => {
+                let kv = keyed(rest, &["dir"])?;
+                Command::Compact(CompactArgs {
+                    dir: kv
+                        .get("dir")
+                        .cloned()
+                        .ok_or_else(|| ParseError("compact requires --dir".into()))?,
                 })
             }
             "--help" | "-h" | "help" => return Err(ParseError(USAGE.to_string())),
@@ -533,7 +600,11 @@ mod tests {
         let cli = Cli::parse(&argv(&["serve", "--config", "s.json"])).unwrap();
         assert_eq!(
             cli.command,
-            Command::Serve(ServeArgs { config: "s.json".into(), out_dir: "serve-out".into() })
+            Command::Serve(ServeArgs {
+                config: "s.json".into(),
+                out_dir: "serve-out".into(),
+                resume: false,
+            })
         );
         let cli =
             Cli::parse(&argv(&["serve", "--config", "s.json", "--out-dir", "/tmp/o"])).unwrap();
@@ -546,16 +617,55 @@ mod tests {
     }
 
     #[test]
-    fn resume_requires_history() {
-        assert!(Cli::parse(&argv(&["resume"])).is_err());
+    fn resume_requires_history_or_dir() {
+        let err = Cli::parse(&argv(&["resume"])).unwrap_err();
+        assert!(err.0.contains("--dir") && err.0.contains("--history"), "{}", err.0);
         let cli =
             Cli::parse(&argv(&["resume", "--history", "h.json", "--seed", "9"])).unwrap();
         match cli.command {
             Command::Resume(a) => {
-                assert_eq!(a.history, "h.json");
+                assert_eq!(a.history.as_deref(), Some("h.json"));
+                assert_eq!(a.dir, None);
                 assert_eq!(a.seed, 9);
             }
             other => panic!("wrong command {other:?}"),
         }
+        let cli = Cli::parse(&argv(&["resume", "--dir", "ckpt"])).unwrap();
+        match cli.command {
+            Command::Resume(a) => {
+                assert_eq!(a.dir.as_deref(), Some("ckpt"));
+                assert_eq!(a.history, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let err = Cli::parse(&argv(&["resume", "--dir", "ckpt", "--history", "h.json"]))
+            .unwrap_err();
+        assert!(err.0.contains("not both"), "{}", err.0);
+    }
+
+    #[test]
+    fn parses_durability_commands() {
+        let cli =
+            Cli::parse(&argv(&["search", "--checkpoint-dir", "ckpt", "--checkpoint-every", "5"]))
+                .unwrap();
+        match cli.command {
+            Command::Search(a) => {
+                assert_eq!(a.checkpoint_dir.as_deref(), Some("ckpt"));
+                assert_eq!(a.checkpoint_every, Some(5));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = Cli::parse(&argv(&["compact", "--dir", "ckpt"])).unwrap();
+        assert_eq!(cli.command, Command::Compact(CompactArgs { dir: "ckpt".into() }));
+        assert!(Cli::parse(&argv(&["compact"])).is_err());
+        let cli = Cli::parse(&argv(&["serve", "--config", "s.json", "--resume"])).unwrap();
+        match cli.command {
+            Command::Serve(a) => assert!(a.resume),
+            other => panic!("wrong command {other:?}"),
+        }
+        // A switch takes no value: the next token is parsed on its own.
+        let err =
+            Cli::parse(&argv(&["serve", "--config", "s.json", "--resume", "true"])).unwrap_err();
+        assert!(err.0.contains("unexpected argument"), "{}", err.0);
     }
 }

@@ -1,14 +1,16 @@
 //! Subcommand implementations.
 
-use crate::args::{EvaluateArgs, ReportArgs, ResumeArgs, SearchArgs, ServeArgs};
+use crate::args::{CompactArgs, EvaluateArgs, ReportArgs, ResumeArgs, SearchArgs, ServeArgs};
 use agebo_analysis::ConfusionMatrix;
 use agebo_core::evaluation::train_final;
 use agebo_core::{
-    resume_search_instrumented, run_search_instrumented, EvalContext, EvalTask, SearchConfig,
-    SearchHistory,
+    resume_search_instrumented, run_search_durable, run_search_instrumented, DurableRun,
+    DurableStore, EvalContext, EvalTask, RealIo, RunHeader, SearchConfig, SearchHistory,
 };
-use agebo_serve::{Admission, ServeConfig, ServeOptions, SessionManager, SessionTelemetry};
-use agebo_telemetry::{Json, RunEvent, RunSummary, Telemetry, EVENTS_FILE};
+use agebo_serve::{
+    Admission, ServeConfig, ServeOptions, SessionManager, SessionSpec, SessionTelemetry,
+};
+use agebo_telemetry::{atomic_write_str, Json, RunEvent, RunSummary, Telemetry, EVENTS_FILE};
 use agebo_nn::serialize::{load_model, save_model};
 use agebo_searchspace::SearchSpace;
 use agebo_tabular::csv::load_csv;
@@ -24,6 +26,41 @@ fn search_config(profile: SizeProfile, variant: agebo_core::Variant) -> SearchCo
         SizeProfile::Test => SearchConfig::test(variant),
         SizeProfile::Bench => SearchConfig::bench(variant),
         SizeProfile::Large => SearchConfig::paper(variant),
+    }
+}
+
+fn profile_name(profile: SizeProfile) -> &'static str {
+    match profile {
+        SizeProfile::Test => "test",
+        SizeProfile::Bench => "bench",
+        SizeProfile::Large => "large",
+    }
+}
+
+fn parse_profile_name(name: &str) -> Result<SizeProfile, CliError> {
+    match name {
+        "test" => Ok(SizeProfile::Test),
+        "bench" => Ok(SizeProfile::Bench),
+        "large" => Ok(SizeProfile::Large),
+        other => Err(format!("store records unknown profile {other:?}").into()),
+    }
+}
+
+/// The durable-store header describing `cfg` — the identity a resume
+/// must match bit for bit.
+fn run_header(cfg: &SearchConfig, dataset: &str, profile: SizeProfile) -> RunHeader {
+    RunHeader {
+        dataset: dataset.to_string(),
+        profile: profile_name(profile).to_string(),
+        seed: cfg.seed,
+        variant: cfg.variant.clone(),
+        wall_time: cfg.wall_time,
+        workers: cfg.workers,
+        failure_rate: cfg.failure_rate,
+        chaos: cfg.chaos,
+        cache: cfg.cache,
+        checkpoint_every: cfg.checkpoint_every,
+        fingerprint: 0,
     }
 }
 
@@ -170,12 +207,23 @@ fn apply_chaos_flags(
 
 /// `agebo search`.
 pub fn search(args: &SearchArgs) -> Result<(), CliError> {
+    if args.csv.is_some() && args.checkpoint_dir.is_some() {
+        return Err("--checkpoint-dir needs a benchmark --dataset; a CSV run's context \
+                    cannot be rebuilt from the store on resume"
+            .into());
+    }
     let ctx = context_for(args)?;
     let mut cfg = search_config(args.profile, args.variant.clone()).with_seed(args.seed);
     if let Some(minutes) = args.wall_minutes {
         cfg = cfg.with_wall_time(minutes * 60.0);
     }
     cfg = apply_chaos_flags(cfg, args.failure_rate, args.chaos, args.checkpoint_every, &args.out);
+    if let Some(dir) = &args.checkpoint_dir {
+        // A durable store needs a cadence; default one when the user
+        // asked for durability but not for a specific interval.
+        let every = if cfg.checkpoint_every > 0 { cfg.checkpoint_every } else { 10 };
+        cfg = cfg.with_checkpoint_dir(every, dir.clone());
+    }
     eprintln!(
         "searching with {} on {} ({} workers, {:.0} simulated minutes)...",
         args.variant.label(),
@@ -184,10 +232,36 @@ pub fn search(args: &SearchArgs) -> Result<(), CliError> {
         cfg.wall_time / 60.0
     );
     let tel = telemetry_for(&args.telemetry)?;
-    let history = run_search_instrumented(Arc::clone(&ctx), &cfg, &tel);
+    let history = match cfg.checkpoint_dir.clone() {
+        None => run_search_instrumented(Arc::clone(&ctx), &cfg, &tel),
+        Some(dir) => {
+            if DurableStore::exists(&dir) {
+                return Err(format!(
+                    "checkpoint dir {dir} already holds a store; \
+                     continue it with `agebo resume --dir {dir}`"
+                )
+                .into());
+            }
+            let header = run_header(&cfg, ctx.meta.name, args.profile);
+            let mut store = DurableStore::create(Box::new(RealIo), &*dir, header)?;
+            let (history, _stop) = run_search_durable(
+                Arc::clone(&ctx),
+                &cfg,
+                &tel,
+                None,
+                None,
+                DurableRun { store: &mut store, recovered: None },
+            );
+            println!(
+                "durable checkpoints in {dir} ({} records committed)",
+                store.committed_records()
+            );
+            history
+        }
+    };
     report(&history);
     if let Some(path) = &args.out {
-        std::fs::write(path, history.to_json_string())?;
+        atomic_write_str(path, &history.to_json_string())?;
         tel.emit(RunEvent::Checkpoint {
             sim: history.wall_time,
             n_records: history.len(),
@@ -210,11 +284,85 @@ pub fn search(args: &SearchArgs) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `agebo resume`.
+/// `agebo resume`: exactly-once from a durable store (`--dir`), or the
+/// legacy warm start from a saved history file (`--history`).
 pub fn resume(args: &ResumeArgs) -> Result<(), CliError> {
-    let text = std::fs::read_to_string(&args.history)?;
+    match (&args.dir, &args.history) {
+        (Some(dir), None) => resume_durable(args, dir),
+        (None, Some(history)) => resume_legacy(args, history),
+        _ => Err("resume requires exactly one of --dir or --history".into()),
+    }
+}
+
+/// Exactly-once resume: the store's header is the configuration's source
+/// of truth, recovered records replay without retraining, and in-flight
+/// evaluations are re-issued with their original seeds — the continued
+/// run's history is bitwise identical to one that was never interrupted.
+fn resume_durable(args: &ResumeArgs, dir: &str) -> Result<(), CliError> {
+    if args.failure_rate.is_some() || args.chaos.is_some() || args.checkpoint_every.is_some() {
+        return Err("resume --dir takes its configuration from the store; \
+                    --failure-rate/--chaos-profile/--checkpoint-every cannot be overridden"
+            .into());
+    }
+    let (mut store, recovered) = DurableStore::open(Box::new(RealIo), dir)?;
+    let header = store.header().clone();
+    let dataset = DatasetKind::ALL
+        .into_iter()
+        .find(|k| k.name() == header.dataset)
+        .ok_or_else(|| format!("store records unknown dataset {:?}", header.dataset))?;
+    let profile = parse_profile_name(&header.profile)?;
+    let mut cfg = search_config(profile, header.variant.clone())
+        .with_seed(header.seed)
+        .with_wall_time(header.wall_time)
+        .with_cache(header.cache)
+        .with_failure_rate(header.failure_rate)
+        .with_chaos(header.chaos);
+    cfg.workers = header.workers;
+    cfg.checkpoint_every = header.checkpoint_every;
+    cfg.checkpoint_dir = Some(dir.to_string());
+    // Drift check: the config rebuilt from the header must describe the
+    // run the store recorded (a serve-layer store carries a context
+    // fingerprint; adopt it, the rest must match field for field).
+    let mut rebuilt = run_header(&cfg, dataset.name(), profile);
+    rebuilt.fingerprint = header.fingerprint;
+    header.check_compatible(&rebuilt)?;
+    let ctx = Arc::new(EvalContext::prepare(dataset, profile, header.seed));
+    let tel = telemetry_for(&args.telemetry)?;
+    eprintln!(
+        "resuming {} on {} from {dir}: replaying {} committed records, \
+         re-issuing {} in flight...",
+        header.variant.label(),
+        header.dataset,
+        recovered.records.len(),
+        recovered.in_flight
+    );
+    if recovered.discarded_tail_bytes > 0 {
+        eprintln!("discarded {} bytes of torn tail during recovery", recovered.discarded_tail_bytes);
+    }
+    let (history, _stop) = run_search_durable(
+        Arc::clone(&ctx),
+        &cfg,
+        &tel,
+        None,
+        None,
+        DurableRun { store: &mut store, recovered: Some(&recovered) },
+    );
+    report(&history);
+    if let Some(path) = &args.out {
+        atomic_write_str(path, &history.to_json_string())?;
+        println!("history written to {path}");
+    }
+    finish_telemetry(&tel)?;
+    Ok(())
+}
+
+/// Legacy resume from a single-file history snapshot (warm start: the
+/// population and surrogate are rebuilt, in-flight work is lost, and the
+/// continuation gets a fresh wall-time budget).
+fn resume_legacy(args: &ResumeArgs, history: &str) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(history)?;
     let checkpoint = SearchHistory::from_json_str(&text)
-        .map_err(|e| format!("cannot parse {}: {e}", args.history))?;
+        .map_err(|e| format!("cannot parse {history}: {e}"))?;
     // Histories written since the variant was serialized carry it
     // verbatim; label parsing is only a fallback for legacy files.
     let variant = match &checkpoint.variant {
@@ -241,7 +389,7 @@ pub fn resume(args: &ResumeArgs) -> Result<(), CliError> {
     let merged = resume_search_instrumented(Arc::clone(&ctx), &cfg, &checkpoint, &tel);
     report(&merged);
     if let Some(path) = &args.out {
-        std::fs::write(path, merged.to_json_string())?;
+        atomic_write_str(path, &merged.to_json_string())?;
         tel.emit(RunEvent::Checkpoint {
             sim: merged.wall_time,
             n_records: merged.len(),
@@ -263,9 +411,64 @@ pub fn run_report(args: &ReportArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+/// One completed session in `serve_state.json`.
+struct DoneSession {
+    name: String,
+    tenant: String,
+    evaluations: u64,
+}
+
+/// Parses `serve_state.json` — the atomic record of which sessions a
+/// deployment already finished.
+fn parse_serve_state(text: &str) -> Result<Vec<DoneSession>, CliError> {
+    let json = Json::parse(text).map_err(|e| format!("cannot parse serve state: {e}"))?;
+    let done = json
+        .get("done")
+        .and_then(|d| d.as_arr())
+        .ok_or("serve state has no done array")?;
+    done.iter()
+        .map(|row| {
+            Ok(DoneSession {
+                name: row
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .ok_or("serve state row has no name")?
+                    .to_string(),
+                tenant: row
+                    .get("tenant")
+                    .and_then(|v| v.as_str())
+                    .ok_or("serve state row has no tenant")?
+                    .to_string(),
+                evaluations: row.get("evaluations").and_then(|v| v.as_u64()).unwrap_or(0),
+            })
+        })
+        .collect()
+}
+
+/// Atomically rewrites `serve_state.json` after every session completion,
+/// so a killed deployment restarts from the sessions it actually finished.
+fn write_serve_state(path: &std::path::Path, done: &[DoneSession]) -> Result<(), CliError> {
+    let rows = done
+        .iter()
+        .map(|d| {
+            Json::obj(vec![
+                ("name", Json::Str(d.name.clone())),
+                ("tenant", Json::Str(d.tenant.clone())),
+                ("evaluations", Json::UInt(d.evaluations)),
+            ])
+        })
+        .collect();
+    atomic_write_str(path, &Json::obj(vec![("done", Json::Arr(rows))]).to_string_pretty())?;
+    Ok(())
+}
+
 /// `agebo serve`: run a serve config's sessions concurrently on a shared
 /// slot pool, writing per-session telemetry and history files plus a
-/// final report under `--out-dir`.
+/// final report under `--out-dir`. Every session checkpoints into a
+/// durable store under the output directory; `--resume` restarts an
+/// interrupted deployment — finished sessions are skipped (their
+/// evaluations pre-charged against tenant budgets) and interrupted ones
+/// continue exactly-once from their stores.
 pub fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
     let text = std::fs::read_to_string(&args.config)
         .map_err(|e| format!("cannot read {}: {e}", args.config))?;
@@ -273,12 +476,26 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
     announce_isa();
     let out_dir = std::path::Path::new(&args.out_dir);
     std::fs::create_dir_all(out_dir)?;
+    let state_path = out_dir.join("serve_state.json");
+    let mut done: Vec<DoneSession> = Vec::new();
+    if args.resume {
+        match std::fs::read_to_string(&state_path) {
+            Ok(text) => done = parse_serve_state(&text)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("cannot read {}: {e}", state_path.display()).into()),
+        }
+    }
     let manager = SessionManager::new(ServeOptions {
         slots: config.slots,
         cache_capacity: config.cache_capacity,
     });
     for tenant in &config.tenants {
         manager.register_tenant(&tenant.name, tenant.budget.clone());
+    }
+    // A restarted deployment must honor the same total budgets as an
+    // uninterrupted one: completed sessions are charged up front.
+    for d in &done {
+        manager.charge_tenant(&d.tenant, d.evaluations);
     }
     eprintln!(
         "serving {} sessions over {} shared slots (cache capacity {})...",
@@ -289,8 +506,29 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
     let mut handles = Vec::new();
     let mut rows = Vec::new();
     for decl in &config.sessions {
-        let spec = decl
-            .to_spec()
+        if let Some(d) = done.iter().find(|d| d.name == decl.name) {
+            println!(
+                "session {} ({}) already complete — skipped ({} evaluations pre-charged)",
+                d.name, d.tenant, d.evaluations
+            );
+            rows.push(Json::obj(vec![
+                ("name", Json::Str(d.name.clone())),
+                ("tenant", Json::Str(d.tenant.clone())),
+                ("stop", Json::Str("already_complete".into())),
+                ("evaluations", Json::UInt(d.evaluations)),
+            ]));
+            continue;
+        }
+        let base = decl.to_spec();
+        // Durable session state: default a cadence when the declaration
+        // did not set one, so every served session is crash-resumable.
+        let every = if base.cfg.checkpoint_every > 0 { base.cfg.checkpoint_every } else { 10 };
+        let ckpt_dir = out_dir.join(format!("{}-ckpt", decl.name));
+        let cfg = base
+            .cfg
+            .clone()
+            .with_checkpoint_dir(every, ckpt_dir.to_string_lossy().into_owned());
+        let spec = SessionSpec { cfg, ..base }
             .with_telemetry(SessionTelemetry::Dir(out_dir.join(&decl.name)));
         match manager.submit(spec) {
             Admission::Accepted(handle) => handles.push(handle),
@@ -308,7 +546,17 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
     for handle in handles {
         let report = handle.join();
         let hist_path = out_dir.join(format!("{}.history.json", report.name));
-        std::fs::write(&hist_path, report.history.to_json_string())?;
+        atomic_write_str(&hist_path, &report.history.to_json_string())?;
+        // Only naturally-completed sessions are recorded done: a session
+        // stopped by a budget or deadline resumes on the next restart.
+        if report.stop == agebo_core::StopReason::Completed {
+            done.push(DoneSession {
+                name: report.name.clone(),
+                tenant: report.tenant.clone(),
+                evaluations: report.history.len() as u64,
+            });
+            write_serve_state(&state_path, &done)?;
+        }
         println!(
             "session {} ({}): {} — {} evaluations, best {}, {:.2}s wall clock",
             report.name,
@@ -352,12 +600,28 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
         ),
     ]);
     let report_path = out_dir.join("serve_report.json");
-    std::fs::write(&report_path, report.to_string_pretty())?;
+    atomic_write_str(&report_path, &report.to_string_pretty())?;
     println!(
         "shared cache: {} hits, {} misses, {} coalesced, {} evictions",
         stats.hits, stats.misses, stats.coalesced, stats.evictions
     );
     println!("serve report written to {}", report_path.display());
+    Ok(())
+}
+
+/// `agebo compact`: fold a durable store's sealed segments (and prior
+/// snapshot) into a single snapshot, bounding recovery time and file
+/// count. Safe at any time — records and resume behavior are unchanged.
+pub fn compact(args: &CompactArgs) -> Result<(), CliError> {
+    let (mut store, recovered) = DurableStore::open(Box::new(RealIo), &args.dir)?;
+    if recovered.discarded_tail_bytes > 0 {
+        println!("discarded {} bytes of torn tail during recovery", recovered.discarded_tail_bytes);
+    }
+    let stats = store.compact()?;
+    println!(
+        "compacted {}: {} segments folded into a snapshot of {} records ({} -> {} bytes)",
+        args.dir, stats.folded_segments, stats.n_records, stats.bytes_before, stats.bytes_after
+    );
     Ok(())
 }
 
@@ -429,6 +693,7 @@ mod tests {
             // Exercise the periodic checkpoint path end to end: the
             // history file is (over)written during the run too.
             checkpoint_every: Some(5),
+            checkpoint_dir: None,
         };
         search(&args).unwrap();
         assert!(hist_path.exists());

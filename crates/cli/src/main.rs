@@ -21,6 +21,7 @@ fn main() {
         Command::Evaluate(args) => agebo_cli::commands::evaluate(args),
         Command::Report(args) => agebo_cli::commands::run_report(args),
         Command::Serve(args) => agebo_cli::commands::run_serve(args),
+        Command::Compact(args) => agebo_cli::commands::compact(args),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

@@ -111,6 +111,17 @@ impl CachePolicy {
             CachePolicy::Instant => "instant",
         }
     }
+
+    /// Parses the stable name back ([`CachePolicy::label`]'s inverse);
+    /// `None` for anything unknown.
+    pub fn from_label(label: &str) -> Option<CachePolicy> {
+        match label {
+            "off" => Some(CachePolicy::Off),
+            "replay" => Some(CachePolicy::Replay),
+            "instant" => Some(CachePolicy::Instant),
+            _ => None,
+        }
+    }
 }
 
 /// How the manager reacts to failed, killed, or late evaluations.
@@ -250,6 +261,13 @@ pub struct SearchConfig {
     /// `checkpoint_every > 0` wants files on disk (with `None`, only the
     /// telemetry event is emitted).
     pub checkpoint_path: Option<String>,
+    /// Directory of the segmented durable store
+    /// ([`crate::durable::DurableStore`]). When set together with
+    /// `checkpoint_every > 0`, every checkpoint appends an O(delta)
+    /// CRC-framed record batch there instead of (or in addition to) the
+    /// legacy full-file `checkpoint_path` rewrite, and the run becomes
+    /// resumable exactly-once after a crash.
+    pub checkpoint_dir: Option<String>,
 }
 
 fn default_threads() -> usize {
@@ -284,6 +302,7 @@ impl SearchConfig {
             retry: RetryPolicy::default(),
             checkpoint_every: 0,
             checkpoint_path: None,
+            checkpoint_dir: None,
         }
     }
 
@@ -372,6 +391,15 @@ impl SearchConfig {
     pub fn with_checkpoints(mut self, every: usize, path: Option<String>) -> Self {
         self.checkpoint_every = every;
         self.checkpoint_path = path;
+        self
+    }
+
+    /// Routes checkpoints through a segmented durable store at `dir`
+    /// (see [`crate::durable`]), appended to every `every` recorded
+    /// completions.
+    pub fn with_checkpoint_dir(mut self, every: usize, dir: impl Into<String>) -> Self {
+        self.checkpoint_every = every;
+        self.checkpoint_dir = Some(dir.into());
         self
     }
 }

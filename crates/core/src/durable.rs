@@ -1,0 +1,1703 @@
+//! Durable search state: a WAL-style store of append-only, CRC-framed
+//! segment files plus an atomically-renamed manifest.
+//!
+//! The previous checkpoint path rewrote the entire history file every
+//! `checkpoint_every` completions — O(history) per write and, worse, a
+//! plain `write` that a crash could tear in half. This module replaces
+//! it with a directory of:
+//!
+//! * **segments** (`seg-000000.wal`, …): append-only files of
+//!   length-prefixed, CRC32-framed JSON records. A checkpoint appends
+//!   only the records finished since the last one (O(delta)) followed by
+//!   a *meta* frame marking the checkpoint boundary;
+//! * **`MANIFEST.json`**: the commit point. Written to a sibling temp
+//!   file, fsynced, renamed over the manifest, directory fsynced. It
+//!   names every segment with its committed length, the optional
+//!   compaction snapshot, and the run header a resume must match;
+//! * **snapshots** (`snapshot-000004.json`): produced by
+//!   [`DurableStore::compact`], folding all committed records into one
+//!   file so sealed segments can be deleted — bounding recovery time and
+//!   disk usage.
+//!
+//! # Fsync discipline
+//!
+//! Every checkpoint follows the same ordering: record frames are
+//! appended, the **segment is fsynced**, then the new manifest is
+//! written to a temp file, **fsynced**, **renamed** into place, and the
+//! **directory is fsynced**. A crash therefore leaves one of exactly
+//! three states: (a) old manifest, old segment length — the checkpoint
+//! never happened; (b) old manifest, segment carries a (possibly torn)
+//! tail — recovery adopts the tail up to its last complete meta frame
+//! and truncates the rest; (c) new manifest — the checkpoint fully
+//! committed. There is no state in which the manifest names bytes that
+//! were not previously fsynced.
+//!
+//! # Exactly-once resume
+//!
+//! Recovery ([`DurableStore::open`]) returns every committed record
+//! exactly once: frames inside a manifest-committed region must verify
+//! (a CRC failure there is a typed [`DurableError::Corrupt`], never a
+//! silent wrong history), and tail frames past the committed length are
+//! adopted only up to the last valid meta frame — a torn half-checkpoint
+//! is discarded whole, so a record is either durably committed or not
+//! yet written, never half-committed. The search layer replays the
+//! recovered objectives by content key and re-issues everything else
+//! with its original content-derived seed, which makes the resumed
+//! trajectory bitwise identical to the uninterrupted run.
+//!
+//! All I/O goes through the [`StoreIo`] trait: [`RealIo`] hits the file
+//! system, [`SimIo`] is an in-memory double with an op-count fuse and a
+//! sync-aware durability model, used by the kill-at-every-fsync-boundary
+//! crash matrix in `crates/core/tests/durability.rs`.
+
+use crate::config::{CachePolicy, Variant};
+use crate::history::{
+    record_from_json, record_to_json, variant_from_json, variant_to_json, EvalRecord,
+};
+use agebo_scheduler::FaultPlan;
+use agebo_telemetry::Json;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// File name of the store's commit point.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+/// Segments seal (stop accepting appends) once they reach this size.
+pub const SEGMENT_MAX_BYTES: u64 = 64 * 1024;
+/// Sanity bound on a single frame payload; anything larger is treated
+/// as corruption rather than an allocation request.
+const MAX_FRAME_PAYLOAD: u32 = 16 * 1024 * 1024;
+/// Bytes of frame header: `[u32 le payload_len][u32 le crc32]`.
+const FRAME_HEADER_LEN: usize = 8;
+/// Manifest schema version.
+const MANIFEST_FORMAT: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE), own table — no new dependencies.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Typed failures of the durable store. Corruption is always reported,
+/// never papered over: a CRC mismatch inside a manifest-committed region
+/// is [`DurableError::Corrupt`], not a silently shortened history.
+#[derive(Debug)]
+pub enum DurableError {
+    /// An I/O operation failed (includes simulated crashes in tests).
+    Io(io::Error),
+    /// Framed data inside a manifest-committed region failed to verify.
+    Corrupt {
+        /// File the corruption was found in.
+        path: PathBuf,
+        /// What failed to verify.
+        detail: String,
+    },
+    /// JSON or manifest contents did not have the expected shape.
+    Format(String),
+    /// A resume was attempted against a store whose run header does not
+    /// match the requested run.
+    Mismatch(String),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "durable store I/O: {e}"),
+            DurableError::Corrupt { path, detail } => {
+                write!(f, "durable store corrupt at {}: {detail}", path.display())
+            }
+            DurableError::Format(msg) => write!(f, "durable store format: {msg}"),
+            DurableError::Mismatch(msg) => write!(f, "durable store mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+fn format_err(msg: impl Into<String>) -> DurableError {
+    DurableError::Format(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// StoreIo: the file-system seam
+// ---------------------------------------------------------------------------
+
+/// Every file-system touch of the store, as a trait so tests can swap in
+/// [`SimIo`] and crash the "disk" at any individual operation.
+pub trait StoreIo: Send {
+    /// Reads the whole file.
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates or replaces the file with `data` (not yet durable).
+    fn write_all(&mut self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Appends `data` to the file, creating it if needed (not durable).
+    fn append(&mut self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Fsyncs the file: all prior writes to it become durable.
+    fn sync_file(&mut self, path: &Path) -> io::Result<()>;
+    /// Atomically renames `from` to `to` (durable after the dir sync).
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Fsyncs the directory: prior renames in it become durable.
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()>;
+    /// True when the file exists.
+    fn exists(&mut self, path: &Path) -> bool;
+    /// Truncates the file to `len` bytes.
+    fn truncate(&mut self, path: &Path, len: u64) -> io::Result<()>;
+    /// Removes the file (missing files are not an error).
+    fn remove_file(&mut self, path: &Path) -> io::Result<()>;
+    /// Creates the directory and its parents.
+    fn create_dir_all(&mut self, dir: &Path) -> io::Result<()>;
+}
+
+/// [`StoreIo`] over the real file system.
+pub struct RealIo;
+
+impl StoreIo for RealIo {
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write_all(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(data)
+    }
+
+    fn append(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(data)
+    }
+
+    fn sync_file(&mut self, path: &Path) -> io::Result<()> {
+        std::fs::OpenOptions::new().write(true).open(path)?.sync_all()
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
+        agebo_telemetry::fsio::sync_dir(dir)
+    }
+
+    fn exists(&mut self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn truncate(&mut self, path: &Path, len: u64) -> io::Result<()> {
+        std::fs::OpenOptions::new().write(true).open(path)?.set_len(len)
+    }
+
+    fn remove_file(&mut self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn create_dir_all(&mut self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimIo: in-memory disk with a sync-aware crash model
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Default)]
+struct SimFile {
+    data: Vec<u8>,
+    /// Bytes guaranteed durable (advanced only by `sync_file`).
+    synced: usize,
+}
+
+#[derive(Default)]
+struct SimState {
+    /// What a live (non-crashed) process observes.
+    files: HashMap<PathBuf, SimFile>,
+    /// What survives a crash: content as of each file's last fsync.
+    durable: HashMap<PathBuf, Vec<u8>>,
+    /// Renames performed but not yet pinned by a directory sync.
+    pending_renames: Vec<(PathBuf, PathBuf)>,
+    /// Mutating ops allowed before every further one fails (`None` =
+    /// unlimited).
+    fuse: Option<u64>,
+    /// Mutating ops performed so far.
+    mutations: u64,
+}
+
+impl SimState {
+    fn charge(&mut self) -> io::Result<()> {
+        if let Some(fuse) = self.fuse {
+            if self.mutations >= fuse {
+                return Err(io::Error::other("simulated crash: fuse blown"));
+            }
+        }
+        self.mutations += 1;
+        Ok(())
+    }
+}
+
+/// An in-memory [`StoreIo`] modelling fsync-granular durability: data
+/// written but not fsynced does not survive [`SimIo::durable_files`],
+/// renames survive only after the directory sync, and an op-count fuse
+/// turns any single mutating operation into a crash point.
+///
+/// Clones share state, so a test can keep a handle while the store owns
+/// another.
+#[derive(Clone, Default)]
+pub struct SimIo {
+    state: Arc<Mutex<SimState>>,
+}
+
+impl SimIo {
+    /// An empty simulated disk.
+    pub fn new() -> SimIo {
+        SimIo::default()
+    }
+
+    /// A simulated disk pre-populated with fully-durable files — the
+    /// state a crashed process left behind.
+    pub fn from_files(files: HashMap<PathBuf, Vec<u8>>) -> SimIo {
+        let state = SimState {
+            files: files
+                .iter()
+                .map(|(p, d)| {
+                    (p.clone(), SimFile { data: d.clone(), synced: d.len() })
+                })
+                .collect(),
+            durable: files,
+            ..SimState::default()
+        };
+        SimIo { state: Arc::new(Mutex::new(state)) }
+    }
+
+    /// Allows `ops` more mutating operations; the next one after that
+    /// fails with a simulated-crash error, as do all that follow.
+    pub fn set_fuse(&self, ops: u64) {
+        let mut s = self.state.lock().unwrap();
+        let mutations = s.mutations;
+        s.fuse = Some(mutations + ops);
+    }
+
+    /// Total mutating operations performed so far.
+    pub fn mutations(&self) -> u64 {
+        self.state.lock().unwrap().mutations
+    }
+
+    /// The post-crash disk image. With `apply_renames` false, renames
+    /// not yet pinned by a directory sync are rolled back (the
+    /// conservative outcome); with it true they survive (the lucky
+    /// outcome) — a correct store must recover from both. With `torn`,
+    /// each file additionally keeps a *partial, corrupted* prefix of its
+    /// unsynced suffix, modelling a torn page write at the crash
+    /// instant.
+    pub fn durable_files(&self, apply_renames: bool, torn: bool) -> HashMap<PathBuf, Vec<u8>> {
+        let s = self.state.lock().unwrap();
+        let mut out = s.durable.clone();
+        if apply_renames {
+            for (from, to) in &s.pending_renames {
+                if let Some(data) = out.remove(from) {
+                    out.insert(to.clone(), data);
+                }
+            }
+        }
+        if torn {
+            // A rolled-back rename means the crash image knows the file
+            // by its *old* name — rename is atomic inode metadata, so
+            // the new name never exposes partial content. Tear against
+            // the durable bytes at the crash-visible name, never across
+            // a rename boundary.
+            let mut rollback: HashMap<&Path, &Path> = HashMap::new();
+            if !apply_renames {
+                for (from, to) in &s.pending_renames {
+                    rollback.insert(to.as_path(), from.as_path());
+                }
+            }
+            for (path, file) in &s.files {
+                let crash_name = rollback.get(path.as_path()).copied().unwrap_or(path);
+                let durable_len = out.get(crash_name).map_or(0, Vec::len);
+                if file.data.len() > durable_len {
+                    let extra = file.data.len() - durable_len;
+                    let keep = extra.div_ceil(2);
+                    let mut data = file.data[..durable_len + keep].to_vec();
+                    if let Some(last) = data.last_mut() {
+                        *last ^= 0x01;
+                    }
+                    out.insert(crash_name.to_path_buf(), data);
+                }
+            }
+        }
+        out
+    }
+
+    /// The live (no-crash) disk image.
+    pub fn live_files(&self) -> HashMap<PathBuf, Vec<u8>> {
+        let s = self.state.lock().unwrap();
+        s.files.iter().map(|(p, f)| (p.clone(), f.data.clone())).collect()
+    }
+}
+
+impl StoreIo for SimIo {
+    fn read(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        let s = self.state.lock().unwrap();
+        s.files
+            .get(path)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{path:?}")))
+    }
+
+    fn write_all(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        s.files.insert(path.to_path_buf(), SimFile { data: data.to_vec(), synced: 0 });
+        Ok(())
+    }
+
+    fn append(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        s.files.entry(path.to_path_buf()).or_default().data.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync_file(&mut self, path: &Path) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        let Some(file) = s.files.get_mut(path) else {
+            return Err(io::Error::new(io::ErrorKind::NotFound, format!("{path:?}")));
+        };
+        file.synced = file.data.len();
+        let data = file.data.clone();
+        s.durable.insert(path.to_path_buf(), data);
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        let Some(file) = s.files.remove(from) else {
+            return Err(io::Error::new(io::ErrorKind::NotFound, format!("{from:?}")));
+        };
+        s.files.insert(to.to_path_buf(), file);
+        s.pending_renames.push((from.to_path_buf(), to.to_path_buf()));
+        Ok(())
+    }
+
+    fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        let pending = std::mem::take(&mut s.pending_renames);
+        for (from, to) in pending {
+            if from.parent() == Some(dir) {
+                if let Some(data) = s.durable.remove(&from) {
+                    s.durable.insert(to, data);
+                }
+            } else {
+                s.pending_renames.push((from, to));
+            }
+        }
+        Ok(())
+    }
+
+    fn exists(&mut self, path: &Path) -> bool {
+        self.state.lock().unwrap().files.contains_key(path)
+    }
+
+    fn truncate(&mut self, path: &Path, len: u64) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        let Some(file) = s.files.get_mut(path) else {
+            return Err(io::Error::new(io::ErrorKind::NotFound, format!("{path:?}")));
+        };
+        file.data.truncate(len as usize);
+        file.synced = file.synced.min(len as usize);
+        Ok(())
+    }
+
+    fn remove_file(&mut self, path: &Path) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        s.charge()?;
+        s.files.remove(path);
+        s.durable.remove(path);
+        s.pending_renames.retain(|(from, _)| from != path);
+        Ok(())
+    }
+
+    fn create_dir_all(&mut self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run header
+// ---------------------------------------------------------------------------
+
+/// Everything a resume must reproduce to make replay meaningful. Stored
+/// in the manifest; [`RunHeader::check_compatible`] refuses a resume
+/// against a different run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunHeader {
+    /// Data-set name (CLI spelling, e.g. `"covertype"`).
+    pub dataset: String,
+    /// Size-profile name (e.g. `"test"`, `"bench"`).
+    pub profile: String,
+    /// Root seed of the run (search and evaluation context).
+    pub seed: u64,
+    /// The search variant.
+    pub variant: Variant,
+    /// Simulated wall-time budget (seconds).
+    pub wall_time: f64,
+    /// Simulated worker nodes.
+    pub workers: usize,
+    /// Injected per-task failure probability.
+    pub failure_rate: f64,
+    /// Simulated-cluster chaos plan.
+    pub chaos: FaultPlan,
+    /// Duplicate-evaluation cache policy.
+    pub cache: CachePolicy,
+    /// Checkpoint cadence (recorded completions per checkpoint).
+    pub checkpoint_every: usize,
+    /// Serve-layer evaluation-context fingerprint (0 when standalone).
+    pub fingerprint: u64,
+}
+
+impl RunHeader {
+    fn to_json(&self) -> Json {
+        // Floats that may be infinite (chaos MTBF) serialize as raw
+        // bits; finite-only floats stay readable numbers.
+        Json::obj(vec![
+            ("dataset", Json::Str(self.dataset.clone())),
+            ("profile", Json::Str(self.profile.clone())),
+            ("seed", Json::UInt(self.seed)),
+            ("variant", variant_to_json(&self.variant)),
+            ("wall_time", Json::Num(self.wall_time)),
+            ("workers", Json::UInt(self.workers as u64)),
+            ("failure_rate", Json::Num(self.failure_rate)),
+            (
+                "chaos",
+                Json::obj(vec![
+                    ("mtbf_bits", Json::UInt(self.chaos.mtbf.to_bits())),
+                    ("mttr_bits", Json::UInt(self.chaos.mttr.to_bits())),
+                    (
+                        "straggler_fraction_bits",
+                        Json::UInt(self.chaos.straggler_fraction.to_bits()),
+                    ),
+                    (
+                        "straggler_factor_bits",
+                        Json::UInt(self.chaos.straggler_factor.to_bits()),
+                    ),
+                ]),
+            ),
+            ("cache", Json::Str(self.cache.label().to_string())),
+            ("checkpoint_every", Json::UInt(self.checkpoint_every as u64)),
+            ("fingerprint", Json::UInt(self.fingerprint)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<RunHeader, DurableError> {
+        let chaos = v.get("chaos").ok_or_else(|| format_err("header missing `chaos`"))?;
+        let bits = |key: &str| -> Result<f64, DurableError> {
+            chaos
+                .get(key)
+                .and_then(Json::as_u64)
+                .map(f64::from_bits)
+                .ok_or_else(|| format_err(format!("header chaos field `{key}`")))
+        };
+        let cache_label = jstr(v, "cache")?;
+        Ok(RunHeader {
+            dataset: jstr(v, "dataset")?,
+            profile: jstr(v, "profile")?,
+            seed: ju64(v, "seed")?,
+            variant: variant_from_json(
+                v.get("variant").ok_or_else(|| format_err("header missing `variant`"))?,
+            )
+            .map_err(|e| format_err(e.message))?,
+            wall_time: jf64(v, "wall_time")?,
+            workers: ju64(v, "workers")? as usize,
+            failure_rate: jf64(v, "failure_rate")?,
+            chaos: FaultPlan {
+                mtbf: bits("mtbf_bits")?,
+                mttr: bits("mttr_bits")?,
+                straggler_fraction: bits("straggler_fraction_bits")?,
+                straggler_factor: bits("straggler_factor_bits")?,
+            },
+            cache: CachePolicy::from_label(&cache_label)
+                .ok_or_else(|| format_err(format!("unknown cache policy `{cache_label}`")))?,
+            checkpoint_every: ju64(v, "checkpoint_every")? as usize,
+            fingerprint: ju64(v, "fingerprint")?,
+        })
+    }
+
+    /// Refuses to pair a resume with a store recorded under a different
+    /// run, naming every mismatching field.
+    pub fn check_compatible(&self, other: &RunHeader) -> Result<(), DurableError> {
+        let mut bad: Vec<&str> = Vec::new();
+        if self.dataset != other.dataset {
+            bad.push("dataset");
+        }
+        if self.profile != other.profile {
+            bad.push("profile");
+        }
+        if self.seed != other.seed {
+            bad.push("seed");
+        }
+        if self.variant != other.variant {
+            bad.push("variant");
+        }
+        if self.wall_time.to_bits() != other.wall_time.to_bits() {
+            bad.push("wall_time");
+        }
+        if self.workers != other.workers {
+            bad.push("workers");
+        }
+        if self.failure_rate.to_bits() != other.failure_rate.to_bits() {
+            bad.push("failure_rate");
+        }
+        if self.chaos != other.chaos {
+            bad.push("chaos");
+        }
+        if self.cache != other.cache {
+            bad.push("cache");
+        }
+        if self.fingerprint != other.fingerprint {
+            bad.push("fingerprint");
+        }
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(DurableError::Mismatch(format!(
+                "store was recorded by a different run (differs in: {})",
+                bad.join(", ")
+            )))
+        }
+    }
+}
+
+fn jstr(v: &Json, key: &str) -> Result<String, DurableError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format_err(format!("expected string field `{key}`")))
+}
+
+fn ju64(v: &Json, key: &str) -> Result<u64, DurableError> {
+    v.get(key).and_then(Json::as_u64).ok_or_else(|| format_err(format!("expected integer field `{key}`")))
+}
+
+fn jf64(v: &Json, key: &str) -> Result<f64, DurableError> {
+    v.get(key).and_then(Json::as_f64).ok_or_else(|| format_err(format!("expected number field `{key}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct SegmentEntry {
+    index: u64,
+    name: String,
+    committed_len: u64,
+    n_records: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SnapshotEntry {
+    name: String,
+    n_records: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Manifest {
+    header: RunHeader,
+    committed_records: u64,
+    n_failed: u64,
+    n_cache_hits: u64,
+    in_flight: u64,
+    segments: Vec<SegmentEntry>,
+    snapshot: Option<SnapshotEntry>,
+    next_segment: u64,
+}
+
+impl Manifest {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("format", Json::UInt(MANIFEST_FORMAT)),
+            ("header", self.header.to_json()),
+            ("committed_records", Json::UInt(self.committed_records)),
+            ("n_failed", Json::UInt(self.n_failed)),
+            ("n_cache_hits", Json::UInt(self.n_cache_hits)),
+            ("in_flight", Json::UInt(self.in_flight)),
+            (
+                "segments",
+                Json::Arr(
+                    self.segments
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("index", Json::UInt(s.index)),
+                                ("name", Json::Str(s.name.clone())),
+                                ("committed_len", Json::UInt(s.committed_len)),
+                                ("n_records", Json::UInt(s.n_records)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "snapshot",
+                self.snapshot.as_ref().map_or(Json::Null, |s| {
+                    Json::obj(vec![
+                        ("name", Json::Str(s.name.clone())),
+                        ("n_records", Json::UInt(s.n_records)),
+                    ])
+                }),
+            ),
+            ("next_segment", Json::UInt(self.next_segment)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Manifest, DurableError> {
+        let format = ju64(v, "format")?;
+        if format != MANIFEST_FORMAT {
+            return Err(format_err(format!("unsupported manifest format {format}")));
+        }
+        let segments = v
+            .get("segments")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format_err("manifest missing `segments`"))?
+            .iter()
+            .map(|s| {
+                Ok(SegmentEntry {
+                    index: ju64(s, "index")?,
+                    name: jstr(s, "name")?,
+                    committed_len: ju64(s, "committed_len")?,
+                    n_records: ju64(s, "n_records")?,
+                })
+            })
+            .collect::<Result<Vec<SegmentEntry>, DurableError>>()?;
+        let snapshot = match v.get("snapshot") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(SnapshotEntry { name: jstr(s, "name")?, n_records: ju64(s, "n_records")? }),
+        };
+        Ok(Manifest {
+            header: RunHeader::from_json(
+                v.get("header").ok_or_else(|| format_err("manifest missing `header`"))?,
+            )?,
+            committed_records: ju64(v, "committed_records")?,
+            n_failed: ju64(v, "n_failed")?,
+            n_cache_hits: ju64(v, "n_cache_hits")?,
+            in_flight: ju64(v, "in_flight")?,
+            segments,
+            snapshot,
+            next_segment: ju64(v, "next_segment")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+struct MetaFrame {
+    records: u64,
+    n_failed: u64,
+    n_cache_hits: u64,
+    in_flight: u64,
+}
+
+enum FramePayload {
+    Record(EvalRecord),
+    Meta(MetaFrame),
+}
+
+fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+fn record_frame(r: &EvalRecord, out: &mut Vec<u8>) {
+    let payload =
+        Json::obj(vec![("t", Json::Str("rec".into())), ("v", record_to_json(r))]).to_string_compact();
+    encode_frame(payload.as_bytes(), out);
+}
+
+fn meta_frame(m: &MetaFrame, sim: f64, out: &mut Vec<u8>) {
+    let payload = Json::obj(vec![
+        ("t", Json::Str("meta".into())),
+        ("sim", Json::Num(sim)),
+        ("records", Json::UInt(m.records)),
+        ("n_failed", Json::UInt(m.n_failed)),
+        ("n_cache_hits", Json::UInt(m.n_cache_hits)),
+        ("in_flight", Json::UInt(m.in_flight)),
+    ])
+    .to_string_compact();
+    encode_frame(payload.as_bytes(), out);
+}
+
+struct ScanOutcome {
+    /// Parsed payloads with the byte offset each frame *ends* at.
+    frames: Vec<(usize, FramePayload)>,
+    /// Offset up to which every frame verified.
+    valid_len: usize,
+    /// Why scanning stopped before the end of the data, if it did.
+    stop: Option<String>,
+}
+
+/// Walks `data` frame by frame, verifying lengths and CRCs, stopping at
+/// the first byte that does not begin a valid frame.
+fn scan_frames(data: &[u8]) -> ScanOutcome {
+    let mut frames = Vec::new();
+    let mut offset = 0usize;
+    let stop = loop {
+        if offset == data.len() {
+            break None;
+        }
+        if data.len() - offset < FRAME_HEADER_LEN {
+            break Some("truncated frame header".to_string());
+        }
+        let len =
+            u32::from_le_bytes([data[offset], data[offset + 1], data[offset + 2], data[offset + 3]]);
+        let crc = u32::from_le_bytes([
+            data[offset + 4],
+            data[offset + 5],
+            data[offset + 6],
+            data[offset + 7],
+        ]);
+        if len > MAX_FRAME_PAYLOAD {
+            break Some(format!("frame length {len} exceeds sanity bound"));
+        }
+        let body_start = offset + FRAME_HEADER_LEN;
+        let body_end = body_start + len as usize;
+        if body_end > data.len() {
+            break Some("truncated frame payload".to_string());
+        }
+        let payload = &data[body_start..body_end];
+        if crc32(payload) != crc {
+            break Some("CRC mismatch".to_string());
+        }
+        match parse_frame_payload(payload) {
+            Ok(frame) => frames.push((body_end, frame)),
+            Err(detail) => break Some(detail),
+        }
+        offset = body_end;
+    };
+    ScanOutcome { frames, valid_len: offset, stop }
+}
+
+fn parse_frame_payload(payload: &[u8]) -> Result<FramePayload, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "frame payload is not UTF-8".to_string())?;
+    let v = Json::parse(text).map_err(|e| format!("frame payload is not JSON: {}", e.message))?;
+    match v.get("t").and_then(Json::as_str) {
+        Some("rec") => {
+            let rec = v.get("v").ok_or_else(|| "record frame missing `v`".to_string())?;
+            Ok(FramePayload::Record(
+                record_from_json(rec).map_err(|e| format!("record frame: {}", e.message))?,
+            ))
+        }
+        Some("meta") => Ok(FramePayload::Meta(MetaFrame {
+            records: v.get("records").and_then(Json::as_u64).ok_or("meta frame missing `records`")?,
+            n_failed: v.get("n_failed").and_then(Json::as_u64).ok_or("meta frame missing `n_failed`")?,
+            n_cache_hits: v
+                .get("n_cache_hits")
+                .and_then(Json::as_u64)
+                .ok_or("meta frame missing `n_cache_hits`")?,
+            in_flight: v
+                .get("in_flight")
+                .and_then(Json::as_u64)
+                .ok_or("meta frame missing `in_flight`")?,
+        })),
+        _ => Err("frame payload has unknown tag".to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// What [`DurableStore::open`] recovered.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The run header the store was created with.
+    pub header: RunHeader,
+    /// All committed records, in commit order, each exactly once.
+    pub records: Vec<EvalRecord>,
+    /// Failed-evaluation count at the last committed checkpoint.
+    pub n_failed: usize,
+    /// Memo-cache-hit count at the last committed checkpoint.
+    pub n_cache_hits: usize,
+    /// Evaluations in flight at the last committed checkpoint — the
+    /// ones a resume re-issues with their original seeds.
+    pub in_flight: usize,
+    /// Bytes of torn/invalid segment tail discarded during recovery.
+    pub discarded_tail_bytes: u64,
+}
+
+/// Cost accounting for one [`DurableStore::append_checkpoint`].
+#[derive(Debug, Clone, Copy)]
+pub struct AppendStats {
+    /// Segment index the delta landed in.
+    pub segment: u64,
+    /// True when this append opened a fresh segment.
+    pub rotated: bool,
+    /// Bytes appended (frames; the manifest rewrite is separate and
+    /// O(#segments), not O(history)).
+    pub bytes: u64,
+    /// Total committed records after the append.
+    pub committed_records: u64,
+}
+
+/// Cost accounting for one [`DurableStore::compact`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompactStats {
+    /// Segments folded into the snapshot and deleted.
+    pub folded_segments: usize,
+    /// Records in the resulting snapshot.
+    pub n_records: usize,
+    /// Store payload bytes before (old snapshot + segments).
+    pub bytes_before: u64,
+    /// Store payload bytes after (new snapshot).
+    pub bytes_after: u64,
+}
+
+/// Counter totals carried by a checkpoint (cumulative, not deltas).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointMeta {
+    /// Simulated time of the checkpoint.
+    pub sim: f64,
+    /// Failed evaluations so far.
+    pub n_failed: usize,
+    /// Memo-cache hits so far.
+    pub n_cache_hits: usize,
+    /// Evaluations currently in flight.
+    pub in_flight: usize,
+}
+
+/// The WAL-style durable checkpoint store. See the module docs for the
+/// on-disk layout and crash-consistency argument.
+pub struct DurableStore {
+    io: Box<dyn StoreIo>,
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+impl fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("dir", &self.dir)
+            .field("manifest", &self.manifest)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurableStore {
+    /// Creates a fresh store in `dir` (the directory is created). Fails
+    /// with [`DurableError::Mismatch`] if a manifest already exists.
+    pub fn create(
+        mut io: Box<dyn StoreIo>,
+        dir: impl Into<PathBuf>,
+        header: RunHeader,
+    ) -> Result<DurableStore, DurableError> {
+        let dir = dir.into();
+        io.create_dir_all(&dir)?;
+        if io.exists(&dir.join(MANIFEST_FILE)) {
+            return Err(DurableError::Mismatch(format!(
+                "refusing to create over an existing store at {}",
+                dir.display()
+            )));
+        }
+        let manifest = Manifest {
+            header,
+            committed_records: 0,
+            n_failed: 0,
+            n_cache_hits: 0,
+            in_flight: 0,
+            segments: Vec::new(),
+            snapshot: None,
+            next_segment: 0,
+        };
+        let mut store = DurableStore { io, dir, manifest };
+        store.write_manifest()?;
+        Ok(store)
+    }
+
+    /// True when `dir` holds a store manifest (real file system).
+    pub fn exists(dir: impl AsRef<Path>) -> bool {
+        dir.as_ref().join(MANIFEST_FILE).exists()
+    }
+
+    /// Opens an existing store and recovers its committed state,
+    /// adopting any fully-committed checkpoint tail the manifest missed
+    /// and truncating torn bytes (counted in
+    /// [`Recovered::discarded_tail_bytes`]).
+    pub fn open(
+        mut io: Box<dyn StoreIo>,
+        dir: impl Into<PathBuf>,
+    ) -> Result<(DurableStore, Recovered), DurableError> {
+        let dir = dir.into();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest_bytes = io.read(&manifest_path)?;
+        let manifest_text = String::from_utf8(manifest_bytes)
+            .map_err(|_| format_err("manifest is not UTF-8"))?;
+        let v = Json::parse(&manifest_text)
+            .map_err(|e| format_err(format!("manifest is not JSON: {}", e.message)))?;
+        let mut manifest = Manifest::from_json(&v)?;
+
+        let mut records: Vec<EvalRecord> = Vec::new();
+        let mut discarded_tail_bytes = 0u64;
+        let mut dirty = false;
+
+        // Snapshot first: it holds everything compacted away.
+        if let Some(snap) = &manifest.snapshot {
+            let path = dir.join(&snap.name);
+            let text = String::from_utf8(io.read(&path)?)
+                .map_err(|_| format_err("snapshot is not UTF-8"))?;
+            let sv = Json::parse(&text).map_err(|e| DurableError::Corrupt {
+                path: path.clone(),
+                detail: format!("snapshot is not JSON: {}", e.message),
+            })?;
+            let arr = sv
+                .get("records")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| DurableError::Corrupt {
+                    path: path.clone(),
+                    detail: "snapshot missing `records`".to_string(),
+                })?;
+            for rv in arr {
+                records.push(record_from_json(rv).map_err(|e| DurableError::Corrupt {
+                    path: path.clone(),
+                    detail: format!("snapshot record: {}", e.message),
+                })?);
+            }
+            if records.len() as u64 != snap.n_records {
+                return Err(DurableError::Corrupt {
+                    path,
+                    detail: format!(
+                        "snapshot holds {} records, manifest says {}",
+                        records.len(),
+                        snap.n_records
+                    ),
+                });
+            }
+        }
+
+        // Then every listed segment, in order. Frames inside the
+        // committed region must verify; the last segment may carry an
+        // adoptable tail.
+        let n_segments = manifest.segments.len();
+        for i in 0..n_segments {
+            let entry = manifest.segments[i].clone();
+            let path = dir.join(&entry.name);
+            let data = io.read(&path)?;
+            let committed = entry.committed_len as usize;
+            if data.len() < committed {
+                return Err(DurableError::Corrupt {
+                    path,
+                    detail: format!(
+                        "segment is {} bytes, manifest committed {committed}",
+                        data.len()
+                    ),
+                });
+            }
+            let scan = scan_frames(&data);
+            if scan.valid_len < committed {
+                return Err(DurableError::Corrupt {
+                    path,
+                    detail: format!(
+                        "frame at byte {} inside committed region: {}",
+                        scan.valid_len,
+                        scan.stop.unwrap_or_default()
+                    ),
+                });
+            }
+            let is_last = i + 1 == n_segments;
+            let adopted_len = if is_last {
+                // Adopt tail frames only up to the last complete meta
+                // frame: a checkpoint commits whole or not at all.
+                adoption_boundary(&scan, committed)
+            } else {
+                committed
+            };
+            let mut adopted_records = 0u64;
+            for (end, frame) in &scan.frames {
+                if *end > adopted_len {
+                    break;
+                }
+                match frame {
+                    FramePayload::Record(r) => {
+                        if *end <= committed || adopted_len > committed {
+                            records.push(r.clone());
+                        }
+                        if *end > committed {
+                            adopted_records += 1;
+                        }
+                    }
+                    FramePayload::Meta(m) => {
+                        if *end > committed {
+                            manifest.n_failed = m.n_failed;
+                            manifest.n_cache_hits = m.n_cache_hits;
+                            manifest.in_flight = m.in_flight;
+                        }
+                    }
+                }
+            }
+            if adopted_len > committed {
+                manifest.segments[i].committed_len = adopted_len as u64;
+                manifest.segments[i].n_records += adopted_records;
+                manifest.committed_records += adopted_records;
+                dirty = true;
+            }
+            if data.len() > adopted_len {
+                discarded_tail_bytes += (data.len() - adopted_len) as u64;
+                io.truncate(&path, adopted_len as u64)?;
+                io.sync_file(&path)?;
+                dirty = true;
+            }
+        }
+
+        // A crash between segment rotation and the manifest commit
+        // leaves an unlisted `seg-{next_segment}`: adopt it the same
+        // way.
+        let next_name = segment_name(manifest.next_segment);
+        let next_path = dir.join(&next_name);
+        if io.exists(&next_path) {
+            let data = io.read(&next_path)?;
+            let scan = scan_frames(&data);
+            let adopted_len = adoption_boundary(&scan, 0);
+            if adopted_len > 0 {
+                let mut adopted_records = 0u64;
+                for (end, frame) in &scan.frames {
+                    if *end > adopted_len {
+                        break;
+                    }
+                    match frame {
+                        FramePayload::Record(r) => {
+                            records.push(r.clone());
+                            adopted_records += 1;
+                        }
+                        FramePayload::Meta(m) => {
+                            manifest.n_failed = m.n_failed;
+                            manifest.n_cache_hits = m.n_cache_hits;
+                            manifest.in_flight = m.in_flight;
+                        }
+                    }
+                }
+                manifest.segments.push(SegmentEntry {
+                    index: manifest.next_segment,
+                    name: next_name,
+                    committed_len: adopted_len as u64,
+                    n_records: adopted_records,
+                });
+                manifest.committed_records += adopted_records;
+                manifest.next_segment += 1;
+                if data.len() > adopted_len {
+                    discarded_tail_bytes += (data.len() - adopted_len) as u64;
+                    io.truncate(&next_path, adopted_len as u64)?;
+                }
+                io.sync_file(&next_path)?;
+                dirty = true;
+            } else {
+                // Nothing adoptable: the whole file is a torn first
+                // checkpoint. Drop it.
+                discarded_tail_bytes += data.len() as u64;
+                io.remove_file(&next_path)?;
+            }
+        }
+
+        if records.len() as u64 != manifest.committed_records {
+            return Err(DurableError::Corrupt {
+                path: manifest_path,
+                detail: format!(
+                    "recovered {} records, manifest commits {}",
+                    records.len(),
+                    manifest.committed_records
+                ),
+            });
+        }
+
+        let recovered = Recovered {
+            header: manifest.header.clone(),
+            records,
+            n_failed: manifest.n_failed as usize,
+            n_cache_hits: manifest.n_cache_hits as usize,
+            in_flight: manifest.in_flight as usize,
+            discarded_tail_bytes,
+        };
+        let mut store = DurableStore { io, dir, manifest };
+        if dirty {
+            // Commit the adoption/truncation so the next crash replays
+            // from a clean boundary.
+            store.write_manifest()?;
+        }
+        Ok((store, recovered))
+    }
+
+    /// Opens the store in `dir` if a manifest exists there (checking
+    /// header compatibility), otherwise creates a fresh one.
+    pub fn open_or_create(
+        mut io: Box<dyn StoreIo>,
+        dir: impl Into<PathBuf>,
+        header: RunHeader,
+    ) -> Result<(DurableStore, Option<Recovered>), DurableError> {
+        let dir = dir.into();
+        if io.exists(&dir.join(MANIFEST_FILE)) {
+            let (store, recovered) = DurableStore::open(io, dir)?;
+            store.manifest.header.check_compatible(&header)?;
+            Ok((store, Some(recovered)))
+        } else {
+            Ok((DurableStore::create(io, dir, header)?, None))
+        }
+    }
+
+    /// The run header this store was created with.
+    pub fn header(&self) -> &RunHeader {
+        &self.manifest.header
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total committed records.
+    pub fn committed_records(&self) -> u64 {
+        self.manifest.committed_records
+    }
+
+    /// Segments that have reached [`SEGMENT_MAX_BYTES`] and will never
+    /// be appended to again — the compaction trigger.
+    pub fn sealed_segments(&self) -> usize {
+        self.manifest
+            .segments
+            .iter()
+            .filter(|s| s.committed_len >= SEGMENT_MAX_BYTES)
+            .count()
+    }
+
+    /// Appends the checkpoint delta `new_records` (records finished
+    /// since the previous checkpoint) plus a meta commit frame, then
+    /// commits via the manifest: append → segment fsync → manifest
+    /// temp-write+fsync → rename → dir fsync.
+    pub fn append_checkpoint(
+        &mut self,
+        new_records: &[EvalRecord],
+        meta: CheckpointMeta,
+    ) -> Result<AppendStats, DurableError> {
+        let mut bytes = Vec::new();
+        for r in new_records {
+            record_frame(r, &mut bytes);
+        }
+        let total = self.manifest.committed_records + new_records.len() as u64;
+        meta_frame(
+            &MetaFrame {
+                records: total,
+                n_failed: meta.n_failed as u64,
+                n_cache_hits: meta.n_cache_hits as u64,
+                in_flight: meta.in_flight as u64,
+            },
+            meta.sim,
+            &mut bytes,
+        );
+
+        // Rotate *before* appending, so a new segment's first frames
+        // and its manifest entry commit together.
+        let rotate = match self.manifest.segments.last() {
+            None => true,
+            Some(last) => last.committed_len >= SEGMENT_MAX_BYTES,
+        };
+        let segment_index = if rotate {
+            self.manifest.next_segment
+        } else {
+            self.manifest.segments.last().expect("non-empty when not rotating").index
+        };
+        let name = segment_name(segment_index);
+        let path = self.dir.join(&name);
+        self.io.append(&path, &bytes)?;
+        self.io.sync_file(&path)?;
+
+        if rotate {
+            self.manifest.segments.push(SegmentEntry {
+                index: segment_index,
+                name,
+                committed_len: bytes.len() as u64,
+                n_records: new_records.len() as u64,
+            });
+            self.manifest.next_segment = segment_index + 1;
+        } else {
+            let last = self.manifest.segments.last_mut().expect("checked above");
+            last.committed_len += bytes.len() as u64;
+            last.n_records += new_records.len() as u64;
+        }
+        self.manifest.committed_records = total;
+        self.manifest.n_failed = meta.n_failed as u64;
+        self.manifest.n_cache_hits = meta.n_cache_hits as u64;
+        self.manifest.in_flight = meta.in_flight as u64;
+        self.write_manifest()?;
+        Ok(AppendStats {
+            segment: segment_index,
+            rotated: rotate,
+            bytes: bytes.len() as u64,
+            committed_records: total,
+        })
+    }
+
+    /// Reads back every committed record (snapshot + segments), in
+    /// commit order.
+    pub fn load_records(&mut self) -> Result<Vec<EvalRecord>, DurableError> {
+        let mut records = Vec::new();
+        if let Some(snap) = &self.manifest.snapshot {
+            let path = self.dir.join(&snap.name);
+            let text = String::from_utf8(self.io.read(&path)?)
+                .map_err(|_| format_err("snapshot is not UTF-8"))?;
+            let sv = Json::parse(&text)
+                .map_err(|e| format_err(format!("snapshot is not JSON: {}", e.message)))?;
+            for rv in sv
+                .get("records")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format_err("snapshot missing `records`"))?
+            {
+                records.push(record_from_json(rv).map_err(|e| format_err(e.message))?);
+            }
+        }
+        for entry in &self.manifest.segments {
+            let path = self.dir.join(&entry.name);
+            let data = self.io.read(&path)?;
+            let committed = entry.committed_len as usize;
+            let scan = scan_frames(&data);
+            if scan.valid_len < committed {
+                return Err(DurableError::Corrupt {
+                    path,
+                    detail: format!(
+                        "frame at byte {} inside committed region: {}",
+                        scan.valid_len,
+                        scan.stop.unwrap_or_default()
+                    ),
+                });
+            }
+            for (end, frame) in scan.frames {
+                if end > committed {
+                    break;
+                }
+                if let FramePayload::Record(r) = frame {
+                    records.push(r);
+                }
+            }
+        }
+        Ok(records)
+    }
+
+    /// Folds the snapshot and every segment into a fresh snapshot,
+    /// commits it via the manifest, and deletes the folded files. Old
+    /// files are removed only *after* the new manifest is durable, so a
+    /// crash at any instant leaves either the old or the new layout.
+    pub fn compact(&mut self) -> Result<CompactStats, DurableError> {
+        let records = self.load_records()?;
+        let mut bytes_before = 0u64;
+        if let Some(snap) = &self.manifest.snapshot {
+            bytes_before += self.io.read(&self.dir.join(&snap.name))?.len() as u64;
+        }
+        for entry in &self.manifest.segments {
+            bytes_before += entry.committed_len;
+        }
+
+        let folded_segments = self.manifest.segments.len();
+        let old_snapshot = self.manifest.snapshot.clone();
+        let old_segments = self.manifest.segments.clone();
+
+        let snap_index = self.manifest.next_segment;
+        let snap_name = format!("snapshot-{snap_index:06}.json");
+        let snap_path = self.dir.join(&snap_name);
+        let body = Json::obj(vec![(
+            "records",
+            Json::Arr(records.iter().map(record_to_json).collect()),
+        )])
+        .to_string_compact();
+        let bytes_after = body.len() as u64;
+        // Snapshot follows the same discipline as the manifest: temp
+        // write → fsync → rename → dir fsync, then the manifest commit.
+        let tmp = self.dir.join(format!("{snap_name}.tmp"));
+        self.io.write_all(&tmp, body.as_bytes())?;
+        self.io.sync_file(&tmp)?;
+        self.io.rename(&tmp, &snap_path)?;
+        self.io.sync_dir(&self.dir)?;
+
+        self.manifest.snapshot =
+            Some(SnapshotEntry { name: snap_name, n_records: records.len() as u64 });
+        self.manifest.segments.clear();
+        self.manifest.next_segment = snap_index + 1;
+        self.write_manifest()?;
+
+        // Only now is it safe to drop the folded files.
+        for entry in &old_segments {
+            self.io.remove_file(&self.dir.join(&entry.name))?;
+        }
+        if let Some(snap) = old_snapshot {
+            self.io.remove_file(&self.dir.join(&snap.name))?;
+        }
+        Ok(CompactStats {
+            folded_segments,
+            n_records: records.len(),
+            bytes_before,
+            bytes_after,
+        })
+    }
+
+    fn write_manifest(&mut self) -> Result<(), DurableError> {
+        let path = self.dir.join(MANIFEST_FILE);
+        let tmp = self.dir.join(format!("{MANIFEST_FILE}.tmp"));
+        let body = self.manifest.to_json().to_string_pretty();
+        self.io.write_all(&tmp, body.as_bytes())?;
+        self.io.sync_file(&tmp)?;
+        self.io.rename(&tmp, &path)?;
+        self.io.sync_dir(&self.dir)?;
+        Ok(())
+    }
+}
+
+fn segment_name(index: u64) -> String {
+    format!("seg-{index:06}.wal")
+}
+
+/// The offset up to which tail frames may be adopted: the end of the
+/// last complete meta frame at or past `committed`, or `committed`
+/// itself when no later checkpoint completed.
+fn adoption_boundary(scan: &ScanOutcome, committed: usize) -> usize {
+    let mut boundary = committed;
+    for (end, frame) in &scan.frames {
+        if *end > committed {
+            if let FramePayload::Meta(_) = frame {
+                boundary = *end;
+            }
+        }
+    }
+    boundary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agebo_dataparallel::DataParallelHp;
+    use agebo_searchspace::ArchVector;
+
+    fn header() -> RunHeader {
+        RunHeader {
+            dataset: "covertype".into(),
+            profile: "test".into(),
+            seed: 7,
+            variant: Variant::agebo(),
+            wall_time: 7000.0,
+            workers: 4,
+            failure_rate: 0.25,
+            chaos: FaultPlan::none(),
+            cache: CachePolicy::Replay,
+            checkpoint_every: 3,
+            fingerprint: 0,
+        }
+    }
+
+    fn record(id: u64) -> EvalRecord {
+        EvalRecord {
+            id,
+            arch: ArchVector(vec![id as u16, 3]),
+            hp: DataParallelHp { lr1: 0.01, bs1: 256, n: 2 },
+            objective: 0.5 + id as f64 * 1e-3,
+            submitted_at: id as f64,
+            finished_at: id as f64 + 100.0,
+            duration: 100.0,
+            cache_hit: false,
+        }
+    }
+
+    fn dir() -> PathBuf {
+        PathBuf::from("/store")
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // The canonical IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn create_append_open_roundtrips() {
+        let sim = SimIo::new();
+        let mut store =
+            DurableStore::create(Box::new(sim.clone()), dir(), header()).unwrap();
+        let recs: Vec<EvalRecord> = (0..5).map(record).collect();
+        store
+            .append_checkpoint(
+                &recs[..3],
+                CheckpointMeta { sim: 300.0, n_failed: 1, n_cache_hits: 0, in_flight: 4 },
+            )
+            .unwrap();
+        store
+            .append_checkpoint(
+                &recs[3..],
+                CheckpointMeta { sim: 500.0, n_failed: 2, n_cache_hits: 1, in_flight: 2 },
+            )
+            .unwrap();
+        assert_eq!(store.committed_records(), 5);
+        drop(store);
+
+        let (store, recovered) = DurableStore::open(Box::new(sim), dir()).unwrap();
+        assert_eq!(recovered.records.len(), 5);
+        assert_eq!(recovered.n_failed, 2);
+        assert_eq!(recovered.n_cache_hits, 1);
+        assert_eq!(recovered.in_flight, 2);
+        assert_eq!(recovered.discarded_tail_bytes, 0);
+        assert_eq!(recovered.header, header());
+        for (got, want) in recovered.records.iter().zip(&recs) {
+            assert_eq!(got.id, want.id);
+            assert_eq!(got.objective.to_bits(), want.objective.to_bits());
+        }
+        assert_eq!(store.committed_records(), 5);
+    }
+
+    #[test]
+    fn create_refuses_existing_store() {
+        let sim = SimIo::new();
+        DurableStore::create(Box::new(sim.clone()), dir(), header()).unwrap();
+        let err = DurableStore::create(Box::new(sim), dir(), header()).unwrap_err();
+        assert!(matches!(err, DurableError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_counted() {
+        let sim = SimIo::new();
+        let mut store =
+            DurableStore::create(Box::new(sim.clone()), dir(), header()).unwrap();
+        store
+            .append_checkpoint(
+                &[record(0)],
+                CheckpointMeta { sim: 100.0, n_failed: 0, n_cache_hits: 0, in_flight: 1 },
+            )
+            .unwrap();
+        // A torn half-checkpoint: garbage appended past the committed
+        // length, never synced or committed.
+        let seg = dir().join(segment_name(0));
+        let mut io: Box<dyn StoreIo> = Box::new(sim.clone());
+        io.append(&seg, &[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+        drop(store);
+
+        let rebuilt = SimIo::from_files(sim.live_files());
+        let (_, recovered) = DurableStore::open(Box::new(rebuilt.clone()), dir()).unwrap();
+        assert_eq!(recovered.records.len(), 1);
+        assert_eq!(recovered.discarded_tail_bytes, 4);
+        // Recovery truncated the tail: reopening is clean.
+        let (_, again) = DurableStore::open(Box::new(rebuilt), dir()).unwrap();
+        assert_eq!(again.discarded_tail_bytes, 0);
+    }
+
+    #[test]
+    fn complete_tail_checkpoint_is_adopted() {
+        let sim = SimIo::new();
+        let mut store =
+            DurableStore::create(Box::new(sim.clone()), dir(), header()).unwrap();
+        store
+            .append_checkpoint(
+                &[record(0)],
+                CheckpointMeta { sim: 100.0, n_failed: 0, n_cache_hits: 0, in_flight: 1 },
+            )
+            .unwrap();
+        // Second checkpoint crashes at the directory sync: the segment
+        // tail was fsynced and the manifest renamed, but the rename is
+        // not durable. Ops: append, segment sync, tmp write, tmp sync,
+        // rename — then the fuse blows on the dir sync.
+        sim.set_fuse(5);
+        let err = store
+            .append_checkpoint(
+                &[record(1)],
+                CheckpointMeta { sim: 200.0, n_failed: 0, n_cache_hits: 0, in_flight: 3 },
+            )
+            .unwrap_err();
+        assert!(matches!(err, DurableError::Io(_)), "{err}");
+
+        let crashed = SimIo::from_files(sim.durable_files(false, false));
+        let (store, recovered) = DurableStore::open(Box::new(crashed), dir()).unwrap();
+        // The second checkpoint's frames end in a complete meta frame:
+        // adopted, not discarded.
+        assert_eq!(recovered.records.len(), 2);
+        assert_eq!(recovered.in_flight, 3);
+        assert_eq!(recovered.discarded_tail_bytes, 0);
+        assert_eq!(store.committed_records(), 2);
+    }
+
+    #[test]
+    fn corruption_inside_committed_region_is_typed_not_silent() {
+        let sim = SimIo::new();
+        let mut store =
+            DurableStore::create(Box::new(sim.clone()), dir(), header()).unwrap();
+        store
+            .append_checkpoint(
+                &[record(0), record(1)],
+                CheckpointMeta { sim: 100.0, n_failed: 0, n_cache_hits: 0, in_flight: 0 },
+            )
+            .unwrap();
+        drop(store);
+        let mut files = sim.durable_files(true, false);
+        let seg_path = dir().join(segment_name(0));
+        let seg = files.get_mut(&seg_path).unwrap();
+        let mid = seg.len() / 2;
+        seg[mid] ^= 0x40;
+        let err = DurableStore::open(Box::new(SimIo::from_files(files)), dir()).unwrap_err();
+        assert!(matches!(err, DurableError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn compact_folds_segments_and_preserves_records() {
+        let sim = SimIo::new();
+        let mut store =
+            DurableStore::create(Box::new(sim.clone()), dir(), header()).unwrap();
+        let recs: Vec<EvalRecord> = (0..9).map(record).collect();
+        for chunk in recs.chunks(3) {
+            store
+                .append_checkpoint(
+                    chunk,
+                    CheckpointMeta { sim: 100.0, n_failed: 0, n_cache_hits: 0, in_flight: 0 },
+                )
+                .unwrap();
+        }
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.folded_segments, 1); // all three checkpoints fit one segment
+        assert_eq!(stats.n_records, 9);
+        assert!(stats.bytes_before > 0 && stats.bytes_after > 0);
+        // Appending keeps working after compaction.
+        store
+            .append_checkpoint(
+                &[record(9)],
+                CheckpointMeta { sim: 200.0, n_failed: 0, n_cache_hits: 0, in_flight: 0 },
+            )
+            .unwrap();
+        drop(store);
+        let (mut store, recovered) = DurableStore::open(Box::new(sim), dir()).unwrap();
+        assert_eq!(recovered.records.len(), 10);
+        assert_eq!(
+            recovered.records.iter().map(|r| r.id).collect::<Vec<u64>>(),
+            (0..10).collect::<Vec<u64>>()
+        );
+        let reread = store.load_records().unwrap();
+        assert_eq!(reread.len(), 10);
+    }
+
+    #[test]
+    fn segments_rotate_at_the_size_cap() {
+        let sim = SimIo::new();
+        let mut store =
+            DurableStore::create(Box::new(sim.clone()), dir(), header()).unwrap();
+        // Enough records to force several segment rotations.
+        let mut id = 0u64;
+        while store.manifest.next_segment < 3 {
+            let recs: Vec<EvalRecord> = (0..64).map(|k| record(id + k)).collect();
+            id += 64;
+            store
+                .append_checkpoint(
+                    &recs,
+                    CheckpointMeta { sim: 0.0, n_failed: 0, n_cache_hits: 0, in_flight: 0 },
+                )
+                .unwrap();
+        }
+        assert!(store.sealed_segments() >= 2);
+        drop(store);
+        let (_, recovered) = DurableStore::open(Box::new(sim), dir()).unwrap();
+        assert_eq!(recovered.records.len() as u64, id);
+    }
+
+    #[test]
+    fn header_mismatch_is_detected() {
+        let sim = SimIo::new();
+        DurableStore::create(Box::new(sim.clone()), dir(), header()).unwrap();
+        let mut other = header();
+        other.seed = 8;
+        other.dataset = "airlines".into();
+        let err =
+            DurableStore::open_or_create(Box::new(sim), dir(), other).unwrap_err();
+        let DurableError::Mismatch(msg) = err else { panic!("wrong error kind") };
+        assert!(msg.contains("seed") && msg.contains("dataset"), "{msg}");
+    }
+
+    #[test]
+    fn header_json_roundtrips_infinite_chaos() {
+        let mut h = header();
+        h.chaos = FaultPlan::none(); // mtbf = +inf
+        let back = RunHeader::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+        h.chaos = FaultPlan { mtbf: 3600.0, mttr: 300.0, straggler_fraction: 0.25, straggler_factor: 4.0 };
+        let back = RunHeader::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn real_io_roundtrips_on_disk() {
+        let base = std::env::temp_dir().join(format!("agebo_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let mut store = DurableStore::create(Box::new(RealIo), &base, header()).unwrap();
+        let recs: Vec<EvalRecord> = (0..4).map(record).collect();
+        store
+            .append_checkpoint(
+                &recs,
+                CheckpointMeta { sim: 400.0, n_failed: 0, n_cache_hits: 2, in_flight: 1 },
+            )
+            .unwrap();
+        drop(store);
+        assert!(DurableStore::exists(&base));
+        let (mut store, recovered) = DurableStore::open(Box::new(RealIo), &base).unwrap();
+        assert_eq!(recovered.records.len(), 4);
+        assert_eq!(recovered.n_cache_hits, 2);
+        store.compact().unwrap();
+        drop(store);
+        let (_, again) = DurableStore::open(Box::new(RealIo), &base).unwrap();
+        assert_eq!(again.records.len(), 4);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn sim_io_fuse_turns_ops_into_crashes() {
+        let sim = SimIo::new();
+        let mut store =
+            DurableStore::create(Box::new(sim.clone()), dir(), header()).unwrap();
+        sim.set_fuse(2); // allow append + segment sync, crash at manifest write
+        let err = store
+            .append_checkpoint(
+                &[record(0)],
+                CheckpointMeta { sim: 1.0, n_failed: 0, n_cache_hits: 0, in_flight: 0 },
+            )
+            .unwrap_err();
+        assert!(matches!(err, DurableError::Io(_)), "{err}");
+    }
+}

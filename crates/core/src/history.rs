@@ -234,7 +234,7 @@ fn husize(v: &Json, key: &str) -> Result<usize, JsonError> {
     v.get(key).and_then(Json::as_usize).ok_or_else(|| herr(key, "expected integer"))
 }
 
-fn variant_to_json(variant: &Variant) -> Json {
+pub(crate) fn variant_to_json(variant: &Variant) -> Json {
     match variant {
         Variant::Age { n } => {
             Json::obj(vec![("kind", Json::Str("age".into())), ("n", Json::UInt(*n as u64))])
@@ -249,7 +249,7 @@ fn variant_to_json(variant: &Variant) -> Json {
     }
 }
 
-fn variant_from_json(v: &Json) -> Result<Variant, JsonError> {
+pub(crate) fn variant_from_json(v: &Json) -> Result<Variant, JsonError> {
     let kind = v
         .get("kind")
         .and_then(Json::as_str)
@@ -266,7 +266,7 @@ fn variant_from_json(v: &Json) -> Result<Variant, JsonError> {
     })
 }
 
-fn record_to_json(r: &EvalRecord) -> Json {
+pub(crate) fn record_to_json(r: &EvalRecord) -> Json {
     Json::obj(vec![
         ("id", Json::UInt(r.id)),
         ("arch", Json::Arr(r.arch.0.iter().map(|&a| Json::UInt(u64::from(a))).collect())),
@@ -286,7 +286,7 @@ fn record_to_json(r: &EvalRecord) -> Json {
     ])
 }
 
-fn record_from_json(v: &Json) -> Result<EvalRecord, JsonError> {
+pub(crate) fn record_from_json(v: &Json) -> Result<EvalRecord, JsonError> {
     let arch = v
         .get("arch")
         .and_then(Json::as_arr)

@@ -38,12 +38,17 @@
 //! ```
 
 pub mod config;
+pub mod durable;
 pub mod evaluation;
 pub mod history;
 pub mod population;
 pub mod search;
 
 pub use config::{CachePolicy, RetryPolicy, SearchConfig, Variant};
+pub use durable::{
+    AppendStats, CheckpointMeta, CompactStats, DurableError, DurableStore, RealIo, Recovered,
+    RunHeader, SimIo, StoreIo,
+};
 pub use evaluation::{
     content_seed, evaluate, evaluate_instrumented, evaluate_pooled, evaluate_task_instrumented,
     evaluate_task_pooled, injected_fault, EvalContext, EvalScratch, EvalTask, TaskOutput,
@@ -53,5 +58,6 @@ pub use history::{EvalRecord, SearchHistory};
 pub use population::{Member, Population};
 pub use search::{
     resume_search, resume_search_instrumented, run_search, run_search_controlled,
-    run_search_instrumented, run_search_served, ExternalCompute, RunControl, StopReason,
+    run_search_durable, run_search_instrumented, run_search_served, DurableRun, ExternalCompute,
+    RunControl, StopReason,
 };

@@ -14,6 +14,7 @@
 //! 6. submit and repeat until the simulated wall time is exhausted.
 
 use crate::config::{CachePolicy, SearchConfig, Variant};
+use crate::durable::{CheckpointMeta, DurableStore, Recovered};
 use crate::evaluation::{
     component_rng, content_seed, evaluate_task_pooled, EvalContext, EvalScratch, EvalTask,
     TaskOutput,
@@ -92,6 +93,11 @@ struct SearchTelemetry {
     /// Dual-clock spans around `optimizer.ask` / `optimizer.tell`.
     bo_ask: SpanStats,
     bo_tell: SpanStats,
+    /// `ckpt_bytes_written_total`: frame bytes appended to the durable
+    /// store (manifest rewrites excluded — they are O(#segments)).
+    ckpt_bytes: Arc<Counter>,
+    /// `ckpt_segments_total`: durable segments opened by this run.
+    ckpt_segments: Arc<Counter>,
 }
 
 impl SearchTelemetry {
@@ -110,6 +116,8 @@ impl SearchTelemetry {
                 .histogram("bo_ask_hidden_seconds", &Histogram::seconds_bounds()),
             bo_ask: SpanStats::register(tel, "bo_ask"),
             bo_tell: SpanStats::register(tel, "bo_tell"),
+            ckpt_bytes: tel.registry().counter("ckpt_bytes_written_total"),
+            ckpt_segments: tel.registry().counter("ckpt_segments_total"),
         }
     }
 }
@@ -291,7 +299,7 @@ fn run_search_with_state(
     tel: &Telemetry,
     control: Option<&RunControl>,
 ) -> (SearchHistory, StopReason) {
-    run_search_full(ctx, cfg, warm, tel, control, None)
+    run_search_full(ctx, cfg, warm, tel, control, None, None)
 }
 
 /// External compute for a search whose real trainings run in a shared
@@ -318,7 +326,53 @@ pub fn run_search_served(
     control: &RunControl,
     compute: ExternalCompute,
 ) -> (SearchHistory, StopReason) {
-    run_search_full(ctx, cfg, None, tel, Some(control), Some(compute))
+    run_search_full(ctx, cfg, None, tel, Some(control), Some(compute), None)
+}
+
+/// Durable-store wiring for one run: where delta checkpoints go, plus
+/// the recovered state to replay for an exactly-once resume.
+pub struct DurableRun<'a> {
+    /// Open segmented store. A delta of records completed since the last
+    /// append is committed at every checkpoint boundary and once more
+    /// when the run ends, so the store always holds a prefix of the
+    /// run's record sequence.
+    pub store: &'a mut DurableStore,
+    /// Recovery result from [`DurableStore::open`] when resuming; `None`
+    /// for a fresh run.
+    pub recovered: Option<&'a Recovered>,
+}
+
+/// [`run_search_instrumented`] with durable checkpointing and
+/// exactly-once resume.
+///
+/// With `durable.recovered = None` the run behaves exactly like the
+/// plain instrumented run (same history, same event stream plus the
+/// durability events) while committing O(delta) record batches to
+/// `durable.store` at every checkpoint boundary.
+///
+/// With `durable.recovered = Some(...)`, the search **replays**: it
+/// re-runs the full trajectory from simulated time zero with the same
+/// seeds, but every evaluation whose content key matches a recovered
+/// record is served its recorded objective instead of retraining —
+/// charged the *full* modeled duration, so the simulated trajectory is
+/// bitwise identical to the uninterrupted run. Evaluations that were
+/// in flight at the crash are simply reached again by the replayed
+/// trajectory and re-issued with their original content-derived seeds,
+/// and records already committed to the store are never re-appended
+/// (appends start past `committed_records`): each evaluation lands in
+/// the durable history exactly once.
+///
+/// `control` and `compute` make the same entry usable standalone (both
+/// `None`) and inside the serving layer (tenant control + shared pool).
+pub fn run_search_durable(
+    ctx: Arc<EvalContext>,
+    cfg: &SearchConfig,
+    tel: &Telemetry,
+    control: Option<&RunControl>,
+    compute: Option<ExternalCompute>,
+    durable: DurableRun<'_>,
+) -> (SearchHistory, StopReason) {
+    run_search_full(ctx, cfg, None, tel, control, compute, Some(durable))
 }
 
 fn run_search_full(
@@ -328,6 +382,7 @@ fn run_search_full(
     tel: &Telemetry,
     control: Option<&RunControl>,
     compute: Option<ExternalCompute>,
+    mut durable: Option<DurableRun<'_>>,
 ) -> (SearchHistory, StopReason) {
     assert!(cfg.workers >= 1 && cfg.population >= 1 && cfg.sample_size >= 1);
     let stream = Stream::new(cfg.seed);
@@ -343,8 +398,15 @@ fn run_search_full(
         population: cfg.population,
         wall_time_budget: cfg.wall_time,
         cache_policy: cfg.cache.label().to_string(),
-        resumed: warm.is_some(),
+        resumed: warm.is_some() || durable.as_ref().is_some_and(|d| d.recovered.is_some()),
     });
+    if let Some(rec) = durable.as_ref().and_then(|d| d.recovered) {
+        tel.emit(RunEvent::ResumeRecovered {
+            replayed: rec.records.len(),
+            reissued: rec.in_flight,
+            discarded_tail_bytes: rec.discarded_tail_bytes,
+        });
+    }
 
     let mut bo = match &cfg.variant {
         Variant::Age { .. } | Variant::RandomSearch => None,
@@ -428,6 +490,20 @@ fn run_search_full(
     // time still advances when a saturated search draws long runs of
     // duplicates.
     const INSTANT_HIT_SECONDS: f64 = 1.0;
+    // Exactly-once resume: objectives recovered from the durable store,
+    // keyed like the memo. A replay hit skips the real retraining but is
+    // charged the full modeled duration and keeps every cache flag and
+    // event exactly as the uninterrupted run produced them, so the
+    // resumed trajectory is bitwise identical. Consulted regardless of
+    // `cfg.cache` (including `Off`) — it serves the *recorded* result of
+    // this very evaluation, not an approximation from a duplicate.
+    let mut replay: HashMap<EvalKey, f64> = HashMap::new();
+    if let Some(rec) = durable.as_ref().and_then(|d| d.recovered) {
+        for r in &rec.records {
+            replay.insert(eval_key(&r.arch, ctx.applied_hp(r.hp)), r.objective);
+        }
+    }
+    let replay = replay;
 
     // Warm start: replay the checkpoint into population and BO state.
     if let Some(prev) = warm {
@@ -484,15 +560,23 @@ fn run_search_full(
         let applied = ctx.applied_hp(hp);
         let seed = content_seed(cfg.seed, &arch, applied);
         *counter += 1;
-        let cached = match cfg.cache {
+        let key = eval_key(&arch, applied);
+        let memo_hit = match cfg.cache {
             CachePolicy::Off => None,
-            CachePolicy::Replay | CachePolicy::Instant => {
-                memo.get(&eval_key(&arch, applied)).copied()
-            }
+            CachePolicy::Replay | CachePolicy::Instant => memo.get(&key).copied(),
         };
-        // Replay hits charge the full modeled duration (trajectory stays
-        // bit-identical to `Off`); Instant hits complete immediately.
-        let duration = match (cached, cfg.cache) {
+        // Resume-replay fills in only where the memo misses: the memo
+        // decides everything observable (flags, events, durations) so
+        // those stay exactly as on the uninterrupted run, and the replay
+        // silently spares the worker a retraining it already did.
+        let resume_hit = if memo_hit.is_none() { replay.get(&key).copied() } else { None };
+        let cached = memo_hit.or(resume_hit);
+        // Memo `Replay` hits charge the full modeled duration (trajectory
+        // stays bit-identical to `Off`); `Instant` hits complete
+        // immediately. Resume-replay hits always charge the full modeled
+        // duration — an `Instant` shortcut here would warp the resumed
+        // trajectory away from the original.
+        let duration = match (memo_hit, cfg.cache) {
             (Some(_), CachePolicy::Instant) => INSTANT_HIT_SECONDS,
             _ => modeled,
         };
@@ -519,7 +603,7 @@ fn run_search_full(
             lr1: hp.lr1,
             n: hp.n,
             modeled_duration: modeled,
-            cache_hit: cached.is_some(),
+            cache_hit: memo_hit.is_some(),
             arch: arch.0.clone(),
         });
         if let Some((attempt, _, reason)) = retry {
@@ -530,7 +614,7 @@ fn run_search_full(
                 reason: reason.to_string(),
             });
         }
-        if let Some(objective) = cached {
+        if let Some(objective) = memo_hit {
             tel.emit(RunEvent::EvalCacheHit { id, sim: submitted_at, objective });
         }
         tel.emit(RunEvent::EvalStarted { id, sim: placement.start });
@@ -540,7 +624,7 @@ fn run_search_full(
                 arch,
                 hp,
                 submitted_at,
-                cache_hit: cached.is_some(),
+                cache_hit: memo_hit.is_some(),
                 attempt,
                 worker: placement.worker,
             },
@@ -612,6 +696,7 @@ fn run_search_full(
         }
     };
     let mut last_checkpoint = 0usize;
+    let mut stop_reason = StopReason::Completed;
 
     // Main loop (Algorithm 1, lines 8-25).
     loop {
@@ -749,23 +834,41 @@ fn run_search_full(
             }
         }
         // Periodic checkpoint: every `checkpoint_every` recorded
-        // completions, snapshot the history (and write it to disk when a
-        // path is configured). `checkpoint_every = 0` disables the block
-        // entirely, leaving the event stream untouched.
+        // completions. With a durable store attached, the delta since the
+        // store's committed prefix is appended (O(delta), crash-safe);
+        // the legacy full-snapshot rewrite runs only when an explicit
+        // `checkpoint_path` asks for it or no store is attached.
+        // `checkpoint_every = 0` disables the block entirely, leaving the
+        // event stream untouched.
         if cfg.checkpoint_every > 0 && records.len() >= last_checkpoint + cfg.checkpoint_every {
             last_checkpoint = records.len();
-            let snapshot =
-                assemble(records.clone(), n_failed, n_cache_hits, evaluator.utilization());
-            if let Some(path) = &cfg.checkpoint_path {
-                // Best effort: a failed checkpoint write must not kill a
-                // long-running search. The event still records the attempt.
-                let _ = std::fs::write(path, snapshot.to_json_string());
+            if durable.is_none() || cfg.checkpoint_path.is_some() {
+                let snapshot =
+                    assemble(records.clone(), n_failed, n_cache_hits, evaluator.utilization());
+                if let Some(path) = &cfg.checkpoint_path {
+                    // Best effort: a failed checkpoint write must not kill a
+                    // long-running search. The event still records the attempt.
+                    let _ = std::fs::write(path, snapshot.to_json_string());
+                }
+                tel.emit(RunEvent::Checkpoint {
+                    sim: evaluator.now(),
+                    n_records: snapshot.records.len(),
+                    path: cfg.checkpoint_path.clone().unwrap_or_default(),
+                });
             }
-            tel.emit(RunEvent::Checkpoint {
-                sim: evaluator.now(),
-                n_records: snapshot.records.len(),
-                path: cfg.checkpoint_path.clone().unwrap_or_default(),
-            });
+            if let Some(d) = durable.as_mut() {
+                append_durable_delta(
+                    d.store,
+                    &records,
+                    n_failed,
+                    n_cache_hits,
+                    pending.len(),
+                    evaluator.now(),
+                    tel,
+                    &stel,
+                    true,
+                );
+            }
         }
         // External control (serving layer): charge this round's recorded
         // completions against the tenant allowance, then honor any stop
@@ -775,9 +878,8 @@ fn run_search_full(
         if let Some(control) = control {
             control.charge(records.len() - records_before);
             if let Some(reason) = control.should_stop() {
-                let utilization = evaluator.utilization();
-                stel.utilization.set(utilization);
-                return (assemble(records, n_failed, n_cache_hits, utilization), reason);
+                stop_reason = reason;
+                break;
             }
         }
         if evaluator.now() >= cfg.wall_time || (n_replace == 0 && retries.is_empty()) {
@@ -875,9 +977,81 @@ fn run_search_full(
         }
     }
 
+    // Final durable flush: records completed since the last periodic
+    // checkpoint are committed on *every* exit path (natural completion
+    // and control stops alike), so the store never trails the returned
+    // history by more than a torn tail.
+    if let Some(d) = durable.as_mut() {
+        append_durable_delta(
+            d.store,
+            &records,
+            n_failed,
+            n_cache_hits,
+            pending.len(),
+            evaluator.now(),
+            tel,
+            &stel,
+            false,
+        );
+    }
     let utilization = evaluator.utilization();
     stel.utilization.set(utilization);
-    (assemble(records, n_failed, n_cache_hits, utilization), StopReason::Completed)
+    (assemble(records, n_failed, n_cache_hits, utilization), stop_reason)
+}
+
+/// Segments a compaction folds into a snapshot once this many are
+/// sealed: keeps recovery O(segment cap) instead of O(history).
+const AUTO_COMPACT_SEALED_SEGMENTS: usize = 8;
+
+/// Appends `records[committed..]` to the durable store with a commit
+/// marker, emitting the durability events and counters. Exactly-once by
+/// construction: the slice starts past the store's committed prefix, so
+/// a resumed run that replays already-persisted records never re-appends
+/// them. Best effort like the legacy checkpoint path — an I/O error
+/// leaves the store behind but must not kill the search.
+#[allow(clippy::too_many_arguments)]
+fn append_durable_delta(
+    store: &mut DurableStore,
+    records: &[EvalRecord],
+    n_failed: usize,
+    n_cache_hits: usize,
+    in_flight: usize,
+    sim: f64,
+    tel: &Telemetry,
+    stel: &SearchTelemetry,
+    auto_compact: bool,
+) {
+    let committed = store.committed_records() as usize;
+    if records.len() <= committed {
+        return;
+    }
+    let meta = CheckpointMeta { sim, n_failed, n_cache_hits, in_flight };
+    match store.append_checkpoint(&records[committed..], meta) {
+        Ok(stats) => {
+            stel.ckpt_bytes.add(stats.bytes);
+            if stats.rotated {
+                stel.ckpt_segments.inc();
+            }
+            tel.emit(RunEvent::CheckpointSegment {
+                sim,
+                segment: stats.segment,
+                n_records: stats.committed_records as usize,
+                bytes: stats.bytes,
+            });
+        }
+        Err(_) => return,
+    }
+    if auto_compact && store.sealed_segments() >= AUTO_COMPACT_SEALED_SEGMENTS {
+        if let Ok(stats) = store.compact() {
+            tel.emit(RunEvent::Compacted {
+                sim,
+                folded_segments: stats.folded_segments,
+                n_records: stats.n_records,
+                bytes_before: stats.bytes_before,
+                bytes_after: stats.bytes_after,
+            });
+        }
+    }
 }
 
 #[cfg(test)]

@@ -256,9 +256,14 @@ fn spec_from_json(v: &Json) -> Result<GraphSpec, ModelLoadError> {
     })
 }
 
-/// Saves a trained network to a JSON file.
+/// Saves a trained network to a JSON file. The write is atomic (temp
+/// file + fsync + rename): a crash mid-save leaves either the previous
+/// model or the new one, never a torn file.
 pub fn save_model(net: &GraphNet, path: impl AsRef<Path>) -> Result<(), ModelLoadError> {
-    SavedModel::from_net(net).write(std::fs::File::create(path)?)
+    let mut buf: Vec<u8> = Vec::new();
+    SavedModel::from_net(net).write(&mut buf)?;
+    agebo_telemetry::atomic_write(path, &buf)?;
+    Ok(())
 }
 
 /// Loads a trained network from a JSON file.

@@ -3,8 +3,8 @@
 use crate::cache::{CacheStats, SharedMemoCache};
 use crate::pool::{LaneExec, SharedPool, WorkItem};
 use agebo_core::{
-    run_search_served, EvalContext, ExternalCompute, RunControl, SearchConfig, SearchHistory,
-    StopReason,
+    run_search_durable, run_search_served, DurableRun, DurableStore, EvalContext, ExternalCompute,
+    RealIo, Recovered, RunControl, RunHeader, SearchConfig, SearchHistory, StopReason,
 };
 use agebo_dataparallel::TrainerTelemetry;
 use agebo_scheduler::result_channel;
@@ -223,6 +223,14 @@ fn profile_tag(p: SizeProfile) -> u8 {
     }
 }
 
+fn profile_name(p: SizeProfile) -> &'static str {
+    match p {
+        SizeProfile::Test => "test",
+        SizeProfile::Bench => "bench",
+        SizeProfile::Large => "large",
+    }
+}
+
 /// FNV-1a over the evaluation context's identity — what, together with
 /// the task content, fully determines an objective. Two sessions agree on
 /// a shared-cache entry only when they agree on this fingerprint.
@@ -353,6 +361,46 @@ impl SessionManager {
             }))
         };
 
+        // Durable session state: when the spec names a checkpoint
+        // directory, the store is opened (or created) *before* launch so
+        // an unusable directory — or a store written by an incompatible
+        // spec — rejects cleanly instead of failing mid-search. An
+        // existing compatible store makes this session a resume: the
+        // recovered records replay and the session continues where the
+        // interrupted one stopped.
+        let durable: Option<(DurableStore, Option<Recovered>)> =
+            match &spec.cfg.checkpoint_dir {
+                None => None,
+                Some(dir) => {
+                    let header = RunHeader {
+                        dataset: spec.dataset.name().to_string(),
+                        profile: profile_name(spec.profile).to_string(),
+                        seed: spec.cfg.seed,
+                        variant: spec.cfg.variant.clone(),
+                        wall_time: spec.cfg.wall_time,
+                        workers: spec.cfg.workers,
+                        failure_rate: spec.cfg.failure_rate,
+                        chaos: spec.cfg.chaos,
+                        cache: spec.cfg.cache,
+                        checkpoint_every: spec.cfg.checkpoint_every,
+                        fingerprint: context_fingerprint(
+                            spec.dataset,
+                            spec.profile,
+                            spec.cfg.seed,
+                        ),
+                    };
+                    match DurableStore::open_or_create(Box::new(RealIo), dir, header) {
+                        Ok((store, recovered)) => Some((store, recovered)),
+                        Err(e) => {
+                            active.fetch_sub(1, Ordering::AcqRel);
+                            return Admission::Rejected {
+                                reason: format!("checkpoint dir {dir}: {e}"),
+                            };
+                        }
+                    }
+                }
+            };
+
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (result_tx, result_rx) = result_channel();
         let exec = LaneExec {
@@ -386,7 +434,17 @@ impl SessionManager {
                 }
             };
             let compute = ExternalCompute { submit: Box::new(submit), results: result_rx };
-            let (history, stop) = run_search_served(ctx, &spec.cfg, &tel, &control, compute);
+            let (history, stop) = match durable {
+                None => run_search_served(ctx, &spec.cfg, &tel, &control, compute),
+                Some((mut store, recovered)) => run_search_durable(
+                    ctx,
+                    &spec.cfg,
+                    &tel,
+                    Some(&control),
+                    Some(compute),
+                    DurableRun { store: &mut store, recovered: recovered.as_ref() },
+                ),
+            };
             pool.remove_session(id);
             let _ = tel.flush();
             let report = SessionReport {
@@ -409,6 +467,22 @@ impl SessionManager {
     /// Shared memo-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.pool.cache.stats()
+    }
+
+    /// Deducts `n` evaluations from `tenant`'s allowance without running
+    /// anything (saturating at zero; a no-op for unknown tenants or
+    /// unlimited budgets). Serve-layer restart uses this to charge
+    /// sessions that already completed before the crash, so a resumed
+    /// deployment honors the same total budget as an uninterrupted one.
+    pub fn charge_tenant(&self, tenant: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let tenants = self.tenants.lock();
+        if let Some(allowance) = tenants.get(tenant).and_then(|e| e.allowance.as_ref()) {
+            let _ = allowance
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| Some(v.saturating_sub(n)));
+        }
     }
 }
 

@@ -1,0 +1,105 @@
+//! Serve-layer session recovery over the durable checkpoint store.
+//!
+//! A served session with `checkpoint_dir` set persists its trajectory
+//! as it runs. When the session is interrupted — here by a tenant
+//! evaluation budget, the deterministic stand-in for a killed serve
+//! process — a *fresh* [`SessionManager`] pointed at the same spec and
+//! directory must resume the search exactly once: the final history is
+//! bitwise identical to an uninterrupted standalone run.
+
+use agebo_core::{run_search, EvalContext, SearchConfig, StopReason, Variant};
+use agebo_serve::{ServeOptions, SessionManager, SessionSpec, TenantBudget};
+use agebo_tabular::{DatasetKind, SizeProfile};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("agebo-serve-durable-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn budget_stopped_session_resumes_bitwise_on_a_fresh_manager() {
+    let scratch = scratch_dir("resume");
+    let ckpt = scratch.join("s0-ckpt");
+    let cfg = SearchConfig::test(Variant::agebo())
+        .with_seed(71)
+        .with_wall_time(2000.0)
+        .with_checkpoint_dir(2, ckpt.to_string_lossy().into_owned());
+
+    // Uninterrupted reference: the plain core loop ignores
+    // `checkpoint_dir` (no store attached), so the same cfg serves.
+    let ctx = Arc::new(EvalContext::prepare(DatasetKind::Covertype, SizeProfile::Test, 71));
+    let reference = run_search(Arc::clone(&ctx), &cfg);
+    assert!(reference.len() > 8, "reference run too small: {}", reference.len());
+
+    let spec = || {
+        SessionSpec::new("s0", "acme", DatasetKind::Covertype, SizeProfile::Test, cfg.clone())
+    };
+
+    // Leg 1: a tight tenant allowance interrupts the session mid-run;
+    // the final durable flush lands the prefix before the thread exits.
+    let m1 = SessionManager::new(ServeOptions { slots: 2, cache_capacity: 1024 });
+    m1.register_tenant("acme", TenantBudget { max_evals: Some(6), ..TenantBudget::default() });
+    let interrupted = m1.submit(spec()).expect_accepted().join();
+    assert_eq!(interrupted.stop, StopReason::BudgetExhausted, "budget did not interrupt");
+    assert!(
+        interrupted.history.len() < reference.len(),
+        "interrupted leg already finished ({} records)",
+        interrupted.history.len()
+    );
+    assert!(ckpt.join("MANIFEST.json").exists(), "no durable store written");
+
+    // Leg 2: a fresh manager (new process, in effect) with an untight
+    // budget finds the store and resumes the same spec to completion.
+    let m2 = SessionManager::new(ServeOptions { slots: 2, cache_capacity: 1024 });
+    m2.register_tenant("acme", TenantBudget::default());
+    let resumed = m2.submit(spec()).expect_accepted().join();
+    assert_eq!(resumed.stop, StopReason::Completed);
+    assert!(resumed.history.len() > interrupted.history.len(), "resume added nothing");
+    assert_eq!(
+        resumed.history.to_json_string(),
+        reference.to_json_string(),
+        "resumed served history is not bitwise identical to the standalone run"
+    );
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// A session whose header no longer matches the store (different seed)
+/// must be rejected at admission, not silently restarted.
+#[test]
+fn incompatible_resume_is_rejected_at_admission() {
+    let scratch = scratch_dir("mismatch");
+    let ckpt = scratch.join("s1-ckpt");
+    let cfg = |seed: u64| {
+        SearchConfig::test(Variant::agebo())
+            .with_seed(seed)
+            .with_wall_time(600.0)
+            .with_checkpoint_dir(2, ckpt.to_string_lossy().into_owned())
+    };
+
+    let m1 = SessionManager::new(ServeOptions { slots: 2, cache_capacity: 256 });
+    m1.register_tenant("acme", TenantBudget::default());
+    let first = m1
+        .submit(SessionSpec::new("s1", "acme", DatasetKind::Covertype, SizeProfile::Test, cfg(5)))
+        .expect_accepted()
+        .join();
+    assert_eq!(first.stop, StopReason::Completed);
+
+    let m2 = SessionManager::new(ServeOptions { slots: 2, cache_capacity: 256 });
+    m2.register_tenant("acme", TenantBudget::default());
+    let admission = m2.submit(SessionSpec::new(
+        "s1",
+        "acme",
+        DatasetKind::Covertype,
+        SizeProfile::Test,
+        cfg(6),
+    ));
+    let reason = admission.rejection().expect("seed drift must be rejected").to_string();
+    assert!(reason.contains("seed"), "rejection reason does not mention the drift: {reason}");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}

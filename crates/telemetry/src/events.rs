@@ -210,6 +210,40 @@ pub enum RunEvent {
         /// Simulated time the slot is re-admitted.
         until: f64,
     },
+    /// A checkpoint delta was appended to a durable-store segment.
+    CheckpointSegment {
+        /// Simulated time at the checkpoint.
+        sim: f64,
+        /// Index of the segment the delta landed in.
+        segment: u64,
+        /// Total records durably committed after this append.
+        n_records: usize,
+        /// Bytes appended (frames + manifest commit).
+        bytes: u64,
+    },
+    /// Sealed segments were folded into a snapshot.
+    Compacted {
+        /// Simulated time of the compaction.
+        sim: f64,
+        /// Segments folded away.
+        folded_segments: usize,
+        /// Records in the resulting snapshot.
+        n_records: usize,
+        /// Store bytes before compaction.
+        bytes_before: u64,
+        /// Store bytes after compaction.
+        bytes_after: u64,
+    },
+    /// A search resumed from a durable store: what recovery found.
+    ResumeRecovered {
+        /// Completed evaluations recovered and replayed from segments.
+        replayed: usize,
+        /// Evaluations in flight at the crash, re-issued with their
+        /// original content-derived seeds.
+        reissued: usize,
+        /// Bytes of torn/invalid segment tail discarded during recovery.
+        discarded_tail_bytes: u64,
+    },
 }
 
 impl RunEvent {
@@ -233,6 +267,9 @@ impl RunEvent {
             RunEvent::EvalTimeout { .. } => "eval_timeout",
             RunEvent::EvalCrashed { .. } => "eval_crashed",
             RunEvent::WorkerQuarantined { .. } => "worker_quarantined",
+            RunEvent::CheckpointSegment { .. } => "checkpoint_segment",
+            RunEvent::Compacted { .. } => "compacted",
+            RunEvent::ResumeRecovered { .. } => "resume_recovered",
         }
     }
 
@@ -340,6 +377,26 @@ impl RunEvent {
                 ("sim", Json::Num(*sim)),
                 ("until", Json::Num(*until)),
             ],
+            RunEvent::CheckpointSegment { sim, segment, n_records, bytes } => vec![
+                ("sim", Json::Num(*sim)),
+                ("segment", Json::UInt(*segment)),
+                ("n_records", Json::UInt(*n_records as u64)),
+                ("bytes", Json::UInt(*bytes)),
+            ],
+            RunEvent::Compacted { sim, folded_segments, n_records, bytes_before, bytes_after } => {
+                vec![
+                    ("sim", Json::Num(*sim)),
+                    ("folded_segments", Json::UInt(*folded_segments as u64)),
+                    ("n_records", Json::UInt(*n_records as u64)),
+                    ("bytes_before", Json::UInt(*bytes_before)),
+                    ("bytes_after", Json::UInt(*bytes_after)),
+                ]
+            }
+            RunEvent::ResumeRecovered { replayed, reissued, discarded_tail_bytes } => vec![
+                ("replayed", Json::UInt(*replayed as u64)),
+                ("reissued", Json::UInt(*reissued as u64)),
+                ("discarded_tail_bytes", Json::UInt(*discarded_tail_bytes)),
+            ],
         }
     }
 
@@ -437,6 +494,24 @@ impl RunEvent {
                 worker: ru64(v, "worker")? as usize,
                 sim: rf64(v, "sim")?,
                 until: rf64(v, "until")?,
+            },
+            "checkpoint_segment" => RunEvent::CheckpointSegment {
+                sim: rf64(v, "sim")?,
+                segment: ru64(v, "segment")?,
+                n_records: ru64(v, "n_records")? as usize,
+                bytes: ru64(v, "bytes")?,
+            },
+            "compacted" => RunEvent::Compacted {
+                sim: rf64(v, "sim")?,
+                folded_segments: ru64(v, "folded_segments")? as usize,
+                n_records: ru64(v, "n_records")? as usize,
+                bytes_before: ru64(v, "bytes_before")?,
+                bytes_after: ru64(v, "bytes_after")?,
+            },
+            "resume_recovered" => RunEvent::ResumeRecovered {
+                replayed: ru64(v, "replayed")? as usize,
+                reissued: ru64(v, "reissued")? as usize,
+                discarded_tail_bytes: ru64(v, "discarded_tail_bytes")?,
             },
             other => return Err(field_err("type", &format!("unknown event kind `{other}`"))),
         })
@@ -555,5 +630,38 @@ mod tests {
     fn mask_wall_clock_passes_garbage_through() {
         let masked = mask_wall_clock("not json\n");
         assert_eq!(masked, "not json\n");
+    }
+
+    #[test]
+    fn durability_events_roundtrip_exactly() {
+        let events = [
+            RunEvent::CheckpointSegment { sim: 120.5, segment: 3, n_records: 42, bytes: 8192 },
+            RunEvent::Compacted {
+                sim: 300.0,
+                folded_segments: 4,
+                n_records: 42,
+                bytes_before: 32768,
+                bytes_after: 9000,
+            },
+            RunEvent::ResumeRecovered { replayed: 17, reissued: 3, discarded_tail_bytes: 11 },
+        ];
+        for (seq, event) in events.into_iter().enumerate() {
+            let env = Envelope { seq: seq as u64, wall_ms: 99, event };
+            let line = env.to_json_line();
+            assert_eq!(Envelope::parse(&line).unwrap(), env, "{line}");
+        }
+    }
+
+    #[test]
+    fn resume_recovered_line_is_byte_stable() {
+        let env = Envelope {
+            seq: 0,
+            wall_ms: 0,
+            event: RunEvent::ResumeRecovered { replayed: 2, reissued: 1, discarded_tail_bytes: 7 },
+        };
+        assert_eq!(
+            env.to_json_line(),
+            r#"{"seq":0,"wall_ms":0,"type":"resume_recovered","replayed":2,"reissued":1,"discarded_tail_bytes":7}"#
+        );
     }
 }

@@ -1,0 +1,86 @@
+//! Crash-safe file primitives shared by every persistence surface
+//! (histories, checkpoint manifests, serve reports, model saves).
+//!
+//! The core primitive is [`atomic_write`]: write the new contents to a
+//! sibling temporary file, fsync it, rename it over the destination, and
+//! fsync the parent directory. A reader therefore observes either the
+//! old file or the complete new file — never a torn half-write — and the
+//! rename is durable once the directory sync returns.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Best-effort fsync of a directory, making previously-renamed entries
+/// durable. A no-op error on platforms where directories cannot be
+/// opened for sync is swallowed: the rename itself was still atomic.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        if let Ok(d) = File::open(dir) {
+            d.sync_all()?;
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+/// Atomically replaces `path` with `contents`:
+/// temp write → temp fsync → rename → directory fsync.
+///
+/// The temporary file lives next to the destination (same filesystem, so
+/// the rename cannot cross devices) and carries a `.tmp` suffix derived
+/// from the destination name; a crash leaves at worst a stale `.tmp`
+/// that the next write overwrites.
+pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = dir {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// [`atomic_write`] for string contents.
+pub fn atomic_write_str(path: impl AsRef<Path>, contents: &str) -> io::Result<()> {
+    atomic_write(path, contents.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_creates_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("agebo_fsio_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        atomic_write_str(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        atomic_write_str(&path, "second, longer contents").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second, longer contents");
+        // No temp residue after a successful write.
+        assert!(!dir.join("report.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_rejects_bare_root() {
+        assert!(atomic_write(Path::new("/"), b"x").is_err());
+    }
+}

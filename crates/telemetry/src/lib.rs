@@ -34,6 +34,7 @@
 //! never in the event stream.
 
 pub mod events;
+pub mod fsio;
 pub mod json;
 pub mod metrics;
 pub mod report;
@@ -41,6 +42,7 @@ pub mod sink;
 pub mod span;
 
 pub use events::{mask_wall_clock, Envelope, RunEvent, SCHEMA_VERSION};
+pub use fsio::{atomic_write, atomic_write_str};
 pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use report::RunSummary;

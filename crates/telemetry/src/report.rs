@@ -2,7 +2,7 @@
 //! stream and render it for the `agebo report` CLI surface.
 
 use crate::events::{Envelope, RunEvent};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Everything the `report` subcommand prints, computed from the event
 /// log alone (no metrics snapshot required).
@@ -55,6 +55,18 @@ pub struct RunSummary {
     pub latency_quantiles: Vec<(f64, f64)>,
     /// Best-so-far trajectory: `(finished_at, best objective so far)`.
     pub best_so_far: Vec<(f64, f64)>,
+    /// Distinct durable-store segments touched by checkpoint appends.
+    pub n_ckpt_segments: usize,
+    /// Total bytes written by durable checkpoint appends.
+    pub ckpt_bytes: u64,
+    /// Compactions folding sealed segments into a snapshot.
+    pub n_compactions: usize,
+    /// Completed evaluations replayed from the store on resume.
+    pub resume_replayed: usize,
+    /// In-flight-at-crash evaluations re-issued on resume.
+    pub resume_reissued: usize,
+    /// Torn segment-tail bytes discarded during recovery.
+    pub resume_discarded_bytes: u64,
 }
 
 impl RunSummary {
@@ -85,7 +97,14 @@ impl RunSummary {
             mean_queue_wait: 0.0,
             latency_quantiles: Vec::new(),
             best_so_far: Vec::new(),
+            n_ckpt_segments: 0,
+            ckpt_bytes: 0,
+            n_compactions: 0,
+            resume_replayed: 0,
+            resume_reissued: 0,
+            resume_discarded_bytes: 0,
         };
+        let mut ckpt_segments: HashSet<u64> = HashSet::new();
         let mut submitted_at: HashMap<u64, f64> = HashMap::new();
         let mut started_at: HashMap<u64, f64> = HashMap::new();
         let mut latencies: Vec<f64> = Vec::new();
@@ -151,11 +170,22 @@ impl RunSummary {
                     s.makespan = s.makespan.max(sim);
                 }
                 RunEvent::WorkerQuarantined { .. } => s.n_quarantined += 1,
+                RunEvent::CheckpointSegment { segment, bytes, .. } => {
+                    ckpt_segments.insert(segment);
+                    s.ckpt_bytes += bytes;
+                }
+                RunEvent::Compacted { .. } => s.n_compactions += 1,
+                RunEvent::ResumeRecovered { replayed, reissued, discarded_tail_bytes } => {
+                    s.resume_replayed += replayed;
+                    s.resume_reissued += reissued;
+                    s.resume_discarded_bytes += discarded_tail_bytes;
+                }
                 RunEvent::PopulationReplaced { .. }
                 | RunEvent::Checkpoint { .. }
                 | RunEvent::WorkerUp { .. } => {}
             }
         }
+        s.n_ckpt_segments = ckpt_segments.len();
         if s.workers > 0 && s.makespan > 0.0 {
             s.utilization = (busy / (s.workers as f64 * s.makespan)).min(1.0);
         }
@@ -242,6 +272,20 @@ impl RunSummary {
                 .map(|(q, v)| format!("p{:.0}={v:.0}s", q * 100.0))
                 .collect();
             push(&mut out, format!("eval latency: {}", q.join(" ")));
+        }
+        if self.n_ckpt_segments > 0 || self.n_compactions > 0 || self.resume_replayed > 0 {
+            push(
+                &mut out,
+                format!(
+                    "durability:   {} segments, {} bytes, {} compactions, resume {} replayed / {} reissued / {} tail bytes discarded",
+                    self.n_ckpt_segments,
+                    self.ckpt_bytes,
+                    self.n_compactions,
+                    self.resume_replayed,
+                    self.resume_reissued,
+                    self.resume_discarded_bytes
+                ),
+            );
         }
         if let Some(best) = self.best_objective() {
             push(&mut out, format!("best:         {best:.4} validation accuracy"));
@@ -348,6 +392,37 @@ mod tests {
         let text = s.render();
         assert!(
             text.contains("faults:       1 outages, 1 crashes, 1 timeouts, 1 retries, 1 quarantines"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn durability_events_are_counted_and_rendered() {
+        let tel = Telemetry::in_memory();
+        tel.emit(RunEvent::ResumeRecovered { replayed: 5, reissued: 2, discarded_tail_bytes: 17 });
+        tel.emit(RunEvent::CheckpointSegment { sim: 10.0, segment: 0, n_records: 5, bytes: 400 });
+        tel.emit(RunEvent::CheckpointSegment { sim: 20.0, segment: 0, n_records: 10, bytes: 410 });
+        tel.emit(RunEvent::CheckpointSegment { sim: 30.0, segment: 1, n_records: 15, bytes: 420 });
+        tel.emit(RunEvent::Compacted {
+            sim: 35.0,
+            folded_segments: 2,
+            n_records: 15,
+            bytes_before: 1230,
+            bytes_after: 600,
+        });
+        let s = RunSummary::from_jsonl(&tel.events_jsonl().unwrap());
+        assert_eq!(s.n_ckpt_segments, 2);
+        assert_eq!(s.ckpt_bytes, 1230);
+        assert_eq!(s.n_compactions, 1);
+        assert_eq!(
+            (s.resume_replayed, s.resume_reissued, s.resume_discarded_bytes),
+            (5, 2, 17)
+        );
+        let text = s.render();
+        assert!(
+            text.contains(
+                "durability:   2 segments, 1230 bytes, 1 compactions, resume 5 replayed / 2 reissued / 17 tail bytes discarded"
+            ),
             "{text}"
         );
     }

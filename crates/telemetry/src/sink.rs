@@ -54,7 +54,11 @@ impl FileSink {
                         let _ = ack.send(());
                     }
                     Ok(WriterMsg::Shutdown) | Err(_) => {
+                        // Finalization: drain the buffer AND fsync, so the
+                        // event log a finished run leaves behind is durable,
+                        // not just handed to the page cache.
                         let _ = w.flush();
+                        let _ = w.get_ref().sync_all();
                         break;
                     }
                 }
@@ -204,7 +208,12 @@ impl Telemetry {
         }
         if let Some(dir) = &self.dir {
             let snap = self.registry.snapshot();
-            std::fs::write(dir.join(METRICS_FILE), snap.to_json().to_string_pretty())?;
+            // Temp-then-rename: a crash mid-flush never leaves a torn
+            // metrics snapshot behind.
+            crate::fsio::atomic_write_str(
+                dir.join(METRICS_FILE),
+                &snap.to_json().to_string_pretty(),
+            )?;
         }
         Ok(())
     }
