@@ -24,12 +24,18 @@ use agebo_bo::{BoConfig, BoOptimizer, HpPoint, Space};
 use agebo_tensor::Matrix;
 use agebo_trees::{ForestConfig, ForestScratch, RandomForestRegressor, TreeConfig};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::time::Instant;
 
 const Q: usize = 8;
 const POOL: usize = 256;
+/// Bounded-surrogate window used by the `--long-history` section.
+const WINDOW: usize = 512;
+/// Mirrors the optimizer's private window-RNG salt so the standalone
+/// reservoir replay below trains on the same rows a windowed
+/// `BoOptimizer` (seed 7) holds.
+const WINDOW_RNG_SALT: u64 = 0xC0FF_EE00_5EED_1D07;
 
 fn bo_cfg() -> BoConfig {
     BoConfig { n_initial: 10, n_candidates: POOL, n_trees: 25, seed: 7, ..BoConfig::default() }
@@ -146,8 +152,177 @@ fn measure_ask(xs: &[HpPoint], ys: &[f64], reps: usize) -> (f64, f64) {
     (seed_rate, rate(reps, t0.elapsed().as_secs_f64()))
 }
 
+/// The synthetic smooth objective shared by `history` and the closed
+/// loops: best at lr₁ = e⁻⁴ ≈ 0.018, independent of bs₁ and n.
+fn objective(p: &HpPoint) -> f64 {
+    1.0 - (p[1].ln() + 4.0).abs() * 0.1
+}
+
+/// Average ranks (ties averaged), for the Spearman correlation.
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).expect("finite scores"));
+    let mut r = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            r[k] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+/// Spearman rank correlation: Pearson correlation of the rank vectors.
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    let (ra, rb) = (ranks(a), ranks(b));
+    let n = ra.len() as f64;
+    let (ma, mb) = (ra.iter().sum::<f64>() / n, rb.iter().sum::<f64>() / n);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}
+
+/// The optimizer's seeded reservoir (Algorithm R), replayed standalone so
+/// the drift measurement trains the exact window a windowed `BoOptimizer`
+/// would hold after `n` tells.
+fn reservoir_window(n: usize, w: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut win: Vec<u32> = (0..n.min(w) as u32).collect();
+    for i in w..n {
+        let j = rng.gen_range(0..i + 1);
+        if j < w {
+            win[j] = i as u32;
+        }
+    }
+    win
+}
+
+/// Minimum observed per-refit surrogate fit time (seconds) across `reps`
+/// single-point asks, drained from the optimizer's own fit-time journal.
+fn min_refit_seconds(bo: &mut BoOptimizer, reps: usize) -> f64 {
+    let mut drain = Vec::new();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        drain.clear();
+        black_box(bo.ask(1));
+        bo.take_fit_seconds(&mut drain);
+        for &s in &drain {
+            best = best.min(s);
+        }
+    }
+    best
+}
+
+/// Closed BO loop to `n_obs` observations (ask(q=8) → synthetic
+/// objective → tell), returning the best objective found. `window = 0`
+/// is the exact surrogate.
+fn closed_loop_best(window: usize, n_obs: usize) -> f64 {
+    let space = Space::paper_hm();
+    let mut bo =
+        BoOptimizer::new(Space::paper_hm(), BoConfig { surrogate_window: window, ..bo_cfg() });
+    let mut rng = StdRng::seed_from_u64(21);
+    let init: Vec<HpPoint> = (0..10).map(|_| space.sample(&mut rng)).collect();
+    let ys: Vec<f64> = init.iter().map(objective).collect();
+    bo.tell(&init, &ys);
+    let mut best = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut n = init.len();
+    while n < n_obs {
+        let pts = bo.ask(Q);
+        let ys: Vec<f64> = pts.iter().map(objective).collect();
+        best = ys.iter().cloned().fold(best, f64::max);
+        n += pts.len();
+        bo.tell(&pts, &ys);
+    }
+    best
+}
+
+/// The `--long-history` section: per-refit surrogate cost exact vs
+/// windowed at 1k/5k/20k observations, UCB rank-correlation drift over a
+/// shared candidate pool, and closed-loop best-objective drift.
+fn long_history(quick: bool) -> String {
+    let space = Space::paper_hm();
+    let kappa = 1.96;
+    let mut size_rows = Vec::new();
+    for &n_obs in &[1_000usize, 5_000, 20_000] {
+        let (xs, ys) = history(n_obs);
+        let enc = encode_history(&space, &xs);
+
+        // Per-refit fit time through the optimizer's own timed path.
+        let mk = |window: usize| {
+            let mut bo = BoOptimizer::new(
+                Space::paper_hm(),
+                BoConfig { surrogate_window: window, ..bo_cfg() },
+            );
+            bo.tell(&xs, &ys);
+            bo
+        };
+        let exact_reps = if quick { 2 } else { 3 };
+        let win_reps = if quick { 4 } else { 10 };
+        let exact_s = min_refit_seconds(&mut mk(0), exact_reps);
+        let win_s = min_refit_seconds(&mut mk(WINDOW), win_reps);
+
+        // Drift: UCB scores over one shared pool, surrogate trained on
+        // the full history vs on the replayed reservoir window.
+        let exact_forest = RandomForestRegressor::fit(&enc, &ys, &forest_cfg(), 7);
+        let win_idx = reservoir_window(n_obs, WINDOW, bo_cfg().seed ^ WINDOW_RNG_SALT);
+        let mut win_forest = RandomForestRegressor::default();
+        win_forest.refit_window(&enc, &ys, &win_idx, &forest_cfg(), 7, &mut ForestScratch::default());
+        let mut rng = StdRng::seed_from_u64(17);
+        let pool_pts: Vec<HpPoint> = (0..POOL).map(|_| space.sample(&mut rng)).collect();
+        let pool = encode_history(&space, &pool_pts);
+        let ucb = |f: &RandomForestRegressor| -> Vec<f64> {
+            f.predict_mean_std_batch(&pool).iter().map(|&(m, s)| m + kappa * s).collect()
+        };
+        let rho = spearman(&ucb(&exact_forest), &ucb(&win_forest));
+
+        println!(
+            "long n_obs={n_obs}: refit exact {:.2} ms, window({WINDOW}) {:.2} ms ({:.1}x) | UCB spearman {rho:.3}",
+            exact_s * 1e3,
+            win_s * 1e3,
+            exact_s / win_s,
+        );
+        size_rows.push(format!(
+            "      {{\n        \"n_obs\": {n_obs},\n        \"exact_refit_seconds\": {exact_s:.6},\n        \"windowed_refit_seconds\": {win_s:.6},\n        \"refit_speedup\": {:.3},\n        \"ucb_spearman_rank_corr\": {rho:.4}\n      }}",
+            exact_s / win_s,
+        ));
+    }
+    // Closed-loop drift: the 5k loop repeats thousands of exact refits,
+    // so the quick (CI smoke) run measures 1k only.
+    let loop_sizes: &[usize] = if quick { &[1_000] } else { &[1_000, 5_000] };
+    let mut loop_rows = Vec::new();
+    for &n_obs in loop_sizes {
+        let exact_best = closed_loop_best(0, n_obs);
+        let win_best = closed_loop_best(WINDOW, n_obs);
+        let drift = exact_best - win_best;
+        println!(
+            "closed loop to {n_obs} obs: best exact {exact_best:.4}, window({WINDOW}) {win_best:.4}, drift {drift:+.4}"
+        );
+        loop_rows.push(format!(
+            "      {{\n        \"n_obs\": {n_obs},\n        \"exact_best_objective\": {exact_best:.6},\n        \"windowed_best_objective\": {win_best:.6},\n        \"best_objective_drift\": {drift:.6}\n      }}",
+        ));
+    }
+    format!(
+        "  \"long_history\": {{\n    \"window\": {WINDOW},\n    \"ucb_kappa\": {kappa},\n    \"per_refit\": [\n{}\n    ],\n    \"closed_loop\": [\n{}\n    ]\n  }},\n",
+        size_rows.join(",\n"),
+        loop_rows.join(",\n")
+    )
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let long = std::env::args().any(|a| a == "--long-history");
     let rounds = if quick { 1 } else { 3 };
     let space = Space::paper_hm();
     let mut entries = Vec::new();
@@ -186,8 +361,9 @@ fn main() {
             bp / sp,
         ));
     }
+    let long_section = if long { long_history(quick) } else { String::new() };
     let json = format!(
-        "{{\n  \"benchmark\": \"bo_hot_path\",\n  \"workload\": \"paper [bs1, lr1, n] space, rf surrogate 25 trees, {POOL}-candidate pool, constant-liar ask(q={Q})\",\n  \"before\": \"seed BO: re-encode history per refit, allocating tree growth, per-row pool scoring\",\n  \"after\": \"cached encoding, warm-start refit with reused scratch, batched rayon pool scoring, last liar refit skipped\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"bo_hot_path\",\n  \"workload\": \"paper [bs1, lr1, n] space, rf surrogate 25 trees, {POOL}-candidate pool, constant-liar ask(q={Q})\",\n  \"before\": \"seed BO: re-encode history per refit, allocating tree growth, per-row pool scoring\",\n  \"after\": \"cached encoding, warm-start refit with reused scratch, batched rayon pool scoring, last liar refit skipped\",\n{long_section}  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     std::fs::write("BENCH_bo.json", &json).expect("write BENCH_bo.json");

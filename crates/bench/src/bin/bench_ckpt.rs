@@ -68,6 +68,9 @@ fn header() -> RunHeader {
         cache: CachePolicy::Replay,
         checkpoint_every: EVERY,
         fingerprint: 0,
+        surrogate_window: 0,
+        bo_trees: 0,
+        bo_candidates: 0,
     }
 }
 

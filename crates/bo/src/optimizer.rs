@@ -6,7 +6,7 @@ use crate::space::{HpPoint, Space};
 use agebo_tensor::Matrix;
 use agebo_trees::{ForestConfig, ForestScratch, RandomForestRegressor, TreeConfig};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Which surrogate model backs the UCB acquisition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +38,14 @@ pub struct BoConfig {
     pub use_liar: bool,
     /// Surrogate family (paper: random forest).
     pub surrogate: SurrogateKind,
+    /// Bounded surrogate training window: refits train on at most this
+    /// many observations, chosen by a seeded uniform reservoir over the
+    /// history (BOHB/SMAC-style subsampled model fits), so the per-refit
+    /// cost is O(window) no matter how long the search runs. `0` (the
+    /// default) is the exact/legacy surrogate: every refit trains on the
+    /// full history and the reservoir rng is never drawn, so existing
+    /// seeded trajectories replay bitwise.
+    pub surrogate_window: usize,
 }
 
 impl Default for BoConfig {
@@ -50,9 +58,33 @@ impl Default for BoConfig {
             seed: 0,
             use_liar: true,
             surrogate: SurrogateKind::RandomForest,
+            surrogate_window: 0,
         }
     }
 }
+
+impl BoConfig {
+    /// Checks the configuration's invariants, returning a human-readable
+    /// reason on failure. The CLI calls this before constructing an
+    /// optimizer so bad flag values surface as parse errors, not panics;
+    /// [`BoOptimizer::new`] still panics on violation (a caller bug).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.kappa.is_finite() || self.kappa < 0.0 {
+            return Err(format!("kappa must be finite and >= 0, got {}", self.kappa));
+        }
+        if self.n_candidates == 0 {
+            return Err("n_candidates must be > 0".to_string());
+        }
+        if self.n_trees == 0 {
+            return Err("n_trees must be > 0".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Seed salt of the reservoir rng, keeping its stream disjoint from the
+/// candidate-sampling rng (`cfg.seed`) and the per-refit forest seeds.
+const WINDOW_RNG_SALT: u64 = 0xC0FF_EE00_5EED_1D07;
 
 /// Random-forest BO with the scikit-optimize-style `ask`/`tell` interface.
 /// The objective is **maximized** (the paper maximizes validation
@@ -76,10 +108,29 @@ pub struct BoOptimizer {
     /// appended on `tell` instead of re-encoding the history per refit.
     encoded: Matrix,
     rng: StdRng,
+    /// Encoded-history row indices the forest trains on when
+    /// `surrogate_window > 0` (slot order): the identity prefix until the
+    /// history outgrows the window, then a seeded uniform reservoir.
+    /// Unused (empty) in exact mode.
+    window: Vec<u32>,
+    /// Dedicated rng for reservoir replacement draws. Drawn only when an
+    /// observation arrives past a full window, so exact mode and
+    /// window-covers-history runs never touch it.
+    window_rng: StdRng,
+    /// Observations dropped from the bounded training window so far
+    /// (evicted from a slot or never admitted).
+    evictions: u64,
+    /// Wall-clock seconds of each surrogate refit since the last
+    /// [`BoOptimizer::take_fit_seconds`] drain. Telemetry only — timing
+    /// never feeds the trajectory.
+    fit_seconds: Vec<f64>,
     // Reusable ask-path state (contents are transient per call).
     forest: RandomForestRegressor,
     forest_scratch: ForestScratch,
     liar_ys: Vec<f64>,
+    /// Windowed-mode liar companion to `liar_ys`: the training window
+    /// plus the liar rows appended during one `ask`.
+    liar_window: Vec<u32>,
     cand_points: Vec<HpPoint>,
     cand_enc: Matrix,
     per_tree: Vec<f64>,
@@ -89,8 +140,11 @@ pub struct BoOptimizer {
 impl BoOptimizer {
     /// Creates an optimizer over `space`.
     pub fn new(space: Space, cfg: BoConfig) -> Self {
-        assert!(cfg.kappa >= 0.0 && cfg.n_candidates > 0 && cfg.n_trees > 0);
+        if let Err(why) = cfg.validate() {
+            panic!("invalid BoConfig: {why}");
+        }
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let window_rng = StdRng::seed_from_u64(cfg.seed ^ WINDOW_RNG_SALT);
         let encoded = Matrix::zeros(0, space.len());
         BoOptimizer {
             space,
@@ -100,9 +154,14 @@ impl BoOptimizer {
             sum_y: 0.0,
             encoded,
             rng,
+            window: Vec::new(),
+            window_rng,
+            evictions: 0,
+            fit_seconds: Vec::new(),
             forest: RandomForestRegressor::default(),
             forest_scratch: ForestScratch::default(),
             liar_ys: Vec::new(),
+            liar_window: Vec::new(),
             cand_points: Vec::new(),
             cand_enc: Matrix::zeros(0, 0),
             per_tree: Vec::new(),
@@ -142,8 +201,49 @@ impl BoOptimizer {
             self.observed_x.push(x.clone());
             self.observed_y.push(y);
             self.sum_y += y;
+            // Reservoir maintenance (Algorithm R): observation `n` lands
+            // in slot `n` while the window has room; past capacity it
+            // replaces a uniformly drawn slot with probability w/(n+1).
+            // Every draw depends only on the accepted-observation order,
+            // so a resume that replays the same tells rebuilds the same
+            // window.
+            let w = self.cfg.surrogate_window;
+            if w > 0 {
+                if n < w {
+                    self.window.push(n as u32);
+                } else {
+                    let j = self.window_rng.gen_range(0..n + 1);
+                    if j < w {
+                        self.window[j] = n as u32;
+                    }
+                    self.evictions += 1;
+                }
+            }
         }
         rejected
+    }
+
+    /// Observations dropped from the bounded training window so far
+    /// (zero in exact mode).
+    pub fn window_evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Rows the next surrogate refit will train on: the full history in
+    /// exact mode, the reservoir size in windowed mode.
+    pub fn window_len(&self) -> usize {
+        if self.cfg.surrogate_window > 0 {
+            self.window.len()
+        } else {
+            self.observed_y.len()
+        }
+    }
+
+    /// Drains the wall-clock duration (seconds) of every surrogate refit
+    /// performed since the previous call into `out`. Telemetry only: the
+    /// timings are observations of the fits, never inputs to them.
+    pub fn take_fit_seconds(&mut self, out: &mut Vec<f64>) {
+        out.append(&mut self.fit_seconds);
     }
 
     fn forest_cfg(&self) -> ForestConfig {
@@ -228,12 +328,33 @@ impl BoOptimizer {
         let n = self.observed_y.len();
         let d = self.space.len();
         let forest_cfg = self.forest_cfg();
-        self.forest.refit(
+        let windowed = self.cfg.surrogate_window > 0;
+        // Refits the forest on `ys` — the full encoded history in exact
+        // mode, or only the rows named by `window` in windowed mode — and
+        // records the wall-clock fit time for telemetry (timing is an
+        // observation of the fit, never an input to it).
+        let timed_refit = |forest: &mut RandomForestRegressor,
+                           scratch: &mut ForestScratch,
+                           fit_seconds: &mut Vec<f64>,
+                           encoded: &Matrix,
+                           ys: &[f64],
+                           window: Option<&[u32]>,
+                           seed: u64| {
+            let t0 = std::time::Instant::now();
+            match window {
+                None => forest.refit(encoded, ys, &forest_cfg, seed, scratch),
+                Some(win) => forest.refit_window(encoded, ys, win, &forest_cfg, seed, scratch),
+            }
+            fit_seconds.push(t0.elapsed().as_secs_f64());
+        };
+        timed_refit(
+            &mut self.forest,
+            &mut self.forest_scratch,
+            &mut self.fit_seconds,
             &self.encoded,
             &self.observed_y,
-            &forest_cfg,
+            windowed.then_some(&self.window[..]),
             self.cfg.seed,
-            &mut self.forest_scratch,
         );
         let mut out = Vec::with_capacity(q);
         for j in 0..q {
@@ -242,17 +363,28 @@ impl BoOptimizer {
                 if j == 0 {
                     self.liar_ys.clear();
                     self.liar_ys.extend_from_slice(&self.observed_y);
+                    if windowed {
+                        self.liar_window.clear();
+                        self.liar_window.extend_from_slice(&self.window);
+                    }
                 }
                 let rows = self.encoded.rows();
                 self.encoded.resize(rows + 1, d);
                 self.space.encode_into(&chosen, self.encoded.row_mut(rows));
                 self.liar_ys.push(lie);
-                self.forest.refit(
+                if windowed {
+                    // Liar rows always join the training window: they are
+                    // the very points the liar refit exists to penalize.
+                    self.liar_window.push(rows as u32);
+                }
+                timed_refit(
+                    &mut self.forest,
+                    &mut self.forest_scratch,
+                    &mut self.fit_seconds,
                     &self.encoded,
                     &self.liar_ys,
-                    &forest_cfg,
+                    windowed.then_some(&self.liar_window[..]),
                     self.cfg.seed ^ ((j as u64 + 1) << 32),
-                    &mut self.forest_scratch,
                 );
             }
             out.push(chosen);
@@ -504,6 +636,143 @@ mod tests {
         }
         let (_, best) = bo.best_observed().unwrap();
         assert!(best > 0.9, "gp-backed BO too weak: {best}");
+    }
+
+    #[test]
+    fn invalid_configs_fail_validation_with_reasons() {
+        let ok = BoConfig::default();
+        assert!(ok.validate().is_ok());
+        let bad_kappa = BoConfig { kappa: -1.0, ..BoConfig::default() };
+        assert!(bad_kappa.validate().unwrap_err().contains("kappa"));
+        let nan_kappa = BoConfig { kappa: f64::NAN, ..BoConfig::default() };
+        assert!(nan_kappa.validate().unwrap_err().contains("kappa"));
+        let bad_cand = BoConfig { n_candidates: 0, ..BoConfig::default() };
+        assert!(bad_cand.validate().unwrap_err().contains("n_candidates"));
+        let bad_trees = BoConfig { n_trees: 0, ..BoConfig::default() };
+        assert!(bad_trees.validate().unwrap_err().contains("n_trees"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid BoConfig")]
+    fn new_panics_on_invalid_config() {
+        let cfg = BoConfig { n_trees: 0, ..BoConfig::default() };
+        BoOptimizer::new(Space::paper_hm(), cfg);
+    }
+
+    fn run_bo_windowed(window: usize, rounds: usize, q: usize, seed: u64) -> BoOptimizer {
+        let cfg = BoConfig {
+            kappa: 0.001,
+            n_initial: 8,
+            n_candidates: 128,
+            n_trees: 15,
+            seed,
+            surrogate_window: window,
+            ..BoConfig::default()
+        };
+        let mut bo = BoOptimizer::new(Space::paper_hm(), cfg);
+        for _ in 0..rounds {
+            let xs = bo.ask(q);
+            let ys: Vec<f64> = xs.iter().map(objective).collect();
+            bo.tell(&xs, &ys);
+        }
+        bo
+    }
+
+    #[test]
+    fn windowed_matches_exact_bitwise_while_history_fits() {
+        // As long as the history never outgrows the window, the reservoir
+        // is the identity prefix and every suggestion must be *identical*
+        // to the exact surrogate's — the `surrogate_window = 0` replay
+        // guarantee extended to any window that covers the history.
+        let mut exact = run_bo(0.001, 10, 4, 17);
+        let mut windowed = run_bo_windowed(100_000, 10, 4, 17);
+        assert_eq!(exact.n_observed(), windowed.n_observed());
+        assert_eq!(windowed.window_evictions(), 0);
+        assert_eq!(exact.ask(6), windowed.ask(6));
+    }
+
+    #[test]
+    fn window_bounds_training_set_and_counts_evictions() {
+        let mut bo = run_bo_windowed(16, 12, 4, 5);
+        let n = bo.n_observed();
+        assert!(n > 16, "test needs history past the window, got {n}");
+        assert_eq!(bo.window_len(), 16);
+        assert_eq!(bo.window_evictions(), (n - 16) as u64);
+        // The optimizer keeps working past the window, and its best
+        // observation is still tracked over the *full* history.
+        assert_eq!(bo.ask(4).len(), 4);
+        assert!(bo.best_observed().is_some());
+    }
+
+    #[test]
+    fn windowed_runs_replay_deterministically() {
+        let mut a = run_bo_windowed(16, 12, 4, 23);
+        let mut b = run_bo_windowed(16, 12, 4, 23);
+        assert_eq!(a.ask(4), b.ask(4));
+        assert_eq!(a.window_evictions(), b.window_evictions());
+    }
+
+    #[test]
+    fn window_survives_batched_vs_incremental_tells() {
+        // A resume replays recorded observations in a handful of large
+        // tell batches rather than the original per-round batches; the
+        // reservoir depends only on accepted-observation *order*, so the
+        // rebuilt window — and every later suggestion — must be identical.
+        let cfg = BoConfig {
+            n_initial: 4,
+            n_candidates: 32,
+            n_trees: 5,
+            seed: 31,
+            surrogate_window: 8,
+            ..BoConfig::default()
+        };
+        let mut incremental = BoOptimizer::new(Space::paper_hm(), cfg.clone());
+        let mut batched = BoOptimizer::new(Space::paper_hm(), cfg);
+        let mut rng = StdRng::seed_from_u64(99);
+        let space = Space::paper_hm();
+        let xs: Vec<HpPoint> = (0..30).map(|_| space.sample(&mut rng)).collect();
+        let ys: Vec<f64> = xs.iter().map(objective).collect();
+        for (x, y) in xs.iter().zip(&ys) {
+            incremental.tell(std::slice::from_ref(x), std::slice::from_ref(y));
+        }
+        batched.tell(&xs, &ys);
+        assert_eq!(incremental.window_evictions(), batched.window_evictions());
+        assert_eq!(incremental.ask(4), batched.ask(4));
+    }
+
+    #[test]
+    fn drift_stays_bounded_at_5k_observations() {
+        // Seeded drift bound: on a smooth objective, suggestions from a
+        // 256-observation reservoir fitted at 5k observations must land
+        // in (nearly) as good a region as the exact surrogate's.
+        let cfg = BoConfig {
+            n_initial: 8,
+            n_candidates: 64,
+            n_trees: 6,
+            seed: 41,
+            ..BoConfig::default()
+        };
+        let windowed_cfg = BoConfig { surrogate_window: 256, ..cfg.clone() };
+        let mut exact = BoOptimizer::new(Space::paper_hm(), cfg);
+        let mut windowed = BoOptimizer::new(Space::paper_hm(), windowed_cfg);
+        let mut rng = StdRng::seed_from_u64(7);
+        let space = Space::paper_hm();
+        // 5k observations in a handful of tell batches (building the
+        // history is O(1) per tell; only refits are windowed).
+        for _ in 0..5 {
+            let xs: Vec<HpPoint> = (0..1000).map(|_| space.sample(&mut rng)).collect();
+            let ys: Vec<f64> = xs.iter().map(objective).collect();
+            exact.tell(&xs, &ys);
+            windowed.tell(&xs, &ys);
+        }
+        assert_eq!(exact.n_observed(), 5000);
+        assert_eq!(windowed.window_len(), 256);
+        let e = objective(&exact.ask(1)[0]);
+        let w = objective(&windowed.ask(1)[0]);
+        assert!(
+            w >= e - 0.15,
+            "windowed suggestion drifted too far: exact={e:.4} windowed={w:.4}"
+        );
     }
 
     #[test]

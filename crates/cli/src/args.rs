@@ -59,6 +59,14 @@ pub struct SearchArgs {
     /// Durable segmented checkpoint store directory; makes the run
     /// crash-resumable via `agebo resume --dir`.
     pub checkpoint_dir: Option<String>,
+    /// Bounded surrogate training window (`0` = exact refits on the full
+    /// history). Recorded in the durable store's header; `resume`
+    /// rejects overrides of it because it changes the trajectory.
+    pub surrogate_window: Option<usize>,
+    /// Override of the profile's surrogate forest size (must be ≥ 1).
+    pub bo_trees: Option<usize>,
+    /// Override of the profile's UCB candidate pool (must be ≥ 1).
+    pub bo_candidates: Option<usize>,
 }
 
 /// Arguments of `agebo resume`.
@@ -148,6 +156,8 @@ USAGE:
                  [--telemetry DIR] [--failure-rate P]
                  [--chaos-profile none|mild|heavy] [--checkpoint-every N]
                  [--checkpoint-dir DIR]   (durable store; crash-resumable)
+                 [--surrogate-window N]   (bound BO refits to N obs; 0 = exact)
+                 [--bo-trees N] [--bo-candidates N]
   agebo resume   --dir CKPT_DIR           (exactly-once resume of a durable
                  [--out merged.json]       store; config comes from the store)
                  [--telemetry DIR]
@@ -212,6 +222,23 @@ fn parse_failure_rate(s: &str) -> Result<f64, ParseError> {
 fn parse_chaos(s: &str) -> Result<FaultPlan, ParseError> {
     FaultPlan::from_label(s)
         .ok_or_else(|| ParseError(format!("unknown chaos profile {s} (none|mild|heavy)")))
+}
+
+/// BO-shape validation lives here (not as a panic deep inside
+/// `BoOptimizer::new`): a nonsense flag value comes back as a printable
+/// [`ParseError`], mirroring `agebo_bo::BoConfig::validate`.
+fn parse_positive(s: &str, flag: &str) -> Result<usize, ParseError> {
+    let n: usize = s.parse().map_err(|_| ParseError(format!("bad {flag} {s}")))?;
+    if n == 0 {
+        return Err(ParseError(format!("{flag} must be >= 1, got 0")));
+    }
+    Ok(n)
+}
+
+fn parse_surrogate_window(s: &str) -> Result<usize, ParseError> {
+    s.parse().map_err(|_| {
+        ParseError(format!("bad --surrogate-window {s} (observations; 0 = exact refits)"))
+    })
 }
 
 /// Pulls `--key value` pairs (and valueless `--switch` toggles from
@@ -293,6 +320,9 @@ impl Cli {
                         "chaos-profile",
                         "checkpoint-every",
                         "checkpoint-dir",
+                        "surrogate-window",
+                        "bo-trees",
+                        "bo-candidates",
                     ],
                 )?;
                 Command::Search(SearchArgs {
@@ -340,9 +370,33 @@ impl Cli {
                         })
                         .transpose()?,
                     checkpoint_dir: kv.get("checkpoint-dir").cloned(),
+                    surrogate_window: kv
+                        .get("surrogate-window")
+                        .map(|s| parse_surrogate_window(s))
+                        .transpose()?,
+                    bo_trees: kv
+                        .get("bo-trees")
+                        .map(|s| parse_positive(s, "--bo-trees"))
+                        .transpose()?,
+                    bo_candidates: kv
+                        .get("bo-candidates")
+                        .map(|s| parse_positive(s, "--bo-candidates"))
+                        .transpose()?,
                 })
             }
             "resume" => {
+                // Trajectory-shaping BO knobs are pinned by the store's
+                // header: an override would make the resumed run replay a
+                // different search than the one that was recorded, so
+                // they are rejected explicitly (not as mere unknowns).
+                for pinned in ["--surrogate-window", "--bo-trees", "--bo-candidates"] {
+                    if rest.iter().any(|a| a == pinned) {
+                        return Err(ParseError(format!(
+                            "{pinned} cannot be overridden on resume: it changes the \
+                             search trajectory (the store's header pins it)"
+                        )));
+                    }
+                }
                 let kv = keyed(
                     rest,
                     &[
@@ -641,6 +695,54 @@ mod tests {
         let err = Cli::parse(&argv(&["resume", "--dir", "ckpt", "--history", "h.json"]))
             .unwrap_err();
         assert!(err.0.contains("not both"), "{}", err.0);
+    }
+
+    #[test]
+    fn parses_and_validates_bo_shape_flags() {
+        let cli = Cli::parse(&argv(&[
+            "search",
+            "--surrogate-window",
+            "4096",
+            "--bo-trees",
+            "12",
+            "--bo-candidates",
+            "64",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Search(a) => {
+                assert_eq!(a.surrogate_window, Some(4096));
+                assert_eq!(a.bo_trees, Some(12));
+                assert_eq!(a.bo_candidates, Some(64));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Window 0 is the explicit "exact" spelling, not an error.
+        let cli = Cli::parse(&argv(&["search", "--surrogate-window", "0"])).unwrap();
+        match cli.command {
+            Command::Search(a) => assert_eq!(a.surrogate_window, Some(0)),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Nonsense values come back as ParseError, not a panic later.
+        assert!(Cli::parse(&argv(&["search", "--surrogate-window", "many"])).is_err());
+        let err = Cli::parse(&argv(&["search", "--bo-trees", "0"])).unwrap_err();
+        assert!(err.0.contains(">= 1"), "{}", err.0);
+        let err = Cli::parse(&argv(&["search", "--bo-candidates", "0"])).unwrap_err();
+        assert!(err.0.contains(">= 1"), "{}", err.0);
+    }
+
+    #[test]
+    fn resume_rejects_trajectory_shaping_overrides() {
+        for flag in ["--surrogate-window", "--bo-trees", "--bo-candidates"] {
+            let err =
+                Cli::parse(&argv(&["resume", "--dir", "ckpt", flag, "256"])).unwrap_err();
+            assert!(
+                err.0.contains("cannot be overridden on resume"),
+                "{flag}: {}",
+                err.0
+            );
+            assert!(err.0.contains("trajectory"), "{flag}: {}", err.0);
+        }
     }
 
     #[test]

@@ -61,6 +61,9 @@ fn run_header(cfg: &SearchConfig, dataset: &str, profile: SizeProfile) -> RunHea
         cache: cfg.cache,
         checkpoint_every: cfg.checkpoint_every,
         fingerprint: 0,
+        surrogate_window: cfg.surrogate_window,
+        bo_trees: cfg.bo_trees,
+        bo_candidates: cfg.bo_candidates,
     }
 }
 
@@ -218,6 +221,16 @@ pub fn search(args: &SearchArgs) -> Result<(), CliError> {
         cfg = cfg.with_wall_time(minutes * 60.0);
     }
     cfg = apply_chaos_flags(cfg, args.failure_rate, args.chaos, args.checkpoint_every, &args.out);
+    // BO-shape flags (validated at parse time) override the profile.
+    if let Some(window) = args.surrogate_window {
+        cfg = cfg.with_surrogate_window(window);
+    }
+    if let Some(trees) = args.bo_trees {
+        cfg.bo_trees = trees;
+    }
+    if let Some(candidates) = args.bo_candidates {
+        cfg.bo_candidates = candidates;
+    }
     if let Some(dir) = &args.checkpoint_dir {
         // A durable store needs a cadence; default one when the user
         // asked for durability but not for a specific interval.
@@ -320,6 +333,16 @@ fn resume_durable(args: &ResumeArgs, dir: &str) -> Result<(), CliError> {
     cfg.workers = header.workers;
     cfg.checkpoint_every = header.checkpoint_every;
     cfg.checkpoint_dir = Some(dir.to_string());
+    // The BO shape is part of the recorded trajectory. `surrogate_window`
+    // comes back verbatim (0 = exact); `bo_trees`/`bo_candidates` use 0
+    // as the "profile default" sentinel legacy stores imply.
+    cfg.surrogate_window = header.surrogate_window;
+    if header.bo_trees > 0 {
+        cfg.bo_trees = header.bo_trees;
+    }
+    if header.bo_candidates > 0 {
+        cfg.bo_candidates = header.bo_candidates;
+    }
     // Drift check: the config rebuilt from the header must describe the
     // run the store recorded (a serve-layer store carries a context
     // fingerprint; adopt it, the rest must match field for field).
@@ -609,19 +632,26 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `agebo compact`: fold a durable store's sealed segments (and prior
-/// snapshot) into a single snapshot, bounding recovery time and file
-/// count. Safe at any time — records and resume behavior are unchanged.
+/// `agebo compact`: reduce a durable store to one snapshot plus the
+/// manifest — segments are folded, and orphan files from interrupted
+/// compactions are swept. Safe at any time — records and resume behavior
+/// are unchanged.
 pub fn compact(args: &CompactArgs) -> Result<(), CliError> {
     let (mut store, recovered) = DurableStore::open(Box::new(RealIo), &args.dir)?;
     if recovered.discarded_tail_bytes > 0 {
         println!("discarded {} bytes of torn tail during recovery", recovered.discarded_tail_bytes);
     }
-    let stats = store.compact()?;
-    println!(
-        "compacted {}: {} segments folded into a snapshot of {} records ({} -> {} bytes)",
-        args.dir, stats.folded_segments, stats.n_records, stats.bytes_before, stats.bytes_after
-    );
+    let stats = store.retain_latest()?;
+    match stats.compacted {
+        Some(c) => println!(
+            "compacted {}: {} segments folded into a snapshot of {} records ({} -> {} bytes)",
+            args.dir, c.folded_segments, c.n_records, c.bytes_before, c.bytes_after
+        ),
+        None => println!("{} already holds a single snapshot; nothing to fold", args.dir),
+    }
+    if stats.removed_files > 0 {
+        println!("swept {} orphaned store files", stats.removed_files);
+    }
     Ok(())
 }
 
@@ -694,6 +724,9 @@ mod tests {
             // history file is (over)written during the run too.
             checkpoint_every: Some(5),
             checkpoint_dir: None,
+            surrogate_window: None,
+            bo_trees: None,
+            bo_candidates: None,
         };
         search(&args).unwrap();
         assert!(hist_path.exists());

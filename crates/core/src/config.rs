@@ -227,6 +227,12 @@ pub struct SearchConfig {
     pub bo_candidates: usize,
     /// Trees in the BO surrogate forest.
     pub bo_trees: usize,
+    /// Bounded surrogate training window (0 = exact: refit on the full
+    /// history, the legacy behavior). When positive, each refit trains on
+    /// a seeded reservoir sample of at most this many observations, so
+    /// per-tell surrogate cost stays O(window) instead of growing with
+    /// the history (see `agebo_bo::BoConfig::surrogate_window`).
+    pub surrogate_window: usize,
     /// Mutate over all 37 decision variables (default) or only the layer
     /// variables (ablation; skips then never evolve).
     pub mutate_layers_only: bool,
@@ -292,6 +298,7 @@ impl SearchConfig {
             bo_n_initial: 10,
             bo_candidates: 256,
             bo_trees: 25,
+            surrogate_window: 0,
             mutate_layers_only: false,
             bo_constant_liar: true,
             bo_surrogate: SurrogateKind::RandomForest,
@@ -391,6 +398,14 @@ impl SearchConfig {
     pub fn with_checkpoints(mut self, every: usize, path: Option<String>) -> Self {
         self.checkpoint_every = every;
         self.checkpoint_path = path;
+        self
+    }
+
+    /// Bounds the surrogate training window to `window` observations
+    /// (0 = exact refits on the full history). Changing this changes the
+    /// search trajectory, so resume rejects overrides of it.
+    pub fn with_surrogate_window(mut self, window: usize) -> Self {
+        self.surrogate_window = window;
         self
     }
 

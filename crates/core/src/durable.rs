@@ -182,6 +182,9 @@ pub trait StoreIo: Send {
     fn remove_file(&mut self, path: &Path) -> io::Result<()>;
     /// Creates the directory and its parents.
     fn create_dir_all(&mut self, dir: &Path) -> io::Result<()>;
+    /// File names (not paths) directly inside `dir`, sorted;
+    /// subdirectories are skipped. Read-only, like `read`/`exists`.
+    fn list_dir(&mut self, dir: &Path) -> io::Result<Vec<String>>;
 }
 
 /// [`StoreIo`] over the real file system.
@@ -231,6 +234,18 @@ impl StoreIo for RealIo {
 
     fn create_dir_all(&mut self, dir: &Path) -> io::Result<()> {
         std::fs::create_dir_all(dir)
+    }
+
+    fn list_dir(&mut self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
     }
 }
 
@@ -461,6 +476,19 @@ impl StoreIo for SimIo {
     fn create_dir_all(&mut self, _dir: &Path) -> io::Result<()> {
         Ok(())
     }
+
+    fn list_dir(&mut self, dir: &Path) -> io::Result<Vec<String>> {
+        // Read-only like `read`/`exists`: never charges the fuse.
+        let s = self.state.lock().unwrap();
+        let mut names: Vec<String> = s
+            .files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect();
+        names.sort();
+        Ok(names)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -494,6 +522,16 @@ pub struct RunHeader {
     pub checkpoint_every: usize,
     /// Serve-layer evaluation-context fingerprint (0 when standalone).
     pub fingerprint: u64,
+    /// Bounded surrogate training window (0 = exact refits). Part of the
+    /// header because it changes the search trajectory: a resume must
+    /// replay under the same window, so overrides are rejected upstream
+    /// and mismatched stores are refused here.
+    pub surrogate_window: usize,
+    /// Trees in the BO surrogate forest (0 = the profile default, the
+    /// spelling older stores imply by omitting the field).
+    pub bo_trees: usize,
+    /// Candidate pool per UCB maximisation (0 = the profile default).
+    pub bo_candidates: usize,
 }
 
 impl RunHeader {
@@ -526,6 +564,9 @@ impl RunHeader {
             ("cache", Json::Str(self.cache.label().to_string())),
             ("checkpoint_every", Json::UInt(self.checkpoint_every as u64)),
             ("fingerprint", Json::UInt(self.fingerprint)),
+            ("surrogate_window", Json::UInt(self.surrogate_window as u64)),
+            ("bo_trees", Json::UInt(self.bo_trees as u64)),
+            ("bo_candidates", Json::UInt(self.bo_candidates as u64)),
         ])
     }
 
@@ -560,6 +601,12 @@ impl RunHeader {
                 .ok_or_else(|| format_err(format!("unknown cache policy `{cache_label}`")))?,
             checkpoint_every: ju64(v, "checkpoint_every")? as usize,
             fingerprint: ju64(v, "fingerprint")?,
+            // Lenient: stores written before these knobs existed imply
+            // the defaults (exact surrogate, profile-default BO shape).
+            surrogate_window: v.get("surrogate_window").and_then(Json::as_u64).unwrap_or(0)
+                as usize,
+            bo_trees: v.get("bo_trees").and_then(Json::as_u64).unwrap_or(0) as usize,
+            bo_candidates: v.get("bo_candidates").and_then(Json::as_u64).unwrap_or(0) as usize,
         })
     }
 
@@ -596,6 +643,21 @@ impl RunHeader {
         }
         if self.fingerprint != other.fingerprint {
             bad.push("fingerprint");
+        }
+        if self.surrogate_window != other.surrogate_window {
+            bad.push("surrogate_window");
+        }
+        // 0 is "profile default" — the value stores from before these
+        // knobs imply — so it matches anything; two explicit values must
+        // agree.
+        if self.bo_trees != other.bo_trees && self.bo_trees != 0 && other.bo_trees != 0 {
+            bad.push("bo_trees");
+        }
+        if self.bo_candidates != other.bo_candidates
+            && self.bo_candidates != 0
+            && other.bo_candidates != 0
+        {
+            bad.push("bo_candidates");
         }
         if bad.is_empty() {
             Ok(())
@@ -893,6 +955,18 @@ pub struct CompactStats {
     pub bytes_before: u64,
     /// Store payload bytes after (new snapshot).
     pub bytes_after: u64,
+}
+
+/// Outcome of one [`DurableStore::retain_latest`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetainStats {
+    /// The compaction performed first, or `None` when the store was
+    /// already a single snapshot with no live segments.
+    pub compacted: Option<CompactStats>,
+    /// Store-owned files (`*.wal`, `snapshot-*.json`, `*.tmp`) deleted
+    /// because the manifest no longer references them — orphans of
+    /// compactions interrupted between manifest commit and cleanup.
+    pub removed_files: usize,
 }
 
 /// Counter totals carried by a checkpoint (cumulative, not deltas).
@@ -1377,6 +1451,47 @@ impl DurableStore {
         })
     }
 
+    /// Reduces the store to its minimal durable form: one snapshot, one
+    /// manifest, nothing else. Compacts unless the store already is a
+    /// lone snapshot, then sweeps every store-owned file the manifest
+    /// does not reference — the orphans a crash between `compact`'s
+    /// manifest commit and its deletes leaves behind, plus stray `.tmp`
+    /// files from interrupted atomic writes. Resume identity is
+    /// untouched: the committed record prefix and header survive
+    /// verbatim in the snapshot + manifest.
+    pub fn retain_latest(&mut self) -> Result<RetainStats, DurableError> {
+        let compacted = if self.manifest.segments.is_empty() && self.manifest.snapshot.is_some()
+        {
+            None
+        } else {
+            Some(self.compact()?)
+        };
+        // Live set after compaction: the manifest itself plus everything
+        // it references. Unknown names are left alone — the sweep only
+        // claims the store's own naming patterns.
+        let mut live: Vec<String> = vec![MANIFEST_FILE.to_string()];
+        if let Some(snap) = &self.manifest.snapshot {
+            live.push(snap.name.clone());
+        }
+        for entry in &self.manifest.segments {
+            live.push(entry.name.clone());
+        }
+        let mut removed_files = 0usize;
+        for name in self.io.list_dir(&self.dir)? {
+            let sweepable = name.ends_with(".wal")
+                || name.ends_with(".tmp")
+                || (name.starts_with("snapshot-") && name.ends_with(".json"));
+            if sweepable && !live.contains(&name) {
+                self.io.remove_file(&self.dir.join(&name))?;
+                removed_files += 1;
+            }
+        }
+        if removed_files > 0 {
+            self.io.sync_dir(&self.dir)?;
+        }
+        Ok(RetainStats { compacted, removed_files })
+    }
+
     fn write_manifest(&mut self) -> Result<(), DurableError> {
         let path = self.dir.join(MANIFEST_FILE);
         let tmp = self.dir.join(format!("{MANIFEST_FILE}.tmp"));
@@ -1427,6 +1542,9 @@ mod tests {
             cache: CachePolicy::Replay,
             checkpoint_every: 3,
             fingerprint: 0,
+            surrogate_window: 0,
+            bo_trees: 0,
+            bo_candidates: 0,
         }
     }
 
@@ -1445,6 +1563,12 @@ mod tests {
 
     fn dir() -> PathBuf {
         PathBuf::from("/store")
+    }
+
+    /// Bitwise record fingerprint: `Debug` f64s print the shortest
+    /// round-trippable decimal, so equal strings mean equal bits.
+    fn fp_record(r: &EvalRecord) -> String {
+        format!("{r:?}")
     }
 
     #[test]
@@ -1613,6 +1737,63 @@ mod tests {
         );
         let reread = store.load_records().unwrap();
         assert_eq!(reread.len(), 10);
+    }
+
+    #[test]
+    fn retain_latest_reduces_to_snapshot_and_sweeps_orphans() {
+        let sim = SimIo::new();
+        let mut store =
+            DurableStore::create(Box::new(sim.clone()), dir(), header()).unwrap();
+        let recs: Vec<EvalRecord> = (0..6).map(record).collect();
+        for chunk in recs.chunks(2) {
+            store
+                .append_checkpoint(
+                    chunk,
+                    CheckpointMeta { sim: 50.0, n_failed: 0, n_cache_hits: 0, in_flight: 0 },
+                )
+                .unwrap();
+        }
+        // Plant the debris a compact interrupted between manifest commit
+        // and cleanup leaves behind: a superseded snapshot, a folded
+        // segment, and a torn atomic-write temp file. (Not
+        // `MANIFEST.json.tmp` — the compaction below legitimately reuses
+        // that name for its own manifest commit and renames it away.)
+        let mut planted = sim.clone();
+        planted.write_all(&dir().join("snapshot-000099.json"), b"{}").unwrap();
+        planted.write_all(&dir().join("seg-000099.wal"), b"junk").unwrap();
+        planted.write_all(&dir().join("snapshot-000042.json.tmp"), b"{").unwrap();
+
+        let stats = store.retain_latest().unwrap();
+        let compacted = stats.compacted.expect("live segments should compact");
+        assert_eq!(compacted.folded_segments, 1);
+        assert_eq!(compacted.n_records, 6);
+        assert_eq!(stats.removed_files, 3, "all three orphans swept");
+        // The directory holds exactly the manifest and the live snapshot:
+        // every folded and orphaned store file is gone.
+        let mut names: Vec<String> = sim
+            .live_files()
+            .keys()
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect();
+        names.sort();
+        let snap = store.manifest.snapshot.as_ref().unwrap().name.clone();
+        let mut expected = vec![MANIFEST_FILE.to_string(), snap];
+        expected.sort();
+        assert_eq!(names, expected);
+        drop(store);
+
+        // Resume identity is untouched: reopening recovers the exact
+        // committed records.
+        let (mut store, recovered) = DurableStore::open(Box::new(sim), dir()).unwrap();
+        assert_eq!(store.committed_records(), 6);
+        for (a, b) in recovered.records.iter().zip(&recs) {
+            assert_eq!(fp_record(a), fp_record(b));
+        }
+        // Idempotent: a store that already is a lone snapshot neither
+        // compacts nor removes anything.
+        let again = store.retain_latest().unwrap();
+        assert!(again.compacted.is_none());
+        assert_eq!(again.removed_files, 0);
     }
 
     #[test]

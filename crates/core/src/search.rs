@@ -93,6 +93,13 @@ struct SearchTelemetry {
     /// Dual-clock spans around `optimizer.ask` / `optimizer.tell`.
     bo_ask: SpanStats,
     bo_tell: SpanStats,
+    /// `bo_window_evictions_total`: observations displaced from the
+    /// bounded surrogate training window by the seeded reservoir (stays
+    /// zero with `surrogate_window = 0` or while the history fits).
+    bo_window_evictions: Arc<Counter>,
+    /// `bo_fit_seconds`: wall-clock seconds of each surrogate forest
+    /// refit inside `ask` (diagnostic only — never feeds the trajectory).
+    bo_fit: Arc<Histogram>,
     /// `ckpt_bytes_written_total`: frame bytes appended to the durable
     /// store (manifest rewrites excluded — they are O(#segments)).
     ckpt_bytes: Arc<Counter>,
@@ -116,6 +123,8 @@ impl SearchTelemetry {
                 .histogram("bo_ask_hidden_seconds", &Histogram::seconds_bounds()),
             bo_ask: SpanStats::register(tel, "bo_ask"),
             bo_tell: SpanStats::register(tel, "bo_tell"),
+            bo_window_evictions: tel.registry().counter("bo_window_evictions_total"),
+            bo_fit: tel.registry().histogram("bo_fit_seconds", &Histogram::seconds_bounds()),
             ckpt_bytes: tel.registry().counter("ckpt_bytes_written_total"),
             ckpt_segments: tel.registry().counter("ckpt_segments_total"),
         }
@@ -420,6 +429,7 @@ fn run_search_full(
                 seed: stream.labeled(2),
                 use_liar: cfg.bo_constant_liar,
                 surrogate: cfg.bo_surrogate,
+                surrogate_window: cfg.surrogate_window,
             },
         )),
     };
@@ -505,6 +515,11 @@ fn run_search_full(
     }
     let replay = replay;
 
+    // Window-eviction counter shadow: `BoOptimizer::window_evictions` is
+    // cumulative, the telemetry counter wants deltas. Scratch for
+    // draining per-refit fit times into the `bo_fit_seconds` histogram.
+    let mut bo_evictions_seen: u64 = 0;
+    let mut bo_fit_drain: Vec<f64> = Vec::new();
     // Warm start: replay the checkpoint into population and BO state.
     if let Some(prev) = warm {
         let mut sorted: Vec<&EvalRecord> = prev.records.iter().collect();
@@ -525,6 +540,9 @@ fn run_search_full(
                         n_points: rejected,
                     });
                 }
+                let evicted = bo.window_evictions();
+                stel.bo_window_evictions.add(evicted - bo_evictions_seen);
+                bo_evictions_seen = evicted;
             }
         }
     }
@@ -831,6 +849,9 @@ fn run_search_full(
                         n_points: rejected,
                     });
                 }
+                let evicted = bo.window_evictions();
+                stel.bo_window_evictions.add(evicted - bo_evictions_seen);
+                bo_evictions_seen = evicted;
             }
         }
         // Periodic checkpoint: every `checkpoint_every` recorded
@@ -967,6 +988,10 @@ fn run_search_full(
                         (points, gen_archs(n_replace, &mut arch_rng, &population))
                     };
                     tel.emit(RunEvent::BoAsk { sim: evaluator.now(), n_points: n_replace });
+                    bo.take_fit_seconds(&mut bo_fit_drain);
+                    for &s in &bo_fit_drain {
+                        stel.bo_fit.record(s);
+                    }
                     (points.iter().map(hp_of_point).collect(), archs)
                 }
                 _ => unreachable!(),
@@ -993,6 +1018,25 @@ fn run_search_full(
             &stel,
             false,
         );
+        // Ordinary completion: fold the run's segments into one snapshot
+        // and sweep orphans (partial compactions interrupted mid-delete),
+        // so a finished run leaves O(1) files behind. Control stops skip
+        // this — their store is about to be reopened by a resume, and the
+        // resume path compacts on its own cadence. Best effort, like
+        // every durable write on the search path.
+        if stop_reason == StopReason::Completed {
+            if let Ok(stats) = d.store.retain_latest() {
+                if let Some(c) = stats.compacted {
+                    tel.emit(RunEvent::Compacted {
+                        sim: evaluator.now(),
+                        folded_segments: c.folded_segments,
+                        n_records: c.n_records,
+                        bytes_before: c.bytes_before,
+                        bytes_after: c.bytes_after,
+                    });
+                }
+            }
+        }
     }
     let utilization = evaluator.utilization();
     stel.utilization.set(utilization);

@@ -64,6 +64,9 @@ fn header_for(cfg: &SearchConfig) -> RunHeader {
         cache: cfg.cache,
         checkpoint_every: cfg.checkpoint_every,
         fingerprint: 0,
+        surrogate_window: cfg.surrogate_window,
+        bo_trees: cfg.bo_trees,
+        bo_candidates: cfg.bo_candidates,
     }
 }
 
@@ -300,6 +303,61 @@ fn compact_preserves_resume_identity() {
         DurableRun { store: &mut s3, recovered: Some(&rec3) },
     );
     assert_eq!(h3.to_json_string(), base_json, "resume after compaction diverged");
+}
+
+/// Replayed tells respect the bounded surrogate window: a crash-resume
+/// of a `surrogate_window` run rebuilds the same seeded reservoir from
+/// the replayed records, so the resumed history equals the
+/// uninterrupted windowed run byte for byte. The windowed trajectory
+/// must itself diverge from the exact one — otherwise the window could
+/// be silently ignored and this test would pass vacuously.
+#[test]
+fn windowed_resume_replays_tells_through_the_reservoir() {
+    let ctx = tiny_ctx(31);
+    let exact_cfg = base_cfg(31);
+    let cfg = base_cfg(31).with_surrogate_window(4);
+    let (h_exact, _, _) = durable_baseline(&ctx, &exact_cfg);
+    let (h_star, _, total_ops) = durable_baseline(&ctx, &cfg);
+    let base_json = h_star.to_json_string();
+    assert!(h_star.len() > 4, "run too small to evict: {} records", h_star.len());
+    assert_ne!(
+        h_exact.to_json_string(),
+        base_json,
+        "window=4 left the trajectory identical to exact — the window is not live"
+    );
+
+    let tel = Telemetry::disabled();
+    for k in [total_ops / 2, total_ops - 2] {
+        let what = format!("windowed k={k}");
+        let sim = SimIo::new();
+        sim.set_fuse(k);
+        let mut store = DurableStore::create(Box::new(sim.clone()), DIR, header_for(&cfg))
+            .expect("fuse must outlast create");
+        let _ = run_search_durable(
+            Arc::clone(&ctx),
+            &cfg,
+            &tel,
+            None,
+            None,
+            DurableRun { store: &mut store, recovered: None },
+        );
+        drop(store);
+        let (mut s2, rec) =
+            DurableStore::open(Box::new(SimIo::from_files(sim.durable_files(false, true))), DIR)
+                .unwrap_or_else(|e| panic!("{what}: open failed: {e}"));
+        assert_eq!(rec.header.surrogate_window, 4, "{what}: header lost the window");
+        assert_prefix(&rec.records, &h_star.records, &what);
+        let (h2, stop2) = run_search_durable(
+            Arc::clone(&ctx),
+            &cfg,
+            &tel,
+            None,
+            None,
+            DurableRun { store: &mut s2, recovered: Some(&rec) },
+        );
+        assert_eq!(stop2, StopReason::Completed, "{what}");
+        assert_eq!(h2.to_json_string(), base_json, "{what}: windowed resume diverged");
+    }
 }
 
 /// The resume contract holds with fault injection on: failed

@@ -225,6 +225,9 @@ fn parse_session(s: &Json) -> Result<SessionDecl, String> {
     if let Some(every) = opt_usize(s, "checkpoint_every", &what)? {
         cfg = cfg.with_checkpoints(every, None);
     }
+    if let Some(window) = opt_usize(s, "surrogate_window", &what)? {
+        cfg = cfg.with_surrogate_window(window);
+    }
     Ok(SessionDecl { name, tenant, dataset, profile, cfg })
 }
 
@@ -279,7 +282,7 @@ mod tests {
       ],
       "sessions": [
         {"name": "s0", "tenant": "a", "dataset": "covertype", "profile": "test",
-         "variant": "agebo", "seed": 7, "wall_time": 2000.0},
+         "variant": "agebo", "seed": 7, "wall_time": 2000.0, "surrogate_window": 512},
         {"name": "s1", "tenant": "b", "dataset": "airlines", "profile": "test",
          "variant": "age-4", "seed": 8, "failure_rate": 0.2, "chaos_profile": "heavy"}
       ]
@@ -300,9 +303,12 @@ mod tests {
         assert_eq!(s0.cfg.seed, 7);
         assert_eq!(s0.cfg.wall_time, 2000.0);
         assert_eq!(s0.dataset.name(), "covertype");
+        assert_eq!(s0.cfg.surrogate_window, 512);
         let s1 = &cfg.sessions[1];
         assert_eq!(s1.cfg.failure_rate, 0.2);
         assert_eq!(s1.cfg.variant.label(), "AgE-4");
+        // Omitted window means exact (legacy) refits.
+        assert_eq!(s1.cfg.surrogate_window, 0);
     }
 
     #[test]

@@ -388,6 +388,9 @@ impl SessionManager {
                             spec.profile,
                             spec.cfg.seed,
                         ),
+                        surrogate_window: spec.cfg.surrogate_window,
+                        bo_trees: spec.cfg.bo_trees,
+                        bo_candidates: spec.cfg.bo_candidates,
                     };
                     match DurableStore::open_or_create(Box::new(RealIo), dir, header) {
                         Ok((store, recovered)) => Some((store, recovered)),

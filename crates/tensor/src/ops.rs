@@ -44,19 +44,14 @@ impl Matrix {
         out
     }
 
-    /// Column sums into a caller-provided buffer (overwritten).
+    /// Column sums into a caller-provided buffer (overwritten;
+    /// runtime-dispatched, both arms bitwise identical — each column
+    /// accumulates in row order on either arm).
     ///
     /// # Panics
     /// Panics if `out.len() != self.cols()`.
     pub fn column_sums_into(&self, out: &mut [f32]) {
-        let cols = self.cols();
-        assert_eq!(out.len(), cols, "column_sums_into length mismatch");
-        out.fill(0.0);
-        for row in self.as_slice().chunks(cols) {
-            for (o, v) in out.iter_mut().zip(row) {
-                *o += v;
-            }
-        }
+        crate::simd::column_sums_into(self.as_slice(), self.cols(), out);
     }
 
     /// Applies `f` to every element in place.

@@ -250,6 +250,44 @@ pub fn vscale_scalar(xs: &mut [f32], a: f32) {
     }
 }
 
+/// Column sums of a row-major `rows × cols` buffer into `out`
+/// (`out[c] = Σ_r data[r·cols + c]`, `out.len() == cols`) — the bias
+/// gradient reduction. Each column accumulates strictly in row order;
+/// the AVX2 arm vectorizes *across* columns (one accumulator lane per
+/// column) so every column sees exactly the scalar twin's addition
+/// chain, making the two arms bitwise identical — the discipline every
+/// training-step kernel here follows.
+#[inline]
+pub fn column_sums_into(data: &[f32], cols: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), cols, "column_sums_into width mismatch");
+    if cols == 0 {
+        return;
+    }
+    assert_eq!(data.len() % cols, 0, "column_sums_into data not row-aligned");
+    #[cfg(target_arch = "x86_64")]
+    if cols >= 8 && use_fma() {
+        // SAFETY: use_fma() checked avx2+fma at runtime.
+        unsafe { column_sums_into_avx2(data, cols, out) };
+        return;
+    }
+    column_sums_into_scalar(data, cols, out);
+}
+
+/// Scalar twin of [`column_sums_into`] (bitwise identical).
+pub fn column_sums_into_scalar(data: &[f32], cols: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), cols, "column_sums_into width mismatch");
+    if cols == 0 {
+        return;
+    }
+    assert_eq!(data.len() % cols, 0, "column_sums_into data not row-aligned");
+    out.fill(0.0);
+    for row in data.chunks_exact(cols) {
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+}
+
 /// Copies `src` into `dst` (equal lengths) — the row-gather inner copy.
 ///
 /// Both arms delegate to `copy_from_slice` (memcpy): the platform memcpy
@@ -883,6 +921,33 @@ unsafe fn vscale_avx2(xs: &mut [f32], a: f32) {
         j += 8;
     }
     vscale_scalar(&mut xs[j..], a);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn column_sums_into_avx2(data: &[f32], cols: usize, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let rows = data.len() / cols;
+    let p = data.as_ptr();
+    let mut c = 0usize;
+    while c + 8 <= cols {
+        let mut acc = _mm256_setzero_ps();
+        for r in 0..rows {
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(p.add(r * cols + c)));
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(c), acc);
+        c += 8;
+    }
+    // Tail columns (< 8): the same per-column row-order addition chain,
+    // one column at a time.
+    for (off, slot) in out[c..cols].iter_mut().enumerate() {
+        let cc = c + off;
+        let mut acc = 0.0f32;
+        for r in 0..rows {
+            acc += *p.add(r * cols + cc);
+        }
+        *slot = acc;
+    }
 }
 
 /// 8-lane [`rsqrt2_approx`]: the identical seed/iteration expression, so

@@ -146,6 +146,27 @@ proptest! {
     }
 
     #[test]
+    fn column_sums_parity(
+        (rows, cols) in (1usize..20, 1usize..40),
+        seed in any::<u32>(),
+    ) {
+        // Values decorrelated from the shape via a cheap hash; spans the
+        // 8-wide AVX2 column blocks plus the scalar column tail.
+        let m = Matrix::from_fn(rows, cols, |r, c| {
+            let h = (seed as u64)
+                .wrapping_add((r * 131 + c) as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15);
+            ((h >> 40) as f32) / 1e5 - 80.0
+        });
+        let mut a = vec![f32::NAN; cols];
+        let mut b = vec![f32::NAN; cols];
+        simd::column_sums_into(m.as_slice(), cols, &mut a);
+        simd::column_sums_into_scalar(m.as_slice(), cols, &mut b);
+        assert_bitwise(&a, &b);
+        assert_bitwise(&m.column_sums(), &b);
+    }
+
+    #[test]
     fn gather_rows_parity(
         (rows, cols, indices) in (1usize..20, 1usize..70).prop_flat_map(|(r, c)| {
             (Just(r), Just(c), prop::collection::vec(0..r, 1..30))

@@ -134,6 +134,10 @@ pub struct ForestScratch {
     /// per refit and shared read-only by every tree.
     cols: Vec<f32>,
     keys: Vec<u32>,
+    /// Targets gathered for the window rows by
+    /// [`RandomForestRegressor::refit_window`]; unused by the full-history
+    /// [`RandomForestRegressor::refit`].
+    sub_y: Vec<f64>,
 }
 
 /// Bagged regression forest with per-tree spread — the BO surrogate.
@@ -166,13 +170,56 @@ impl RandomForestRegressor {
     ) {
         assert!(cfg.n_trees > 0);
         assert_eq!(x.rows(), y.len());
-        self.trees.resize_with(cfg.n_trees, RegressionTree::empty);
-        self.trees.truncate(cfg.n_trees);
-        let ForestScratch { per_tree, cols, keys } = scratch;
-        per_tree.resize_with(cfg.n_trees, Default::default);
+        let ForestScratch { per_tree, cols, keys, .. } = scratch;
         crate::tree::extract_columns(x, cols, keys);
-        let (cols, keys) = (&*cols, &*keys);
-        let n_rows = x.rows();
+        Self::fit_trees(&mut self.trees, per_tree, cols, keys, x.rows(), y, cfg, seed);
+    }
+
+    /// [`RandomForestRegressor::refit`] restricted to the rows named by
+    /// `window` (indices into `x`/`y`, in slot order): the trees train on
+    /// the compacted `window.len()`-row matrix, so the whole refit —
+    /// extraction, bootstrap, growth — costs O(window), independent of
+    /// how tall `x` is. With `window = [0, 1, …, x.rows()−1]` the result
+    /// is bitwise identical to [`RandomForestRegressor::refit`]: the
+    /// extracted columns, the per-tree rng draw sequences (bootstrap over
+    /// `0..window.len()`), and every leaf summation are the same
+    /// operations on the same values.
+    pub fn refit_window(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        window: &[u32],
+        cfg: &ForestConfig,
+        seed: u64,
+        scratch: &mut ForestScratch,
+    ) {
+        assert!(cfg.n_trees > 0);
+        assert_eq!(x.rows(), y.len());
+        assert!(!window.is_empty(), "empty training window");
+        let ForestScratch { per_tree, cols, keys, sub_y } = scratch;
+        crate::tree::extract_columns_window(x, window, cols, keys);
+        sub_y.clear();
+        sub_y.extend(window.iter().map(|&r| y[r as usize]));
+        Self::fit_trees(&mut self.trees, per_tree, cols, keys, window.len(), sub_y, cfg, seed);
+    }
+
+    /// The shared tree-growing loop behind [`RandomForestRegressor::refit`]
+    /// and [`RandomForestRegressor::refit_window`]: `cols`/`keys` hold the
+    /// extracted `n_rows`-tall training matrix and `y` its targets.
+    #[allow(clippy::too_many_arguments)]
+    fn fit_trees(
+        trees: &mut Vec<RegressionTree>,
+        per_tree: &mut Vec<(Vec<usize>, TreeScratch)>,
+        cols: &[f32],
+        keys: &[u32],
+        n_rows: usize,
+        y: &[f64],
+        cfg: &ForestConfig,
+        seed: u64,
+    ) {
+        trees.resize_with(cfg.n_trees, RegressionTree::empty);
+        trees.truncate(cfg.n_trees);
+        per_tree.resize_with(cfg.n_trees, Default::default);
         let fit_one = |i: usize, tree: &mut RegressionTree, state: &mut (Vec<usize>, TreeScratch)| {
             let (rows, tree_scratch) = state;
             let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
@@ -188,11 +235,11 @@ impl RandomForestRegressor {
         // sequentially or in parallel yields the same forest; skip the
         // rayon dispatch overhead when there is nothing to fan out to.
         if rayon::current_num_threads() <= 1 {
-            for (i, (tree, state)) in self.trees.iter_mut().zip(per_tree.iter_mut()).enumerate() {
+            for (i, (tree, state)) in trees.iter_mut().zip(per_tree.iter_mut()).enumerate() {
                 fit_one(i, tree, state);
             }
         } else {
-            self.trees
+            trees
                 .par_iter_mut()
                 .zip(per_tree.par_iter_mut())
                 .enumerate()

@@ -115,6 +115,38 @@ pub(crate) fn extract_columns(x: &Matrix, cols: &mut Vec<f32>, keys: &mut Vec<u3
     }
 }
 
+/// [`extract_columns`] restricted to the rows named by `window`: the
+/// output is the compacted column-major matrix of the window rows
+/// (`cols[f·w + i] = x[window[i]][f]`, `w = window.len()`), so every
+/// downstream tree sees a dense `w`-row training set and the extraction
+/// cost is O(w·d) regardless of how tall `x` is — the property the
+/// bounded-window surrogate rests on. With `window = [0, 1, …, n−1]`
+/// the output is bitwise identical to [`extract_columns`].
+pub(crate) fn extract_columns_window(
+    x: &Matrix,
+    window: &[u32],
+    cols: &mut Vec<f32>,
+    keys: &mut Vec<u32>,
+) {
+    let (n_rows, n_features) = (x.rows(), x.cols());
+    let w = window.len();
+    cols.clear();
+    cols.resize(n_features * w, 0.0);
+    keys.clear();
+    keys.resize(n_features * w, 0);
+    for f in 0..n_features {
+        let base = f * w;
+        for (i, &r) in window.iter().enumerate() {
+            let r = r as usize;
+            assert!(r < n_rows, "window row {r} out of bounds ({n_rows} rows)");
+            let v = x.get(r, f);
+            assert!(!v.is_nan(), "no NaN features");
+            cols[base + i] = v;
+            keys[base + i] = sort_key(v);
+        }
+    }
+}
+
 /// Maps a non-NaN `f32` to a `u32` whose integer order equals the
 /// float's `partial_cmp` order: the sign bit is flipped for
 /// non-negatives and all bits for negatives (the classic monotone

@@ -81,6 +81,54 @@ proptest! {
     }
 
     #[test]
+    fn window_refit_identity_is_bitwise_equal_to_full_refit(
+        (x, y) in dataset_strategy(),
+        n_trees in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        // `refit_window` over the identity window is the contract the
+        // BO's `surrogate_window` determinism rests on: whenever the
+        // history fits the window, the windowed surrogate must be the
+        // exact surrogate, bit for bit.
+        let cfg = forest_cfg(n_trees, None);
+        let mut full = RandomForestRegressor::default();
+        full.refit(&x, &y, &cfg, seed, &mut ForestScratch::default());
+        let idx: Vec<u32> = (0..x.rows() as u32).collect();
+        let mut win = RandomForestRegressor::default();
+        win.refit_window(&x, &y, &idx, &cfg, seed, &mut ForestScratch::default());
+        let fp = full.predict_mean_std_batch(&x);
+        let wp = win.predict_mean_std_batch(&x);
+        for (f, w) in fp.iter().zip(&wp) {
+            prop_assert_eq!(f.0.to_bits(), w.0.to_bits());
+            prop_assert_eq!(f.1.to_bits(), w.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn window_refit_equals_refit_on_gathered_submatrix(
+        (x, y) in dataset_strategy(),
+        seed in any::<u64>(),
+        pick in prop::collection::vec(any::<u64>(), 1..20),
+    ) {
+        // A strict-subset window trains on exactly the named rows:
+        // identical to gathering those rows into a dense matrix first.
+        let window: Vec<u32> = pick.iter().map(|&i| (i % x.rows() as u64) as u32).collect();
+        let cfg = forest_cfg(5, None);
+        let mut win = RandomForestRegressor::default();
+        win.refit_window(&x, &y, &window, &cfg, seed, &mut ForestScratch::default());
+        let gx = Matrix::from_fn(window.len(), x.cols(), |r, c| x.get(window[r] as usize, c));
+        let gy: Vec<f64> = window.iter().map(|&r| y[r as usize]).collect();
+        let mut sub = RandomForestRegressor::default();
+        sub.refit(&gx, &gy, &cfg, seed, &mut ForestScratch::default());
+        let wp = win.predict_mean_std_batch(&x);
+        let sp = sub.predict_mean_std_batch(&x);
+        for (w, s) in wp.iter().zip(&sp) {
+            prop_assert_eq!(w.0.to_bits(), s.0.to_bits());
+            prop_assert_eq!(w.1.to_bits(), s.1.to_bits());
+        }
+    }
+
+    #[test]
     fn warm_refit_is_bitwise_equal_to_fresh_fit(
         (x, y) in dataset_strategy(),
         seeds in prop::collection::vec(any::<u64>(), 1..5),
